@@ -1,0 +1,77 @@
+//! Criterion bench for the dataflow engine — the machinery behind Fig 2
+//! and the A1 ablation: virtual-time scheduling throughput at Summit
+//! scale and the real thread executor on small batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_dataflow::real::Client;
+use summitfold_dataflow::sim::simulate;
+use summitfold_dataflow::{OrderingPolicy, TaskSpec};
+use summitfold_protein::rng::Xoshiro256;
+
+fn workload(n: usize) -> (Vec<TaskSpec>, Vec<f64>) {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let durations: Vec<f64> = (0..n).map(|_| rng.gamma(1.5, 120.0) + 30.0).collect();
+    let specs = durations
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| TaskSpec::new(format!("t{i}"), d))
+        .collect();
+    (specs, durations)
+}
+
+fn bench_simulator_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_list_scheduling");
+    for (tasks, workers) in [(5_000usize, 1_200usize), (125_000, 6_000)] {
+        let (specs, durations) = workload(tasks);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tasks}t_{workers}w")),
+            &(specs, durations, workers),
+            |b, (specs, durations, workers)| {
+                b.iter(|| {
+                    simulate(specs, durations, *workers, OrderingPolicy::LongestFirst, 30.0)
+                        .makespan
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ordering_policies(c: &mut Criterion) {
+    let (specs, durations) = workload(20_000);
+    let mut group = c.benchmark_group("ordering_policies");
+    for (policy, name) in [
+        (OrderingPolicy::LongestFirst, "longest_first"),
+        (OrderingPolicy::Random { seed: 3 }, "random"),
+        (OrderingPolicy::Fifo, "fifo"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(&specs, &durations, 1_200, policy, 30.0).makespan);
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_executor(c: &mut Criterion) {
+    let specs: Vec<TaskSpec> =
+        (0..256).map(|i| TaskSpec::new(format!("t{i}"), (i % 13) as f64)).collect();
+    let items: Vec<u64> = (0..256).collect();
+    c.bench_function("real_executor_256_tasks", |b| {
+        let client = Client::new(4);
+        b.iter(|| {
+            client
+                .map(&specs, items.clone(), OrderingPolicy::LongestFirst, |_, &x| {
+                    (0..500u64).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+                })
+                .outputs
+                .len()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator_scale, bench_ordering_policies, bench_real_executor
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for the inference surrogate — the compute behind
+//! Table 1: per-preset prediction cost at benchmark scale and per-target
+//! cost across lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_inference::{Fidelity, InferenceEngine, Preset};
+use summitfold_msa::FeatureSet;
+use summitfold_protein::proteome::{Proteome, Species};
+
+fn bench_presets(c: &mut Criterion) {
+    let entries: Vec<_> = Proteome::generate_scaled(Species::DVulgaris, 0.02)
+        .proteins
+        .into_iter()
+        .filter(|e| e.hypothetical)
+        .collect();
+    let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
+
+    let mut group = c.benchmark_group("table1_presets");
+    for preset in Preset::ALL {
+        let engine = InferenceEngine::new(preset, Fidelity::Statistical).on_high_mem_nodes();
+        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &engine, |b, eng| {
+            b.iter(|| {
+                entries
+                    .iter()
+                    .zip(&features)
+                    .map(|(e, f)| eng.predict_target(e, f).expect("high-mem fits").top().ptms)
+                    .sum::<f64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometric_vs_statistical(c: &mut Criterion) {
+    let entries: Vec<_> = Proteome::generate_scaled(Species::DVulgaris, 0.005).proteins;
+    let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
+    let mut group = c.benchmark_group("fidelity");
+    for (name, fidelity) in
+        [("statistical", Fidelity::Statistical), ("geometric", Fidelity::Geometric)]
+    {
+        let engine = InferenceEngine::new(Preset::ReducedDbs, fidelity);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                entries
+                    .iter()
+                    .zip(&features)
+                    .filter_map(|(e, f)| {
+                        engine.predict(e, f, summitfold_inference::ModelId(1)).ok()
+                    })
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_presets, bench_geometric_vs_statistical
+}
+criterion_main!(benches);

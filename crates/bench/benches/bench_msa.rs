@@ -1,0 +1,54 @@
+//! Criterion bench for the feature-generation substrate — the compute
+//! behind §4.1: k-mer indexing, homology search, and clustering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use summitfold_msa::cluster::greedy_cluster;
+use summitfold_msa::kmer::KmerIndex;
+use summitfold_msa::msa::{search, SearchParams};
+use summitfold_protein::rng::Xoshiro256;
+use summitfold_protein::seq::Sequence;
+
+fn synthetic_db(seed: u64) -> (Sequence, Vec<Sequence>) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let target = Sequence::random("target", 300, &mut rng);
+    let mut db = Vec::new();
+    for k in 0..8 {
+        db.push(target.mutated(&format!("hom{k}"), 0.15 + 0.05 * k as f64, &mut rng));
+    }
+    for b in 0..400 {
+        db.push(Sequence::random(&format!("bg{b}"), 250, &mut rng));
+    }
+    (target, db)
+}
+
+fn bench_index_and_search(c: &mut Criterion) {
+    let (target, db) = synthetic_db(1);
+    c.bench_function("kmer_index_build_408seqs", |b| {
+        b.iter(|| KmerIndex::build(&db).len());
+    });
+    let index = KmerIndex::build(&db);
+    c.bench_function("msa_search_408seqs", |b| {
+        b.iter(|| search(&target, &db, &index, &SearchParams::default()).depth());
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(2);
+    let mut db = Vec::new();
+    for f in 0..40 {
+        let base = Sequence::random(&format!("f{f}"), 200, &mut rng);
+        for d in 0..4 {
+            db.push(base.mutated(&format!("f{f}d{d}"), 0.02, &mut rng));
+        }
+    }
+    c.bench_function("greedy_cluster_160seqs_90pct", |b| {
+        b.iter(|| greedy_cluster(&db, 0.9).num_clusters());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_and_search, bench_clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the end-to-end pipeline stages: the headline
+//! campaign costs at a small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use summitfold_hpc::Ledger;
+use summitfold_pipeline::stages::{feature, inference};
+use summitfold_pipeline::{run_proteome_campaign, CampaignConfig};
+use summitfold_protein::proteome::{Proteome, Species};
+
+fn bench_feature_stage(c: &mut Criterion) {
+    let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.01);
+    c.bench_function("feature_stage_32_targets", |b| {
+        b.iter(|| {
+            feature::run(&proteome.proteins, &feature::Config::paper_default(), &mut Ledger::new())
+                .node_hours
+        });
+    });
+}
+
+fn bench_inference_stage(c: &mut Criterion) {
+    let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.01);
+    let features = feature::run(
+        &proteome.proteins,
+        &feature::Config::paper_default(),
+        &mut Ledger::new(),
+    )
+    .features;
+    c.bench_function("inference_stage_32_targets", |b| {
+        b.iter(|| {
+            inference::run(
+                &proteome.proteins,
+                &features,
+                &inference::Config::benchmark(summitfold_inference::Preset::Genome),
+                &mut Ledger::new(),
+            )
+            .walltime_s
+        });
+    });
+}
+
+fn bench_full_campaign(c: &mut Criterion) {
+    c.bench_function("campaign_1pct_dvulgaris", |b| {
+        b.iter(|| {
+            run_proteome_campaign(Species::DVulgaris, &CampaignConfig::paper_default(0.01))
+                .frac_ptms_gt06
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_feature_stage, bench_inference_stage, bench_full_campaign
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the relaxation substrate — the compute behind
+//! Figs 3–4: protocol cost (AF2 loop vs single pass) and minimizer cost
+//! across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_inference::{Fidelity, InferenceEngine, ModelId, Preset};
+use summitfold_msa::FeatureSet;
+use summitfold_protein::proteome::{Origin, ProteinEntry};
+use summitfold_protein::rng::Xoshiro256;
+use summitfold_protein::seq::Sequence;
+use summitfold_protein::structure::Structure;
+use summitfold_relax::protocol::{relax, Protocol};
+
+fn predicted(len: usize, seed: u64) -> Structure {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let entry = ProteinEntry {
+        sequence: Sequence::random(&format!("b{len}"), len, &mut rng),
+        hypothetical: false,
+        origin: Origin::Orphan,
+        msa_richness: 0.7,
+    };
+    let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+    engine
+        .predict(&entry, &FeatureSet::synthetic(&entry), ModelId(1))
+        .unwrap()
+        .structure
+        .unwrap()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let s = predicted(200, 1);
+    let mut group = c.benchmark_group("fig4_protocols");
+    group.bench_function("af2_loop", |b| b.iter(|| relax(&s, Protocol::Af2Loop).rounds));
+    group.bench_function("single_pass", |b| {
+        b.iter(|| relax(&s, Protocol::OptimizedSinglePass).rounds)
+    });
+    group.finish();
+}
+
+fn bench_system_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize_by_size");
+    for len in [100usize, 300, 600] {
+        let s = predicted(len, len as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &s, |b, s| {
+            b.iter(|| relax(s, Protocol::OptimizedSinglePass).total_iterations);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocols, bench_system_size
+}
+criterion_main!(benches);

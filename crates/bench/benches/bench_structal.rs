@@ -1,0 +1,52 @@
+//! Criterion bench for the structural-scoring substrate — the compute
+//! behind Fig 3 and §4.6: TM-score, SPECS, lDDT and library search cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_protein::family::{deform, Family};
+use summitfold_structal::align::structural_align;
+use summitfold_structal::lddt::lddt;
+use summitfold_structal::pdb70::{Pdb70, SearchConfig};
+use summitfold_structal::specs::specs_score;
+use summitfold_structal::tm::tm_score;
+
+fn bench_scores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scores_by_length");
+    for len in [100usize, 300] {
+        let fam = Family::new(len as u64, len);
+        let native = fam.representative();
+        let model = deform(&native, 5, 2.0);
+        group.bench_with_input(BenchmarkId::new("tm_score", len), &len, |b, _| {
+            b.iter(|| tm_score(&model, &native));
+        });
+        group.bench_with_input(BenchmarkId::new("specs", len), &len, |b, _| {
+            b.iter(|| specs_score(&model, &native));
+        });
+        group.bench_with_input(BenchmarkId::new("lddt", len), &len, |b, _| {
+            b.iter(|| lddt(&model.ca, &native.ca));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alignment_and_search(c: &mut Criterion) {
+    let fam = Family::new(9, 200);
+    let rep = fam.representative();
+    let rep_seq = fam.base_sequence();
+    let member = fam.member_fold(3, 1.5);
+    let member_seq = fam.member_sequence(3, 0.8, "q");
+    c.bench_function("structural_align_200", |b| {
+        b.iter(|| structural_align(&member, &member_seq, &rep, &rep_seq).tm_query);
+    });
+
+    let library = Pdb70::build([fam], 60, 1);
+    c.bench_function("pdb70_search_60decoys", |b| {
+        b.iter(|| library.search(&member, &member_seq, &SearchConfig::default()).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scores, bench_alignment_and_search
+}
+criterion_main!(benches);

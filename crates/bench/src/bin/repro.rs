@@ -1,0 +1,102 @@
+//! `repro` — regenerate every table and figure from the paper.
+//!
+//! ```text
+//! repro all [--quick]        # everything, into results/
+//! repro table1 [--quick]     # one experiment
+//! repro list                 # available experiments
+//! ```
+
+use std::time::Instant;
+use summitfold_bench::harness::{self, Ctx};
+use summitfold_bench::report::{results_dir, Report};
+
+const EXPERIMENTS: [&str; 17] = [
+    "headline",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "featgen",
+    "recycles",
+    "sdivinum",
+    "violations",
+    "relaxscale",
+    "annotate",
+    "complexes",
+    "ablation-ordering",
+    "ablation-replicas",
+    "ablation-protocol",
+    "ablation-gpu-msa",
+    "ablation-staging",
+];
+
+fn run_one(name: &str, ctx: &Ctx) -> Option<Report> {
+    Some(match name {
+        "headline" => harness::headline::run(ctx).1,
+        "table1" => harness::table1::run(ctx).1,
+        "fig2" => harness::fig2::run(ctx).1,
+        "fig3" => harness::fig3::run(ctx).1,
+        "fig4" => harness::fig4::run(ctx).1,
+        "featgen" => harness::featgen::run(ctx).1,
+        "recycles" => harness::recycles::run(ctx).1,
+        "sdivinum" => harness::sdivinum::run(ctx).1,
+        "violations" => harness::violations::run(ctx).1,
+        "relaxscale" => harness::relaxscale::run(ctx).1,
+        "annotate" => harness::annotate::run(ctx).1,
+        "complexes" => harness::complexes::run(ctx).1,
+        "ablation-ordering" => harness::ablation::run_ordering(ctx).1,
+        "ablation-replicas" => harness::ablation::run_replicas(ctx).1,
+        "ablation-protocol" => harness::ablation::run_protocol(ctx).1,
+        "ablation-gpu-msa" => harness::ablation::run_gpu_msa_whatif(ctx).1,
+        "ablation-staging" => harness::ablation::run_staging(ctx).1,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let ctx = Ctx { quick };
+    let dir = results_dir();
+
+    match targets.first().copied() {
+        None | Some("--help") | Some("help") => {
+            eprintln!("usage: repro <experiment|all|list> [--quick]");
+            eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+        }
+        Some("list") => {
+            for e in EXPERIMENTS {
+                println!("{e}");
+            }
+        }
+        Some("all") => {
+            let mut summary = String::from("# summitfold reproduction summary\n\n");
+            if quick {
+                summary.push_str("_Quick mode: heavy experiments subsampled._\n\n");
+            }
+            for name in EXPERIMENTS {
+                let t0 = Instant::now();
+                eprint!("{name:<20} ... ");
+                let report = run_one(name, &ctx).expect("known experiment");
+                report.write_to(&dir).expect("writable results dir");
+                summary.push_str(&report.markdown);
+                summary.push('\n');
+                eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            }
+            std::fs::write(dir.join("SUMMARY.md"), summary).expect("write summary");
+            eprintln!("wrote {}", dir.join("SUMMARY.md").display());
+        }
+        Some(name) => match run_one(name, &ctx) {
+            Some(report) => {
+                report.write_to(&dir).expect("writable results dir");
+                print!("{}", report.markdown);
+                eprintln!("(written to {})", dir.join(format!("{name}.md")).display());
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; try: repro list");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,142 @@
+//! F4 — Fig 4: relaxation time-to-solution and speedup vs heavy atoms.
+//!
+//! The full CASP14-like model set (32 targets × 5 models = 160 models):
+//! wall time on the three configurations as system size grows, and
+//! speedups relative to the AF2 method. The paper reports up to ~14×
+//! speedup on the Summit GPUs, with one AF2-method outlier (T1080) near
+//! 4.5 hours.
+
+use crate::harness::{casp14_set, Ctx};
+use crate::report::Report;
+use summitfold_inference::{Fidelity, InferenceEngine, Preset};
+use summitfold_msa::FeatureSet;
+use summitfold_protein::stats;
+use summitfold_relax::protocol::{relax, Protocol, RelaxOutcome};
+use summitfold_relax::timing::{wall_seconds, Method};
+
+/// One timed model.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub id: String,
+    pub heavy_atoms: u64,
+    pub t_af2_s: f64,
+    pub t_cpu_s: f64,
+    pub t_gpu_s: f64,
+}
+
+impl Point {
+    /// Speedup of the optimized GPU method over the AF2 method.
+    #[must_use]
+    pub fn speedup_gpu(&self) -> f64 {
+        self.t_af2_s / self.t_gpu_s
+    }
+}
+
+/// The 160 relaxed models (shared with the X4 violations experiment).
+#[must_use]
+pub fn relax_all(ctx: &Ctx) -> Vec<(String, u64, RelaxOutcome, RelaxOutcome)> {
+    let targets = casp14_set(if ctx.quick { 8 } else { 32 });
+    let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+    let mut out = Vec::new();
+    for entry in &targets {
+        let features = FeatureSet::synthetic(entry);
+        let result = engine.predict_target(entry, &features).expect("casp lengths fit");
+        for p in &result.predictions {
+            let s = p.structure.as_ref().expect("geometric");
+            let af2 = relax(s, Protocol::Af2Loop);
+            let opt = relax(s, Protocol::OptimizedSinglePass);
+            out.push((format!("{}/{}", entry.sequence.id, p.model), s.heavy_atoms(), af2, opt));
+        }
+    }
+    out
+}
+
+/// Run the Fig 4 timing comparison.
+#[must_use]
+pub fn run(ctx: &Ctx) -> (Vec<Point>, Report) {
+    let relaxed = relax_all(ctx);
+    let points: Vec<Point> = relaxed
+        .iter()
+        .map(|(id, atoms, af2, opt)| Point {
+            id: id.clone(),
+            heavy_atoms: *atoms,
+            t_af2_s: wall_seconds(af2, *atoms, Method::Af2Cpu),
+            t_cpu_s: wall_seconds(opt, *atoms, Method::OptimizedCpuAndes),
+            t_gpu_s: wall_seconds(opt, *atoms, Method::OptimizedGpuSummit),
+        })
+        .collect();
+
+    let speedups: Vec<f64> = points.iter().map(Point::speedup_gpu).collect();
+    let max_speedup = stats::max(&speedups);
+    let outlier = points
+        .iter()
+        .max_by(|a, b| a.t_af2_s.partial_cmp(&b.t_af2_s).expect("finite"))
+        .expect("non-empty");
+
+    let mut rpt = Report::new("fig4", "Fig 4 — relaxation time-to-solution and speedups");
+    rpt.line(format!("Models: {} across three configurations.", points.len()));
+    rpt.line(format!(
+        "Mean wall seconds — AF2 CPU {:.0}, optimized Andes CPU {:.0}, optimized Summit GPU {:.0}.",
+        stats::mean(&points.iter().map(|p| p.t_af2_s).collect::<Vec<_>>()),
+        stats::mean(&points.iter().map(|p| p.t_cpu_s).collect::<Vec<_>>()),
+        stats::mean(&points.iter().map(|p| p.t_gpu_s).collect::<Vec<_>>()),
+    ));
+    rpt.line(format!(
+        "GPU speedup over AF2: mean {:.1}×, max {:.1}× (paper: up to ~14×).",
+        stats::mean(&speedups),
+        max_speedup
+    ));
+    rpt.line(format!(
+        "Largest AF2-method time: {} at {} heavy atoms → {:.1} min (paper's T1080 outlier: ≈ 4.5 h \
+         on the original method).",
+        outlier.id,
+        outlier.heavy_atoms,
+        outlier.t_af2_s / 60.0
+    ));
+
+    let mut csv =
+        String::from("model,heavy_atoms,t_af2_s,t_cpu_s,t_gpu_s,speedup_cpu,speedup_gpu\n");
+    for p in &points {
+        csv.push_str(&format!(
+            "{},{},{:.1},{:.1},{:.1},{:.2},{:.2}\n",
+            p.id,
+            p.heavy_atoms,
+            p.t_af2_s,
+            p.t_cpu_s,
+            p.t_gpu_s,
+            p.t_af2_s / p.t_cpu_s,
+            p.speedup_gpu()
+        ));
+    }
+    rpt.attach_csv("fig4.csv", csv);
+    (points, rpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_holds() {
+        let (points, _) = run(&Ctx { quick: true });
+        assert!(!points.is_empty());
+        // Ordering: GPU ≤ CPU ≤ AF2 once the system is big enough to
+        // amortize GPU context creation (the real Fig 4 shows the same
+        // small-system crossover).
+        for p in points.iter().filter(|p| p.heavy_atoms > 3000) {
+            assert!(p.t_gpu_s < p.t_cpu_s, "{}: gpu !< cpu", p.id);
+            assert!(p.t_cpu_s < p.t_af2_s, "{}: cpu !< af2", p.id);
+        }
+        // Speedup grows with size; the largest systems see ≥ 5×.
+        let mut by_atoms = points.clone();
+        by_atoms.sort_by_key(|p| p.heavy_atoms);
+        let small = by_atoms.first().unwrap().speedup_gpu();
+        let large = by_atoms.last().unwrap().speedup_gpu();
+        assert!(large > small, "speedup must grow with size");
+        assert!(large > 5.0, "large-system speedup {large}");
+        // Time grows with heavy atoms on every platform.
+        let atoms: Vec<f64> = by_atoms.iter().map(|p| p.heavy_atoms as f64).collect();
+        let gpu: Vec<f64> = by_atoms.iter().map(|p| p.t_gpu_s).collect();
+        assert!(stats::pearson(&atoms, &gpu) > 0.7);
+    }
+}

@@ -1,0 +1,76 @@
+//! H0 — the abstract's headline: 35,634 sequences across four proteomes
+//! in "under 4,000 total Summit node hours, equivalent to using the
+//! majority of the supercomputer for one hour".
+
+use crate::harness::Ctx;
+use crate::report::Report;
+use summitfold_hpc::Machine;
+use summitfold_pipeline::{run_proteome_campaign, CampaignConfig};
+use summitfold_protein::proteome::Species;
+
+/// Measured outcome.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub targets_total: usize,
+    pub summit_node_hours: f64,
+    pub andes_node_hours: f64,
+}
+
+/// Run all four proteome campaigns (sampled, scale-corrected) and total
+/// the budget.
+#[must_use]
+pub fn run(ctx: &Ctx) -> (Outcome, Report) {
+    let scale = if ctx.quick { 0.02 } else { 0.05 };
+    let mut rpt = Report::new("headline", "Headline — four proteomes, total budget");
+    rpt.line("| proteome | top models (full) | Summit node-h | Andes node-h |");
+    rpt.line("|---|---|---|---|");
+    let mut targets_total = 0usize;
+    let mut summit = 0.0;
+    let mut andes = 0.0;
+    for species in Species::ALL {
+        let mut cfg = CampaignConfig::paper_default(scale);
+        cfg.inference_nodes = 10; // keep per-node fill representative at sample scale
+        let r = run_proteome_campaign(species, &cfg);
+        let full_targets = (r.targets as f64 / scale).round() as usize;
+        rpt.line(format!(
+            "| {} | {} | {:.0} | {:.0} |",
+            species.name(),
+            full_targets,
+            r.summit_node_hours_full,
+            r.andes_node_hours_full
+        ));
+        targets_total += full_targets;
+        summit += r.summit_node_hours_full;
+        andes += r.andes_node_hours_full;
+    }
+    rpt.line(format!(
+        "| **total** | **{targets_total}** (paper: 35,634) | **{summit:.0}** (paper: \
+         \"under 4,000\") | **{andes:.0}** |"
+    ));
+    rpt.line("");
+    rpt.line(format!(
+        "{summit:.0} Summit node-hours ≈ {:.2}× the machine's {} nodes for one hour — \
+         \"the majority of the supercomputer for one hour\".",
+        summit / f64::from(Machine::Summit.nodes()),
+        Machine::Summit.nodes()
+    ));
+    (Outcome { targets_total, summit_node_hours: summit, andes_node_hours: andes }, rpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_budget_in_band() {
+        let (o, _) = run(&Ctx { quick: true });
+        assert!((o.targets_total as i64 - 35_634).abs() < 600, "targets {}", o.targets_total);
+        assert!(
+            o.summit_node_hours < 6_500.0,
+            "Summit budget {:.0} (paper: < 4,000)",
+            o.summit_node_hours
+        );
+        let frac = o.summit_node_hours / f64::from(Machine::Summit.nodes());
+        assert!((0.3..1.6).contains(&frac), "majority-for-an-hour fraction {frac}");
+    }
+}

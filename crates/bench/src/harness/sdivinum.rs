@@ -1,0 +1,104 @@
+//! X3 — §4.3.1: the *S. divinum* proteome campaign.
+//!
+//! Paper: 25,134 top models; ≈ 57 % of targets at mean pLDDT > 70;
+//! residue-level high-confidence coverage ≈ 58 % (36 % at pLDDT > 90);
+//! ≈ 53 % of top models at pTMS > 0.6; mean recycles of top models ≈ 12;
+//! ≈ 2000 Andes node-hours (features) + ≈ 3000 Summit node-hours
+//! (inference, including overheads).
+
+use crate::harness::Ctx;
+use crate::report::Report;
+use summitfold_pipeline::{run_proteome_campaign, CampaignConfig, ProteomeReport};
+use summitfold_protein::proteome::Species;
+
+/// Run the plant-proteome campaign.
+#[must_use]
+pub fn run(ctx: &Ctx) -> (ProteomeReport, Report) {
+    let scale = if ctx.quick { 0.05 } else { 1.0 };
+    let mut cfg = CampaignConfig::paper_default(scale);
+    if ctx.quick {
+        // Scale the allocation with the sample so per-node fill (and thus
+        // the node-hour extrapolation) stays representative.
+        cfg.inference_nodes = 10;
+    }
+    let report = run_proteome_campaign(Species::SDivinum, &cfg);
+
+    let mut rpt = Report::new("sdivinum", "§4.3.1 — S. divinum proteome campaign");
+    rpt.line("| metric | paper | measured |");
+    rpt.line("|---|---|---|");
+    rpt.line(format!("| top models | 25,134 | {} |", report.targets));
+    rpt.line(format!(
+        "| % targets with mean pLDDT > 70 | ~57 % | {:.0} % |",
+        report.frac_plddt_gt70 * 100.0
+    ));
+    rpt.line(format!(
+        "| residue coverage at pLDDT > 70 | ~58 % | {:.0} % |",
+        report.residue_coverage_gt70 * 100.0
+    ));
+    rpt.line(format!(
+        "| residue coverage at pLDDT > 90 | ~36 % | {:.0} % |",
+        report.residue_coverage_gt90 * 100.0
+    ));
+    rpt.line(format!(
+        "| % top models with pTMS > 0.6 | ~53 % | {:.0} % |",
+        report.frac_ptms_gt06 * 100.0
+    ));
+    rpt.line(format!(
+        "| mean recycles of top models | ~12 | {:.1} |",
+        report.mean_top_recycles
+    ));
+    rpt.line(format!(
+        "| Andes node-hours (features) | ~2000 | {:.0} |",
+        report.andes_node_hours_full
+    ));
+    rpt.line(format!(
+        "| Summit node-hours (inference + relax) | ~3000 | {:.0} |",
+        report.summit_node_hours_full
+    ));
+    if ctx.quick {
+        rpt.line("");
+        rpt.line("_Quick mode: 5 % proteome sample; node-hours scaled up._");
+    }
+    (report, rpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdivinum_statistics_in_band() {
+        let (r, _) = run(&Ctx { quick: true });
+        // Shape targets (paper ±~12 points; the substrate is synthetic).
+        assert!(
+            (0.40..0.75).contains(&r.frac_plddt_gt70),
+            "frac pLDDT>70 {}",
+            r.frac_plddt_gt70
+        );
+        assert!(
+            (0.35..0.72).contains(&r.frac_ptms_gt06),
+            "frac pTMS>0.6 {}",
+            r.frac_ptms_gt06
+        );
+        assert!(
+            r.residue_coverage_gt90 < r.residue_coverage_gt70,
+            "coverage ordering"
+        );
+        // Above the fixed-3 baseline; the paper's "mean 12" reading is
+        // discussed in EXPERIMENTS.md (it is inconsistent with the
+        // paper's own 3000-node-hour budget under any cost model that
+        // also fits Table 1).
+        assert!(r.mean_top_recycles > 3.4, "recycles {}", r.mean_top_recycles);
+        // Budget: thousands, not tens of thousands, of node-hours.
+        assert!(
+            (500.0..8000.0).contains(&r.andes_node_hours_full),
+            "andes {}",
+            r.andes_node_hours_full
+        );
+        assert!(
+            (800.0..9000.0).contains(&r.summit_node_hours_full),
+            "summit {}",
+            r.summit_node_hours_full
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # summitfold-bench
+//!
+//! The reproduction harness: one module per table/figure/number in the
+//! paper's evaluation section, each regenerating its artifact from the
+//! workspace's models and writing CSV + Markdown into `results/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p summitfold-bench --bin repro -- all
+//! ```
+//!
+//! Individual experiments: `table1`, `fig2`, `fig3`, `fig4`, `featgen`,
+//! `recycles`, `sdivinum`, `violations`, `relaxscale`, `annotate`,
+//! `ablation-ordering`, `ablation-replicas`, `ablation-protocol`.
+//! Add `--quick` to subsample the heavy experiments.
+
+pub mod harness;
+pub mod report;

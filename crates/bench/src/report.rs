@@ -1,0 +1,95 @@
+//! Output plumbing for the reproduction harness: a result directory with
+//! one Markdown section and any number of CSV side files per experiment.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A collected experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`table1`, `fig3`, ...).
+    pub id: String,
+    /// Markdown body (heading included).
+    pub markdown: String,
+    /// CSV artifacts: (file name, contents).
+    pub csv: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Start a report with a heading.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            markdown: format!("## {title}\n\n"),
+            csv: Vec::new(),
+        }
+    }
+
+    /// Append a Markdown line (a newline is added).
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        self.markdown.push_str(text.as_ref());
+        self.markdown.push('\n');
+    }
+
+    /// Attach a CSV artifact.
+    pub fn attach_csv(&mut self, name: &str, contents: String) {
+        self.csv.push((name.to_owned(), contents));
+    }
+
+    /// Write the report under `dir` (`<id>.md` plus attachments).
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.md", self.id)), &self.markdown)?;
+        for (name, contents) in &self.csv {
+            fs::write(dir.join(name), contents)?;
+        }
+        Ok(())
+    }
+}
+
+/// Default results directory: `results/` under the workspace root (or the
+/// current directory when run elsewhere).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Format a paper-vs-measured comparison row.
+#[must_use]
+pub fn compare_row(metric: &str, paper: &str, measured: &str) -> String {
+    format!("| {metric} | {paper} | {measured} |")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_writes() {
+        let mut r = Report::new("test_exp", "Test experiment");
+        r.line("| a | b |");
+        r.attach_csv("test_exp.csv", "x,y\n1,2\n".into());
+        let dir = std::env::temp_dir().join("summitfold_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        r.write_to(&dir).unwrap();
+        let md = std::fs::read_to_string(dir.join("test_exp.md")).unwrap();
+        assert!(md.contains("## Test experiment"));
+        assert!(md.contains("| a | b |"));
+        let csv = std::fs::read_to_string(dir.join("test_exp.csv")).unwrap();
+        assert!(csv.starts_with("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_dir_points_at_workspace() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Fault-tolerant execution: workers can die mid-batch and their
+//! in-flight tasks are re-queued.
+//!
+//! §3.3 notes that over-large proteins "will have failed to process" and
+//! were re-run on high-memory nodes — failed work re-enters the queue
+//! rather than killing the batch. Dask behaves the same way when a worker
+//! is lost. This module provides that semantics for the thread executor:
+//! the scheduler holds the queue; a worker that dies between pulling and
+//! completing a task returns it to the queue (exactly-once *completion*,
+//! at-least-once execution), and the batch drains on the survivors.
+
+use crate::policy::OrderingPolicy;
+use crate::task::{TaskRecord, TaskSpec};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A worker-death schedule: worker `w` dies after completing
+/// `tasks_before_death` tasks (the next task it pulls is abandoned and
+/// re-queued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Worker id in `0..workers`.
+    pub worker: usize,
+    /// Tasks the worker completes before dying.
+    pub tasks_before_death: usize,
+}
+
+/// Result of a fault-tolerant batch.
+#[derive(Debug)]
+pub struct FaultBatchResult<O> {
+    /// Outputs in submission order (every task completes exactly once).
+    pub outputs: Vec<O>,
+    /// Completion records (only successful executions).
+    pub records: Vec<TaskRecord>,
+    /// Tasks that were abandoned by a dying worker and re-queued.
+    pub requeued: usize,
+    /// Workers that died.
+    pub deaths: usize,
+    /// Wall-clock makespan (seconds).
+    pub makespan: f64,
+}
+
+/// Execute a batch on `workers` threads with the given fault schedule.
+///
+/// # Panics
+/// Panics if `workers == 0`, if every worker is scheduled to die before
+/// the queue drains (the batch could never finish), or on spec/item
+/// length mismatch.
+pub fn map_with_faults<I, O, F>(
+    specs: &[TaskSpec],
+    items: Vec<I>,
+    policy: OrderingPolicy,
+    workers: usize,
+    faults: &[WorkerFault],
+    f: F,
+) -> FaultBatchResult<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&TaskSpec, &I) -> O + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    assert_eq!(specs.len(), items.len(), "specs and items must correspond");
+    let dying = faults.iter().filter(|f| f.worker < workers).count();
+    assert!(dying < workers, "at least one worker must survive");
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(policy.order(specs).into());
+    let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(items.len()));
+    let requeued = std::sync::atomic::AtomicUsize::new(0);
+    let remaining = std::sync::atomic::AtomicUsize::new(items.len());
+    let epoch = Instant::now();
+    let items_ref = &items;
+    let f_ref = &f;
+
+    crossbeam::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let budget = faults
+                .iter()
+                .find(|f| f.worker == worker_id)
+                .map(|f| f.tasks_before_death);
+            let queue = &queue;
+            let outputs = &outputs;
+            let records = &records;
+            let requeued = &requeued;
+            let remaining = &remaining;
+            scope.spawn(move |_| {
+                let mut completed = 0usize;
+                loop {
+                    if remaining.load(std::sync::atomic::Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    let Some(idx) = queue.lock().pop_front() else {
+                        // Queue momentarily empty but tasks may be
+                        // re-queued by dying workers; spin politely.
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    if budget == Some(completed) {
+                        // The worker dies holding this task: re-queue it
+                        // and exit (Dask reschedules tasks of lost
+                        // workers the same way).
+                        queue.lock().push_back(idx);
+                        requeued.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return;
+                    }
+                    let start = epoch.elapsed().as_secs_f64();
+                    let out = f_ref(&specs[idx], &items_ref[idx]);
+                    let end = epoch.elapsed().as_secs_f64();
+                    outputs.lock()[idx] = Some(out);
+                    records.lock().push(TaskRecord {
+                        task_id: specs[idx].id.clone(),
+                        worker_id,
+                        start,
+                        end,
+                    });
+                    remaining.fetch_sub(1, std::sync::atomic::Ordering::Release);
+                    completed += 1;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    FaultBatchResult {
+        outputs: outputs
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("every task completed"))
+            .collect(),
+        records: records.into_inner(),
+        requeued: requeued.into_inner(),
+        deaths: dying,
+        makespan: epoch.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n).map(|i| TaskSpec::new(format!("t{i}"), (i % 5) as f64)).collect()
+    }
+
+    fn slow_double(_: &TaskSpec, &x: &usize) -> usize {
+        std::thread::sleep(std::time::Duration::from_micros(300));
+        x * 2
+    }
+
+    #[test]
+    fn no_faults_behaves_like_plain_map() {
+        let n = 120;
+        let r = map_with_faults(
+            &specs(n),
+            (0..n).collect(),
+            OrderingPolicy::LongestFirst,
+            4,
+            &[],
+            slow_double,
+        );
+        assert_eq!(r.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(r.requeued, 0);
+        assert_eq!(r.records.len(), n);
+    }
+
+    #[test]
+    fn batch_completes_despite_worker_deaths() {
+        let n = 150;
+        let faults = [
+            WorkerFault { worker: 0, tasks_before_death: 3 },
+            WorkerFault { worker: 1, tasks_before_death: 10 },
+        ];
+        let r = map_with_faults(
+            &specs(n),
+            (0..n).collect(),
+            OrderingPolicy::Fifo,
+            4,
+            &faults,
+            slow_double,
+        );
+        assert_eq!(r.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(r.deaths, 2);
+        assert_eq!(r.requeued, 2, "each dying worker abandons exactly one task");
+        // Every task completed exactly once.
+        assert_eq!(r.records.len(), n);
+        // Dead workers completed exactly their budget.
+        assert_eq!(r.records.iter().filter(|rec| rec.worker_id == 0).count(), 3);
+        assert_eq!(r.records.iter().filter(|rec| rec.worker_id == 1).count(), 10);
+    }
+
+    #[test]
+    fn immediate_death_still_drains() {
+        let n = 40;
+        let faults = [WorkerFault { worker: 0, tasks_before_death: 0 }];
+        let r = map_with_faults(
+            &specs(n),
+            (0..n).collect(),
+            OrderingPolicy::Random { seed: 4 },
+            2,
+            &faults,
+            slow_double,
+        );
+        assert_eq!(r.outputs.len(), n);
+        assert!(r.records.iter().all(|rec| rec.worker_id == 1), "survivor did everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn all_workers_dying_is_rejected() {
+        let faults = [
+            WorkerFault { worker: 0, tasks_before_death: 1 },
+            WorkerFault { worker: 1, tasks_before_death: 1 },
+        ];
+        let _ = map_with_faults(
+            &specs(10),
+            (0..10).collect(),
+            OrderingPolicy::Fifo,
+            2,
+            &faults,
+            |_, &x: &usize| x,
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Task-ordering policies.
+//!
+//! §3.3: "We implemented a greedy approach to load balancing by sorting
+//! proteins in descending order by sequence length, allowing for
+//! lengthier processing to happen earlier in the run. Smaller tasks fill
+//! in gaps later. With a random task-processing order, some of the
+//! longer-running tasks could happen at the end and be assigned to a
+//! single worker to run sequentially" — the classic LPT (longest
+//! processing time first) list-scheduling argument. The A1 ablation
+//! compares the three orderings.
+
+use crate::task::TaskSpec;
+use summitfold_protein::rng::Xoshiro256;
+
+/// How the scheduler orders its queue before workers start pulling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Descending by `cost_hint` (the paper's choice).
+    LongestFirst,
+    /// Uniformly random (seeded — the ablation baseline).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Submission order as-is.
+    Fifo,
+}
+
+impl OrderingPolicy {
+    /// Order a queue of task indices for the given specs.
+    #[must_use]
+    pub fn order(self, specs: &[TaskSpec]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..specs.len()).collect();
+        match self {
+            Self::Fifo => {}
+            Self::LongestFirst => {
+                idx.sort_by(|&a, &b| {
+                    specs[b]
+                        .cost_hint
+                        .partial_cmp(&specs[a].cost_hint)
+                        .expect("NaN cost hint")
+                        .then_with(|| specs[a].id.cmp(&specs[b].id))
+                });
+            }
+            Self::Random { seed } => {
+                let mut rng = Xoshiro256::seed_from_u64(seed);
+                rng.shuffle(&mut idx);
+            }
+        }
+        idx
+    }
+
+    /// Display label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::LongestFirst => "longest-first",
+            Self::Random { .. } => "random",
+            Self::Fifo => "fifo",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<TaskSpec> {
+        vec![
+            TaskSpec::new("a", 10.0),
+            TaskSpec::new("b", 30.0),
+            TaskSpec::new("c", 20.0),
+            TaskSpec::new("d", 30.0),
+        ]
+    }
+
+    #[test]
+    fn longest_first_descending_stable() {
+        let order = OrderingPolicy::LongestFirst.order(&specs());
+        // 30 (b), 30 (d) tie-broken by id, then 20 (c), then 10 (a).
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        assert_eq!(OrderingPolicy::Fifo.order(&specs()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_seeded_permutation() {
+        let a = OrderingPolicy::Random { seed: 9 }.order(&specs());
+        let b = OrderingPolicy::Random { seed: 9 }.order(&specs());
+        assert_eq!(a, b, "same seed, same order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_queue() {
+        assert!(OrderingPolicy::LongestFirst.order(&[]).is_empty());
+    }
+}

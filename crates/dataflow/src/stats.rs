@@ -1,0 +1,134 @@
+//! Task-statistics CSV, and the ASCII worker-timeline rendering of Fig 2.
+//!
+//! The paper's client appends one CSV row per completed task; the Fig 2
+//! plot is per-worker rows of busy blocks with white scheduler-overhead
+//! gaps. Both are reproduced here (the "plot" as terminal-friendly ASCII,
+//! written alongside the raw CSV so it can be re-plotted).
+
+use crate::task::TaskRecord;
+
+/// Render task records as the statistics CSV (§3.3 step 3e).
+#[must_use]
+pub fn to_csv(records: &[TaskRecord]) -> String {
+    let mut out = String::from("task_id,worker_id,start_s,end_s,duration_s\n");
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3}\n",
+            r.task_id,
+            r.worker_id,
+            r.start,
+            r.end,
+            r.duration()
+        ));
+    }
+    out
+}
+
+/// Parse the statistics CSV back into records (for analysis tooling).
+pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 4 {
+            return Err(format!("line {}: expected ≥4 fields", lineno + 1));
+        }
+        let parse = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("line {}: bad {what}", lineno + 1))
+        };
+        out.push(TaskRecord {
+            task_id: fields[0].to_owned(),
+            worker_id: fields[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad worker id", lineno + 1))?,
+            start: parse(fields[2], "start")?,
+            end: parse(fields[3], "end")?,
+        });
+    }
+    Ok(out)
+}
+
+/// ASCII gantt of selected workers (Fig 2 style): each row is one worker,
+/// `#` marks busy time, `.` idle/overhead, over `width` columns spanning
+/// `[0, makespan]`.
+#[must_use]
+pub fn ascii_gantt(
+    records: &[TaskRecord],
+    workers: &[usize],
+    makespan: f64,
+    width: usize,
+) -> String {
+    assert!(width > 0 && makespan > 0.0);
+    let mut out = String::new();
+    for &w in workers {
+        let mut row = vec!['.'; width];
+        for r in records.iter().filter(|r| r.worker_id == w) {
+            let a = ((r.start / makespan) * width as f64).floor() as usize;
+            let b = (((r.end / makespan) * width as f64).ceil() as usize).min(width);
+            // Leave the first cell of each task as a boundary marker when
+            // the task spans more than one cell (the Fig 2 white lines).
+            for (k, cell) in row.iter_mut().enumerate().take(b).skip(a) {
+                *cell = if k == a && b > a + 1 { '|' } else { '#' };
+            }
+        }
+        out.push_str(&format!("worker {w:>5} "));
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TaskRecord> {
+        vec![
+            TaskRecord { task_id: "a".into(), worker_id: 0, start: 0.0, end: 5.0 },
+            TaskRecord { task_id: "b".into(), worker_id: 1, start: 0.0, end: 3.0 },
+            TaskRecord { task_id: "c".into(), worker_id: 1, start: 3.5, end: 9.0 },
+        ]
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let records = sample();
+        let csv = to_csv(&records);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            assert_eq!(p.task_id, r.task_id);
+            assert_eq!(p.worker_id, r.worker_id);
+            assert!((p.start - r.start).abs() < 1e-3);
+            assert!((p.end - r.end).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("task_id,"));
+    }
+
+    #[test]
+    fn bad_csv_rejected() {
+        assert!(from_csv("header\nonly,three,fields\n").is_err());
+        assert!(from_csv("header\na,notanum,0.0,1.0\n").is_err());
+    }
+
+    #[test]
+    fn gantt_marks_busy_cells() {
+        let g = ascii_gantt(&sample(), &[0, 1], 9.0, 36);
+        let rows: Vec<&str> = g.lines().collect();
+        assert_eq!(rows.len(), 2);
+        // Worker 0 busy for 5/9 of the row.
+        let busy0 = rows[0].chars().filter(|&c| c == '#' || c == '|').count();
+        assert!((busy0 as i64 - 20).abs() <= 2, "busy cells {busy0}");
+        // Worker 1 has an idle gap between its two tasks.
+        assert!(rows[1].contains('.'));
+    }
+}

@@ -1,0 +1,260 @@
+//! Shared parallel-filesystem model: metadata contention and database
+//! replication (§3.2.1).
+//!
+//! HH-suite database scans issue huge numbers of small reads; on a shared
+//! Lustre/GPFS filesystem the bottleneck is metadata-server traffic that
+//! grows with the number of *concurrent jobs hitting the same file set*.
+//! Node-local staging is ruled out ("it is not possible to copy these
+//! large databases into compute node memory or onto NVME burst buffers
+//! and leave them there for multiple jobs"), so the paper replicates the
+//! databases on the parallel filesystem with mpiFileUtils — 24 identical
+//! copies, 4 concurrent jobs per copy — trading one-time copy bandwidth
+//! for per-job contention.
+//!
+//! Model: a job's DB-scan slowdown factor is `1 + α·(readers_per_replica
+//! − 1)^β` (α, β calibrated so ~16 concurrent readers on one copy is
+//! ruinous while ≤ 4 is mild); replica creation is charged at the
+//! filesystem's aggregate copy bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// Contention coefficient α.
+pub const CONTENTION_ALPHA: f64 = 0.12;
+/// Contention exponent β (superlinear: metadata servers saturate).
+pub const CONTENTION_BETA: f64 = 1.5;
+/// Sustained replication bandwidth (bytes/s) achievable by an
+/// mpiFileUtils copy campaign over the shared filesystem — far below the
+/// headline aggregate bandwidth because the sequence databases are
+/// dominated by many small files.
+pub const COPY_BANDWIDTH: f64 = 5.0e9;
+
+/// A replicated database layout on the shared filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaLayout {
+    /// Database size (bytes).
+    pub db_bytes: u64,
+    /// Number of identical copies on the filesystem.
+    pub replicas: u32,
+}
+
+impl ReplicaLayout {
+    /// The paper's production layout: 24 copies of the reduced set.
+    #[must_use]
+    pub fn paper_default(db_bytes: u64) -> Self {
+        Self { db_bytes, replicas: 24 }
+    }
+
+    /// Total storage consumed (bytes).
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.db_bytes * u64::from(self.replicas)
+    }
+
+    /// One-time cost of creating the replicas (seconds), mpiFileUtils
+    /// style (the first copy already exists).
+    #[must_use]
+    pub fn replication_seconds(&self) -> f64 {
+        let copies = f64::from(self.replicas.saturating_sub(1));
+        copies * self.db_bytes as f64 / COPY_BANDWIDTH
+    }
+
+    /// I/O slowdown factor experienced by each of `concurrent_jobs`
+    /// readers spread evenly across the replicas (≥ 1.0).
+    #[must_use]
+    pub fn slowdown(&self, concurrent_jobs: u32) -> f64 {
+        if concurrent_jobs == 0 {
+            return 1.0;
+        }
+        let per_replica =
+            f64::from(concurrent_jobs) / f64::from(self.replicas.max(1));
+        if per_replica <= 1.0 {
+            return 1.0;
+        }
+        1.0 + CONTENTION_ALPHA * (per_replica - 1.0).powf(CONTENTION_BETA)
+    }
+
+    /// Effective per-job scan time, given the uncontended scan time.
+    #[must_use]
+    pub fn effective_scan_s(&self, uncontended_s: f64, concurrent_jobs: u32) -> f64 {
+        uncontended_s * self.slowdown(concurrent_jobs)
+    }
+}
+
+/// Sweep helper for the A2 ablation: total campaign wall-clock for a
+/// feature-generation batch as a function of replica count.
+///
+/// `jobs_total` sequential waves of `concurrent_jobs` each run a scan of
+/// `uncontended_s`; replication cost is paid once up front.
+#[must_use]
+pub fn campaign_walltime_s(
+    layout: &ReplicaLayout,
+    uncontended_s: f64,
+    concurrent_jobs: u32,
+    waves: u32,
+) -> f64 {
+    layout.replication_seconds()
+        + f64::from(waves) * layout.effective_scan_s(uncontended_s, concurrent_jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB420: u64 = 420_000_000_000;
+
+    #[test]
+    fn no_contention_at_or_below_one_reader_per_replica() {
+        let layout = ReplicaLayout { db_bytes: GB420, replicas: 24 };
+        assert_eq!(layout.slowdown(24), 1.0);
+        assert_eq!(layout.slowdown(10), 1.0);
+        assert_eq!(layout.slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn paper_layout_mild_at_four_readers_per_copy() {
+        // 24 copies × 4 jobs = 96 concurrent jobs (the paper's layout).
+        let layout = ReplicaLayout::paper_default(GB420);
+        let s = layout.slowdown(96);
+        assert!(s > 1.0 && s < 2.2, "slowdown {s}");
+    }
+
+    #[test]
+    fn single_copy_with_many_readers_is_ruinous() {
+        let layout = ReplicaLayout { db_bytes: GB420, replicas: 1 };
+        let s = layout.slowdown(96);
+        assert!(s > 10.0, "slowdown {s}");
+    }
+
+    #[test]
+    fn slowdown_monotone_in_readers_and_antimonotone_in_replicas() {
+        let layout = ReplicaLayout { db_bytes: GB420, replicas: 8 };
+        assert!(layout.slowdown(64) > layout.slowdown(32));
+        let more = ReplicaLayout { db_bytes: GB420, replicas: 16 };
+        assert!(more.slowdown(64) < layout.slowdown(64));
+    }
+
+    #[test]
+    fn replication_cost_scales() {
+        let a = ReplicaLayout { db_bytes: GB420, replicas: 2 };
+        let b = ReplicaLayout { db_bytes: GB420, replicas: 24 };
+        assert!(b.replication_seconds() > a.replication_seconds() * 10.0);
+        let one = ReplicaLayout { db_bytes: GB420, replicas: 1 };
+        assert_eq!(one.replication_seconds(), 0.0);
+    }
+
+    #[test]
+    fn sweep_has_interior_optimum() {
+        // With 96 concurrent jobs and many waves, very few replicas lose
+        // to contention and very many lose to copy time: the best count
+        // is in between — the mechanism behind the paper's choice of 24.
+        let scan = 270.0; // uncontended per-job scan seconds
+        let mut times: Vec<(u32, f64)> = Vec::new();
+        for replicas in [1u32, 2, 4, 8, 16, 24, 48, 96, 192] {
+            let layout = ReplicaLayout { db_bytes: GB420, replicas };
+            times.push((replicas, campaign_walltime_s(&layout, scan, 96, 30)));
+        }
+        let best = times
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(best > 2 && best < 96, "optimum at {best} replicas");
+        // Ends are worse than the middle.
+        let t = |r: u32| times.iter().find(|x| x.0 == r).unwrap().1;
+        assert!(t(1) > t(best) * 1.5);
+        assert!(t(192) > t(best));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let layout = ReplicaLayout { db_bytes: GB420, replicas: 24 };
+        assert_eq!(layout.storage_bytes(), GB420 * 24);
+    }
+}
+
+/// Node-local NVMe staging model — the alternative §3.2.1 rejects.
+///
+/// Each job allocation could copy the database to its node's burst buffer
+/// and scan locally (no shared-FS contention during the scan). But the
+/// copy itself reads the shared filesystem, and with `concurrent_jobs`
+/// nodes staging at once the aggregate small-file read bandwidth is
+/// shared: "the time saved from using this type of memory can be
+/// cancelled-out by repeated copying with every job allocation."
+#[derive(Debug, Clone, Copy)]
+pub struct StagingModel {
+    /// Database size (bytes) — must fit the 1.6 TB node NVMe.
+    pub db_bytes: u64,
+    /// Node-local NVMe write bandwidth (bytes/s).
+    pub nvme_write_bw: f64,
+}
+
+impl StagingModel {
+    /// Summit burst-buffer defaults.
+    #[must_use]
+    pub fn summit(db_bytes: u64) -> Self {
+        Self { db_bytes, nvme_write_bw: 2.1e9 }
+    }
+
+    /// Whether the database fits the 1.6 TB node NVMe at all (the full
+    /// 2.1 TB set does not — staging is impossible for it).
+    #[must_use]
+    pub fn fits_node_nvme(&self) -> bool {
+        self.db_bytes <= 1_600_000_000_000
+    }
+
+    /// Per-job staging time (seconds) when `concurrent_jobs` nodes stage
+    /// simultaneously from the shared filesystem.
+    #[must_use]
+    pub fn staging_seconds(&self, concurrent_jobs: u32) -> f64 {
+        let per_node_read = (COPY_BANDWIDTH / f64::from(concurrent_jobs.max(1)))
+            .min(self.nvme_write_bw);
+        self.db_bytes as f64 / per_node_read
+    }
+
+    /// Campaign walltime with staging: every wave re-stages (allocations
+    /// cannot hold the NVMe between jobs), then scans uncontended.
+    #[must_use]
+    pub fn campaign_walltime_s(
+        &self,
+        uncontended_scan_s: f64,
+        concurrent_jobs: u32,
+        waves: u32,
+    ) -> f64 {
+        f64::from(waves) * (self.staging_seconds(concurrent_jobs) + uncontended_scan_s)
+    }
+}
+
+#[cfg(test)]
+mod staging_tests {
+    use super::*;
+
+    #[test]
+    fn full_set_cannot_stage() {
+        assert!(!StagingModel::summit(2_100_000_000_000).fits_node_nvme());
+        assert!(StagingModel::summit(420_000_000_000).fits_node_nvme());
+    }
+
+    #[test]
+    fn concurrent_staging_is_slow() {
+        let m = StagingModel::summit(420_000_000_000);
+        let alone = m.staging_seconds(1);
+        let crowd = m.staging_seconds(96);
+        assert!(crowd > alone * 20.0, "alone {alone:.0}s vs 96-way {crowd:.0}s");
+    }
+
+    #[test]
+    fn paper_rejects_staging_for_good_reason() {
+        // 24-replica shared-FS layout vs per-wave staging at the paper's
+        // 96-job concurrency: staging loses badly.
+        let scan = 167.0;
+        let waves = 34;
+        let replicas = ReplicaLayout::paper_default(420_000_000_000);
+        let shared = campaign_walltime_s(&replicas, scan, 96, waves);
+        let staged = StagingModel::summit(420_000_000_000)
+            .campaign_walltime_s(scan, 96, waves);
+        assert!(
+            staged > shared * 3.0,
+            "staging {staged:.0}s should dwarf shared-FS {shared:.0}s"
+        );
+    }
+}

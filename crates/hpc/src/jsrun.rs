@@ -1,0 +1,195 @@
+//! `jsrun` resource sets and the three-statement LSF batch script of §3.3.
+//!
+//! Summit launches work with IBM's `jsrun`, which allocates *resource
+//! sets* (bundles of cores/GPUs) across nodes. The paper's inference
+//! batch script uses exactly three jsrun statements:
+//!
+//! 1. the Dask scheduler on 2 cores;
+//! 2. one Dask worker per GPU across all nodes;
+//! 3. the controlling client script on a single core.
+//!
+//! This module models resource-set placement (validated against the node
+//! shape) and renders the batch script, so deployments are checkable
+//! artifacts rather than prose.
+
+use crate::machine::Machine;
+
+/// A jsrun resource-set request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSet {
+    /// Number of resource sets (`-n`).
+    pub count: u32,
+    /// Cores per resource set (`-c`).
+    pub cores: u32,
+    /// GPUs per resource set (`-g`).
+    pub gpus: u32,
+}
+
+/// Placement error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A single resource set exceeds the node shape.
+    SetTooLarge { what: &'static str },
+    /// The request needs more nodes than allocated.
+    NotEnoughNodes { needed: u32, allocated: u32 },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SetTooLarge { what } => write!(f, "resource set exceeds node {what}"),
+            Self::NotEnoughNodes { needed, allocated } => {
+                write!(f, "needs {needed} nodes, allocation has {allocated}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl ResourceSet {
+    /// Minimum nodes needed to place this request on a machine, packing
+    /// sets by the binding constraint (cores or GPUs).
+    pub fn nodes_needed(&self, machine: Machine) -> Result<u32, PlacementError> {
+        let shape = machine.node_shape();
+        if self.cores > shape.cores {
+            return Err(PlacementError::SetTooLarge { what: "cores" });
+        }
+        if self.gpus > shape.gpus {
+            return Err(PlacementError::SetTooLarge { what: "gpus" });
+        }
+        let by_cores = shape.cores / self.cores.max(1);
+        let by_gpus = shape.gpus.checked_div(self.gpus).unwrap_or(u32::MAX);
+        let sets_per_node = by_cores.min(by_gpus).max(1);
+        Ok(self.count.div_ceil(sets_per_node))
+    }
+
+    /// Render the jsrun command line.
+    #[must_use]
+    pub fn render(&self, exe: &str) -> String {
+        format!("jsrun -n {} -c {} -g {} {}", self.count, self.cores, self.gpus, exe)
+    }
+}
+
+/// The paper's Summit inference batch script (§3.3): scheduler, one
+/// worker per GPU, client.
+#[derive(Debug, Clone)]
+pub struct DaskBatchScript {
+    /// Nodes in the LSF allocation (`#BSUB -nnodes`).
+    pub nodes: u32,
+    /// Walltime request in minutes (`#BSUB -W`).
+    pub walltime_min: u32,
+    /// The three jsrun statements.
+    pub scheduler: ResourceSet,
+    pub workers: ResourceSet,
+    pub client: ResourceSet,
+}
+
+impl DaskBatchScript {
+    /// Build the canonical script for an inference batch on `nodes`
+    /// Summit nodes.
+    #[must_use]
+    pub fn inference(nodes: u32, walltime_min: u32) -> Self {
+        let gpus = Machine::Summit.node_shape().gpus;
+        Self {
+            nodes,
+            walltime_min,
+            scheduler: ResourceSet { count: 1, cores: 2, gpus: 0 },
+            workers: ResourceSet { count: nodes * gpus, cores: 1, gpus: 1 },
+            client: ResourceSet { count: 1, cores: 1, gpus: 0 },
+        }
+    }
+
+    /// Validate that everything fits the allocation (the scheduler and
+    /// client share nodes with workers in practice; the binding check is
+    /// the worker placement).
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        let needed = self.workers.nodes_needed(Machine::Summit)?;
+        if needed > self.nodes {
+            return Err(PlacementError::NotEnoughNodes { needed, allocated: self.nodes });
+        }
+        Ok(())
+    }
+
+    /// Total Dask workers (one per GPU).
+    #[must_use]
+    pub fn worker_count(&self) -> u32 {
+        self.workers.count
+    }
+
+    /// Render as an LSF script.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("#!/bin/bash\n");
+        out.push_str(&format!("#BSUB -nnodes {}\n", self.nodes));
+        out.push_str(&format!("#BSUB -W {}\n", self.walltime_min));
+        out.push_str("#BSUB -P BIF135\n");
+        out.push_str("#BSUB -J af2_inference\n\n");
+        out.push_str(&format!("{} &\n", self.scheduler.render("dask-scheduler --scheduler-file $SCHED_JSON")));
+        out.push_str(&format!(
+            "{} &\n",
+            self.workers.render("dask-worker --scheduler-file $SCHED_JSON --nthreads 1")
+        ));
+        out.push_str(&format!("{}\n", self.client.render("python run_inference.py --scheduler-file $SCHED_JSON")));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_set_packing() {
+        // 1 core + 1 GPU per worker: 6 per Summit node.
+        let rs = ResourceSet { count: 192, cores: 1, gpus: 1 };
+        assert_eq!(rs.nodes_needed(Machine::Summit).unwrap(), 32);
+        let rs = ResourceSet { count: 6000, cores: 1, gpus: 1 };
+        assert_eq!(rs.nodes_needed(Machine::Summit).unwrap(), 1000);
+    }
+
+    #[test]
+    fn cpu_only_sets_pack_by_cores() {
+        let rs = ResourceSet { count: 64, cores: 16, gpus: 0 };
+        // Andes: 32 cores → 2 sets per node → 32 nodes.
+        assert_eq!(rs.nodes_needed(Machine::Andes).unwrap(), 32);
+    }
+
+    #[test]
+    fn oversized_set_rejected() {
+        let rs = ResourceSet { count: 1, cores: 1, gpus: 8 };
+        assert!(matches!(
+            rs.nodes_needed(Machine::Summit),
+            Err(PlacementError::SetTooLarge { what: "gpus" })
+        ));
+    }
+
+    #[test]
+    fn paper_inference_script_shape() {
+        // §4.3: "1200 workers" corresponds to 200 nodes.
+        let script = DaskBatchScript::inference(200, 300);
+        assert_eq!(script.worker_count(), 1200);
+        script.validate().unwrap();
+        let text = script.render();
+        assert_eq!(text.matches("jsrun").count(), 3, "three jsrun statements (§3.3)");
+        assert!(text.contains("dask-scheduler"));
+        assert!(text.contains("-n 1200 -c 1 -g 1"));
+    }
+
+    #[test]
+    fn thousand_node_deployment_validates() {
+        // "Workflows using up to 1000 Summit nodes (6000 GPUs/Dask
+        // workers) were successfully deployed" (§4.3).
+        let script = DaskBatchScript::inference(1000, 120);
+        assert_eq!(script.worker_count(), 6000);
+        script.validate().unwrap();
+    }
+
+    #[test]
+    fn under_allocation_rejected() {
+        let mut script = DaskBatchScript::inference(32, 60);
+        script.nodes = 16; // shrink the allocation under the workers
+        assert!(matches!(script.validate(), Err(PlacementError::NotEnoughNodes { .. })));
+    }
+}

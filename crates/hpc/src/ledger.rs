@@ -1,0 +1,135 @@
+//! Node-hour accounting.
+//!
+//! Leadership allocations are budgeted in node-hours; the paper's
+//! headline is predicting 35,634 structures "using under 4,000 total
+//! Summit node hours, equivalent to using the majority of the
+//! supercomputer for one hour". The ledger records per-machine,
+//! per-stage charges so every experiment can report its budget next to
+//! the paper's.
+
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single charge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Charge {
+    /// Machine the time was consumed on.
+    pub machine: Machine,
+    /// Pipeline stage or activity label (e.g. `feature_gen`).
+    pub stage: String,
+    /// Node-seconds consumed.
+    pub node_seconds: f64,
+}
+
+/// The accounting ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    charges: Vec<Charge>,
+}
+
+impl Ledger {
+    /// New, empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a charge in node-seconds.
+    pub fn charge(&mut self, machine: Machine, stage: &str, node_seconds: f64) {
+        assert!(node_seconds >= 0.0, "charges are non-negative");
+        self.charges.push(Charge { machine, stage: stage.to_owned(), node_seconds });
+    }
+
+    /// Record a job: `nodes` nodes for `wall_seconds`.
+    pub fn charge_job(&mut self, machine: Machine, stage: &str, nodes: u32, wall_seconds: f64) {
+        self.charge(machine, stage, f64::from(nodes) * wall_seconds);
+    }
+
+    /// Total node-hours on a machine.
+    #[must_use]
+    pub fn node_hours(&self, machine: Machine) -> f64 {
+        self.charges
+            .iter()
+            .filter(|c| c.machine == machine)
+            .map(|c| c.node_seconds)
+            .sum::<f64>()
+            / 3600.0
+    }
+
+    /// Node-hours per (machine, stage).
+    #[must_use]
+    pub fn by_stage(&self) -> BTreeMap<(String, String), f64> {
+        let mut out: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for c in &self.charges {
+            *out.entry((c.machine.name().to_owned(), c.stage.clone())).or_default() +=
+                c.node_seconds / 3600.0;
+        }
+        out
+    }
+
+    /// All recorded charges.
+    #[must_use]
+    pub fn charges(&self) -> &[Charge] {
+        &self.charges
+    }
+
+    /// Render a human-readable budget table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("machine      stage             node-hours\n");
+        for ((machine, stage), hours) in self.by_stage() {
+            out.push_str(&format!("{machine:<12} {stage:<17} {hours:>10.1}\n"));
+        }
+        for machine in [Machine::Summit, Machine::Andes, Machine::Phoenix] {
+            let total = self.node_hours(machine);
+            if total > 0.0 {
+                out.push_str(&format!("{:<12} {:<17} {total:>10.1}\n", machine.name(), "TOTAL"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_machine() {
+        let mut l = Ledger::new();
+        l.charge_job(Machine::Summit, "inference", 32, 44.0 * 60.0);
+        l.charge_job(Machine::Summit, "relaxation", 8, 22.89 * 60.0);
+        l.charge_job(Machine::Andes, "feature_gen", 24, 10.0 * 3600.0);
+        let summit = l.node_hours(Machine::Summit);
+        assert!((summit - (32.0 * 44.0 / 60.0 + 8.0 * 22.89 / 60.0)).abs() < 1e-9);
+        assert!((l.node_hours(Machine::Andes) - 240.0).abs() < 1e-9);
+        assert_eq!(l.node_hours(Machine::Phoenix), 0.0);
+    }
+
+    #[test]
+    fn by_stage_breakdown() {
+        let mut l = Ledger::new();
+        l.charge(Machine::Summit, "inference", 3600.0);
+        l.charge(Machine::Summit, "inference", 3600.0);
+        l.charge(Machine::Summit, "relaxation", 1800.0);
+        let m = l.by_stage();
+        assert_eq!(m[&("Summit".to_owned(), "inference".to_owned())], 2.0);
+        assert_eq!(m[&("Summit".to_owned(), "relaxation".to_owned())], 0.5);
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let mut l = Ledger::new();
+        l.charge(Machine::Andes, "feature_gen", 7200.0);
+        let text = l.render();
+        assert!(text.contains("Andes"));
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_charges_rejected() {
+        Ledger::new().charge(Machine::Summit, "x", -1.0);
+    }
+}

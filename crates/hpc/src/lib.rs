@@ -1,0 +1,23 @@
+//! # summitfold-hpc
+//!
+//! The OLCF platform substrate: machine descriptions for Summit, Andes
+//! and PACE Phoenix (§3), an LSF-style batch model with each machine's
+//! queue-policy bias, `jsrun` resource sets and the three-statement batch
+//! script of §3.3, the shared-parallel-filesystem contention/replication
+//! model behind §3.2.1's 24-copies-×-4-jobs optimization, and a node-hour
+//! ledger for the paper's allocation accounting.
+//!
+//! The simulation philosophy matches the rest of the workspace: the
+//! *mechanisms* (queueing, contention, resource-set placement,
+//! accounting) are modelled explicitly with constants calibrated to the
+//! numbers the paper publishes; no wall-clock claim is made beyond what
+//! those mechanisms imply.
+
+pub mod batch;
+pub mod fs;
+pub mod jsrun;
+pub mod ledger;
+pub mod machine;
+
+pub use ledger::Ledger;
+pub use machine::Machine;

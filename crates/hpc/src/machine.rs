@@ -1,0 +1,107 @@
+//! Machine descriptions (§3, "Methodology").
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three systems the paper deployed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// OLCF Summit: ≈ 4,600 IBM AC922 nodes, 2 POWER9 + 6 V100 each.
+    Summit,
+    /// OLCF Andes: 704 commodity nodes, 2 × 16-core EPYC 7302, 256 GB.
+    Andes,
+    /// PACE Phoenix (Georgia Tech): ~1100 CPU + ~100 GPU nodes
+    /// (dual Xeon 6226 + 4 × RTX6000 on GPU nodes).
+    Phoenix,
+}
+
+/// Shape of a compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeShape {
+    /// Physical CPU cores usable by jobs.
+    pub cores: u32,
+    /// GPUs per node.
+    pub gpus: u32,
+    /// Main memory (bytes).
+    pub memory_bytes: u64,
+}
+
+impl Machine {
+    /// Number of standard compute nodes.
+    #[must_use]
+    pub fn nodes(self) -> u32 {
+        match self {
+            Self::Summit => 4608,
+            Self::Andes => 704,
+            Self::Phoenix => 1200,
+        }
+    }
+
+    /// Standard node shape.
+    #[must_use]
+    pub fn node_shape(self) -> NodeShape {
+        match self {
+            // 2 × 22 cores on POWER9 (the user-visible 42 after system
+            // reservation is rounded to hardware cores here), 6 V100s.
+            Self::Summit => NodeShape { cores: 42, gpus: 6, memory_bytes: 512_000_000_000 },
+            Self::Andes => NodeShape { cores: 32, gpus: 0, memory_bytes: 256_000_000_000 },
+            Self::Phoenix => NodeShape { cores: 24, gpus: 4, memory_bytes: 192_000_000_000 },
+        }
+    }
+
+    /// Count of high-memory nodes (Summit's 2 TB nodes, §3.3).
+    #[must_use]
+    pub fn high_mem_nodes(self) -> u32 {
+        match self {
+            Self::Summit => 54,
+            _ => 0,
+        }
+    }
+
+    /// Whether nodes carry GPUs usable for inference/relaxation.
+    #[must_use]
+    pub fn has_gpus(self) -> bool {
+        self.node_shape().gpus > 0
+    }
+
+    /// Total GPUs across the machine.
+    #[must_use]
+    pub fn total_gpus(self) -> u64 {
+        u64::from(self.nodes()) * u64::from(self.node_shape().gpus)
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Summit => "Summit",
+            Self::Andes => "Andes",
+            Self::Phoenix => "Phoenix",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_shape_matches_paper() {
+        assert_eq!(Machine::Summit.node_shape().gpus, 6);
+        assert!(Machine::Summit.nodes() >= 4600);
+        assert!(Machine::Summit.high_mem_nodes() > 0);
+        // ~27k GPUs total.
+        assert!(Machine::Summit.total_gpus() > 27_000);
+    }
+
+    #[test]
+    fn andes_is_cpu_only() {
+        assert!(!Machine::Andes.has_gpus());
+        assert_eq!(Machine::Andes.node_shape().cores, 32);
+        assert_eq!(Machine::Andes.nodes(), 704);
+    }
+
+    #[test]
+    fn phoenix_gpu_nodes() {
+        assert_eq!(Machine::Phoenix.node_shape().gpus, 4);
+    }
+}

@@ -1,0 +1,594 @@
+//! The inference engine: ties presets, recycling, quality, memory and
+//! cost into per-target predictions.
+//!
+//! Two fidelities:
+//!
+//! * [`Fidelity::Geometric`] — builds actual coordinates: the target's
+//!   ground-truth fold deformed by a smooth field plus local jitter at the
+//!   final error scale, with clash/bump violations injected at realistic
+//!   rates (§4.4's unrelaxed-model statistics). These structures feed the
+//!   relaxation experiments, where a real minimizer removes the real
+//!   violations.
+//! * [`Fidelity::Statistical`] — computes the identical score
+//!   distributions (pLDDT profile statistics, pTMS, recycles, cost,
+//!   memory) without building coordinates. Used at proteome scale, where
+//!   25,134 targets × 5 models would spend all the time in geometry that
+//!   no experiment reads.
+
+use crate::cost;
+use crate::memory;
+use crate::model::ModelId;
+use crate::preset::Preset;
+use crate::quality::{self, target_quality};
+use crate::recycle;
+use summitfold_msa::FeatureSet;
+use summitfold_protein::family::deform;
+use summitfold_protein::geom::Vec3;
+use summitfold_protein::grid::SpatialGrid;
+use summitfold_protein::proteome::ProteinEntry;
+use summitfold_protein::rng::{fnv1a, Xoshiro256};
+use summitfold_protein::structure::Structure;
+
+/// Prediction fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Build real coordinates (slower; needed by relaxation experiments).
+    Geometric,
+    /// Scores only (proteome scale).
+    Statistical,
+}
+
+/// Why a prediction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferenceError {
+    /// The run does not fit in GPU memory on the assigned node class.
+    OutOfMemory {
+        /// Target id.
+        target_id: String,
+        /// Sequence length.
+        length: usize,
+        /// Bytes the run would need.
+        required_bytes: u64,
+        /// Bytes available on the node class.
+        limit_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfMemory { target_id, length, required_bytes, limit_bytes } => write!(
+                f,
+                "{target_id} ({length} AA): needs {:.1} GB, node has {:.1} GB",
+                *required_bytes as f64 / 1e9,
+                *limit_bytes as f64 / 1e9
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+/// One model's prediction for one target.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Target id.
+    pub target_id: String,
+    /// Which of the five models produced this.
+    pub model: ModelId,
+    /// Recycles executed.
+    pub recycles: u32,
+    /// Whether the dynamic criterion was met (fixed presets: true).
+    pub converged: bool,
+    /// Predicted TM-score (the paper's ranking metric).
+    pub ptms: f64,
+    /// Mean predicted lDDT over residues.
+    pub plddt_mean: f64,
+    /// Fraction of residues with pLDDT > 70 ("high confidence").
+    pub plddt_frac70: f64,
+    /// Fraction of residues with pLDDT > 90 ("ultra-high confidence").
+    pub plddt_frac90: f64,
+    /// Final error scale of the underlying quality model (Å).
+    pub final_error: f64,
+    /// Whether the quality model flagged this target/model challenging.
+    pub challenging: bool,
+    /// Predicted structure (geometric fidelity only), with the pLDDT
+    /// profile attached.
+    pub structure: Option<Structure>,
+    /// Modelled GPU time for this run (seconds).
+    pub gpu_seconds: f64,
+    /// Modelled peak GPU memory (bytes).
+    pub peak_mem_bytes: u64,
+}
+
+/// All five predictions for a target plus the top-model choice.
+#[derive(Debug, Clone)]
+pub struct TargetResult {
+    /// Target id.
+    pub target_id: String,
+    /// Predictions in model order (1–5).
+    pub predictions: Vec<Prediction>,
+    /// Index of the top prediction (max pTMS, the paper's choice).
+    pub top_index: usize,
+}
+
+impl TargetResult {
+    /// The top-ranked prediction (by pTMS, the paper's production choice).
+    #[must_use]
+    pub fn top(&self) -> &Prediction {
+        &self.predictions[self.top_index]
+    }
+
+    /// The top prediction ranked by mean pLDDT instead — Table 1's
+    /// footnote computes means "across top structure ranked by either
+    /// pLDDT or pTMS".
+    #[must_use]
+    pub fn top_by_plddt(&self) -> &Prediction {
+        self.predictions
+            .iter()
+            .max_by(|a, b| a.plddt_mean.partial_cmp(&b.plddt_mean).expect("NaN pLDDT"))
+            .expect("five predictions")
+    }
+
+    /// Total modelled GPU seconds across the five model runs.
+    #[must_use]
+    pub fn total_gpu_seconds(&self) -> f64 {
+        self.predictions.iter().map(|p| p.gpu_seconds).sum()
+    }
+}
+
+/// The engine.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceEngine {
+    /// Active preset.
+    pub preset: Preset,
+    /// Fidelity.
+    pub fidelity: Fidelity,
+    /// Whether the run is placed on a high-memory node (§3.3).
+    pub high_mem_node: bool,
+}
+
+impl InferenceEngine {
+    /// Engine with the given preset and fidelity, on standard nodes.
+    #[must_use]
+    pub fn new(preset: Preset, fidelity: Fidelity) -> Self {
+        Self { preset, fidelity, high_mem_node: false }
+    }
+
+    /// Place runs on high-memory nodes instead.
+    #[must_use]
+    pub fn on_high_mem_nodes(mut self) -> Self {
+        self.high_mem_node = true;
+        self
+    }
+
+    /// Memory budget of the current node class.
+    fn mem_limit(&self) -> u64 {
+        if self.high_mem_node {
+            memory::HIGH_MEM_BYTES
+        } else {
+            memory::V100_BYTES
+        }
+    }
+
+    /// Predict one target with one model.
+    pub fn predict(
+        &self,
+        entry: &ProteinEntry,
+        features: &FeatureSet,
+        model: ModelId,
+    ) -> Result<Prediction, InferenceError> {
+        let length = entry.sequence.len();
+        let ensembles = self.preset.ensembles();
+        let required = memory::peak_bytes(length, ensembles);
+        let limit = self.mem_limit();
+        if required > limit {
+            return Err(InferenceError::OutOfMemory {
+                target_id: entry.sequence.id.clone(),
+                length,
+                required_bytes: required,
+                limit_bytes: limit,
+            });
+        }
+
+        let q = target_quality(features, model);
+        let outcome = recycle::run(&q, self.preset, length);
+        let err = q.error_after(outcome.recycles);
+
+        let profile = quality::plddt_profile(err, length, q.seed);
+        let plddt_mean = quality::profile_mean(&profile);
+        let frac = |cut: f64| {
+            if profile.is_empty() {
+                0.0
+            } else {
+                profile.iter().filter(|&&p| p > cut).count() as f64 / profile.len() as f64
+            }
+        };
+        let plddt_frac70 = frac(70.0);
+        let plddt_frac90 = frac(90.0);
+        let ptms = quality::ptms_estimate(err, length, q.seed);
+
+        let structure = match self.fidelity {
+            Fidelity::Statistical => None,
+            Fidelity::Geometric => {
+                let mut s = build_geometric(entry, err, q.seed);
+                s.plddt = Some(profile);
+                Some(s)
+            }
+        };
+
+        Ok(Prediction {
+            target_id: entry.sequence.id.clone(),
+            model,
+            recycles: outcome.recycles,
+            converged: outcome.converged,
+            ptms,
+            plddt_mean,
+            plddt_frac70,
+            plddt_frac90,
+            final_error: err,
+            challenging: q.challenging,
+            structure,
+            gpu_seconds: cost::gpu_seconds(length, outcome.recycles, ensembles),
+            peak_mem_bytes: required,
+        })
+    }
+
+    /// Predict a target with all five models, ranking by pTMS.
+    pub fn predict_target(
+        &self,
+        entry: &ProteinEntry,
+        features: &FeatureSet,
+    ) -> Result<TargetResult, InferenceError> {
+        let mut predictions = Vec::with_capacity(5);
+        for model in ModelId::ALL {
+            predictions.push(self.predict(entry, features, model)?);
+        }
+        let top_index = predictions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.ptms.partial_cmp(&b.1.ptms).expect("NaN pTMS"))
+            .map(|(i, _)| i)
+            .expect("five predictions");
+        Ok(TargetResult { target_id: entry.sequence.id.clone(), predictions, top_index })
+    }
+}
+
+/// Build the geometric predicted structure: smooth deformation + local
+/// jitter at the final error scale, with injected clash/bump violations.
+fn build_geometric(entry: &ProteinEntry, err: f64, seed: u64) -> Structure {
+    let truth = entry.true_fold();
+    let n = truth.len();
+    if n == 0 {
+        return truth;
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ fnv1a(b"geometry"));
+
+    // Smooth (domain-scale) component carries most of the error; local
+    // jitter the rest. Side chains get extra jitter — giving the
+    // relaxation stage genuine side-chain placement to improve (Fig 3).
+    let mut s = deform(&truth, seed ^ fnv1a(b"smooth"), 0.80 * err);
+    let sigma_local = 0.18 * err;
+    for i in 0..n {
+        let d = Vec3::new(
+            rng.normal(0.0, sigma_local),
+            rng.normal(0.0, sigma_local),
+            rng.normal(0.0, sigma_local),
+        );
+        s.ca[i] += d;
+        s.sidechain[i] += d;
+    }
+    let sigma_sc = (0.22 * err).min(1.2);
+    for p in &mut s.sidechain {
+        *p += Vec3::new(
+            rng.normal(0.0, sigma_sc),
+            rng.normal(0.0, sigma_sc),
+            rng.normal(0.0, sigma_sc),
+        );
+    }
+    // Real network output has locally valid covalent geometry even when
+    // globally wrong; restore the virtual bonds the jitter strained, and
+    // clean up the non-bonded pairs the noise squeezed below the bump
+    // threshold so the violation *rate* is controlled by the injection
+    // step below. The two passes are alternated because each disturbs the
+    // other's invariant (contact relief stretches bonds; bond restoration
+    // re-compresses contacts); a few rounds reach a compatible state.
+    // Without this, relaxation would spend its time contracting strained
+    // chains, squeezing uninvolved residue pairs into *new* bumps.
+    for _ in 0..8 {
+        reproject_bonds(&mut s);
+        relieve_incidental_contacts(&mut s);
+    }
+    inject_violations(&mut s, err, &mut rng);
+    s
+}
+
+/// Restore ideal virtual Cα–Cα bond lengths (3.8 Å) with constraint
+/// sweeps, carrying each side chain along with its Cα.
+fn reproject_bonds(s: &mut Structure) {
+    const BOND: f64 = 3.8;
+    let n = s.len();
+    for _ in 0..6 {
+        for i in 1..n {
+            let delta = s.ca[i] - s.ca[i - 1];
+            let d = delta.norm().max(1e-9);
+            let corr = delta * (0.5 * (d - BOND) / d);
+            s.ca[i - 1] += corr;
+            s.sidechain[i - 1] += corr;
+            s.ca[i] -= corr;
+            s.sidechain[i] -= corr;
+        }
+    }
+}
+
+/// Push apart non-adjacent Cα pairs that the noise squeezed below a safe
+/// separation.
+fn relieve_incidental_contacts(s: &mut Structure) {
+    const SAFE: f64 = 3.75;
+    for _ in 0..3 {
+        let grid = SpatialGrid::build(&s.ca, SAFE);
+        let mut moves: Vec<(usize, usize, f64)> = Vec::new();
+        grid.for_each_pair_within(&s.ca, SAFE, |i, j, d| {
+            if j - i > 1 {
+                moves.push((i, j, d));
+            }
+        });
+        if moves.is_empty() {
+            return;
+        }
+        for (i, j, d) in moves {
+            let dir = (s.ca[j] - s.ca[i]).normalized();
+            let dir = if dir == Vec3::ZERO { Vec3::new(0.0, 0.0, 1.0) } else { dir };
+            let push = (SAFE - d + 0.05) / 2.0;
+            let (di, dj) = (-dir * push, dir * push);
+            s.ca[i] += di;
+            s.sidechain[i] += di;
+            s.ca[j] += dj;
+            s.sidechain[j] += dj;
+        }
+    }
+}
+
+/// Inject clash/bump violations at rates matching §4.4's unrelaxed-model
+/// statistics (heavy-tailed: mean ≈ 3.8 bumps, occasional structures with
+/// > 100; clashes ≈ 6 % as common as bumps).
+fn inject_violations(s: &mut Structure, err: f64, rng: &mut Xoshiro256) {
+    let n = s.len();
+    if n < 8 {
+        return;
+    }
+    // The violation rate saturates in the error scale: badly-wrong models
+    // are wrong *globally*, not proportionally more self-intersecting.
+    let mu = 0.55 * (err.min(3.0) / 2.0) * (n as f64 / 300.0);
+    let count = (rng.normal(mu.max(0.03).ln(), 1.3).exp()).round() as usize;
+    // Cap the density: even the paper's worst structure (148 bumps) was a
+    // large model; small chains cannot host many independent contacts.
+    let count = count.min(n / 12);
+    if count == 0 {
+        return;
+    }
+    // Candidate pairs: sequence-distant residues already nearly in
+    // contact. Each violation is planted by translating *smooth,
+    // Gaussian-weighted windows* around both residues toward each other —
+    // real mispredicted models have locally valid covalent geometry with
+    // occasional over-close contacts, and a hard per-residue move would
+    // strain the chain bonds, making the minimizer drag neighbours into
+    // new contacts instead of resolving the planted one.
+    let grid = SpatialGrid::build(&s.ca, 5.5);
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    grid.for_each_pair_within(&s.ca, 5.5, |i, j, d| {
+        if j - i > 12 && d > 3.9 {
+            candidates.push((i, j));
+        }
+    });
+    if candidates.is_empty() {
+        return;
+    }
+    const HALF_WINDOW: i64 = 6;
+    for _ in 0..count {
+        let &(i, j) = rng.choose(&candidates);
+        // ~6 % clashes (< 1.9 Å), the rest bumps (< 3.6 Å).
+        let target = if rng.uniform() < 0.06 {
+            rng.range(1.4, 1.85)
+        } else {
+            rng.range(2.0, 3.45)
+        };
+        let d = s.ca[i].dist(s.ca[j]);
+        let dir = (s.ca[j] - s.ca[i]).normalized();
+        let dir = if dir == Vec3::ZERO { Vec3::new(0.0, 0.0, 1.0) } else { dir };
+        let move_each = (d - target) / 2.0;
+        let mut shift_window = |center: usize, delta: Vec3| {
+            let c = center as i64;
+            for k in (c - HALF_WINDOW).max(0)..=(c + HALF_WINDOW).min(n as i64 - 1) {
+                let w = (-0.5 * ((k - c) as f64 / 2.5).powi(2)).exp();
+                let dv = delta * w;
+                s.ca[k as usize] += dv;
+                s.sidechain[k as usize] += dv;
+            }
+        };
+        shift_window(i, dir * move_each);
+        shift_window(j, -dir * move_each);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::proteome::{Proteome, Species};
+    use summitfold_protein::stats;
+    use summitfold_structal::tm::tm_score;
+
+    fn benchmark_entries(n: usize) -> Vec<ProteinEntry> {
+        Proteome::generate_scaled(Species::DVulgaris, 0.05)
+            .proteins
+            .into_iter()
+            .take(n)
+            .collect()
+    }
+
+    fn feats(entry: &ProteinEntry) -> FeatureSet {
+        FeatureSet::synthetic(entry)
+    }
+
+    #[test]
+    fn deterministic_predictions() {
+        let entries = benchmark_entries(3);
+        let engine = InferenceEngine::new(Preset::Genome, Fidelity::Statistical);
+        for e in &entries {
+            let a = engine.predict(e, &feats(e), ModelId(1)).unwrap();
+            let b = engine.predict(e, &feats(e), ModelId(1)).unwrap();
+            assert_eq!(a.ptms, b.ptms);
+            assert_eq!(a.recycles, b.recycles);
+            assert_eq!(a.plddt_mean, b.plddt_mean);
+        }
+    }
+
+    #[test]
+    fn plddt_ranking_maximizes_plddt() {
+        let entries = benchmark_entries(5);
+        let engine = InferenceEngine::new(Preset::Genome, Fidelity::Statistical);
+        for e in &entries {
+            let r = engine.predict_target(e, &feats(e)).unwrap();
+            let max = r.predictions.iter().map(|p| p.plddt_mean).fold(f64::MIN, f64::max);
+            assert_eq!(r.top_by_plddt().plddt_mean, max);
+        }
+    }
+
+    #[test]
+    fn top_model_maximizes_ptms() {
+        let entries = benchmark_entries(5);
+        let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Statistical);
+        for e in &entries {
+            let r = engine.predict_target(e, &feats(e)).unwrap();
+            assert_eq!(r.predictions.len(), 5);
+            let max = r.predictions.iter().map(|p| p.ptms).fold(f64::MIN, f64::max);
+            assert_eq!(r.top().ptms, max);
+        }
+    }
+
+    #[test]
+    fn genome_quality_at_least_reduced_on_average() {
+        let entries = benchmark_entries(40);
+        let reduced = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Statistical);
+        let genome = InferenceEngine::new(Preset::Genome, Fidelity::Statistical);
+        let mean_ptms = |eng: &InferenceEngine| -> f64 {
+            let v: Vec<f64> = entries
+                .iter()
+                .map(|e| eng.predict_target(e, &feats(e)).unwrap().top().ptms)
+                .collect();
+            stats::mean(&v)
+        };
+        let r = mean_ptms(&reduced);
+        let g = mean_ptms(&genome);
+        assert!(g >= r - 1e-6, "genome {g} vs reduced {r}");
+    }
+
+    #[test]
+    fn casp14_ooms_long_sequences_standard_nodes() {
+        let entries = benchmark_entries(200);
+        let engine = InferenceEngine::new(Preset::Casp14, Fidelity::Statistical);
+        let mut oom = 0;
+        for e in &entries {
+            match engine.predict_target(e, &feats(e)) {
+                Ok(_) => {}
+                Err(InferenceError::OutOfMemory { length, .. }) => {
+                    assert!(length > 800, "only long sequences OOM, got {length}");
+                    oom += 1;
+                }
+            }
+        }
+        // Some long sequences exist in a 160-entry D. vulgaris sample.
+        let _ = oom; // count asserted at full scale in the repro harness
+        // High-memory nodes rescue them all.
+        let hm = engine.on_high_mem_nodes();
+        for e in &entries {
+            assert!(hm.predict_target(e, &feats(e)).is_ok());
+        }
+    }
+
+    #[test]
+    fn geometric_structures_have_violations_and_track_ptms() {
+        let entries = benchmark_entries(12);
+        let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+        let mut ptms_est = Vec::new();
+        let mut tm_real = Vec::new();
+        for e in &entries {
+            let p = engine.predict(e, &feats(e), ModelId(1)).unwrap();
+            let s = p.structure.as_ref().expect("geometric mode builds structures");
+            assert_eq!(s.len(), e.sequence.len());
+            assert!(s.plddt.is_some());
+            let truth = e.true_fold();
+            ptms_est.push(p.ptms);
+            tm_real.push(tm_score(s, &truth));
+        }
+        let corr = stats::pearson(&ptms_est, &tm_real);
+        assert!(corr > 0.5, "pTMS should track realized TM, corr {corr}");
+    }
+
+    #[test]
+    fn statistical_mode_builds_no_structures() {
+        let entries = benchmark_entries(2);
+        let engine = InferenceEngine::new(Preset::Genome, Fidelity::Statistical);
+        for e in &entries {
+            let p = engine.predict(e, &feats(e), ModelId(2)).unwrap();
+            assert!(p.structure.is_none());
+            assert!(p.plddt_mean > 0.0);
+            assert!((0.0..=1.0).contains(&p.plddt_frac70));
+        }
+    }
+
+    #[test]
+    fn gpu_seconds_scale_with_preset() {
+        let entries = benchmark_entries(10);
+        let engines = [
+            InferenceEngine::new(Preset::ReducedDbs, Fidelity::Statistical),
+            InferenceEngine::new(Preset::Genome, Fidelity::Statistical),
+            InferenceEngine::new(Preset::Super, Fidelity::Statistical),
+        ];
+        let mut totals = [0.0f64; 3];
+        for e in &entries {
+            for (k, eng) in engines.iter().enumerate() {
+                totals[k] += eng.predict_target(e, &feats(e)).unwrap().total_gpu_seconds();
+            }
+        }
+        assert!(totals[0] <= totals[1] + 1e-9, "reduced ≤ genome");
+        assert!(totals[1] <= totals[2] + 1e-9, "genome ≤ super");
+    }
+
+    #[test]
+    fn recycles_bounded_by_preset_caps() {
+        let entries = benchmark_entries(30);
+        let engine = InferenceEngine::new(Preset::Super, Fidelity::Statistical);
+        for e in &entries {
+            let r = engine.predict_target(e, &feats(e)).unwrap();
+            for p in &r.predictions {
+                assert!(p.recycles >= 3);
+                assert!(p.recycles <= Preset::Super.max_recycles(e.sequence.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn unrelaxed_violation_statistics_are_heavy_tailed() {
+        use summitfold_protein::grid::SpatialGrid;
+        let entries = benchmark_entries(60);
+        let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+        let mut bumps = Vec::new();
+        for e in &entries {
+            let p = engine.predict(e, &feats(e), ModelId(1)).unwrap();
+            let s = p.structure.unwrap();
+            let grid = SpatialGrid::build(&s.ca, 3.6);
+            let mut b = 0usize;
+            grid.for_each_pair_within(&s.ca, 3.6, |i, j, _| {
+                if j - i > 1 {
+                    b += 1;
+                }
+            });
+            bumps.push(b as f64);
+        }
+        let mean = stats::mean(&bumps);
+        let max = stats::max(&bumps);
+        assert!(mean > 0.5 && mean < 25.0, "mean bumps {mean}");
+        assert!(max > mean * 3.0, "distribution should be heavy-tailed: mean {mean} max {max}");
+    }
+}

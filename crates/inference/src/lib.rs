@@ -1,0 +1,37 @@
+//! # summitfold-inference
+//!
+//! The GPU inference stage: a deterministic surrogate for the AlphaFold2
+//! network. The real network cannot be reproduced here (93 M parameters,
+//! proprietary training run); the surrogate reproduces the *mechanisms*
+//! the paper's experiments measure:
+//!
+//! * five models per target ([`model`]), two of which consume structural
+//!   templates; the top model is ranked by predicted TM-score;
+//! * iterative recycling with ColabFold-style distogram-change early
+//!   stopping ([`recycle`]) — fixed 3 recycles for the official presets,
+//!   dynamic with 0.5 Å / 0.1 Å tolerances for the paper's `genome` and
+//!   `super` presets ([`preset`]);
+//! * model quality controlled by MSA depth ([`quality`]): deep MSAs
+//!   converge fast to accurate structures, shallow MSAs converge slowly
+//!   and benefit from long recycling — the Table 1 / §4.2 effect;
+//! * a GPU memory model ([`memory`]) that out-of-memories the longest
+//!   sequences under the 8-ensemble `casp14` preset, as in Table 1;
+//! * a GPU time model ([`cost`]) calibrated to Table 1's walltimes;
+//! * two fidelities ([`engine`]): `Geometric` builds real coordinates
+//!   (deformed ground truth with injected clashes, feeding the relaxation
+//!   experiments), `Statistical` computes the same score distributions
+//!   without coordinates (proteome scale).
+
+pub mod complex;
+pub mod cost;
+pub mod engine;
+pub mod memory;
+pub mod model;
+pub mod pae;
+pub mod preset;
+pub mod quality;
+pub mod recycle;
+
+pub use engine::{Fidelity, InferenceEngine, InferenceError, Prediction, TargetResult};
+pub use model::ModelId;
+pub use preset::Preset;

@@ -1,0 +1,89 @@
+//! GPU memory model.
+//!
+//! Table 1's casp14 row is 8 sequences short: "Results of the eight
+//! longest sequences for the casp14 runs are missing due to out-of-memory
+//! errors caused by high ensemble number." And §3.3: "Some of the
+//! proteins are too large to fit onto the memory of a standard Summit
+//! node", requiring the 2 TB high-memory nodes. The model charges memory
+//! quadratic in sequence length (attention/pair representations) and
+//! linear in ensemble count, against a V100's 16 GB (standard nodes) or
+//! an effectively host-memory-backed budget on high-memory nodes.
+
+/// V100 device memory on a standard Summit node (bytes).
+pub const V100_BYTES: u64 = 16_000_000_000;
+
+/// Effective budget on a high-memory node (2 TB DDR4 + 192 GB HBM2,
+/// §3.3) — the runtime spills to host memory, so the practical ceiling is
+/// far above device memory.
+pub const HIGH_MEM_BYTES: u64 = 512_000_000_000;
+
+/// Fixed runtime footprint (weights, activations for short sequences).
+const BASE_BYTES: f64 = 2.0e9;
+
+/// Quadratic coefficient: bytes per (length/1000)² per ensemble.
+const PAIR_BYTES: f64 = 3.4e9;
+
+/// Peak GPU memory for a prediction run.
+#[must_use]
+pub fn peak_bytes(length: usize, ensembles: u32) -> u64 {
+    let l = length as f64 / 1000.0;
+    (BASE_BYTES + f64::from(ensembles) * l * l * PAIR_BYTES) as u64
+}
+
+/// Whether the run fits on a standard node's GPU.
+#[must_use]
+pub fn fits_standard(length: usize, ensembles: u32) -> bool {
+    peak_bytes(length, ensembles) <= V100_BYTES
+}
+
+/// Whether the run fits on a high-memory node.
+#[must_use]
+pub fn fits_high_mem(length: usize, ensembles: u32) -> bool {
+    peak_bytes(length, ensembles) <= HIGH_MEM_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_sequences_fit_everywhere() {
+        assert!(fits_standard(100, 1));
+        assert!(fits_standard(100, 8));
+        assert!(fits_standard(500, 8));
+    }
+
+    #[test]
+    fn paper_length_cutoff_mostly_fits_single_ensemble() {
+        // The paper predicted sequences under 2500 AA, with the longest
+        // ones needing the high-memory nodes (§3.3: "Some of the proteins
+        // are too large to fit onto the memory of a standard Summit
+        // node").
+        assert!(fits_standard(2000, 1), "2000 AA fits a standard node");
+        assert!(!fits_standard(2499, 1), "the longest spill to high-mem nodes");
+        assert!(fits_high_mem(2499, 1));
+    }
+
+    #[test]
+    fn casp14_ensembles_oom_long_sequences() {
+        // The D. vulgaris benchmark tops out at 1266 AA; its longest
+        // sequences must OOM at 8 ensembles but fit at 1.
+        assert!(!fits_standard(1266, 8), "1266 AA × 8 ensembles must OOM");
+        assert!(fits_standard(1266, 1));
+        // Mid-length sequences fit even at 8 ensembles.
+        assert!(fits_standard(650, 8));
+        assert!(!fits_standard(750, 8), "the casp14 OOM threshold sits near 720 AA");
+    }
+
+    #[test]
+    fn high_mem_rescues_casp14_failures() {
+        assert!(fits_high_mem(1266, 8));
+        assert!(fits_high_mem(2499, 8));
+    }
+
+    #[test]
+    fn memory_monotone_in_length_and_ensembles() {
+        assert!(peak_bytes(400, 1) < peak_bytes(800, 1));
+        assert!(peak_bytes(800, 1) < peak_bytes(800, 8));
+    }
+}

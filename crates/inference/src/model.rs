@@ -1,0 +1,90 @@
+//! The five AlphaFold2 model variants.
+//!
+//! AlphaFold ships five trained networks; every target is predicted by all
+//! five and the best structure is kept ("The total number of structures
+//! predicted is five times the total number of input target sequences",
+//! §4). Models 1 and 2 consume structural template features; models 3–5
+//! are sequence/MSA-only (§3.2.1: "The structural features are only used
+//! by two of the five DL models").
+
+use serde::{Deserialize, Serialize};
+use summitfold_protein::rng::fnv1a;
+
+/// One of the five model variants (1-based, matching AlphaFold naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModelId(pub u8);
+
+impl ModelId {
+    /// All five models.
+    pub const ALL: [ModelId; 5] = [ModelId(1), ModelId(2), ModelId(3), ModelId(4), ModelId(5)];
+
+    /// Whether this model consumes structural template features.
+    #[must_use]
+    pub fn uses_templates(self) -> bool {
+        self.0 <= 2
+    }
+
+    /// A stable per-model seed component, mixed into per-target seeds so
+    /// the five models make *different* (but reproducible) predictions.
+    #[must_use]
+    pub fn seed(self) -> u64 {
+        fnv1a(format!("af2-model-{}", self.0).as_bytes())
+    }
+
+    /// Small per-model quality bias (multiplier on the achievable error).
+    /// The five networks are near-equivalent on average but differ per
+    /// target; the spread here is what makes "best of five" ranking
+    /// meaningful.
+    #[must_use]
+    pub fn error_bias(self) -> f64 {
+        match self.0 {
+            1 => 0.98,
+            2 => 1.00,
+            3 => 1.02,
+            4 => 1.00,
+            5 => 1.03,
+            _ => unreachable!("model ids are 1..=5"),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model_{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_two_models_use_templates() {
+        let n = ModelId::ALL.iter().filter(|m| m.uses_templates()).count();
+        assert_eq!(n, 2);
+        assert!(ModelId(1).uses_templates());
+        assert!(ModelId(2).uses_templates());
+        assert!(!ModelId(3).uses_templates());
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<u64> = ModelId::ALL.iter().map(|m| m.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    fn biases_near_unity() {
+        for m in ModelId::ALL {
+            let b = m.error_bias();
+            assert!((0.9..1.1).contains(&b));
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ModelId(3).to_string(), "model_3");
+    }
+}

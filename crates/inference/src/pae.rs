@@ -1,0 +1,206 @@
+//! PAE — the predicted aligned error matrix.
+//!
+//! Alongside pLDDT, AlphaFold outputs an L×L matrix of expected pairwise
+//! alignment errors: `pae[i][j]` estimates the positional error of residue
+//! `j` when the model is aligned on residue `i`. Low off-diagonal blocks
+//! mean confidently-placed *relative* domain/chain arrangements — which is
+//! exactly the signal AF2Complex reads at the inter-chain block to score
+//! interfaces (its iScore is a transformed interface-PAE).
+//!
+//! The surrogate generates PAE consistently with the per-residue error
+//! profiles: `pae[i][j]` combines the two residues' local errors with a
+//! relative-placement term that grows with sequence (and chain)
+//! separation and with the target's global error scale.
+
+use crate::quality::calib;
+use summitfold_protein::rng::{fnv1a, Xoshiro256};
+
+/// Maximum PAE value reported (AlphaFold clamps at ~31.75 Å).
+pub const PAE_MAX: f64 = 31.75;
+
+/// A predicted aligned error matrix.
+#[derive(Debug, Clone)]
+pub struct PaeMatrix {
+    n: usize,
+    /// Row-major `n × n`, Å.
+    values: Vec<f64>,
+}
+
+impl PaeMatrix {
+    /// Generate the PAE for a single chain of length `n` with global error
+    /// scale `err`, deterministically from `seed`. The same seed as the
+    /// pLDDT profile gives a consistent picture of the same prediction.
+    #[must_use]
+    pub fn single_chain(err: f64, n: usize, seed: u64) -> Self {
+        Self::generate(err, &[n], None, seed)
+    }
+
+    /// Generate the PAE for a two-chain complex. `interface_err` controls
+    /// the inter-chain block: low for confidently-docked true partners,
+    /// high (→ `PAE_MAX`) for arbitrary packings.
+    #[must_use]
+    pub fn complex(
+        err: f64,
+        chain_a: usize,
+        chain_b: usize,
+        interface_err: f64,
+        seed: u64,
+    ) -> Self {
+        Self::generate(err, &[chain_a, chain_b], Some(interface_err), seed)
+    }
+
+    fn generate(err: f64, chains: &[usize], interface_err: Option<f64>, seed: u64) -> Self {
+        let n: usize = chains.iter().sum();
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ fnv1a(b"pae"));
+        // Per-residue local error levels (correlated with the pLDDT
+        // profile's spirit: lognormal around the local scale).
+        let local: Vec<f64> = (0..n)
+            .map(|_| {
+                calib::PLDDT_LOCAL_FRAC
+                    * err
+                    * (rng.gaussian() * 0.5).exp()
+            })
+            .collect();
+        // Chain id per residue.
+        let mut chain_of = Vec::with_capacity(n);
+        for (c, &len) in chains.iter().enumerate() {
+            chain_of.extend(std::iter::repeat_n(c, len));
+        }
+
+        let mut values = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // Relative-placement error grows with separation,
+                // saturating at the global scale.
+                let sep = i.abs_diff(j) as f64;
+                let rel = err * (sep / (sep + 30.0));
+                let mut pae = (local[i] + local[j]) / 2.0 + rel;
+                if chain_of[i] != chain_of[j] {
+                    // Inter-chain block: the docking confidence.
+                    pae += interface_err.unwrap_or(0.0);
+                }
+                values[i * n + j] = (pae + rng.gaussian() * 0.3).clamp(0.2, PAE_MAX);
+            }
+        }
+        Self { n, values }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// PAE value at `(i, j)` in Å.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Mean PAE over the whole matrix (off-diagonal).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: f64 = self.values.iter().sum();
+        total / (self.n * self.n - self.n) as f64
+    }
+
+    /// Mean PAE over the inter-chain block of a two-chain complex whose
+    /// first chain has `chain_a` residues.
+    #[must_use]
+    pub fn interface_mean(&self, chain_a: usize) -> f64 {
+        assert!(chain_a <= self.n, "chain boundary beyond matrix");
+        let b = self.n - chain_a;
+        if chain_a == 0 || b == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..chain_a {
+            for j in chain_a..self.n {
+                total += self.get(i, j) + self.get(j, i);
+            }
+        }
+        total / (2 * chain_a * b) as f64
+    }
+
+    /// AF2Complex-style interface score derived from the interface PAE:
+    /// `iScore ≈ 1 / (1 + (paeᵢ/d₀)²)`-shaped, high when the inter-chain
+    /// block is confident.
+    #[must_use]
+    pub fn interface_score(&self, chain_a: usize) -> f64 {
+        let pae = self.interface_mean(chain_a);
+        (1.0 / (1.0 + (pae / 8.0).powi(2))).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let a = PaeMatrix::single_chain(2.0, 100, 7);
+        let b = PaeMatrix::single_chain(2.0, 100, 7);
+        assert_eq!(a.values, b.values);
+        for i in 0..100 {
+            for j in 0..100 {
+                let v = a.get(i, j);
+                assert!((0.0..=PAE_MAX).contains(&v));
+            }
+        }
+        assert_eq!(a.get(3, 3), 0.0, "diagonal is zero");
+    }
+
+    #[test]
+    fn mean_pae_grows_with_error() {
+        let small = PaeMatrix::single_chain(1.0, 150, 1).mean();
+        let large = PaeMatrix::single_chain(5.0, 150, 1).mean();
+        assert!(large > small * 1.5, "small {small} large {large}");
+    }
+
+    #[test]
+    fn long_range_pairs_are_less_certain() {
+        let pae = PaeMatrix::single_chain(3.0, 300, 3);
+        let near: f64 = (0..290).map(|i| pae.get(i, i + 2)).sum::<f64>() / 290.0;
+        let far: f64 = (0..100).map(|i| pae.get(i, i + 200)).sum::<f64>() / 100.0;
+        assert!(far > near, "near {near} far {far}");
+    }
+
+    #[test]
+    fn interface_block_reflects_docking_confidence() {
+        let good = PaeMatrix::complex(2.0, 120, 100, 1.0, 5);
+        let bad = PaeMatrix::complex(2.0, 120, 100, 20.0, 5);
+        assert!(good.interface_mean(120) < bad.interface_mean(120));
+        assert!(good.interface_score(120) > 0.5, "{}", good.interface_score(120));
+        assert!(bad.interface_score(120) < 0.25, "{}", bad.interface_score(120));
+    }
+
+    #[test]
+    fn interface_score_monotone_in_interface_error() {
+        let mut prev = 1.1;
+        for ierr in [0.5, 3.0, 8.0, 16.0] {
+            let s = PaeMatrix::complex(2.0, 80, 80, ierr, 9).interface_score(80);
+            assert!(s < prev, "ierr {ierr}: {s}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn tiny_matrices() {
+        let p = PaeMatrix::single_chain(2.0, 1, 1);
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.interface_mean(1), 0.0);
+    }
+}

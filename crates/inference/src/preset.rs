@@ -1,0 +1,155 @@
+//! Inference presets (§3.2.2).
+//!
+//! The official AlphaFold release ships `reduced_dbs` (1 ensemble, 3
+//! recycles — what DeepMind used at proteome scale) and `casp14` (8
+//! ensembles, 3 recycles — the competition configuration, ≈ 8× the
+//! compute). The paper adds two presets with *dynamic* recycling: stop
+//! when the inter-recycle distogram change drops below a tolerance —
+//! 0.5 Å for `genome`, 0.1 Å for the stricter `super` — with the recycle
+//! cap raised to 20 but tapered back down to 6 for sequences longer than
+//! 500 residues.
+
+use serde::{Deserialize, Serialize};
+
+/// Recycling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecyclePolicy {
+    /// Run exactly this many recycles.
+    Fixed(u32),
+    /// Recycle until the mean pairwise-distance change falls below
+    /// `tolerance` (Å), up to the length-dependent cap.
+    Dynamic {
+        /// Convergence tolerance (Å).
+        tolerance: f64,
+    },
+}
+
+/// An inference preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preset {
+    /// Official single-ensemble preset (DeepMind's proteome-scale choice).
+    ReducedDbs,
+    /// Official CASP14 competition preset: 8 ensembles.
+    Casp14,
+    /// The paper's production preset: dynamic recycling, 0.5 Å tolerance.
+    Genome,
+    /// The paper's stricter preset: dynamic recycling, 0.1 Å tolerance.
+    Super,
+}
+
+impl Preset {
+    /// All presets in Table 1 order.
+    pub const ALL: [Preset; 4] = [Preset::ReducedDbs, Preset::Genome, Preset::Super, Preset::Casp14];
+
+    /// Preset name as used in Table 1.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ReducedDbs => "reduced_db",
+            Self::Casp14 => "casp14",
+            Self::Genome => "genome",
+            Self::Super => "super",
+        }
+    }
+
+    /// Number of ensemble evaluations per recycle.
+    #[must_use]
+    pub fn ensembles(self) -> u32 {
+        match self {
+            Self::Casp14 => 8,
+            _ => 1,
+        }
+    }
+
+    /// The recycling policy.
+    #[must_use]
+    pub fn recycle_policy(self) -> RecyclePolicy {
+        match self {
+            Self::ReducedDbs | Self::Casp14 => RecyclePolicy::Fixed(3),
+            Self::Genome => RecyclePolicy::Dynamic { tolerance: 0.5 },
+            Self::Super => RecyclePolicy::Dynamic { tolerance: 0.1 },
+        }
+    }
+
+    /// Maximum recycles for a sequence of the given length under this
+    /// preset. Dynamic presets cap at 20, tapering linearly to 6 between
+    /// 500 and 2000 residues (§3.2.2); fixed presets return their count.
+    #[must_use]
+    pub fn max_recycles(self, length: usize) -> u32 {
+        match self.recycle_policy() {
+            RecyclePolicy::Fixed(n) => n,
+            RecyclePolicy::Dynamic { .. } => dynamic_recycle_cap(length),
+        }
+    }
+
+    /// Minimum recycles under this preset (dynamic presets never stop
+    /// before the official 3).
+    #[must_use]
+    pub fn min_recycles(self) -> u32 {
+        3
+    }
+}
+
+/// The paper's length-tapered recycle cap: 20 up to 500 residues,
+/// decreasing linearly to a floor of 6 at 2000 residues.
+#[must_use]
+pub fn dynamic_recycle_cap(length: usize) -> u32 {
+    if length <= 500 {
+        return 20;
+    }
+    let l = length.min(2000) as f64;
+    let cap = 20.0 - 14.0 * (l - 500.0) / 1500.0;
+    cap.round().max(6.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensembles_match_paper() {
+        assert_eq!(Preset::ReducedDbs.ensembles(), 1);
+        assert_eq!(Preset::Genome.ensembles(), 1);
+        assert_eq!(Preset::Super.ensembles(), 1);
+        assert_eq!(Preset::Casp14.ensembles(), 8);
+    }
+
+    #[test]
+    fn official_presets_fixed_at_three() {
+        assert_eq!(Preset::ReducedDbs.recycle_policy(), RecyclePolicy::Fixed(3));
+        assert_eq!(Preset::Casp14.recycle_policy(), RecyclePolicy::Fixed(3));
+        assert_eq!(Preset::ReducedDbs.max_recycles(100), 3);
+        assert_eq!(Preset::Casp14.max_recycles(2400), 3);
+    }
+
+    #[test]
+    fn dynamic_tolerances() {
+        assert_eq!(Preset::Genome.recycle_policy(), RecyclePolicy::Dynamic { tolerance: 0.5 });
+        assert_eq!(Preset::Super.recycle_policy(), RecyclePolicy::Dynamic { tolerance: 0.1 });
+    }
+
+    #[test]
+    fn recycle_cap_tapers_with_length() {
+        assert_eq!(dynamic_recycle_cap(100), 20);
+        assert_eq!(dynamic_recycle_cap(500), 20);
+        assert_eq!(dynamic_recycle_cap(2000), 6);
+        assert_eq!(dynamic_recycle_cap(2499), 6);
+        let mid = dynamic_recycle_cap(1250);
+        assert!(mid > 6 && mid < 20, "cap at 1250 = {mid}");
+        // Monotone non-increasing.
+        let mut prev = 21;
+        for len in (100..2500).step_by(100) {
+            let c = dynamic_recycle_cap(len);
+            assert!(c <= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn names_match_table1() {
+        assert_eq!(Preset::ReducedDbs.name(), "reduced_db");
+        assert_eq!(Preset::Genome.name(), "genome");
+        assert_eq!(Preset::Super.name(), "super");
+        assert_eq!(Preset::Casp14.name(), "casp14");
+    }
+}

@@ -1,0 +1,143 @@
+//! Dynamic recycle control (§3.2.2).
+//!
+//! AlphaFold iterates inference, feeding each predicted structure back as
+//! input; the paper adopts ColabFold's early exit: after each recycle,
+//! compare the predicted pairwise-distance pattern to the previous
+//! recycle's and stop once the change drops below the preset tolerance.
+//! The fixed presets simply run 3 recycles.
+
+use crate::preset::{Preset, RecyclePolicy};
+use crate::quality::TargetQuality;
+
+/// Outcome of the recycle loop for one prediction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecycleOutcome {
+    /// Number of recycles executed (≥ 1).
+    pub recycles: u32,
+    /// Whether the dynamic criterion was met (always true for fixed
+    /// presets; false when the cap was hit first).
+    pub converged: bool,
+}
+
+/// Run the recycle controller for a target under a preset.
+#[must_use]
+pub fn run(quality: &TargetQuality, preset: Preset, length: usize) -> RecycleOutcome {
+    match preset.recycle_policy() {
+        RecyclePolicy::Fixed(n) => RecycleOutcome { recycles: n, converged: true },
+        RecyclePolicy::Dynamic { tolerance } => {
+            let min_r = preset.min_recycles();
+            let max_r = preset.max_recycles(length);
+            let mut k = 1;
+            while k < max_r {
+                if k >= min_r && quality.distance_change_at(k) < tolerance {
+                    return RecycleOutcome { recycles: k, converged: true };
+                }
+                k += 1;
+            }
+            // Hit the cap: converged only if the change happens to be
+            // below tolerance at the cap.
+            RecycleOutcome {
+                recycles: max_r,
+                converged: quality.distance_change_at(max_r) < tolerance,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelId;
+    use crate::quality::target_quality;
+    use summitfold_msa::FeatureSet;
+
+    fn features(richness: f64, len: usize, id: &str) -> FeatureSet {
+        FeatureSet {
+            target_id: id.to_owned(),
+            length: len,
+            richness,
+            neff: 1.0,
+            coverage: 0.9,
+            has_templates: false,
+        }
+    }
+
+    fn quality_with(rho: f64, err0: f64, err_inf: f64) -> TargetQuality {
+        TargetQuality { err0, err_inf, rho, challenging: false, seed: 0 }
+    }
+
+    #[test]
+    fn fixed_presets_always_three() {
+        let q = quality_with(0.5, 8.0, 1.5);
+        for preset in [Preset::ReducedDbs, Preset::Casp14] {
+            let out = run(&q, preset, 300);
+            assert_eq!(out.recycles, 3);
+            assert!(out.converged);
+        }
+    }
+
+    #[test]
+    fn dynamic_respects_minimum() {
+        // Instantly-converging target still runs the minimum 3 recycles.
+        let q = quality_with(0.01, 8.0, 1.0);
+        let out = run(&q, Preset::Genome, 100);
+        assert_eq!(out.recycles, 3);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn stricter_tolerance_recycles_longer() {
+        let q = quality_with(0.75, 9.0, 2.0);
+        let genome = run(&q, Preset::Genome, 300);
+        let sup = run(&q, Preset::Super, 300);
+        assert!(sup.recycles >= genome.recycles, "{} vs {}", sup.recycles, genome.recycles);
+        assert!(sup.recycles > 3, "slow target should recycle: {}", sup.recycles);
+    }
+
+    #[test]
+    fn cap_hit_for_very_slow_targets() {
+        let q = quality_with(0.95, 10.0, 1.0);
+        let out = run(&q, Preset::Super, 200);
+        assert_eq!(out.recycles, 20, "cap is 20 below 500 AA");
+        assert!(!out.converged, "cap hit without meeting tolerance");
+    }
+
+    #[test]
+    fn long_sequences_get_lower_caps() {
+        let q = quality_with(0.9, 10.0, 1.0);
+        let short = run(&q, Preset::Super, 400);
+        let long = run(&q, Preset::Super, 1800);
+        assert!(long.recycles < short.recycles);
+        assert!(long.recycles >= 6);
+    }
+
+    #[test]
+    fn converged_runs_stop_at_first_subtolerance_change() {
+        let q = quality_with(0.5, 8.0, 1.0);
+        let out = run(&q, Preset::Genome, 300);
+        // The change at the stopping recycle is below tolerance, and at
+        // the previous recycle it was not (unless the minimum bound).
+        assert!(q.distance_change_at(out.recycles) < 0.5);
+        if out.recycles > 3 {
+            assert!(q.distance_change_at(out.recycles - 1) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn real_quality_params_behave() {
+        // Sanity: across a population, super recycles ≥ genome recycles,
+        // and both ≥ 3.
+        let mut total_genome = 0u32;
+        let mut total_super = 0u32;
+        for i in 0..200 {
+            let f = features(0.5, 250, &format!("t{i}"));
+            let q = target_quality(&f, ModelId(1));
+            let g = run(&q, Preset::Genome, 250);
+            let s = run(&q, Preset::Super, 250);
+            assert!(g.recycles >= 3 && s.recycles >= g.recycles);
+            total_genome += g.recycles;
+            total_super += s.recycles;
+        }
+        assert!(total_super > total_genome);
+    }
+}

@@ -1,0 +1,246 @@
+//! Synthetic sequence databases.
+//!
+//! The paper's feature-generation stage searches four libraries (UniProt
+//! family databases, BFD, MGnify, and PDB-derived sequences) totalling
+//! 2.1 TB, or 420 GB after BFD deduplication (§3.2.1). The synthetic
+//! equivalents are small enough to search for real, while carrying
+//! *nominal* byte sizes that feed the filesystem/I-O cost model — the
+//! experiments about storage, replication and search cost use the nominal
+//! sizes; the experiments about search correctness use the actual
+//! sequences.
+//!
+//! Homolog structure: for every target the database receives
+//! `⌊richness² · max_homologs⌉` mutated copies at a spread of divergences,
+//! so a real k-mer + Smith–Waterman search genuinely finds more homologs
+//! (→ deeper MSA → better model) for richer targets. The full-BFD variant
+//! additionally contains near-identical duplicates of each homolog, which
+//! add search cost but no effective-sequence information — exactly the
+//! redundancy the reduced database removes.
+
+use summitfold_protein::proteome::ProteinEntry;
+use summitfold_protein::rng::{fnv1a, Xoshiro256};
+use summitfold_protein::seq::Sequence;
+
+/// Nominal size of the full database set (§3.2.1: "about 2.1 TB").
+pub const FULL_SET_BYTES: u64 = 2_100_000_000_000;
+/// Nominal size of the reduced database set (§3.2.1: "420 GB").
+pub const REDUCED_SET_BYTES: u64 = 420_000_000_000;
+
+/// Which library a synthetic database stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbKind {
+    /// UniProt/UniRef-style annotated library.
+    UniRef,
+    /// Full BFD: huge, highly redundant metagenomic library.
+    BfdFull,
+    /// Deduplicated BFD (the paper's reduced set).
+    BfdReduced,
+    /// MGnify metagenomic library.
+    MGnify,
+    /// Sequences of PDB structures (template search).
+    PdbSeqs,
+}
+
+impl DbKind {
+    /// Nominal on-disk size charged by the I/O model.
+    #[must_use]
+    pub fn nominal_bytes(self) -> u64 {
+        match self {
+            Self::UniRef => 100_000_000_000,
+            Self::BfdFull => 1_880_000_000_000,
+            Self::BfdReduced => 200_000_000_000,
+            Self::MGnify => 119_000_000_000,
+            Self::PdbSeqs => 1_000_000_000,
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::UniRef => "uniref",
+            Self::BfdFull => "bfd",
+            Self::BfdReduced => "bfd_reduced",
+            Self::MGnify => "mgnify",
+            Self::PdbSeqs => "pdb_seqs",
+        }
+    }
+
+    /// Duplication factor: how many near-identical copies accompany each
+    /// true homolog. Full BFD is the redundant one.
+    fn redundancy(self) -> usize {
+        match self {
+            Self::BfdFull => 3,
+            _ => 0,
+        }
+    }
+}
+
+/// A synthetic, searchable sequence database.
+#[derive(Debug, Clone)]
+pub struct SyntheticDb {
+    /// Which library this stands in for.
+    pub kind: DbKind,
+    /// The actual sequences (small scale, really searchable).
+    pub sequences: Vec<Sequence>,
+    /// Nominal bytes for the I/O cost model.
+    pub nominal_bytes: u64,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbParams {
+    /// Maximum homologs per target at richness 1.0.
+    pub max_homologs: usize,
+    /// Background (unrelated) sequences added to the database.
+    pub background: usize,
+    /// Length of background sequences (mean; gamma-distributed).
+    pub background_mean_len: f64,
+}
+
+impl Default for DbParams {
+    fn default() -> Self {
+        Self { max_homologs: 24, background: 400, background_mean_len: 250.0 }
+    }
+}
+
+impl SyntheticDb {
+    /// Build a database containing homologs for the given targets plus
+    /// background noise. Deterministic for a given kind + target set.
+    #[must_use]
+    pub fn for_targets(kind: DbKind, targets: &[&ProteinEntry], params: &DbParams) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(fnv1a(kind.name().as_bytes()));
+        let mut sequences = Vec::new();
+        for entry in targets {
+            let richness = entry.msa_richness;
+            let n_hom =
+                ((richness * richness * params.max_homologs as f64).round() as usize).min(params.max_homologs);
+            for h in 0..n_hom {
+                // Divergence spread: from close relatives (10 %) out to
+                // the twilight zone (65 %).
+                let divergence = rng.range(0.10, 0.65);
+                let id = format!("{}/{}_hom{}", kind.name(), entry.sequence.id, h);
+                let hom = entry.sequence.mutated(&id, divergence, &mut rng);
+                for dup in 0..kind.redundancy() {
+                    let dup_id = format!("{id}_dup{dup}");
+                    // Near-identical copy (≥ 97 % identity): redundancy
+                    // that deduplication should remove.
+                    sequences.push(hom.mutated(&dup_id, 0.02, &mut rng));
+                }
+                sequences.push(hom);
+            }
+        }
+        for b in 0..params.background {
+            let len = (rng.gamma(2.0, params.background_mean_len / 2.0).round() as usize)
+                .clamp(30, 1200);
+            sequences
+                .push(Sequence::random(&format!("{}/bg{}", kind.name(), b), len, &mut rng));
+        }
+        Self { kind, sequences, nominal_bytes: kind.nominal_bytes() }
+    }
+
+    /// Number of sequences.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True when the database holds no sequences.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+}
+
+/// The standard library sets used by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbSet {
+    /// UniRef + full BFD + MGnify + PDB seqs (≈ 2.1 TB nominal).
+    Full,
+    /// UniRef + reduced BFD + MGnify + PDB seqs (≈ 420 GB nominal).
+    Reduced,
+}
+
+impl DbSet {
+    /// The libraries in this set.
+    #[must_use]
+    pub fn kinds(self) -> [DbKind; 4] {
+        match self {
+            Self::Full => [DbKind::UniRef, DbKind::BfdFull, DbKind::MGnify, DbKind::PdbSeqs],
+            Self::Reduced => {
+                [DbKind::UniRef, DbKind::BfdReduced, DbKind::MGnify, DbKind::PdbSeqs]
+            }
+        }
+    }
+
+    /// Total nominal bytes of the set.
+    #[must_use]
+    pub fn nominal_bytes(self) -> u64 {
+        self.kinds().iter().map(|k| k.nominal_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::proteome::{Proteome, Species};
+
+    fn sample_targets() -> Vec<ProteinEntry> {
+        Proteome::generate_scaled(Species::DVulgaris, 0.004).proteins
+    }
+
+    #[test]
+    fn nominal_sizes_match_paper() {
+        // §3.2.1: 2.1 TB full, 420 GB reduced.
+        assert_eq!(DbSet::Full.nominal_bytes(), FULL_SET_BYTES);
+        assert_eq!(DbSet::Reduced.nominal_bytes(), REDUCED_SET_BYTES);
+    }
+
+    #[test]
+    fn homolog_count_scales_with_richness() {
+        let targets = sample_targets();
+        let refs: Vec<&ProteinEntry> = targets.iter().collect();
+        let db = SyntheticDb::for_targets(DbKind::UniRef, &refs, &DbParams::default());
+        for entry in &targets {
+            let n = db
+                .sequences
+                .iter()
+                .filter(|s| s.id.contains(&format!("{}_hom", entry.sequence.id)))
+                .count();
+            let expect =
+                (entry.msa_richness * entry.msa_richness * 24.0).round() as usize;
+            assert_eq!(n, expect.min(24), "target {}", entry.sequence.id);
+        }
+    }
+
+    #[test]
+    fn full_bfd_is_redundant() {
+        let targets = sample_targets();
+        let refs: Vec<&ProteinEntry> = targets.iter().collect();
+        let params = DbParams { background: 0, ..DbParams::default() };
+        let full = SyntheticDb::for_targets(DbKind::BfdFull, &refs, &params);
+        let reduced = SyntheticDb::for_targets(DbKind::BfdReduced, &refs, &params);
+        assert!(
+            full.len() >= reduced.len() * 3,
+            "full {} vs reduced {}",
+            full.len(),
+            reduced.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let targets = sample_targets();
+        let refs: Vec<&ProteinEntry> = targets.iter().collect();
+        let a = SyntheticDb::for_targets(DbKind::MGnify, &refs, &DbParams::default());
+        let b = SyntheticDb::for_targets(DbKind::MGnify, &refs, &DbParams::default());
+        assert_eq!(a.sequences, b.sequences);
+    }
+
+    #[test]
+    fn background_present() {
+        let db = SyntheticDb::for_targets(DbKind::UniRef, &[], &DbParams::default());
+        assert_eq!(db.len(), 400);
+        assert!(db.sequences.iter().all(|s| s.id.contains("/bg")));
+    }
+}

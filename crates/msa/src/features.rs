@@ -1,0 +1,198 @@
+//! Per-target input features and the feature-generation cost model.
+//!
+//! The paper pre-computes input features on the Andes CPU cluster and
+//! ships them to Summit (§3.2.1): "the most important features are the
+//! MSAs, which dictate the final quality of all predicted structures."
+//! The [`FeatureSet`] captures what inference actually needs from that
+//! stage: a normalized MSA-richness score (derived from Neff), coverage,
+//! and whether structural templates were found (used by two of the five
+//! models).
+//!
+//! Two construction paths exist and are calibrated against each other:
+//! [`FeatureSet::from_msa`] runs on a real search result (small scale),
+//! and [`FeatureSet::synthetic`] derives the same quantities from the
+//! proteome entry's latent richness (proteome scale, where running 25k
+//! real searches would add nothing but time).
+
+use crate::db::DbParams;
+use crate::msa::Msa;
+use summitfold_protein::proteome::{Origin, ProteinEntry};
+
+/// Input features for one target, as handed to the inference stage.
+#[derive(Debug, Clone)]
+pub struct FeatureSet {
+    /// Target id.
+    pub target_id: String,
+    /// Target length (residues).
+    pub length: usize,
+    /// Normalized MSA richness in `[0, 1]` — the surrogate for Neff that
+    /// the inference quality model consumes.
+    pub richness: f64,
+    /// Effective sequence count behind `richness`.
+    pub neff: f64,
+    /// Fraction of target positions covered by the MSA.
+    pub coverage: f64,
+    /// Whether structural templates were found (feeds models 1–2 only).
+    pub has_templates: bool,
+}
+
+impl FeatureSet {
+    /// Derive features from a real search result.
+    #[must_use]
+    pub fn from_msa(msa: &Msa, has_templates: bool) -> Self {
+        let neff = msa.neff();
+        Self {
+            target_id: msa.target.id.clone(),
+            length: msa.target.len(),
+            richness: richness_from_neff(neff),
+            neff,
+            coverage: msa.coverage(),
+            has_templates,
+        }
+    }
+
+    /// Derive features directly from a proteome entry's latents — the
+    /// proteome-scale fast path. Calibrated so that a real search over a
+    /// database built by [`crate::db::SyntheticDb::for_targets`] yields
+    /// approximately the same `richness`.
+    #[must_use]
+    pub fn synthetic(entry: &ProteinEntry) -> Self {
+        let params = DbParams::default();
+        // The database plants ⌊r²·max⌉ mostly-distinct homologs; their
+        // Neff is close to the count plus the target itself.
+        let expected_rows =
+            (entry.msa_richness * entry.msa_richness * params.max_homologs as f64).round();
+        let neff = 1.0 + 0.95 * expected_rows;
+        Self {
+            target_id: entry.sequence.id.clone(),
+            length: entry.sequence.len(),
+            richness: richness_from_neff(neff),
+            neff,
+            coverage: if expected_rows > 0.0 { 0.95 } else { 0.0 },
+            has_templates: matches!(entry.origin, Origin::FamilyMember { .. }),
+        }
+    }
+}
+
+/// Map Neff to the normalized richness in `[0, 1]`. Inverse of the
+/// planting rule in [`crate::db`]: `rows ≈ r²·max`, `neff ≈ 1 + 0.95·rows`.
+#[must_use]
+pub fn richness_from_neff(neff: f64) -> f64 {
+    let max = DbParams::default().max_homologs as f64;
+    (((neff - 1.0).max(0.0) / (0.95 * max)).sqrt()).clamp(0.0, 1.0)
+}
+
+/// Feature-generation CPU cost model: *uncontended* node-seconds for one
+/// sequence. Calibrated to §4.1: "feature generation took about 240 Andes
+/// node hours" for the 3205-sequence *D. vulgaris* proteome (mean 328 AA)
+/// against the reduced (420 GB) set, *including* the shared-filesystem
+/// contention of the production layout (24 replicas × 4 jobs ≈ 1.6×
+/// slowdown, `summitfold-hpc::fs`) — hence ≈ 167 uncontended node-seconds
+/// per mean-length sequence. Cost scales linearly with sequence length
+/// (alignment work) and sub-linearly with database size
+/// (index-accelerated scans).
+#[must_use]
+pub fn feature_gen_node_seconds(length: usize, db_bytes: u64) -> f64 {
+    const BASE_SECONDS: f64 = 167.0;
+    const BASE_LENGTH: f64 = 328.0;
+    const BASE_BYTES: f64 = 420.0e9;
+    BASE_SECONDS * (length as f64 / BASE_LENGTH) * (db_bytes as f64 / BASE_BYTES).powf(0.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{DbKind, DbSet, SyntheticDb};
+    use crate::kmer::KmerIndex;
+    use crate::msa::{search, SearchParams};
+    use summitfold_protein::proteome::{Proteome, Species};
+
+    #[test]
+    fn richness_neff_roundtrip() {
+        for r in [0.0f64, 0.3, 0.5, 0.8, 1.0] {
+            let rows = (r * r * 24.0).round();
+            let neff = 1.0 + 0.95 * rows;
+            let back = richness_from_neff(neff);
+            assert!((back - r).abs() < 0.12, "r={r} back={back}");
+        }
+    }
+
+    #[test]
+    fn synthetic_features_track_latents() {
+        let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.01);
+        for entry in &proteome.proteins {
+            let f = FeatureSet::synthetic(entry);
+            assert_eq!(f.length, entry.sequence.len());
+            assert!((f.richness - entry.msa_richness).abs() < 0.15,
+                "latent {} vs derived {}", entry.msa_richness, f.richness);
+        }
+    }
+
+    #[test]
+    fn real_search_agrees_with_synthetic_path() {
+        // Build a real database for a few targets, run the real search,
+        // and check the derived richness lands near the latent it was
+        // planted from.
+        let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.002);
+        let refs: Vec<&summitfold_protein::proteome::ProteinEntry> =
+            proteome.proteins.iter().collect();
+        let db = SyntheticDb::for_targets(DbKind::UniRef, &refs, &crate::db::DbParams::default());
+        let index = KmerIndex::build(&db.sequences);
+        for entry in &proteome.proteins {
+            let msa = search(&entry.sequence, &db.sequences, &index, &SearchParams::default());
+            let real = FeatureSet::from_msa(&msa, false);
+            let synth = FeatureSet::synthetic(entry);
+            assert!(
+                (real.richness - synth.richness).abs() < 0.3,
+                "{}: real {} vs synth {} (neff {} / {})",
+                entry.sequence.id,
+                real.richness,
+                synth.richness,
+                real.neff,
+                synth.neff
+            );
+        }
+    }
+
+    #[test]
+    fn templates_follow_family_membership() {
+        let proteome = Proteome::generate_scaled(Species::RRubrum, 0.01);
+        for entry in &proteome.proteins {
+            let f = FeatureSet::synthetic(entry);
+            assert_eq!(f.has_templates, entry.family().is_some());
+        }
+    }
+
+    #[test]
+    fn cost_model_matches_paper_total() {
+        // §4.1: 3205 sequences, mean 328 AA, reduced DB → ≈ 240 node-hours
+        // including the production layout's ~1.6× I/O contention.
+        const PRODUCTION_IO_SLOWDOWN: f64 = 1.62;
+        let proteome = Proteome::generate(Species::DVulgaris);
+        let total_s: f64 = proteome
+            .proteins
+            .iter()
+            .map(|e| feature_gen_node_seconds(e.sequence.len(), DbSet::Reduced.nominal_bytes()))
+            .sum();
+        let node_hours = total_s * PRODUCTION_IO_SLOWDOWN / 3600.0;
+        assert!(
+            (node_hours - 240.0).abs() < 40.0,
+            "feature generation {node_hours:.0} node-h (paper: ~240)"
+        );
+    }
+
+    #[test]
+    fn full_db_costs_more_but_sublinearly() {
+        let reduced = feature_gen_node_seconds(328, DbSet::Reduced.nominal_bytes());
+        let full = feature_gen_node_seconds(328, DbSet::Full.nominal_bytes());
+        let ratio = full / reduced;
+        assert!(ratio > 2.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_scales_with_length() {
+        let short = feature_gen_node_seconds(100, DbSet::Reduced.nominal_bytes());
+        let long = feature_gen_node_seconds(1000, DbSet::Reduced.nominal_bytes());
+        assert!((long / short - 10.0).abs() < 1e-9);
+    }
+}

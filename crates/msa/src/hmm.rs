@@ -1,0 +1,251 @@
+//! Profile hidden Markov models — the model class behind HMMER.
+//!
+//! Where [`crate::profile`] scores ungapped position-specific matches, a
+//! profile HMM adds explicit insert/delete states with learned-ish
+//! transition penalties, which is what lets HMMER align remote homologs
+//! whose lengths drift. This is a compact Plan-7-style implementation:
+//! match/insert/delete states per column, Viterbi scoring in log-space,
+//! with emissions estimated from an MSA (background-pseudocounted) and
+//! fixed generic transitions.
+
+use crate::msa::Msa;
+use summitfold_protein::aa::{AminoAcid, BACKGROUND_FREQ};
+use summitfold_protein::seq::Sequence;
+
+/// Log-space profile HMM over the target's columns.
+#[derive(Debug, Clone)]
+pub struct ProfileHmm {
+    /// Match-state log-odds emissions: `match_emit[col][aa]` (nats).
+    match_emit: Vec<[f64; 20]>,
+    /// Transition log-probabilities (generic, Plan-7-ish).
+    t_mm: f64,
+    t_mi: f64,
+    t_md: f64,
+    t_im: f64,
+    t_ii: f64,
+    t_dm: f64,
+    t_dd: f64,
+}
+
+/// Pseudocount strength toward background.
+const PSEUDOCOUNT: f64 = 5.0;
+
+impl ProfileHmm {
+    /// Estimate an HMM from an MSA (target included as one observation).
+    #[must_use]
+    pub fn from_msa(msa: &Msa) -> Self {
+        let n = msa.target.len();
+        let mut match_emit = Vec::with_capacity(n);
+        for pos in 0..n {
+            let mut counts = [0.0f64; 20];
+            counts[msa.target.residues[pos].index()] += 1.0;
+            let mut total = 1.0;
+            for row in &msa.rows {
+                if let Some(aa) = row.aligned[pos] {
+                    counts[aa.index()] += 1.0;
+                    total += 1.0;
+                }
+            }
+            let mut col = [0.0f64; 20];
+            for (k, c) in col.iter_mut().enumerate() {
+                let freq =
+                    (counts[k] + PSEUDOCOUNT * BACKGROUND_FREQ[k]) / (total + PSEUDOCOUNT);
+                *c = (freq / BACKGROUND_FREQ[k]).ln();
+            }
+            match_emit.push(col);
+        }
+        Self {
+            match_emit,
+            // Generic Plan-7-flavoured transitions (log-probabilities).
+            t_mm: (0.94f64).ln(),
+            t_mi: (0.03f64).ln(),
+            t_md: (0.03f64).ln(),
+            t_im: (0.30f64).ln(),
+            t_ii: (0.70f64).ln(),
+            t_dm: (0.50f64).ln(),
+            t_dd: (0.50f64).ln(),
+        }
+    }
+
+    /// Model length (match columns).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.match_emit.len()
+    }
+
+    /// True when the model has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.match_emit.is_empty()
+    }
+
+    /// Match-state log-odds emission for `aa` at `col`.
+    #[inline]
+    fn emit(&self, col: usize, aa: AminoAcid) -> f64 {
+        self.match_emit[col][aa.index()]
+    }
+
+    /// Global Viterbi log-odds score of a sequence against the model
+    /// (nats; > 0 means better-than-background). Insert emissions score 0
+    /// (background), the standard log-odds convention.
+    #[must_use]
+    pub fn viterbi(&self, seq: &Sequence) -> f64 {
+        let n = self.len();
+        let m = seq.len();
+        if n == 0 || m == 0 {
+            return f64::NEG_INFINITY;
+        }
+        const NEG: f64 = f64::NEG_INFINITY;
+        // dp[state][col] for the current sequence position; states M/I/D.
+        let w = n + 1;
+        let mut m_prev = vec![NEG; w];
+        let mut i_prev = vec![NEG; w];
+        let mut d_prev = vec![NEG; w];
+        // Initialize row 0 (no residues consumed): delete chain.
+        d_prev[1] = self.t_md;
+        for col in 2..=n {
+            d_prev[col] = d_prev[col - 1] + self.t_dd;
+        }
+        let mut m_cur = vec![NEG; w];
+        let mut i_cur = vec![NEG; w];
+        let mut d_cur = vec![NEG; w];
+        let mut best = NEG;
+        for row in 1..=m {
+            let aa = seq.residues[row - 1];
+            m_cur.fill(NEG);
+            i_cur.fill(NEG);
+            d_cur.fill(NEG);
+            for col in 1..=n {
+                // Match: consume a residue, advance a column.
+                let from = (m_prev[col - 1] + self.t_mm)
+                    .max(i_prev[col - 1] + self.t_im)
+                    .max(d_prev[col - 1] + self.t_dm)
+                    .max(if col == 1 { 0.0 } else { NEG }); // local entry
+                m_cur[col] = from + self.emit(col - 1, aa);
+                // Insert: consume a residue, stay on the column.
+                i_cur[col] =
+                    (m_prev[col] + self.t_mi).max(i_prev[col] + self.t_ii);
+                // Delete: advance a column, no residue.
+                d_cur[col] =
+                    (m_cur[col - 1] + self.t_md).max(d_cur[col - 1] + self.t_dd);
+            }
+            best = best.max(m_cur[n]);
+            std::mem::swap(&mut m_prev, &mut m_cur);
+            std::mem::swap(&mut i_prev, &mut i_cur);
+            std::mem::swap(&mut d_prev, &mut d_cur);
+        }
+        // Also allow ending in a delete tail.
+        best = best.max(d_prev[n]);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::KmerIndex;
+    use crate::msa::{search, SearchParams};
+    use summitfold_protein::rng::Xoshiro256;
+    use summitfold_protein::stats;
+
+    fn msa_for(target: &Sequence, db: &[Sequence]) -> Msa {
+        let index = KmerIndex::build(db);
+        search(target, db, &index, &SearchParams::default())
+    }
+
+    fn family(seed: u64) -> (Sequence, Vec<Sequence>) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let target = Sequence::random("t", 200, &mut rng);
+        let mut db: Vec<Sequence> =
+            (0..5).map(|k| target.mutated(&format!("hom{k}"), 0.3, &mut rng)).collect();
+        for b in 0..100 {
+            db.push(Sequence::random(&format!("bg{b}"), 200, &mut rng));
+        }
+        (target, db)
+    }
+
+    #[test]
+    fn target_scores_far_above_background() {
+        let (target, db) = family(1);
+        let hmm = ProfileHmm::from_msa(&msa_for(&target, &db));
+        let self_score = hmm.viterbi(&target);
+        let bg: Vec<f64> = db
+            .iter()
+            .filter(|s| s.id.starts_with("bg"))
+            .take(30)
+            .map(|s| hmm.viterbi(s))
+            .collect();
+        let bg_max = bg.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(self_score > 0.0, "self log-odds {self_score}");
+        assert!(self_score > bg_max + 20.0, "self {self_score} vs bg max {bg_max}");
+    }
+
+    #[test]
+    fn homologs_separate_from_background() {
+        let (target, db) = family(2);
+        let hmm = ProfileHmm::from_msa(&msa_for(&target, &db));
+        let hom: Vec<f64> = db
+            .iter()
+            .filter(|s| s.id.starts_with("hom"))
+            .map(|s| hmm.viterbi(s))
+            .collect();
+        let bg: Vec<f64> = db
+            .iter()
+            .filter(|s| s.id.starts_with("bg"))
+            .map(|s| hmm.viterbi(s))
+            .collect();
+        assert!(stats::mean(&hom) > stats::mean(&bg) + 30.0);
+    }
+
+    #[test]
+    fn tolerates_insertions_and_deletions() {
+        // The HMM's advantage over the ungapped PSSM: a homolog with an
+        // insertion still scores strongly.
+        let (target, db) = family(3);
+        let hmm = ProfileHmm::from_msa(&msa_for(&target, &db));
+        let mut rng = Xoshiro256::seed_from_u64(33);
+        let base = target.mutated("indel", 0.2, &mut rng);
+        // Insert 12 random residues in the middle.
+        let mut letters = base.to_letters();
+        let insert: String =
+            Sequence::random("ins", 12, &mut rng).to_letters();
+        letters.insert_str(100, &insert);
+        let with_insert = Sequence::parse("with_insert", "", &letters).unwrap();
+        // Delete 10 residues elsewhere.
+        let mut del_letters = base.to_letters();
+        del_letters.replace_range(40..50, "");
+        let with_delete = Sequence::parse("with_delete", "", &del_letters).unwrap();
+
+        let bg_scores: Vec<f64> = db
+            .iter()
+            .filter(|s| s.id.starts_with("bg"))
+            .map(|s| hmm.viterbi(s))
+            .collect();
+        let bg_max = bg_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hmm.viterbi(&with_insert) > bg_max + 20.0, "insertion breaks detection");
+        assert!(hmm.viterbi(&with_delete) > bg_max + 20.0, "deletion breaks detection");
+    }
+
+    #[test]
+    fn deeper_msa_sharpens_the_model() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let target = Sequence::random("t", 150, &mut rng);
+        let shallow_db: Vec<Sequence> =
+            vec![target.mutated("h0", 0.3, &mut rng)];
+        let deep_db: Vec<Sequence> =
+            (0..10).map(|k| target.mutated(&format!("h{k}"), 0.3, &mut rng)).collect();
+        let shallow = ProfileHmm::from_msa(&msa_for(&target, &shallow_db));
+        let deep = ProfileHmm::from_msa(&msa_for(&target, &deep_db));
+        // A held-out homolog scores better under the deeper model.
+        let held_out = target.mutated("held", 0.35, &mut rng);
+        assert!(deep.viterbi(&held_out) > shallow.viterbi(&held_out));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (target, db) = family(5);
+        let hmm = ProfileHmm::from_msa(&msa_for(&target, &db));
+        let empty = Sequence::parse("e", "", "").unwrap();
+        assert_eq!(hmm.viterbi(&empty), f64::NEG_INFINITY);
+    }
+}

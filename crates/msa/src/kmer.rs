@@ -1,0 +1,164 @@
+//! K-mer prefilter index over a sequence database.
+//!
+//! HMMER and HH-suite never Smith–Waterman the whole database: fast
+//! word-match filters discard the vast majority of subjects first. The
+//! synthetic pipeline does the same with a classic k-mer inverted index
+//! (k = 3 over the 20-letter alphabet): a subject becomes a candidate when
+//! it shares at least `min_hits` distinct query k-mers.
+
+use std::collections::HashMap;
+use summitfold_protein::seq::Sequence;
+
+/// Word length. 20³ = 8000 possible words — selective enough for the
+/// short-ish synthetic sequences while cheap to index.
+pub const K: usize = 3;
+
+/// Inverted index from k-mer code to subject ids.
+#[derive(Debug)]
+pub struct KmerIndex {
+    /// `postings[code]` = sorted list of subject indices containing it.
+    postings: Vec<Vec<u32>>,
+    subjects: usize,
+}
+
+/// Encode a window of K residues as an integer code.
+#[inline]
+fn encode(window: &[summitfold_protein::aa::AminoAcid]) -> usize {
+    window.iter().fold(0usize, |acc, aa| acc * 20 + aa.index())
+}
+
+impl KmerIndex {
+    /// Build the index over a set of subject sequences.
+    #[must_use]
+    pub fn build(subjects: &[Sequence]) -> Self {
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); 20usize.pow(K as u32)];
+        for (sid, seq) in subjects.iter().enumerate() {
+            let sid = u32::try_from(sid).expect("too many subjects");
+            for window in seq.residues.windows(K) {
+                let code = encode(window);
+                // Each (kmer, subject) pair recorded once.
+                if postings[code].last() != Some(&sid) {
+                    postings[code].push(sid);
+                }
+            }
+        }
+        Self { postings, subjects: subjects.len() }
+    }
+
+    /// Number of indexed subjects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.subjects
+    }
+
+    /// True when no subjects are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.subjects == 0
+    }
+
+    /// Subjects sharing at least `min_hits` distinct query k-mers, with
+    /// their hit counts, sorted by descending count.
+    #[must_use]
+    pub fn candidates(&self, query: &Sequence, min_hits: usize) -> Vec<(usize, usize)> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        // Distinct query k-mers only: repeated words shouldn't multiply
+        // evidence.
+        let mut seen = std::collections::HashSet::new();
+        for window in query.residues.windows(K) {
+            let code = encode(window);
+            if !seen.insert(code) {
+                continue;
+            }
+            for &sid in &self.postings[code] {
+                *counts.entry(sid).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(usize, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_hits)
+            .map(|(sid, c)| (sid as usize, c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::rng::Xoshiro256;
+
+    fn db(seed: u64, n: usize, len: usize) -> Vec<Sequence> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n).map(|i| Sequence::random(&format!("s{i}"), len, &mut rng)).collect()
+    }
+
+    #[test]
+    fn finds_self() {
+        let subjects = db(1, 20, 150);
+        let index = KmerIndex::build(&subjects);
+        let cands = index.candidates(&subjects[7], 10);
+        assert_eq!(cands[0].0, 7, "self should be top candidate");
+    }
+
+    #[test]
+    fn homolog_outranks_random() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let query = Sequence::random("q", 200, &mut rng);
+        let homolog = query.mutated("h", 0.25, &mut rng);
+        let mut subjects = db(3, 50, 200);
+        subjects.push(homolog);
+        let index = KmerIndex::build(&subjects);
+        let cands = index.candidates(&query, 3);
+        assert!(!cands.is_empty());
+        assert_eq!(cands[0].0, 50, "homolog must rank first");
+    }
+
+    #[test]
+    fn prefilter_discards_most_of_database() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let query = Sequence::random("q", 150, &mut rng);
+        let subjects = db(5, 200, 150);
+        let index = KmerIndex::build(&subjects);
+        // Random 150-mers share few 3-mers-by-position; require a real
+        // signal.
+        let cands = index.candidates(&query, 12);
+        assert!(
+            cands.len() < subjects.len() / 4,
+            "prefilter kept {} of {}",
+            cands.len(),
+            subjects.len()
+        );
+    }
+
+    #[test]
+    fn distant_homolog_survives_prefilter() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let query = Sequence::random("q", 300, &mut rng);
+        let distant = query.mutated("d", 0.6, &mut rng); // 40% identity
+        let mut subjects = db(7, 100, 300);
+        subjects.push(distant);
+        let index = KmerIndex::build(&subjects);
+        let cands = index.candidates(&query, 8);
+        assert!(cands.iter().any(|&(sid, _)| sid == 100), "distant homolog lost");
+    }
+
+    #[test]
+    fn empty_query_and_index() {
+        let index = KmerIndex::build(&[]);
+        assert!(index.is_empty());
+        let q = Sequence::parse("q", "", "AC").unwrap(); // shorter than K
+        assert!(index.candidates(&q, 1).is_empty());
+    }
+
+    #[test]
+    fn counts_sorted_descending() {
+        let subjects = db(8, 30, 120);
+        let index = KmerIndex::build(&subjects);
+        let cands = index.candidates(&subjects[0], 1);
+        for w in cands.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # summitfold-msa
+//!
+//! Feature-generation substrate: the CPU stage of the paper's pipeline
+//! (§3.2.1). Real AlphaFold runs HMMER/HH-suite searches over UniProt,
+//! BFD, MGnify and PDB sequence libraries (2.1 TB full, 420 GB reduced);
+//! this crate provides the synthetic equivalent that exercises the same
+//! code paths:
+//!
+//! * [`db`] — synthetic sequence databases with family/homolog structure
+//!   and byte-size accounting (full vs reduced BFD);
+//! * [`cluster`] — greedy identity clustering that *produces* the reduced
+//!   database, like the BFD deduplication the paper adopted;
+//! * [`kmer`] + [`sw`] — a real homology search: k-mer prefilter followed
+//!   by banded Smith–Waterman with BLOSUM62;
+//! * [`msa`] — multiple-sequence-alignment assembly and Neff (effective
+//!   sequence count), the quantity that controls achievable model quality;
+//! * [`features`] — the per-target `FeatureSet` handed to inference, plus
+//!   the calibrated CPU cost model for the Andes feature-generation stage.
+
+pub mod cluster;
+pub mod db;
+pub mod features;
+pub mod hmm;
+pub mod kmer;
+pub mod msa;
+pub mod profile;
+pub mod sw;
+
+pub use features::FeatureSet;

@@ -1,0 +1,276 @@
+//! Position-specific scoring profiles — the HMMER/HHblits mechanism.
+//!
+//! The pipeline's sequence searches are *iterated*: a first pass finds
+//! close homologs, a profile (PSSM) built from their alignment finds the
+//! remote ones that pairwise BLOSUM scoring misses. That sensitivity gap
+//! is why AlphaFold's feature stage runs profile tools rather than plain
+//! Smith–Waterman, and this module reproduces it: profiles are estimated
+//! from an `Msa` (see [`crate::msa`]) with background pseudocounts, and a
+//! banded local alignment scores subjects against the profile.
+
+use crate::msa::Msa;
+use crate::sw::{GAP_EXTEND, GAP_OPEN};
+use summitfold_protein::aa::{AminoAcid, ALL, BACKGROUND_FREQ};
+use summitfold_protein::seq::Sequence;
+
+/// A position-specific scoring matrix over the target's columns.
+///
+/// Scores are scaled integer log-odds (×2, like BLOSUM's half-bit units)
+/// of the column's residue distribution against background frequencies.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// `scores[pos][aa]`.
+    scores: Vec<[i32; 20]>,
+}
+
+/// Pseudocount weight (Dirichlet prior strength toward background).
+const PSEUDOCOUNT: f64 = 5.0;
+
+impl Profile {
+    /// Estimate a profile from an MSA (target row included).
+    #[must_use]
+    pub fn from_msa(msa: &Msa) -> Self {
+        let n = msa.target.len();
+        let mut scores = Vec::with_capacity(n);
+        for pos in 0..n {
+            // Observed counts: target residue plus aligned rows.
+            let mut counts = [0.0f64; 20];
+            counts[msa.target.residues[pos].index()] += 1.0;
+            let mut total = 1.0;
+            for row in &msa.rows {
+                if let Some(aa) = row.aligned[pos] {
+                    counts[aa.index()] += 1.0;
+                    total += 1.0;
+                }
+            }
+            // Posterior frequencies with background pseudocounts.
+            let mut col = [0i32; 20];
+            for (k, c) in col.iter_mut().enumerate() {
+                let freq = (counts[k] + PSEUDOCOUNT * BACKGROUND_FREQ[k])
+                    / (total + PSEUDOCOUNT);
+                let odds = freq / BACKGROUND_FREQ[k];
+                // Half-bit-like scaling, clamped to a BLOSUM-ish range.
+                *c = (2.0 * odds.log2()).round().clamp(-6.0, 12.0) as i32;
+            }
+            scores.push(col);
+        }
+        Self { scores }
+    }
+
+    /// Profile length (target columns).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when the profile has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Score of residue `aa` at column `pos`.
+    #[inline]
+    #[must_use]
+    pub fn score(&self, pos: usize, aa: AminoAcid) -> i32 {
+        self.scores[pos][aa.index()]
+    }
+
+    /// Banded local alignment of a subject sequence against the profile
+    /// (Smith–Waterman recurrence with position-specific match scores).
+    /// Returns the best local score.
+    #[must_use]
+    pub fn align(&self, subject: &Sequence, band: Option<usize>) -> i32 {
+        let n = self.len();
+        let m = subject.len();
+        if n == 0 || m == 0 {
+            return 0;
+        }
+        let offset = m as i64 - n as i64;
+        let in_band = |i: usize, j: usize| -> bool {
+            match band {
+                None => true,
+                Some(b) => {
+                    let d = j as i64 - i as i64 - offset / 2;
+                    d.unsigned_abs() as usize <= b + offset.unsigned_abs() as usize / 2
+                }
+            }
+        };
+        let w = m + 1;
+        let mut h_prev = vec![0i32; w];
+        let mut h_cur = vec![0i32; w];
+        let mut e_prev = vec![i32::MIN / 2; w];
+        let mut e_cur = vec![i32::MIN / 2; w];
+        let mut best = 0;
+        for i in 1..=n {
+            let mut f = i32::MIN / 2;
+            h_cur[0] = 0;
+            for j in 1..=m {
+                if !in_band(i - 1, j - 1) {
+                    h_cur[j] = 0;
+                    e_cur[j] = i32::MIN / 2;
+                    continue;
+                }
+                e_cur[j] = (e_prev[j] - GAP_EXTEND).max(h_prev[j] - GAP_OPEN);
+                f = (f - GAP_EXTEND).max(h_cur[j - 1] - GAP_OPEN);
+                let diag = h_prev[j - 1] + self.score(i - 1, subject.residues[j - 1]);
+                let h = diag.max(e_cur[j]).max(f).max(0);
+                h_cur[j] = h;
+                best = best.max(h);
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            std::mem::swap(&mut e_prev, &mut e_cur);
+        }
+        best
+    }
+
+    /// Per-column information content (bits) — a depth/conservation
+    /// diagnostic: deep diverse MSAs sharpen conserved columns.
+    #[must_use]
+    pub fn information_content(&self) -> Vec<f64> {
+        self.scores
+            .iter()
+            .map(|col| {
+                // Reconstruct frequencies from the log-odds (approximate,
+                // good enough for the diagnostic).
+                let mut info = 0.0;
+                for aa in ALL {
+                    let odds = 2.0f64.powf(f64::from(col[aa.index()]) / 2.0);
+                    let freq = (odds * BACKGROUND_FREQ[aa.index()]).min(1.0);
+                    if freq > 0.0 {
+                        info += freq * (freq / BACKGROUND_FREQ[aa.index()]).log2();
+                    }
+                }
+                info.max(0.0)
+            })
+            .collect()
+    }
+}
+
+/// Iterated search: plain search seeds an MSA, the MSA's profile rescores
+/// the database, and hits above `min_profile_score` are added. Returns
+/// the ids of subjects detected *only* by the profile pass — the remote
+/// homologs pairwise search misses.
+#[must_use]
+pub fn profile_only_hits(
+    msa: &Msa,
+    db: &[Sequence],
+    min_profile_score: i32,
+    band: Option<usize>,
+) -> Vec<String> {
+    let profile = Profile::from_msa(msa);
+    let already: std::collections::BTreeSet<&str> =
+        msa.rows.iter().map(|r| r.id.as_str()).collect();
+    db.iter()
+        .filter(|s| !already.contains(s.id.as_str()) && s.id != msa.target.id)
+        .filter(|s| profile.align(s, band) >= min_profile_score)
+        .map(|s| s.id.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::KmerIndex;
+    use crate::msa::{search, SearchParams};
+    use crate::sw::smith_waterman;
+    use summitfold_protein::rng::Xoshiro256;
+
+    fn family_db(seed: u64) -> (Sequence, Vec<Sequence>) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let target = Sequence::random("target", 250, &mut rng);
+        let mut db = Vec::new();
+        // Close homologs (findable by plain search)...
+        for k in 0..6 {
+            db.push(target.mutated(&format!("close{k}"), 0.25 + 0.03 * k as f64, &mut rng));
+        }
+        // ...remote homologs in the twilight zone...
+        for k in 0..4 {
+            db.push(target.mutated(&format!("remote{k}"), 0.72 + 0.02 * k as f64, &mut rng));
+        }
+        // ...and background noise.
+        for b in 0..150 {
+            db.push(Sequence::random(&format!("bg{b}"), 240, &mut rng));
+        }
+        (target, db)
+    }
+
+    #[test]
+    fn profile_scores_target_higher_than_background() {
+        let (target, db) = family_db(1);
+        let index = KmerIndex::build(&db);
+        let msa = search(&target, &db, &index, &SearchParams::default());
+        let profile = Profile::from_msa(&msa);
+        let self_score = profile.align(&target, None);
+        let bg_scores: Vec<i32> =
+            db.iter().filter(|s| s.id.starts_with("bg")).take(20).map(|s| profile.align(s, None)).collect();
+        let max_bg = bg_scores.iter().copied().max().unwrap();
+        assert!(self_score > max_bg * 2, "self {self_score} vs max bg {max_bg}");
+    }
+
+    #[test]
+    fn profile_search_finds_remote_homologs_pairwise_misses() {
+        let (target, db) = family_db(2);
+        let index = KmerIndex::build(&db);
+        let msa = search(&target, &db, &index, &SearchParams::default());
+        // Plain search found the close family only.
+        assert!(msa.rows.iter().any(|r| r.id.starts_with("close")));
+        let found_remote_plain =
+            msa.rows.iter().filter(|r| r.id.starts_with("remote")).count();
+
+        // Calibrate the acceptance threshold from the background score
+        // distribution (like an E-value cutoff).
+        let profile = Profile::from_msa(&msa);
+        let max_bg = db
+            .iter()
+            .filter(|s| s.id.starts_with("bg"))
+            .map(|s| profile.align(s, Some(24)))
+            .max()
+            .unwrap();
+        let hits = profile_only_hits(&msa, &db, max_bg + 10, Some(24));
+        let remote_hits = hits.iter().filter(|id| id.starts_with("remote")).count();
+        assert!(
+            remote_hits > found_remote_plain,
+            "profile pass must add remote homologs: plain {found_remote_plain}, profile-only {remote_hits} ({hits:?})"
+        );
+        // No background contamination above the calibrated cutoff.
+        assert!(hits.iter().all(|id| !id.starts_with("bg")), "{hits:?}");
+    }
+
+    #[test]
+    fn conserved_columns_carry_information() {
+        let (target, db) = family_db(3);
+        let index = KmerIndex::build(&db);
+        let msa = search(&target, &db, &index, &SearchParams::default());
+        let profile = Profile::from_msa(&msa);
+        let info = profile.information_content();
+        assert_eq!(info.len(), target.len());
+        assert!(info.iter().all(|&x| x >= 0.0));
+        let mean = summitfold_protein::stats::mean(&info);
+        assert!(mean > 0.3, "profiles from real MSAs are informative: {mean}");
+    }
+
+    #[test]
+    fn empty_profile_and_subject() {
+        let (target, db) = family_db(4);
+        let index = KmerIndex::build(&db);
+        let msa = search(&target, &db, &index, &SearchParams::default());
+        let profile = Profile::from_msa(&msa);
+        let empty = Sequence::parse("e", "", "").unwrap();
+        assert_eq!(profile.align(&empty, None), 0);
+    }
+
+    #[test]
+    fn profile_alignment_consistent_with_pairwise_for_identity() {
+        // For the target itself, profile score should be at least the
+        // BLOSUM self-score scaled into the same ballpark (both reward a
+        // perfect diagonal).
+        let (target, db) = family_db(5);
+        let index = KmerIndex::build(&db);
+        let msa = search(&target, &db, &index, &SearchParams::default());
+        let profile = Profile::from_msa(&msa);
+        let pairwise = smith_waterman(&target, &target, None).score;
+        let prof = profile.align(&target, None);
+        assert!(prof > pairwise / 3, "profile self-score {prof} vs pairwise {pairwise}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # summitfold-pipeline
+//!
+//! The paper's primary contribution: an optimized, three-stage,
+//! proteome-scale structure-prediction pipeline for OLCF resources.
+//!
+//! | stage | resource | module |
+//! |---|---|---|
+//! | 1. feature generation (MSA search) | Andes CPU nodes, replicated DBs | [`stages::feature`] |
+//! | 2. model inference (5 models, dynamic recycling) | Summit GPUs via dataflow | [`stages::inference`] |
+//! | 3. geometry optimization (single-pass GPU relaxation) | Summit GPUs via dataflow | [`stages::relax_stage`] |
+//!
+//! plus the end-to-end proteome campaign driver ([`proteome`]) and the
+//! §4.6 downstream analyses ([`annotate`]): structure-based functional
+//! annotation of hypothetical proteins and novel-fold detection.
+
+pub mod annotate;
+pub mod proteome;
+pub mod screen;
+pub mod stages;
+
+pub use proteome::{run_proteome_campaign, CampaignConfig, ProteomeReport};

@@ -1,0 +1,282 @@
+//! The twenty standard amino acids and the per-residue properties used by
+//! the fold generator, the surrogate predictor and the relaxation force
+//! field.
+//!
+//! Property sources:
+//! * heavy-atom counts: standard residue topologies (PDB chemical
+//!   component dictionary);
+//! * helix/sheet propensities: Chou–Fasman scale (normalized);
+//! * hydrophobicity: Kyte–Doolittle scale.
+//!
+//! These are the real literature values — the downstream simulators lean on
+//! them to give synthetic proteomes realistic composition-dependent
+//! behaviour (e.g. heavy-atom counts drive Fig 4's relaxation cost axis).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the twenty standard proteinogenic amino acids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AminoAcid {
+    Ala,
+    Arg,
+    Asn,
+    Asp,
+    Cys,
+    Gln,
+    Glu,
+    Gly,
+    His,
+    Ile,
+    Leu,
+    Lys,
+    Met,
+    Phe,
+    Pro,
+    Ser,
+    Thr,
+    Trp,
+    Tyr,
+    Val,
+}
+
+/// All twenty amino acids in enum order. Useful for iteration and for
+/// composition-weighted sampling.
+pub const ALL: [AminoAcid; 20] = [
+    AminoAcid::Ala,
+    AminoAcid::Arg,
+    AminoAcid::Asn,
+    AminoAcid::Asp,
+    AminoAcid::Cys,
+    AminoAcid::Gln,
+    AminoAcid::Glu,
+    AminoAcid::Gly,
+    AminoAcid::His,
+    AminoAcid::Ile,
+    AminoAcid::Leu,
+    AminoAcid::Lys,
+    AminoAcid::Met,
+    AminoAcid::Phe,
+    AminoAcid::Pro,
+    AminoAcid::Ser,
+    AminoAcid::Thr,
+    AminoAcid::Trp,
+    AminoAcid::Tyr,
+    AminoAcid::Val,
+];
+
+/// Background amino-acid frequencies (UniProt-wide, approximate), in enum
+/// order. Used to generate realistic synthetic sequences.
+pub const BACKGROUND_FREQ: [f64; 20] = [
+    0.0826, // A
+    0.0553, // R
+    0.0406, // N
+    0.0546, // D
+    0.0137, // C
+    0.0393, // Q
+    0.0672, // E
+    0.0708, // G
+    0.0228, // H
+    0.0593, // I
+    0.0965, // L
+    0.0582, // K
+    0.0241, // M
+    0.0386, // F
+    0.0474, // P
+    0.0660, // S
+    0.0535, // T
+    0.0110, // W
+    0.0292, // Y
+    0.0687, // V
+];
+
+impl AminoAcid {
+    /// Parse a one-letter code (case-insensitive). Returns `None` for
+    /// non-standard letters (B, J, O, U, X, Z, ...).
+    #[must_use]
+    pub fn from_code(c: char) -> Option<Self> {
+        Some(match c.to_ascii_uppercase() {
+            'A' => Self::Ala,
+            'R' => Self::Arg,
+            'N' => Self::Asn,
+            'D' => Self::Asp,
+            'C' => Self::Cys,
+            'Q' => Self::Gln,
+            'E' => Self::Glu,
+            'G' => Self::Gly,
+            'H' => Self::His,
+            'I' => Self::Ile,
+            'L' => Self::Leu,
+            'K' => Self::Lys,
+            'M' => Self::Met,
+            'F' => Self::Phe,
+            'P' => Self::Pro,
+            'S' => Self::Ser,
+            'T' => Self::Thr,
+            'W' => Self::Trp,
+            'Y' => Self::Tyr,
+            'V' => Self::Val,
+            _ => return None,
+        })
+    }
+
+    /// One-letter code.
+    #[must_use]
+    pub fn code(self) -> char {
+        b"ARNDCQEGHILKMFPSTWYV"[self as usize] as char
+    }
+
+    /// Three-letter code in upper case, as used in PDB records.
+    #[must_use]
+    pub fn code3(self) -> &'static str {
+        [
+            "ALA", "ARG", "ASN", "ASP", "CYS", "GLN", "GLU", "GLY", "HIS", "ILE", "LEU", "LYS",
+            "MET", "PHE", "PRO", "SER", "THR", "TRP", "TYR", "VAL",
+        ][self as usize]
+    }
+
+    /// Index in `0..20` (enum order). Handy for scoring matrices.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from an index in `0..20`. Panics out of range.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        ALL[i]
+    }
+
+    /// Number of non-hydrogen atoms in the full residue (backbone N, CA, C,
+    /// O plus side chain). Glycine has 4; tryptophan, the largest, 14.
+    #[must_use]
+    pub fn heavy_atoms(self) -> u32 {
+        [
+            5,  // Ala
+            11, // Arg
+            8,  // Asn
+            8,  // Asp
+            6,  // Cys
+            9,  // Gln
+            9,  // Glu
+            4,  // Gly
+            10, // His
+            8,  // Ile
+            8,  // Leu
+            9,  // Lys
+            8,  // Met
+            11, // Phe
+            7,  // Pro
+            6,  // Ser
+            7,  // Thr
+            14, // Trp
+            12, // Tyr
+            7,  // Val
+        ][self as usize]
+    }
+
+    /// Chou–Fasman α-helix propensity (1.0 ≈ average).
+    #[must_use]
+    pub fn helix_propensity(self) -> f64 {
+        [
+            1.42, 0.98, 0.67, 1.01, 0.70, 1.11, 1.51, 0.57, 1.00, 1.08, 1.21, 1.16, 1.45, 1.13,
+            0.57, 0.77, 0.83, 1.08, 0.69, 1.06,
+        ][self as usize]
+    }
+
+    /// Chou–Fasman β-sheet propensity (1.0 ≈ average).
+    #[must_use]
+    pub fn sheet_propensity(self) -> f64 {
+        [
+            0.83, 0.93, 0.89, 0.54, 1.19, 1.10, 0.37, 0.75, 0.87, 1.60, 1.30, 0.74, 1.05, 1.38,
+            0.55, 0.75, 1.19, 1.37, 1.47, 1.70,
+        ][self as usize]
+    }
+
+    /// Kyte–Doolittle hydropathy (positive = hydrophobic).
+    #[must_use]
+    pub fn hydropathy(self) -> f64 {
+        [
+            1.8, -4.5, -3.5, -3.5, 2.5, -3.5, -3.5, -0.4, -3.2, 4.5, 3.8, -3.9, 1.9, 2.8, -1.6,
+            -0.8, -0.7, -0.9, -1.3, 4.2,
+        ][self as usize]
+    }
+
+    /// Approximate distance (Å) from Cα to the side-chain centroid. Glycine
+    /// has no side chain; its "centroid" sits on the Cα.
+    #[must_use]
+    pub fn sidechain_extent(self) -> f64 {
+        [
+            1.5, 4.1, 2.5, 2.5, 2.1, 3.1, 3.1, 0.0, 3.2, 2.3, 2.6, 3.5, 2.9, 3.4, 1.9, 1.9, 1.9,
+            3.9, 3.8, 2.0,
+        ][self as usize]
+    }
+}
+
+impl std::fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_one_letter_codes() {
+        for aa in ALL {
+            assert_eq!(AminoAcid::from_code(aa.code()), Some(aa));
+            assert_eq!(AminoAcid::from_code(aa.code().to_ascii_lowercase()), Some(aa));
+        }
+    }
+
+    #[test]
+    fn rejects_nonstandard_codes() {
+        for c in ['B', 'J', 'O', 'U', 'X', 'Z', '-', '*', '1'] {
+            assert_eq!(AminoAcid::from_code(c), None, "code {c}");
+        }
+    }
+
+    #[test]
+    fn indices_are_consistent() {
+        for (i, aa) in ALL.iter().enumerate() {
+            assert_eq!(aa.index(), i);
+            assert_eq!(AminoAcid::from_index(i), *aa);
+        }
+    }
+
+    #[test]
+    fn heavy_atom_extremes() {
+        assert_eq!(AminoAcid::Gly.heavy_atoms(), 4);
+        assert_eq!(AminoAcid::Trp.heavy_atoms(), 14);
+        let max = ALL.iter().map(|a| a.heavy_atoms()).max().unwrap();
+        assert_eq!(max, 14);
+    }
+
+    #[test]
+    fn background_frequencies_sum_to_one() {
+        let total: f64 = BACKGROUND_FREQ.iter().sum();
+        assert!((total - 1.0).abs() < 0.01, "sum={total}");
+    }
+
+    #[test]
+    fn code3_matches_pdb_names() {
+        assert_eq!(AminoAcid::Gly.code3(), "GLY");
+        assert_eq!(AminoAcid::Trp.code3(), "TRP");
+        for aa in ALL {
+            assert_eq!(aa.code3().len(), 3);
+        }
+    }
+
+    #[test]
+    fn glycine_has_no_sidechain() {
+        assert_eq!(AminoAcid::Gly.sidechain_extent(), 0.0);
+        for aa in ALL {
+            if aa != AminoAcid::Gly {
+                assert!(aa.sidechain_extent() > 0.0);
+            }
+        }
+    }
+}

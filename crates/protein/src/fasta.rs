@@ -1,0 +1,171 @@
+//! FASTA serialization for sequences.
+//!
+//! The workflow's on-disk interchange format: feature generation consumes
+//! proteome FASTA files, and the batch tooling writes per-target FASTA
+//! shards. Parsing is strict about residue alphabet (matching the paper's
+//! pipeline, which rejects non-standard residues before inference).
+
+use crate::seq::{ParseSeqError, Sequence};
+
+/// Error from FASTA parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header line.
+    DataBeforeHeader { line: usize },
+    /// A residue character was not a standard amino acid.
+    BadResidue { record: String, source: ParseSeqError },
+    /// A header introduced a record with no residues.
+    EmptyRecord { record: String },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DataBeforeHeader { line } => {
+                write!(f, "sequence data before first '>' header at line {line}")
+            }
+            Self::BadResidue { record, source } => {
+                write!(f, "record {record}: {source}")
+            }
+            Self::EmptyRecord { record } => write!(f, "record {record} has no residues"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parse a FASTA document into sequences.
+///
+/// Headers are `>id description...`; the id is the first whitespace-
+/// delimited token after `>`. Blank lines are ignored.
+pub fn parse(text: &str) -> Result<Vec<Sequence>, FastaError> {
+    let mut out: Vec<Sequence> = Vec::new();
+    let mut current: Option<(String, String, String)> = None; // id, desc, residues
+
+    fn flush(
+        current: Option<(String, String, String)>,
+        out: &mut Vec<Sequence>,
+    ) -> Result<(), FastaError> {
+        if let Some((id, desc, residues)) = current {
+            if residues.is_empty() {
+                return Err(FastaError::EmptyRecord { record: id });
+            }
+            let seq = Sequence::parse(&id, &desc, &residues)
+                .map_err(|source| FastaError::BadResidue { record: id, source })?;
+            out.push(seq);
+        }
+        Ok(())
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(current.take(), &mut out)?;
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_owned();
+            let desc = parts.next().unwrap_or("").trim().to_owned();
+            current = Some((id, desc, String::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, _, residues)) => residues.push_str(line),
+                None => return Err(FastaError::DataBeforeHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    flush(current, &mut out)?;
+    Ok(out)
+}
+
+/// Render sequences as FASTA with 60-column wrapping.
+#[must_use]
+pub fn format(seqs: &[Sequence]) -> String {
+    let mut out = String::new();
+    for seq in seqs {
+        out.push('>');
+        out.push_str(&seq.id);
+        if !seq.description.is_empty() {
+            out.push(' ');
+            out.push_str(&seq.description);
+        }
+        out.push('\n');
+        let letters = seq.to_letters();
+        for chunk in letters.as_bytes().chunks(60) {
+            out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let seqs: Vec<Sequence> = (0..5)
+            .map(|i| {
+                let mut s = Sequence::random(&format!("P{i:04}"), 50 + i * 37, &mut rng);
+                s.description = format!("synthetic protein {i}");
+                s
+            })
+            .collect();
+        let text = format(&seqs);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, seqs);
+    }
+
+    #[test]
+    fn wraps_at_60_columns() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let seq = Sequence::random("long", 150, &mut rng);
+        let text = format(&[seq]);
+        for line in text.lines().filter(|l| !l.starts_with('>')) {
+            assert!(line.len() <= 60);
+        }
+    }
+
+    #[test]
+    fn header_parsing_splits_id_and_description() {
+        let seqs = parse(">sp|X|Y hypothetical protein DVU_0001\nACDEF\n").unwrap();
+        assert_eq!(seqs[0].id, "sp|X|Y");
+        assert_eq!(seqs[0].description, "hypothetical protein DVU_0001");
+    }
+
+    #[test]
+    fn multiline_records_are_joined() {
+        let seqs = parse(">a\nACD\nEFG\n>b\nKLM\n").unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].to_letters(), "ACDEFG");
+        assert_eq!(seqs[1].to_letters(), "KLM");
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        assert!(matches!(
+            parse("ACDEF\n>a\nACD\n"),
+            Err(FastaError::DataBeforeHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_record_is_error() {
+        assert!(matches!(parse(">a\n>b\nACD\n"), Err(FastaError::EmptyRecord { .. })));
+    }
+
+    #[test]
+    fn bad_residue_is_error() {
+        assert!(matches!(parse(">a\nACDZ\n"), Err(FastaError::BadResidue { .. })));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let seqs = parse("\n>a\n\nACD\n\n").unwrap();
+        assert_eq!(seqs[0].to_letters(), "ACD");
+    }
+}

@@ -1,0 +1,461 @@
+//! Deterministic ground-truth fold generation for synthetic proteins.
+//!
+//! The paper's substrate (real proteins with experimentally determined or
+//! AlphaFold-predicted structures) is replaced by a generator that maps a
+//! sequence to a reproducible, protein-like native fold:
+//!
+//! 1. secondary structure is assigned from windowed Chou–Fasman
+//!    propensities (helix / sheet / coil segments of realistic lengths);
+//! 2. an initial backbone is traced segment by segment with ideal local
+//!    geometry (α-helix rise 1.5 Å per residue with ~100° twist, extended
+//!    strands, randomized coil turns) and a constant 3.8 Å virtual Cα–Cα
+//!    bond;
+//! 3. the trace is collapsed into a compact globule by position-based
+//!    dynamics — centripetal attraction toward the empirical radius of
+//!    gyration (Rg ≈ 2.2·N^0.38 Å), soft-sphere excluded volume, and bond
+//!    re-projection each step;
+//! 4. side-chain centroids are placed along the local normal, scaled by
+//!    the residue's side-chain extent.
+//!
+//! The result is not a physically folded protein, but it has the geometric
+//! statistics that every downstream experiment measures: correct bond
+//! lengths, protein-like compactness, few-to-no native clashes, and a
+//! reproducible map from sequence → structure that lets TM-score, lDDT and
+//! SPECS-score behave like they do on real data.
+
+use crate::aa::AminoAcid;
+use crate::geom::{radius_of_gyration, Mat3, Vec3};
+use crate::grid::SpatialGrid;
+use crate::rng::Xoshiro256;
+use crate::seq::Sequence;
+use crate::structure::Structure;
+
+/// Secondary-structure state of a residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ss {
+    Helix,
+    Sheet,
+    Coil,
+}
+
+/// Ideal virtual Cα–Cα bond length (Å).
+pub const BOND_LENGTH: f64 = 3.8;
+
+/// Assign secondary structure from smoothed Chou–Fasman propensities.
+///
+/// A sliding window (length 5) averages the helix and sheet propensities;
+/// the state with the larger average wins where it exceeds 1.03, otherwise
+/// the residue is coil. Short (≤ 2 residue) helix/sheet stretches are
+/// dissolved into coil, mimicking minimal secondary-structure-element
+/// lengths.
+#[must_use]
+pub fn secondary_structure(seq: &Sequence) -> Vec<Ss> {
+    let n = seq.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ss = vec![Ss::Coil; n];
+    let half = 2usize;
+    for (i, slot) in ss.iter_mut().enumerate() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let window = &seq.residues[lo..hi];
+        let h: f64 =
+            window.iter().map(|a| a.helix_propensity()).sum::<f64>() / window.len() as f64;
+        let e: f64 =
+            window.iter().map(|a| a.sheet_propensity()).sum::<f64>() / window.len() as f64;
+        *slot = if h >= e && h > 1.03 {
+            Ss::Helix
+        } else if e > h && e > 1.03 {
+            Ss::Sheet
+        } else {
+            Ss::Coil
+        };
+    }
+    dissolve_short_elements(&mut ss, 3);
+    ss
+}
+
+/// Convert helix/sheet runs shorter than `min_len` into coil.
+fn dissolve_short_elements(ss: &mut [Ss], min_len: usize) {
+    let n = ss.len();
+    let mut i = 0;
+    while i < n {
+        let state = ss[i];
+        let mut j = i;
+        while j < n && ss[j] == state {
+            j += 1;
+        }
+        if state != Ss::Coil && j - i < min_len {
+            for s in &mut ss[i..j] {
+                *s = Ss::Coil;
+            }
+        }
+        i = j;
+    }
+}
+
+/// Generate the deterministic ground-truth structure for a sequence.
+///
+/// The fold depends only on the residue content (`Sequence::content_hash`),
+/// so identical sequences with different ids fold identically — matching
+/// the fact that structure is a function of sequence.
+#[must_use]
+pub fn ground_truth(seq: &Sequence) -> Structure {
+    let mut rng = Xoshiro256::seed_from_u64(seq.content_hash());
+    let ss = secondary_structure(seq);
+    let mut ca = trace_backbone(&ss, &mut rng);
+    // Capture the ideal local geometry (i,i+2 / i,i+3 separations) of the
+    // freshly traced secondary-structure elements, so the collapse can
+    // preserve helices and strands while packing the global fold.
+    let local = LocalGeometry::capture(&ca, &ss);
+    let elements = LocalGeometry::elements(&ss);
+    compact(&mut ca, &local, &elements, &mut rng);
+    let sidechain = place_sidechains(&ca, &seq.residues);
+    let mut s = Structure::new(&seq.id, seq.residues.clone(), ca, sidechain);
+    s.center_in_place();
+    s
+}
+
+/// Trace an initial extended backbone with ideal local geometry.
+fn trace_backbone(ss: &[Ss], rng: &mut Xoshiro256) -> Vec<Vec3> {
+    let n = ss.len();
+    let mut ca = Vec::with_capacity(n);
+    if n == 0 {
+        return ca;
+    }
+    let mut pos = Vec3::ZERO;
+    // Current chain direction; re-oriented at segment boundaries.
+    let mut dir = Vec3::new(1.0, 0.0, 0.0);
+    ca.push(pos);
+    let mut helix_phase = 0.0f64;
+    for i in 1..n {
+        if ss[i] != ss[i - 1] {
+            // New segment: pick a fresh direction biased to turn the chain.
+            let perp = dir.any_perpendicular();
+            let rot = Mat3::rotation(perp, rng.range(0.6, 1.6));
+            let spin = Mat3::rotation(dir, rng.range(0.0, std::f64::consts::TAU));
+            dir = spin.apply(rot.apply(dir)).normalized();
+            helix_phase = 0.0;
+        }
+        let step = match ss[i] {
+            Ss::Helix => {
+                // Rise 1.5 Å along the axis plus a 2.3 Å-radius spiral;
+                // consecutive Cα separation stays ≈ 3.8 Å.
+                helix_phase += 100f64.to_radians();
+                let u = dir.any_perpendicular();
+                let v = dir.cross(u).normalized();
+                let radial = u * helix_phase.cos() + v * helix_phase.sin();
+                let prev_phase = helix_phase - 100f64.to_radians();
+                let radial_prev = u * prev_phase.cos() + v * prev_phase.sin();
+                (dir * 1.5 + (radial - radial_prev) * 2.3).normalized() * BOND_LENGTH
+            }
+            Ss::Sheet => {
+                // Extended strand with the alternating pleat sized so the
+                // i,i+2 separation lands at the real-protein ~6.6 Å.
+                let pleat = dir.any_perpendicular() * if i % 2 == 0 { 1.6 } else { -1.6 };
+                (dir * 2.8 + pleat).normalized() * BOND_LENGTH
+            }
+            Ss::Coil => {
+                // Random turn within a cone around the current direction.
+                let perp = dir.any_perpendicular();
+                let rot = Mat3::rotation(perp, rng.range(-1.0, 1.0));
+                let spin = Mat3::rotation(dir, rng.range(0.0, std::f64::consts::TAU));
+                dir = spin.apply(rot.apply(dir)).normalized();
+                dir * BOND_LENGTH
+            }
+        };
+        pos += step;
+        ca.push(pos);
+    }
+    ca
+}
+
+/// Ideal short-range separations captured from the traced chain: the
+/// distances that define helical turns and extended strands. Only pairs
+/// *within* one secondary-structure element are constrained — coil stays
+/// free to bend during the collapse.
+struct LocalGeometry {
+    /// `(i, i+2, target)` and `(i, i+3, target)` constraints.
+    pairs: Vec<(usize, usize, f64)>,
+}
+
+impl LocalGeometry {
+    fn capture(ca: &[Vec3], ss: &[Ss]) -> Self {
+        let n = ca.len();
+        let mut pairs = Vec::new();
+        for span in [2usize, 3, 4] {
+            for i in 0..n.saturating_sub(span) {
+                let element = ss[i];
+                if element == Ss::Coil {
+                    continue;
+                }
+                if (i..=i + span).all(|k| ss[k] == element) {
+                    pairs.push((i, i + span, ca[i].dist(ca[i + span])));
+                }
+            }
+        }
+        Self { pairs }
+    }
+
+    /// Contiguous non-coil elements as `(start, end_exclusive)` ranges.
+    fn elements(ss: &[Ss]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < ss.len() {
+            let state = ss[i];
+            let mut j = i;
+            while j < ss.len() && ss[j] == state {
+                j += 1;
+            }
+            if state != Ss::Coil {
+                out.push((i, j));
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// One constraint sweep: nudge each pair toward its
+    /// captured separation.
+    fn project(&self, ca: &mut [Vec3]) {
+        for &(i, j, target) in &self.pairs {
+            let delta = ca[j] - ca[i];
+            let dist = delta.norm().max(1e-9);
+            let corr = delta * (0.3 * (dist - target) / dist);
+            ca[i] += corr;
+            ca[j] -= corr;
+        }
+    }
+}
+
+/// Position-based collapse of the extended trace into a compact globule.
+fn compact(
+    ca: &mut [Vec3],
+    local: &LocalGeometry,
+    elements: &[(usize, usize)],
+    rng: &mut Xoshiro256,
+) {
+    let n = ca.len();
+    if n < 3 {
+        return;
+    }
+    // Empirical globular-protein radius of gyration.
+    let target_rg = 2.2 * (n as f64).powf(0.38);
+    let min_sep = 4.2; // excluded-volume diameter for non-bonded Cα pairs
+    let iterations = 80;
+    let mut disp = vec![Vec3::ZERO; n];
+    for _ in 0..iterations {
+        let com = crate::geom::centroid(ca);
+        let rg = radius_of_gyration(ca);
+        // Centripetal pull, active only while the chain is too extended.
+        let pull = if rg > target_rg { 0.08 * (1.0 - target_rg / rg) } else { 0.0 };
+        for d in disp.iter_mut() {
+            *d = Vec3::ZERO;
+        }
+        if pull > 0.0 {
+            for (i, p) in ca.iter().enumerate() {
+                disp[i] += (com - *p) * pull;
+            }
+        }
+        // Excluded volume between non-adjacent residues.
+        let grid = SpatialGrid::build(ca, min_sep);
+        grid.for_each_pair_within(ca, min_sep, |i, j, dist| {
+            if j - i <= 1 {
+                return;
+            }
+            let overlap = min_sep - dist;
+            if overlap > 0.0 {
+                let dirv = if dist > 1e-9 {
+                    (ca[j] - ca[i]) / dist
+                } else {
+                    Vec3::new(rng_jitter(i), rng_jitter(j), rng_jitter(i ^ j))
+                };
+                disp[i] -= dirv * (0.5 * overlap);
+                disp[j] += dirv * (0.5 * overlap);
+            }
+        });
+        // Secondary-structure elements move near-rigidly: blend each
+        // residue's displacement toward its element's mean, so coil
+        // linkers absorb most of the bending while excluded volume can
+        // still separate interpenetrating elements.
+        for &(a, b) in elements {
+            let mean = disp[a..b].iter().fold(Vec3::ZERO, |acc, &d| acc + d)
+                / (b - a) as f64;
+            for d in &mut disp[a..b] {
+                *d = mean * 0.75 + *d * 0.25;
+            }
+        }
+        for (p, d) in ca.iter_mut().zip(&disp) {
+            *p += *d;
+        }
+        // Re-project virtual bonds to the ideal length (two passes),
+        // interleaved with the secondary-structure geometry constraints.
+        for _ in 0..2 {
+            for i in 1..n {
+                let delta = ca[i] - ca[i - 1];
+                let dist = delta.norm().max(1e-9);
+                let corr = delta * (0.5 * (dist - BOND_LENGTH) / dist);
+                ca[i - 1] += corr;
+                ca[i] -= corr;
+            }
+            local.project(ca);
+        }
+        // Tiny thermal jitter (coil only) to escape flat spots early in
+        // the collapse; elements stay rigid.
+        let jitter = 0.02;
+        let mut in_element = vec![false; n];
+        for &(a, b) in elements {
+            for flag in &mut in_element[a..b] {
+                *flag = true;
+            }
+        }
+        for (p, flag) in ca.iter_mut().zip(&in_element) {
+            if !*flag {
+                *p += Vec3::new(
+                    rng.range(-jitter, jitter),
+                    rng.range(-jitter, jitter),
+                    rng.range(-jitter, jitter),
+                );
+            }
+        }
+    }
+}
+
+/// Cheap deterministic pseudo-jitter for exactly-coincident points.
+fn rng_jitter(i: usize) -> f64 {
+    let h = crate::rng::fnv1a(&i.to_le_bytes());
+    (h % 1000) as f64 / 1000.0 - 0.5
+}
+
+/// Place side-chain centroids along the local outward normal.
+fn place_sidechains(ca: &[Vec3], residues: &[AminoAcid]) -> Vec<Vec3> {
+    let n = ca.len();
+    let com = crate::geom::centroid(ca);
+    (0..n)
+        .map(|i| {
+            let extent = residues[i].sidechain_extent();
+            if extent == 0.0 || n < 3 {
+                return ca[i];
+            }
+            // Normal: bisector of the two chain bonds, pointing away from
+            // the neighbours; falls back to the outward radial direction.
+            let prev = if i > 0 { ca[i - 1] } else { ca[i] };
+            let next = if i + 1 < n { ca[i + 1] } else { ca[i] };
+            let bisector = ((ca[i] - prev).normalized() + (ca[i] - next).normalized()).normalized();
+            let dir = if bisector == Vec3::ZERO {
+                (ca[i] - com).normalized()
+            } else {
+                bisector
+            };
+            let dir = if dir == Vec3::ZERO { Vec3::new(0.0, 0.0, 1.0) } else { dir };
+            ca[i] + dir * extent
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SpatialGrid;
+    use crate::rng::Xoshiro256;
+
+    fn seq(len: usize, seed: u64) -> Sequence {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        Sequence::random(&format!("t{seed}"), len, &mut rng)
+    }
+
+    #[test]
+    fn deterministic_from_content() {
+        let a = seq(120, 1);
+        let mut b = a.clone();
+        b.id = "other".into();
+        let sa = ground_truth(&a);
+        let sb = ground_truth(&b);
+        assert_eq!(sa.ca, sb.ca, "fold must depend only on residue content");
+    }
+
+    #[test]
+    fn bond_lengths_near_ideal() {
+        let s = ground_truth(&seq(200, 2));
+        for (k, d) in s.bond_lengths().iter().enumerate() {
+            assert!((d - BOND_LENGTH).abs() < 0.8, "bond {k} = {d}");
+        }
+    }
+
+    #[test]
+    fn compactness_matches_globular_scaling() {
+        for (len, seed) in [(100usize, 3u64), (300, 4), (600, 5)] {
+            let s = ground_truth(&seq(len, seed));
+            let rg = radius_of_gyration(&s.ca);
+            let target = 2.2 * (len as f64).powf(0.38);
+            assert!(
+                rg < target * 1.6 && rg > target * 0.5,
+                "len {len}: rg={rg:.1} target={target:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn native_fold_has_few_hard_clashes() {
+        let s = ground_truth(&seq(400, 6));
+        let grid = SpatialGrid::build(&s.ca, 4.0);
+        let mut clashes = 0;
+        grid.for_each_pair_within(&s.ca, 1.9, |i, j, _| {
+            if j - i > 1 {
+                clashes += 1;
+            }
+        });
+        assert!(clashes <= 2, "native fold has {clashes} hard clashes");
+    }
+
+    #[test]
+    fn secondary_structure_segments_have_min_length() {
+        let ss = secondary_structure(&seq(500, 7));
+        let mut i = 0;
+        while i < ss.len() {
+            let state = ss[i];
+            let mut j = i;
+            while j < ss.len() && ss[j] == state {
+                j += 1;
+            }
+            if state != Ss::Coil {
+                assert!(j - i >= 3, "element of length {} at {i}", j - i);
+            }
+            i = j;
+        }
+    }
+
+    #[test]
+    fn secondary_structure_has_variety() {
+        let ss = secondary_structure(&seq(800, 8));
+        let helix = ss.iter().filter(|s| **s == Ss::Helix).count();
+        let sheet = ss.iter().filter(|s| **s == Ss::Sheet).count();
+        let coil = ss.iter().filter(|s| **s == Ss::Coil).count();
+        assert!(helix > 0 && sheet > 0 && coil > 0, "h={helix} e={sheet} c={coil}");
+    }
+
+    #[test]
+    fn sidechains_at_expected_distance() {
+        let s = ground_truth(&seq(150, 9));
+        for i in 0..s.len() {
+            let d = s.ca[i].dist(s.sidechain[i]);
+            let expect = s.residues[i].sidechain_extent();
+            assert!((d - expect).abs() < 1e-6, "residue {i}: {d} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn tiny_chains_do_not_panic() {
+        for len in [1usize, 2, 3] {
+            let s = ground_truth(&seq(len, 10 + len as u64));
+            assert_eq!(s.len(), len);
+        }
+    }
+
+    #[test]
+    fn empty_sequence_folds_to_empty_structure() {
+        let s = ground_truth(&Sequence::parse("e", "", "").unwrap());
+        assert!(s.is_empty());
+    }
+}

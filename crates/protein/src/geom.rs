@@ -1,0 +1,355 @@
+//! 3-D geometry primitives: vectors, 3×3 matrices, rotations.
+//!
+//! Deliberately minimal — just what the fold builder, the structural
+//! scoring crate (Kabsch/TM-score) and the relaxation force field need.
+//! All math is `f64`; protein coordinates live in Ångström units.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-vector (Å).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    #[must_use]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn dot(self, o: Self) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn cross(self, o: Self) -> Self {
+        Self::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction; returns `ZERO` for a zero vector
+    /// instead of NaN so callers can fall back gracefully.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            Self::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn dist(self, o: Self) -> f64 {
+        (self - o).norm()
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn dist_sq(self, o: Self) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Component-wise linear interpolation: `self + t * (to - self)`.
+    #[inline]
+    #[must_use]
+    pub fn lerp(self, to: Self, t: f64) -> Self {
+        self + (to - self) * t
+    }
+
+    /// Any unit vector perpendicular to `self` (deterministic choice).
+    #[must_use]
+    pub fn any_perpendicular(self) -> Self {
+        let axis = if self.x.abs() < 0.9 {
+            Self::new(1.0, 0.0, 0.0)
+        } else {
+            Self::new(0.0, 1.0, 0.0)
+        };
+        self.cross(axis).normalized()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        Self::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f64) -> Self {
+        Self::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Row-major 3×3 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    pub const IDENTITY: Self =
+        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+
+    #[must_use]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
+        Self {
+            m: [[r0.x, r0.y, r0.z], [r1.x, r1.y, r1.z], [r2.x, r2.y, r2.z]],
+        }
+    }
+
+    /// Rotation of `angle` radians about an axis (Rodrigues formula). The
+    /// axis is normalized internally; a zero axis yields the identity.
+    #[must_use]
+    pub fn rotation(axis: Vec3, angle: f64) -> Self {
+        let a = axis.normalized();
+        if a == Vec3::ZERO {
+            return Self::IDENTITY;
+        }
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Self {
+            m: [
+                [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+                [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+                [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+            ],
+        }
+    }
+
+    #[must_use]
+    pub fn transpose(self) -> Self {
+        let m = self.m;
+        Self {
+            m: [
+                [m[0][0], m[1][0], m[2][0]],
+                [m[0][1], m[1][1], m[2][1]],
+                [m[0][2], m[1][2], m[2][2]],
+            ],
+        }
+    }
+
+    #[must_use]
+    pub fn det(self) -> f64 {
+        let m = self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Apply to a vector: `self * v`.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, v: Vec3) -> Vec3 {
+        let m = self.m;
+        Vec3::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        )
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Self;
+    fn mul(self, o: Self) -> Self {
+        let mut r = [[0.0f64; 3]; 3];
+        for (i, row) in r.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[i][k] * o.m[k][j]).sum();
+            }
+        }
+        Self { m: r }
+    }
+}
+
+/// Centroid of a point set; `ZERO` for an empty slice.
+#[must_use]
+pub fn centroid(points: &[Vec3]) -> Vec3 {
+    if points.is_empty() {
+        return Vec3::ZERO;
+    }
+    points.iter().fold(Vec3::ZERO, |acc, &p| acc + p) / points.len() as f64
+}
+
+/// Radius of gyration of a point set around its centroid.
+#[must_use]
+pub fn radius_of_gyration(points: &[Vec3]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let c = centroid(points);
+    (points.iter().map(|p| p.dist_sq(c)).sum::<f64>() / points.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert!(close(a.dot(b), 32.0));
+        assert_eq!(a.cross(b), Vec3::new(-3.0, 6.0, -3.0));
+        assert!((a * 2.0 - a).dist(a) < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!(close(v.norm(), 5.0));
+        assert!(close(v.normalized().norm(), 1.0));
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn perpendicular_is_perpendicular() {
+        for v in [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 2.0, -3.0),
+            Vec3::new(0.99, 0.0, 0.1),
+        ] {
+            let p = v.any_perpendicular();
+            assert!(close(p.norm(), 1.0));
+            assert!(v.dot(p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_composes() {
+        let axis = Vec3::new(1.0, 1.0, 0.0);
+        let r = Mat3::rotation(axis, 0.7);
+        let v = Vec3::new(0.3, -2.0, 1.5);
+        assert!(close(r.apply(v).norm(), v.norm()));
+        // det = +1 for a proper rotation.
+        assert!(close(r.det(), 1.0));
+        // R(θ)·R(-θ) = I.
+        let back = Mat3::rotation(axis, -0.7);
+        let id = r * back;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id.m[i][j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let r = Mat3::rotation(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2);
+        let v = r.apply(Vec3::new(1.0, 0.0, 0.0));
+        assert!(v.dist(Vec3::new(0.0, 1.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_of_rotation_is_inverse() {
+        let r = Mat3::rotation(Vec3::new(0.2, -0.5, 1.0), 1.3);
+        let prod = r * r.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.m[i][j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_and_rg() {
+        let pts = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, -1.0, 0.0),
+        ];
+        assert_eq!(centroid(&pts), Vec3::ZERO);
+        assert!(close(radius_of_gyration(&pts), 1.0));
+        assert_eq!(centroid(&[]), Vec3::ZERO);
+        assert_eq!(radius_of_gyration(&[]), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+}

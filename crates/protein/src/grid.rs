@@ -1,0 +1,202 @@
+//! Uniform spatial hash grid for O(N) neighbour queries.
+//!
+//! Both the fold compactor and the relaxation force field need "all pairs
+//! closer than r_cut" repeatedly over thousands of points; the naive O(N²)
+//! scan is the dominant cost for 2,500-residue chains. A cell grid with
+//! cell size ≥ r_cut reduces each query to the 27 surrounding cells.
+
+use crate::geom::Vec3;
+use std::collections::BTreeMap;
+
+/// Spatial hash over points, rebuilt per configuration (cheap: one pass).
+///
+/// Cells live in a `BTreeMap` rather than a `HashMap` so that pair
+/// visitation order is deterministic — the fold compactor accumulates
+/// floating-point displacements in visit order, and reproducibility across
+/// runs is a workspace-wide invariant.
+#[derive(Debug)]
+pub struct SpatialGrid {
+    cell: f64,
+    cells: BTreeMap<(i32, i32, i32), Vec<u32>>,
+}
+
+impl SpatialGrid {
+    /// Build a grid with the given cell size (use the largest cutoff you
+    /// plan to query; querying beyond it misses pairs).
+    #[must_use]
+    pub fn build(points: &[Vec3], cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let mut cells: BTreeMap<(i32, i32, i32), Vec<u32>> = BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells
+                .entry(Self::key(*p, cell))
+                .or_default()
+                .push(u32::try_from(i).expect("more than u32::MAX points"));
+        }
+        Self { cell, cells }
+    }
+
+    #[inline]
+    fn key(p: Vec3, cell: f64) -> (i32, i32, i32) {
+        (
+            (p.x / cell).floor() as i32,
+            (p.y / cell).floor() as i32,
+            (p.z / cell).floor() as i32,
+        )
+    }
+
+    /// Visit every unordered pair `(i, j)` with `i < j` whose points lie
+    /// within `cutoff` of each other. `cutoff` must not exceed the cell
+    /// size used at construction.
+    pub fn for_each_pair_within(
+        &self,
+        points: &[Vec3],
+        cutoff: f64,
+        mut visit: impl FnMut(usize, usize, f64),
+    ) {
+        assert!(
+            cutoff <= self.cell + 1e-12,
+            "cutoff {cutoff} exceeds grid cell {}",
+            self.cell
+        );
+        let c2 = cutoff * cutoff;
+        for (&(cx, cy, cz), members) in &self.cells {
+            // Pairs inside the same cell.
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    let d2 = points[i as usize].dist_sq(points[j as usize]);
+                    if d2 <= c2 {
+                        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                        visit(lo as usize, hi as usize, d2.sqrt());
+                    }
+                }
+            }
+            // Pairs against half of the neighbouring cells (the lexicographic
+            // "forward" half) so every cell pair is visited exactly once.
+            for (dx, dy, dz) in FORWARD_NEIGHBOURS {
+                let other = (cx + dx, cy + dy, cz + dz);
+                if let Some(others) = self.cells.get(&other) {
+                    for &i in members {
+                        for &j in others {
+                            let d2 = points[i as usize].dist_sq(points[j as usize]);
+                            if d2 <= c2 {
+                                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                                visit(lo as usize, hi as usize, d2.sqrt());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect all neighbour pairs within `cutoff` as a sorted vector.
+    #[must_use]
+    pub fn pairs_within(&self, points: &[Vec3], cutoff: f64) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        self.for_each_pair_within(points, cutoff, |i, j, d| out.push((i, j, d)));
+        out.sort_by_key(|a| (a.0, a.1));
+        out
+    }
+}
+
+/// The 13 forward neighbour offsets: half of the 26 adjacent cells, chosen
+/// so that `(cell, cell+offset)` enumerates each adjacent cell pair once.
+const FORWARD_NEIGHBOURS: [(i32, i32, i32); 13] = [
+    (1, 0, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 1, 0),
+    (1, -1, 0),
+    (1, 0, 1),
+    (1, 0, -1),
+    (0, 1, 1),
+    (0, 1, -1),
+    (1, 1, 1),
+    (1, 1, -1),
+    (1, -1, 1),
+    (1, -1, -1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn naive_pairs(points: &[Vec3], cutoff: f64) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        let c2 = cutoff * cutoff;
+        for i in 0..points.len() {
+            for j in i + 1..points.len() {
+                let d2 = points[i].dist_sq(points[j]);
+                if d2 <= c2 {
+                    out.push((i, j, d2.sqrt()));
+                }
+            }
+        }
+        out
+    }
+
+    fn random_points(n: usize, extent: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.range(-extent, extent),
+                    rng.range(-extent, extent),
+                    rng.range(-extent, extent),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_enumeration() {
+        for seed in 0..5 {
+            let pts = random_points(300, 20.0, seed);
+            let grid = SpatialGrid::build(&pts, 5.0);
+            let got = grid.pairs_within(&pts, 5.0);
+            let mut want = naive_pairs(&pts, 5.0);
+            want.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            assert_eq!(got.len(), want.len(), "seed {seed}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.0, g.1), (w.0, w.1));
+                assert!((g.2 - w.2).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_cutoff_than_cell_is_allowed() {
+        let pts = random_points(200, 15.0, 9);
+        let grid = SpatialGrid::build(&pts, 6.0);
+        let got = grid.pairs_within(&pts, 3.0);
+        let want = naive_pairs(&pts, 3.0);
+        assert_eq!(got.len(), want.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn cutoff_larger_than_cell_panics() {
+        let pts = random_points(10, 5.0, 1);
+        let grid = SpatialGrid::build(&pts, 2.0);
+        let _ = grid.pairs_within(&pts, 3.0);
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let grid = SpatialGrid::build(&[], 4.0);
+        assert!(grid.pairs_within(&[], 4.0).is_empty());
+        let one = [Vec3::ZERO];
+        let grid = SpatialGrid::build(&one, 4.0);
+        assert!(grid.pairs_within(&one, 4.0).is_empty());
+    }
+
+    #[test]
+    fn coincident_points_found() {
+        let pts = vec![Vec3::ZERO, Vec3::ZERO, Vec3::new(10.0, 10.0, 10.0)];
+        let grid = SpatialGrid::build(&pts, 2.0);
+        let pairs = grid.pairs_within(&pts, 2.0);
+        assert_eq!(pairs, vec![(0, 1, 0.0)]);
+    }
+}

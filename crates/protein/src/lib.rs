@@ -1,0 +1,30 @@
+//! # summitfold-protein
+//!
+//! Base substrate for the summitfold workspace: amino-acid types, protein
+//! sequences, FASTA I/O, 3-D geometry primitives, Cα-level protein
+//! structures, a deterministic ground-truth fold generator, and synthetic
+//! proteome generators for the four organisms studied in the paper
+//! (*P. mercurii*, *R. rubrum*, *D. vulgaris* Hildenborough, *S. divinum*).
+//!
+//! Everything in this crate is deterministic given a seed: sequences,
+//! folds and proteomes are derived from FNV-hashed stable names so that
+//! every experiment in the workspace is exactly reproducible.
+
+pub mod aa;
+pub mod family;
+pub mod fasta;
+pub mod fold;
+pub mod geom;
+pub mod grid;
+pub mod pdbish;
+pub mod proteome;
+pub mod rng;
+pub mod seq;
+pub mod stats;
+pub mod structure;
+
+pub use aa::AminoAcid;
+pub use geom::Vec3;
+pub use proteome::{Proteome, Species};
+pub use seq::Sequence;
+pub use structure::Structure;

@@ -1,0 +1,187 @@
+//! Minimal PDB-style serialization of Cα traces.
+//!
+//! The deployment writes predicted models to disk as coordinate files; this
+//! module provides a compact PDB-like format (one `ATOM` record per Cα,
+//! plus `SDCN` records for side-chain centroids, a non-standard extension)
+//! sufficient for archival and re-loading. The B-factor column carries the
+//! per-residue pLDDT, exactly like AlphaFold's PDB output does.
+
+use crate::aa::AminoAcid;
+use crate::geom::Vec3;
+use crate::structure::Structure;
+
+/// Error from parsing the PDB-ish format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdbError {
+    /// A coordinate or serial field failed to parse.
+    BadField { line: usize, what: &'static str },
+    /// Unknown residue name in an ATOM record.
+    BadResidue { line: usize, name: String },
+    /// SDCN records did not match ATOM records one-to-one.
+    MismatchedSidechains,
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadField { line, what } => write!(f, "line {line}: bad {what} field"),
+            Self::BadResidue { line, name } => write!(f, "line {line}: unknown residue {name}"),
+            Self::MismatchedSidechains => write!(f, "SDCN records do not match ATOM records"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+/// Render a structure in the PDB-ish format.
+#[must_use]
+pub fn format(s: &Structure) -> String {
+    let mut out = String::with_capacity(s.len() * 160 + 64);
+    out.push_str(&format!("HEADER    {}\n", s.id));
+    for i in 0..s.len() {
+        let b = s.plddt.as_ref().map_or(0.0, |p| p[i]);
+        out.push_str(&format!(
+            "ATOM  {:>5}  CA  {} A{:>4}    {:>8.3}{:>8.3}{:>8.3}  1.00{:>6.2}\n",
+            i + 1,
+            s.residues[i].code3(),
+            i + 1,
+            s.ca[i].x,
+            s.ca[i].y,
+            s.ca[i].z,
+            b,
+        ));
+    }
+    for i in 0..s.len() {
+        out.push_str(&format!(
+            "SDCN  {:>5}      {} A{:>4}    {:>8.3}{:>8.3}{:>8.3}\n",
+            i + 1,
+            s.residues[i].code3(),
+            i + 1,
+            s.sidechain[i].x,
+            s.sidechain[i].y,
+            s.sidechain[i].z,
+        ));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Parse the PDB-ish format back into a structure.
+pub fn parse(text: &str) -> Result<Structure, PdbError> {
+    let mut id = String::from("unknown");
+    let mut residues = Vec::new();
+    let mut ca = Vec::new();
+    let mut sidechain = Vec::new();
+    let mut plddt = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if let Some(rest) = line.strip_prefix("HEADER") {
+            id = rest.trim().to_owned();
+        } else if line.starts_with("ATOM") {
+            let (aa, pos) = parse_coords(line, n)?;
+            let b: f64 = line
+                .get(60..66)
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or(PdbError::BadField { line: n, what: "b-factor" })?;
+            residues.push(aa);
+            ca.push(pos);
+            plddt.push(b);
+        } else if line.starts_with("SDCN") {
+            let (_, pos) = parse_coords(line, n)?;
+            sidechain.push(pos);
+        }
+    }
+    if sidechain.len() != ca.len() {
+        return Err(PdbError::MismatchedSidechains);
+    }
+    let mut s = Structure::new(&id, residues, ca, sidechain);
+    if plddt.iter().any(|&b| b != 0.0) {
+        s.plddt = Some(plddt);
+    }
+    Ok(s)
+}
+
+fn parse_coords(line: &str, n: usize) -> Result<(AminoAcid, Vec3), PdbError> {
+    let resname = line
+        .get(17..20)
+        .ok_or(PdbError::BadField { line: n, what: "residue name" })?
+        .trim();
+    let aa = crate::aa::ALL
+        .iter()
+        .copied()
+        .find(|a| a.code3() == resname)
+        .ok_or_else(|| PdbError::BadResidue { line: n, name: resname.to_owned() })?;
+    let coord = |lo: usize, hi: usize, what: &'static str| -> Result<f64, PdbError> {
+        line.get(lo..hi)
+            .and_then(|f| f.trim().parse().ok())
+            .ok_or(PdbError::BadField { line: n, what })
+    };
+    let x = coord(30, 38, "x")?;
+    let y = coord(38, 46, "y")?;
+    let z = coord(46, 54, "z")?;
+    Ok((aa, Vec3::new(x, y, z)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold;
+    use crate::rng::Xoshiro256;
+    use crate::seq::Sequence;
+
+    fn sample() -> Structure {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let seq = Sequence::random("T0999", 45, &mut rng);
+        let mut s = fold::ground_truth(&seq);
+        s.plddt = Some((0..45).map(|i| 50.0 + (i % 50) as f64).collect());
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry_to_milliangstrom() {
+        let s = sample();
+        let parsed = parse(&format(&s)).unwrap();
+        assert_eq!(parsed.id, s.id);
+        assert_eq!(parsed.residues, s.residues);
+        for i in 0..s.len() {
+            assert!(parsed.ca[i].dist(s.ca[i]) < 2e-3, "ca {i}");
+            assert!(parsed.sidechain[i].dist(s.sidechain[i]) < 2e-3, "sdcn {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_plddt() {
+        let s = sample();
+        let parsed = parse(&format(&s)).unwrap();
+        let got = parsed.plddt.unwrap();
+        let want = s.plddt.unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn plddt_omitted_when_all_zero() {
+        let mut s = sample();
+        s.plddt = None;
+        let parsed = parse(&format(&s)).unwrap();
+        assert!(parsed.plddt.is_none());
+    }
+
+    #[test]
+    fn bad_residue_rejected() {
+        let text = "ATOM      1  CA  XXX A   1       0.000   0.000   0.000  1.00  0.00\n";
+        assert!(matches!(parse(text), Err(PdbError::BadResidue { .. })));
+    }
+
+    #[test]
+    fn mismatched_sidechains_rejected() {
+        let s = sample();
+        let text: String = format(&s)
+            .lines()
+            .filter(|l| !l.starts_with("SDCN"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(parse(&text), Err(PdbError::MismatchedSidechains)));
+    }
+}

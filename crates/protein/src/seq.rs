@@ -1,0 +1,226 @@
+//! Protein sequences: an identifier, a description, and a residue vector.
+
+use crate::aa::{AminoAcid, ALL, BACKGROUND_FREQ};
+use crate::rng::{fnv1a, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// A named protein sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequence {
+    /// Stable identifier, e.g. `DVU_0042`.
+    pub id: String,
+    /// Free-text description (functional annotation, or `hypothetical protein`).
+    pub description: String,
+    /// Residues, N- to C-terminus.
+    pub residues: Vec<AminoAcid>,
+}
+
+/// Error from parsing a residue string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeqError {
+    /// Offending character.
+    pub ch: char,
+    /// Zero-based position in the input.
+    pub pos: usize,
+}
+
+impl std::fmt::Display for ParseSeqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid residue character {:?} at position {}", self.ch, self.pos)
+    }
+}
+
+impl std::error::Error for ParseSeqError {}
+
+impl Sequence {
+    /// Build a sequence from a one-letter residue string. Whitespace is
+    /// ignored; any other non-standard character is an error.
+    pub fn parse(id: &str, description: &str, residue_str: &str) -> Result<Self, ParseSeqError> {
+        let mut residues = Vec::with_capacity(residue_str.len());
+        for (pos, ch) in residue_str.chars().enumerate() {
+            if ch.is_whitespace() {
+                continue;
+            }
+            match AminoAcid::from_code(ch) {
+                Some(aa) => residues.push(aa),
+                None => return Err(ParseSeqError { ch, pos }),
+            }
+        }
+        Ok(Self { id: id.to_owned(), description: description.to_owned(), residues })
+    }
+
+    /// Number of residues.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True when the sequence has no residues.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// One-letter-code string.
+    #[must_use]
+    pub fn to_letters(&self) -> String {
+        self.residues.iter().map(|aa| aa.code()).collect()
+    }
+
+    /// Total non-hydrogen atoms across all residues — the size metric the
+    /// paper uses for relaxation cost (Fig 4).
+    #[must_use]
+    pub fn heavy_atoms(&self) -> u64 {
+        self.residues.iter().map(|aa| u64::from(aa.heavy_atoms())).sum()
+    }
+
+    /// A stable 64-bit hash of the residue content (not the id), used to
+    /// seed per-target deterministic processes such as the ground-truth
+    /// fold.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let bytes: Vec<u8> = self.residues.iter().map(|aa| aa.code() as u8).collect();
+        fnv1a(&bytes)
+    }
+
+    /// Generate a random sequence of the given length with UniProt-like
+    /// background composition.
+    #[must_use]
+    pub fn random(id: &str, len: usize, rng: &mut Xoshiro256) -> Self {
+        let residues =
+            (0..len).map(|_| ALL[rng.weighted_index(&BACKGROUND_FREQ)]).collect();
+        Self { id: id.to_owned(), description: String::new(), residues }
+    }
+
+    /// Produce a mutated copy: each residue is substituted with probability
+    /// `rate` (uniformly over the other 19 amino acids). Models divergence
+    /// within an evolutionary family; used to build synthetic sequence
+    /// databases with homolog structure.
+    #[must_use]
+    pub fn mutated(&self, id: &str, rate: f64, rng: &mut Xoshiro256) -> Self {
+        let residues = self
+            .residues
+            .iter()
+            .map(|&aa| {
+                if rng.uniform() < rate {
+                    // Uniform over the other 19.
+                    let mut j = rng.below(19);
+                    if j >= aa.index() {
+                        j += 1;
+                    }
+                    ALL[j]
+                } else {
+                    aa
+                }
+            })
+            .collect();
+        Self { id: id.to_owned(), description: self.description.clone(), residues }
+    }
+
+    /// Fraction of identical positions against another sequence of the same
+    /// length (ungapped identity). Panics when lengths differ; for the
+    /// gapped case use the alignment in `summitfold-msa`.
+    #[must_use]
+    pub fn identity_to(&self, other: &Self) -> f64 {
+        assert_eq!(self.len(), other.len(), "identity_to requires equal lengths");
+        if self.is_empty() {
+            return 1.0;
+        }
+        let same = self
+            .residues
+            .iter()
+            .zip(&other.residues)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / self.len() as f64
+    }
+
+    /// Residue composition as counts per amino acid (enum order).
+    #[must_use]
+    pub fn composition(&self) -> [u32; 20] {
+        let mut counts = [0u32; 20];
+        for aa in &self.residues {
+            counts[aa.index()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let s = Sequence::parse("t1", "test", "ACDEFGHIKLMNPQRSTVWY").unwrap();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.to_letters(), "ACDEFGHIKLMNPQRSTVWY");
+    }
+
+    #[test]
+    fn parse_ignores_whitespace() {
+        let s = Sequence::parse("t", "", "ACD EFG\nHIK").unwrap();
+        assert_eq!(s.to_letters(), "ACDEFGHIK");
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = Sequence::parse("t", "", "ACDX").unwrap_err();
+        assert_eq!(err.ch, 'X');
+        assert_eq!(err.pos, 3);
+    }
+
+    #[test]
+    fn random_has_requested_length_and_is_deterministic() {
+        let mut r1 = Xoshiro256::seed_from_u64(5);
+        let mut r2 = Xoshiro256::seed_from_u64(5);
+        let a = Sequence::random("a", 300, &mut r1);
+        let b = Sequence::random("a", 300, &mut r2);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a.residues, b.residues);
+    }
+
+    #[test]
+    fn mutated_identity_tracks_rate() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let base = Sequence::random("base", 2000, &mut rng);
+        let mutant = base.mutated("m", 0.3, &mut rng);
+        let id = base.identity_to(&mutant);
+        assert!((id - 0.7).abs() < 0.05, "identity={id}");
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let base = Sequence::random("base", 100, &mut rng);
+        let m = base.mutated("m", 0.0, &mut rng);
+        assert_eq!(base.residues, m.residues);
+        assert_eq!(base.identity_to(&m), 1.0);
+    }
+
+    #[test]
+    fn content_hash_ignores_id() {
+        let a = Sequence::parse("a", "", "ACDEF").unwrap();
+        let b = Sequence::parse("b", "", "ACDEF").unwrap();
+        let c = Sequence::parse("c", "", "ACDEG").unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn heavy_atoms_sum() {
+        let s = Sequence::parse("t", "", "GG").unwrap();
+        assert_eq!(s.heavy_atoms(), 8);
+        let w = Sequence::parse("t", "", "WG").unwrap();
+        assert_eq!(w.heavy_atoms(), 18);
+    }
+
+    #[test]
+    fn composition_counts() {
+        let s = Sequence::parse("t", "", "AAG").unwrap();
+        let comp = s.composition();
+        assert_eq!(comp[AminoAcid::Ala.index()], 2);
+        assert_eq!(comp[AminoAcid::Gly.index()], 1);
+        assert_eq!(comp.iter().sum::<u32>(), 3);
+    }
+}

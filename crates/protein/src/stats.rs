@@ -1,0 +1,128 @@
+//! Small descriptive-statistics helpers shared across the workspace
+//! (experiment harnesses report means, standard deviations, percentiles
+//! and correlations for every table/figure).
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two samples.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Maximum; 0.0 for an empty slice.
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// p-th percentile (0–100) by linear interpolation; 0.0 for empty input.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (rank - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Pearson correlation coefficient; 0.0 when either side is constant or
+/// the slices are shorter than 2.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut num = 0.0;
+    let mut dx2 = 0.0;
+    let mut dy2 = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        num += dx * dy;
+        dx2 += dx * dx;
+        dy2 += dy * dy;
+    }
+    if dx2 <= 0.0 || dy2 <= 0.0 {
+        return 0.0;
+    }
+    num / (dx2 * dy2).sqrt()
+}
+
+/// Fraction of samples strictly above a threshold; 0.0 for empty input.
+#[must_use]
+pub fn fraction_above(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x > threshold).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((fraction_above(&xs, 2.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fraction_above(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn max_of_slice() {
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+}

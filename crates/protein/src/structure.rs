@@ -1,0 +1,191 @@
+//! Cα-level protein structures.
+//!
+//! The workspace models a protein structure the way the paper's metrics
+//! consume it: one Cα position per residue plus a side-chain centroid
+//! (enough for TM-score, SPECS-score, lDDT, clash/bump violations and the
+//! relaxation force field). Full-atom detail would add cost without adding
+//! any behaviour the reproduced experiments measure; the heavy-atom *count*
+//! (which drives relaxation cost in Fig 4) is tracked exactly from the
+//! sequence.
+
+use crate::aa::AminoAcid;
+use crate::geom::{centroid, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A predicted or reference protein structure at Cα + side-chain-centroid
+/// resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Structure {
+    /// Identifier of the underlying target (usually the sequence id).
+    pub id: String,
+    /// Residue types, parallel to the coordinate arrays.
+    pub residues: Vec<AminoAcid>,
+    /// Cα positions (Å).
+    pub ca: Vec<Vec3>,
+    /// Side-chain centroid positions (Å). For glycine this equals the Cα.
+    pub sidechain: Vec<Vec3>,
+    /// Optional per-residue predicted confidence in `[0, 100]` (pLDDT).
+    pub plddt: Option<Vec<f64>>,
+}
+
+impl Structure {
+    /// Assemble a structure, checking that all arrays are parallel.
+    #[must_use]
+    pub fn new(id: &str, residues: Vec<AminoAcid>, ca: Vec<Vec3>, sidechain: Vec<Vec3>) -> Self {
+        assert_eq!(residues.len(), ca.len(), "residues vs ca length mismatch");
+        assert_eq!(residues.len(), sidechain.len(), "residues vs sidechain length mismatch");
+        Self { id: id.to_owned(), residues, ca, sidechain, plddt: None }
+    }
+
+    /// Number of residues.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ca.len()
+    }
+
+    /// True when the structure has no residues.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ca.is_empty()
+    }
+
+    /// Total heavy (non-hydrogen) atoms implied by the residue content —
+    /// the x-axis of the paper's Fig 4.
+    #[must_use]
+    pub fn heavy_atoms(&self) -> u64 {
+        self.residues.iter().map(|aa| u64::from(aa.heavy_atoms())).sum()
+    }
+
+    /// Centroid of the Cα trace.
+    #[must_use]
+    pub fn center(&self) -> Vec3 {
+        centroid(&self.ca)
+    }
+
+    /// Translate so that the Cα centroid is at the origin.
+    pub fn center_in_place(&mut self) {
+        let c = self.center();
+        for p in &mut self.ca {
+            *p -= c;
+        }
+        for p in &mut self.sidechain {
+            *p -= c;
+        }
+    }
+
+    /// Mean pLDDT across residues, or `None` if confidences are absent.
+    #[must_use]
+    pub fn mean_plddt(&self) -> Option<f64> {
+        let p = self.plddt.as_ref()?;
+        if p.is_empty() {
+            return None;
+        }
+        Some(p.iter().sum::<f64>() / p.len() as f64)
+    }
+
+    /// Fraction of residues with pLDDT above `cutoff` (e.g. 70 for the
+    /// paper's "high-confidence" threshold, 90 for "ultra-high").
+    #[must_use]
+    pub fn plddt_coverage(&self, cutoff: f64) -> Option<f64> {
+        let p = self.plddt.as_ref()?;
+        if p.is_empty() {
+            return None;
+        }
+        Some(p.iter().filter(|&&x| x > cutoff).count() as f64 / p.len() as f64)
+    }
+
+    /// Full Cα–Cα distance matrix (row-major, `len × len`). O(L²) memory;
+    /// used by distogram and scoring code for moderate L.
+    #[must_use]
+    pub fn ca_distance_matrix(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let dist = self.ca[i].dist(self.ca[j]);
+                d[i * n + j] = dist;
+                d[j * n + i] = dist;
+            }
+        }
+        d
+    }
+
+    /// Consecutive Cα–Cα virtual bond lengths (length `len - 1`).
+    #[must_use]
+    pub fn bond_lengths(&self) -> Vec<f64> {
+        self.ca.windows(2).map(|w| w[0].dist(w[1])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold;
+    use crate::rng::Xoshiro256;
+    use crate::seq::Sequence;
+
+    fn sample_structure() -> Structure {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let seq = Sequence::random("S1", 60, &mut rng);
+        fold::ground_truth(&seq)
+    }
+
+    #[test]
+    fn parallel_arrays_enforced() {
+        let s = sample_structure();
+        assert_eq!(s.residues.len(), s.ca.len());
+        assert_eq!(s.residues.len(), s.sidechain.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_arrays_panic() {
+        let _ = Structure::new("bad", vec![AminoAcid::Ala], vec![], vec![]);
+    }
+
+    #[test]
+    fn centering_moves_centroid_to_origin() {
+        let mut s = sample_structure();
+        s.center_in_place();
+        assert!(s.center().norm() < 1e-9);
+    }
+
+    #[test]
+    fn plddt_statistics() {
+        let mut s = sample_structure();
+        assert_eq!(s.mean_plddt(), None);
+        let n = s.len();
+        s.plddt = Some((0..n).map(|i| if i < n / 2 { 95.0 } else { 50.0 }).collect());
+        let mean = s.mean_plddt().unwrap();
+        assert!((mean - 72.5).abs() < 1.0);
+        let cov = s.plddt_coverage(70.0).unwrap();
+        assert!((cov - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_zero_diagonal() {
+        let s = sample_structure();
+        let n = s.len();
+        let d = s.ca_distance_matrix();
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0.0);
+            for j in 0..n {
+                assert!((d[i * n + j] - d[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_atoms_matches_sequence() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let seq = Sequence::random("S2", 40, &mut rng);
+        let s = fold::ground_truth(&seq);
+        assert_eq!(s.heavy_atoms(), seq.heavy_atoms());
+    }
+
+    #[test]
+    fn bond_lengths_count() {
+        let s = sample_structure();
+        assert_eq!(s.bond_lengths().len(), s.len() - 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! The relaxation force field, with analytic gradients.
+//!
+//! A Cα-resolution analogue of the restrained Amber minimization AlphaFold
+//! performs (§3.2.3):
+//!
+//! * **bonds** — harmonic on consecutive Cα distances around 3.8 Å
+//!   (stands in for covalent geometry terms);
+//! * **excluded volume** — soft-sphere quadratic repulsion for
+//!   non-adjacent Cα pairs inside 4.0 Å ("the force field strongly
+//!   destabilizes non-physical interactions between any atoms"); this is
+//!   the term that removes clashes and bumps;
+//! * **positional restraints** — harmonic to the input coordinates with
+//!   the paper's k = 10 kcal·mol⁻¹·Å⁻², on every particle ("applied to
+//!   all non-hydrogen atoms"); this is what keeps the relaxed model on
+//!   top of the inferred one (Fig 3's unchanged TM-scores);
+//! * **side-chain geometry** — a weak harmonic pulling each side-chain
+//!   centroid toward its ideal position (local-backbone bisector at the
+//!   residue's side-chain extent); the term behind Fig 3's slight
+//!   SPECS-score improvements.
+//!
+//! Energies are in kcal·mol⁻¹ and distances in Å.
+
+use summitfold_protein::geom::Vec3;
+use summitfold_protein::grid::SpatialGrid;
+use summitfold_protein::structure::Structure;
+
+/// Restraint force constant (kcal·mol⁻¹·Å⁻²), from the paper.
+pub const K_RESTRAINT: f64 = 10.0;
+/// Bond force constant.
+pub const K_BOND: f64 = 40.0;
+/// Ideal virtual bond length (Å).
+pub const BOND_LENGTH: f64 = 3.8;
+/// Soft-sphere diameter (Å); pairs closer than this are penalized.
+pub const REPULSION_DIST: f64 = 3.85;
+/// Soft-sphere force constant.
+pub const K_REPULSION: f64 = 25.0;
+/// Side-chain ideal-geometry force constant.
+pub const K_SIDECHAIN: f64 = 2.0;
+
+/// A particle system for minimization: Cα then side-chain centroids.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Number of residues.
+    pub n: usize,
+    /// All particle positions: `[ca_0..ca_n, sc_0..sc_n]`.
+    pub pos: Vec<Vec3>,
+    /// Restraint anchors (the input coordinates).
+    anchor: Vec<Vec3>,
+    /// Ideal side-chain centroid targets, computed once from the input
+    /// backbone (the restraints keep the backbone essentially fixed, so a
+    /// fixed target is both accurate and keeps the gradient exact).
+    sc_ideal: Vec<Vec3>,
+}
+
+impl System {
+    /// Build the system from a structure.
+    #[must_use]
+    pub fn from_structure(s: &Structure) -> Self {
+        let n = s.len();
+        let mut pos = Vec::with_capacity(2 * n);
+        pos.extend_from_slice(&s.ca);
+        pos.extend_from_slice(&s.sidechain);
+        let sc_ideal = (0..n).map(|i| ideal_sidechain(s, i)).collect();
+        Self { n, anchor: pos.clone(), pos, sc_ideal }
+    }
+
+    /// Write the (possibly minimized) coordinates back into a copy of the
+    /// original structure.
+    #[must_use]
+    pub fn to_structure(&self, template: &Structure) -> Structure {
+        let mut out = template.clone();
+        out.ca.copy_from_slice(&self.pos[..self.n]);
+        out.sidechain.copy_from_slice(&self.pos[self.n..]);
+        out
+    }
+
+    /// Total potential energy and the gradient (∂E/∂pos, same layout as
+    /// `pos`). The gradient buffer is cleared and filled.
+    pub fn energy_and_gradient(&self, grad: &mut Vec<Vec3>) -> f64 {
+        grad.clear();
+        grad.resize(2 * self.n, Vec3::ZERO);
+        let n = self.n;
+        let ca = &self.pos[..n];
+        let mut energy = 0.0;
+
+        // Bonds.
+        for i in 1..n {
+            let delta = ca[i] - ca[i - 1];
+            let d = delta.norm().max(1e-9);
+            let x = d - BOND_LENGTH;
+            energy += K_BOND * x * x;
+            let f = delta * (2.0 * K_BOND * x / d);
+            grad[i] += f;
+            grad[i - 1] -= f;
+        }
+
+        // Excluded volume (non-adjacent Cα pairs inside REPULSION_DIST).
+        if n >= 3 {
+            let grid = SpatialGrid::build(ca, REPULSION_DIST);
+            // Gradient contributions are collected first because the
+            // closure cannot borrow `grad` mutably while `ca` (from
+            // `self.pos`) is borrowed — and the visit order is
+            // deterministic, preserving reproducibility.
+            let mut contrib: Vec<(usize, Vec3)> = Vec::new();
+            let mut rep_energy = 0.0;
+            grid.for_each_pair_within(ca, REPULSION_DIST, |i, j, d| {
+                if j - i <= 1 {
+                    return;
+                }
+                let overlap = REPULSION_DIST - d;
+                rep_energy += K_REPULSION * overlap * overlap;
+                let dsafe = d.max(1e-9);
+                let dir = (ca[j] - ca[i]) / dsafe;
+                let f = dir * (2.0 * K_REPULSION * overlap);
+                contrib.push((i, f));
+                contrib.push((j, -f));
+            });
+            energy += rep_energy;
+            for (idx, f) in contrib {
+                grad[idx] += f;
+            }
+        }
+
+        // Positional restraints on every particle.
+        for (k, (&p, &a)) in self.pos.iter().zip(&self.anchor).enumerate() {
+            let delta = p - a;
+            energy += K_RESTRAINT * delta.norm_sq();
+            grad[k] += delta * (2.0 * K_RESTRAINT);
+        }
+
+        // Side-chain ideal geometry (fixed targets; see `sc_ideal`).
+        for i in 0..n {
+            let sc = self.pos[n + i];
+            let delta = sc - self.sc_ideal[i];
+            energy += K_SIDECHAIN * delta.norm_sq();
+            grad[n + i] += delta * (2.0 * K_SIDECHAIN);
+        }
+
+        energy
+    }
+}
+
+/// Ideal side-chain centroid for residue `i` of a structure: along the
+/// bisector of the two chain bonds, at the residue's side-chain extent.
+fn ideal_sidechain(s: &Structure, i: usize) -> Vec3 {
+    let n = s.len();
+    let ext = s.residues[i].sidechain_extent();
+    if ext == 0.0 {
+        return s.ca[i];
+    }
+    let prev = if i > 0 { s.ca[i - 1] } else { s.ca[i] };
+    let next = if i + 1 < n { s.ca[i + 1] } else { s.ca[i] };
+    let bis = ((s.ca[i] - prev).normalized() + (s.ca[i] - next).normalized()).normalized();
+    let dir = if bis == Vec3::ZERO { Vec3::new(0.0, 0.0, 1.0) } else { bis };
+    s.ca[i] + dir * ext
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::fold;
+    use summitfold_protein::rng::Xoshiro256;
+    use summitfold_protein::seq::Sequence;
+
+    fn structure(len: usize, seed: u64) -> Structure {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        fold::ground_truth(&Sequence::random("t", len, &mut rng))
+    }
+
+    #[test]
+    fn energy_zero_gradientish_at_anchor_without_contacts() {
+        // At the anchor, restraint energy is exactly zero; remaining
+        // energy comes from imperfect bonds/side-chain geometry of the
+        // generated fold, and must be modest.
+        let s = structure(100, 1);
+        let sys = System::from_structure(&s);
+        let mut grad = Vec::new();
+        let e = sys.energy_and_gradient(&mut grad);
+        assert!(e >= 0.0);
+        assert!(e < 50.0 * s.len() as f64, "anchor energy {e}");
+    }
+
+    #[test]
+    fn clash_raises_energy() {
+        let s = structure(80, 2);
+        let sys_clean = System::from_structure(&s);
+        let mut clashed = s.clone();
+        clashed.ca[40] = clashed.ca[10] + Vec3::new(1.5, 0.0, 0.0);
+        let sys_clash = System::from_structure(&clashed);
+        let mut g = Vec::new();
+        let e_clean = sys_clean.energy_and_gradient(&mut g);
+        let e_clash = sys_clash.energy_and_gradient(&mut g);
+        assert!(
+            e_clash > e_clean + K_REPULSION,
+            "clash energy {e_clash} vs clean {e_clean}"
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let s = structure(30, 3);
+        let mut sys = System::from_structure(&s);
+        // Perturb away from the anchor so all terms are active.
+        let mut rng = Xoshiro256::seed_from_u64(33);
+        for p in &mut sys.pos {
+            *p += Vec3::new(rng.range(-0.5, 0.5), rng.range(-0.5, 0.5), rng.range(-0.5, 0.5));
+        }
+        let mut grad = Vec::new();
+        let e0 = sys.energy_and_gradient(&mut grad);
+        let h = 1e-6;
+        let mut scratch = Vec::new();
+        for k in (0..sys.pos.len()).step_by(7) {
+            for axis in 0..3 {
+                let mut sys2 = sys.clone();
+                match axis {
+                    0 => sys2.pos[k].x += h,
+                    1 => sys2.pos[k].y += h,
+                    _ => sys2.pos[k].z += h,
+                }
+                let e1 = sys2.energy_and_gradient(&mut scratch);
+                let fd = (e1 - e0) / h;
+                let an = match axis {
+                    0 => grad[k].x,
+                    1 => grad[k].y,
+                    _ => grad[k].z,
+                };
+                assert!(
+                    (fd - an).abs() < 1e-2 * (1.0 + an.abs()),
+                    "particle {k} axis {axis}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restraints_pull_back_toward_anchor() {
+        let s = structure(50, 4);
+        let mut sys = System::from_structure(&s);
+        sys.pos[10] += Vec3::new(2.0, 0.0, 0.0);
+        let mut grad = Vec::new();
+        sys.energy_and_gradient(&mut grad);
+        // Gradient at the displaced particle points along +x (energy
+        // decreases toward the anchor at −x step).
+        assert!(grad[10].x > 0.0);
+    }
+
+    #[test]
+    fn roundtrip_structure() {
+        let s = structure(60, 5);
+        let sys = System::from_structure(&s);
+        let back = sys.to_structure(&s);
+        assert_eq!(back.ca, s.ca);
+        assert_eq!(back.sidechain, s.sidechain);
+    }
+}

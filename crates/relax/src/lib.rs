@@ -1,0 +1,37 @@
+//! # summitfold-relax
+//!
+//! Geometry optimization ("relaxation"): the final stage of the pipeline
+//! and the paper's headline engineering win (a >10× speedup for long
+//! sequences, Figs 3–4).
+//!
+//! AlphaFold uses OpenMM with an Amber force field to energy-minimize
+//! predicted models under harmonic restraints, looping until no
+//! "violations" remain. The paper's optimized protocol keeps the force
+//! field and restraints but runs exactly **one** unconditional
+//! minimization on a GPU — the violation-check loop is redundant because
+//! the force field already penalizes the violations it checks for.
+//!
+//! This crate implements the real mechanism at Cα + side-chain-centroid
+//! resolution:
+//!
+//! * [`violations`] — clash (< 1.9 Å) and bump (< 3.6 Å) counting per the
+//!   CASP definitions in §3.2.3;
+//! * [`forcefield`] — chain bonds, soft-sphere excluded volume, harmonic
+//!   positional restraints (k = 10 kcal·mol⁻¹·Å⁻², the paper's constant)
+//!   and side-chain ideal-geometry terms, with analytic gradients;
+//! * [`minimize`] — FIRE minimization to the paper's 2.39 kcal·mol⁻¹
+//!   energy-difference convergence criterion;
+//! * [`protocol`] — the AF2 loop (minimize → check violations → repeat)
+//!   versus the optimized single pass;
+//! * [`timing`] — wall-clock models for the three platforms of Fig 4
+//!   (original AF2 on CPU, optimized on Andes CPU, optimized on Summit
+//!   GPU), charged from the *actual* minimizer work performed.
+
+pub mod forcefield;
+pub mod minimize;
+pub mod protocol;
+pub mod timing;
+pub mod violations;
+
+pub use protocol::{relax, Protocol, RelaxOutcome};
+pub use violations::{count_violations, Violations};

@@ -1,0 +1,139 @@
+//! Structural violation counting (§3.2.3).
+//!
+//! CASP definitions: a **clash** is a Cα–Cα pairwise distance < 1.9 Å, a
+//! **bump** is < 3.6 Å; a model is considered "clashed" if it has more
+//! than 4 clashes or more than 50 bumps. Adjacent residues (|i−j| = 1) are
+//! excluded — their ~3.8 Å virtual bond is chain geometry, not a contact.
+
+use summitfold_protein::grid::SpatialGrid;
+use summitfold_protein::structure::Structure;
+
+/// Clash threshold (Å).
+pub const CLASH_DIST: f64 = 1.9;
+/// Bump threshold (Å).
+pub const BUMP_DIST: f64 = 3.6;
+/// "Clashed model" thresholds.
+pub const MAX_CLASHES: usize = 4;
+/// See [`MAX_CLASHES`].
+pub const MAX_BUMPS: usize = 50;
+
+/// Violation counts for one structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Violations {
+    /// Cα pairs closer than 1.9 Å.
+    pub clashes: usize,
+    /// Cα pairs closer than 3.6 Å (includes the clashes, per the CASP
+    /// definition: every clash is also a bump).
+    pub bumps: usize,
+}
+
+impl Violations {
+    /// Whether the model counts as "clashed" (> 4 clashes or > 50 bumps).
+    #[must_use]
+    pub fn is_clashed(&self) -> bool {
+        self.clashes > MAX_CLASHES || self.bumps > MAX_BUMPS
+    }
+
+    /// True when the structure is violation-free.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.bumps == 0
+    }
+}
+
+/// Count clashes and bumps in a structure.
+#[must_use]
+pub fn count_violations(s: &Structure) -> Violations {
+    let mut v = Violations::default();
+    if s.len() < 3 {
+        return v;
+    }
+    let grid = SpatialGrid::build(&s.ca, BUMP_DIST);
+    grid.for_each_pair_within(&s.ca, BUMP_DIST, |i, j, d| {
+        if j - i <= 1 {
+            return;
+        }
+        v.bumps += 1;
+        if d < CLASH_DIST {
+            v.clashes += 1;
+        }
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::fold;
+    use summitfold_protein::geom::Vec3;
+    use summitfold_protein::rng::Xoshiro256;
+    use summitfold_protein::seq::Sequence;
+
+    fn clean_structure(len: usize, seed: u64) -> Structure {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        fold::ground_truth(&Sequence::random("t", len, &mut rng))
+    }
+
+    #[test]
+    fn native_folds_are_nearly_clean() {
+        for seed in 0..4 {
+            let s = clean_structure(200, seed);
+            let v = count_violations(&s);
+            assert!(v.clashes == 0, "native clashes {}", v.clashes);
+            assert!(v.bumps <= 3, "native bumps {}", v.bumps);
+            assert!(!v.is_clashed());
+        }
+    }
+
+    #[test]
+    fn planted_clash_detected() {
+        let mut s = clean_structure(100, 5);
+        // Move residue 50 on top of residue 10.
+        s.ca[50] = s.ca[10] + Vec3::new(1.0, 0.0, 0.0);
+        let v = count_violations(&s);
+        assert!(v.clashes >= 1);
+        assert!(v.bumps >= v.clashes, "clashes are counted among bumps");
+    }
+
+    #[test]
+    fn planted_bump_not_clash() {
+        let mut s = clean_structure(100, 6);
+        s.ca[60] = s.ca[20] + Vec3::new(3.0, 0.0, 0.0);
+        let v = count_violations(&s);
+        assert!(v.bumps >= 1);
+        // The planted pair at 3.0 Å is a bump, not a clash.
+        let planted_clash = s.ca[60].dist(s.ca[20]) < CLASH_DIST;
+        assert!(!planted_clash);
+    }
+
+    #[test]
+    fn adjacent_residues_excluded() {
+        // Chain bonds are ~3.8 Å > 3.6 Å anyway, but squeeze one bond and
+        // confirm it is not counted.
+        let mut s = clean_structure(50, 7);
+        let dir = (s.ca[11] - s.ca[10]).normalized();
+        s.ca[11] = s.ca[10] + dir * 3.0;
+        let before = count_violations(&s);
+        // The squeezed i/i+1 pair must not add a bump by itself; only
+        // incidental second-neighbour effects could.
+        assert!(before.bumps <= 2, "bumps {}", before.bumps);
+    }
+
+    #[test]
+    fn clashed_classification_thresholds() {
+        let v = Violations { clashes: 5, bumps: 5 };
+        assert!(v.is_clashed());
+        let v = Violations { clashes: 0, bumps: 51 };
+        assert!(v.is_clashed());
+        let v = Violations { clashes: 4, bumps: 50 };
+        assert!(!v.is_clashed());
+        let v = Violations::default();
+        assert!(v.is_clean() && !v.is_clashed());
+    }
+
+    #[test]
+    fn tiny_structures_are_clean() {
+        let s = clean_structure(2, 9);
+        assert_eq!(count_violations(&s), Violations::default());
+    }
+}

@@ -1,0 +1,301 @@
+//! Sequence-independent structural alignment (TM-align-style).
+//!
+//! §4.6 of the paper aligns predicted structures against the pdb70 library
+//! with APoc's global module, which reports a TM-score for the best
+//! structural correspondence between two *different* proteins. This module
+//! implements the core of that class of algorithms:
+//!
+//! 1. **seeding** — gapless threadings of the query onto the template at a
+//!    range of offsets provide initial residue correspondences;
+//! 2. **iterative refinement** — superpose on the current correspondence,
+//!    score all query×template residue pairs by spatial proximity
+//!    (`1/(1+d²/d0²)`), realign with Needleman–Wunsch (order-preserving,
+//!    affine-free gap penalty), and repeat until the alignment fixes;
+//! 3. **scoring** — TM-score normalized by query length over the final
+//!    correspondence, plus sequence identity across aligned pairs (the
+//!    quantity the paper uses to show matches are sequence-invisible).
+
+use crate::kabsch::superpose;
+use crate::tm::tm_d0;
+use summitfold_protein::geom::Vec3;
+use summitfold_protein::seq::Sequence;
+use summitfold_protein::structure::Structure;
+
+/// Result of a structural alignment of a query onto a template.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// TM-score normalized by the query length.
+    pub tm_query: f64,
+    /// Aligned residue pairs `(query_index, template_index)`, ascending.
+    pub pairs: Vec<(usize, usize)>,
+    /// Fraction of aligned pairs with identical residues, in `[0, 1]`.
+    pub seq_identity: f64,
+    /// RMSD over the aligned pairs after the final superposition (Å).
+    pub rmsd: f64,
+}
+
+/// Gap penalty for the alignment DP (in score units of the proximity
+/// matrix, whose entries lie in `(0, 1]`). TM-align uses −0.6.
+const GAP_PENALTY: f64 = 0.6;
+
+/// Align `query` onto `template` structurally; residue identities are used
+/// only for the reported `seq_identity`, never for the alignment itself.
+#[must_use]
+pub fn structural_align(
+    query: &Structure,
+    query_seq: &Sequence,
+    template: &Structure,
+    template_seq: &Sequence,
+) -> Alignment {
+    let n = query.len();
+    let m = template.len();
+    assert!(n > 0 && m > 0, "cannot align empty structures");
+    let d0 = tm_d0(n);
+
+    let mut best = Alignment { tm_query: 0.0, pairs: Vec::new(), seq_identity: 0.0, rmsd: 0.0 };
+
+    // Gapless threading seeds: offsets that give at least `min_overlap`.
+    let min_overlap = 12.min(n.min(m));
+    let lo = -(m as i64) + min_overlap as i64;
+    let hi = n as i64 - min_overlap as i64;
+    let span = (hi - lo).max(1);
+    let step = (span / 8).max(1);
+    let mut offset = lo;
+    while offset <= hi {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .filter_map(|i| {
+                let j = i as i64 - offset;
+                (j >= 0 && (j as usize) < m).then_some((i, j as usize))
+            })
+            .collect();
+        if pairs.len() >= min_overlap {
+            let cand = refine(query, template, pairs, d0);
+            if cand.tm_query > best.tm_query {
+                best = cand;
+            }
+        }
+        offset += step;
+    }
+
+    // Sequence identity over the winning correspondence.
+    if !best.pairs.is_empty() {
+        let same = best
+            .pairs
+            .iter()
+            .filter(|&&(i, j)| query_seq.residues[i] == template_seq.residues[j])
+            .count();
+        best.seq_identity = same as f64 / best.pairs.len() as f64;
+    }
+    best
+}
+
+/// Iteratively refine a correspondence; returns the best alignment found.
+fn refine(
+    query: &Structure,
+    template: &Structure,
+    mut pairs: Vec<(usize, usize)>,
+    d0: f64,
+) -> Alignment {
+    let n = query.len();
+    let m = template.len();
+    let mut best = Alignment { tm_query: 0.0, pairs: Vec::new(), seq_identity: 0.0, rmsd: 0.0 };
+    for _ in 0..6 {
+        if pairs.len() < 3 {
+            break;
+        }
+        let mob: Vec<Vec3> = pairs.iter().map(|&(i, _)| query.ca[i]).collect();
+        let refp: Vec<Vec3> = pairs.iter().map(|&(_, j)| template.ca[j]).collect();
+        let sup = superpose(&mob, &refp);
+        let q: Vec<Vec3> = query.ca.iter().map(|&p| sup.transform(p)).collect();
+
+        // TM-score (query-normalized) of the current correspondence.
+        let tm: f64 = pairs
+            .iter()
+            .map(|&(i, j)| 1.0 / (1.0 + q[i].dist_sq(template.ca[j]) / (d0 * d0)))
+            .sum::<f64>()
+            / n as f64;
+        if tm > best.tm_query {
+            best = Alignment { tm_query: tm, pairs: pairs.clone(), seq_identity: 0.0, rmsd: sup.rmsd };
+        }
+
+        // Re-align with DP on the proximity score matrix.
+        let next = dp_align(&q, &template.ca, d0);
+        if next == pairs {
+            break;
+        }
+        pairs = next;
+        let _ = m;
+    }
+    best
+}
+
+/// Global alignment (Needleman–Wunsch) on the proximity score matrix
+/// `s[i][j] = 1/(1+d²/d0²) − ε`, with linear gap penalty. The ε offset
+/// discourages aligning far-apart residues just because scores are
+/// positive.
+fn dp_align(query: &[Vec3], template: &[Vec3], d0: f64) -> Vec<(usize, usize)> {
+    let n = query.len();
+    let m = template.len();
+    let d0sq = d0 * d0;
+    // Score matrix (flat).
+    let mut s = vec![0.0f64; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            s[i * m + j] = 1.0 / (1.0 + query[i].dist_sq(template[j]) / d0sq) - 0.17;
+        }
+    }
+    // DP with traceback. 0 = diag, 1 = up (gap in template), 2 = left.
+    let mut dp = vec![0.0f64; (n + 1) * (m + 1)];
+    let mut tb = vec![0u8; (n + 1) * (m + 1)];
+    let w = m + 1;
+    for i in 1..=n {
+        dp[i * w] = dp[(i - 1) * w] - GAP_PENALTY;
+        tb[i * w] = 1;
+    }
+    for j in 1..=m {
+        dp[j] = dp[j - 1] - GAP_PENALTY;
+        tb[j] = 2;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = dp[(i - 1) * w + (j - 1)] + s[(i - 1) * m + (j - 1)];
+            let up = dp[(i - 1) * w + j] - GAP_PENALTY;
+            let left = dp[i * w + (j - 1)] - GAP_PENALTY;
+            let (val, dir) = if diag >= up && diag >= left {
+                (diag, 0)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            dp[i * w + j] = val;
+            tb[i * w + j] = dir;
+        }
+    }
+    // Traceback.
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match tb[i * w + j] {
+            0 if i > 0 && j > 0 => {
+                pairs.push((i - 1, j - 1));
+                i -= 1;
+                j -= 1;
+            }
+            1 if i > 0 => i -= 1,
+            _ => j -= 1,
+        }
+    }
+    pairs.reverse();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::family::Family;
+    use summitfold_protein::fold;
+    use summitfold_protein::geom::Mat3;
+    use summitfold_protein::rng::Xoshiro256;
+
+    fn fam(id: u64, len: usize) -> (Structure, Sequence) {
+        let f = Family::new(id, len);
+        (f.representative(), f.base_sequence())
+    }
+
+    #[test]
+    fn self_alignment_is_perfect() {
+        let (s, q) = fam(1, 120);
+        let a = structural_align(&s, &q, &s, &q);
+        assert!(a.tm_query > 0.98, "tm {}", a.tm_query);
+        assert!((a.seq_identity - 1.0).abs() < 1e-12);
+        assert_eq!(a.pairs.len(), 120);
+    }
+
+    #[test]
+    fn alignment_is_rigid_motion_invariant() {
+        let (s, q) = fam(2, 100);
+        let mut moved = s.clone();
+        let r = Mat3::rotation(Vec3::new(1.0, -0.3, 0.8), 1.7);
+        for p in &mut moved.ca {
+            *p = r.apply(*p) + Vec3::new(30.0, -12.0, 5.0);
+        }
+        let a = structural_align(&moved, &q, &s, &q);
+        assert!(a.tm_query > 0.98, "tm {}", a.tm_query);
+    }
+
+    #[test]
+    fn family_member_aligns_to_representative_with_low_identity() {
+        // The §4.6 mechanism in miniature: high structural similarity,
+        // low sequence identity.
+        let f = Family::new(3, 160);
+        let rep = f.representative();
+        let rep_seq = f.base_sequence();
+        let member_seq = f.member_sequence(9, 0.88, "m");
+        let member_fold = f.member_fold(9, 1.5);
+        let a = structural_align(&member_fold, &member_seq, &rep, &rep_seq);
+        assert!(a.tm_query > 0.55, "tm {}", a.tm_query);
+        assert!(a.seq_identity < 0.25, "identity {}", a.seq_identity);
+    }
+
+    #[test]
+    fn unrelated_folds_align_poorly() {
+        let (a, qa) = fam(4, 150);
+        let (b, qb) = fam(5, 150);
+        let r = structural_align(&a, &qa, &b, &qb);
+        assert!(r.tm_query < 0.45, "tm {}", r.tm_query);
+    }
+
+    #[test]
+    fn different_lengths_align() {
+        let (a, qa) = fam(6, 90);
+        let (b, qb) = fam(7, 180);
+        let r = structural_align(&a, &qa, &b, &qb);
+        assert!(r.tm_query >= 0.0 && r.tm_query <= 1.0);
+        // Pairs must be strictly increasing in both coordinates.
+        for w in r.pairs.windows(2) {
+            assert!(w[1].0 > w[0].0 && w[1].1 > w[0].1, "non-monotone pairs");
+        }
+    }
+
+    #[test]
+    fn embedded_domain_is_found() {
+        // Template = query fold embedded in a longer chain: alignment
+        // should recover most of the embedded correspondence.
+        let f = Family::new(8, 100);
+        let small = f.representative();
+        let small_seq = f.base_sequence();
+        let mut rng = Xoshiro256::seed_from_u64(88);
+        let pad = fold::ground_truth(&summitfold_protein::seq::Sequence::random(
+            "pad", 60, &mut rng,
+        ));
+        // Concatenate: shift the pad far away, then append.
+        let mut big_res = small.residues.clone();
+        big_res.extend(pad.residues.iter().copied());
+        let mut big_ca = small.ca.clone();
+        big_ca.extend(pad.ca.iter().map(|&p| p + Vec3::new(60.0, 0.0, 0.0)));
+        let mut big_sc = small.sidechain.clone();
+        big_sc.extend(pad.sidechain.iter().map(|&p| p + Vec3::new(60.0, 0.0, 0.0)));
+        let big = Structure::new("big", big_res, big_ca, big_sc);
+        let mut big_letters = small_seq.to_letters();
+        big_letters.push_str(&pad_seq_letters(&pad));
+        let big_seq = Sequence::parse("big", "", &big_letters).unwrap();
+
+        let a = structural_align(&small, &small_seq, &big, &big_seq);
+        assert!(a.tm_query > 0.8, "tm {}", a.tm_query);
+    }
+
+    fn pad_seq_letters(s: &Structure) -> String {
+        s.residues.iter().map(|r| r.code()).collect()
+    }
+
+    #[test]
+    fn pairs_are_valid_indices() {
+        let (a, qa) = fam(10, 70);
+        let (b, qb) = fam(11, 130);
+        let r = structural_align(&a, &qa, &b, &qb);
+        for &(i, j) in &r.pairs {
+            assert!(i < 70 && j < 130);
+        }
+    }
+}

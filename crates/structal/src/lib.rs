@@ -1,0 +1,21 @@
+//! # summitfold-structal
+//!
+//! Structural bioinformatics substrate: optimal superposition (Kabsch via
+//! Horn's quaternion method), TM-score, lDDT, a simplified SPECS-score,
+//! distance distograms with the ColabFold-style convergence metric,
+//! sequence-independent structural alignment (a TM-align-like iterative
+//! DP), and the synthetic pdb70 library searched by the §4.6
+//! annotation-transfer experiment.
+
+pub mod align;
+pub mod distogram;
+pub mod gdt;
+pub mod kabsch;
+pub mod lddt;
+pub mod pdb70;
+pub mod specs;
+pub mod ss;
+pub mod tm;
+
+pub use kabsch::{superpose, Superposition};
+pub use tm::{tm_d0, tm_score};

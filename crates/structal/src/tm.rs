@@ -1,0 +1,276 @@
+//! TM-score (Zhang & Skolnick 2004) for model-vs-native comparison.
+//!
+//! The template-modeling score is length-normalized so that random
+//! structure pairs score ≈ 0.17 regardless of size, TM > 0.5 implies the
+//! same fold, and 1.0 is identity:
+//!
+//! ```text
+//! TM = max over superpositions of (1/L) Σ_i 1 / (1 + (d_i/d0(L))²)
+//! d0(L) = 1.24 (L − 15)^⅓ − 1.8    (clamped to ≥ 0.5)
+//! ```
+//!
+//! The maximization follows the reference implementation's strategy:
+//! superpositions are seeded from fragments of several lengths, then
+//! refined by iteratively re-superposing on the subset of residues with
+//! distance below a growing cutoff until the subset stabilizes.
+
+use crate::kabsch::superpose;
+use summitfold_protein::geom::Vec3;
+use summitfold_protein::structure::Structure;
+
+/// The TM-score distance scale `d0` for a protein of length `l`.
+#[must_use]
+pub fn tm_d0(l: usize) -> f64 {
+    if l <= 15 {
+        return 0.5;
+    }
+    (1.24 * ((l - 15) as f64).cbrt() - 1.8).max(0.5)
+}
+
+/// TM-score between corresponding Cα traces (model vs native of the same
+/// protein). Returns a value in `(0, 1]`. Panics when the traces differ in
+/// length or are empty.
+#[must_use]
+pub fn tm_score_ca(model: &[Vec3], native: &[Vec3]) -> f64 {
+    tm_superposition(model, native).0
+}
+
+/// TM-score plus the superposition that achieved it — the frame other
+/// superposition-based metrics (GDT-TS) evaluate in.
+#[must_use]
+pub fn tm_superposition(model: &[Vec3], native: &[Vec3]) -> (f64, crate::kabsch::Superposition) {
+    assert_eq!(model.len(), native.len(), "model/native length mismatch");
+    assert!(!model.is_empty(), "empty structures");
+    let l = model.len();
+    let d0 = tm_d0(l);
+
+    // Degenerate chains (< 3 residues): a rigid superposition on all
+    // points is optimal and the iterative machinery has nothing to refine.
+    if l < 3 {
+        let sup = superpose(model, native);
+        let score = model
+            .iter()
+            .zip(native)
+            .map(|(m, n)| 1.0 / (1.0 + sup.transform(*m).dist_sq(*n) / (d0 * d0)))
+            .sum::<f64>()
+            / l as f64;
+        return (score, sup);
+    }
+
+    let mut best = 0.0f64;
+    let mut best_sup = superpose(model, native);
+    // Fragment seeds: whole chain, halves, quarters — each at a few
+    // starting offsets.
+    let frag_lens = [l, l / 2, l / 4].map(|f| f.max(4.min(l)));
+    for frag in frag_lens {
+        if frag < 3 {
+            continue;
+        }
+        let step = (l.saturating_sub(frag) / 3).max(1);
+        let mut start = 0;
+        while start + frag <= l {
+            let idx: Vec<usize> = (start..start + frag).collect();
+            let (score, sup) = refine_from_subset(model, native, &idx, d0);
+            if score > best {
+                best = score;
+                best_sup = sup;
+            }
+            if start + frag == l {
+                break;
+            }
+            start += step;
+        }
+    }
+    (best, best_sup)
+}
+
+/// TM-score between two structures of the same protein.
+#[must_use]
+pub fn tm_score(model: &Structure, native: &Structure) -> f64 {
+    tm_score_ca(&model.ca, &native.ca)
+}
+
+/// Refine a superposition seeded on `subset`, returning the best TM-score
+/// encountered and the superposition that achieved it.
+fn refine_from_subset(
+    model: &[Vec3],
+    native: &[Vec3],
+    subset: &[usize],
+    d0: f64,
+) -> (f64, crate::kabsch::Superposition) {
+    let l = model.len();
+    let mut current: Vec<usize> = subset.to_vec();
+    let mut best = 0.0f64;
+    let mut best_sup: Option<crate::kabsch::Superposition> = None;
+    // Distance-cutoff schedule used by the reference implementation:
+    // d0-based cutoff that grows until enough residues are included.
+    for iter in 0..20 {
+        if current.len() < 3 {
+            break;
+        }
+        let mob: Vec<Vec3> = current.iter().map(|&i| model[i]).collect();
+        let refp: Vec<Vec3> = current.iter().map(|&i| native[i]).collect();
+        let sup = superpose(&mob, &refp);
+        let transformed: Vec<Vec3> = model.iter().map(|&p| sup.transform(p)).collect();
+        let score: f64 = transformed
+            .iter()
+            .zip(native)
+            .map(|(m, n)| 1.0 / (1.0 + m.dist_sq(*n) / (d0 * d0)))
+            .sum::<f64>()
+            / l as f64;
+        if score > best || best_sup.is_none() {
+            best = score;
+            best_sup = Some(sup);
+        }
+
+        // New subset: residues within the cutoff.
+        let mut cutoff = d0 + 1.0 + f64::from(iter / 4);
+        let mut next: Vec<usize> = Vec::with_capacity(l);
+        loop {
+            next.clear();
+            next.extend(
+                transformed
+                    .iter()
+                    .zip(native)
+                    .enumerate()
+                    .filter(|(_, (m, n))| m.dist(**n) < cutoff)
+                    .map(|(i, _)| i),
+            );
+            if next.len() >= 3 || cutoff > 50.0 {
+                break;
+            }
+            cutoff += 0.5;
+        }
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    (best, best_sup.unwrap_or_else(|| superpose(model, native)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_protein::family::{deform, Family};
+    use summitfold_protein::fold;
+    use summitfold_protein::geom::Mat3;
+    use summitfold_protein::rng::Xoshiro256;
+    use summitfold_protein::seq::Sequence;
+
+    fn structure(len: usize, seed: u64) -> Structure {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        fold::ground_truth(&Sequence::random("t", len, &mut rng))
+    }
+
+    #[test]
+    fn d0_reference_values() {
+        // Published formula values.
+        assert!((tm_d0(100) - (1.24 * 85.0f64.cbrt() - 1.8)).abs() < 1e-12);
+        assert_eq!(tm_d0(10), 0.5);
+        assert_eq!(tm_d0(15), 0.5);
+        assert!(tm_d0(500) > tm_d0(100));
+    }
+
+    #[test]
+    fn identical_structures_score_one() {
+        let s = structure(120, 1);
+        let score = tm_score(&s, &s);
+        assert!(score > 0.999, "score {score}");
+    }
+
+    #[test]
+    fn rigid_motion_invariant() {
+        let s = structure(150, 2);
+        let r = Mat3::rotation(Vec3::new(0.3, 1.0, -0.5), 2.0);
+        let t = Vec3::new(20.0, -7.0, 4.0);
+        let moved: Vec<Vec3> = s.ca.iter().map(|&p| r.apply(p) + t).collect();
+        let score = tm_score_ca(&moved, &s.ca);
+        assert!(score > 0.999, "score {score}");
+    }
+
+    #[test]
+    fn unrelated_folds_score_low() {
+        let a = structure(200, 3);
+        let b = structure(200, 4);
+        let score = tm_score_ca(&a.ca, &b.ca);
+        assert!(score < 0.45, "score {score}");
+    }
+
+    #[test]
+    fn small_deformation_scores_high() {
+        let fam = Family::new(1, 200);
+        let rep = fam.representative();
+        let small = deform(&rep, 9, 1.0);
+        let score = tm_score_ca(&small.ca, &rep.ca);
+        assert!(score > 0.75, "score {score}");
+    }
+
+    #[test]
+    fn score_decreases_with_deformation() {
+        let fam = Family::new(2, 250);
+        let rep = fam.representative();
+        let mut last = 1.1;
+        for rms in [0.5, 1.5, 3.0, 6.0] {
+            let d = deform(&rep, 11, rms);
+            let score = tm_score_ca(&d.ca, &rep.ca);
+            assert!(score < last + 0.02, "rms {rms}: {score} !< {last}");
+            last = score;
+        }
+    }
+
+    #[test]
+    fn moderate_deformation_above_fold_threshold() {
+        // Family members with ~2 Å smooth deformation must stay above the
+        // TM=0.5 same-fold line — §4.6 depends on this.
+        let fam = Family::new(3, 180);
+        let rep = fam.representative();
+        let member = fam.member_fold(5, 2.0);
+        let score = tm_score_ca(&member.ca, &rep.ca);
+        assert!(score > 0.5, "score {score}");
+    }
+
+    #[test]
+    fn partial_match_detected_via_fragment_seeding() {
+        // First half identical, second half from a different fold: the
+        // fragment seeds must find the matching half, giving TM ≈ 0.5.
+        let a = structure(200, 6);
+        let b = structure(200, 7);
+        let mut chimera = a.ca.clone();
+        chimera[100..].copy_from_slice(&b.ca[100..]);
+        let score = tm_score_ca(&chimera, &a.ca);
+        assert!(score > 0.4, "score {score}");
+    }
+
+    #[test]
+    fn noise_degrades_score_monotonically() {
+        let s = structure(150, 8);
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let mut prev = 1.1;
+        for sigma in [0.2, 1.0, 3.0] {
+            let noisy: Vec<Vec3> = s
+                .ca
+                .iter()
+                .map(|&p| {
+                    p + Vec3::new(
+                        rng.normal(0.0, sigma),
+                        rng.normal(0.0, sigma),
+                        rng.normal(0.0, sigma),
+                    )
+                })
+                .collect();
+            let score = tm_score_ca(&noisy, &s.ca);
+            assert!(score < prev, "sigma {sigma}");
+            prev = score;
+        }
+    }
+
+    #[test]
+    fn tiny_structures_do_not_panic() {
+        for len in [1usize, 2, 3, 5] {
+            let s = structure(len, 20 + len as u64);
+            let score = tm_score(&s, &s);
+            assert!(score > 0.9, "len {len}: {score}");
+        }
+    }
+}

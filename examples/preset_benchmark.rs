@@ -1,0 +1,60 @@
+//! Table 1 via the public API: benchmark the four inference presets on a
+//! sample of the *D. vulgaris* hypothetical set.
+//!
+//! ```text
+//! cargo run --release --example preset_benchmark [sample]
+//! ```
+//!
+//! (The full-scale regeneration with paper-side-by-side numbers lives in
+//! `cargo run -p summitfold-bench --bin repro -- table1`; this example
+//! shows the same measurement written against the library API.)
+
+use summitfold::dataflow::OrderingPolicy;
+use summitfold::hpc::Ledger;
+use summitfold::inference::Preset;
+use summitfold::msa::FeatureSet;
+use summitfold::pipeline::stages::inference;
+use summitfold::protein::proteome::{Proteome, Species};
+use summitfold::protein::stats;
+
+fn main() {
+    let sample: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
+    let entries: Vec<_> = Proteome::generate(Species::DVulgaris)
+        .proteins
+        .into_iter()
+        .filter(|e| e.hypothetical)
+        .take(sample)
+        .collect();
+    let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
+    println!("benchmarking {} sequences across the four presets...\n", entries.len());
+    println!(
+        "{:<12} {:>10} {:>9} {:>7} {:>13} {:>9}",
+        "preset", "mean pLDDT", "mean pTMS", "count", "walltime(min)", "overhead"
+    );
+
+    for preset in Preset::ALL {
+        let mut ledger = Ledger::new();
+        let cfg = inference::Config {
+            policy: OrderingPolicy::LongestFirst,
+            ..inference::Config::benchmark(preset)
+        };
+        let report = inference::run(&entries, &features, &cfg, &mut ledger);
+        let plddt: Vec<f64> =
+            report.results.iter().map(|(_, r)| r.top().plddt_mean).collect();
+        let ptms: Vec<f64> = report.results.iter().map(|(_, r)| r.top().ptms).collect();
+        println!(
+            "{:<12} {:>10.1} {:>9.3} {:>7} {:>13.0} {:>8.0}%",
+            preset.name(),
+            stats::mean(&plddt),
+            stats::mean(&ptms),
+            report.results.len(),
+            report.walltime_s / 60.0,
+            report.overhead_fraction * 100.0,
+        );
+        for failure in &report.failures {
+            eprintln!("  OOM: {}", failure.error);
+        }
+    }
+    println!("\n(paper, Table 1: reduced_db 78.4/0.631/559/44; genome 79.5/0.644/559/50;");
+    println!(" super 80.7/0.650/559/58; casp14 78.6/0.631/551/>150)");
+}

@@ -1,0 +1,69 @@
+//! Figs 3–4 in miniature: compare the AF2 relaxation loop against the
+//! paper's optimized single pass, on real minimizations.
+//!
+//! ```text
+//! cargo run --release --example relaxation_comparison [targets]
+//! ```
+//!
+//! For each CASP14-like target: predict a structure, relax it under both
+//! protocols, score both against the ground truth, and print quality
+//! (TM/SPECS, violations) next to the modelled wall-clock on the three
+//! platforms of Fig 4.
+
+use summitfold::inference::{Fidelity, InferenceEngine, Preset};
+use summitfold::msa::FeatureSet;
+use summitfold::protein::proteome::{Origin, ProteinEntry};
+use summitfold::protein::rng::Xoshiro256;
+use summitfold::protein::seq::Sequence;
+use summitfold::relax::protocol::{relax, Protocol};
+use summitfold::relax::timing::{wall_seconds, Method};
+use summitfold::structal::specs::specs_score;
+use summitfold::structal::tm::tm_score;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let mut rng = Xoshiro256::from_name("relaxation-comparison");
+    let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+
+    println!(
+        "{:<7} {:>5} {:>7} | {:>15} {:>15} | {:>8} {:>8} {:>8} {:>8}",
+        "target", "len", "atoms", "TM unrel->relax", "SPECS unrel->rx", "af2 s", "cpu s", "gpu s", "speedup"
+    );
+    for k in 0..n {
+        let len = (rng.gamma(2.5, 110.0).round() as usize).clamp(80, 600);
+        let entry = ProteinEntry {
+            sequence: Sequence::random(&format!("T{:04}", 1100 + k), len, &mut rng),
+            hypothetical: false,
+            origin: Origin::Orphan,
+            msa_richness: rng.normal(0.7, 0.12).clamp(0.3, 1.0),
+        };
+        let result = engine
+            .predict_target(&entry, &FeatureSet::synthetic(&entry))
+            .expect("fits standard node");
+        let model = result.top().structure.as_ref().expect("geometric").clone();
+        let truth = entry.true_fold();
+
+        let af2 = relax(&model, Protocol::Af2Loop);
+        let opt = relax(&model, Protocol::OptimizedSinglePass);
+        let atoms = model.heavy_atoms();
+        let t_af2 = wall_seconds(&af2, atoms, Method::Af2Cpu);
+        let t_cpu = wall_seconds(&opt, atoms, Method::OptimizedCpuAndes);
+        let t_gpu = wall_seconds(&opt, atoms, Method::OptimizedGpuSummit);
+        println!(
+            "{:<7} {:>5} {:>7} | {:>6.3} -> {:>6.3} | {:>6.3} -> {:>6.3} | {:>8.1} {:>8.1} {:>8.1} {:>7.1}x",
+            entry.sequence.id,
+            len,
+            atoms,
+            tm_score(&model, &truth),
+            tm_score(&opt.structure, &truth),
+            specs_score(&model, &truth),
+            specs_score(&opt.structure, &truth),
+            t_af2,
+            t_cpu,
+            t_gpu,
+            t_af2 / t_gpu,
+        );
+        assert_eq!(opt.final_violations.clashes, 0, "relaxation removes all clashes");
+    }
+    println!("\n(AF2 loop and single pass reach the same quality; only the time differs — §3.2.3)");
+}

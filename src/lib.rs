@@ -1,0 +1,47 @@
+//! # summitfold
+//!
+//! A Rust reproduction of *"Proteome-scale Deployment of Protein
+//! Structure Prediction Workflows on the Summit Supercomputer"*
+//! (Gao et al., IPPS 2022): an optimized three-stage pipeline — CPU
+//! feature generation, GPU inference with dynamic recycling, single-pass
+//! GPU geometry optimization — deployed through a Dask-like dataflow
+//! engine over a simulated OLCF substrate, plus the paper's downstream
+//! structural-annotation analyses.
+//!
+//! This facade crate re-exports the workspace members under short names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`protein`] | `summitfold-protein` | sequences, structures, folds, proteomes |
+//! | [`structal`] | `summitfold-structal` | TM-score, SPECS, lDDT, alignment, pdb70 |
+//! | [`msa`] | `summitfold-msa` | sequence DBs, homology search, features |
+//! | [`inference`] | `summitfold-inference` | the AlphaFold2 surrogate |
+//! | [`relax`] | `summitfold-relax` | force field, minimizer, protocols |
+//! | [`dataflow`] | `summitfold-dataflow` | scheduler, workers, executors |
+//! | [`hpc`] | `summitfold-hpc` | machines, LSF, jsrun, filesystem, ledger |
+//! | [`pipeline`] | `summitfold-pipeline` | the three-stage pipeline + analyses |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use summitfold::inference::{Fidelity, InferenceEngine, Preset};
+//! use summitfold::msa::FeatureSet;
+//! use summitfold::protein::proteome::{Proteome, Species};
+//!
+//! // A slice of the D. vulgaris proteome.
+//! let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.003);
+//! let engine = InferenceEngine::new(Preset::Genome, Fidelity::Statistical);
+//! let entry = &proteome.proteins[0];
+//! let result = engine.predict_target(entry, &FeatureSet::synthetic(entry)).unwrap();
+//! assert_eq!(result.predictions.len(), 5); // five models per target
+//! assert!(result.top().ptms > 0.0);
+//! ```
+
+pub use summitfold_dataflow as dataflow;
+pub use summitfold_hpc as hpc;
+pub use summitfold_inference as inference;
+pub use summitfold_msa as msa;
+pub use summitfold_pipeline as pipeline;
+pub use summitfold_protein as protein;
+pub use summitfold_relax as relax;
+pub use summitfold_structal as structal;

@@ -1,0 +1,84 @@
+//! Reproducibility is a workspace-wide invariant: every stage, report and
+//! artifact must be bit-identical across runs.
+
+use summitfold::inference::{Fidelity, InferenceEngine, Preset};
+use summitfold::msa::FeatureSet;
+use summitfold::pipeline::annotate::{annotate_hypothetical, AnnotationConfig};
+use summitfold::pipeline::{run_proteome_campaign, CampaignConfig};
+use summitfold::protein::proteome::{ProteinEntry, Proteome, Species};
+use summitfold::protein::{fasta, pdbish};
+use summitfold::relax::protocol::{relax, Protocol};
+
+#[test]
+fn campaign_reports_are_bit_identical() {
+    let cfg = CampaignConfig::paper_default(0.01);
+    let a = run_proteome_campaign(Species::PMercurii, &cfg);
+    let b = run_proteome_campaign(Species::PMercurii, &cfg);
+    assert_eq!(a.frac_plddt_gt70, b.frac_plddt_gt70);
+    assert_eq!(a.frac_ptms_gt06, b.frac_ptms_gt06);
+    assert_eq!(a.mean_top_recycles, b.mean_top_recycles);
+    assert_eq!(a.residue_coverage_gt90, b.residue_coverage_gt90);
+    assert_eq!(a.summit_node_hours_full, b.summit_node_hours_full);
+    assert_eq!(a.inference_walltime_s, b.inference_walltime_s);
+}
+
+#[test]
+fn geometric_predictions_and_relaxations_are_bit_identical() {
+    let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.003);
+    let engine = InferenceEngine::new(Preset::Super, Fidelity::Geometric);
+    for entry in &proteome.proteins {
+        let features = FeatureSet::synthetic(entry);
+        let a = engine.predict_target(entry, &features).unwrap();
+        let b = engine.predict_target(entry, &features).unwrap();
+        let (sa, sb) =
+            (a.top().structure.as_ref().unwrap(), b.top().structure.as_ref().unwrap());
+        assert_eq!(sa.ca, sb.ca);
+        assert_eq!(sa.plddt, sb.plddt);
+        let ra = relax(sa, Protocol::OptimizedSinglePass);
+        let rb = relax(sb, Protocol::OptimizedSinglePass);
+        assert_eq!(ra.structure.ca, rb.structure.ca);
+        assert_eq!(ra.total_iterations, rb.total_iterations);
+    }
+}
+
+#[test]
+fn annotation_reports_are_identical() {
+    let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.02);
+    let queries: Vec<&ProteinEntry> =
+        proteome.proteins.iter().filter(|e| e.hypothetical).collect();
+    let a = annotate_hypothetical(&queries, &AnnotationConfig::default());
+    let b = annotate_hypothetical(&queries, &AnnotationConfig::default());
+    assert_eq!(a.matched, b.matched);
+    assert_eq!(a.novel_fold_candidates, b.novel_fold_candidates);
+    for (qa, qb) in a.per_query.iter().zip(&b.per_query) {
+        assert_eq!(qa.top_tm, qb.top_tm);
+        assert_eq!(qa.top_seq_identity, qb.top_seq_identity);
+    }
+}
+
+#[test]
+fn on_disk_formats_roundtrip_through_the_pipeline() {
+    // Proteome → FASTA → parse → identical; prediction → PDB-ish → parse
+    // → same geometry. The interchange formats must not lose information
+    // the pipeline needs.
+    let proteome = Proteome::generate_scaled(Species::SDivinum, 0.001);
+    let seqs: Vec<_> = proteome.proteins.iter().map(|e| e.sequence.clone()).collect();
+    let text = fasta::format(&seqs);
+    let parsed = fasta::parse(&text).expect("valid FASTA");
+    assert_eq!(parsed, seqs);
+
+    let entry = &proteome.proteins[0];
+    let engine = InferenceEngine::new(Preset::Genome, Fidelity::Geometric);
+    let result = engine
+        .predict_target(entry, &FeatureSet::synthetic(entry))
+        .or_else(|_| {
+            engine.on_high_mem_nodes().predict_target(entry, &FeatureSet::synthetic(entry))
+        })
+        .expect("high-mem fits everything");
+    let s = result.top().structure.as_ref().unwrap();
+    let back = pdbish::parse(&pdbish::format(s)).expect("valid PDB-ish");
+    assert_eq!(back.residues, s.residues);
+    for (a, b) in back.ca.iter().zip(&s.ca) {
+        assert!(a.dist(*b) < 2e-3, "coordinate drift beyond format precision");
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full pipeline from synthetic proteome to
+//! relaxed, scored structures, with budget accounting.
+
+use summitfold::dataflow::OrderingPolicy;
+use summitfold::hpc::machine::Machine;
+use summitfold::hpc::Ledger;
+use summitfold::inference::{Fidelity, Preset};
+use summitfold::msa::FeatureSet;
+use summitfold::pipeline::stages::{feature, inference, relax_stage};
+use summitfold::protein::proteome::{Proteome, Species};
+use summitfold::protein::structure::Structure;
+use summitfold::relax::protocol::Protocol;
+use summitfold::relax::timing::Method;
+use summitfold::structal::tm::tm_score;
+
+#[test]
+fn three_stage_pipeline_end_to_end() {
+    let proteome = Proteome::generate_scaled(Species::RRubrum, 0.01);
+    let mut ledger = Ledger::new();
+
+    // Stage 1: features.
+    let feat = feature::run(&proteome.proteins, &feature::Config::paper_default(), &mut ledger);
+    assert_eq!(feat.features.len(), proteome.len());
+
+    // Stage 2: inference (geometric so stage 3 has real structures).
+    let inf_cfg = inference::Config {
+        preset: Preset::Genome,
+        fidelity: Fidelity::Geometric,
+        nodes: 8,
+        policy: OrderingPolicy::LongestFirst,
+        rescue_on_high_mem: true,
+    };
+    let inf = inference::run(&proteome.proteins, &feat.features, &inf_cfg, &mut ledger);
+    assert_eq!(inf.results.len(), proteome.len(), "rescue recovers all targets");
+
+    // Five structures per target; top ranked by pTMS.
+    let mut tops: Vec<Structure> = Vec::new();
+    for (idx, result) in &inf.results {
+        assert_eq!(result.predictions.len(), 5);
+        let max = result.predictions.iter().map(|p| p.ptms).fold(f64::MIN, f64::max);
+        assert_eq!(result.top().ptms, max);
+        let s = result.top().structure.as_ref().expect("geometric").clone();
+        assert_eq!(s.len(), proteome.proteins[*idx].sequence.len());
+        tops.push(s);
+    }
+
+    // Stage 3: relaxation on Summit GPUs.
+    let relax = relax_stage::run(&tops, &relax_stage::Config::paper_default(), &mut ledger);
+    for outcome in &relax.outcomes {
+        assert_eq!(outcome.final_violations.clashes, 0, "no clashes survive");
+        assert!(outcome.energy_final <= outcome.energy_initial);
+    }
+
+    // Relaxation preserves the inferred structures (Fig 3).
+    for (pos, ((idx, _), outcome)) in inf.results.iter().zip(&relax.outcomes).enumerate() {
+        let truth = proteome.proteins[*idx].true_fold();
+        let before = tm_score(&tops[pos], &truth);
+        let after = tm_score(&outcome.structure, &truth);
+        assert!(after > before - 0.02, "TM dropped {before:.3} -> {after:.3}");
+    }
+
+    // Budget: all three stages charged, on the right machines.
+    assert!(ledger.node_hours(Machine::Andes) > 0.0, "feature stage on Andes");
+    assert!(ledger.node_hours(Machine::Summit) > 0.0, "inference + relax on Summit");
+    let stages = ledger.by_stage();
+    assert!(stages.keys().any(|(_, s)| s == "feature_gen"));
+    assert!(stages.keys().any(|(_, s)| s == "inference"));
+    assert!(stages.keys().any(|(_, s)| s == "relaxation"));
+}
+
+#[test]
+fn statistical_and_geometric_fidelity_agree_on_scores() {
+    // The two fidelities must report identical pTMS/pLDDT/recycles — the
+    // geometric mode only adds coordinates.
+    let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.005);
+    use summitfold::inference::InferenceEngine;
+    let stat = InferenceEngine::new(Preset::Genome, Fidelity::Statistical);
+    let geo = InferenceEngine::new(Preset::Genome, Fidelity::Geometric);
+    for entry in &proteome.proteins {
+        let features = FeatureSet::synthetic(entry);
+        let a = stat.predict_target(entry, &features).unwrap();
+        let b = geo.predict_target(entry, &features).unwrap();
+        for (pa, pb) in a.predictions.iter().zip(&b.predictions) {
+            assert_eq!(pa.ptms, pb.ptms);
+            assert_eq!(pa.plddt_mean, pb.plddt_mean);
+            assert_eq!(pa.recycles, pb.recycles);
+            assert!(pa.structure.is_none());
+            assert!(pb.structure.is_some());
+        }
+        assert_eq!(a.top_index, b.top_index);
+    }
+}
+
+#[test]
+fn relax_stage_timing_scales_with_method() {
+    let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.004);
+    use summitfold::inference::{InferenceEngine, ModelId};
+    let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+    let structures: Vec<Structure> = proteome
+        .proteins
+        .iter()
+        .filter(|e| e.sequence.len() >= 200)
+        .filter_map(|e| engine.predict(e, &FeatureSet::synthetic(e), ModelId(1)).ok())
+        .filter_map(|p| p.structure)
+        .collect();
+    assert!(!structures.is_empty());
+
+    let run_with = |method: Method| {
+        let mut ledger = Ledger::new();
+        let cfg = relax_stage::Config {
+            protocol: Protocol::OptimizedSinglePass,
+            method,
+            nodes: 4,
+        };
+        relax_stage::run(&structures, &cfg, &mut ledger).walltime_s
+    };
+    let gpu = run_with(Method::OptimizedGpuSummit);
+    let cpu = run_with(Method::OptimizedCpuAndes);
+    // The CPU method has 1 worker/node vs 6 on GPU nodes *and* a slower
+    // rate: the batch must take distinctly longer.
+    assert!(cpu > gpu * 2.0, "cpu {cpu} vs gpu {gpu}");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use summitfold::msa::sw::smith_waterman;
+use summitfold::protein::fold;
+use summitfold::protein::geom::Vec3;
+use summitfold::protein::rng::Xoshiro256;
+use summitfold::protein::seq::Sequence;
+use summitfold::protein::{fasta, pdbish};
+use summitfold::relax::protocol::{relax, Protocol};
+use summitfold::relax::violations::count_violations;
+use summitfold::structal::kabsch::superpose;
+use summitfold::structal::lddt::lddt;
+use summitfold::structal::tm::tm_score_ca;
+
+/// Strategy: a valid residue string of the given length range.
+fn residue_string(range: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select("ARNDCQEGHILKMFPSTWYV".chars().collect::<Vec<_>>()),
+        range,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fasta_roundtrips_any_sequence(letters in residue_string(1..400), id in "[A-Za-z0-9_]{1,16}") {
+        let seq = Sequence::parse(&id, "prop test", &letters).unwrap();
+        let parsed = fasta::parse(&fasta::format(std::slice::from_ref(&seq))).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &seq);
+    }
+
+    #[test]
+    fn fold_is_finite_and_bonded(letters in residue_string(2..200)) {
+        let seq = Sequence::parse("p", "", &letters).unwrap();
+        let s = fold::ground_truth(&seq);
+        prop_assert_eq!(s.len(), seq.len());
+        for p in &s.ca {
+            prop_assert!(p.x.is_finite() && p.y.is_finite() && p.z.is_finite());
+        }
+        for d in s.bond_lengths() {
+            prop_assert!((2.5..5.5).contains(&d), "bond {d}");
+        }
+    }
+
+    #[test]
+    fn pdbish_roundtrips_any_fold(letters in residue_string(1..120)) {
+        let seq = Sequence::parse("q", "", &letters).unwrap();
+        let s = fold::ground_truth(&seq);
+        let back = pdbish::parse(&pdbish::format(&s)).unwrap();
+        prop_assert_eq!(back.residues, s.residues);
+    }
+
+    #[test]
+    fn superposition_rmsd_is_zero_on_self_and_invariant(seed in 0u64..1000, n in 3usize..60) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let pts: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.range(-9.0, 9.0), rng.range(-9.0, 9.0), rng.range(-9.0, 9.0)))
+            .collect();
+        prop_assert!(superpose(&pts, &pts).rmsd < 1e-9);
+        // Translation invariance.
+        let moved: Vec<Vec3> = pts.iter().map(|&p| p + Vec3::new(5.0, -2.0, 8.0)).collect();
+        prop_assert!(superpose(&pts, &moved).rmsd < 1e-9);
+    }
+
+    #[test]
+    fn scores_are_bounded(seed_a in 0u64..500, seed_b in 0u64..500, n in 5usize..80) {
+        let mut ra = Xoshiro256::seed_from_u64(seed_a);
+        let mut rb = Xoshiro256::seed_from_u64(seed_b ^ 0xdead);
+        let a = fold::ground_truth(&Sequence::random("a", n, &mut ra));
+        let b = fold::ground_truth(&Sequence::random("b", n, &mut rb));
+        let tm = tm_score_ca(&a.ca, &b.ca);
+        prop_assert!((0.0..=1.0).contains(&tm), "tm {tm}");
+        let l = lddt(&a.ca, &b.ca);
+        prop_assert!((0.0..=1.0).contains(&l), "lddt {l}");
+    }
+
+    #[test]
+    fn relaxation_never_panics_and_never_raises_energy(seed in 0u64..200, n in 10usize..80) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut s = fold::ground_truth(&Sequence::random("r", n, &mut rng));
+        // Random damage.
+        for _ in 0..(n / 10) {
+            let i = rng.below(n);
+            s.ca[i] += Vec3::new(rng.range(-2.0, 2.0), rng.range(-2.0, 2.0), rng.range(-2.0, 2.0));
+        }
+        let out = relax(&s, Protocol::OptimizedSinglePass);
+        prop_assert!(out.energy_final <= out.energy_initial + 1e-9);
+        prop_assert!(out.final_violations.clashes <= out.initial_violations.clashes);
+    }
+
+    #[test]
+    fn smith_waterman_self_score_dominates(letters in residue_string(10..150)) {
+        let q = Sequence::parse("q", "", &letters).unwrap();
+        let self_score = smith_waterman(&q, &q, None).score;
+        // Any alignment against a shuffled copy scores no higher.
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut shuffled = q.clone();
+        rng.shuffle(&mut shuffled.residues);
+        let other = smith_waterman(&q, &shuffled, None).score;
+        prop_assert!(other <= self_score);
+        prop_assert!(self_score > 0);
+    }
+
+    #[test]
+    fn violations_counting_matches_bruteforce(seed in 0u64..200, n in 4usize..60) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut s = fold::ground_truth(&Sequence::random("v", n, &mut rng));
+        // Squeeze a random pair to create violations sometimes.
+        if n > 6 {
+            let i = rng.below(n - 4);
+            let j = i + 3 + rng.below(n - i - 3);
+            let mid = s.ca[i].lerp(s.ca[j], 0.5);
+            let d = rng.range(1.0, 4.5);
+            let dir = (s.ca[j] - s.ca[i]).normalized();
+            if dir != Vec3::ZERO {
+                s.ca[i] = mid - dir * (d / 2.0);
+                s.ca[j] = mid + dir * (d / 2.0);
+            }
+        }
+        let counted = count_violations(&s);
+        let mut clashes = 0;
+        let mut bumps = 0;
+        for i in 0..n {
+            for j in i + 2..n {
+                let d = s.ca[i].dist(s.ca[j]);
+                if d < 3.6 {
+                    bumps += 1;
+                    if d < 1.9 {
+                        clashes += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(counted.bumps, bumps);
+        prop_assert_eq!(counted.clashes, clashes);
+    }
+}
