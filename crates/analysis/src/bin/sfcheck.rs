@@ -1,0 +1,85 @@
+//! `sfcheck` — run the workspace invariant linter from the command line.
+//!
+//! ```text
+//! sfcheck [--root <path>] [--quiet]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when findings exist, 2 on
+//! usage or I/O errors. With no `--root`, the workspace root is located
+//! by walking up from the current directory to the first `Cargo.toml`
+//! containing a `[workspace]` table.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use summitfold_analysis::{check_workspace, render};
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sfcheck: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: sfcheck [--root <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sfcheck: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("sfcheck: no workspace Cargo.toml found above the current directory");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            if !quiet {
+                println!("sfcheck: workspace clean ({} rules)", 4);
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            eprint!("{}", render(&findings));
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

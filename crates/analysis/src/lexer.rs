@@ -1,0 +1,438 @@
+//! A comment- and string-aware token scanner for Rust source.
+//!
+//! `sfcheck`'s rules match on *identifier tokens*, never on raw text, so
+//! a string literal containing `"unwrap"` or a doc comment discussing
+//! `HashMap` can never false-positive. The scanner is deliberately not a
+//! parser: it understands exactly enough Rust lexical structure to
+//! classify every byte as code, comment, or literal —
+//!
+//! * line (`//`) and nested block (`/* */`) comments,
+//! * string literals with escapes, raw strings `r"…"`/`r#"…"#` at any
+//!   hash depth, byte and byte-raw strings, C strings,
+//! * char literals (including `'\''`) disambiguated from lifetimes,
+//!
+//! and emits identifiers and punctuation with 1-based line/column spans.
+//! Comment text is preserved separately so the engine can find
+//! `sfcheck::allow` directives.
+
+/// Kinds of token the scanner emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Single punctuation byte (`.`, `!`, `#`, `(`, `{`, …).
+    Punct,
+    /// Numeric literal (scanned as one unit so `0x1f` is not an ident).
+    Number,
+    /// Lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (for punctuation, a single byte).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub col: u32,
+}
+
+/// A comment's text and position, preserved for directive scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body (without the `//`, `/*`, `*/` delimiters).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Full output of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scan `src`, producing tokens and comments.
+#[must_use]
+pub fn scan(src: &str) -> Scan {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Scan::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Scan,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Scan {
+        while self.i < self.b.len() {
+            let (line, col) = (self.line, self.col);
+            let c = self.b[self.i];
+            match c {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string_literal(),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_literal() => {}
+                b'\'' => self.char_or_lifetime(line, col),
+                _ if c == b'_' || c.is_ascii_alphabetic() => self.ident(line, col),
+                _ if c.is_ascii_digit() => self.number(line, col),
+                _ if c.is_ascii_whitespace() => self.bump(),
+                _ => {
+                    self.out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                        col,
+                    });
+                    self.bump();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '/'
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let start = self.i;
+        let mut depth = 1u32;
+        let mut end = self.i;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                end = self.i;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        if depth > 0 {
+            end = self.i; // unterminated comment: swallow to EOF
+        }
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Ordinary `"…"` literal with `\` escapes.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    self.bump();
+                    if self.i < self.b.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` prefixes.
+    /// Returns false (consuming nothing) when the `r`/`b`/`c` is just the
+    /// start of an ordinary identifier.
+    fn raw_or_prefixed_literal(&mut self) -> bool {
+        let mut j = self.i;
+        // Optional b/c prefix before r, e.g. br"…".
+        if matches!(self.b[j], b'b' | b'c') {
+            j += 1;
+        }
+        let raw = self.b.get(j) == Some(&b'r');
+        if raw {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.b.get(j) != Some(&b'"') || (!raw && hashes > 0) {
+            return false; // not a literal prefix — lex as identifier
+        }
+        if !raw && j != self.i + 1 {
+            return false; // e.g. `bc"` is not a prefix form we know
+        }
+        // Consume through the opening quote.
+        while self.i <= j {
+            self.bump();
+        }
+        if !raw {
+            // b"…" / c"…": escapes allowed.
+            while self.i < self.b.len() {
+                match self.b[self.i] {
+                    b'\\' => {
+                        self.bump();
+                        if self.i < self.b.len() {
+                            self.bump();
+                        }
+                    }
+                    b'"' => {
+                        self.bump();
+                        return true;
+                    }
+                    _ => self.bump(),
+                }
+            }
+            return true;
+        }
+        // Raw string: ends at `"` followed by `hashes` hash marks.
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(1 + k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return true;
+                }
+            }
+            self.bump();
+        }
+        true
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // Lifetime: quote, ident-start, ident-continue*, and NO closing
+        // quote immediately after.
+        if let Some(c1) = self.peek(1) {
+            if (c1 == b'_' || c1.is_ascii_alphabetic()) && self.peek(2) != Some(b'\'') {
+                self.bump(); // quote
+                let start = self.i;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                self.out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+                return;
+            }
+        }
+        // Char literal.
+        self.bump(); // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            if self.i < self.b.len() {
+                self.bump();
+            }
+            // \u{…} escapes.
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.bump();
+            }
+        } else {
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.bump();
+            }
+        }
+        if self.i < self.b.len() {
+            self.bump(); // closing quote
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.tokens.push(Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        // Numbers may embed letters (0x1f, 1e9, 10_000u64); consume the
+        // whole alphanumeric run so no pseudo-identifier leaks out.
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c == b'.' || c.is_ascii_alphanumeric())
+        {
+            // Avoid eating `..` range punctuation or a method call on a
+            // literal (`1.max(2)`).
+            if self.b[self.i] == b'.' && !self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.tokens.push(Tok {
+            kind: TokKind::Number,
+            text,
+            line,
+            col,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_with_positions() {
+        let s = scan("let x = a.unwrap();");
+        let unwrap = s
+            .tokens
+            .iter()
+            .find(|t| t.text == "unwrap")
+            .expect("unwrap token present");
+        assert_eq!(unwrap.kind, TokKind::Ident);
+        assert_eq!(unwrap.line, 1);
+        assert_eq!(unwrap.col, 11);
+    }
+
+    #[test]
+    fn strings_are_not_tokenized() {
+        assert_eq!(
+            idents(r#"let s = "call unwrap() and HashMap";"#),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_at_depth() {
+        let src = "let s = r#\"unsafe { unwrap }\"#; let t = y;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t", "y"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(
+            idents(r#"let s = b"unwrap"; let c = c"expect";"#),
+            vec!["let", "s", "let", "c"]
+        );
+    }
+
+    #[test]
+    fn line_and_block_comments_captured() {
+        let s = scan("a // one unwrap\n/* two\nunsafe */ b");
+        assert_eq!(
+            idents("a // one unwrap\n/* two\nunsafe */ b"),
+            vec!["a", "b"]
+        );
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].text, " one unwrap");
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ c */ x"), vec!["x"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = scan("fn f<'a>(c: char) { let q = '\\''; let z = 'x'; }");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        // No char payloads leak into identifiers.
+        assert!(!toks
+            .tokens
+            .iter()
+            .any(|t| t.text == "x" && t.kind == TokKind::Ident));
+    }
+
+    #[test]
+    fn numbers_do_not_produce_identifiers() {
+        assert_eq!(idents("let x = 0x1f + 1e9 + 10_000u64;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn r_identifier_is_not_a_raw_string() {
+        assert_eq!(
+            idents("let r = rows; let b = bits;"),
+            vec!["let", "r", "rows", "let", "b", "bits"]
+        );
+    }
+
+    #[test]
+    fn multiline_positions() {
+        let s = scan("a\n  bb\n    ccc");
+        let ccc = &s.tokens[2];
+        assert_eq!((ccc.line, ccc.col), (3, 5));
+    }
+}

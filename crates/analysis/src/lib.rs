@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # summitfold-analysis
+//!
+//! `sfcheck`: the workspace invariant linter. DESIGN.md stakes the
+//! reproduction on two properties — bit-for-bit determinism of seeded
+//! runs, and a panic-free, `unsafe`-free core — and at the paper's scale
+//! (35,634 sequences across 6,000 GPUs) a single nondeterministic
+//! ordering or panicking worker invalidates a multi-thousand-node-hour
+//! campaign. This crate enforces those properties mechanically on every
+//! `cargo test` run instead of trusting review:
+//!
+//! * **determinism** — no `HashMap`/`HashSet`, wall-clock time,
+//!   `std::env`, or thread-identity logic in the deterministic crates;
+//! * **panic-hygiene** — no `unwrap`/`expect`/`panic!`-family macros in
+//!   non-test library code;
+//! * **unsafe** — `#![forbid(unsafe_code)]` on every crate root and no
+//!   `unsafe` token anywhere;
+//! * **manifest** — every declared dependency is referenced in source
+//!   (the dead-`rand` regression class), and every
+//!   `[workspace.dependencies]` entry is consumed by a member.
+//!
+//! Findings are token-accurate (a comment-/string-aware lexer, not a
+//! regex), and each rule has a per-line escape hatch:
+//!
+//! ```text
+//! // sfcheck::allow(rule-name, reason the invariant holds anyway)
+//! ```
+//!
+//! Run it as `cargo run -p summitfold-analysis --bin sfcheck`, or rely
+//! on the root integration test `tests/static_analysis.rs`, which fails
+//! the tier-1 gate on any unallowed finding.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{Config, FileKind};
+pub use engine::{check_workspace, check_workspace_with, CheckError};
+pub use report::{render, Finding, Rule};

@@ -1,0 +1,158 @@
+//! Findings and their rendering.
+
+use std::fmt;
+
+/// The rules `sfcheck` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Nondeterminism sources in deterministic crates.
+    Determinism,
+    /// `unwrap`/`expect`/panicking macros in non-test library code.
+    PanicHygiene,
+    /// `unsafe` anywhere, or a crate root missing `#![forbid(unsafe_code)]`.
+    UnsafeBan,
+    /// Declared dependency never referenced in source.
+    Manifest,
+    /// Malformed `sfcheck::allow` directive.
+    AllowSyntax,
+}
+
+impl Rule {
+    /// Stable rule name used in reports and `sfcheck::allow` directives.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Determinism => "determinism",
+            Self::PanicHygiene => "panic-hygiene",
+            Self::UnsafeBan => "unsafe",
+            Self::Manifest => "manifest",
+            Self::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// Parse a rule name as written in an allow directive.
+    ///
+    /// `allow-syntax` is deliberately not allowable: a malformed
+    /// directive must always surface.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "determinism" => Some(Self::Determinism),
+            "panic-hygiene" => Some(Self::PanicHygiene),
+            "unsafe" => Some(Self::UnsafeBan),
+            "manifest" => Some(Self::Manifest),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation with a span-accurate location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings such as a missing
+    /// crate-root attribute on an empty file).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Render findings as a compiler-style report, sorted by file/line/col.
+#[must_use]
+pub fn render(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let mut out = String::new();
+    for f in &sorted {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if !findings.is_empty() {
+        out.push_str(&format!(
+            "sfcheck: {} finding{} ({} unallowed)\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            findings.len(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for rule in [
+            Rule::Determinism,
+            Rule::PanicHygiene,
+            Rule::UnsafeBan,
+            Rule::Manifest,
+        ] {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(
+            Rule::from_name("allow-syntax"),
+            None,
+            "allow-syntax is not allowable"
+        );
+        assert_eq!(Rule::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn finding_display_is_compiler_style() {
+        let f = Finding {
+            rule: Rule::Determinism,
+            file: "crates/msa/src/kmer.rs".to_string(),
+            line: 64,
+            col: 22,
+            message: "HashMap: hash-iteration order varies".to_string(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/msa/src/kmer.rs:64:22: [determinism] HashMap: hash-iteration order varies"
+        );
+    }
+
+    #[test]
+    fn render_sorts_and_counts() {
+        let mk = |file: &str, line| Finding {
+            rule: Rule::UnsafeBan,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+        };
+        let out = render(&[mk("b.rs", 2), mk("a.rs", 9)]);
+        let first = out.lines().next().map(ToString::to_string);
+        assert_eq!(first.as_deref(), Some("a.rs:9:1: [unsafe] m"));
+        assert!(out.contains("2 findings"));
+    }
+
+    #[test]
+    fn render_empty_is_empty() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -1,0 +1,490 @@
+//! The per-rule token passes.
+//!
+//! Every pass consumes a [`FileCheck`] — one scanned file plus its
+//! classification — and emits [`Finding`]s. Suppression via
+//! `sfcheck::allow` and test-region exemption are applied here so each
+//! pass stays a pure token matcher.
+
+use crate::config::{parse_allow, AllowDirective, AllowParse, Config, FileKind};
+use crate::lexer::{Scan, Tok, TokKind};
+use crate::report::{Finding, Rule};
+
+/// One file prepared for checking.
+pub struct FileCheck<'a> {
+    /// Workspace-relative path (`/`-separated).
+    pub rel_path: &'a str,
+    /// Path-derived role of the file.
+    pub kind: FileKind,
+    /// Whether the determinism rule applies to this file.
+    pub deterministic: bool,
+    /// Token/comment scan of the file.
+    pub scan: &'a Scan,
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)] mod … { … }` blocks.
+///
+/// Matching is token-shaped: the attribute sequence `# [ cfg ( test ) ]`
+/// followed (after any further attributes) by `mod <name> {`, with the
+/// region extent found by brace counting. Files under `tests/`,
+/// `benches/`, and `examples/` never need this — their [`FileKind`]
+/// already exempts them.
+#[must_use]
+pub fn test_regions(scan: &Scan) -> Vec<(u32, u32)> {
+    let toks = &scan.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip past the attribute, then any further `#[…]` attributes.
+            let mut j = i + 7;
+            while j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "#" {
+                j = skip_attr(toks, j);
+            }
+            // Expect `mod <name> {` (possibly `pub mod`).
+            while j < toks.len() && toks[j].kind == TokKind::Ident && toks[j].text != "mod" {
+                j += 1;
+                if j - i > 12 {
+                    break; // not a test module — e.g. `#[cfg(test)] use …`
+                }
+            }
+            if j < toks.len() && toks[j].text == "mod" {
+                // Find the opening brace after the module name.
+                let mut k = j + 1;
+                while k < toks.len() && !(toks[k].kind == TokKind::Punct && toks[k].text == "{") {
+                    if toks[k].kind == TokKind::Punct && toks[k].text == ";" {
+                        break; // out-of-line `mod tests;`: treat rest of file as-is
+                    }
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].text == "{" {
+                    let start_line = toks[i].line;
+                    let end = match_brace(toks, k);
+                    let end_line = toks.get(end).map_or(u32::MAX, |t| t.line);
+                    regions.push((start_line, end_line));
+                    i = end.max(i + 1);
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let texts: Vec<&str> = toks[i..].iter().take(7).map(|t| t.text.as_str()).collect();
+    texts == ["#", "[", "cfg", "(", "test", ")", "]"]
+}
+
+/// Given `toks[i] == "#"` starting an attribute, return the index one
+/// past its closing `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].text == "!" {
+        j += 1;
+    }
+    if j >= toks.len() || toks[j].text != "[" {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Given `toks[open] == "{"`, return the index of the matching `}`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Collect well-formed allow directives and report malformed ones.
+///
+/// Only plain `//` comments carry directives; doc comments (`///`,
+/// `//!`, `/**`, `/*!`) are prose and are never parsed, so documentation
+/// may freely discuss the grammar.
+pub fn collect_allows(check: &FileCheck<'_>, findings: &mut Vec<Finding>) -> Vec<AllowDirective> {
+    let mut allows = Vec::new();
+    for c in &check.scan.comments {
+        if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
+            continue; // doc comment
+        }
+        match parse_allow(&c.text, c.line) {
+            AllowParse::None => {}
+            AllowParse::Ok(d) => allows.push(d),
+            AllowParse::Malformed(msg) => findings.push(Finding {
+                rule: Rule::AllowSyntax,
+                file: check.rel_path.to_string(),
+                line: c.line,
+                col: 1,
+                message: msg,
+            }),
+        }
+    }
+    allows
+}
+
+/// Whether a finding at `line` for `rule` is suppressed by a directive
+/// on the same line or on the line directly above.
+#[must_use]
+pub fn is_allowed(allows: &[AllowDirective], rule: Rule, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+}
+
+/// Panic-hygiene: no `unwrap`/`expect` calls and no
+/// `panic!`/`todo!`/`unimplemented!`/`dbg!`/`assert!`-family macros in
+/// non-test library code.
+pub fn panic_hygiene(
+    check: &FileCheck<'_>,
+    regions: &[(u32, u32)],
+    allows: &[AllowDirective],
+    findings: &mut Vec<Finding>,
+) {
+    if check.kind != FileKind::Lib {
+        return;
+    }
+    const METHODS: [&str; 2] = ["unwrap", "expect"];
+    const MACROS: [&str; 7] = [
+        "panic",
+        "todo",
+        "unimplemented",
+        "dbg",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ];
+    let toks = &check.scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || in_regions(t.line, regions)
+            || is_allowed(allows, Rule::PanicHygiene, t.line)
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let name = t.text.as_str();
+        if METHODS.contains(&name) && prev == Some(".") && next == Some("(") {
+            findings.push(Finding {
+                rule: Rule::PanicHygiene,
+                file: check.rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    ".{name}() can panic at runtime; return a Result/Option, handle the case, or annotate why it cannot fail"
+                ),
+            });
+        } else if MACROS.contains(&name) && next == Some("!") {
+            findings.push(Finding {
+                rule: Rule::PanicHygiene,
+                file: check.rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{name}! aborts the worker at runtime; return an error, use debug_assert!, or annotate the documented contract"
+                ),
+            });
+        }
+    }
+}
+
+/// Determinism: no hash-ordered collections, wall-clock time,
+/// environment reads, or thread-identity logic in deterministic crates.
+pub fn determinism(
+    config: &Config,
+    check: &FileCheck<'_>,
+    regions: &[(u32, u32)],
+    allows: &[AllowDirective],
+    findings: &mut Vec<Finding>,
+) {
+    if !check.deterministic || check.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &check.scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || in_regions(t.line, regions)
+            || is_allowed(allows, Rule::Determinism, t.line)
+        {
+            continue;
+        }
+        for (ident, why) in &config.nondeterministic_idents {
+            if &t.text == ident {
+                findings.push(Finding {
+                    rule: Rule::Determinism,
+                    file: check.rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!("{ident} in a deterministic crate: {why}"),
+                });
+            }
+        }
+        // `prefix::ident` forms, e.g. `std::env`, `thread::current`.
+        for (prefix, ident, why) in &config.nondeterministic_paths {
+            if &t.text == ident
+                && i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && &toks[i - 3].text == prefix
+            {
+                findings.push(Finding {
+                    rule: Rule::Determinism,
+                    file: check.rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!("{prefix}::{ident} in a deterministic crate: {why}"),
+                });
+            }
+        }
+    }
+}
+
+/// Unsafe-ban: the `unsafe` keyword may not appear anywhere — not even
+/// in test code — and is not allowable via directive-on-the-same-line
+/// tricks in strings or comments (the lexer already ignores those).
+pub fn unsafe_ban(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &mut Vec<Finding>) {
+    for t in &check.scan.tokens {
+        if t.kind == TokKind::Ident
+            && t.text == "unsafe"
+            && !is_allowed(allows, Rule::UnsafeBan, t.line)
+        {
+            findings.push(Finding {
+                rule: Rule::UnsafeBan,
+                file: check.rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "unsafe is banned workspace-wide (DESIGN.md: no-unsafe core)".to_string(),
+            });
+        }
+    }
+}
+
+/// Crate-root attribute check: `#![forbid(unsafe_code)]` must be present.
+pub fn crate_root_forbids_unsafe(check: &FileCheck<'_>, findings: &mut Vec<Finding>) {
+    let toks = &check.scan.tokens;
+    let has = toks.windows(2).any(|w| {
+        w[0].kind == TokKind::Ident && w[0].text == "forbid" && w[1].text == "("
+        // Tolerate any argument list containing unsafe_code.
+    }) && toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "unsafe_code");
+    if !has {
+        findings.push(Finding {
+            rule: Rule::UnsafeBan,
+            file: check.rel_path.to_string(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn lib_check<'a>(scan: &'a Scan, path: &'a str, deterministic: bool) -> FileCheck<'a> {
+        FileCheck {
+            rel_path: path,
+            kind: FileKind::Lib,
+            deterministic,
+            scan,
+        }
+    }
+
+    fn run_panic(src: &str) -> Vec<Finding> {
+        let s = scan(src);
+        let check = lib_check(&s, "crates/x/src/lib.rs", false);
+        let mut findings = Vec::new();
+        let allows = collect_allows(&check, &mut findings);
+        let regions = test_regions(&s);
+        panic_hygiene(&check, &regions, &allows, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_fires() {
+        let f = run_panic("pub fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicHygiene);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_mod_is_exempt() {
+        let src =
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n fn g(x: Option<u32>) { x.unwrap(); }\n}\n";
+        assert!(run_panic(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_does_not_fire() {
+        assert!(
+            run_panic("// please never unwrap() here\npub const S: &str = \"x.unwrap()\";")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn allow_on_previous_line_suppresses() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n // sfcheck::allow(panic-hygiene, checked by caller)\n x.unwrap()\n}";
+        assert!(run_panic(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_finding() {
+        let src = "pub fn f() {}\n// sfcheck::allow(panic-hygiene)\n";
+        let f = run_panic(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AllowSyntax);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_finding() {
+        assert!(run_panic("pub fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }").is_empty());
+    }
+
+    #[test]
+    fn panic_macro_fires_but_debug_assert_does_not() {
+        let f = run_panic(
+            "pub fn f(n: usize) { debug_assert!(n > 0); if n == 7 { panic!(\"seven\") } }",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.starts_with("panic!"));
+    }
+
+    fn run_det(src: &str, deterministic: bool) -> Vec<Finding> {
+        let s = scan(src);
+        let check = lib_check(&s, "crates/msa/src/x.rs", deterministic);
+        let mut findings = Vec::new();
+        let allows = collect_allows(&check, &mut findings);
+        let regions = test_regions(&s);
+        determinism(
+            &Config::workspace_default(),
+            &check,
+            &regions,
+            &allows,
+            &mut findings,
+        );
+        findings
+    }
+
+    #[test]
+    fn hashmap_in_deterministic_crate_fires() {
+        let f = run_det("use std::collections::HashMap;", true);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Determinism);
+        assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn hashmap_outside_deterministic_set_is_fine() {
+        assert!(run_det("use std::collections::HashMap;", false).is_empty());
+    }
+
+    #[test]
+    fn std_env_and_thread_current_fire() {
+        let f = run_det("pub fn f() { let _ = std::env::var(\"X\"); }", true);
+        assert_eq!(f.len(), 1);
+        let f = run_det(
+            "pub fn g() -> std::thread::ThreadId { std::thread::current().id() }",
+            true,
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn env_ident_alone_does_not_fire() {
+        // A local named `env` is not `std::env`.
+        assert!(run_det("pub fn f(env: u32) -> u32 { env }", true).is_empty());
+    }
+
+    #[test]
+    fn determinism_allow_suppresses() {
+        let src = "// sfcheck::allow(determinism, build-only map, iterated via sorted keys)\nuse std::collections::HashMap;";
+        assert!(run_det(src, true).is_empty());
+    }
+
+    fn run_unsafe(src: &str) -> Vec<Finding> {
+        let s = scan(src);
+        let check = lib_check(&s, "crates/x/src/lib.rs", false);
+        let mut findings = Vec::new();
+        let allows = collect_allows(&check, &mut findings);
+        unsafe_ban(&check, &allows, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unsafe_token_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { unsafe { std::hint::unreachable_unchecked() } }\n}";
+        assert_eq!(run_unsafe(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_fine() {
+        assert!(
+            run_unsafe("// unsafe is discussed here\npub const S: &str = \"unsafe\";").is_empty()
+        );
+    }
+
+    #[test]
+    fn crate_root_attr_detection() {
+        let with = scan("#![forbid(unsafe_code)]\npub fn f() {}");
+        let without = scan("pub fn f() {}");
+        let mut findings = Vec::new();
+        crate_root_forbids_unsafe(
+            &lib_check(&with, "crates/x/src/lib.rs", false),
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+        crate_root_forbids_unsafe(
+            &lib_check(&without, "crates/x/src/lib.rs", false),
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn test_region_detection_brace_matching() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n mod inner { fn b() {} }\n}\npub fn c() {}\n";
+        let s = scan(src);
+        let r = test_regions(&s);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].0 <= 3 && r[0].1 >= 5, "{r:?}");
+    }
+}

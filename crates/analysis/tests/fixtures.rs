@@ -1,0 +1,325 @@
+//! End-to-end fixture tests: build a miniature workspace on disk, run
+//! [`check_workspace_with`] over it, and assert that each rule fires on a
+//! bad fixture, stays silent on an allowed one, and never false-positives
+//! on banned tokens appearing in strings or comments.
+
+// Fixture helpers run outside #[test] fns, where clippy's
+// allow-unwrap-in-tests does not reach; panicking on setup I/O is the
+// right behaviour here.
+#![allow(clippy::unwrap_used)]
+
+use std::fs;
+use std::path::PathBuf;
+use summitfold_analysis::{check_workspace_with, Config, Finding, Rule};
+
+/// Root manifest shared by every fixture workspace.
+const ROOT_MANIFEST: &str = "[workspace]\nmembers = [\"crates/det\"]\n";
+
+/// Member manifest with no dependencies.
+const DET_MANIFEST: &str = "[package]\nname = \"det\"\nversion = \"0.0.0\"\n";
+
+/// Crate-root preamble satisfying the unsafe rule.
+const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+/// Write a fixture workspace under the test temp dir and return its root.
+///
+/// `name` must be unique per test: fixtures are rebuilt from scratch on
+/// every run so stale state cannot leak between tests or runs.
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("sfcheck-fixture-{}-{name}", std::process::id()));
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+    root
+}
+
+/// Workspace policy pointed at the fixture layout: the `det` crate is the
+/// deterministic set.
+fn det_config() -> Config {
+    let mut cfg = Config::workspace_default();
+    cfg.deterministic_crates = vec!["det".to_string()];
+    cfg.deterministic_exempt_paths = vec!["crates/det/src/exempt.rs".to_string()];
+    cfg
+}
+
+/// Run the checker over a fixture made of (path, contents) pairs.
+fn check(name: &str, files: &[(&str, &str)]) -> Vec<Finding> {
+    let root = fixture(name, files);
+    let findings = check_workspace_with(&root, &det_config()).unwrap();
+    fs::remove_dir_all(&root).ok();
+    findings
+}
+
+fn rules(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_workspace_has_no_findings() {
+    let findings = check(
+        "clean",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            (
+                "crates/det/src/lib.rs",
+                "#![forbid(unsafe_code)]\n//! Fixture.\npub fn f(x: u32) -> u32 { x + 1 }\n",
+            ),
+        ],
+    );
+    assert!(findings.is_empty(), "expected clean, got: {findings:?}");
+}
+
+#[test]
+fn determinism_fires_on_hashmap_in_deterministic_crate() {
+    let src = format!(
+        "{FORBID}use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> {{ HashMap::new() }}\n"
+    );
+    let findings = check(
+        "det-hashmap",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", &src),
+        ],
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::Determinism
+            && f.file == "crates/det/src/lib.rs"
+            && f.message.contains("HashMap")),
+        "expected a determinism finding, got: {findings:?}"
+    );
+    // Three uses of the ident, three span-accurate findings.
+    assert_eq!(rules(&findings), vec![Rule::Determinism; 3]);
+}
+
+#[test]
+fn determinism_allow_suppresses_the_finding() {
+    let src = format!(
+        "{FORBID}pub fn f() -> u64 {{\n    // sfcheck::allow(determinism, fixture exercises the escape hatch)\n    std::time::Instant::now().elapsed().as_secs()\n}}\n"
+    );
+    let findings = check(
+        "det-allow",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", &src),
+        ],
+    );
+    assert!(
+        findings.is_empty(),
+        "allow directives should suppress: {findings:?}"
+    );
+}
+
+#[test]
+fn determinism_skips_exempt_paths_and_test_files() {
+    let exempt = format!(
+        "{}pub fn t() -> std::time::Instant {{ std::time::Instant::now() }}\n",
+        "//! Exempt executor.\n"
+    );
+    let test_file =
+        "use std::collections::HashMap;\n#[test]\nfn t() { let _ = HashMap::<u32, u32>::new(); }\n";
+    let findings = check(
+        "det-exempt",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            (
+                "crates/det/src/lib.rs",
+                "#![forbid(unsafe_code)]\nmod exempt;\npub fn f() {}\n",
+            ),
+            ("crates/det/src/exempt.rs", &exempt),
+            ("crates/det/tests/integration.rs", test_file),
+        ],
+    );
+    assert!(
+        findings.is_empty(),
+        "exempt paths and tests/ files are outside the deterministic set: {findings:?}"
+    );
+}
+
+#[test]
+fn banned_tokens_in_strings_and_comments_do_not_fire() {
+    let src = concat!(
+        "#![forbid(unsafe_code)]\n",
+        "// A comment may discuss HashMap, Instant, unwrap() and unsafe freely.\n",
+        "/// Docs may too: never call `.unwrap()` on a `HashMap` lookup.\n",
+        "pub fn describe() -> &'static str {\n",
+        "    \"HashMap iteration order; foo.unwrap(); unsafe { }; panic!(now)\"\n",
+        "}\n",
+    );
+    let findings = check(
+        "strings-comments",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", src),
+        ],
+    );
+    assert!(
+        findings.is_empty(),
+        "strings/comments must not fire: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_fires_on_unwrap_and_respects_allow() {
+    let src = concat!(
+        "#![forbid(unsafe_code)]\n",
+        "pub fn bad(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        "pub fn ok(x: Option<u32>) -> u32 {\n",
+        "    // sfcheck::allow(panic-hygiene, fixture: caller guarantees Some)\n",
+        "    x.expect(\"fixture\")\n",
+        "}\n",
+        "pub fn ok2(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    );
+    let findings = check(
+        "panic-unwrap",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", src),
+        ],
+    );
+    assert_eq!(
+        rules(&findings),
+        vec![Rule::PanicHygiene],
+        "got: {findings:?}"
+    );
+    assert_eq!(findings[0].line, 2);
+    assert!(findings[0].message.contains("unwrap"));
+}
+
+#[test]
+fn panic_hygiene_ignores_cfg_test_modules() {
+    let src = concat!(
+        "#![forbid(unsafe_code)]\n",
+        "pub fn f() {}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn t() { assert_eq!(Some(1).unwrap(), 1); }\n",
+        "}\n",
+    );
+    let findings = check(
+        "panic-cfg-test",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", src),
+        ],
+    );
+    assert!(findings.is_empty(), "test modules are exempt: {findings:?}");
+}
+
+#[test]
+fn unsafe_rule_fires_on_token_and_missing_forbid() {
+    let src = "//! No forbid attribute here.\npub unsafe fn f() {}\n";
+    let findings = check(
+        "unsafe-both",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", src),
+        ],
+    );
+    let got = rules(&findings);
+    assert!(
+        got.contains(&Rule::UnsafeBan) && got.len() == 2,
+        "expected unsafe-token + missing-forbid findings, got: {findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("forbid")));
+}
+
+#[test]
+fn manifest_audit_flags_dead_dependency() {
+    let manifest =
+        "[package]\nname = \"det\"\n\n[dependencies]\nleftover = { path = \"../leftover\" }\n";
+    let findings = check(
+        "manifest-dead",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", manifest),
+            (
+                "crates/det/src/lib.rs",
+                "#![forbid(unsafe_code)]\n//! Fixture.\npub fn f() {}\n",
+            ),
+        ],
+    );
+    assert_eq!(rules(&findings), vec![Rule::Manifest], "got: {findings:?}");
+    assert!(findings[0].message.contains("leftover"));
+    assert_eq!(findings[0].file, "crates/det/Cargo.toml");
+}
+
+#[test]
+fn manifest_audit_accepts_referenced_dependency() {
+    let manifest =
+        "[package]\nname = \"det\"\n\n[dependencies]\nsome-dep = { path = \"../some-dep\" }\n";
+    let findings = check(
+        "manifest-live",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", manifest),
+            (
+                "crates/det/src/lib.rs",
+                "#![forbid(unsafe_code)]\n//! Fixture.\npub use some_dep as _;\npub fn f() {}\n",
+            ),
+        ],
+    );
+    assert!(
+        findings.is_empty(),
+        "referenced dep must pass: {findings:?}"
+    );
+}
+
+#[test]
+fn workspace_dependency_audit_flags_unconsumed_entry() {
+    let root_manifest = concat!(
+        "[workspace]\nmembers = [\"crates/det\"]\n\n",
+        "[workspace.dependencies]\nghost = \"1\"\n",
+    );
+    let findings = check(
+        "workspace-dead",
+        &[
+            ("Cargo.toml", root_manifest),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            (
+                "crates/det/src/lib.rs",
+                "#![forbid(unsafe_code)]\n//! Fixture.\npub fn f() {}\n",
+            ),
+        ],
+    );
+    assert_eq!(rules(&findings), vec![Rule::Manifest], "got: {findings:?}");
+    assert!(findings[0].message.contains("ghost"));
+    assert_eq!(findings[0].file, "Cargo.toml");
+}
+
+#[test]
+fn malformed_allow_is_itself_a_finding() {
+    let src = concat!(
+        "#![forbid(unsafe_code)]\n",
+        "// sfcheck::allow(panic-hygiene)\n",
+        "pub fn f() {}\n",
+        "// sfcheck::allow(made-up-rule, with a reason)\n",
+        "pub fn g() {}\n",
+    );
+    let findings = check(
+        "allow-syntax",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("crates/det/Cargo.toml", DET_MANIFEST),
+            ("crates/det/src/lib.rs", src),
+        ],
+    );
+    assert_eq!(
+        rules(&findings),
+        vec![Rule::AllowSyntax, Rule::AllowSyntax],
+        "got: {findings:?}"
+    );
+}

@@ -2,7 +2,8 @@
 //! and the A1 ablation: virtual-time scheduling throughput at Summit
 //! scale and the real thread executor on small batches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_bench::microbench::{BenchmarkId, Criterion};
+use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_dataflow::real::Client;
 use summitfold_dataflow::sim::simulate;
 use summitfold_dataflow::{OrderingPolicy, TaskSpec};
@@ -28,8 +29,14 @@ fn bench_simulator_scale(c: &mut Criterion) {
             &(specs, durations, workers),
             |b, (specs, durations, workers)| {
                 b.iter(|| {
-                    simulate(specs, durations, *workers, OrderingPolicy::LongestFirst, 30.0)
-                        .makespan
+                    simulate(
+                        specs,
+                        durations,
+                        *workers,
+                        OrderingPolicy::LongestFirst,
+                        30.0,
+                    )
+                    .makespan
                 });
             },
         );
@@ -53,16 +60,20 @@ fn bench_ordering_policies(c: &mut Criterion) {
 }
 
 fn bench_real_executor(c: &mut Criterion) {
-    let specs: Vec<TaskSpec> =
-        (0..256).map(|i| TaskSpec::new(format!("t{i}"), (i % 13) as f64)).collect();
+    let specs: Vec<TaskSpec> = (0..256)
+        .map(|i| TaskSpec::new(format!("t{i}"), (i % 13) as f64))
+        .collect();
     let items: Vec<u64> = (0..256).collect();
     c.bench_function("real_executor_256_tasks", |b| {
         let client = Client::new(4);
         b.iter(|| {
             client
-                .map(&specs, items.clone(), OrderingPolicy::LongestFirst, |_, &x| {
-                    (0..500u64).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
-                })
+                .map(
+                    &specs,
+                    items.clone(),
+                    OrderingPolicy::LongestFirst,
+                    |_, &x| (0..500u64).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k)),
+                )
                 .outputs
                 .len()
         });

@@ -2,7 +2,8 @@
 //! Table 1: per-preset prediction cost at benchmark scale and per-target
 //! cost across lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_bench::microbench::{BenchmarkId, Criterion};
+use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_inference::{Fidelity, InferenceEngine, Preset};
 use summitfold_msa::FeatureSet;
 use summitfold_protein::proteome::{Proteome, Species};
@@ -18,15 +19,19 @@ fn bench_presets(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_presets");
     for preset in Preset::ALL {
         let engine = InferenceEngine::new(preset, Fidelity::Statistical).on_high_mem_nodes();
-        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &engine, |b, eng| {
-            b.iter(|| {
-                entries
-                    .iter()
-                    .zip(&features)
-                    .map(|(e, f)| eng.predict_target(e, f).expect("high-mem fits").top().ptms)
-                    .sum::<f64>()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &engine,
+            |b, eng| {
+                b.iter(|| {
+                    entries
+                        .iter()
+                        .zip(&features)
+                        .map(|(e, f)| eng.predict_target(e, f).expect("high-mem fits").top().ptms)
+                        .sum::<f64>()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -35,9 +40,10 @@ fn bench_geometric_vs_statistical(c: &mut Criterion) {
     let entries: Vec<_> = Proteome::generate_scaled(Species::DVulgaris, 0.005).proteins;
     let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
     let mut group = c.benchmark_group("fidelity");
-    for (name, fidelity) in
-        [("statistical", Fidelity::Statistical), ("geometric", Fidelity::Geometric)]
-    {
+    for (name, fidelity) in [
+        ("statistical", Fidelity::Statistical),
+        ("geometric", Fidelity::Geometric),
+    ] {
         let engine = InferenceEngine::new(Preset::ReducedDbs, fidelity);
         group.bench_function(name, |b| {
             b.iter(|| {

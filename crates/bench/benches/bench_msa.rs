@@ -1,7 +1,8 @@
 //! Criterion bench for the feature-generation substrate — the compute
 //! behind §4.1: k-mer indexing, homology search, and clustering.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use summitfold_bench::microbench::Criterion;
+use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_msa::cluster::greedy_cluster;
 use summitfold_msa::kmer::KmerIndex;
 use summitfold_msa::msa::{search, SearchParams};

@@ -1,7 +1,8 @@
 //! Criterion bench for the end-to-end pipeline stages: the headline
 //! campaign costs at a small scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use summitfold_bench::microbench::Criterion;
+use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_hpc::Ledger;
 use summitfold_pipeline::stages::{feature, inference};
 use summitfold_pipeline::{run_proteome_campaign, CampaignConfig};
@@ -11,8 +12,12 @@ fn bench_feature_stage(c: &mut Criterion) {
     let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.01);
     c.bench_function("feature_stage_32_targets", |b| {
         b.iter(|| {
-            feature::run(&proteome.proteins, &feature::Config::paper_default(), &mut Ledger::new())
-                .node_hours
+            feature::run(
+                &proteome.proteins,
+                &feature::Config::paper_default(),
+                &mut Ledger::new(),
+            )
+            .node_hours
         });
     });
 }

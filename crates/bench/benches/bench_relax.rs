@@ -2,7 +2,8 @@
 //! Figs 3–4: protocol cost (AF2 loop vs single pass) and minimizer cost
 //! across system sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_bench::microbench::{BenchmarkId, Criterion};
+use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_inference::{Fidelity, InferenceEngine, ModelId, Preset};
 use summitfold_msa::FeatureSet;
 use summitfold_protein::proteome::{Origin, ProteinEntry};
@@ -22,15 +23,17 @@ fn predicted(len: usize, seed: u64) -> Structure {
     let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
     engine
         .predict(&entry, &FeatureSet::synthetic(&entry), ModelId(1))
-        .unwrap()
+        .expect("synthetic prediction cannot fail")
         .structure
-        .unwrap()
+        .expect("geometric fidelity always attaches a structure")
 }
 
 fn bench_protocols(c: &mut Criterion) {
     let s = predicted(200, 1);
     let mut group = c.benchmark_group("fig4_protocols");
-    group.bench_function("af2_loop", |b| b.iter(|| relax(&s, Protocol::Af2Loop).rounds));
+    group.bench_function("af2_loop", |b| {
+        b.iter(|| relax(&s, Protocol::Af2Loop).rounds)
+    });
     group.bench_function("single_pass", |b| {
         b.iter(|| relax(&s, Protocol::OptimizedSinglePass).rounds)
     });

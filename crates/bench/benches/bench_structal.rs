@@ -1,7 +1,8 @@
 //! Criterion bench for the structural-scoring substrate — the compute
 //! behind Fig 3 and §4.6: TM-score, SPECS, lDDT and library search cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summitfold_bench::microbench::{BenchmarkId, Criterion};
+use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_protein::family::{deform, Family};
 use summitfold_structal::align::structural_align;
 use summitfold_structal::lddt::lddt;
@@ -40,7 +41,11 @@ fn bench_alignment_and_search(c: &mut Criterion) {
 
     let library = Pdb70::build([fam], 60, 1);
     c.bench_function("pdb70_search_60decoys", |b| {
-        b.iter(|| library.search(&member, &member_seq, &SearchConfig::default()).len());
+        b.iter(|| {
+            library
+                .search(&member, &member_seq, &SearchConfig::default())
+                .len()
+        });
     });
 }
 

@@ -1,10 +1,17 @@
+//! Print length statistics of the benchmark set (quick sanity check).
+
 use summitfold_bench::harness::benchmark_set;
 fn main() {
     let set = benchmark_set();
     let mut lens: Vec<usize> = set.iter().map(|e| e.sequence.len()).collect();
     lens.sort_unstable();
     let n = lens.len();
-    println!("n={} mean={:.0} max={}", n, lens.iter().sum::<usize>() as f64/n as f64, lens[n-1]);
+    println!(
+        "n={} mean={:.0} max={}",
+        n,
+        lens.iter().sum::<usize>() as f64 / n as f64,
+        lens[n - 1]
+    );
     for t in [600, 700, 740, 800, 892, 1000] {
         println!(">{}: {}", t, lens.iter().filter(|&&l| l > t).count());
     }

@@ -56,7 +56,11 @@ fn run_one(name: &str, ctx: &Ctx) -> Option<Report> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let targets: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--quick")
+        .collect();
     let ctx = Ctx { quick };
     let dir = results_dir();
 

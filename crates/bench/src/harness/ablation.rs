@@ -22,9 +22,13 @@ use summitfold_protein::proteome::{Proteome, Species};
 /// A1 result row.
 #[derive(Debug, Clone)]
 pub struct OrderingRow {
+    /// Simulated worker count.
     pub workers: usize,
+    /// Ordering policy label.
     pub policy: &'static str,
+    /// Batch makespan in hours.
     pub makespan_h: f64,
+    /// Idle tail (last-task finish minus mean worker finish) in minutes.
     pub idle_tail_min: f64,
 }
 
@@ -34,8 +38,11 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
     // Workload: the S. divinum inference batch's task durations.
     let scale = if ctx.quick { 0.05 } else { 0.4 };
     let proteome = Proteome::generate_scaled(Species::SDivinum, scale);
-    let features: Vec<_> =
-        proteome.proteins.iter().map(summitfold_msa::FeatureSet::synthetic).collect();
+    let features: Vec<_> = proteome
+        .proteins
+        .iter()
+        .map(summitfold_msa::FeatureSet::synthetic)
+        .collect();
     let cfg = inference::Config {
         preset: Preset::Genome,
         fidelity: Fidelity::Statistical,
@@ -59,8 +66,11 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
     }
 
     let mut rows = Vec::new();
-    let worker_counts: &[usize] =
-        if ctx.quick { &[48, 192] } else { &[48, 192, 1200, 6000] };
+    let worker_counts: &[usize] = if ctx.quick {
+        &[48, 192]
+    } else {
+        &[48, 192, 1200, 6000]
+    };
     for &workers in worker_counts {
         for (policy, label) in [
             (OrderingPolicy::LongestFirst, "longest-first"),
@@ -78,7 +88,10 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
     }
 
     let mut rpt = Report::new("ablation_ordering", "A1 — task-ordering ablation (§3.3)");
-    rpt.line(format!("Workload: {} tasks from the S. divinum batch.", specs.len()));
+    rpt.line(format!(
+        "Workload: {} tasks from the S. divinum batch.",
+        specs.len()
+    ));
     rpt.line("");
     rpt.line("| workers | policy | makespan (h) | idle tail (min) |");
     rpt.line("|---|---|---|---|");
@@ -100,8 +113,11 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
 /// A2 result row.
 #[derive(Debug, Clone)]
 pub struct ReplicaRow {
+    /// Database replica count.
     pub replicas: u32,
+    /// Campaign walltime in hours.
     pub walltime_h: f64,
+    /// Scratch storage consumed by the replicas, in TB.
     pub storage_tb: f64,
 }
 
@@ -115,7 +131,10 @@ pub fn run_replicas(_ctx: &Ctx) -> (Vec<ReplicaRow>, Report) {
     let waves = 3205u32.div_ceil(concurrent);
     let mut rows = Vec::new();
     for replicas in [1u32, 2, 4, 8, 12, 16, 24, 32, 48, 96] {
-        let layout = ReplicaLayout { db_bytes: DbSet::Reduced.nominal_bytes(), replicas };
+        let layout = ReplicaLayout {
+            db_bytes: DbSet::Reduced.nominal_bytes(),
+            replicas,
+        };
         rows.push(ReplicaRow {
             replicas,
             walltime_h: campaign_walltime_s(&layout, uncontended, concurrent, waves) / 3600.0,
@@ -123,8 +142,10 @@ pub fn run_replicas(_ctx: &Ctx) -> (Vec<ReplicaRow>, Report) {
         });
     }
 
-    let mut rpt =
-        Report::new("ablation_replicas", "A2 — database-replication ablation (§3.2.1)");
+    let mut rpt = Report::new(
+        "ablation_replicas",
+        "A2 — database-replication ablation (§3.2.1)",
+    );
     rpt.line(format!(
         "Campaign: 3205 scans, 96 concurrent jobs, {uncontended:.0} s uncontended scan."
     ));
@@ -137,7 +158,10 @@ pub fn run_replicas(_ctx: &Ctx) -> (Vec<ReplicaRow>, Report) {
             "| {} | {:.1} | {:.1} |",
             row.replicas, row.walltime_h, row.storage_tb
         ));
-        csv.push_str(&format!("{},{:.2},{:.2}\n", row.replicas, row.walltime_h, row.storage_tb));
+        csv.push_str(&format!(
+            "{},{:.2},{:.2}\n",
+            row.replicas, row.walltime_h, row.storage_tb
+        ));
     }
     rpt.line("");
     rpt.line("The paper's 24-replica layout sits near the optimum: fewer copies hit metadata contention, many more pay replication time and 10+ TB of scratch.");
@@ -148,10 +172,15 @@ pub fn run_replicas(_ctx: &Ctx) -> (Vec<ReplicaRow>, Report) {
 /// A3 outcome.
 #[derive(Debug, Clone)]
 pub struct ProtocolOutcome {
+    /// Models relaxed under each protocol.
     pub models: usize,
+    /// Total minimizer iterations under the AF2 protocol.
     pub af2_iterations: usize,
+    /// Total minimizer iterations under the optimized protocol.
     pub opt_iterations: usize,
+    /// Convergence checks performed by the AF2 protocol.
     pub af2_checks: usize,
+    /// Whether both protocols reached the same final quality.
     pub equal_quality: bool,
 }
 
@@ -174,8 +203,10 @@ pub fn run_protocol(ctx: &Ctx) -> (ProtocolOutcome, Report) {
         equal_quality,
     };
 
-    let mut rpt =
-        Report::new("ablation_protocol", "A3 — relaxation-protocol ablation (§3.2.3)");
+    let mut rpt = Report::new(
+        "ablation_protocol",
+        "A3 — relaxation-protocol ablation (§3.2.3)",
+    );
     rpt.line(format!("Models: {}.", outcome.models));
     rpt.line(format!(
         "Minimizer iterations — AF2 loop {} vs single pass {} ({:+.1} % extra).",
@@ -227,7 +258,11 @@ mod tests {
             .iter()
             .min_by(|a, b| a.walltime_h.partial_cmp(&b.walltime_h).unwrap())
             .unwrap();
-        assert!(best.replicas > 2 && best.replicas < 96, "optimum {}", best.replicas);
+        assert!(
+            best.replicas > 2 && best.replicas < 96,
+            "optimum {}",
+            best.replicas
+        );
         let at = |r: u32| rows.iter().find(|x| x.replicas == r).unwrap().walltime_h;
         assert!(at(1) > best.walltime_h * 1.5, "single copy must be painful");
     }
@@ -244,8 +279,11 @@ mod tests {
 /// A4 outcome: the §5 what-if — GPU-accelerated MSA tools.
 #[derive(Debug, Clone)]
 pub struct GpuMsaOutcome {
+    /// Feature-generation budget on CPUs, node-hours.
     pub cpu_node_hours: f64,
+    /// Projected budget with 38x-accelerated kernels, node-hours.
     pub gpu_node_hours: f64,
+    /// End-to-end (Amdahl-limited) speedup.
     pub speedup_applied: f64,
 }
 
@@ -258,8 +296,7 @@ pub fn run_gpu_msa_whatif(_ctx: &Ctx) -> (GpuMsaOutcome, Report) {
     const KERNEL_FRACTION: f64 = 0.85;
     const KERNEL_SPEEDUP: f64 = 38.0;
     let proteome = Proteome::generate(Species::DVulgaris);
-    let layout =
-        summitfold_hpc::fs::ReplicaLayout::paper_default(DbSet::Reduced.nominal_bytes());
+    let layout = summitfold_hpc::fs::ReplicaLayout::paper_default(DbSet::Reduced.nominal_bytes());
     let slowdown = layout.slowdown(96);
     let cpu_s: f64 = proteome
         .proteins
@@ -291,8 +328,11 @@ pub fn run_gpu_msa_whatif(_ctx: &Ctx) -> (GpuMsaOutcome, Report) {
 /// alternative).
 #[derive(Debug, Clone)]
 pub struct StagingOutcome {
+    /// Campaign walltime with shared-filesystem replicas, hours.
     pub shared_fs_walltime_h: f64,
+    /// Campaign walltime staging the database to node-local NVMe, hours.
     pub staging_walltime_h: f64,
+    /// Whether the full database set fits on a node's NVMe at all.
     pub full_set_stages: bool,
 }
 
@@ -346,8 +386,11 @@ mod whatif_tests {
     #[test]
     fn gpu_msa_projection_is_amdahl_limited() {
         let (o, _) = run_gpu_msa_whatif(&Ctx { quick: true });
-        assert!(o.speedup_applied > 4.0 && o.speedup_applied < 38.0,
-            "speedup {}", o.speedup_applied);
+        assert!(
+            o.speedup_applied > 4.0 && o.speedup_applied < 38.0,
+            "speedup {}",
+            o.speedup_applied
+        );
         assert!(o.gpu_node_hours < o.cpu_node_hours / 4.0);
     }
 

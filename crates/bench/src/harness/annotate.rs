@@ -23,8 +23,14 @@ pub fn run(ctx: &Ctx) -> (AnnotationReport, Report) {
     let mut rpt = Report::new("annotate", "§4.6 — annotation transfer and novel folds");
     rpt.line("| metric | paper | measured |");
     rpt.line("|---|---|---|");
-    rpt.line(format!("| hypothetical proteins searched | 559 | {} |", report.queries));
-    rpt.line(format!("| top TM ≥ 0.60 matches | 239 | {} |", report.matched));
+    rpt.line(format!(
+        "| hypothetical proteins searched | 559 | {} |",
+        report.queries
+    ));
+    rpt.line(format!(
+        "| top TM ≥ 0.60 matches | 239 | {} |",
+        report.matched
+    ));
     rpt.line(format!(
         "| matches at sequence identity < 20 % | 215 | {} |",
         report.matched_seqid_lt20
@@ -42,7 +48,7 @@ pub fn run(ctx: &Ctx) -> (AnnotationReport, Report) {
         .per_query
         .iter()
         .filter(|q| report.novel_fold_candidates.contains(&q.id))
-        .max_by(|a, b| a.plddt_frac90.partial_cmp(&b.plddt_frac90).expect("finite"))
+        .max_by(|a, b| a.plddt_frac90.total_cmp(&b.plddt_frac90))
     {
         rpt.line(format!(
             "| showcase candidate | pLDDT>90 on 98 % of residues, top TM 0.358 | {}: pLDDT>90 on \
@@ -79,7 +85,10 @@ mod tests {
         assert!(r.queries >= 50, "queries {}", r.queries);
         let match_rate = r.matched as f64 / r.queries as f64;
         // Paper: 239/559 ≈ 0.43.
-        assert!((0.25..0.62).contains(&match_rate), "match rate {match_rate}");
+        assert!(
+            (0.25..0.62).contains(&match_rate),
+            "match rate {match_rate}"
+        );
         // Low-identity dominance: 215/239 ≈ 0.90 below 20 %.
         if r.matched > 10 {
             let lt20 = r.matched_seqid_lt20 as f64 / r.matched as f64;

@@ -31,7 +31,10 @@ pub fn run(ctx: &Ctx) -> (ScreenReport, Report) {
     let mut ledger = Ledger::new();
     let report = screen_all_pairs(&refs, &ScreenConfig::default(), &mut ledger);
 
-    let mut rpt = Report::new("complexes", "E1 (extension, §5) — AF2Complex interactome screen");
+    let mut rpt = Report::new(
+        "complexes",
+        "E1 (extension, §5) — AF2Complex interactome screen",
+    );
     rpt.line(format!(
         "Screened {} proteins → {} pairs ({} true interactions in the synthetic interactome).",
         report.proteins,
@@ -66,7 +69,10 @@ pub fn run(ctx: &Ctx) -> (ScreenReport, Report) {
 
     let mut csv = String::from("pair,iscore,truly_interacts\n");
     for c in &report.calls {
-        csv.push_str(&format!("{},{:.3},{}\n", c.pair_id, c.iscore, c.truly_interacts));
+        csv.push_str(&format!(
+            "{},{:.3},{}\n",
+            c.pair_id, c.iscore, c.truly_interacts
+        ));
     }
     rpt.attach_csv("complexes.csv", csv);
     (report, rpt)

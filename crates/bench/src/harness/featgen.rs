@@ -21,10 +21,15 @@ use summitfold_protein::stats;
 /// Measured outcome.
 #[derive(Debug, Clone)]
 pub struct Outcome {
+    /// Andes budget with the reduced database set, node-hours.
     pub andes_node_hours_reduced: f64,
+    /// Andes budget with the full database set, node-hours.
     pub andes_node_hours_full: f64,
+    /// Summit inference budget for the same targets, node-hours.
     pub summit_node_hours_inference: f64,
+    /// Mean pTM-score change from using the reduced set.
     pub quality_delta_ptms: f64,
+    /// Feature-generation walltime with the reduced set, hours.
     pub feature_walltime_h_reduced: f64,
 }
 
@@ -40,7 +45,10 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     let reduced_cfg = feature::Config::paper_default();
     let reduced = feature::run(&proteome.proteins, &reduced_cfg, &mut ledger_r);
     let mut ledger_f = Ledger::new();
-    let full_cfg = feature::Config { db_set: DbSet::Full, ..reduced_cfg };
+    let full_cfg = feature::Config {
+        db_set: DbSet::Full,
+        ..reduced_cfg
+    };
     let full = feature::run(&proteome.proteins, &full_cfg, &mut ledger_f);
 
     // Inference (genome preset, 100 nodes → 600 workers, well filled).
@@ -52,15 +60,30 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
     };
-    let inf = inference::run(&proteome.proteins, &reduced.features, &inf_cfg, &mut ledger_i);
+    let inf = inference::run(
+        &proteome.proteins,
+        &reduced.features,
+        &inf_cfg,
+        &mut ledger_i,
+    );
 
     // Quality with full-database features: the richness latents are the
     // same (Neff saturates; near-duplicates add nothing), so the measured
     // quality delta is zero by the Neff mechanism — report it from the
     // top-model pTMS distributions to make that visible.
-    let inf_full = inference::run(&proteome.proteins, &full.features, &inf_cfg, &mut Ledger::new());
+    let inf_full = inference::run(
+        &proteome.proteins,
+        &full.features,
+        &inf_cfg,
+        &mut Ledger::new(),
+    );
     let ptms = |rep: &inference::Report| {
-        stats::mean(&rep.results.iter().map(|(_, r)| r.top().ptms).collect::<Vec<_>>())
+        stats::mean(
+            &rep.results
+                .iter()
+                .map(|(_, r)| r.top().ptms)
+                .collect::<Vec<_>>(),
+        )
     };
 
     let outcome = Outcome {
@@ -119,6 +142,10 @@ mod tests {
         assert!((0.3..1.2).contains(&ratio), "ratio {ratio}");
         // The full set costs much more with no quality gain.
         assert!(o.andes_node_hours_full > o.andes_node_hours_reduced * 1.8);
-        assert!(o.quality_delta_ptms < 0.01, "quality delta {}", o.quality_delta_ptms);
+        assert!(
+            o.quality_delta_ptms < 0.01,
+            "quality delta {}",
+            o.quality_delta_ptms
+        );
     }
 }

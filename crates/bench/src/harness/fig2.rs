@@ -16,10 +16,16 @@ use summitfold_protein::proteome::{Proteome, Species};
 /// Load-balance metrics extracted from the run.
 #[derive(Debug, Clone)]
 pub struct Outcome {
+    /// Worker (GPU) count.
     pub workers: usize,
+    /// Batch walltime in hours.
     pub walltime_h: f64,
+    /// Idle tail in minutes.
     pub idle_tail_min: f64,
+    /// Mean worker busy fraction.
     pub utilization: f64,
+    /// Whether early-scheduled tasks ran longer than late ones
+    /// (longest-first signature).
     pub first_tasks_longer: bool,
 }
 
@@ -29,8 +35,11 @@ pub struct Outcome {
 pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     let scale = if ctx.quick { 0.1 } else { 1.0 };
     let proteome = Proteome::generate_scaled(Species::SDivinum, scale);
-    let features: Vec<_> =
-        proteome.proteins.iter().map(summitfold_msa::FeatureSet::synthetic).collect();
+    let features: Vec<_> = proteome
+        .proteins
+        .iter()
+        .map(summitfold_msa::FeatureSet::synthetic)
+        .collect();
     let nodes = if ctx.quick { 20 } else { 200 };
     let cfg = inference::Config {
         preset: Preset::Genome,
@@ -108,7 +117,11 @@ mod tests {
     #[test]
     fn fig2_load_balance_properties() {
         let (outcome, _) = run(&Ctx { quick: true });
-        assert!(outcome.utilization > 0.85, "utilization {}", outcome.utilization);
+        assert!(
+            outcome.utilization > 0.85,
+            "utilization {}",
+            outcome.utilization
+        );
         assert!(
             outcome.idle_tail_min < outcome.walltime_h * 60.0 * 0.15,
             "idle tail {} min of {} h",

@@ -16,12 +16,19 @@ use summitfold_structal::tm::tm_score;
 /// One scored target.
 #[derive(Debug, Clone)]
 pub struct Point {
+    /// Target id.
     pub id: String,
+    /// TM-score of the unrelaxed model.
     pub tm_unrelaxed: f64,
+    /// TM-score after AF2-protocol relaxation.
     pub tm_af2: f64,
+    /// TM-score after optimized-protocol relaxation.
     pub tm_opt: f64,
+    /// SPECS score of the unrelaxed model.
     pub specs_unrelaxed: f64,
+    /// SPECS score after AF2-protocol relaxation.
     pub specs_af2: f64,
+    /// SPECS score after optimized-protocol relaxation.
     pub specs_opt: f64,
 }
 
@@ -35,7 +42,11 @@ pub fn run(_ctx: &Ctx) -> (Vec<Point>, Report) {
     let mut points = Vec::new();
     for entry in &targets {
         let features = FeatureSet::synthetic(entry);
-        let result = engine.predict_target(entry, &features).expect("casp lengths fit");
+        let result = engine
+            .predict_target(entry, &features)
+            // sfcheck::allow(panic-hygiene, fixed CASP-like benchmark targets are sized to fit every preset memory model)
+            .expect("casp lengths fit");
+        // sfcheck::allow(panic-hygiene, geometric fidelity always attaches a structure to each prediction)
         let model = result.top().structure.as_ref().expect("geometric").clone();
         let truth = entry.true_fold();
 
@@ -59,10 +70,19 @@ pub fn run(_ctx: &Ctx) -> (Vec<Point>, Report) {
     let sp_o: Vec<f64> = points.iter().map(|p| p.specs_opt).collect();
     let tm_corr = stats::pearson(&tm_u, &tm_o);
     let sp_corr = stats::pearson(&sp_u, &sp_o);
-    let tm_drops = points.iter().filter(|p| p.tm_opt < p.tm_unrelaxed - 0.02).count();
-    let sp_gains = points.iter().filter(|p| p.specs_opt > p.specs_unrelaxed).count();
+    let tm_drops = points
+        .iter()
+        .filter(|p| p.tm_opt < p.tm_unrelaxed - 0.02)
+        .count();
+    let sp_gains = points
+        .iter()
+        .filter(|p| p.specs_opt > p.specs_unrelaxed)
+        .count();
 
-    rpt.line(format!("Targets: {} (CASP14-like, ground truth available).", points.len()));
+    rpt.line(format!(
+        "Targets: {} (CASP14-like, ground truth available).",
+        points.len()
+    ));
     rpt.line(format!(
         "TM-score relaxed-vs-unrelaxed correlation {tm_corr:.3} (paper: strong, on-diagonal); \
          decreases beyond noise: {tm_drops}/{} (paper: none).",
@@ -79,13 +99,15 @@ pub fn run(_ctx: &Ctx) -> (Vec<Point>, Report) {
         stats::mean(&tm_o) - stats::mean(&tm_u),
         stats::mean(&sp_o) - stats::mean(&sp_u),
         stats::mean(
-            &points.iter().map(|p| (p.tm_af2 - p.tm_opt).abs()).collect::<Vec<_>>()
+            &points
+                .iter()
+                .map(|p| (p.tm_af2 - p.tm_opt).abs())
+                .collect::<Vec<_>>()
         ),
     ));
 
-    let mut csv = String::from(
-        "target,tm_unrelaxed,tm_af2,tm_opt,specs_unrelaxed,specs_af2,specs_opt\n",
-    );
+    let mut csv =
+        String::from("target,tm_unrelaxed,tm_af2,tm_opt,specs_unrelaxed,specs_af2,specs_opt\n");
     for p in &points {
         csv.push_str(&format!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
@@ -112,14 +134,21 @@ mod tests {
                 p.tm_unrelaxed,
                 p.tm_opt
             );
-            assert!(p.specs_opt > p.specs_unrelaxed - 0.05, "{}: SPECS collapsed", p.id);
+            assert!(
+                p.specs_opt > p.specs_unrelaxed - 0.05,
+                "{}: SPECS collapsed",
+                p.id
+            );
         }
         // Strong correlation between unrelaxed and relaxed scores.
         let tm_u: Vec<f64> = points.iter().map(|p| p.tm_unrelaxed).collect();
         let tm_o: Vec<f64> = points.iter().map(|p| p.tm_opt).collect();
         assert!(stats::pearson(&tm_u, &tm_o) > 0.95);
         // Some SPECS improvements.
-        let gains = points.iter().filter(|p| p.specs_opt > p.specs_unrelaxed).count();
+        let gains = points
+            .iter()
+            .filter(|p| p.specs_opt > p.specs_unrelaxed)
+            .count();
         assert!(gains >= points.len() / 3, "only {gains} SPECS gains");
     }
 }

@@ -17,10 +17,15 @@ use summitfold_relax::timing::{wall_seconds, Method};
 /// One timed model.
 #[derive(Debug, Clone)]
 pub struct Point {
+    /// Target id.
     pub id: String,
+    /// Heavy-atom count of the model.
     pub heavy_atoms: u64,
+    /// Relaxation walltime under the AF2 CPU protocol, seconds.
     pub t_af2_s: f64,
+    /// Relaxation walltime under the optimized CPU protocol, seconds.
     pub t_cpu_s: f64,
+    /// Relaxation walltime under the optimized GPU protocol, seconds.
     pub t_gpu_s: f64,
 }
 
@@ -40,12 +45,21 @@ pub fn relax_all(ctx: &Ctx) -> Vec<(String, u64, RelaxOutcome, RelaxOutcome)> {
     let mut out = Vec::new();
     for entry in &targets {
         let features = FeatureSet::synthetic(entry);
-        let result = engine.predict_target(entry, &features).expect("casp lengths fit");
+        let result = engine
+            .predict_target(entry, &features)
+            // sfcheck::allow(panic-hygiene, fixed CASP-like benchmark targets are sized to fit every preset memory model)
+            .expect("casp lengths fit");
         for p in &result.predictions {
+            // sfcheck::allow(panic-hygiene, geometric fidelity always attaches a structure to each prediction)
             let s = p.structure.as_ref().expect("geometric");
             let af2 = relax(s, Protocol::Af2Loop);
             let opt = relax(s, Protocol::OptimizedSinglePass);
-            out.push((format!("{}/{}", entry.sequence.id, p.model), s.heavy_atoms(), af2, opt));
+            out.push((
+                format!("{}/{}", entry.sequence.id, p.model),
+                s.heavy_atoms(),
+                af2,
+                opt,
+            ));
         }
     }
     out
@@ -70,11 +84,15 @@ pub fn run(ctx: &Ctx) -> (Vec<Point>, Report) {
     let max_speedup = stats::max(&speedups);
     let outlier = points
         .iter()
-        .max_by(|a, b| a.t_af2_s.partial_cmp(&b.t_af2_s).expect("finite"))
+        .max_by(|a, b| a.t_af2_s.total_cmp(&b.t_af2_s))
+        // sfcheck::allow(panic-hygiene, the CASP target table driving this figure is non-empty by construction)
         .expect("non-empty");
 
     let mut rpt = Report::new("fig4", "Fig 4 — relaxation time-to-solution and speedups");
-    rpt.line(format!("Models: {} across three configurations.", points.len()));
+    rpt.line(format!(
+        "Models: {} across three configurations.",
+        points.len()
+    ));
     rpt.line(format!(
         "Mean wall seconds — AF2 CPU {:.0}, optimized Andes CPU {:.0}, optimized Summit GPU {:.0}.",
         stats::mean(&points.iter().map(|p| p.t_af2_s).collect::<Vec<_>>()),

@@ -11,8 +11,11 @@ use summitfold_protein::proteome::Species;
 /// Measured outcome.
 #[derive(Debug, Clone)]
 pub struct Outcome {
+    /// Total targets across all four proteomes.
     pub targets_total: usize,
+    /// Summit (inference + relaxation) budget, node-hours.
     pub summit_node_hours: f64,
+    /// Andes (feature generation) budget, node-hours.
     pub andes_node_hours: f64,
 }
 
@@ -54,7 +57,14 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         summit / f64::from(Machine::Summit.nodes()),
         Machine::Summit.nodes()
     ));
-    (Outcome { targets_total, summit_node_hours: summit, andes_node_hours: andes }, rpt)
+    (
+        Outcome {
+            targets_total,
+            summit_node_hours: summit,
+            andes_node_hours: andes,
+        },
+        rpt,
+    )
 }
 
 #[cfg(test)]
@@ -64,13 +74,20 @@ mod tests {
     #[test]
     fn headline_budget_in_band() {
         let (o, _) = run(&Ctx { quick: true });
-        assert!((o.targets_total as i64 - 35_634).abs() < 600, "targets {}", o.targets_total);
+        assert!(
+            (o.targets_total as i64 - 35_634).abs() < 600,
+            "targets {}",
+            o.targets_total
+        );
         assert!(
             o.summit_node_hours < 6_500.0,
             "Summit budget {:.0} (paper: < 4,000)",
             o.summit_node_hours
         );
         let frac = o.summit_node_hours / f64::from(Machine::Summit.nodes());
-        assert!((0.3..1.6).contains(&frac), "majority-for-an-hour fraction {frac}");
+        assert!(
+            (0.3..1.6).contains(&frac),
+            "majority-for-an-hour fraction {frac}"
+        );
     }
 }

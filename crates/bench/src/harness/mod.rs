@@ -5,10 +5,10 @@ pub mod ablation;
 pub mod annotate;
 pub mod complexes;
 pub mod featgen;
-pub mod headline;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod headline;
 pub mod recycles;
 pub mod relaxscale;
 pub mod sdivinum;
@@ -68,7 +68,12 @@ pub fn casp14_set(targets: usize) -> Vec<ProteinEntry> {
         let id = format!("T{:04}", 1024 + k);
         let sequence = Sequence::random(&id, len, &mut rng);
         let msa_richness = rng.normal(0.7, 0.15).clamp(0.2, 1.0);
-        out.push(ProteinEntry { sequence, hypothetical: false, origin: Origin::Orphan, msa_richness });
+        out.push(ProteinEntry {
+            sequence,
+            hypothetical: false,
+            origin: Origin::Orphan,
+            msa_richness,
+        });
     }
     out
 }
@@ -80,9 +85,12 @@ mod tests {
     #[test]
     fn benchmark_set_matches_paper_shape() {
         let set = benchmark_set();
-        assert!((set.len() as i64 - 559).abs() < 70, "benchmark size {}", set.len());
-        let mean =
-            set.iter().map(|e| e.sequence.len() as f64).sum::<f64>() / set.len() as f64;
+        assert!(
+            (set.len() as i64 - 559).abs() < 70,
+            "benchmark size {}",
+            set.len()
+        );
+        let mean = set.iter().map(|e| e.sequence.len() as f64).sum::<f64>() / set.len() as f64;
         assert!((mean - 202.0).abs() < 25.0, "mean length {mean}");
     }
 

@@ -15,12 +15,19 @@ use summitfold_protein::stats;
 /// Measured outcome.
 #[derive(Debug, Clone)]
 pub struct Outcome {
+    /// Targets analysed.
     pub targets: usize,
+    /// Total pLDDT gained across all recycling passes.
     pub total_gain: f64,
+    /// Fraction of the total gain owned by big improvers.
     pub share_from_big_improvers: f64,
+    /// Fraction of targets that are big improvers.
     pub frac_big_improvers: f64,
+    /// Fraction of the total gain owned by mid improvers.
     pub share_from_mid_improvers: f64,
+    /// Fraction of targets that are mid improvers.
     pub frac_mid_improvers: f64,
+    /// Mean recycle count among big improvers.
     pub mean_recycles_big_improvers: f64,
 }
 
@@ -29,8 +36,10 @@ pub struct Outcome {
 pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     let mut entries = benchmark_set();
     entries.truncate(ctx.sample(entries.len()));
-    let features: Vec<_> =
-        entries.iter().map(summitfold_msa::FeatureSet::synthetic).collect();
+    let features: Vec<_> = entries
+        .iter()
+        .map(summitfold_msa::FeatureSet::synthetic)
+        .collect();
 
     let run_preset = |preset| {
         inference::run(
@@ -46,11 +55,9 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     // Per-target top-model pTMS deltas and super-run recycles.
     let mut deltas: Vec<(f64, f64)> = Vec::new(); // (delta, super recycles)
     for ((ri, rr), (si, sr)) in reduced.results.iter().zip(&sup.results) {
+        // sfcheck::allow(panic-hygiene, both runs iterate the same entries so indices correspond by construction)
         assert_eq!(ri, si, "result alignment");
-        deltas.push((
-            sr.top().ptms - rr.top().ptms,
-            f64::from(sr.top().recycles),
-        ));
+        deltas.push((sr.top().ptms - rr.top().ptms, f64::from(sr.top().recycles)));
     }
     let total_gain: f64 = deltas.iter().map(|(d, _)| d.max(0.0)).sum();
     let share = |cut: f64| -> (f64, f64, f64) {
@@ -58,7 +65,11 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         let gain: f64 = big.iter().map(|(d, _)| d).sum();
         let recycles = stats::mean(&big.iter().map(|(_, r)| *r).collect::<Vec<_>>());
         (
-            if total_gain > 0.0 { gain / total_gain } else { 0.0 },
+            if total_gain > 0.0 {
+                gain / total_gain
+            } else {
+                0.0
+            },
             big.len() as f64 / deltas.len() as f64,
             recycles,
         )
@@ -111,7 +122,11 @@ mod tests {
         let (o, _) = run(&Ctx { quick: false });
         assert!(o.total_gain > 0.0, "super must improve on reduced overall");
         // A small fraction of targets carries a large share of the gain.
-        assert!(o.frac_big_improvers < 0.25, "big improvers {:.2}", o.frac_big_improvers);
+        assert!(
+            o.frac_big_improvers < 0.25,
+            "big improvers {:.2}",
+            o.frac_big_improvers
+        );
         assert!(
             o.share_from_big_improvers > o.frac_big_improvers * 2.0,
             "share {:.2} vs frac {:.2}",

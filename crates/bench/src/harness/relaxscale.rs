@@ -18,10 +18,15 @@ use summitfold_protein::structure::Structure;
 /// Measured outcome.
 #[derive(Debug, Clone)]
 pub struct Outcome {
+    /// Structures relaxed.
     pub structures: usize,
+    /// Campaign walltime in minutes.
     pub walltime_min: f64,
+    /// Mean per-structure relaxation time, seconds.
     pub mean_task_s: f64,
+    /// Structures still containing steric clashes afterwards.
     pub clashes_remaining: usize,
+    /// Whether numbers were scale-corrected from a subsample.
     pub scaled_from_sample: bool,
 }
 
@@ -43,6 +48,7 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         };
         let top_model = result.top().model;
         if let Ok(p) = geometric.predict(entry, &features, top_model) {
+            // sfcheck::allow(panic-hygiene, geometric fidelity always attaches a structure to each prediction)
             structures.push(p.structure.expect("geometric"));
         }
     }
@@ -52,8 +58,11 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     let report = relax_stage::run(&structures, &cfg, &mut ledger);
     let scale_up = proteome.len() as f64 / structures.len() as f64;
 
-    let clashes_remaining: usize =
-        report.outcomes.iter().map(|o| o.final_violations.clashes).sum();
+    let clashes_remaining: usize = report
+        .outcomes
+        .iter()
+        .map(|o| o.final_violations.clashes)
+        .sum();
     let outcome = Outcome {
         structures: structures.len(),
         // Makespan scales ≈ linearly with batch size at fixed workers
@@ -70,15 +79,29 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     rpt.line(format!(
         "| structures relaxed | 3205 | {}{} |",
         outcome.structures,
-        if outcome.scaled_from_sample { " (sample)" } else { "" }
+        if outcome.scaled_from_sample {
+            " (sample)"
+        } else {
+            ""
+        }
     ));
     rpt.line(format!(
         "| batch walltime on 8 nodes × 6 workers | 22.89 min | {:.1} min{} |",
         outcome.walltime_min,
-        if outcome.scaled_from_sample { " (scaled)" } else { "" }
+        if outcome.scaled_from_sample {
+            " (scaled)"
+        } else {
+            ""
+        }
     ));
-    rpt.line(format!("| mean per-structure GPU time | ~20.6 s | {:.1} s |", outcome.mean_task_s));
-    rpt.line(format!("| clashes remaining | 0 | {} |", outcome.clashes_remaining));
+    rpt.line(format!(
+        "| mean per-structure GPU time | ~20.6 s | {:.1} s |",
+        outcome.mean_task_s
+    ));
+    rpt.line(format!(
+        "| clashes remaining | 0 | {} |",
+        outcome.clashes_remaining
+    ));
     (outcome, rpt)
 }
 

@@ -88,7 +88,11 @@ mod tests {
         // discussed in EXPERIMENTS.md (it is inconsistent with the
         // paper's own 3000-node-hour budget under any cost model that
         // also fits Table 1).
-        assert!(r.mean_top_recycles > 3.4, "recycles {}", r.mean_top_recycles);
+        assert!(
+            r.mean_top_recycles > 3.4,
+            "recycles {}",
+            r.mean_top_recycles
+        );
         // Budget: thousands, not tens of thousands, of node-hours.
         assert!(
             (500.0..8000.0).contains(&r.andes_node_hours_full),

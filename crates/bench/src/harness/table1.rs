@@ -20,13 +20,21 @@ use summitfold_protein::stats;
 /// One measured row.
 #[derive(Debug, Clone)]
 pub struct Row {
+    /// Preset name.
     pub preset: &'static str,
+    /// Mean best-model pLDDT.
     pub mean_plddt: f64,
+    /// Mean best-model pTM-score.
     pub mean_ptms: f64,
+    /// Targets evaluated.
     pub count: usize,
+    /// Batch walltime in minutes.
     pub walltime_min: f64,
+    /// Fraction of targets with pLDDT > 70.
     pub frac_plddt_gt70: f64,
+    /// Fraction of targets with pTM-score > 0.6.
     pub frac_ptms_gt06: f64,
+    /// Fraction of walltime spent outside GPU compute.
     pub overhead_fraction: f64,
 }
 
@@ -35,8 +43,10 @@ pub struct Row {
 pub fn run(ctx: &Ctx) -> (Vec<Row>, Report) {
     let mut entries = benchmark_set();
     entries.truncate(ctx.sample(entries.len()));
-    let features: Vec<_> =
-        entries.iter().map(summitfold_msa::FeatureSet::synthetic).collect();
+    let features: Vec<_> = entries
+        .iter()
+        .map(summitfold_msa::FeatureSet::synthetic)
+        .collect();
 
     let mut rows = Vec::new();
     for preset in Preset::ALL {
@@ -76,6 +86,7 @@ pub fn run(ctx: &Ctx) -> (Vec<Row>, Report) {
         "preset,mean_plddt,mean_ptms,count,walltime_min,frac_plddt_gt70,frac_ptms_gt06,overhead\n",
     );
     for row in &rows {
+        // sfcheck::allow(panic-hygiene, the paper table is a fixed in-source array covering every preset)
         let p = paper.iter().find(|p| p.0 == row.preset).expect("paper row");
         rpt.line(format!(
             "| {} | {:.1} ({:.1}) | {:.3} ({:.3}) | {} ({}) | {:.0} ({}) | {:.0}% | {:.0}% | {:.0}% |",

@@ -14,15 +14,25 @@ use summitfold_protein::stats;
 /// Measured outcome.
 #[derive(Debug, Clone)]
 pub struct Outcome {
+    /// Models examined.
     pub models: usize,
+    /// Mean hard-clash count before relaxation.
     pub clashes_before_mean: f64,
+    /// Standard deviation of hard-clash counts before relaxation.
     pub clashes_before_sd: f64,
+    /// Maximum hard-clash count before relaxation.
     pub clashes_before_max: f64,
+    /// Maximum hard-clash count after relaxation (expected 0).
     pub clashes_after_max: f64,
+    /// Mean soft-bump count before relaxation.
     pub bumps_before_mean: f64,
+    /// Standard deviation of soft-bump counts before relaxation.
     pub bumps_before_sd: f64,
+    /// Maximum soft-bump count before relaxation.
     pub bumps_before_max: f64,
+    /// Mean soft-bump count after AF2-protocol relaxation.
     pub bumps_after_mean_af2: f64,
+    /// Mean soft-bump count after optimized-protocol relaxation.
     pub bumps_after_mean_opt: f64,
 }
 
@@ -30,18 +40,30 @@ pub struct Outcome {
 #[must_use]
 pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     let relaxed = fig4::relax_all(ctx);
-    let cb: Vec<f64> =
-        relaxed.iter().map(|(_, _, _, o)| o.initial_violations.clashes as f64).collect();
-    let bb: Vec<f64> =
-        relaxed.iter().map(|(_, _, _, o)| o.initial_violations.bumps as f64).collect();
-    let ca_af2: Vec<f64> =
-        relaxed.iter().map(|(_, _, a, _)| a.final_violations.clashes as f64).collect();
-    let ca_opt: Vec<f64> =
-        relaxed.iter().map(|(_, _, _, o)| o.final_violations.clashes as f64).collect();
-    let ba_af2: Vec<f64> =
-        relaxed.iter().map(|(_, _, a, _)| a.final_violations.bumps as f64).collect();
-    let ba_opt: Vec<f64> =
-        relaxed.iter().map(|(_, _, _, o)| o.final_violations.bumps as f64).collect();
+    let cb: Vec<f64> = relaxed
+        .iter()
+        .map(|(_, _, _, o)| o.initial_violations.clashes as f64)
+        .collect();
+    let bb: Vec<f64> = relaxed
+        .iter()
+        .map(|(_, _, _, o)| o.initial_violations.bumps as f64)
+        .collect();
+    let ca_af2: Vec<f64> = relaxed
+        .iter()
+        .map(|(_, _, a, _)| a.final_violations.clashes as f64)
+        .collect();
+    let ca_opt: Vec<f64> = relaxed
+        .iter()
+        .map(|(_, _, _, o)| o.final_violations.clashes as f64)
+        .collect();
+    let ba_af2: Vec<f64> = relaxed
+        .iter()
+        .map(|(_, _, a, _)| a.final_violations.bumps as f64)
+        .collect();
+    let ba_opt: Vec<f64> = relaxed
+        .iter()
+        .map(|(_, _, _, o)| o.final_violations.bumps as f64)
+        .collect();
 
     let outcome = Outcome {
         models: relaxed.len(),
@@ -56,7 +78,10 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         bumps_after_mean_opt: stats::mean(&ba_opt),
     };
 
-    let mut rpt = Report::new("violations", "§4.4 — clash/bump statistics across relaxation");
+    let mut rpt = Report::new(
+        "violations",
+        "§4.4 — clash/bump statistics across relaxation",
+    );
     rpt.line(format!("Models: {}.", outcome.models));
     rpt.line("| metric | paper | measured |");
     rpt.line("|---|---|---|");
@@ -91,18 +116,32 @@ mod tests {
     fn violations_shape_holds() {
         let (o, _) = run(&Ctx { quick: true });
         // Clashes: rare before, gone after.
-        assert!(o.clashes_before_mean < 1.5, "clash mean {}", o.clashes_before_mean);
+        assert!(
+            o.clashes_before_mean < 1.5,
+            "clash mean {}",
+            o.clashes_before_mean
+        );
         assert_eq!(o.clashes_after_max, 0.0, "all clashes removed");
         // Bumps: heavy-tailed before (sd > mean), reduced after.
-        assert!(o.bumps_before_mean > 0.5, "bump mean {}", o.bumps_before_mean);
+        assert!(
+            o.bumps_before_mean > 0.5,
+            "bump mean {}",
+            o.bumps_before_mean
+        );
         assert!(
             o.bumps_before_sd > o.bumps_before_mean,
             "heavy tail: sd {} vs mean {}",
             o.bumps_before_sd,
             o.bumps_before_mean
         );
-        assert!(o.bumps_after_mean_opt < o.bumps_before_mean, "bumps must drop");
-        assert!(o.bumps_after_mean_opt > 0.0, "residual bumps remain (paper: ~2.1–2.7)");
+        assert!(
+            o.bumps_after_mean_opt < o.bumps_before_mean,
+            "bumps must drop"
+        );
+        assert!(
+            o.bumps_after_mean_opt > 0.0,
+            "residual bumps remain (paper: ~2.1–2.7)"
+        );
         // Both protocols agree closely.
         assert!(
             (o.bumps_after_mean_af2 - o.bumps_after_mean_opt).abs() < 1.0,

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-bench
 //!
 //! The reproduction harness: one module per table/figure/number in the
@@ -16,4 +19,5 @@
 //! Add `--quick` to subsample the heavy experiments.
 
 pub mod harness;
+pub mod microbench;
 pub mod report;

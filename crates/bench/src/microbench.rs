@@ -1,0 +1,250 @@
+//! Dependency-free micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull
+//! in the `criterion` crate. This module provides the small slice of its
+//! surface the `benches/` files actually use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! warmup-then-sample timing loop that prints per-benchmark statistics.
+//!
+//! It is intentionally a measurement *harness*, not a statistics engine:
+//! no outlier rejection, no regression baselines. Numbers are printed as
+//! `name  median  mean  min` over `sample_size` samples.
+
+use std::fmt::Display;
+use std::hint::black_box;
+// sfcheck::allow(determinism, benchmark timing is wall-clock by definition)
+use std::time::Instant;
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration collected for the current sample.
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording wall-clock time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup: one untimed pass so lazy setup (allocator warm, caches)
+        // does not land in the first sample.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            self.sample_ns.push(ns);
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group (criterion-compatible).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Top-level benchmark driver (criterion-compatible subset).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) {
+        run_one(&name.to_string(), self.sample_size, f);
+    }
+
+    /// Open a named group; member benchmarks print as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (criterion-compatible subset).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            f,
+        );
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            |b| {
+                f(b, input);
+            },
+        );
+    }
+
+    /// End the group (printing is immediate, so this is a no-op kept for
+    /// criterion source compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_ns: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+        samples,
+    };
+    f(&mut b);
+    if b.sample_ns.is_empty() {
+        println!("{name:<44}  (no samples — closure never called iter)");
+        return;
+    }
+    b.sample_ns.sort_by(f64::total_cmp);
+    let median = b.sample_ns[b.sample_ns.len() / 2];
+    let mean = b.sample_ns.iter().sum::<f64>() / b.sample_ns.len() as f64;
+    let min = b.sample_ns[0];
+    println!(
+        "{name:<44}  median {}  mean {}  min {}",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:8.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:8.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:8.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:8.1} ns")
+    }
+}
+
+/// Criterion-compatible group declaration: expands to a function running
+/// each target against the configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::microbench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Criterion-compatible entry point: runs each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_expected_sample_count() {
+        let mut b = Bencher {
+            sample_ns: Vec::new(),
+            iters_per_sample: 1,
+            samples: 5,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.sample_ns.len(), 5);
+        assert_eq!(calls, 6, "warmup pass plus five samples");
+        assert!(b.sample_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("tm", 64).to_string(), "tm/64");
+        assert_eq!(
+            BenchmarkId::from_parameter("800t_64w").to_string(),
+            "800t_64w"
+        );
+    }
+
+    #[test]
+    fn group_and_function_run_without_panicking() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("in", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).trim_end().ends_with('s'));
+    }
+}

@@ -10,9 +10,10 @@
 //! at-least-once execution), and the batch drains on the survivors.
 
 use crate::policy::OrderingPolicy;
+use crate::sync::lock;
 use crate::task::{TaskRecord, TaskSpec};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A worker-death schedule: worker `w` dies after completing
@@ -60,9 +61,12 @@ where
     O: Send,
     F: Fn(&TaskSpec, &I) -> O + Sync,
 {
+    // sfcheck::allow(panic-hygiene, caller contract documented under # Panics)
     assert!(workers > 0, "need at least one worker");
+    // sfcheck::allow(panic-hygiene, caller contract documented under # Panics)
     assert_eq!(specs.len(), items.len(), "specs and items must correspond");
     let dying = faults.iter().filter(|f| f.worker < workers).count();
+    // sfcheck::allow(panic-hygiene, caller contract documented under # Panics)
     assert!(dying < workers, "at least one worker must survive");
 
     let queue: Mutex<VecDeque<usize>> = Mutex::new(policy.order(specs).into());
@@ -74,7 +78,7 @@ where
     let items_ref = &items;
     let f_ref = &f;
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker_id in 0..workers {
             let budget = faults
                 .iter()
@@ -85,13 +89,13 @@ where
             let records = &records;
             let requeued = &requeued;
             let remaining = &remaining;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut completed = 0usize;
                 loop {
                     if remaining.load(std::sync::atomic::Ordering::Acquire) == 0 {
                         return;
                     }
-                    let Some(idx) = queue.lock().pop_front() else {
+                    let Some(idx) = lock(queue).pop_front() else {
                         // Queue momentarily empty but tasks may be
                         // re-queued by dying workers; spin politely.
                         std::thread::yield_now();
@@ -101,15 +105,15 @@ where
                         // The worker dies holding this task: re-queue it
                         // and exit (Dask reschedules tasks of lost
                         // workers the same way).
-                        queue.lock().push_back(idx);
+                        lock(queue).push_back(idx);
                         requeued.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         return;
                     }
                     let start = epoch.elapsed().as_secs_f64();
                     let out = f_ref(&specs[idx], &items_ref[idx]);
                     let end = epoch.elapsed().as_secs_f64();
-                    outputs.lock()[idx] = Some(out);
-                    records.lock().push(TaskRecord {
+                    lock(outputs)[idx] = Some(out);
+                    lock(records).push(TaskRecord {
                         task_id: specs[idx].id.clone(),
                         worker_id,
                         start,
@@ -120,16 +124,17 @@ where
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     FaultBatchResult {
         outputs: outputs
             .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
             .into_iter()
+            // sfcheck::allow(panic-hygiene, the remaining counter reaching zero proves every slot is Some)
             .map(|o| o.expect("every task completed"))
             .collect(),
-        records: records.into_inner(),
+        records: records.into_inner().unwrap_or_else(|p| p.into_inner()),
         requeued: requeued.into_inner(),
         deaths: dying,
         makespan: epoch.elapsed().as_secs_f64(),
@@ -141,7 +146,9 @@ mod tests {
     use super::*;
 
     fn specs(n: usize) -> Vec<TaskSpec> {
-        (0..n).map(|i| TaskSpec::new(format!("t{i}"), (i % 5) as f64)).collect()
+        (0..n)
+            .map(|i| TaskSpec::new(format!("t{i}"), (i % 5) as f64))
+            .collect()
     }
 
     fn slow_double(_: &TaskSpec, &x: &usize) -> usize {
@@ -169,8 +176,14 @@ mod tests {
     fn batch_completes_despite_worker_deaths() {
         let n = 150;
         let faults = [
-            WorkerFault { worker: 0, tasks_before_death: 3 },
-            WorkerFault { worker: 1, tasks_before_death: 10 },
+            WorkerFault {
+                worker: 0,
+                tasks_before_death: 3,
+            },
+            WorkerFault {
+                worker: 1,
+                tasks_before_death: 10,
+            },
         ];
         let r = map_with_faults(
             &specs(n),
@@ -187,13 +200,19 @@ mod tests {
         assert_eq!(r.records.len(), n);
         // Dead workers completed exactly their budget.
         assert_eq!(r.records.iter().filter(|rec| rec.worker_id == 0).count(), 3);
-        assert_eq!(r.records.iter().filter(|rec| rec.worker_id == 1).count(), 10);
+        assert_eq!(
+            r.records.iter().filter(|rec| rec.worker_id == 1).count(),
+            10
+        );
     }
 
     #[test]
     fn immediate_death_still_drains() {
         let n = 40;
-        let faults = [WorkerFault { worker: 0, tasks_before_death: 0 }];
+        let faults = [WorkerFault {
+            worker: 0,
+            tasks_before_death: 0,
+        }];
         let r = map_with_faults(
             &specs(n),
             (0..n).collect(),
@@ -203,15 +222,24 @@ mod tests {
             slow_double,
         );
         assert_eq!(r.outputs.len(), n);
-        assert!(r.records.iter().all(|rec| rec.worker_id == 1), "survivor did everything");
+        assert!(
+            r.records.iter().all(|rec| rec.worker_id == 1),
+            "survivor did everything"
+        );
     }
 
     #[test]
     #[should_panic(expected = "survive")]
     fn all_workers_dying_is_rejected() {
         let faults = [
-            WorkerFault { worker: 0, tasks_before_death: 1 },
-            WorkerFault { worker: 1, tasks_before_death: 1 },
+            WorkerFault {
+                worker: 0,
+                tasks_before_death: 1,
+            },
+            WorkerFault {
+                worker: 1,
+                tasks_before_death: 1,
+            },
         ];
         let _ = map_with_faults(
             &specs(10),

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-dataflow
 //!
 //! A from-scratch dataflow execution engine modelled on how the paper uses
@@ -9,7 +12,7 @@
 //!
 //! Two executors share the same scheduling semantics:
 //!
-//! * [`real`] — actual worker threads (crossbeam channels as the task
+//! * [`real`] — actual worker threads (a mutex-guarded deque as the task
 //!   queue) running arbitrary Rust closures; used to run the workspace's
 //!   genuine compute (alignment, folding, minimization) in parallel;
 //! * [`sim`] — virtual-time list scheduling for Summit-scale runs (6000
@@ -26,6 +29,7 @@ pub mod policy;
 pub mod real;
 pub mod sim;
 pub mod stats;
+mod sync;
 pub mod task;
 
 pub use policy::OrderingPolicy;

@@ -37,8 +37,7 @@ impl OrderingPolicy {
                 idx.sort_by(|&a, &b| {
                     specs[b]
                         .cost_hint
-                        .partial_cmp(&specs[a].cost_hint)
-                        .expect("NaN cost hint")
+                        .total_cmp(&specs[a].cost_hint)
                         .then_with(|| specs[a].id.cmp(&specs[b].id))
                 });
             }

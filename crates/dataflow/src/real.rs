@@ -2,8 +2,8 @@
 //!
 //! Mirrors the paper's Summit deployment in miniature:
 //!
-//! 1. the scheduler starts and exposes a task queue (a crossbeam
-//!    channel);
+//! 1. the scheduler starts and exposes a task queue (a mutex-guarded
+//!    deque drained by free workers);
 //! 2. workers start and *register* with the scheduler before accepting
 //!    work (the paper's workers register via a JSON file written by the
 //!    Dask scheduler);
@@ -13,9 +13,10 @@
 //! 4. per-task start/end statistics are collected for the CSV report.
 
 use crate::policy::OrderingPolicy;
+use crate::sync::lock;
 use crate::task::{TaskRecord, TaskSpec};
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Result of a batch execution.
@@ -43,6 +44,7 @@ impl Client {
     /// Panics if `workers == 0`.
     #[must_use]
     pub fn new(workers: usize) -> Self {
+        // sfcheck::allow(panic-hygiene, constructor contract documented under # Panics)
         assert!(workers > 0, "need at least one worker");
         Self { workers }
     }
@@ -64,42 +66,42 @@ impl Client {
         O: Send,
         F: Fn(&TaskSpec, &I) -> O + Sync,
     {
+        // sfcheck::allow(panic-hygiene, caller contract; mismatched batches cannot be executed)
         assert_eq!(specs.len(), items.len(), "specs and items must correspond");
         let n = items.len();
-        let order = policy.order(specs);
 
-        // The scheduler queue: task indices in policy order.
-        let (task_tx, task_rx) = channel::unbounded::<usize>();
-        for idx in order {
-            task_tx.send(idx).expect("queue open");
-        }
-        drop(task_tx); // queue is complete; workers drain until empty
+        // The scheduler queue: task indices in policy order. The whole
+        // batch is enqueued before any worker starts; workers drain the
+        // deque until it is empty.
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(policy.order(specs).into());
 
-        // Registration channel: workers announce themselves before
-        // accepting work.
-        let (reg_tx, reg_rx) = channel::unbounded::<usize>();
+        // Registration list: workers announce themselves before accepting
+        // work.
+        let registered: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(self.workers));
 
-        let outputs: Mutex<Vec<Option<O>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
         let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(n));
         let epoch = Instant::now();
         let items_ref = &items;
         let f_ref = &f;
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker_id in 0..self.workers {
-                let task_rx = task_rx.clone();
-                let reg_tx = reg_tx.clone();
+                let queue = &queue;
+                let registered = &registered;
                 let outputs = &outputs;
                 let records = &records;
-                scope.spawn(move |_| {
-                    reg_tx.send(worker_id).expect("scheduler alive");
-                    while let Ok(idx) = task_rx.recv() {
+                scope.spawn(move || {
+                    lock(registered).push(worker_id);
+                    loop {
+                        let Some(idx) = lock(queue).pop_front() else {
+                            return; // queue drained — batch complete for this worker
+                        };
                         let start = epoch.elapsed().as_secs_f64();
                         let out = f_ref(&specs[idx], &items_ref[idx]);
                         let end = epoch.elapsed().as_secs_f64();
-                        outputs.lock()[idx] = Some(out);
-                        records.lock().push(TaskRecord {
+                        lock(outputs)[idx] = Some(out);
+                        lock(records).push(TaskRecord {
                             task_id: specs[idx].id.clone(),
                             worker_id,
                             start,
@@ -108,18 +110,25 @@ impl Client {
                     }
                 });
             }
-        })
-        .expect("worker panicked");
-        drop(reg_tx);
+        });
 
-        let registered_workers: Vec<usize> = reg_rx.try_iter().collect();
+        let registered_workers: Vec<usize> =
+            registered.into_inner().unwrap_or_else(|p| p.into_inner());
         let makespan = epoch.elapsed().as_secs_f64();
         let outputs = outputs
             .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
             .into_iter()
+            // sfcheck::allow(panic-hygiene, scope exit proves the queue drained, so every slot is Some)
             .map(|o| o.expect("every task ran"))
             .collect();
-        BatchResult { outputs, records: records.into_inner(), makespan, registered_workers }
+        let records = records.into_inner().unwrap_or_else(|p| p.into_inner());
+        BatchResult {
+            outputs,
+            records,
+            makespan,
+            registered_workers,
+        }
     }
 }
 
@@ -129,7 +138,9 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn specs(n: usize) -> Vec<TaskSpec> {
-        (0..n).map(|i| TaskSpec::new(format!("t{i}"), (i % 7) as f64)).collect()
+        (0..n)
+            .map(|i| TaskSpec::new(format!("t{i}"), (i % 7) as f64))
+            .collect()
     }
 
     #[test]
@@ -137,8 +148,9 @@ mod tests {
         let client = Client::new(4);
         let n = 100;
         let items: Vec<usize> = (0..n).collect();
-        let result =
-            client.map(&specs(n), items, OrderingPolicy::LongestFirst, |_, &x| x * 2);
+        let result = client.map(&specs(n), items, OrderingPolicy::LongestFirst, |_, &x| {
+            x * 2
+        });
         assert_eq!(result.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
     }
 
@@ -148,9 +160,14 @@ mod tests {
         let client = Client::new(8);
         let n = 500;
         let items = vec![(); n];
-        let result = client.map(&specs(n), items, OrderingPolicy::Random { seed: 3 }, |_, ()| {
-            counter.fetch_add(1, Ordering::Relaxed);
-        });
+        let result = client.map(
+            &specs(n),
+            items,
+            OrderingPolicy::Random { seed: 3 },
+            |_, ()| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(counter.load(Ordering::Relaxed), n);
         assert_eq!(result.records.len(), n);
         let mut ids: Vec<&str> = result.records.iter().map(|r| r.task_id.as_str()).collect();
@@ -206,7 +223,10 @@ mod tests {
         };
         let t1 = Client::new(1).map(&specs_v, items.clone(), OrderingPolicy::Fifo, work);
         let t4 = Client::new(8).map(&specs_v, items, OrderingPolicy::Fifo, work);
-        assert_eq!(t1.outputs, t4.outputs, "parallelism must not change results");
+        assert_eq!(
+            t1.outputs, t4.outputs,
+            "parallelism must not change results"
+        );
         assert!(
             t4.makespan < t1.makespan * 0.6,
             "speedup too small: {} vs {}",

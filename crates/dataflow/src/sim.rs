@@ -43,8 +43,11 @@ impl SimResult {
     /// all of their respective tasks within minutes of one another").
     #[must_use]
     pub fn idle_tail(&self) -> f64 {
-        let earliest =
-            self.worker_finish.iter().copied().fold(f64::INFINITY, f64::min);
+        let earliest = self
+            .worker_finish
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         if earliest.is_finite() {
             self.makespan - earliest
         } else {
@@ -56,9 +59,12 @@ impl SimResult {
     /// Fig 2).
     #[must_use]
     pub fn worker_timeline(&self, worker_id: usize) -> Vec<&TaskRecord> {
-        let mut rows: Vec<&TaskRecord> =
-            self.records.iter().filter(|r| r.worker_id == worker_id).collect();
-        rows.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("NaN time"));
+        let mut rows: Vec<&TaskRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.worker_id == worker_id)
+            .collect();
+        rows.sort_by(|a, b| a.start.total_cmp(&b.start));
         rows
     }
 }
@@ -74,8 +80,15 @@ pub fn simulate(
     policy: OrderingPolicy,
     per_task_overhead: f64,
 ) -> SimResult {
-    assert_eq!(specs.len(), durations.len(), "specs and durations must correspond");
+    // sfcheck::allow(panic-hygiene, caller contract; mismatched inputs cannot be simulated)
+    assert_eq!(
+        specs.len(),
+        durations.len(),
+        "specs and durations must correspond"
+    );
+    // sfcheck::allow(panic-hygiene, caller contract documented on the function)
     assert!(workers > 0, "need at least one worker");
+    // sfcheck::allow(panic-hygiene, caller contract; negative overhead is meaningless)
     assert!(per_task_overhead >= 0.0);
     let order = policy.order(specs);
 
@@ -93,31 +106,38 @@ pub fn simulate(
     }
     impl Ord for Slot {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .partial_cmp(&other.0)
-                .expect("finite times")
-                .then(self.1.cmp(&other.1))
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
         }
     }
 
-    let mut heap: BinaryHeap<Reverse<Slot>> =
-        (0..workers).map(|w| Reverse(Slot(0.0, w))).collect();
+    let mut heap: BinaryHeap<Reverse<Slot>> = (0..workers).map(|w| Reverse(Slot(0.0, w))).collect();
     let mut records = Vec::with_capacity(specs.len());
     let mut worker_finish = vec![0.0f64; workers];
     let mut worker_busy = vec![0.0f64; workers];
 
     for idx in order {
+        // sfcheck::allow(panic-hygiene, heap is seeded with workers entries and the workers > 0 precondition is asserted above)
         let Reverse(Slot(free_at, w)) = heap.pop().expect("workers present");
         let start = free_at + per_task_overhead;
         let end = start + durations[idx];
-        records.push(TaskRecord { task_id: specs[idx].id.clone(), worker_id: w, start, end });
+        records.push(TaskRecord {
+            task_id: specs[idx].id.clone(),
+            worker_id: w,
+            start,
+            end,
+        });
         worker_finish[w] = end;
         worker_busy[w] += durations[idx];
         heap.push(Reverse(Slot(end, w)));
     }
 
     let makespan = worker_finish.iter().copied().fold(0.0, f64::max);
-    SimResult { records, makespan, worker_finish, worker_busy }
+    SimResult {
+        records,
+        makespan,
+        worker_finish,
+        worker_busy,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +160,13 @@ mod tests {
     fn makespan_lower_bounds_hold() {
         let (specs, durations) = heterogeneous_batch(500, 1);
         let workers = 32;
-        let r = simulate(&specs, &durations, workers, OrderingPolicy::LongestFirst, 0.0);
+        let r = simulate(
+            &specs,
+            &durations,
+            workers,
+            OrderingPolicy::LongestFirst,
+            0.0,
+        );
         let total: f64 = durations.iter().sum();
         let max_task = durations.iter().copied().fold(0.0, f64::max);
         assert!(r.makespan >= total / workers as f64 - 1e-9);
@@ -156,8 +182,13 @@ mod tests {
         let mut wins = 0;
         for seed in 0..10 {
             let (specs, durations) = heterogeneous_batch(600, seed);
-            let lpt =
-                simulate(&specs, &durations, workers, OrderingPolicy::LongestFirst, 0.0);
+            let lpt = simulate(
+                &specs,
+                &durations,
+                workers,
+                OrderingPolicy::LongestFirst,
+                0.0,
+            );
             let rnd = simulate(
                 &specs,
                 &durations,
@@ -224,7 +255,13 @@ mod tests {
         let (specs, durations) = heterogeneous_batch(800, 13);
         let mut prev = f64::INFINITY;
         for workers in [8, 32, 128, 512] {
-            let r = simulate(&specs, &durations, workers, OrderingPolicy::LongestFirst, 0.0);
+            let r = simulate(
+                &specs,
+                &durations,
+                workers,
+                OrderingPolicy::LongestFirst,
+                0.0,
+            );
             assert!(r.makespan <= prev + 1e-9, "{workers} workers slower");
             prev = r.makespan;
         }
@@ -233,8 +270,20 @@ mod tests {
     #[test]
     fn deterministic() {
         let (specs, durations) = heterogeneous_batch(200, 17);
-        let a = simulate(&specs, &durations, 24, OrderingPolicy::Random { seed: 5 }, 0.5);
-        let b = simulate(&specs, &durations, 24, OrderingPolicy::Random { seed: 5 }, 0.5);
+        let a = simulate(
+            &specs,
+            &durations,
+            24,
+            OrderingPolicy::Random { seed: 5 },
+            0.5,
+        );
+        let b = simulate(
+            &specs,
+            &durations,
+            24,
+            OrderingPolicy::Random { seed: 5 },
+            0.5,
+        );
         assert_eq!(a.records, b.records);
     }
 }

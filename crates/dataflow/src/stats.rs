@@ -36,7 +36,8 @@ pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
             return Err(format!("line {}: expected ≥4 fields", lineno + 1));
         }
         let parse = |s: &str, what: &str| -> Result<f64, String> {
-            s.parse().map_err(|_| format!("line {}: bad {what}", lineno + 1))
+            s.parse()
+                .map_err(|_| format!("line {}: bad {what}", lineno + 1))
         };
         out.push(TaskRecord {
             task_id: fields[0].to_owned(),
@@ -60,6 +61,7 @@ pub fn ascii_gantt(
     makespan: f64,
     width: usize,
 ) -> String {
+    // sfcheck::allow(panic-hygiene, caller contract; a zero-width or zero-makespan chart is undefined)
     assert!(width > 0 && makespan > 0.0);
     let mut out = String::new();
     for &w in workers {
@@ -86,9 +88,24 @@ mod tests {
 
     fn sample() -> Vec<TaskRecord> {
         vec![
-            TaskRecord { task_id: "a".into(), worker_id: 0, start: 0.0, end: 5.0 },
-            TaskRecord { task_id: "b".into(), worker_id: 1, start: 0.0, end: 3.0 },
-            TaskRecord { task_id: "c".into(), worker_id: 1, start: 3.5, end: 9.0 },
+            TaskRecord {
+                task_id: "a".into(),
+                worker_id: 0,
+                start: 0.0,
+                end: 5.0,
+            },
+            TaskRecord {
+                task_id: "b".into(),
+                worker_id: 1,
+                start: 0.0,
+                end: 3.0,
+            },
+            TaskRecord {
+                task_id: "c".into(),
+                worker_id: 1,
+                start: 3.5,
+                end: 9.0,
+            },
         ]
     }
 

@@ -1,0 +1,38 @@
+//! Minimal synchronization helpers for the thread-backed executors.
+//!
+//! The executors use [`std::sync::Mutex`]; a poisoned lock only means
+//! another worker panicked while holding it, and the shared state (a task
+//! queue or an append-only record list) is still structurally valid, so
+//! the executors recover the guard instead of propagating the poison.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_returns_inner_value() {
+        let m = Mutex::new(41);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 42);
+    }
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(7);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("poison");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+    }
+}

@@ -1,14 +1,12 @@
 //! Task descriptions and execution records.
 
-use serde::{Deserialize, Serialize};
-
 /// Description of one schedulable task.
 ///
 /// In the paper's inference workflow a task is a (DL model, target
 /// sequence) pair; in the relaxation workflow it is one structure. The
 /// `cost_hint` is the quantity the greedy load balancer sorts on —
 /// sequence length for inference (§3.3 step 3c).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Stable task identifier (e.g. `DVU_00042/model_3`).
     pub id: String,
@@ -20,14 +18,17 @@ impl TaskSpec {
     /// Convenience constructor.
     #[must_use]
     pub fn new(id: impl Into<String>, cost_hint: f64) -> Self {
-        Self { id: id.into(), cost_hint }
+        Self {
+            id: id.into(),
+            cost_hint,
+        }
     }
 }
 
 /// Per-task execution record — the row appended to the statistics CSV
 /// (§3.3 step 3e: "statistics about that task, such as the start and end
 /// processing times, are appended to a CSV file").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskRecord {
     /// Task identifier.
     pub task_id: String,
@@ -54,7 +55,12 @@ mod tests {
 
     #[test]
     fn record_duration() {
-        let r = TaskRecord { task_id: "t".into(), worker_id: 0, start: 1.5, end: 4.0 };
+        let r = TaskRecord {
+            task_id: "t".into(),
+            worker_id: 0,
+            start: 1.5,
+            end: 4.0,
+        };
         assert!((r.duration() - 2.5).abs() < 1e-12);
     }
 

@@ -14,10 +14,9 @@
 //! jobs); on Andes/Phoenix, larger jobs wait disproportionately longer.
 
 use crate::machine::Machine;
-use serde::{Deserialize, Serialize};
 
 /// A batch job request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobRequest {
     /// Nodes requested.
     pub nodes: u32,
@@ -59,7 +58,7 @@ pub fn expected_wait_s(machine: Machine, job: &JobRequest) -> f64 {
 /// push `total_node_seconds` of work through a machine when each job uses
 /// `nodes` nodes for at most `max_walltime_s`, and the total wall-clock
 /// including queue waits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Campaign {
     /// Jobs submitted.
     pub jobs: u32,
@@ -85,13 +84,23 @@ pub fn plan_campaign(
     max_walltime_s: f64,
     total_node_seconds: f64,
 ) -> Campaign {
+    // sfcheck::allow(panic-hygiene, caller contract; an empty allocation cannot be planned)
     assert!(nodes >= 1 && max_walltime_s > 0.0);
     let per_job_node_s = f64::from(nodes) * max_walltime_s;
     let jobs = (total_node_seconds / per_job_node_s).ceil().max(1.0) as u32;
     let compute_s = total_node_seconds / f64::from(nodes);
-    let wait =
-        expected_wait_s(machine, &JobRequest { nodes, walltime_s: max_walltime_s });
-    Campaign { jobs, compute_s, queue_wait_s: wait * f64::from(jobs) }
+    let wait = expected_wait_s(
+        machine,
+        &JobRequest {
+            nodes,
+            walltime_s: max_walltime_s,
+        },
+    );
+    Campaign {
+        jobs,
+        compute_s,
+        queue_wait_s: wait * f64::from(jobs),
+    }
 }
 
 #[cfg(test)]
@@ -102,25 +111,58 @@ mod tests {
     fn summit_favors_large_jobs() {
         // Relative wait per node-hour delivered: a 1000-node job on
         // Summit should not wait 10× a 100-node job.
-        let small = expected_wait_s(Machine::Summit, &JobRequest { nodes: 32, walltime_s: 7200.0 });
-        let large =
-            expected_wait_s(Machine::Summit, &JobRequest { nodes: 1000, walltime_s: 7200.0 });
+        let small = expected_wait_s(
+            Machine::Summit,
+            &JobRequest {
+                nodes: 32,
+                walltime_s: 7200.0,
+            },
+        );
+        let large = expected_wait_s(
+            Machine::Summit,
+            &JobRequest {
+                nodes: 1000,
+                walltime_s: 7200.0,
+            },
+        );
         assert!(large < small * 2.0, "large {large} vs small {small}");
     }
 
     #[test]
     fn andes_penalizes_large_jobs() {
-        let small = expected_wait_s(Machine::Andes, &JobRequest { nodes: 8, walltime_s: 7200.0 });
-        let large =
-            expected_wait_s(Machine::Andes, &JobRequest { nodes: 500, walltime_s: 7200.0 });
+        let small = expected_wait_s(
+            Machine::Andes,
+            &JobRequest {
+                nodes: 8,
+                walltime_s: 7200.0,
+            },
+        );
+        let large = expected_wait_s(
+            Machine::Andes,
+            &JobRequest {
+                nodes: 500,
+                walltime_s: 7200.0,
+            },
+        );
         assert!(large > small * 2.0, "large {large} vs small {small}");
     }
 
     #[test]
     fn longer_requests_wait_longer() {
-        let short = expected_wait_s(Machine::Summit, &JobRequest { nodes: 64, walltime_s: 3600.0 });
-        let long =
-            expected_wait_s(Machine::Summit, &JobRequest { nodes: 64, walltime_s: 43200.0 });
+        let short = expected_wait_s(
+            Machine::Summit,
+            &JobRequest {
+                nodes: 64,
+                walltime_s: 3600.0,
+            },
+        );
+        let long = expected_wait_s(
+            Machine::Summit,
+            &JobRequest {
+                nodes: 64,
+                walltime_s: 43200.0,
+            },
+        );
         assert!(long > short);
     }
 

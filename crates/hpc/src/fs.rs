@@ -16,8 +16,6 @@
 //! ruinous while ≤ 4 is mild); replica creation is charged at the
 //! filesystem's aggregate copy bandwidth.
 
-use serde::{Deserialize, Serialize};
-
 /// Contention coefficient α.
 pub const CONTENTION_ALPHA: f64 = 0.12;
 /// Contention exponent β (superlinear: metadata servers saturate).
@@ -29,7 +27,7 @@ pub const CONTENTION_BETA: f64 = 1.5;
 pub const COPY_BANDWIDTH: f64 = 5.0e9;
 
 /// A replicated database layout on the shared filesystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaLayout {
     /// Database size (bytes).
     pub db_bytes: u64,
@@ -41,7 +39,10 @@ impl ReplicaLayout {
     /// The paper's production layout: 24 copies of the reduced set.
     #[must_use]
     pub fn paper_default(db_bytes: u64) -> Self {
-        Self { db_bytes, replicas: 24 }
+        Self {
+            db_bytes,
+            replicas: 24,
+        }
     }
 
     /// Total storage consumed (bytes).
@@ -65,8 +66,7 @@ impl ReplicaLayout {
         if concurrent_jobs == 0 {
             return 1.0;
         }
-        let per_replica =
-            f64::from(concurrent_jobs) / f64::from(self.replicas.max(1));
+        let per_replica = f64::from(concurrent_jobs) / f64::from(self.replicas.max(1));
         if per_replica <= 1.0 {
             return 1.0;
         }
@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn no_contention_at_or_below_one_reader_per_replica() {
-        let layout = ReplicaLayout { db_bytes: GB420, replicas: 24 };
+        let layout = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 24,
+        };
         assert_eq!(layout.slowdown(24), 1.0);
         assert_eq!(layout.slowdown(10), 1.0);
         assert_eq!(layout.slowdown(0), 1.0);
@@ -120,25 +123,43 @@ mod tests {
 
     #[test]
     fn single_copy_with_many_readers_is_ruinous() {
-        let layout = ReplicaLayout { db_bytes: GB420, replicas: 1 };
+        let layout = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 1,
+        };
         let s = layout.slowdown(96);
         assert!(s > 10.0, "slowdown {s}");
     }
 
     #[test]
     fn slowdown_monotone_in_readers_and_antimonotone_in_replicas() {
-        let layout = ReplicaLayout { db_bytes: GB420, replicas: 8 };
+        let layout = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 8,
+        };
         assert!(layout.slowdown(64) > layout.slowdown(32));
-        let more = ReplicaLayout { db_bytes: GB420, replicas: 16 };
+        let more = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 16,
+        };
         assert!(more.slowdown(64) < layout.slowdown(64));
     }
 
     #[test]
     fn replication_cost_scales() {
-        let a = ReplicaLayout { db_bytes: GB420, replicas: 2 };
-        let b = ReplicaLayout { db_bytes: GB420, replicas: 24 };
+        let a = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 2,
+        };
+        let b = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 24,
+        };
         assert!(b.replication_seconds() > a.replication_seconds() * 10.0);
-        let one = ReplicaLayout { db_bytes: GB420, replicas: 1 };
+        let one = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 1,
+        };
         assert_eq!(one.replication_seconds(), 0.0);
     }
 
@@ -150,7 +171,10 @@ mod tests {
         let scan = 270.0; // uncontended per-job scan seconds
         let mut times: Vec<(u32, f64)> = Vec::new();
         for replicas in [1u32, 2, 4, 8, 16, 24, 48, 96, 192] {
-            let layout = ReplicaLayout { db_bytes: GB420, replicas };
+            let layout = ReplicaLayout {
+                db_bytes: GB420,
+                replicas,
+            };
             times.push((replicas, campaign_walltime_s(&layout, scan, 96, 30)));
         }
         let best = times
@@ -167,7 +191,10 @@ mod tests {
 
     #[test]
     fn storage_accounting() {
-        let layout = ReplicaLayout { db_bytes: GB420, replicas: 24 };
+        let layout = ReplicaLayout {
+            db_bytes: GB420,
+            replicas: 24,
+        };
         assert_eq!(layout.storage_bytes(), GB420 * 24);
     }
 }
@@ -192,7 +219,10 @@ impl StagingModel {
     /// Summit burst-buffer defaults.
     #[must_use]
     pub fn summit(db_bytes: u64) -> Self {
-        Self { db_bytes, nvme_write_bw: 2.1e9 }
+        Self {
+            db_bytes,
+            nvme_write_bw: 2.1e9,
+        }
     }
 
     /// Whether the database fits the 1.6 TB node NVMe at all (the full
@@ -206,8 +236,8 @@ impl StagingModel {
     /// simultaneously from the shared filesystem.
     #[must_use]
     pub fn staging_seconds(&self, concurrent_jobs: u32) -> f64 {
-        let per_node_read = (COPY_BANDWIDTH / f64::from(concurrent_jobs.max(1)))
-            .min(self.nvme_write_bw);
+        let per_node_read =
+            (COPY_BANDWIDTH / f64::from(concurrent_jobs.max(1))).min(self.nvme_write_bw);
         self.db_bytes as f64 / per_node_read
     }
 
@@ -239,7 +269,10 @@ mod staging_tests {
         let m = StagingModel::summit(420_000_000_000);
         let alone = m.staging_seconds(1);
         let crowd = m.staging_seconds(96);
-        assert!(crowd > alone * 20.0, "alone {alone:.0}s vs 96-way {crowd:.0}s");
+        assert!(
+            crowd > alone * 20.0,
+            "alone {alone:.0}s vs 96-way {crowd:.0}s"
+        );
     }
 
     #[test]
@@ -250,8 +283,7 @@ mod staging_tests {
         let waves = 34;
         let replicas = ReplicaLayout::paper_default(420_000_000_000);
         let shared = campaign_walltime_s(&replicas, scan, 96, waves);
-        let staged = StagingModel::summit(420_000_000_000)
-            .campaign_walltime_s(scan, 96, waves);
+        let staged = StagingModel::summit(420_000_000_000).campaign_walltime_s(scan, 96, waves);
         assert!(
             staged > shared * 3.0,
             "staging {staged:.0}s should dwarf shared-FS {shared:.0}s"

@@ -29,9 +29,17 @@ pub struct ResourceSet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlacementError {
     /// A single resource set exceeds the node shape.
-    SetTooLarge { what: &'static str },
+    SetTooLarge {
+        /// Which resource (cores or GPUs) overflowed.
+        what: &'static str,
+    },
     /// The request needs more nodes than allocated.
-    NotEnoughNodes { needed: u32, allocated: u32 },
+    NotEnoughNodes {
+        /// Nodes the placement requires.
+        needed: u32,
+        /// Nodes in the allocation.
+        allocated: u32,
+    },
 }
 
 impl std::fmt::Display for PlacementError {
@@ -67,7 +75,10 @@ impl ResourceSet {
     /// Render the jsrun command line.
     #[must_use]
     pub fn render(&self, exe: &str) -> String {
-        format!("jsrun -n {} -c {} -g {} {}", self.count, self.cores, self.gpus, exe)
+        format!(
+            "jsrun -n {} -c {} -g {} {}",
+            self.count, self.cores, self.gpus, exe
+        )
     }
 }
 
@@ -79,9 +90,11 @@ pub struct DaskBatchScript {
     pub nodes: u32,
     /// Walltime request in minutes (`#BSUB -W`).
     pub walltime_min: u32,
-    /// The three jsrun statements.
+    /// jsrun statement for the Dask scheduler.
     pub scheduler: ResourceSet,
+    /// jsrun statement for the worker pool.
     pub workers: ResourceSet,
+    /// jsrun statement for the client script.
     pub client: ResourceSet,
 }
 
@@ -94,9 +107,21 @@ impl DaskBatchScript {
         Self {
             nodes,
             walltime_min,
-            scheduler: ResourceSet { count: 1, cores: 2, gpus: 0 },
-            workers: ResourceSet { count: nodes * gpus, cores: 1, gpus: 1 },
-            client: ResourceSet { count: 1, cores: 1, gpus: 0 },
+            scheduler: ResourceSet {
+                count: 1,
+                cores: 2,
+                gpus: 0,
+            },
+            workers: ResourceSet {
+                count: nodes * gpus,
+                cores: 1,
+                gpus: 1,
+            },
+            client: ResourceSet {
+                count: 1,
+                cores: 1,
+                gpus: 0,
+            },
         }
     }
 
@@ -106,7 +131,10 @@ impl DaskBatchScript {
     pub fn validate(&self) -> Result<(), PlacementError> {
         let needed = self.workers.nodes_needed(Machine::Summit)?;
         if needed > self.nodes {
-            return Err(PlacementError::NotEnoughNodes { needed, allocated: self.nodes });
+            return Err(PlacementError::NotEnoughNodes {
+                needed,
+                allocated: self.nodes,
+            });
         }
         Ok(())
     }
@@ -126,12 +154,21 @@ impl DaskBatchScript {
         out.push_str(&format!("#BSUB -W {}\n", self.walltime_min));
         out.push_str("#BSUB -P BIF135\n");
         out.push_str("#BSUB -J af2_inference\n\n");
-        out.push_str(&format!("{} &\n", self.scheduler.render("dask-scheduler --scheduler-file $SCHED_JSON")));
         out.push_str(&format!(
             "{} &\n",
-            self.workers.render("dask-worker --scheduler-file $SCHED_JSON --nthreads 1")
+            self.scheduler
+                .render("dask-scheduler --scheduler-file $SCHED_JSON")
         ));
-        out.push_str(&format!("{}\n", self.client.render("python run_inference.py --scheduler-file $SCHED_JSON")));
+        out.push_str(&format!(
+            "{} &\n",
+            self.workers
+                .render("dask-worker --scheduler-file $SCHED_JSON --nthreads 1")
+        ));
+        out.push_str(&format!(
+            "{}\n",
+            self.client
+                .render("python run_inference.py --scheduler-file $SCHED_JSON")
+        ));
         out
     }
 }
@@ -143,22 +180,38 @@ mod tests {
     #[test]
     fn worker_set_packing() {
         // 1 core + 1 GPU per worker: 6 per Summit node.
-        let rs = ResourceSet { count: 192, cores: 1, gpus: 1 };
+        let rs = ResourceSet {
+            count: 192,
+            cores: 1,
+            gpus: 1,
+        };
         assert_eq!(rs.nodes_needed(Machine::Summit).unwrap(), 32);
-        let rs = ResourceSet { count: 6000, cores: 1, gpus: 1 };
+        let rs = ResourceSet {
+            count: 6000,
+            cores: 1,
+            gpus: 1,
+        };
         assert_eq!(rs.nodes_needed(Machine::Summit).unwrap(), 1000);
     }
 
     #[test]
     fn cpu_only_sets_pack_by_cores() {
-        let rs = ResourceSet { count: 64, cores: 16, gpus: 0 };
+        let rs = ResourceSet {
+            count: 64,
+            cores: 16,
+            gpus: 0,
+        };
         // Andes: 32 cores → 2 sets per node → 32 nodes.
         assert_eq!(rs.nodes_needed(Machine::Andes).unwrap(), 32);
     }
 
     #[test]
     fn oversized_set_rejected() {
-        let rs = ResourceSet { count: 1, cores: 1, gpus: 8 };
+        let rs = ResourceSet {
+            count: 1,
+            cores: 1,
+            gpus: 8,
+        };
         assert!(matches!(
             rs.nodes_needed(Machine::Summit),
             Err(PlacementError::SetTooLarge { what: "gpus" })
@@ -172,7 +225,11 @@ mod tests {
         assert_eq!(script.worker_count(), 1200);
         script.validate().unwrap();
         let text = script.render();
-        assert_eq!(text.matches("jsrun").count(), 3, "three jsrun statements (§3.3)");
+        assert_eq!(
+            text.matches("jsrun").count(),
+            3,
+            "three jsrun statements (§3.3)"
+        );
         assert!(text.contains("dask-scheduler"));
         assert!(text.contains("-n 1200 -c 1 -g 1"));
     }
@@ -190,6 +247,9 @@ mod tests {
     fn under_allocation_rejected() {
         let mut script = DaskBatchScript::inference(32, 60);
         script.nodes = 16; // shrink the allocation under the workers
-        assert!(matches!(script.validate(), Err(PlacementError::NotEnoughNodes { .. })));
+        assert!(matches!(
+            script.validate(),
+            Err(PlacementError::NotEnoughNodes { .. })
+        ));
     }
 }

@@ -8,11 +8,10 @@
 //! the paper's.
 
 use crate::machine::Machine;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A single charge.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Charge {
     /// Machine the time was consumed on.
     pub machine: Machine,
@@ -23,7 +22,7 @@ pub struct Charge {
 }
 
 /// The accounting ledger.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Ledger {
     charges: Vec<Charge>,
 }
@@ -37,8 +36,13 @@ impl Ledger {
 
     /// Record a charge in node-seconds.
     pub fn charge(&mut self, machine: Machine, stage: &str, node_seconds: f64) {
+        // sfcheck::allow(panic-hygiene, caller contract; negative charges would corrupt the budget)
         assert!(node_seconds >= 0.0, "charges are non-negative");
-        self.charges.push(Charge { machine, stage: stage.to_owned(), node_seconds });
+        self.charges.push(Charge {
+            machine,
+            stage: stage.to_owned(),
+            node_seconds,
+        });
     }
 
     /// Record a job: `nodes` nodes for `wall_seconds`.
@@ -62,8 +66,8 @@ impl Ledger {
     pub fn by_stage(&self) -> BTreeMap<(String, String), f64> {
         let mut out: BTreeMap<(String, String), f64> = BTreeMap::new();
         for c in &self.charges {
-            *out.entry((c.machine.name().to_owned(), c.stage.clone())).or_default() +=
-                c.node_seconds / 3600.0;
+            *out.entry((c.machine.name().to_owned(), c.stage.clone()))
+                .or_default() += c.node_seconds / 3600.0;
         }
         out
     }
@@ -84,7 +88,11 @@ impl Ledger {
         for machine in [Machine::Summit, Machine::Andes, Machine::Phoenix] {
             let total = self.node_hours(machine);
             if total > 0.0 {
-                out.push_str(&format!("{:<12} {:<17} {total:>10.1}\n", machine.name(), "TOTAL"));
+                out.push_str(&format!(
+                    "{:<12} {:<17} {total:>10.1}\n",
+                    machine.name(),
+                    "TOTAL"
+                ));
             }
         }
         out

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-hpc
 //!
 //! The OLCF platform substrate: machine descriptions for Summit, Andes

@@ -1,9 +1,7 @@
 //! Machine descriptions (§3, "Methodology").
 
-use serde::{Deserialize, Serialize};
-
 /// One of the three systems the paper deployed on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Machine {
     /// OLCF Summit: ≈ 4,600 IBM AC922 nodes, 2 POWER9 + 6 V100 each.
     Summit,
@@ -15,7 +13,7 @@ pub enum Machine {
 }
 
 /// Shape of a compute node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeShape {
     /// Physical CPU cores usable by jobs.
     pub cores: u32,
@@ -42,9 +40,21 @@ impl Machine {
         match self {
             // 2 × 22 cores on POWER9 (the user-visible 42 after system
             // reservation is rounded to hardware cores here), 6 V100s.
-            Self::Summit => NodeShape { cores: 42, gpus: 6, memory_bytes: 512_000_000_000 },
-            Self::Andes => NodeShape { cores: 32, gpus: 0, memory_bytes: 256_000_000_000 },
-            Self::Phoenix => NodeShape { cores: 24, gpus: 4, memory_bytes: 192_000_000_000 },
+            Self::Summit => NodeShape {
+                cores: 42,
+                gpus: 6,
+                memory_bytes: 512_000_000_000,
+            },
+            Self::Andes => NodeShape {
+                cores: 32,
+                gpus: 0,
+                memory_bytes: 256_000_000_000,
+            },
+            Self::Phoenix => NodeShape {
+                cores: 24,
+                gpus: 4,
+                memory_bytes: 192_000_000_000,
+            },
         }
     }
 

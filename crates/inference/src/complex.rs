@@ -107,7 +107,11 @@ impl ComplexEngine {
     /// New engine on standard nodes.
     #[must_use]
     pub fn new(preset: Preset, fidelity: Fidelity) -> Self {
-        Self { preset, fidelity, high_mem_node: false }
+        Self {
+            preset,
+            fidelity,
+            high_mem_node: false,
+        }
     }
 
     /// Place on high-memory nodes (joint lengths OOM much earlier than
@@ -210,7 +214,11 @@ fn build_complex(target: &ComplexTarget<'_>, err: f64, seed: u64) -> Structure {
     // Separation: interpenetrating surfaces for partners (a buried
     // interface), a clear solvent gap otherwise.
     let dir = Vec3::new(rng.gaussian(), rng.gaussian(), rng.gaussian()).normalized();
-    let dir = if dir == Vec3::ZERO { Vec3::new(1.0, 0.0, 0.0) } else { dir };
+    let dir = if dir == Vec3::ZERO {
+        Vec3::new(1.0, 0.0, 0.0)
+    } else {
+        dir
+    };
     let separation = if target.interacts() {
         1.05 * (ra + rb)
     } else {
@@ -263,8 +271,14 @@ mod tests {
         let mut total = 0;
         for i in 0..es.len() {
             for j in i + 1..es.len() {
-                let ab = ComplexTarget { a: &es[i], b: &es[j] };
-                let ba = ComplexTarget { a: &es[j], b: &es[i] };
+                let ab = ComplexTarget {
+                    a: &es[i],
+                    b: &es[j],
+                };
+                let ba = ComplexTarget {
+                    a: &es[j],
+                    b: &es[i],
+                };
                 assert_eq!(ab.interacts(), ba.interacts(), "symmetry");
                 assert_eq!(ab.pair_id(), ba.pair_id());
                 total += 1;
@@ -285,7 +299,10 @@ mod tests {
         let mut neg = Vec::new();
         for i in 0..es.len().min(20) {
             for j in i + 1..es.len().min(20) {
-                let t = ComplexTarget { a: &es[i], b: &es[j] };
+                let t = ComplexTarget {
+                    a: &es[i],
+                    b: &es[j],
+                };
                 let p = engine
                     .predict(
                         &t,
@@ -323,10 +340,16 @@ mod tests {
         // Construct a pair whose joint length exceeds the ~2030 AA
         // standard-node ceiling, from chains that individually fit.
         let mut forced_a = long.clone();
-        forced_a.sequence.residues.resize(1100, summitfold_protein::aa::AminoAcid::Ala);
+        forced_a
+            .sequence
+            .residues
+            .resize(1100, summitfold_protein::aa::AminoAcid::Ala);
         let mut forced_b = forced_a.clone();
         forced_b.sequence.id = "other".into();
-        let t = ComplexTarget { a: &forced_a, b: &forced_b };
+        let t = ComplexTarget {
+            a: &forced_a,
+            b: &forced_b,
+        };
         let result = engine.predict(
             &t,
             &FeatureSet::synthetic(&forced_a),
@@ -354,7 +377,10 @@ mod tests {
         let mut seen_nonpartner = false;
         'outer: for i in 0..es.len().min(14) {
             for j in i + 1..es.len().min(14) {
-                let t = ComplexTarget { a: &es[i], b: &es[j] };
+                let t = ComplexTarget {
+                    a: &es[i],
+                    b: &es[j],
+                };
                 let p = engine
                     .predict(
                         &t,
@@ -390,11 +416,14 @@ mod tests {
         let engine = ComplexEngine::new(Preset::ReducedDbs, Fidelity::Statistical);
         let t = ComplexTarget { a, b };
         let joint = engine
-            .predict(&t, &FeatureSet::synthetic(a), &FeatureSet::synthetic(b), ModelId(1))
+            .predict(
+                &t,
+                &FeatureSet::synthetic(a),
+                &FeatureSet::synthetic(b),
+                ModelId(1),
+            )
             .unwrap();
-        let single = |e: &ProteinEntry| {
-            crate::cost::gpu_seconds(e.sequence.len(), 3, 1)
-        };
+        let single = |e: &ProteinEntry| crate::cost::gpu_seconds(e.sequence.len(), 3, 1);
         assert!(joint.gpu_seconds > single(a) + single(b));
     }
 }

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-inference
 //!
 //! The GPU inference stage: a deterministic surrogate for the AlphaFold2

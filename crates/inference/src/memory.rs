@@ -60,7 +60,10 @@ mod tests {
         // are too large to fit onto the memory of a standard Summit
         // node").
         assert!(fits_standard(2000, 1), "2000 AA fits a standard node");
-        assert!(!fits_standard(2499, 1), "the longest spill to high-mem nodes");
+        assert!(
+            !fits_standard(2499, 1),
+            "the longest spill to high-mem nodes"
+        );
         assert!(fits_high_mem(2499, 1));
     }
 
@@ -72,7 +75,10 @@ mod tests {
         assert!(fits_standard(1266, 1));
         // Mid-length sequences fit even at 8 ensembles.
         assert!(fits_standard(650, 8));
-        assert!(!fits_standard(750, 8), "the casp14 OOM threshold sits near 720 AA");
+        assert!(
+            !fits_standard(750, 8),
+            "the casp14 OOM threshold sits near 720 AA"
+        );
     }
 
     #[test]

@@ -7,11 +7,10 @@
 //! are sequence/MSA-only (§3.2.1: "The structural features are only used
 //! by two of the five DL models").
 
-use serde::{Deserialize, Serialize};
 use summitfold_protein::rng::fnv1a;
 
 /// One of the five model variants (1-based, matching AlphaFold naming).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModelId(pub u8);
 
 impl ModelId {

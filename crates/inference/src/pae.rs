@@ -55,11 +55,7 @@ impl PaeMatrix {
         // Per-residue local error levels (correlated with the pLDDT
         // profile's spirit: lognormal around the local scale).
         let local: Vec<f64> = (0..n)
-            .map(|_| {
-                calib::PLDDT_LOCAL_FRAC
-                    * err
-                    * (rng.gaussian() * 0.5).exp()
-            })
+            .map(|_| calib::PLDDT_LOCAL_FRAC * err * (rng.gaussian() * 0.5).exp())
             .collect();
         // Chain id per residue.
         let mut chain_of = Vec::with_capacity(n);
@@ -121,6 +117,7 @@ impl PaeMatrix {
     /// first chain has `chain_a` residues.
     #[must_use]
     pub fn interface_mean(&self, chain_a: usize) -> f64 {
+        // sfcheck::allow(panic-hygiene, caller contract; the boundary cannot exceed the matrix)
         assert!(chain_a <= self.n, "chain boundary beyond matrix");
         let b = self.n - chain_a;
         if chain_a == 0 || b == 0 {
@@ -183,8 +180,16 @@ mod tests {
         let good = PaeMatrix::complex(2.0, 120, 100, 1.0, 5);
         let bad = PaeMatrix::complex(2.0, 120, 100, 20.0, 5);
         assert!(good.interface_mean(120) < bad.interface_mean(120));
-        assert!(good.interface_score(120) > 0.5, "{}", good.interface_score(120));
-        assert!(bad.interface_score(120) < 0.25, "{}", bad.interface_score(120));
+        assert!(
+            good.interface_score(120) > 0.5,
+            "{}",
+            good.interface_score(120)
+        );
+        assert!(
+            bad.interface_score(120) < 0.25,
+            "{}",
+            bad.interface_score(120)
+        );
     }
 
     #[test]

@@ -9,10 +9,8 @@
 //! cap raised to 20 but tapered back down to 6 for sequences longer than
 //! 500 residues.
 
-use serde::{Deserialize, Serialize};
-
 /// Recycling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecyclePolicy {
     /// Run exactly this many recycles.
     Fixed(u32),
@@ -25,7 +23,7 @@ pub enum RecyclePolicy {
 }
 
 /// An inference preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Preset {
     /// Official single-ensemble preset (DeepMind's proteome-scale choice).
     ReducedDbs,
@@ -39,7 +37,12 @@ pub enum Preset {
 
 impl Preset {
     /// All presets in Table 1 order.
-    pub const ALL: [Preset; 4] = [Preset::ReducedDbs, Preset::Genome, Preset::Super, Preset::Casp14];
+    pub const ALL: [Preset; 4] = [
+        Preset::ReducedDbs,
+        Preset::Genome,
+        Preset::Super,
+        Preset::Casp14,
+    ];
 
     /// Preset name as used in Table 1.
     #[must_use]
@@ -124,8 +127,14 @@ mod tests {
 
     #[test]
     fn dynamic_tolerances() {
-        assert_eq!(Preset::Genome.recycle_policy(), RecyclePolicy::Dynamic { tolerance: 0.5 });
-        assert_eq!(Preset::Super.recycle_policy(), RecyclePolicy::Dynamic { tolerance: 0.1 });
+        assert_eq!(
+            Preset::Genome.recycle_policy(),
+            RecyclePolicy::Dynamic { tolerance: 0.5 }
+        );
+        assert_eq!(
+            Preset::Super.recycle_policy(),
+            RecyclePolicy::Dynamic { tolerance: 0.1 }
+        );
     }
 
     #[test]

@@ -131,8 +131,8 @@ pub fn target_quality(features: &FeatureSet, model: ModelId) -> TargetQuality {
     let challenging = target_rng.uniform() < challenge_prob;
     let _ = rng.uniform(); // preserve the stream layout for the jitter draw
 
-    let mut err_inf = calib::ERR_FLOOR
-        + calib::ERR_POVERTY_SCALE * poverty.powf(calib::ERR_POVERTY_EXP);
+    let mut err_inf =
+        calib::ERR_FLOOR + calib::ERR_POVERTY_SCALE * poverty.powf(calib::ERR_POVERTY_EXP);
     err_inf *= model.error_bias();
     if features.has_templates && model.uses_templates() {
         err_inf *= calib::TEMPLATE_BONUS;
@@ -148,14 +148,19 @@ pub fn target_quality(features: &FeatureSet, model: ModelId) -> TargetQuality {
     if challenging {
         err0 *= calib::CHALLENGE_ERR0_MULT;
     }
-    let mut rho = calib::RHO_BASE
-        + calib::RHO_POVERTY * poverty.powf(calib::RHO_POVERTY_EXP);
+    let mut rho = calib::RHO_BASE + calib::RHO_POVERTY * poverty.powf(calib::RHO_POVERTY_EXP);
     if challenging {
         rho += calib::RHO_CHALLENGE;
     }
     let rho = rho.clamp(0.10, calib::RHO_MAX);
 
-    TargetQuality { err0, err_inf: err_inf.min(err0 * 0.95), rho, challenging, seed }
+    TargetQuality {
+        err0,
+        err_inf: err_inf.min(err0 * 0.95),
+        rho,
+        challenging,
+        seed,
+    }
 }
 
 impl TargetQuality {
@@ -170,6 +175,7 @@ impl TargetQuality {
     /// dynamic presets.
     #[must_use]
     pub fn distance_change_at(&self, k: u32) -> f64 {
+        // sfcheck::allow(panic-hygiene, caller contract documented on the function)
         assert!(k >= 1, "change is defined between consecutive recycles");
         calib::DCHANGE_COEFF * (self.error_after(k - 1) - self.error_after(k))
     }
@@ -268,8 +274,10 @@ mod tests {
     #[test]
     fn models_differ_per_target() {
         let f = features(0.6, 200);
-        let errs: Vec<f64> =
-            ModelId::ALL.iter().map(|&m| target_quality(&f, m).err_inf).collect();
+        let errs: Vec<f64> = ModelId::ALL
+            .iter()
+            .map(|&m| target_quality(&f, m).err_inf)
+            .collect();
         let spread = stats::std_dev(&errs);
         assert!(spread > 0.01, "models should disagree, spread {spread}");
     }
@@ -393,7 +401,10 @@ mod tests {
         };
         let low = frac(0.9);
         let high = frac(0.2);
-        assert!(high > low + 0.08, "poverty should breed challenge: {low} vs {high}");
+        assert!(
+            high > low + 0.08,
+            "poverty should breed challenge: {low} vs {high}"
+        );
     }
 
     #[test]

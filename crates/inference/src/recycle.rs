@@ -23,14 +23,20 @@ pub struct RecycleOutcome {
 #[must_use]
 pub fn run(quality: &TargetQuality, preset: Preset, length: usize) -> RecycleOutcome {
     match preset.recycle_policy() {
-        RecyclePolicy::Fixed(n) => RecycleOutcome { recycles: n, converged: true },
+        RecyclePolicy::Fixed(n) => RecycleOutcome {
+            recycles: n,
+            converged: true,
+        },
         RecyclePolicy::Dynamic { tolerance } => {
             let min_r = preset.min_recycles();
             let max_r = preset.max_recycles(length);
             let mut k = 1;
             while k < max_r {
                 if k >= min_r && quality.distance_change_at(k) < tolerance {
-                    return RecycleOutcome { recycles: k, converged: true };
+                    return RecycleOutcome {
+                        recycles: k,
+                        converged: true,
+                    };
                 }
                 k += 1;
             }
@@ -63,7 +69,13 @@ mod tests {
     }
 
     fn quality_with(rho: f64, err0: f64, err_inf: f64) -> TargetQuality {
-        TargetQuality { err0, err_inf, rho, challenging: false, seed: 0 }
+        TargetQuality {
+            err0,
+            err_inf,
+            rho,
+            challenging: false,
+            seed: 0,
+        }
     }
 
     #[test]
@@ -90,8 +102,17 @@ mod tests {
         let q = quality_with(0.75, 9.0, 2.0);
         let genome = run(&q, Preset::Genome, 300);
         let sup = run(&q, Preset::Super, 300);
-        assert!(sup.recycles >= genome.recycles, "{} vs {}", sup.recycles, genome.recycles);
-        assert!(sup.recycles > 3, "slow target should recycle: {}", sup.recycles);
+        assert!(
+            sup.recycles >= genome.recycles,
+            "{} vs {}",
+            sup.recycles,
+            genome.recycles
+        );
+        assert!(
+            sup.recycles > 3,
+            "slow target should recycle: {}",
+            sup.recycles
+        );
     }
 
     #[test]

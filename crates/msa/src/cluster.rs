@@ -43,7 +43,10 @@ impl Clustering {
     /// Extract the representative sequences (the reduced database).
     #[must_use]
     pub fn reduced_db(&self, input: &[Sequence]) -> Vec<Sequence> {
-        self.representatives.iter().map(|&i| input[i].clone()).collect()
+        self.representatives
+            .iter()
+            .map(|&i| input[i].clone())
+            .collect()
     }
 }
 
@@ -51,11 +54,18 @@ impl Clustering {
 /// the paper's near-identical deduplication).
 #[must_use]
 pub fn greedy_cluster(input: &[Sequence], identity: f64) -> Clustering {
-    assert!((0.0..=1.0).contains(&identity), "identity threshold in [0,1]");
+    // sfcheck::allow(panic-hygiene, caller contract; identity is a fraction by definition)
+    assert!(
+        (0.0..=1.0).contains(&identity),
+        "identity threshold in [0,1]"
+    );
     let n = input.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        input[b].len().cmp(&input[a].len()).then_with(|| input[a].id.cmp(&input[b].id))
+        input[b]
+            .len()
+            .cmp(&input[a].len())
+            .then_with(|| input[a].id.cmp(&input[b].id))
     });
 
     let mut reps: Vec<usize> = Vec::new();
@@ -99,7 +109,10 @@ pub fn greedy_cluster(input: &[Sequence], identity: f64) -> Clustering {
             }
         }
     }
-    Clustering { representatives: reps, assignment }
+    Clustering {
+        representatives: reps,
+        assignment,
+    }
 }
 
 /// Identity check: aligned identity ≥ threshold over ≥ 80 % of the shorter
@@ -146,8 +159,9 @@ mod tests {
     #[test]
     fn distinct_sequences_stay_separate() {
         let mut rng = Xoshiro256::seed_from_u64(3);
-        let db: Vec<Sequence> =
-            (0..10).map(|i| Sequence::random(&format!("s{i}"), 150, &mut rng)).collect();
+        let db: Vec<Sequence> = (0..10)
+            .map(|i| Sequence::random(&format!("s{i}"), 150, &mut rng))
+            .collect();
         let c = greedy_cluster(&db, 0.9);
         assert_eq!(c.num_clusters(), 10);
     }
@@ -165,8 +179,11 @@ mod tests {
     fn reduced_db_matches_representatives() {
         let mut rng = Xoshiro256::seed_from_u64(5);
         let base = Sequence::random("b", 120, &mut rng);
-        let db =
-            vec![base.clone(), base.mutated("n", 0.02, &mut rng), Sequence::random("x", 120, &mut rng)];
+        let db = vec![
+            base.clone(),
+            base.mutated("n", 0.02, &mut rng),
+            Sequence::random("x", 120, &mut rng),
+        ];
         let c = greedy_cluster(&db, 0.9);
         let reduced = c.reduced_db(&db);
         assert_eq!(reduced.len(), c.num_clusters());

@@ -100,7 +100,11 @@ pub struct DbParams {
 
 impl Default for DbParams {
     fn default() -> Self {
-        Self { max_homologs: 24, background: 400, background_mean_len: 250.0 }
+        Self {
+            max_homologs: 24,
+            background: 400,
+            background_mean_len: 250.0,
+        }
     }
 }
 
@@ -113,8 +117,8 @@ impl SyntheticDb {
         let mut sequences = Vec::new();
         for entry in targets {
             let richness = entry.msa_richness;
-            let n_hom =
-                ((richness * richness * params.max_homologs as f64).round() as usize).min(params.max_homologs);
+            let n_hom = ((richness * richness * params.max_homologs as f64).round() as usize)
+                .min(params.max_homologs);
             for h in 0..n_hom {
                 // Divergence spread: from close relatives (10 %) out to
                 // the twilight zone (65 %).
@@ -131,12 +135,19 @@ impl SyntheticDb {
             }
         }
         for b in 0..params.background {
-            let len = (rng.gamma(2.0, params.background_mean_len / 2.0).round() as usize)
-                .clamp(30, 1200);
-            sequences
-                .push(Sequence::random(&format!("{}/bg{}", kind.name(), b), len, &mut rng));
+            let len =
+                (rng.gamma(2.0, params.background_mean_len / 2.0).round() as usize).clamp(30, 1200);
+            sequences.push(Sequence::random(
+                &format!("{}/bg{}", kind.name(), b),
+                len,
+                &mut rng,
+            ));
         }
-        Self { kind, sequences, nominal_bytes: kind.nominal_bytes() }
+        Self {
+            kind,
+            sequences,
+            nominal_bytes: kind.nominal_bytes(),
+        }
     }
 
     /// Number of sequences.
@@ -166,10 +177,18 @@ impl DbSet {
     #[must_use]
     pub fn kinds(self) -> [DbKind; 4] {
         match self {
-            Self::Full => [DbKind::UniRef, DbKind::BfdFull, DbKind::MGnify, DbKind::PdbSeqs],
-            Self::Reduced => {
-                [DbKind::UniRef, DbKind::BfdReduced, DbKind::MGnify, DbKind::PdbSeqs]
-            }
+            Self::Full => [
+                DbKind::UniRef,
+                DbKind::BfdFull,
+                DbKind::MGnify,
+                DbKind::PdbSeqs,
+            ],
+            Self::Reduced => [
+                DbKind::UniRef,
+                DbKind::BfdReduced,
+                DbKind::MGnify,
+                DbKind::PdbSeqs,
+            ],
         }
     }
 
@@ -207,8 +226,7 @@ mod tests {
                 .iter()
                 .filter(|s| s.id.contains(&format!("{}_hom", entry.sequence.id)))
                 .count();
-            let expect =
-                (entry.msa_richness * entry.msa_richness * 24.0).round() as usize;
+            let expect = (entry.msa_richness * entry.msa_richness * 24.0).round() as usize;
             assert_eq!(n, expect.min(24), "target {}", entry.sequence.id);
         }
     }
@@ -217,7 +235,10 @@ mod tests {
     fn full_bfd_is_redundant() {
         let targets = sample_targets();
         let refs: Vec<&ProteinEntry> = targets.iter().collect();
-        let params = DbParams { background: 0, ..DbParams::default() };
+        let params = DbParams {
+            background: 0,
+            ..DbParams::default()
+        };
         let full = SyntheticDb::for_targets(DbKind::BfdFull, &refs, &params);
         let reduced = SyntheticDb::for_targets(DbKind::BfdReduced, &refs, &params);
         assert!(

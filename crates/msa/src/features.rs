@@ -123,8 +123,12 @@ mod tests {
         for entry in &proteome.proteins {
             let f = FeatureSet::synthetic(entry);
             assert_eq!(f.length, entry.sequence.len());
-            assert!((f.richness - entry.msa_richness).abs() < 0.15,
-                "latent {} vs derived {}", entry.msa_richness, f.richness);
+            assert!(
+                (f.richness - entry.msa_richness).abs() < 0.15,
+                "latent {} vs derived {}",
+                entry.msa_richness,
+                f.richness
+            );
         }
     }
 
@@ -139,7 +143,12 @@ mod tests {
         let db = SyntheticDb::for_targets(DbKind::UniRef, &refs, &crate::db::DbParams::default());
         let index = KmerIndex::build(&db.sequences);
         for entry in &proteome.proteins {
-            let msa = search(&entry.sequence, &db.sequences, &index, &SearchParams::default());
+            let msa = search(
+                &entry.sequence,
+                &db.sequences,
+                &index,
+                &SearchParams::default(),
+            );
             let real = FeatureSet::from_msa(&msa, false);
             let synth = FeatureSet::synthetic(entry);
             assert!(

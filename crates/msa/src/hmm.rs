@@ -48,8 +48,7 @@ impl ProfileHmm {
             }
             let mut col = [0.0f64; 20];
             for (k, c) in col.iter_mut().enumerate() {
-                let freq =
-                    (counts[k] + PSEUDOCOUNT * BACKGROUND_FREQ[k]) / (total + PSEUDOCOUNT);
+                let freq = (counts[k] + PSEUDOCOUNT * BACKGROUND_FREQ[k]) / (total + PSEUDOCOUNT);
                 *c = (freq / BACKGROUND_FREQ[k]).ln();
             }
             match_emit.push(col);
@@ -123,11 +122,9 @@ impl ProfileHmm {
                     .max(if col == 1 { 0.0 } else { NEG }); // local entry
                 m_cur[col] = from + self.emit(col - 1, aa);
                 // Insert: consume a residue, stay on the column.
-                i_cur[col] =
-                    (m_prev[col] + self.t_mi).max(i_prev[col] + self.t_ii);
+                i_cur[col] = (m_prev[col] + self.t_mi).max(i_prev[col] + self.t_ii);
                 // Delete: advance a column, no residue.
-                d_cur[col] =
-                    (m_cur[col - 1] + self.t_md).max(d_cur[col - 1] + self.t_dd);
+                d_cur[col] = (m_cur[col - 1] + self.t_md).max(d_cur[col - 1] + self.t_dd);
             }
             best = best.max(m_cur[n]);
             std::mem::swap(&mut m_prev, &mut m_cur);
@@ -156,8 +153,9 @@ mod tests {
     fn family(seed: u64) -> (Sequence, Vec<Sequence>) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let target = Sequence::random("t", 200, &mut rng);
-        let mut db: Vec<Sequence> =
-            (0..5).map(|k| target.mutated(&format!("hom{k}"), 0.3, &mut rng)).collect();
+        let mut db: Vec<Sequence> = (0..5)
+            .map(|k| target.mutated(&format!("hom{k}"), 0.3, &mut rng))
+            .collect();
         for b in 0..100 {
             db.push(Sequence::random(&format!("bg{b}"), 200, &mut rng));
         }
@@ -177,7 +175,10 @@ mod tests {
             .collect();
         let bg_max = bg.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(self_score > 0.0, "self log-odds {self_score}");
-        assert!(self_score > bg_max + 20.0, "self {self_score} vs bg max {bg_max}");
+        assert!(
+            self_score > bg_max + 20.0,
+            "self {self_score} vs bg max {bg_max}"
+        );
     }
 
     #[test]
@@ -207,8 +208,7 @@ mod tests {
         let base = target.mutated("indel", 0.2, &mut rng);
         // Insert 12 random residues in the middle.
         let mut letters = base.to_letters();
-        let insert: String =
-            Sequence::random("ins", 12, &mut rng).to_letters();
+        let insert: String = Sequence::random("ins", 12, &mut rng).to_letters();
         letters.insert_str(100, &insert);
         let with_insert = Sequence::parse("with_insert", "", &letters).unwrap();
         // Delete 10 residues elsewhere.
@@ -222,18 +222,24 @@ mod tests {
             .map(|s| hmm.viterbi(s))
             .collect();
         let bg_max = bg_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(hmm.viterbi(&with_insert) > bg_max + 20.0, "insertion breaks detection");
-        assert!(hmm.viterbi(&with_delete) > bg_max + 20.0, "deletion breaks detection");
+        assert!(
+            hmm.viterbi(&with_insert) > bg_max + 20.0,
+            "insertion breaks detection"
+        );
+        assert!(
+            hmm.viterbi(&with_delete) > bg_max + 20.0,
+            "deletion breaks detection"
+        );
     }
 
     #[test]
     fn deeper_msa_sharpens_the_model() {
         let mut rng = Xoshiro256::seed_from_u64(4);
         let target = Sequence::random("t", 150, &mut rng);
-        let shallow_db: Vec<Sequence> =
-            vec![target.mutated("h0", 0.3, &mut rng)];
-        let deep_db: Vec<Sequence> =
-            (0..10).map(|k| target.mutated(&format!("h{k}"), 0.3, &mut rng)).collect();
+        let shallow_db: Vec<Sequence> = vec![target.mutated("h0", 0.3, &mut rng)];
+        let deep_db: Vec<Sequence> = (0..10)
+            .map(|k| target.mutated(&format!("h{k}"), 0.3, &mut rng))
+            .collect();
         let shallow = ProfileHmm::from_msa(&msa_for(&target, &shallow_db));
         let deep = ProfileHmm::from_msa(&msa_for(&target, &deep_db));
         // A held-out homolog scores better under the deeper model.

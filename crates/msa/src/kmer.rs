@@ -6,7 +6,6 @@
 //! (k = 3 over the 20-letter alphabet): a subject becomes a candidate when
 //! it shares at least `min_hits` distinct query k-mers.
 
-use std::collections::HashMap;
 use summitfold_protein::seq::Sequence;
 
 /// Word length. 20³ = 8000 possible words — selective enough for the
@@ -33,6 +32,7 @@ impl KmerIndex {
     pub fn build(subjects: &[Sequence]) -> Self {
         let mut postings: Vec<Vec<u32>> = vec![Vec::new(); 20usize.pow(K as u32)];
         for (sid, seq) in subjects.iter().enumerate() {
+            // sfcheck::allow(panic-hygiene, index capacity is u32; a >4-billion-sequence database is out of scope)
             let sid = u32::try_from(sid).expect("too many subjects");
             for window in seq.residues.windows(K) {
                 let code = encode(window);
@@ -42,7 +42,10 @@ impl KmerIndex {
                 }
             }
         }
-        Self { postings, subjects: subjects.len() }
+        Self {
+            postings,
+            subjects: subjects.len(),
+        }
     }
 
     /// Number of indexed subjects.
@@ -58,26 +61,36 @@ impl KmerIndex {
     }
 
     /// Subjects sharing at least `min_hits` distinct query k-mers, with
-    /// their hit counts, sorted by descending count.
+    /// their hit counts, sorted by descending count (ties broken by
+    /// ascending subject id).
+    ///
+    /// Candidate order is bit-for-bit deterministic: counts accumulate in
+    /// a dense per-subject array (no hash-iteration order anywhere), the
+    /// sweep visits subjects in ascending id order, and the final sort
+    /// key `(count desc, subject id asc)` is total. Equal-count ties can
+    /// therefore never reshuffle between runs — the property the seeded
+    /// regression test below pins down.
     #[must_use]
     pub fn candidates(&self, query: &Sequence, min_hits: usize) -> Vec<(usize, usize)> {
-        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut counts: Vec<usize> = vec![0; self.subjects];
         // Distinct query k-mers only: repeated words shouldn't multiply
-        // evidence.
-        let mut seen = std::collections::HashSet::new();
+        // evidence. The code space is small (20^K), so a dense bitmap
+        // replaces the old HashSet.
+        let mut seen = vec![false; self.postings.len()];
         for window in query.residues.windows(K) {
             let code = encode(window);
-            if !seen.insert(code) {
+            if seen[code] {
                 continue;
             }
+            seen[code] = true;
             for &sid in &self.postings[code] {
-                *counts.entry(sid).or_default() += 1;
+                counts[sid as usize] += 1;
             }
         }
         let mut out: Vec<(usize, usize)> = counts
             .into_iter()
+            .enumerate()
             .filter(|&(_, c)| c >= min_hits)
-            .map(|(sid, c)| (sid as usize, c))
             .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
@@ -91,7 +104,9 @@ mod tests {
 
     fn db(seed: u64, n: usize, len: usize) -> Vec<Sequence> {
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        (0..n).map(|i| Sequence::random(&format!("s{i}"), len, &mut rng)).collect()
+        (0..n)
+            .map(|i| Sequence::random(&format!("s{i}"), len, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -141,7 +156,10 @@ mod tests {
         subjects.push(distant);
         let index = KmerIndex::build(&subjects);
         let cands = index.candidates(&query, 8);
-        assert!(cands.iter().any(|&(sid, _)| sid == 100), "distant homolog lost");
+        assert!(
+            cands.iter().any(|&(sid, _)| sid == 100),
+            "distant homolog lost"
+        );
     }
 
     #[test]
@@ -150,6 +168,35 @@ mod tests {
         assert!(index.is_empty());
         let q = Sequence::parse("q", "", "AC").unwrap(); // shorter than K
         assert!(index.candidates(&q, 1).is_empty());
+    }
+
+    #[test]
+    fn candidate_order_is_deterministic_across_runs() {
+        // Regression for the pre-BTree/dense-array implementation, where
+        // equal-count ties inherited HashMap iteration order: build the
+        // same seeded database repeatedly (fresh allocations each time,
+        // so any address-sensitive hashing would reshuffle) and require
+        // the identical candidate vector every run.
+        let mut reference: Option<Vec<(usize, usize)>> = None;
+        for _ in 0..5 {
+            let subjects = db(42, 60, 90);
+            let index = KmerIndex::build(&subjects);
+            let query = subjects[11].clone();
+            let cands = index.candidates(&query, 1);
+            // Equal-count ties must be ordered by ascending subject id.
+            for w in cands.windows(2) {
+                assert!(
+                    w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "tie-break violated: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            match &reference {
+                None => reference = Some(cands),
+                Some(r) => assert_eq!(r, &cands, "candidate order changed between runs"),
+            }
+        }
     }
 
     #[test]

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-msa
 //!
 //! Feature-generation substrate: the CPU stage of the paper's pipeline

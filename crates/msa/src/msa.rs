@@ -50,18 +50,18 @@ pub struct SearchParams {
 
 impl Default for SearchParams {
     fn default() -> Self {
-        Self { min_kmer_hits: 4, band: 24, min_bits: 50.0, min_coverage: 0.4 }
+        Self {
+            min_kmer_hits: 4,
+            band: 24,
+            min_bits: 50.0,
+            min_coverage: 0.4,
+        }
     }
 }
 
 /// Search a database (via its k-mer index) and assemble the MSA.
 #[must_use]
-pub fn search(
-    target: &Sequence,
-    db: &[Sequence],
-    index: &KmerIndex,
-    params: &SearchParams,
-) -> Msa {
+pub fn search(target: &Sequence, db: &[Sequence], index: &KmerIndex, params: &SearchParams) -> Msa {
     let mut rows = Vec::new();
     for (sid, _hits) in index.candidates(target, params.min_kmer_hits) {
         let subject = &db[sid];
@@ -77,7 +77,10 @@ pub fn search(
     }
     // Best hits first.
     rows.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
-    Msa { target: target.clone(), rows }
+    Msa {
+        target: target.clone(),
+        rows,
+    }
 }
 
 /// Map a local alignment into target coordinates. The synthetic universe
@@ -89,7 +92,12 @@ fn row_from_alignment(target: &Sequence, subject: &Sequence, aln: &LocalAlignmen
     for k in 0..span {
         aligned[aln.qstart + k] = Some(subject.residues[aln.sstart + k]);
     }
-    MsaRow { id: subject.id.clone(), aligned, identity: aln.identity(), score: aln.score }
+    MsaRow {
+        id: subject.id.clone(),
+        aligned,
+        identity: aln.identity(),
+        score: aln.score,
+    }
 }
 
 impl Msa {
@@ -195,7 +203,10 @@ mod tests {
         let ids: Vec<&str> = msa.rows.iter().map(|r| r.id.as_str()).collect();
         assert!(ids.contains(&"hom0"), "close homolog found");
         assert!(ids.contains(&"hom1"), "mid homolog found");
-        assert!(ids.iter().all(|id| !id.starts_with("bg")), "background rejected: {ids:?}");
+        assert!(
+            ids.iter().all(|id| !id.starts_with("bg")),
+            "background rejected: {ids:?}"
+        );
     }
 
     #[test]

@@ -46,8 +46,7 @@ impl Profile {
             // Posterior frequencies with background pseudocounts.
             let mut col = [0i32; 20];
             for (k, c) in col.iter_mut().enumerate() {
-                let freq = (counts[k] + PSEUDOCOUNT * BACKGROUND_FREQ[k])
-                    / (total + PSEUDOCOUNT);
+                let freq = (counts[k] + PSEUDOCOUNT * BACKGROUND_FREQ[k]) / (total + PSEUDOCOUNT);
                 let odds = freq / BACKGROUND_FREQ[k];
                 // Half-bit-like scaling, clamped to a BLOSUM-ish range.
                 *c = (2.0 * odds.log2()).round().clamp(-6.0, 12.0) as i32;
@@ -202,10 +201,17 @@ mod tests {
         let msa = search(&target, &db, &index, &SearchParams::default());
         let profile = Profile::from_msa(&msa);
         let self_score = profile.align(&target, None);
-        let bg_scores: Vec<i32> =
-            db.iter().filter(|s| s.id.starts_with("bg")).take(20).map(|s| profile.align(s, None)).collect();
+        let bg_scores: Vec<i32> = db
+            .iter()
+            .filter(|s| s.id.starts_with("bg"))
+            .take(20)
+            .map(|s| profile.align(s, None))
+            .collect();
         let max_bg = bg_scores.iter().copied().max().unwrap();
-        assert!(self_score > max_bg * 2, "self {self_score} vs max bg {max_bg}");
+        assert!(
+            self_score > max_bg * 2,
+            "self {self_score} vs max bg {max_bg}"
+        );
     }
 
     #[test]
@@ -215,8 +221,11 @@ mod tests {
         let msa = search(&target, &db, &index, &SearchParams::default());
         // Plain search found the close family only.
         assert!(msa.rows.iter().any(|r| r.id.starts_with("close")));
-        let found_remote_plain =
-            msa.rows.iter().filter(|r| r.id.starts_with("remote")).count();
+        let found_remote_plain = msa
+            .rows
+            .iter()
+            .filter(|r| r.id.starts_with("remote"))
+            .count();
 
         // Calibrate the acceptance threshold from the background score
         // distribution (like an E-value cutoff).
@@ -247,7 +256,10 @@ mod tests {
         assert_eq!(info.len(), target.len());
         assert!(info.iter().all(|&x| x >= 0.0));
         let mean = summitfold_protein::stats::mean(&info);
-        assert!(mean > 0.3, "profiles from real MSAs are informative: {mean}");
+        assert!(
+            mean > 0.3,
+            "profiles from real MSAs are informative: {mean}"
+        );
     }
 
     #[test]
@@ -271,6 +283,9 @@ mod tests {
         let profile = Profile::from_msa(&msa);
         let pairwise = smith_waterman(&target, &target, None).score;
         let prof = profile.align(&target, None);
-        assert!(prof > pairwise / 3, "profile self-score {prof} vs pairwise {pairwise}");
+        assert!(
+            prof > pairwise / 3,
+            "profile self-score {prof} vs pairwise {pairwise}"
+        );
     }
 }

@@ -53,11 +53,13 @@ pub const GAP_EXTEND: i32 = 1;
 pub struct LocalAlignment {
     /// Smith–Waterman score (BLOSUM62, affine gaps 11/1).
     pub score: i32,
-    /// Alignment span in the query: `[qstart, qend)`.
+    /// Alignment start in the query (inclusive).
     pub qstart: usize,
+    /// Alignment end in the query (exclusive).
     pub qend: usize,
-    /// Alignment span in the subject: `[sstart, send)`.
+    /// Alignment start in the subject (inclusive).
     pub sstart: usize,
+    /// Alignment end in the subject (exclusive).
     pub send: usize,
     /// Number of aligned (non-gap) columns.
     pub columns: usize,
@@ -80,11 +82,7 @@ impl LocalAlignment {
 /// `offset` centers the band on the length difference; pass `None` for the
 /// full matrix. Returns the single best local alignment.
 #[must_use]
-pub fn smith_waterman(
-    query: &Sequence,
-    subject: &Sequence,
-    band: Option<usize>,
-) -> LocalAlignment {
+pub fn smith_waterman(query: &Sequence, subject: &Sequence, band: Option<usize>) -> LocalAlignment {
     let q = &query.residues;
     let s = &subject.residues;
     let n = q.len();
@@ -269,7 +267,12 @@ mod tests {
         letters.push_str(&suffix.to_letters());
         let subject = Sequence::parse("subj", "", &letters).unwrap();
         let a = smith_waterman(&motif, &subject, None);
-        assert!(a.sstart >= 70 && a.send <= 130, "span {}..{}", a.sstart, a.send);
+        assert!(
+            a.sstart >= 70 && a.send <= 130,
+            "span {}..{}",
+            a.sstart,
+            a.send
+        );
         assert!(a.identity() > 0.9);
     }
 

@@ -12,7 +12,6 @@
 //!   synthesis example: > 98 % of residues at pLDDT > 90 yet top
 //!   TM ≈ 0.36).
 
-use serde::{Deserialize, Serialize};
 use summitfold_inference::{Fidelity, InferenceEngine, Preset};
 use summitfold_msa::FeatureSet;
 use summitfold_protein::proteome::ProteinEntry;
@@ -33,12 +32,17 @@ pub struct AnnotationConfig {
 
 impl Default for AnnotationConfig {
     fn default() -> Self {
-        Self { tm_match: 0.60, decoys: 250, search: SearchConfig::default(), preset: Preset::Genome }
+        Self {
+            tm_match: 0.60,
+            decoys: 250,
+            search: SearchConfig::default(),
+            preset: Preset::Genome,
+        }
     }
 }
 
 /// Outcome for one query.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// Query id.
     pub id: String,
@@ -55,7 +59,7 @@ pub struct QueryOutcome {
 }
 
 /// Aggregate report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AnnotationReport {
     /// Queries searched.
     pub queries: usize,
@@ -94,6 +98,7 @@ pub fn annotate_hypothetical(
             Err(_) => continue, // OOM targets are handled separately (§3.3)
         };
         let top = result.top();
+        // sfcheck::allow(panic-hygiene, annotation stage always runs the engine at geometric fidelity, which attaches structures)
         let structure = top.structure.as_ref().expect("geometric fidelity");
         let hits = library.search(structure, &entry.sequence, &cfg.search);
         let (top_tm, top_id, annotation) = hits
@@ -116,8 +121,10 @@ pub fn annotate_hypothetical(
         });
     }
 
-    let matched: Vec<&QueryOutcome> =
-        per_query.iter().filter(|q| q.top_tm >= cfg.tm_match).collect();
+    let matched: Vec<&QueryOutcome> = per_query
+        .iter()
+        .filter(|q| q.top_tm >= cfg.tm_match)
+        .collect();
     let novel_fold_candidates = per_query
         .iter()
         .filter(|q| q.plddt_frac90 > 0.9 && q.top_tm < 0.45)
@@ -154,7 +161,11 @@ mod tests {
     fn shape_matches_section_4_6() {
         let (proteome, idx) = hypothetical_sample(0.06);
         let queries: Vec<&ProteinEntry> = idx.iter().map(|&i| &proteome.proteins[i]).collect();
-        assert!(queries.len() >= 20, "need a meaningful sample, got {}", queries.len());
+        assert!(
+            queries.len() >= 20,
+            "need a meaningful sample, got {}",
+            queries.len()
+        );
         let report = annotate_hypothetical(&queries, &AnnotationConfig::default());
         assert_eq!(report.queries, queries.len());
 

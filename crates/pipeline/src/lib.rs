@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-pipeline
 //!
 //! The paper's primary contribution: an optimized, three-stage,

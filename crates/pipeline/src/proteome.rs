@@ -3,7 +3,6 @@
 //! reports for *S. divinum*.
 
 use crate::stages::{feature, inference, relax_stage};
-use serde::{Deserialize, Serialize};
 use summitfold_dataflow::OrderingPolicy;
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
@@ -30,13 +29,18 @@ impl CampaignConfig {
     /// The paper's production settings at a given scale.
     #[must_use]
     pub fn paper_default(scale: f64) -> Self {
-        Self { scale, preset: Preset::Genome, inference_nodes: 200, relax_nodes: 8 }
+        Self {
+            scale,
+            preset: Preset::Genome,
+            inference_nodes: 200,
+            relax_nodes: 8,
+        }
     }
 }
 
 /// Quality and budget report for a proteome campaign — the §4.3.1
 /// statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProteomeReport {
     /// Species processed.
     pub species_name: String,
@@ -125,8 +129,16 @@ pub fn run_proteome_campaign(species: Species, cfg: &CampaignConfig) -> Proteome
         species_name: species.name().to_owned(),
         targets: inf.results.len(),
         frac_plddt_gt70: stats::fraction_above(&plddt_means, 70.0),
-        residue_coverage_gt70: if residues_total > 0.0 { residues_gt70 / residues_total } else { 0.0 },
-        residue_coverage_gt90: if residues_total > 0.0 { residues_gt90 / residues_total } else { 0.0 },
+        residue_coverage_gt70: if residues_total > 0.0 {
+            residues_gt70 / residues_total
+        } else {
+            0.0
+        },
+        residue_coverage_gt90: if residues_total > 0.0 {
+            residues_gt90 / residues_total
+        } else {
+            0.0
+        },
         frac_ptms_gt06: stats::fraction_above(&ptms, 0.6),
         mean_top_recycles: stats::mean(&recycles),
         andes_node_hours_full: ledger.node_hours(Machine::Andes) * scale_up,

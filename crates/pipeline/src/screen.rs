@@ -3,7 +3,6 @@
 //! quadratic cost projection that makes this "especially relevant to HPC
 //! computing".
 
-use serde::{Deserialize, Serialize};
 use summitfold_dataflow::sim::simulate;
 use summitfold_dataflow::{OrderingPolicy, TaskSpec};
 use summitfold_hpc::machine::Machine;
@@ -28,12 +27,16 @@ pub struct ScreenConfig {
 
 impl Default for ScreenConfig {
     fn default() -> Self {
-        Self { preset: Preset::Genome, iscore_cutoff: 0.45, nodes: 100 }
+        Self {
+            preset: Preset::Genome,
+            iscore_cutoff: 0.45,
+            nodes: 100,
+        }
     }
 }
 
 /// One predicted pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairCall {
     /// Pair id.
     pub pair_id: String,
@@ -44,7 +47,7 @@ pub struct PairCall {
 }
 
 /// Screening report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScreenReport {
     /// Proteins screened.
     pub proteins: usize,
@@ -74,8 +77,7 @@ pub fn screen_all_pairs(
     ledger: &mut Ledger,
 ) -> ScreenReport {
     let engine = ComplexEngine::new(cfg.preset, Fidelity::Statistical).on_high_mem_nodes();
-    let features: Vec<FeatureSet> =
-        proteins.iter().map(|e| FeatureSet::synthetic(e)).collect();
+    let features: Vec<FeatureSet> = proteins.iter().map(|e| FeatureSet::synthetic(e)).collect();
 
     let mut calls = Vec::new();
     let mut specs = Vec::new();
@@ -83,10 +85,16 @@ pub fn screen_all_pairs(
     let mut skipped = 0usize;
     for i in 0..proteins.len() {
         for j in i + 1..proteins.len() {
-            let target = ComplexTarget { a: proteins[i], b: proteins[j] };
+            let target = ComplexTarget {
+                a: proteins[i],
+                b: proteins[j],
+            };
             match engine.predict(&target, &features[i], &features[j], ModelId(1)) {
                 Ok(p) => {
-                    specs.push(TaskSpec::new(p.pair_id.clone(), target.joint_length() as f64));
+                    specs.push(TaskSpec::new(
+                        p.pair_id.clone(),
+                        target.joint_length() as f64,
+                    ));
                     durations.push(p.gpu_seconds);
                     calls.push(PairCall {
                         pair_id: p.pair_id,
@@ -110,12 +118,21 @@ pub fn screen_all_pairs(
     ledger.charge_job(Machine::Summit, "complex_screen", cfg.nodes, sim.makespan);
 
     let true_edges = calls.iter().filter(|c| c.truly_interacts).count();
-    let called: Vec<&PairCall> =
-        calls.iter().filter(|c| c.iscore >= cfg.iscore_cutoff).collect();
+    let called: Vec<&PairCall> = calls
+        .iter()
+        .filter(|c| c.iscore >= cfg.iscore_cutoff)
+        .collect();
     let true_called = called.iter().filter(|c| c.truly_interacts).count();
-    let recall = if true_edges > 0 { true_called as f64 / true_edges as f64 } else { 1.0 };
-    let precision =
-        if called.is_empty() { 1.0 } else { true_called as f64 / called.len() as f64 };
+    let recall = if true_edges > 0 {
+        true_called as f64 / true_edges as f64
+    } else {
+        1.0
+    };
+    let precision = if called.is_empty() {
+        1.0
+    } else {
+        true_called as f64 / called.len() as f64
+    };
 
     ScreenReport {
         proteins: proteins.len(),
@@ -143,10 +160,16 @@ pub fn projected_node_hours(n: usize, mean_len: usize, preset: Preset) -> f64 {
 /// diagnostic for reports.
 #[must_use]
 pub fn iscore_separation(calls: &[PairCall]) -> f64 {
-    let pos: Vec<f64> =
-        calls.iter().filter(|c| c.truly_interacts).map(|c| c.iscore).collect();
-    let neg: Vec<f64> =
-        calls.iter().filter(|c| !c.truly_interacts).map(|c| c.iscore).collect();
+    let pos: Vec<f64> = calls
+        .iter()
+        .filter(|c| c.truly_interacts)
+        .map(|c| c.iscore)
+        .collect();
+    let neg: Vec<f64> = calls
+        .iter()
+        .filter(|c| !c.truly_interacts)
+        .map(|c| c.iscore)
+        .collect();
     if pos.is_empty() || neg.is_empty() {
         return 0.0;
     }
@@ -186,7 +209,10 @@ mod tests {
         let small = projected_node_hours(1_000, 330, Preset::Genome);
         let big = projected_node_hours(10_000, 330, Preset::Genome);
         let ratio = big / small;
-        assert!((90.0..110.0).contains(&ratio), "quadratic scaling, got {ratio}");
+        assert!(
+            (90.0..110.0).contains(&ratio),
+            "quadratic scaling, got {ratio}"
+        );
         // Screening even a small proteome dwarfs predicting it: the §5
         // "relevant to HPC" point.
         assert!(small > 10_000.0, "1k-protein screen = {small:.0} node-h");

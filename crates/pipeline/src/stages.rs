@@ -45,7 +45,11 @@ pub mod feature {
         /// replicas, 4 jobs per replica.
         #[must_use]
         pub fn paper_default() -> Self {
-            Self { db_set: DbSet::Reduced, replicas: 24, concurrent_jobs: 96 }
+            Self {
+                db_set: DbSet::Reduced,
+                replicas: 24,
+                concurrent_jobs: 96,
+            }
         }
     }
 
@@ -67,10 +71,12 @@ pub mod feature {
     /// Run the stage over a set of targets.
     #[must_use]
     pub fn run(entries: &[ProteinEntry], cfg: &Config, ledger: &mut Ledger) -> Report {
-        let layout = ReplicaLayout { db_bytes: cfg.db_set.nominal_bytes(), replicas: cfg.replicas };
+        let layout = ReplicaLayout {
+            db_bytes: cfg.db_set.nominal_bytes(),
+            replicas: cfg.replicas,
+        };
         let slowdown = layout.slowdown(cfg.concurrent_jobs);
-        let features: Vec<FeatureSet> =
-            entries.iter().map(FeatureSet::synthetic).collect();
+        let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
         let total_node_s: f64 = entries
             .iter()
             .map(|e| {
@@ -161,6 +167,7 @@ pub mod inference {
         cfg: &Config,
         ledger: &mut Ledger,
     ) -> Report {
+        // sfcheck::allow(panic-hygiene, caller contract; features are generated one per entry upstream)
         assert_eq!(entries.len(), features.len(), "entries/features mismatch");
         let engine = InferenceEngine::new(cfg.preset, cfg.fidelity);
         let rescue_engine = engine.on_high_mem_nodes();
@@ -202,7 +209,11 @@ pub mod inference {
                     } else {
                         false
                     };
-                    failures.push(Failure { entry_index: i, error, rescued });
+                    failures.push(Failure {
+                        entry_index: i,
+                        error,
+                        rescued,
+                    });
                 }
             }
         }
@@ -352,7 +363,10 @@ mod tests {
         let reduced = feature::run(&entries, &feature::Config::paper_default(), &mut l1);
         let full = feature::run(
             &entries,
-            &feature::Config { db_set: DbSet::Full, ..feature::Config::paper_default() },
+            &feature::Config {
+                db_set: DbSet::Full,
+                ..feature::Config::paper_default()
+            },
             &mut l2,
         );
         assert!(full.node_hours > reduced.node_hours * 1.5);
@@ -388,10 +402,16 @@ mod tests {
         // If any target is long enough, it fails; rescue turned off here.
         for f in &report.failures {
             assert!(!f.rescued);
-            assert!(entries[f.entry_index].sequence.len() > 700, "only the longest sequences OOM");
+            assert!(
+                entries[f.entry_index].sequence.len() > 700,
+                "only the longest sequences OOM"
+            );
         }
         // With rescue, everything completes.
-        let cfg = inference::Config { rescue_on_high_mem: true, ..cfg };
+        let cfg = inference::Config {
+            rescue_on_high_mem: true,
+            ..cfg
+        };
         let mut ledger2 = Ledger::new();
         let report2 = inference::run(&entries, &features.features, &cfg, &mut ledger2);
         assert_eq!(
@@ -418,7 +438,11 @@ mod tests {
             })
             .collect();
         let mut ledger = Ledger::new();
-        let report = relax_stage::run(&structures, &relax_stage::Config::paper_default(), &mut ledger);
+        let report = relax_stage::run(
+            &structures,
+            &relax_stage::Config::paper_default(),
+            &mut ledger,
+        );
         assert_eq!(report.outcomes.len(), structures.len());
         for o in &report.outcomes {
             assert_eq!(o.final_violations.clashes, 0, "clashes removed");

@@ -12,31 +12,49 @@
 //! them to give synthetic proteomes realistic composition-dependent
 //! behaviour (e.g. heavy-atom counts drive Fig 4's relaxation cost axis).
 
-use serde::{Deserialize, Serialize};
-
 /// One of the twenty standard proteinogenic amino acids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum AminoAcid {
+    /// Alanine (A).
     Ala,
+    /// Arginine (R).
     Arg,
+    /// Asparagine (N).
     Asn,
+    /// Aspartate (D).
     Asp,
+    /// Cysteine (C).
     Cys,
+    /// Glutamine (Q).
     Gln,
+    /// Glutamate (E).
     Glu,
+    /// Glycine (G).
     Gly,
+    /// Histidine (H).
     His,
+    /// Isoleucine (I).
     Ile,
+    /// Leucine (L).
     Leu,
+    /// Lysine (K).
     Lys,
+    /// Methionine (M).
     Met,
+    /// Phenylalanine (F).
     Phe,
+    /// Proline (P).
     Pro,
+    /// Serine (S).
     Ser,
+    /// Threonine (T).
     Thr,
+    /// Tryptophan (W).
     Trp,
+    /// Tyrosine (Y).
     Tyr,
+    /// Valine (V).
     Val,
 }
 
@@ -228,7 +246,10 @@ mod tests {
     fn roundtrip_one_letter_codes() {
         for aa in ALL {
             assert_eq!(AminoAcid::from_code(aa.code()), Some(aa));
-            assert_eq!(AminoAcid::from_code(aa.code().to_ascii_lowercase()), Some(aa));
+            assert_eq!(
+                AminoAcid::from_code(aa.code().to_ascii_lowercase()),
+                Some(aa)
+            );
         }
     }
 

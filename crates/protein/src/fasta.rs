@@ -11,11 +11,22 @@ use crate::seq::{ParseSeqError, Sequence};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FastaError {
     /// Sequence data appeared before any `>` header line.
-    DataBeforeHeader { line: usize },
+    DataBeforeHeader {
+        /// 1-based line number of the offending data.
+        line: usize,
+    },
     /// A residue character was not a standard amino acid.
-    BadResidue { record: String, source: ParseSeqError },
+    BadResidue {
+        /// Id of the record being parsed.
+        record: String,
+        /// The underlying residue parse error.
+        source: ParseSeqError,
+    },
     /// A header introduced a record with no residues.
-    EmptyRecord { record: String },
+    EmptyRecord {
+        /// Id of the empty record.
+        record: String,
+    },
 }
 
 impl std::fmt::Display for FastaError {
@@ -93,7 +104,7 @@ pub fn format(seqs: &[Sequence]) -> String {
         out.push('\n');
         let letters = seq.to_letters();
         for chunk in letters.as_bytes().chunks(60) {
-            out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
+            out.push_str(&String::from_utf8_lossy(chunk));
             out.push('\n');
         }
     }
@@ -155,12 +166,18 @@ mod tests {
 
     #[test]
     fn empty_record_is_error() {
-        assert!(matches!(parse(">a\n>b\nACD\n"), Err(FastaError::EmptyRecord { .. })));
+        assert!(matches!(
+            parse(">a\n>b\nACD\n"),
+            Err(FastaError::EmptyRecord { .. })
+        ));
     }
 
     #[test]
     fn bad_residue_is_error() {
-        assert!(matches!(parse(">a\nACDZ\n"), Err(FastaError::BadResidue { .. })));
+        assert!(matches!(
+            parse(">a\nACDZ\n"),
+            Err(FastaError::BadResidue { .. })
+        ));
     }
 
     #[test]

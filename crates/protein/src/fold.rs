@@ -33,8 +33,11 @@ use crate::structure::Structure;
 /// Secondary-structure state of a residue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ss {
+    /// Alpha helix.
     Helix,
+    /// Beta sheet.
     Sheet,
+    /// Random coil.
     Coil,
 }
 
@@ -60,10 +63,8 @@ pub fn secondary_structure(seq: &Sequence) -> Vec<Ss> {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
         let window = &seq.residues[lo..hi];
-        let h: f64 =
-            window.iter().map(|a| a.helix_propensity()).sum::<f64>() / window.len() as f64;
-        let e: f64 =
-            window.iter().map(|a| a.sheet_propensity()).sum::<f64>() / window.len() as f64;
+        let h: f64 = window.iter().map(|a| a.helix_propensity()).sum::<f64>() / window.len() as f64;
+        let e: f64 = window.iter().map(|a| a.sheet_propensity()).sum::<f64>() / window.len() as f64;
         *slot = if h >= e && h > 1.03 {
             Ss::Helix
         } else if e > h && e > 1.03 {
@@ -249,7 +250,11 @@ fn compact(
         let com = crate::geom::centroid(ca);
         let rg = radius_of_gyration(ca);
         // Centripetal pull, active only while the chain is too extended.
-        let pull = if rg > target_rg { 0.08 * (1.0 - target_rg / rg) } else { 0.0 };
+        let pull = if rg > target_rg {
+            0.08 * (1.0 - target_rg / rg)
+        } else {
+            0.0
+        };
         for d in disp.iter_mut() {
             *d = Vec3::ZERO;
         }
@@ -280,8 +285,7 @@ fn compact(
         // linkers absorb most of the bending while excluded volume can
         // still separate interpenetrating elements.
         for &(a, b) in elements {
-            let mean = disp[a..b].iter().fold(Vec3::ZERO, |acc, &d| acc + d)
-                / (b - a) as f64;
+            let mean = disp[a..b].iter().fold(Vec3::ZERO, |acc, &d| acc + d) / (b - a) as f64;
             for d in &mut disp[a..b] {
                 *d = mean * 0.75 + *d * 0.25;
             }
@@ -348,7 +352,11 @@ fn place_sidechains(ca: &[Vec3], residues: &[AminoAcid]) -> Vec<Vec3> {
             } else {
                 bisector
             };
-            let dir = if dir == Vec3::ZERO { Vec3::new(0.0, 0.0, 1.0) } else { dir };
+            let dir = if dir == Vec3::ZERO {
+                Vec3::new(0.0, 0.0, 1.0)
+            } else {
+                dir
+            };
             ca[i] + dir * extent
         })
         .collect()
@@ -432,7 +440,10 @@ mod tests {
         let helix = ss.iter().filter(|s| **s == Ss::Helix).count();
         let sheet = ss.iter().filter(|s| **s == Ss::Sheet).count();
         let coil = ss.iter().filter(|s| **s == Ss::Coil).count();
-        assert!(helix > 0 && sheet > 0 && coil > 0, "h={helix} e={sheet} c={coil}");
+        assert!(
+            helix > 0 && sheet > 0 && coil > 0,
+            "h={helix} e={sheet} c={coil}"
+        );
     }
 
     #[test]

@@ -4,32 +4,42 @@
 //! scoring crate (Kabsch/TM-score) and the relaxation force field need.
 //! All math is `f64`; protein coordinates live in Ångström units.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A 3-vector (Å).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
+    /// X component (Å).
     pub x: f64,
+    /// Y component (Å).
     pub y: f64,
+    /// Z component (Å).
     pub z: f64,
 }
 
 impl Vec3 {
-    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
+    /// Construct a vector from its components.
     #[inline]
     #[must_use]
     pub fn new(x: f64, y: f64, z: f64) -> Self {
         Self { x, y, z }
     }
 
+    /// Dot product.
     #[inline]
     #[must_use]
     pub fn dot(self, o: Self) -> f64 {
         self.x * o.x + self.y * o.y + self.z * o.z
     }
 
+    /// Cross product (right-handed).
     #[inline]
     #[must_use]
     pub fn cross(self, o: Self) -> Self {
@@ -40,12 +50,14 @@ impl Vec3 {
         )
     }
 
+    /// Squared Euclidean norm.
     #[inline]
     #[must_use]
     pub fn norm_sq(self) -> f64 {
         self.dot(self)
     }
 
+    /// Euclidean norm.
     #[inline]
     #[must_use]
     pub fn norm(self) -> f64 {
@@ -64,12 +76,14 @@ impl Vec3 {
         }
     }
 
+    /// Euclidean distance to another point.
     #[inline]
     #[must_use]
     pub fn dist(self, o: Self) -> f64 {
         (self - o).norm()
     }
 
+    /// Squared distance to another point (no square root).
     #[inline]
     #[must_use]
     pub fn dist_sq(self, o: Self) -> f64 {
@@ -150,15 +164,19 @@ impl Neg for Vec3 {
 }
 
 /// Row-major 3×3 matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat3 {
+    /// Matrix entries, `m[row][col]`.
     pub m: [[f64; 3]; 3],
 }
 
 impl Mat3 {
-    pub const IDENTITY: Self =
-        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
 
+    /// Build a matrix from its three rows.
     #[must_use]
     pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
         Self {
@@ -186,6 +204,7 @@ impl Mat3 {
         }
     }
 
+    /// Matrix transpose (the inverse, for rotations).
     #[must_use]
     pub fn transpose(self) -> Self {
         let m = self.m;
@@ -198,6 +217,7 @@ impl Mat3 {
         }
     }
 
+    /// Determinant (+1 for proper rotations, -1 for reflections).
     #[must_use]
     pub fn det(self) -> f64 {
         let m = self.m;

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-protein
 //!
 //! Base substrate for the summitfold workspace: amino-acid types, protein

@@ -14,9 +14,19 @@ use crate::structure::Structure;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PdbError {
     /// A coordinate or serial field failed to parse.
-    BadField { line: usize, what: &'static str },
+    BadField {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// Which field failed.
+        what: &'static str,
+    },
     /// Unknown residue name in an ATOM record.
-    BadResidue { line: usize, name: String },
+    BadResidue {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// The unrecognized residue name.
+        name: String,
+    },
     /// SDCN records did not match ATOM records one-to-one.
     MismatchedSidechains,
 }
@@ -79,10 +89,13 @@ pub fn parse(text: &str) -> Result<Structure, PdbError> {
             id = rest.trim().to_owned();
         } else if line.starts_with("ATOM") {
             let (aa, pos) = parse_coords(line, n)?;
-            let b: f64 = line
-                .get(60..66)
-                .and_then(|f| f.trim().parse().ok())
-                .ok_or(PdbError::BadField { line: n, what: "b-factor" })?;
+            let b: f64 =
+                line.get(60..66)
+                    .and_then(|f| f.trim().parse().ok())
+                    .ok_or(PdbError::BadField {
+                        line: n,
+                        what: "b-factor",
+                    })?;
             residues.push(aa);
             ca.push(pos);
             plddt.push(b);
@@ -104,13 +117,19 @@ pub fn parse(text: &str) -> Result<Structure, PdbError> {
 fn parse_coords(line: &str, n: usize) -> Result<(AminoAcid, Vec3), PdbError> {
     let resname = line
         .get(17..20)
-        .ok_or(PdbError::BadField { line: n, what: "residue name" })?
+        .ok_or(PdbError::BadField {
+            line: n,
+            what: "residue name",
+        })?
         .trim();
     let aa = crate::aa::ALL
         .iter()
         .copied()
         .find(|a| a.code3() == resname)
-        .ok_or_else(|| PdbError::BadResidue { line: n, name: resname.to_owned() })?;
+        .ok_or_else(|| PdbError::BadResidue {
+            line: n,
+            name: resname.to_owned(),
+        })?;
     let coord = |lo: usize, hi: usize, what: &'static str| -> Result<f64, PdbError> {
         line.get(lo..hi)
             .and_then(|f| f.trim().parse().ok())

@@ -22,10 +22,9 @@ use crate::fold;
 use crate::rng::{fnv1a, Xoshiro256};
 use crate::seq::Sequence;
 use crate::structure::Structure;
-use serde::{Deserialize, Serialize};
 
 /// One of the four organisms from the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Species {
     /// *Pseudodesulfovibrio mercurii* — mercury-methylating bacterium.
     PMercurii,
@@ -39,8 +38,12 @@ pub enum Species {
 
 impl Species {
     /// All four species in paper order.
-    pub const ALL: [Species; 4] =
-        [Species::PMercurii, Species::RRubrum, Species::DVulgaris, Species::SDivinum];
+    pub const ALL: [Species; 4] = [
+        Species::PMercurii,
+        Species::RRubrum,
+        Species::DVulgaris,
+        Species::SDivinum,
+    ];
 
     /// Number of proteins (< 2500 residues) the paper predicted.
     #[must_use]
@@ -107,7 +110,7 @@ impl Species {
 
 /// How a protein relates to the fold-family universe (see
 /// [`crate::family`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Origin {
     /// Member of a known fold family: its true fold is a deformation of
     /// the family representative, and its sequence is a divergent copy of
@@ -129,7 +132,7 @@ pub enum Origin {
 }
 
 /// A protein entry in a proteome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProteinEntry {
     /// The sequence (id, description, residues).
     pub sequence: Sequence,
@@ -154,7 +157,12 @@ impl ProteinEntry {
     #[must_use]
     pub fn true_fold(&self) -> Structure {
         match self.origin {
-            Origin::FamilyMember { family_id, deformation_rms, member_seed, .. } => {
+            Origin::FamilyMember {
+                family_id,
+                deformation_rms,
+                member_seed,
+                ..
+            } => {
                 let fam = Family::new(family_id, self.sequence.len());
                 let mut s = fam.member_fold(member_seed, deformation_rms);
                 s.id = self.sequence.id.clone();
@@ -181,9 +189,11 @@ impl ProteinEntry {
 }
 
 /// A full synthetic proteome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Proteome {
+    /// Which organism this proteome models.
     pub species: Species,
+    /// Every protein in the proteome.
     pub proteins: Vec<ProteinEntry>,
 }
 
@@ -217,6 +227,7 @@ impl Proteome {
     /// distributions; tests and quick examples use `scale < 1`.
     #[must_use]
     pub fn generate_scaled(species: Species, scale: f64) -> Self {
+        // sfcheck::allow(panic-hygiene, caller contract documented on the function)
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         let count = ((species.protein_count() as f64 * scale).round() as usize).max(1);
         let mut rng = Xoshiro256::seed_from_u64(fnv1a(species.tag().as_bytes()));
@@ -235,9 +246,12 @@ impl Proteome {
             let id = format!("{}_{:05}", species.tag(), i + 1);
             let origin = sample_origin(&mut rng, &id, len, hypothetical);
             let mut seq = match origin {
-                Origin::FamilyMember { family_id, divergence, member_seed, .. } => {
-                    Family::new(family_id, len).member_sequence(member_seed, divergence, &id)
-                }
+                Origin::FamilyMember {
+                    family_id,
+                    divergence,
+                    member_seed,
+                    ..
+                } => Family::new(family_id, len).member_sequence(member_seed, divergence, &id),
                 Origin::Orphan => Sequence::random(&id, len, &mut rng),
             };
             seq.description = if hypothetical {
@@ -248,9 +262,18 @@ impl Proteome {
             // Eukaryotic sequences have systematically shallower MSAs in
             // the paper's databases; this drives §4.3.1's lower confidence
             // statistics relative to Table 1's prokaryote benchmark.
-            let (mu, sd) = if species.is_eukaryote() { (0.52, 0.22) } else { (0.68, 0.18) };
+            let (mu, sd) = if species.is_eukaryote() {
+                (0.52, 0.22)
+            } else {
+                (0.68, 0.18)
+            };
             let msa_richness = rng.normal(mu, sd).clamp(0.0, 1.0);
-            proteins.push(ProteinEntry { sequence: seq, hypothetical, origin, msa_richness });
+            proteins.push(ProteinEntry {
+                sequence: seq,
+                hypothetical,
+                origin,
+                msa_richness,
+            });
         }
         Self { species, proteins }
     }
@@ -273,7 +296,10 @@ impl Proteome {
         if self.proteins.is_empty() {
             return 0.0;
         }
-        self.proteins.iter().map(|p| p.sequence.len() as f64).sum::<f64>()
+        self.proteins
+            .iter()
+            .map(|p| p.sequence.len() as f64)
+            .sum::<f64>()
             / self.proteins.len() as f64
     }
 
@@ -322,8 +348,11 @@ fn sample_origin(rng: &mut Xoshiro256, id: &str, len: usize, hypothetical: bool)
         } else {
             rng.range(0.20, 0.35)
         };
-        deformation_rms =
-            if rng.uniform() < 0.08 { rng.range(3.5, 5.5) } else { rng.range(0.6, 2.2) };
+        deformation_rms = if rng.uniform() < 0.08 {
+            rng.range(3.5, 5.5)
+        } else {
+            rng.range(0.6, 2.2)
+        };
     } else {
         identity = rng.range(0.30, 0.90);
         deformation_rms = rng.range(0.4, 1.8);
@@ -373,7 +402,10 @@ mod tests {
         assert!((mean - 300.0).abs() < 45.0, "mean length {mean}");
         let hyp = p.hypothetical_set().len();
         // Binomial(3205, 559/3205) — expect close to 559.
-        assert!((hyp as f64 - 559.0).abs() < 70.0, "hypothetical count {hyp}");
+        assert!(
+            (hyp as f64 - 559.0).abs() < 70.0,
+            "hypothetical count {hyp}"
+        );
     }
 
     #[test]

@@ -2,10 +2,9 @@
 
 use crate::aa::{AminoAcid, ALL, BACKGROUND_FREQ};
 use crate::rng::{fnv1a, Xoshiro256};
-use serde::{Deserialize, Serialize};
 
 /// A named protein sequence.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sequence {
     /// Stable identifier, e.g. `DVU_0042`.
     pub id: String,
@@ -26,7 +25,11 @@ pub struct ParseSeqError {
 
 impl std::fmt::Display for ParseSeqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid residue character {:?} at position {}", self.ch, self.pos)
+        write!(
+            f,
+            "invalid residue character {:?} at position {}",
+            self.ch, self.pos
+        )
     }
 }
 
@@ -46,7 +49,11 @@ impl Sequence {
                 None => return Err(ParseSeqError { ch, pos }),
             }
         }
-        Ok(Self { id: id.to_owned(), description: description.to_owned(), residues })
+        Ok(Self {
+            id: id.to_owned(),
+            description: description.to_owned(),
+            residues,
+        })
     }
 
     /// Number of residues.
@@ -71,7 +78,10 @@ impl Sequence {
     /// paper uses for relaxation cost (Fig 4).
     #[must_use]
     pub fn heavy_atoms(&self) -> u64 {
-        self.residues.iter().map(|aa| u64::from(aa.heavy_atoms())).sum()
+        self.residues
+            .iter()
+            .map(|aa| u64::from(aa.heavy_atoms()))
+            .sum()
     }
 
     /// A stable 64-bit hash of the residue content (not the id), used to
@@ -87,9 +97,14 @@ impl Sequence {
     /// background composition.
     #[must_use]
     pub fn random(id: &str, len: usize, rng: &mut Xoshiro256) -> Self {
-        let residues =
-            (0..len).map(|_| ALL[rng.weighted_index(&BACKGROUND_FREQ)]).collect();
-        Self { id: id.to_owned(), description: String::new(), residues }
+        let residues = (0..len)
+            .map(|_| ALL[rng.weighted_index(&BACKGROUND_FREQ)])
+            .collect();
+        Self {
+            id: id.to_owned(),
+            description: String::new(),
+            residues,
+        }
     }
 
     /// Produce a mutated copy: each residue is substituted with probability
@@ -114,7 +129,11 @@ impl Sequence {
                 }
             })
             .collect();
-        Self { id: id.to_owned(), description: self.description.clone(), residues }
+        Self {
+            id: id.to_owned(),
+            description: self.description.clone(),
+            residues,
+        }
     }
 
     /// Fraction of identical positions against another sequence of the same
@@ -122,7 +141,12 @@ impl Sequence {
     /// gapped case use the alignment in `summitfold-msa`.
     #[must_use]
     pub fn identity_to(&self, other: &Self) -> f64 {
-        assert_eq!(self.len(), other.len(), "identity_to requires equal lengths");
+        // sfcheck::allow(panic-hygiene, documented panic; ungapped identity needs equal lengths)
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "identity_to requires equal lengths"
+        );
         if self.is_empty() {
             return 1.0;
         }

@@ -37,7 +37,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -52,6 +52,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 /// the slices are shorter than 2.
 #[must_use]
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    // sfcheck::allow(panic-hygiene, caller contract; correlation over mismatched samples is undefined)
     assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
     if xs.len() < 2 {
         return 0.0;

@@ -10,11 +10,10 @@
 
 use crate::aa::AminoAcid;
 use crate::geom::{centroid, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A predicted or reference protein structure at Cα + side-chain-centroid
 /// resolution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Structure {
     /// Identifier of the underlying target (usually the sequence id).
     pub id: String,
@@ -32,9 +31,21 @@ impl Structure {
     /// Assemble a structure, checking that all arrays are parallel.
     #[must_use]
     pub fn new(id: &str, residues: Vec<AminoAcid>, ca: Vec<Vec3>, sidechain: Vec<Vec3>) -> Self {
+        // sfcheck::allow(panic-hygiene, constructor contract; parallel arrays are the type invariant)
         assert_eq!(residues.len(), ca.len(), "residues vs ca length mismatch");
-        assert_eq!(residues.len(), sidechain.len(), "residues vs sidechain length mismatch");
-        Self { id: id.to_owned(), residues, ca, sidechain, plddt: None }
+        // sfcheck::allow(panic-hygiene, constructor contract; parallel arrays are the type invariant)
+        assert_eq!(
+            residues.len(),
+            sidechain.len(),
+            "residues vs sidechain length mismatch"
+        );
+        Self {
+            id: id.to_owned(),
+            residues,
+            ca,
+            sidechain,
+            plddt: None,
+        }
     }
 
     /// Number of residues.
@@ -53,7 +64,10 @@ impl Structure {
     /// the x-axis of the paper's Fig 4.
     #[must_use]
     pub fn heavy_atoms(&self) -> u64 {
-        self.residues.iter().map(|aa| u64::from(aa.heavy_atoms())).sum()
+        self.residues
+            .iter()
+            .map(|aa| u64::from(aa.heavy_atoms()))
+            .sum()
     }
 
     /// Centroid of the Cα trace.
@@ -155,7 +169,11 @@ mod tests {
         let mut s = sample_structure();
         assert_eq!(s.mean_plddt(), None);
         let n = s.len();
-        s.plddt = Some((0..n).map(|i| if i < n / 2 { 95.0 } else { 50.0 }).collect());
+        s.plddt = Some(
+            (0..n)
+                .map(|i| if i < n / 2 { 95.0 } else { 50.0 })
+                .collect(),
+        );
         let mean = s.mean_plddt().unwrap();
         assert!((mean - 72.5).abs() < 1.0);
         let cov = s.plddt_coverage(70.0).unwrap();

@@ -61,7 +61,12 @@ impl System {
         pos.extend_from_slice(&s.ca);
         pos.extend_from_slice(&s.sidechain);
         let sc_ideal = (0..n).map(|i| ideal_sidechain(s, i)).collect();
-        Self { n, anchor: pos.clone(), pos, sc_ideal }
+        Self {
+            n,
+            anchor: pos.clone(),
+            pos,
+            sc_ideal,
+        }
     }
 
     /// Write the (possibly minimized) coordinates back into a copy of the
@@ -151,7 +156,11 @@ fn ideal_sidechain(s: &Structure, i: usize) -> Vec3 {
     let prev = if i > 0 { s.ca[i - 1] } else { s.ca[i] };
     let next = if i + 1 < n { s.ca[i + 1] } else { s.ca[i] };
     let bis = ((s.ca[i] - prev).normalized() + (s.ca[i] - next).normalized()).normalized();
-    let dir = if bis == Vec3::ZERO { Vec3::new(0.0, 0.0, 1.0) } else { bis };
+    let dir = if bis == Vec3::ZERO {
+        Vec3::new(0.0, 0.0, 1.0)
+    } else {
+        bis
+    };
     s.ca[i] + dir * ext
 }
 
@@ -203,7 +212,11 @@ mod tests {
         // Perturb away from the anchor so all terms are active.
         let mut rng = Xoshiro256::seed_from_u64(33);
         for p in &mut sys.pos {
-            *p += Vec3::new(rng.range(-0.5, 0.5), rng.range(-0.5, 0.5), rng.range(-0.5, 0.5));
+            *p += Vec3::new(
+                rng.range(-0.5, 0.5),
+                rng.range(-0.5, 0.5),
+                rng.range(-0.5, 0.5),
+            );
         }
         let mut grad = Vec::new();
         let e0 = sys.energy_and_gradient(&mut grad);

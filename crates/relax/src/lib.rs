@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-relax
 //!
 //! Geometry optimization ("relaxation"): the final stage of the pipeline

@@ -73,7 +73,12 @@ pub fn minimize(sys: &mut System) -> MinimizeResult {
             }
             // Velocity mixing toward the force direction.
             let vnorm: f64 = vel.iter().map(|v| v.norm_sq()).sum::<f64>().sqrt();
-            let fnorm: f64 = grad.iter().map(|g| g.norm_sq()).sum::<f64>().sqrt().max(1e-12);
+            let fnorm: f64 = grad
+                .iter()
+                .map(|g| g.norm_sq())
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-12);
             for (v, g) in vel.iter_mut().zip(&grad) {
                 *v = *v * (1.0 - alpha) + (-*g) * (alpha * vnorm / fnorm);
             }
@@ -92,7 +97,11 @@ pub fn minimize(sys: &mut System) -> MinimizeResult {
         for (p, v) in sys.pos.iter_mut().zip(&vel) {
             let step = *v * dt;
             let norm = step.norm();
-            let capped = if norm > 0.5 { step * (0.5 / norm) } else { step };
+            let capped = if norm > 0.5 {
+                step * (0.5 / norm)
+            } else {
+                step
+            };
             *p += capped;
         }
 
@@ -113,7 +122,12 @@ pub fn minimize(sys: &mut System) -> MinimizeResult {
         prev_energy = energy;
     }
 
-    MinimizeResult { energy_initial, energy_final: prev_energy, iterations, converged }
+    MinimizeResult {
+        energy_initial,
+        energy_final: prev_energy,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +157,12 @@ mod tests {
         let s = with_planted_clash(structure(80, 1));
         let mut sys = System::from_structure(&s);
         let r = minimize(&mut sys);
-        assert!(r.energy_final <= r.energy_initial, "{} -> {}", r.energy_initial, r.energy_final);
+        assert!(
+            r.energy_final <= r.energy_initial,
+            "{} -> {}",
+            r.energy_initial,
+            r.energy_final
+        );
         assert!(r.converged);
     }
 
@@ -154,7 +173,11 @@ mod tests {
         let mut sys = System::from_structure(&s);
         minimize(&mut sys);
         let relaxed = sys.to_structure(&s);
-        assert_eq!(count_violations(&relaxed).clashes, 0, "clash must be resolved");
+        assert_eq!(
+            count_violations(&relaxed).clashes,
+            0,
+            "clash must be resolved"
+        );
     }
 
     #[test]
@@ -164,7 +187,11 @@ mod tests {
         let mut sys = System::from_structure(&s);
         minimize(&mut sys);
         let relaxed = sys.to_structure(&s);
-        let moved: Vec<f64> = s.ca.iter().zip(&relaxed.ca).map(|(a, b)| a.dist(*b)).collect();
+        let moved: Vec<f64> =
+            s.ca.iter()
+                .zip(&relaxed.ca)
+                .map(|(a, b)| a.dist(*b))
+                .collect();
         let mean_move = summitfold_protein::stats::mean(&moved);
         assert!(mean_move < 1.0, "mean displacement {mean_move} Å");
     }
@@ -175,7 +202,11 @@ mod tests {
         let mut sys = System::from_structure(&s);
         let r = minimize(&mut sys);
         assert!(r.converged);
-        assert!(r.iterations < 500, "clean structure took {} iterations", r.iterations);
+        assert!(
+            r.iterations < 500,
+            "clean structure took {} iterations",
+            r.iterations
+        );
     }
 
     #[test]
@@ -194,7 +225,12 @@ mod tests {
         let mut sys_clash = System::from_structure(&clashed);
         let rc = minimize(&mut sys_clean);
         let rx = minimize(&mut sys_clash);
-        assert!(rx.iterations > rc.iterations, "{} !> {}", rx.iterations, rc.iterations);
+        assert!(
+            rx.iterations > rc.iterations,
+            "{} !> {}",
+            rx.iterations,
+            rc.iterations
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ mod tests {
             .collect();
         let after: Vec<f64> = structures
             .iter()
-            .map(|(s, _)| relax(s, Protocol::OptimizedSinglePass).final_violations.bumps as f64)
+            .map(|(s, _)| {
+                relax(s, Protocol::OptimizedSinglePass)
+                    .final_violations
+                    .bumps as f64
+            })
             .collect();
         assert!(
             stats::mean(&after) < stats::mean(&before),
@@ -219,7 +223,10 @@ mod tests {
             if after > before {
                 improvements += 1;
             }
-            assert!(after > before - 0.05, "SPECS collapsed: {before:.3} -> {after:.3}");
+            assert!(
+                after > before - 0.05,
+                "SPECS collapsed: {before:.3} -> {after:.3}"
+            );
         }
         assert!(improvements >= 5, "only {improvements}/10 improved");
     }

@@ -101,10 +101,16 @@ mod tests {
             .find(|e| e.sequence.len() >= 300)
             .expect("a 300+ residue protein exists");
         let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
-        let p = engine.predict(entry, &FeatureSet::synthetic(entry), ModelId(1)).unwrap();
+        let p = engine
+            .predict(entry, &FeatureSet::synthetic(entry), ModelId(1))
+            .unwrap();
         let s = p.structure.unwrap();
         let atoms = s.heavy_atoms();
-        (relax(&s, Protocol::Af2Loop), relax(&s, Protocol::OptimizedSinglePass), atoms)
+        (
+            relax(&s, Protocol::Af2Loop),
+            relax(&s, Protocol::OptimizedSinglePass),
+            atoms,
+        )
     }
 
     #[test]

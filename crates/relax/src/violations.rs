@@ -121,11 +121,20 @@ mod tests {
 
     #[test]
     fn clashed_classification_thresholds() {
-        let v = Violations { clashes: 5, bumps: 5 };
+        let v = Violations {
+            clashes: 5,
+            bumps: 5,
+        };
         assert!(v.is_clashed());
-        let v = Violations { clashes: 0, bumps: 51 };
+        let v = Violations {
+            clashes: 0,
+            bumps: 51,
+        };
         assert!(v.is_clashed());
-        let v = Violations { clashes: 4, bumps: 50 };
+        let v = Violations {
+            clashes: 4,
+            bumps: 50,
+        };
         assert!(!v.is_clashed());
         let v = Violations::default();
         assert!(v.is_clean() && !v.is_clashed());

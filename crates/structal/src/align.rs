@@ -49,10 +49,16 @@ pub fn structural_align(
 ) -> Alignment {
     let n = query.len();
     let m = template.len();
+    // sfcheck::allow(panic-hygiene, caller contract; structural alignment of nothing is undefined)
     assert!(n > 0 && m > 0, "cannot align empty structures");
     let d0 = tm_d0(n);
 
-    let mut best = Alignment { tm_query: 0.0, pairs: Vec::new(), seq_identity: 0.0, rmsd: 0.0 };
+    let mut best = Alignment {
+        tm_query: 0.0,
+        pairs: Vec::new(),
+        seq_identity: 0.0,
+        rmsd: 0.0,
+    };
 
     // Gapless threading seeds: offsets that give at least `min_overlap`.
     let min_overlap = 12.min(n.min(m));
@@ -98,7 +104,12 @@ fn refine(
 ) -> Alignment {
     let n = query.len();
     let m = template.len();
-    let mut best = Alignment { tm_query: 0.0, pairs: Vec::new(), seq_identity: 0.0, rmsd: 0.0 };
+    let mut best = Alignment {
+        tm_query: 0.0,
+        pairs: Vec::new(),
+        seq_identity: 0.0,
+        rmsd: 0.0,
+    };
     for _ in 0..6 {
         if pairs.len() < 3 {
             break;
@@ -115,7 +126,12 @@ fn refine(
             .sum::<f64>()
             / n as f64;
         if tm > best.tm_query {
-            best = Alignment { tm_query: tm, pairs: pairs.clone(), seq_identity: 0.0, rmsd: sup.rmsd };
+            best = Alignment {
+                tm_query: tm,
+                pairs: pairs.clone(),
+                seq_identity: 0.0,
+                rmsd: sup.rmsd,
+            };
         }
 
         // Re-align with DP on the proximity score matrix.

@@ -59,7 +59,10 @@ impl Distogram {
                 *c /= pairs as f64;
             }
         }
-        Self { bins: counts, pairs }
+        Self {
+            bins: counts,
+            pairs,
+        }
     }
 
     /// Total-variation-style distance between two distograms: half the sum
@@ -81,6 +84,7 @@ impl Distogram {
 /// `super`). Returns 0.0 for chains with fewer than 3 residues.
 #[must_use]
 pub fn mean_distance_change(prev: &[Vec3], cur: &[Vec3]) -> f64 {
+    // sfcheck::allow(panic-hygiene, caller contract; both conformations describe the same chain)
     assert_eq!(prev.len(), cur.len(), "conformations must match in length");
     let n = prev.len();
     if n < 3 {

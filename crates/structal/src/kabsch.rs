@@ -40,7 +40,9 @@ impl Superposition {
 /// minimizing RMSD. Panics if the slices differ in length or are empty.
 #[must_use]
 pub fn superpose(mobile: &[Vec3], reference: &[Vec3]) -> Superposition {
+    // sfcheck::allow(panic-hygiene, documented panic; point sets correspond by index)
     assert_eq!(mobile.len(), reference.len(), "point sets must correspond");
+    // sfcheck::allow(panic-hygiene, documented panic; superposing nothing is undefined)
     assert!(!mobile.is_empty(), "cannot superpose empty point sets");
     let cm = centroid(mobile);
     let cr = centroid(reference);
@@ -80,7 +82,11 @@ pub fn superpose(mobile: &[Vec3], reference: &[Vec3]) -> Superposition {
         ss += t.dist_sq(*r);
     }
     let rmsd = (ss / mobile.len() as f64).sqrt();
-    Superposition { rotation, translation, rmsd }
+    Superposition {
+        rotation,
+        translation,
+        rmsd,
+    }
 }
 
 /// RMSD between corresponding points *after* optimal superposition.
@@ -163,7 +169,9 @@ fn dominant_eigenvector4(k: &[[f64; 4]; 4]) -> [f64; 4] {
 /// Unit quaternion `(w, x, y, z)` → rotation matrix.
 fn quaternion_to_matrix(q: [f64; 4]) -> Mat3 {
     let [w, x, y, z] = q;
-    let n = (w * w + x * x + y * y + z * z).sqrt().max(f64::MIN_POSITIVE);
+    let n = (w * w + x * x + y * y + z * z)
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
     let (w, x, y, z) = (w / n, x / n, y / n, z / n);
     Mat3 {
         m: [
@@ -194,7 +202,13 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         (0..n)
-            .map(|_| Vec3::new(rng.range(-10.0, 10.0), rng.range(-10.0, 10.0), rng.range(-10.0, 10.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.range(-10.0, 10.0),
+                    rng.range(-10.0, 10.0),
+                    rng.range(-10.0, 10.0),
+                )
+            })
             .collect()
     }
 
@@ -205,7 +219,11 @@ mod tests {
             let mut rng = Xoshiro256::seed_from_u64(seed + 100);
             let axis = Vec3::new(rng.gaussian(), rng.gaussian(), rng.gaussian());
             let r = Mat3::rotation(axis, rng.range(0.1, 3.0));
-            let t = Vec3::new(rng.range(-5.0, 5.0), rng.range(-5.0, 5.0), rng.range(-5.0, 5.0));
+            let t = Vec3::new(
+                rng.range(-5.0, 5.0),
+                rng.range(-5.0, 5.0),
+                rng.range(-5.0, 5.0),
+            );
             let moved: Vec<Vec3> = pts.iter().map(|&p| r.apply(p) + t).collect();
             let sup = superpose(&pts, &moved);
             assert!(sup.rmsd < 1e-9, "seed {seed}: rmsd {}", sup.rmsd);
@@ -242,13 +260,8 @@ mod tests {
         for seed in 0..4 {
             let a = random_points(60, seed);
             let b = random_points(60, seed + 9);
-            let raw = (a
-                .iter()
-                .zip(&b)
-                .map(|(x, y)| x.dist_sq(*y))
-                .sum::<f64>()
-                / a.len() as f64)
-                .sqrt();
+            let raw =
+                (a.iter().zip(&b).map(|(x, y)| x.dist_sq(*y)).sum::<f64>() / a.len() as f64).sqrt();
             assert!(rmsd(&a, &b) <= raw + 1e-9);
         }
     }

@@ -22,7 +22,12 @@ pub const TOLERANCES: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
 /// inclusion radius score 1.0 (nothing to violate).
 #[must_use]
 pub fn lddt_per_residue(model: &[Vec3], reference: &[Vec3]) -> Vec<f64> {
-    assert_eq!(model.len(), reference.len(), "model/reference length mismatch");
+    // sfcheck::allow(panic-hygiene, caller contract; lDDT compares corresponding residues)
+    assert_eq!(
+        model.len(),
+        reference.len(),
+        "model/reference length mismatch"
+    );
     let n = reference.len();
     let mut scores = vec![1.0f64; n];
     if n == 0 {
@@ -91,8 +96,14 @@ mod tests {
     fn superposition_free() {
         let t = trace(100, 2);
         let r = Mat3::rotation(Vec3::new(1.0, 0.2, 0.5), 1.9);
-        let moved: Vec<Vec3> = t.iter().map(|&p| r.apply(p) + Vec3::new(5.0, 5.0, 5.0)).collect();
-        assert!((lddt(&moved, &t) - 1.0).abs() < 1e-9, "rigid motion must not change lDDT");
+        let moved: Vec<Vec3> = t
+            .iter()
+            .map(|&p| r.apply(p) + Vec3::new(5.0, 5.0, 5.0))
+            .collect();
+        assert!(
+            (lddt(&moved, &t) - 1.0).abs() < 1e-9,
+            "rigid motion must not change lDDT"
+        );
     }
 
     #[test]
@@ -133,7 +144,11 @@ mod tests {
         let mut model = t.clone();
         let mut rng = Xoshiro256::seed_from_u64(60);
         for p in model[80..].iter_mut() {
-            *p += Vec3::new(rng.normal(0.0, 4.0), rng.normal(0.0, 4.0), rng.normal(0.0, 4.0));
+            *p += Vec3::new(
+                rng.normal(0.0, 4.0),
+                rng.normal(0.0, 4.0),
+                rng.normal(0.0, 4.0),
+            );
         }
         let per = lddt_per_residue(&model, &t);
         let first: f64 = per[..70].iter().sum::<f64>() / 70.0;

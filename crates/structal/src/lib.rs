@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold-structal
 //!
 //! Structural bioinformatics substrate: optimal superposition (Kabsch via

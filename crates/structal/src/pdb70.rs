@@ -64,7 +64,11 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        Self { length_ratio: 1.6, max_align: 16, top_k: 5 }
+        Self {
+            length_ratio: 1.6,
+            max_align: 16,
+            top_k: 5,
+        }
     }
 }
 
@@ -147,7 +151,7 @@ impl Pdb70 {
                 (idx, dlen + drg)
             })
             .collect();
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN descriptor"));
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
         candidates.truncate(cfg.max_align);
 
         let mut hits: Vec<Hit> = candidates
@@ -155,15 +159,14 @@ impl Pdb70 {
             .map(|(idx, _)| {
                 let e = &self.entries[idx];
                 let alignment = structural_align(query, query_seq, &e.structure, &e.sequence);
-                Hit { entry: idx, alignment, annotation: e.annotation.clone() }
+                Hit {
+                    entry: idx,
+                    alignment,
+                    annotation: e.annotation.clone(),
+                }
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.alignment
-                .tm_query
-                .partial_cmp(&a.alignment.tm_query)
-                .expect("NaN TM-score")
-        });
+        hits.sort_by(|a, b| b.alignment.tm_query.total_cmp(&a.alignment.tm_query));
         hits.truncate(cfg.top_k);
         hits
     }
@@ -203,9 +206,21 @@ mod tests {
         let hits = lib.search(&member_fold, &member_seq, &SearchConfig::default());
         assert!(!hits.is_empty());
         let top = &hits[0];
-        assert_eq!(lib.entries()[top.entry].family, fam, "top hit is the member's family");
-        assert!(top.alignment.tm_query > 0.55, "tm {}", top.alignment.tm_query);
-        assert!(top.alignment.seq_identity < 0.3, "identity {}", top.alignment.seq_identity);
+        assert_eq!(
+            lib.entries()[top.entry].family,
+            fam,
+            "top hit is the member's family"
+        );
+        assert!(
+            top.alignment.tm_query > 0.55,
+            "tm {}",
+            top.alignment.tm_query
+        );
+        assert!(
+            top.alignment.seq_identity < 0.3,
+            "identity {}",
+            top.alignment.seq_identity
+        );
         assert_eq!(top.annotation, fam.annotation());
     }
 
@@ -217,7 +232,11 @@ mod tests {
         let fold = summitfold_protein::fold::ground_truth(&seq);
         let hits = lib.search(&fold, &seq, &SearchConfig::default());
         if let Some(top) = hits.first() {
-            assert!(top.alignment.tm_query < 0.55, "tm {}", top.alignment.tm_query);
+            assert!(
+                top.alignment.tm_query < 0.55,
+                "tm {}",
+                top.alignment.tm_query
+            );
         }
     }
 
@@ -232,7 +251,11 @@ mod tests {
 
     #[test]
     fn hits_sorted_by_tm() {
-        let fams = [Family::new(1, 120), Family::new(2, 120), Family::new(3, 130)];
+        let fams = [
+            Family::new(1, 120),
+            Family::new(2, 120),
+            Family::new(3, 130),
+        ];
         let lib = library_with(&fams);
         let member_fold = fams[0].member_fold(9, 1.0);
         let member_seq = fams[0].member_sequence(9, 0.5, "q");
@@ -251,6 +274,8 @@ mod tests {
         let hits = lib.search(&q, &qs, &SearchConfig::default());
         // The 800-residue entry is outside the 1.6× window of a
         // 100-residue query and must not be aligned at all.
-        assert!(hits.iter().all(|h| lib.entries()[h.entry].structure.len() == 100));
+        assert!(hits
+            .iter()
+            .all(|h| lib.entries()[h.entry].structure.len() == 100));
     }
 }

@@ -30,6 +30,7 @@ const GDT_THRESHOLDS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
 /// Both structures must describe the same protein (equal lengths).
 #[must_use]
 pub fn specs_score(model: &Structure, native: &Structure) -> f64 {
+    // sfcheck::allow(panic-hygiene, documented contract; both structures describe the same protein)
     assert_eq!(model.len(), native.len(), "model/native length mismatch");
     let l = model.len();
     if l == 0 {

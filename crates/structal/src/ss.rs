@@ -20,11 +20,18 @@ pub fn assign(ca: &[Vec3]) -> Vec<Ss> {
     }
     // Raw per-residue signature votes.
     for i in 0..n {
-        let d13 = if i + 3 < n { Some(ca[i].dist(ca[i + 3])) } else { None };
-        let d12 = if i + 2 < n { Some(ca[i].dist(ca[i + 2])) } else { None };
+        let d13 = if i + 3 < n {
+            Some(ca[i].dist(ca[i + 3]))
+        } else {
+            None
+        };
+        let d12 = if i + 2 < n {
+            Some(ca[i].dist(ca[i + 2]))
+        } else {
+            None
+        };
         let helixish = matches!(d13, Some(d) if (4.4..6.2).contains(&d));
-        let strandish =
-            matches!(d12, Some(d) if (5.9..7.3).contains(&d)) && !helixish;
+        let strandish = matches!(d12, Some(d) if (5.9..7.3).contains(&d)) && !helixish;
         ss[i] = if helixish {
             Ss::Helix
         } else if strandish {

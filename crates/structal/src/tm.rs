@@ -39,7 +39,9 @@ pub fn tm_score_ca(model: &[Vec3], native: &[Vec3]) -> f64 {
 /// superposition-based metrics (GDT-TS) evaluate in.
 #[must_use]
 pub fn tm_superposition(model: &[Vec3], native: &[Vec3]) -> (f64, crate::kabsch::Superposition) {
+    // sfcheck::allow(panic-hygiene, caller contract; TM-score compares corresponding residues)
     assert_eq!(model.len(), native.len(), "model/native length mismatch");
+    // sfcheck::allow(panic-hygiene, caller contract; TM-score of an empty chain is undefined)
     assert!(!model.is_empty(), "empty structures");
     let l = model.len();
     let d0 = tm_d0(l);
@@ -248,17 +250,16 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(99);
         let mut prev = 1.1;
         for sigma in [0.2, 1.0, 3.0] {
-            let noisy: Vec<Vec3> = s
-                .ca
-                .iter()
-                .map(|&p| {
-                    p + Vec3::new(
-                        rng.normal(0.0, sigma),
-                        rng.normal(0.0, sigma),
-                        rng.normal(0.0, sigma),
-                    )
-                })
-                .collect();
+            let noisy: Vec<Vec3> =
+                s.ca.iter()
+                    .map(|&p| {
+                        p + Vec3::new(
+                            rng.normal(0.0, sigma),
+                            rng.normal(0.0, sigma),
+                            rng.normal(0.0, sigma),
+                        )
+                    })
+                    .collect();
             let score = tm_score_ca(&noisy, &s.ca);
             assert!(score < prev, "sigma {sigma}");
             prev = score;

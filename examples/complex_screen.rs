@@ -18,7 +18,10 @@ use summitfold::pipeline::screen::{
 use summitfold::protein::proteome::{ProteinEntry, Proteome, Species};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
     let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.05);
     let set: Vec<ProteinEntry> = proteome
         .proteins
@@ -27,21 +30,28 @@ fn main() {
         .take(n)
         .collect();
     let refs: Vec<&ProteinEntry> = set.iter().collect();
-    println!("screening {} proteins = {} pairs...\n", refs.len(), refs.len() * (refs.len() - 1) / 2);
+    println!(
+        "screening {} proteins = {} pairs...\n",
+        refs.len(),
+        refs.len() * (refs.len() - 1) / 2
+    );
 
     let mut ledger = Ledger::new();
     let report = screen_all_pairs(&refs, &ScreenConfig::default(), &mut ledger);
 
-    let mut called: Vec<_> =
-        report.calls.iter().filter(|c| c.iscore >= 0.45).collect();
-    called.sort_by(|a, b| b.iscore.partial_cmp(&a.iscore).unwrap());
+    let mut called: Vec<_> = report.calls.iter().filter(|c| c.iscore >= 0.45).collect();
+    called.sort_by(|a, b| b.iscore.total_cmp(&a.iscore));
     println!("top called interactions:");
     for c in called.iter().take(12) {
         println!(
             "  {:<28} iScore {:.3}  {}",
             c.pair_id,
             c.iscore,
-            if c.truly_interacts { "TRUE EDGE" } else { "false positive" }
+            if c.truly_interacts {
+                "TRUE EDGE"
+            } else {
+                "false positive"
+            }
         );
     }
     println!(

@@ -15,15 +15,28 @@ use summitfold::pipeline::annotate::{annotate_hypothetical, AnnotationConfig};
 use summitfold::protein::proteome::{ProteinEntry, Proteome, Species};
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
     let proteome = Proteome::generate(Species::DVulgaris);
-    let queries: Vec<&ProteinEntry> =
-        proteome.proteins.iter().filter(|e| e.hypothetical).take(count).collect();
-    println!("searching {} hypothetical proteins against pdb70...\n", queries.len());
+    let queries: Vec<&ProteinEntry> = proteome
+        .proteins
+        .iter()
+        .filter(|e| e.hypothetical)
+        .take(count)
+        .collect();
+    println!(
+        "searching {} hypothetical proteins against pdb70...\n",
+        queries.len()
+    );
 
     let report = annotate_hypothetical(&queries, &AnnotationConfig::default());
 
-    println!("{:<12} {:>6} {:>7} {:>7} {:>7}  annotation", "id", "len", "pLDDT", "TM", "seqid");
+    println!(
+        "{:<12} {:>6} {:>7} {:>7} {:>7}  annotation",
+        "id", "len", "pLDDT", "TM", "seqid"
+    );
     for (entry, q) in queries.iter().zip(&report.per_query) {
         println!(
             "{:<12} {:>6} {:>7.1} {:>7.3} {:>6.0}%  {}",

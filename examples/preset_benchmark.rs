@@ -18,7 +18,10 @@ use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::stats;
 
 fn main() {
-    let sample: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
+    let sample: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
     let entries: Vec<_> = Proteome::generate(Species::DVulgaris)
         .proteins
         .into_iter()
@@ -26,7 +29,10 @@ fn main() {
         .take(sample)
         .collect();
     let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
-    println!("benchmarking {} sequences across the four presets...\n", entries.len());
+    println!(
+        "benchmarking {} sequences across the four presets...\n",
+        entries.len()
+    );
     println!(
         "{:<12} {:>10} {:>9} {:>7} {:>13} {:>9}",
         "preset", "mean pLDDT", "mean pTMS", "count", "walltime(min)", "overhead"
@@ -39,8 +45,11 @@ fn main() {
             ..inference::Config::benchmark(preset)
         };
         let report = inference::run(&entries, &features, &cfg, &mut ledger);
-        let plddt: Vec<f64> =
-            report.results.iter().map(|(_, r)| r.top().plddt_mean).collect();
+        let plddt: Vec<f64> = report
+            .results
+            .iter()
+            .map(|(_, r)| r.top().plddt_mean)
+            .collect();
         let ptms: Vec<f64> = report.results.iter().map(|(_, r)| r.top().ptms).collect();
         println!(
             "{:<12} {:>10.1} {:>9.3} {:>7} {:>13.0} {:>8.0}%",

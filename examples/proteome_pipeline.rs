@@ -20,7 +20,10 @@ use summitfold::pipeline::stages::{feature, inference};
 use summitfold::protein::proteome::{Proteome, Species};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.1);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
     let proteome = Proteome::generate_scaled(Species::DVulgaris, scale);
     println!(
         "proteome: {} — {} proteins (scale {scale}), mean length {:.0}",
@@ -36,7 +39,10 @@ fn main() {
     println!(
         "\n[1] feature generation: {:.1} node-h on Andes ({:.1} h wall, I/O slowdown {:.2}x, \
          replication {:.0} s)",
-        feat.node_hours, feat.walltime_s / 3600.0, feat.io_slowdown, feat.replication_s
+        feat.node_hours,
+        feat.walltime_s / 3600.0,
+        feat.io_slowdown,
+        feat.replication_s
     );
 
     // Stage 2: inference on Summit (allocation scaled with the proteome).
@@ -50,7 +56,10 @@ fn main() {
     };
     let script = DaskBatchScript::inference(nodes, 180);
     script.validate().expect("placeable");
-    println!("\n[2] inference batch script ({} workers):", script.worker_count());
+    println!(
+        "\n[2] inference batch script ({} workers):",
+        script.worker_count()
+    );
     for line in script.render().lines() {
         println!("    {line}");
     }
@@ -64,9 +73,13 @@ fn main() {
         inf.node_hours,
         inf.overhead_fraction * 100.0
     );
-    let mean_ptms: f64 = inf.results.iter().map(|(_, r)| r.top().ptms).sum::<f64>()
-        / inf.results.len() as f64;
-    let high_q = inf.results.iter().filter(|(_, r)| r.top().ptms > 0.6).count();
+    let mean_ptms: f64 =
+        inf.results.iter().map(|(_, r)| r.top().ptms).sum::<f64>() / inf.results.len() as f64;
+    let high_q = inf
+        .results
+        .iter()
+        .filter(|(_, r)| r.top().ptms > 0.6)
+        .count();
     println!(
         "    -> mean top pTMS {:.3}; {}/{} targets above 0.6",
         mean_ptms,
@@ -78,7 +91,10 @@ fn main() {
     // calibrated 20.6 s/structure GPU throughput of §4.5).
     let relax_wall_s = 20.6 * inf.results.len() as f64 / 48.0;
     ledger.charge_job(Machine::Summit, "relaxation", 8, relax_wall_s);
-    println!("\n[3] relaxation: {:.1} min on 8 nodes x 6 workers", relax_wall_s / 60.0);
+    println!(
+        "\n[3] relaxation: {:.1} min on 8 nodes x 6 workers",
+        relax_wall_s / 60.0
+    );
 
     println!("\nbudget:\n{}", ledger.render());
 }

@@ -26,17 +26,26 @@ fn main() {
         .iter()
         .find(|e| (150..400).contains(&e.sequence.len()))
         .expect("a mid-sized protein exists");
-    println!("target      : {} ({} residues)", entry.sequence.id, entry.sequence.len());
+    println!(
+        "target      : {} ({} residues)",
+        entry.sequence.id,
+        entry.sequence.len()
+    );
     println!("annotation  : {}", entry.sequence.description);
 
     // Stage 1: features (synthetic fast path; see `summitfold-msa` for
     // the real search).
     let features = FeatureSet::synthetic(entry);
-    println!("MSA         : Neff {:.1}, templates: {}", features.neff, features.has_templates);
+    println!(
+        "MSA         : Neff {:.1}, templates: {}",
+        features.neff, features.has_templates
+    );
 
     // Stage 2: inference, five models, genome preset.
     let engine = InferenceEngine::new(Preset::Genome, Fidelity::Geometric);
-    let result = engine.predict_target(entry, &features).expect("fits standard node");
+    let result = engine
+        .predict_target(entry, &features)
+        .expect("fits standard node");
     for p in &result.predictions {
         println!(
             "  {}: pTMS {:.3}, mean pLDDT {:.1}, {} recycles{}",

@@ -39,7 +39,12 @@ fn main() {
         "target", "len", "hits", "Neff", "info", "HMM self", "pTMS"
     );
     for entry in targets.iter().take(10) {
-        let msa = search(&entry.sequence, &db.sequences, &index, &SearchParams::default());
+        let msa = search(
+            &entry.sequence,
+            &db.sequences,
+            &index,
+            &SearchParams::default(),
+        );
         let profile = Profile::from_msa(&msa);
         let hmm = ProfileHmm::from_msa(&msa);
         let info = summitfold::protein::stats::mean(&profile.information_content());

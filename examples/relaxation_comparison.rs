@@ -21,13 +21,24 @@ use summitfold::structal::specs::specs_score;
 use summitfold::structal::tm::tm_score;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
     let mut rng = Xoshiro256::from_name("relaxation-comparison");
     let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
 
     println!(
         "{:<7} {:>5} {:>7} | {:>15} {:>15} | {:>8} {:>8} {:>8} {:>8}",
-        "target", "len", "atoms", "TM unrel->relax", "SPECS unrel->rx", "af2 s", "cpu s", "gpu s", "speedup"
+        "target",
+        "len",
+        "atoms",
+        "TM unrel->relax",
+        "SPECS unrel->rx",
+        "af2 s",
+        "cpu s",
+        "gpu s",
+        "speedup"
     );
     for k in 0..n {
         let len = (rng.gamma(2.5, 110.0).round() as usize).clamp(80, 600);
@@ -63,7 +74,10 @@ fn main() {
             t_gpu,
             t_af2 / t_gpu,
         );
-        assert_eq!(opt.final_violations.clashes, 0, "relaxation removes all clashes");
+        assert_eq!(
+            opt.final_violations.clashes, 0,
+            "relaxation removes all clashes"
+        );
     }
     println!("\n(AF2 loop and single pass reach the same quality; only the time differs — §3.2.3)");
 }

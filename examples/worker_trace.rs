@@ -21,7 +21,10 @@ use summitfold::protein::structure::Structure;
 use summitfold::relax::protocol::{relax, Protocol};
 
 fn main() {
-    let workers: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
 
     // Build a heterogeneous batch of predicted structures to relax.
     let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.02);
@@ -31,12 +34,20 @@ fn main() {
         .iter()
         .take(48)
         .filter_map(|e| {
-            engine.predict(e, &FeatureSet::synthetic(e), ModelId(1)).ok()?.structure
+            engine
+                .predict(e, &FeatureSet::synthetic(e), ModelId(1))
+                .ok()?
+                .structure
         })
         .collect();
-    let specs: Vec<TaskSpec> =
-        structures.iter().map(|s| TaskSpec::new(s.id.clone(), s.len() as f64)).collect();
-    println!("relaxing {} structures on {workers} workers...\n", structures.len());
+    let specs: Vec<TaskSpec> = structures
+        .iter()
+        .map(|s| TaskSpec::new(s.id.clone(), s.len() as f64))
+        .collect();
+    println!(
+        "relaxing {} structures on {workers} workers...\n",
+        structures.len()
+    );
 
     let client = Client::new(workers);
     let run = |policy: OrderingPolicy| {
@@ -52,11 +63,18 @@ fn main() {
         sorted.makespan, random.makespan
     );
     let clean = sorted.outputs.iter().filter(|v| v.clashes == 0).count();
-    println!("clash-free after relaxation: {}/{}\n", clean, sorted.outputs.len());
+    println!(
+        "clash-free after relaxation: {}/{}\n",
+        clean,
+        sorted.outputs.len()
+    );
 
     let worker_ids: Vec<usize> = (0..workers).collect();
     println!("worker timeline (longest-first, '#' busy, '|' task boundary):");
-    print!("{}", ascii_gantt(&sorted.records, &worker_ids, sorted.makespan, 90));
+    print!(
+        "{}",
+        ascii_gantt(&sorted.records, &worker_ids, sorted.makespan, 90)
+    );
 
     let path = std::env::temp_dir().join("worker_trace.csv");
     std::fs::write(&path, to_csv(&sorted.records)).expect("writable temp dir");

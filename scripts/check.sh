@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, tests, and the workspace invariant
+# linter. CI and pre-merge runs should match this exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+    echo "==> cargo clippy (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping"
+fi
+
+echo "==> cargo test (workspace, warnings are errors)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --workspace -q
+
+echo "==> sfcheck"
+cargo run -q --release -p summitfold-analysis --bin sfcheck
+
+echo "All checks passed."

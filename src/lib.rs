@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # summitfold
 //!
 //! A Rust reproduction of *"Proteome-scale Deployment of Protein

@@ -33,13 +33,20 @@ fn main() {
         Some("annotate") => cmd_annotate(&args[1..]),
         Some("species") => {
             for s in Species::ALL {
-                println!("{:<10} {:<40} {} proteins", s.tag(), s.name(), s.protein_count());
+                println!(
+                    "{:<10} {:<40} {} proteins",
+                    s.tag(),
+                    s.name(),
+                    s.protein_count()
+                );
             }
             0
         }
         _ => {
             eprintln!("usage: summitfold <predict|proteome|annotate|species> ...");
-            eprintln!("  predict  <input.fasta> [--preset reduced_db|genome|super|casp14] [--out DIR]");
+            eprintln!(
+                "  predict  <input.fasta> [--preset reduced_db|genome|super|casp14] [--out DIR]"
+            );
             eprintln!("  proteome <PME|RRU|DVU|SDI> [--scale 0.1] [--nodes N]");
             eprintln!("  annotate <input.fasta> [--decoys N]");
             2
@@ -49,7 +56,10 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn load_entries(path: &str) -> Result<Vec<ProteinEntry>, String> {
@@ -60,9 +70,15 @@ fn load_entries(path: &str) -> Result<Vec<ProteinEntry>, String> {
         .map(|sequence| {
             // External sequences: orphan targets with a stable,
             // content-derived richness in the realistic range.
-            let msa_richness = 0.45 + 0.45 * (fnv1a(&sequence.to_letters().into_bytes()) % 1000) as f64 / 1000.0;
+            let msa_richness =
+                0.45 + 0.45 * (fnv1a(&sequence.to_letters().into_bytes()) % 1000) as f64 / 1000.0;
             let hypothetical = sequence.description.contains("hypothetical");
-            ProteinEntry { sequence, hypothetical, origin: Origin::Orphan, msa_richness }
+            ProteinEntry {
+                sequence,
+                hypothetical,
+                origin: Origin::Orphan,
+                msa_richness,
+            }
         })
         .collect())
 }
@@ -101,7 +117,11 @@ fn cmd_predict(args: &[String]) -> i32 {
 
     let engine = InferenceEngine::new(preset, Fidelity::Geometric);
     let rescue = engine.on_high_mem_nodes();
-    println!("predicting {} target(s) with preset {}...", entries.len(), preset.name());
+    println!(
+        "predicting {} target(s) with preset {}...",
+        entries.len(),
+        preset.name()
+    );
     for entry in &entries {
         let features = FeatureSet::synthetic(entry);
         let result = match engine.predict_target(entry, &features) {
@@ -142,11 +162,21 @@ fn cmd_predict(args: &[String]) -> i32 {
 }
 
 fn sanitize(id: &str) -> String {
-    id.chars().map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' }).collect()
+    id.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 fn parse_species(tag: &str) -> Option<Species> {
-    Species::ALL.into_iter().find(|s| s.tag().eq_ignore_ascii_case(tag))
+    Species::ALL
+        .into_iter()
+        .find(|s| s.tag().eq_ignore_ascii_case(tag))
 }
 
 fn cmd_proteome(args: &[String]) -> i32 {
@@ -158,7 +188,9 @@ fn cmd_proteome(args: &[String]) -> i32 {
         eprintln!("unknown species {tag:?} (try `summitfold species`)");
         return 2;
     };
-    let scale: f64 = flag(args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let scale: f64 = flag(args, "--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
     let mut cfg = CampaignConfig::paper_default(scale.clamp(0.001, 1.0));
     if let Some(nodes) = flag(args, "--nodes").and_then(|s| s.parse().ok()) {
         cfg.inference_nodes = nodes;
@@ -166,14 +198,35 @@ fn cmd_proteome(args: &[String]) -> i32 {
     println!("running {} campaign at scale {scale}...", species.name());
     let report = run_proteome_campaign(species, &cfg);
     println!("targets predicted        : {}", report.targets);
-    println!("mean pLDDT > 70          : {:.1} % of targets", report.frac_plddt_gt70 * 100.0);
-    println!("residue coverage > 70    : {:.1} %", report.residue_coverage_gt70 * 100.0);
-    println!("residue coverage > 90    : {:.1} %", report.residue_coverage_gt90 * 100.0);
-    println!("pTMS > 0.6               : {:.1} % of targets", report.frac_ptms_gt06 * 100.0);
+    println!(
+        "mean pLDDT > 70          : {:.1} % of targets",
+        report.frac_plddt_gt70 * 100.0
+    );
+    println!(
+        "residue coverage > 70    : {:.1} %",
+        report.residue_coverage_gt70 * 100.0
+    );
+    println!(
+        "residue coverage > 90    : {:.1} %",
+        report.residue_coverage_gt90 * 100.0
+    );
+    println!(
+        "pTMS > 0.6               : {:.1} % of targets",
+        report.frac_ptms_gt06 * 100.0
+    );
     println!("mean recycles (top)      : {:.1}", report.mean_top_recycles);
-    println!("inference walltime       : {:.2} h", report.inference_walltime_s / 3600.0);
-    println!("Andes node-hours (full)  : {:.0}", report.andes_node_hours_full);
-    println!("Summit node-hours (full) : {:.0}", report.summit_node_hours_full);
+    println!(
+        "inference walltime       : {:.2} h",
+        report.inference_walltime_s / 3600.0
+    );
+    println!(
+        "Andes node-hours (full)  : {:.0}",
+        report.andes_node_hours_full
+    );
+    println!(
+        "Summit node-hours (full) : {:.0}",
+        report.summit_node_hours_full
+    );
     0
 }
 

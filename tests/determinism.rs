@@ -30,8 +30,10 @@ fn geometric_predictions_and_relaxations_are_bit_identical() {
         let features = FeatureSet::synthetic(entry);
         let a = engine.predict_target(entry, &features).unwrap();
         let b = engine.predict_target(entry, &features).unwrap();
-        let (sa, sb) =
-            (a.top().structure.as_ref().unwrap(), b.top().structure.as_ref().unwrap());
+        let (sa, sb) = (
+            a.top().structure.as_ref().unwrap(),
+            b.top().structure.as_ref().unwrap(),
+        );
         assert_eq!(sa.ca, sb.ca);
         assert_eq!(sa.plddt, sb.plddt);
         let ra = relax(sa, Protocol::OptimizedSinglePass);
@@ -44,8 +46,11 @@ fn geometric_predictions_and_relaxations_are_bit_identical() {
 #[test]
 fn annotation_reports_are_identical() {
     let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.02);
-    let queries: Vec<&ProteinEntry> =
-        proteome.proteins.iter().filter(|e| e.hypothetical).collect();
+    let queries: Vec<&ProteinEntry> = proteome
+        .proteins
+        .iter()
+        .filter(|e| e.hypothetical)
+        .collect();
     let a = annotate_hypothetical(&queries, &AnnotationConfig::default());
     let b = annotate_hypothetical(&queries, &AnnotationConfig::default());
     assert_eq!(a.matched, b.matched);
@@ -62,7 +67,11 @@ fn on_disk_formats_roundtrip_through_the_pipeline() {
     // → same geometry. The interchange formats must not lose information
     // the pipeline needs.
     let proteome = Proteome::generate_scaled(Species::SDivinum, 0.001);
-    let seqs: Vec<_> = proteome.proteins.iter().map(|e| e.sequence.clone()).collect();
+    let seqs: Vec<_> = proteome
+        .proteins
+        .iter()
+        .map(|e| e.sequence.clone())
+        .collect();
     let text = fasta::format(&seqs);
     let parsed = fasta::parse(&text).expect("valid FASTA");
     assert_eq!(parsed, seqs);
@@ -72,13 +81,18 @@ fn on_disk_formats_roundtrip_through_the_pipeline() {
     let result = engine
         .predict_target(entry, &FeatureSet::synthetic(entry))
         .or_else(|_| {
-            engine.on_high_mem_nodes().predict_target(entry, &FeatureSet::synthetic(entry))
+            engine
+                .on_high_mem_nodes()
+                .predict_target(entry, &FeatureSet::synthetic(entry))
         })
         .expect("high-mem fits everything");
     let s = result.top().structure.as_ref().unwrap();
     let back = pdbish::parse(&pdbish::format(s)).expect("valid PDB-ish");
     assert_eq!(back.residues, s.residues);
     for (a, b) in back.ca.iter().zip(&s.ca) {
-        assert!(a.dist(*b) < 2e-3, "coordinate drift beyond format precision");
+        assert!(
+            a.dist(*b) < 2e-3,
+            "coordinate drift beyond format precision"
+        );
     }
 }

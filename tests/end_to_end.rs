@@ -19,7 +19,11 @@ fn three_stage_pipeline_end_to_end() {
     let mut ledger = Ledger::new();
 
     // Stage 1: features.
-    let feat = feature::run(&proteome.proteins, &feature::Config::paper_default(), &mut ledger);
+    let feat = feature::run(
+        &proteome.proteins,
+        &feature::Config::paper_default(),
+        &mut ledger,
+    );
     assert_eq!(feat.features.len(), proteome.len());
 
     // Stage 2: inference (geometric so stage 3 has real structures).
@@ -31,13 +35,21 @@ fn three_stage_pipeline_end_to_end() {
         rescue_on_high_mem: true,
     };
     let inf = inference::run(&proteome.proteins, &feat.features, &inf_cfg, &mut ledger);
-    assert_eq!(inf.results.len(), proteome.len(), "rescue recovers all targets");
+    assert_eq!(
+        inf.results.len(),
+        proteome.len(),
+        "rescue recovers all targets"
+    );
 
     // Five structures per target; top ranked by pTMS.
     let mut tops: Vec<Structure> = Vec::new();
     for (idx, result) in &inf.results {
         assert_eq!(result.predictions.len(), 5);
-        let max = result.predictions.iter().map(|p| p.ptms).fold(f64::MIN, f64::max);
+        let max = result
+            .predictions
+            .iter()
+            .map(|p| p.ptms)
+            .fold(f64::MIN, f64::max);
         assert_eq!(result.top().ptms, max);
         let s = result.top().structure.as_ref().expect("geometric").clone();
         assert_eq!(s.len(), proteome.proteins[*idx].sequence.len());
@@ -56,12 +68,21 @@ fn three_stage_pipeline_end_to_end() {
         let truth = proteome.proteins[*idx].true_fold();
         let before = tm_score(&tops[pos], &truth);
         let after = tm_score(&outcome.structure, &truth);
-        assert!(after > before - 0.02, "TM dropped {before:.3} -> {after:.3}");
+        assert!(
+            after > before - 0.02,
+            "TM dropped {before:.3} -> {after:.3}"
+        );
     }
 
     // Budget: all three stages charged, on the right machines.
-    assert!(ledger.node_hours(Machine::Andes) > 0.0, "feature stage on Andes");
-    assert!(ledger.node_hours(Machine::Summit) > 0.0, "inference + relax on Summit");
+    assert!(
+        ledger.node_hours(Machine::Andes) > 0.0,
+        "feature stage on Andes"
+    );
+    assert!(
+        ledger.node_hours(Machine::Summit) > 0.0,
+        "inference + relax on Summit"
+    );
     let stages = ledger.by_stage();
     assert!(stages.keys().any(|(_, s)| s == "feature_gen"));
     assert!(stages.keys().any(|(_, s)| s == "inference"));
@@ -100,7 +121,11 @@ fn relax_stage_timing_scales_with_method() {
         .proteins
         .iter()
         .filter(|e| e.sequence.len() >= 200)
-        .filter_map(|e| engine.predict(e, &FeatureSet::synthetic(e), ModelId(1)).ok())
+        .filter_map(|e| {
+            engine
+                .predict(e, &FeatureSet::synthetic(e), ModelId(1))
+                .ok()
+        })
         .filter_map(|p| p.structure)
         .collect();
     assert!(!structures.is_empty());

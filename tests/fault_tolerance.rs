@@ -19,16 +19,28 @@ fn relaxation_batch_survives_worker_deaths() {
     let structures: Vec<Structure> = proteome
         .proteins
         .iter()
-        .filter_map(|e| engine.predict(e, &FeatureSet::synthetic(e), ModelId(1)).ok())
+        .filter_map(|e| {
+            engine
+                .predict(e, &FeatureSet::synthetic(e), ModelId(1))
+                .ok()
+        })
         .filter_map(|p| p.structure)
         .collect();
     assert!(structures.len() >= 15, "sample size {}", structures.len());
-    let specs: Vec<TaskSpec> =
-        structures.iter().map(|s| TaskSpec::new(s.id.clone(), s.len() as f64)).collect();
+    let specs: Vec<TaskSpec> = structures
+        .iter()
+        .map(|s| TaskSpec::new(s.id.clone(), s.len() as f64))
+        .collect();
 
     let faults = [
-        WorkerFault { worker: 0, tasks_before_death: 1 },
-        WorkerFault { worker: 2, tasks_before_death: 3 },
+        WorkerFault {
+            worker: 0,
+            tasks_before_death: 1,
+        },
+        WorkerFault {
+            worker: 2,
+            tasks_before_death: 3,
+        },
     ];
     let result = map_with_faults(
         &specs,
@@ -44,14 +56,23 @@ fn relaxation_batch_survives_worker_deaths() {
     assert_eq!(result.outputs.len(), structures.len());
     assert_eq!(result.records.len(), structures.len());
     assert_eq!(result.deaths, 2);
-    assert!(result.requeued >= 1, "a dying worker abandoned at least one task");
+    assert!(
+        result.requeued >= 1,
+        "a dying worker abandoned at least one task"
+    );
     for v in &result.outputs {
         let v: &Violations = v;
         assert_eq!(v.clashes, 0);
     }
     // The dead workers completed exactly their budgets.
-    assert_eq!(result.records.iter().filter(|r| r.worker_id == 0).count(), 1);
-    assert_eq!(result.records.iter().filter(|r| r.worker_id == 2).count(), 3);
+    assert_eq!(
+        result.records.iter().filter(|r| r.worker_id == 0).count(),
+        1
+    );
+    assert_eq!(
+        result.records.iter().filter(|r| r.worker_id == 2).count(),
+        3
+    );
 
     // And the fault-free run produces identical violation outcomes —
     // fault tolerance must not change results.

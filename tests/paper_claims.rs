@@ -26,7 +26,10 @@ fn headline_under_4000_summit_node_hours_for_all_four_proteomes() {
         total_targets += (report.targets as f64 / 0.05).round() as usize;
         total_summit_h += report.summit_node_hours_full;
     }
-    assert!((total_targets as i64 - 35_634).abs() < 100, "targets {total_targets}");
+    assert!(
+        (total_targets as i64 - 35_634).abs() < 100,
+        "targets {total_targets}"
+    );
     assert!(
         total_summit_h < 6_000.0,
         "Summit budget {total_summit_h:.0} node-h (paper: < 4,000)"
@@ -42,7 +45,11 @@ fn five_structures_per_sequence_and_ptms_ranking() {
     // total number of input target sequences ... The top model is chosen
     // based on ... the output pTMS value."
     let proteome = Proteome::generate_scaled(Species::PMercurii, 0.01);
-    let features: Vec<_> = proteome.proteins.iter().map(FeatureSet::synthetic).collect();
+    let features: Vec<_> = proteome
+        .proteins
+        .iter()
+        .map(FeatureSet::synthetic)
+        .collect();
     let cfg = inference::Config {
         preset: Preset::Genome,
         fidelity: Fidelity::Statistical,
@@ -51,7 +58,11 @@ fn five_structures_per_sequence_and_ptms_ranking() {
         rescue_on_high_mem: true,
     };
     let report = inference::run(&proteome.proteins, &features, &cfg, &mut Ledger::new());
-    let structures: usize = report.results.iter().map(|(_, r)| r.predictions.len()).sum();
+    let structures: usize = report
+        .results
+        .iter()
+        .map(|(_, r)| r.predictions.len())
+        .sum();
     assert_eq!(structures, proteome.len() * 5);
 }
 
@@ -61,10 +72,19 @@ fn preset_tradeoff_shape() {
     // modest extra time; casp14 buys nothing for 8× the compute and loses
     // its longest targets.
     let proteome = Proteome::generate(Species::DVulgaris);
-    let bench: Vec<_> = proteome.proteins.into_iter().filter(|e| e.hypothetical).collect();
+    let bench: Vec<_> = proteome
+        .proteins
+        .into_iter()
+        .filter(|e| e.hypothetical)
+        .collect();
     let features: Vec<_> = bench.iter().map(FeatureSet::synthetic).collect();
     let run = |preset| {
-        inference::run(&bench, &features, &inference::Config::benchmark(preset), &mut Ledger::new())
+        inference::run(
+            &bench,
+            &features,
+            &inference::Config::benchmark(preset),
+            &mut Ledger::new(),
+        )
     };
     let reduced = run(Preset::ReducedDbs);
     let genome = run(Preset::Genome);
@@ -74,12 +94,18 @@ fn preset_tradeoff_shape() {
         let v: Vec<f64> = r.results.iter().map(|(_, t)| t.top().ptms).collect();
         summitfold::protein::stats::mean(&v)
     };
-    assert!(mean_ptms(&genome) > mean_ptms(&reduced), "genome beats reduced");
+    assert!(
+        mean_ptms(&genome) > mean_ptms(&reduced),
+        "genome beats reduced"
+    );
     // casp14 quality ≈ reduced (same 3 recycles; ensembles don't help).
     assert!((mean_ptms(&casp) - mean_ptms(&reduced)).abs() < 0.02);
     // casp14 loses its longest sequences to OOM: the paper lost 8 of 559.
     let lost = casp.failures.len();
-    assert!((4..=14).contains(&lost), "casp14 OOM count {lost} (paper: 8)");
+    assert!(
+        (4..=14).contains(&lost),
+        "casp14 OOM count {lost} (paper: 8)"
+    );
     // All lost targets are the longest ones.
     let min_lost_len = casp
         .failures
@@ -102,15 +128,20 @@ fn longest_first_ordering_prevents_straggler_tails_at_scale() {
     // §3.3/§4.3: sorting by length descending keeps 1200 workers busy and
     // finishing together; random order leaves a straggler tail.
     let mut rng = Xoshiro256::seed_from_u64(99);
-    let durations: Vec<f64> =
-        (0..30_000).map(|_| rng.gamma(1.4, 180.0) + 20.0).collect();
+    let durations: Vec<f64> = (0..30_000).map(|_| rng.gamma(1.4, 180.0) + 20.0).collect();
     let specs: Vec<TaskSpec> = durations
         .iter()
         .enumerate()
         .map(|(i, &d)| TaskSpec::new(format!("t{i}"), d))
         .collect();
     let lpt = simulate(&specs, &durations, 1200, OrderingPolicy::LongestFirst, 30.0);
-    let rnd = simulate(&specs, &durations, 1200, OrderingPolicy::Random { seed: 5 }, 30.0);
+    let rnd = simulate(
+        &specs,
+        &durations,
+        1200,
+        OrderingPolicy::Random { seed: 5 },
+        30.0,
+    );
     assert!(lpt.makespan <= rnd.makespan);
     assert!(
         lpt.idle_tail() < rnd.idle_tail(),
@@ -120,7 +151,11 @@ fn longest_first_ordering_prevents_straggler_tails_at_scale() {
     );
     // "All the Dask workers finished all of their respective tasks within
     // minutes of one another": tail under 3 minutes of a multi-hour run.
-    assert!(lpt.idle_tail() < 180.0, "LPT idle tail {:.0}s", lpt.idle_tail());
+    assert!(
+        lpt.idle_tail() < 180.0,
+        "LPT idle tail {:.0}s",
+        lpt.idle_tail()
+    );
     assert!(lpt.makespan > 3600.0, "the batch is hours long");
 }
 

@@ -1,0 +1,21 @@
+//! Tier-1 gate for the workspace invariant linter.
+//!
+//! `cargo test` fails if `sfcheck` reports any unallowed finding: a
+//! nondeterministic construct in a deterministic crate, a panic site in
+//! library code, an `unsafe` token or missing `#![forbid(unsafe_code)]`,
+//! or a declared-but-unused dependency. See `crates/analysis` and the
+//! "Static analysis" section of DESIGN.md.
+
+use std::path::Path;
+use summitfold_analysis::{check_workspace, render};
+
+#[test]
+fn workspace_passes_sfcheck() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = check_workspace(root).expect("sfcheck must be able to read the workspace");
+    assert!(
+        findings.is_empty(),
+        "sfcheck found workspace invariant violations:\n{}",
+        render(&findings)
+    );
+}
