@@ -64,10 +64,14 @@ impl Config {
     /// The summitfold workspace policy.
     ///
     /// Deterministic crates: `protein`, `structal`, `msa`, `inference`,
-    /// `relax`, and `dataflow` (its virtual-time simulator is the basis
-    /// of every scaling figure). The thread-backed executors
+    /// `relax`, `dataflow` (its virtual-time simulator is the basis of
+    /// every scaling figure), and `obs` (its virtual clock feeds the
+    /// repro-number traces). The thread-backed executors
     /// `dataflow/src/real.rs` and `dataflow/src/fault.rs` are exempt —
-    /// wall-clock timing and OS scheduling are their whole purpose.
+    /// wall-clock timing and OS scheduling are their whole purpose — as
+    /// is `obs/src/wall.rs`, the one module allowed to read `Instant`
+    /// (the documented Clock exemption: wall time never reaches a
+    /// repro-number path, which uses `Recorder::virtual_time`).
     /// `hpc`, `pipeline`, `bench`, and `analysis` are reporting/driver
     /// layers and may read clocks freely.
     #[must_use]
@@ -75,13 +79,22 @@ impl Config {
         let ident = |name: &str, why: &str| (name.to_string(), why.to_string());
         let path = |a: &str, b: &str, why: &str| (a.to_string(), b.to_string(), why.to_string());
         Self {
-            deterministic_crates: ["protein", "structal", "msa", "inference", "relax", "dataflow"]
-                .iter()
-                .map(ToString::to_string)
-                .collect(),
+            deterministic_crates: [
+                "protein",
+                "structal",
+                "msa",
+                "inference",
+                "relax",
+                "dataflow",
+                "obs",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
             deterministic_exempt_paths: vec![
                 "crates/dataflow/src/real.rs".to_string(),
                 "crates/dataflow/src/fault.rs".to_string(),
+                "crates/obs/src/wall.rs".to_string(),
             ],
             nondeterministic_idents: vec![
                 ident("HashMap", "hash-iteration order varies run to run; use BTreeMap or sort before iterating"),
@@ -93,6 +106,7 @@ impl Config {
             ],
             nondeterministic_paths: vec![
                 path("std", "env", "environment variables are per-host state; pass configuration explicitly"),
+                path("std", "time", "wall-clock time leaks host state into results; use an obs::Clock"),
                 path("thread", "current", "thread identity depends on OS scheduling"),
             ],
         }
@@ -208,6 +222,9 @@ mod tests {
         assert!(c.is_deterministic_file("dataflow", "crates/dataflow/src/sim.rs"));
         assert!(!c.is_deterministic_file("dataflow", "crates/dataflow/src/real.rs"));
         assert!(!c.is_deterministic_file("dataflow", "crates/dataflow/src/fault.rs"));
+        assert!(c.is_deterministic_file("obs", "crates/obs/src/recorder.rs"));
+        assert!(c.is_deterministic_file("obs", "crates/obs/src/clock.rs"));
+        assert!(!c.is_deterministic_file("obs", "crates/obs/src/wall.rs"));
         assert!(!c.is_deterministic_file("hpc", "crates/hpc/src/machine.rs"));
         assert!(!c.is_deterministic_file("bench", "crates/bench/src/microbench.rs"));
     }

@@ -4,9 +4,9 @@
 
 use summitfold_bench::microbench::{BenchmarkId, Criterion};
 use summitfold_bench::{criterion_group, criterion_main};
-use summitfold_dataflow::real::Client;
-use summitfold_dataflow::sim::simulate;
-use summitfold_dataflow::{OrderingPolicy, TaskSpec};
+use summitfold_dataflow::real::ThreadExecutor;
+use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_protein::rng::Xoshiro256;
 
 fn workload(n: usize) -> (Vec<TaskSpec>, Vec<f64>) {
@@ -29,14 +29,13 @@ fn bench_simulator_scale(c: &mut Criterion) {
             &(specs, durations, workers),
             |b, (specs, durations, workers)| {
                 b.iter(|| {
-                    simulate(
-                        specs,
-                        durations,
-                        *workers,
-                        OrderingPolicy::LongestFirst,
-                        30.0,
-                    )
-                    .makespan
+                    Batch::new(specs)
+                        .workers(*workers)
+                        .policy(OrderingPolicy::LongestFirst)
+                        .durations(durations)
+                        .run(&SimExecutor::new(30.0))
+                        .expect("workload is well-formed")
+                        .makespan
                 });
             },
         );
@@ -53,7 +52,15 @@ fn bench_ordering_policies(c: &mut Criterion) {
         (OrderingPolicy::Fifo, "fifo"),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| simulate(&specs, &durations, 1_200, policy, 30.0).makespan);
+            b.iter(|| {
+                Batch::new(&specs)
+                    .workers(1_200)
+                    .policy(policy)
+                    .durations(&durations)
+                    .run(&SimExecutor::new(30.0))
+                    .expect("workload is well-formed")
+                    .makespan
+            });
         });
     }
     group.finish();
@@ -65,15 +72,15 @@ fn bench_real_executor(c: &mut Criterion) {
         .collect();
     let items: Vec<u64> = (0..256).collect();
     c.bench_function("real_executor_256_tasks", |b| {
-        let client = Client::new(4);
+        let batch = Batch::new(&specs)
+            .workers(4)
+            .policy(OrderingPolicy::LongestFirst);
         b.iter(|| {
-            client
-                .map(
-                    &specs,
-                    items.clone(),
-                    OrderingPolicy::LongestFirst,
-                    |_, &x| (0..500u64).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k)),
-                )
+            batch
+                .run_with(&ThreadExecutor, &items, |_, &x| {
+                    (0..500u64).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+                })
+                .expect("workload is well-formed")
                 .outputs
                 .len()
         });

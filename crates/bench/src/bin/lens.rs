@@ -1,7 +1,36 @@
-//! Print length statistics of the benchmark set (quick sanity check).
+//! Inspect benchmark inputs and telemetry traces.
+//!
+//! ```text
+//! lens                  # length statistics of the benchmark set
+//! lens --trace <file>   # render a JSONL telemetry trace
+//! ```
+//!
+//! The `--trace` mode parses an append-only JSONL trace (as written by
+//! `summitfold_obs::Recorder::to_jsonl`, e.g. the `fig2_trace.jsonl`
+//! artifact) and prints the span tree with durations, task/counter/gauge
+//! summaries, histogram quantiles, and a node-hour breakdown from the
+//! `node_seconds/{machine}/{stage}` counters the observed ledger emits.
 
 use summitfold_bench::harness::benchmark_set;
+use summitfold_obs::Trace;
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--trace") {
+        let Some(path) = args.get(2) else {
+            eprintln!("usage: lens --trace <file.jsonl>");
+            std::process::exit(2);
+        };
+        match load_trace(path) {
+            Ok(trace) => print!("{}", render_trace(&trace)),
+            Err(e) => {
+                eprintln!("lens: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let set = benchmark_set();
     let mut lens: Vec<usize> = set.iter().map(|e| e.sequence.len()).collect();
     lens.sort_unstable();
@@ -15,4 +44,30 @@ fn main() {
     for t in [600, 700, 740, 800, 892, 1000] {
         println!(">{}: {}", t, lens.iter().filter(|&&l| l > t).count());
     }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Trace::parse_jsonl(&text).map_err(|e| e.to_string())
+}
+
+fn render_trace(trace: &Trace) -> String {
+    let mut out = trace.summary();
+    let totals = trace.counter_totals();
+    let node: Vec<(&String, &f64)> = totals
+        .iter()
+        .filter(|(k, _)| k.starts_with("node_seconds/"))
+        .collect();
+    if !node.is_empty() {
+        out.push_str("\nnode-hours\n");
+        let mut grand = 0.0;
+        for (k, v) in node {
+            let label = k.trim_start_matches("node_seconds/");
+            let hours = v / 3600.0;
+            out.push_str(&format!("  {label:<32} {hours:>10.2}\n"));
+            grand += hours;
+        }
+        out.push_str(&format!("  {:<32} {grand:>10.2}\n", "TOTAL"));
+    }
+    out
 }

@@ -9,8 +9,8 @@
 
 use crate::harness::{fig4, Ctx};
 use crate::report::Report;
-use summitfold_dataflow::sim::simulate;
-use summitfold_dataflow::{OrderingPolicy, TaskSpec};
+use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_hpc::fs::{campaign_walltime_s, ReplicaLayout};
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
@@ -77,7 +77,13 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
             (OrderingPolicy::Random { seed: 42 }, "random"),
             (OrderingPolicy::Fifo, "fifo"),
         ] {
-            let sim = simulate(&specs, &durations, workers, policy, TASK_OVERHEAD_S);
+            let sim = Batch::new(&specs)
+                .workers(workers)
+                .policy(policy)
+                .durations(&durations)
+                .run(&SimExecutor::new(TASK_OVERHEAD_S))
+                // sfcheck::allow(panic-hygiene, worker counts are the fixed positive set above)
+                .expect("ablation batch is well-formed");
             rows.push(OrderingRow {
                 workers,
                 policy: label,

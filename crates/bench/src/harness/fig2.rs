@@ -6,10 +6,12 @@
 
 use crate::harness::Ctx;
 use crate::report::Report;
+use std::sync::Arc;
 use summitfold_dataflow::stats::{ascii_gantt, to_csv};
 use summitfold_dataflow::OrderingPolicy;
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
+use summitfold_obs::Recorder;
 use summitfold_pipeline::stages::inference;
 use summitfold_protein::proteome::{Proteome, Species};
 
@@ -48,8 +50,11 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
     };
-    let mut ledger = Ledger::new();
-    let report = inference::run(&proteome.proteins, &features, &cfg, &mut ledger);
+    // Run traced on a virtual clock: the JSONL trace carries the stage
+    // span, every task event, and (via the observed ledger) the budget.
+    let rec = Arc::new(Recorder::virtual_time());
+    let mut ledger = Ledger::observed(Arc::clone(&rec));
+    let report = inference::run_traced(&proteome.proteins, &features, &cfg, &mut ledger, &rec);
     let sim = &report.sim;
     let workers = sim.worker_busy.len();
 
@@ -107,6 +112,8 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         .cloned()
         .collect();
     rpt.attach_csv("fig2_worker_spans.csv", to_csv(&sampled));
+    // Full telemetry trace; inspect with `lens --trace fig2_trace.jsonl`.
+    rpt.attach_csv("fig2_trace.jsonl", rec.to_jsonl());
     (outcome, rpt)
 }
 

@@ -1,0 +1,527 @@
+//! The unified batch-execution API: one [`Batch`] description, many
+//! [`Executor`] backends.
+//!
+//! Historically each backend had its own ad-hoc entry point —
+//! `real::Client::map`, `sim::simulate`, `fault::map_with_faults` — with
+//! slightly different arguments, result types, and documented panics.
+//! This module replaces all three with a single builder:
+//!
+//! ```
+//! use summitfold_dataflow::exec::Batch;
+//! use summitfold_dataflow::sim::SimExecutor;
+//! use summitfold_dataflow::{OrderingPolicy, TaskSpec};
+//!
+//! let specs: Vec<TaskSpec> = (0..40)
+//!     .map(|i| TaskSpec::new(format!("t{i}"), 10.0 + f64::from(i)))
+//!     .collect();
+//! let outcome = Batch::new(&specs)
+//!     .workers(6)
+//!     .policy(OrderingPolicy::LongestFirst)
+//!     .run(&SimExecutor::new(0.5))
+//!     .expect("valid batch");
+//! assert_eq!(outcome.records.len(), 40);
+//! assert!(outcome.utilization() > 0.5);
+//! ```
+//!
+//! The same description runs on real threads
+//! ([`crate::real::ThreadExecutor`]), optionally with a worker-death
+//! schedule (`.faults(...)`), and every backend produces the same
+//! [`BatchOutcome`] and emits the same telemetry span/task events through
+//! an [`summitfold_obs::Recorder`] (`.recorder(...)`). Invalid batches
+//! are rejected up front with a typed [`BatchError`] instead of the old
+//! documented panics.
+
+use crate::fault::WorkerFault;
+use crate::policy::OrderingPolicy;
+use crate::task::{TaskRecord, TaskSpec};
+use summitfold_obs::{Recorder, SpanId};
+
+/// Why a batch could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// `workers == 0`: nothing could ever pull a task.
+    NoWorkers,
+    /// `specs.len() != items.len()`: tasks and payloads must correspond.
+    ItemsMismatch {
+        /// Number of task specs.
+        specs: usize,
+        /// Number of items supplied.
+        items: usize,
+    },
+    /// Explicit durations were supplied but do not correspond to specs.
+    DurationsMismatch {
+        /// Number of task specs.
+        specs: usize,
+        /// Number of durations supplied.
+        durations: usize,
+    },
+    /// Every worker is scheduled to die, so the queue could never drain.
+    AllWorkersDie {
+        /// Workers in the batch.
+        workers: usize,
+        /// Workers scheduled to die.
+        dying: usize,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoWorkers => write!(f, "batch needs at least one worker"),
+            Self::ItemsMismatch { specs, items } => {
+                write!(f, "batch has {specs} task specs but {items} items")
+            }
+            Self::DurationsMismatch { specs, durations } => {
+                write!(f, "batch has {specs} task specs but {durations} durations")
+            }
+            Self::AllWorkersDie { workers, dying } => write!(
+                f,
+                "all workers die under the fault schedule ({dying} of {workers}); at least one must survive"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A validated batch, handed to [`Executor::execute`].
+///
+/// Constructed only by [`Batch::run_with`] after validation, so backends
+/// may rely on: `workers > 0`, `specs.len()` equals the item count,
+/// durations (when present) correspond to specs, and at least one worker
+/// survives the fault schedule.
+pub struct Plan<'a> {
+    /// Task descriptions.
+    pub specs: &'a [TaskSpec],
+    /// Worker count (> 0).
+    pub workers: usize,
+    /// Queue ordering policy.
+    pub policy: OrderingPolicy,
+    /// Worker-death schedule (empty = fault-free).
+    pub faults: &'a [WorkerFault],
+    /// Virtual task durations for simulating backends; `None` means
+    /// derive from `cost_hint`.
+    pub durations: Option<&'a [f64]>,
+    /// Telemetry sink (possibly [`Recorder::disabled`]).
+    pub recorder: &'a Recorder,
+    /// Span label for the batch ("batch", "inference", …).
+    pub label: &'a str,
+}
+
+/// Result of one batch execution, identical across backends.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome<O> {
+    /// Task outputs in submission order (every task completes once).
+    pub outputs: Vec<O>,
+    /// Per-task records (completion order; seconds since batch start).
+    pub records: Vec<TaskRecord>,
+    /// Batch makespan in seconds (wall-clock or virtual).
+    pub makespan: f64,
+    /// Worker count the batch ran with.
+    pub workers: usize,
+    /// Worker ids that registered with the scheduler.
+    pub registered_workers: Vec<usize>,
+    /// Per-worker busy seconds, indexed by worker id.
+    pub worker_busy: Vec<f64>,
+    /// Per-worker finish time (last task end), indexed by worker id.
+    pub worker_finish: Vec<f64>,
+    /// Tasks abandoned by dying workers and re-queued.
+    pub requeued: usize,
+    /// Workers that died under the fault schedule.
+    pub deaths: usize,
+}
+
+impl<O> BatchOutcome<O> {
+    /// Mean worker utilization over the makespan, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.worker_busy.is_empty() {
+            return 1.0;
+        }
+        let busy: f64 = self.worker_busy.iter().sum();
+        busy / (self.makespan * self.worker_busy.len() as f64)
+    }
+
+    /// The "idle tail": makespan minus the earliest worker finish time —
+    /// how long the fastest-finishing worker waits for the stragglers.
+    /// Near zero is the load-balance goal ("all the Dask workers finished
+    /// all of their respective tasks within minutes of one another").
+    #[must_use]
+    pub fn idle_tail(&self) -> f64 {
+        let earliest = self
+            .worker_finish
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        if earliest.is_finite() {
+            self.makespan - earliest
+        } else {
+            0.0
+        }
+    }
+
+    /// Records belonging to one worker, sorted by start time (one row of
+    /// Fig 2).
+    #[must_use]
+    pub fn worker_timeline(&self, worker_id: usize) -> Vec<&TaskRecord> {
+        let mut rows: Vec<&TaskRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.worker_id == worker_id)
+            .collect();
+        rows.sort_by(|a, b| a.start.total_cmp(&b.start));
+        rows
+    }
+}
+
+/// A backend that can run a validated [`Plan`].
+///
+/// Implementations must honor the plan's scheduling contract — every
+/// task completes exactly once, records carry seconds since batch start —
+/// and use [`open_batch_span`]/[`close_batch_span`] so all backends emit
+/// the same telemetry shape.
+pub trait Executor {
+    /// Run the plan over `items` (`items.len() == plan.specs.len()`).
+    fn execute<I, O, F>(&self, plan: &Plan<'_>, items: &[I], f: &F) -> BatchOutcome<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&TaskSpec, &I) -> O + Sync;
+}
+
+/// Builder describing a batch, independent of the backend that runs it.
+///
+/// Defaults: 1 worker, [`OrderingPolicy::Fifo`], no faults, no explicit
+/// durations, telemetry disabled, span label `"batch"`.
+#[derive(Clone, Copy)]
+pub struct Batch<'a> {
+    specs: &'a [TaskSpec],
+    workers: usize,
+    policy: OrderingPolicy,
+    faults: &'a [WorkerFault],
+    durations: Option<&'a [f64]>,
+    recorder: &'a Recorder,
+    label: &'a str,
+}
+
+impl<'a> Batch<'a> {
+    /// Start describing a batch over these task specs.
+    #[must_use]
+    pub fn new(specs: &'a [TaskSpec]) -> Self {
+        Self {
+            specs,
+            workers: 1,
+            policy: OrderingPolicy::Fifo,
+            faults: &[],
+            durations: None,
+            recorder: Recorder::disabled(),
+            label: "batch",
+        }
+    }
+
+    /// Set the worker count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the queue ordering policy.
+    #[must_use]
+    pub fn policy(mut self, policy: OrderingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attach a worker-death schedule (thread backend only; the
+    /// simulator ignores faults).
+    #[must_use]
+    pub fn faults(mut self, faults: &'a [WorkerFault]) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Supply explicit virtual durations (`durations[i]` runs
+    /// `specs[i]`); simulating backends otherwise use `cost_hint`.
+    #[must_use]
+    pub fn durations(mut self, durations: &'a [f64]) -> Self {
+        self.durations = Some(durations);
+        self
+    }
+
+    /// Record the batch span and per-task events into `recorder`.
+    #[must_use]
+    pub fn recorder(mut self, recorder: &'a Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Set the telemetry span label for the batch.
+    #[must_use]
+    pub fn label(mut self, label: &'a str) -> Self {
+        self.label = label;
+        self
+    }
+
+    fn validate(&self, items: usize) -> Result<Plan<'a>, BatchError> {
+        if self.workers == 0 {
+            return Err(BatchError::NoWorkers);
+        }
+        if self.specs.len() != items {
+            return Err(BatchError::ItemsMismatch {
+                specs: self.specs.len(),
+                items,
+            });
+        }
+        if let Some(d) = self.durations {
+            if d.len() != self.specs.len() {
+                return Err(BatchError::DurationsMismatch {
+                    specs: self.specs.len(),
+                    durations: d.len(),
+                });
+            }
+        }
+        let dying = self
+            .faults
+            .iter()
+            .filter(|f| f.worker < self.workers)
+            .count();
+        if dying >= self.workers {
+            return Err(BatchError::AllWorkersDie {
+                workers: self.workers,
+                dying,
+            });
+        }
+        Ok(Plan {
+            specs: self.specs,
+            workers: self.workers,
+            policy: self.policy,
+            faults: self.faults,
+            durations: self.durations,
+            recorder: self.recorder,
+            label: self.label,
+        })
+    }
+
+    /// Run `f` over all items on the given backend.
+    ///
+    /// # Errors
+    /// Returns [`BatchError`] if the batch description is invalid —
+    /// the conditions that were documented panics under the old
+    /// `Client::map`/`simulate`/`map_with_faults` entry points.
+    pub fn run_with<I, O, F, E>(
+        &self,
+        exec: &E,
+        items: &[I],
+        f: F,
+    ) -> Result<BatchOutcome<O>, BatchError>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&TaskSpec, &I) -> O + Sync,
+        E: Executor,
+    {
+        let plan = self.validate(items.len())?;
+        Ok(exec.execute(&plan, items, &f))
+    }
+
+    /// Run a payload-free batch (scheduling only — the usual mode for
+    /// the simulator, where durations carry all the information).
+    ///
+    /// # Errors
+    /// Returns [`BatchError`] if the batch description is invalid.
+    pub fn run<E: Executor>(&self, exec: &E) -> Result<BatchOutcome<()>, BatchError> {
+        let items = vec![(); self.specs.len()];
+        self.run_with(exec, &items, |_, ()| ())
+    }
+}
+
+/// Open the batch span on the plan's recorder. Returns the span and the
+/// clock reading at open, for [`close_batch_span`].
+#[must_use]
+pub fn open_batch_span(plan: &Plan<'_>) -> (SpanId, f64) {
+    let t0 = plan.recorder.now();
+    (plan.recorder.span_start(plan.label), t0)
+}
+
+/// Emit per-task events and close the batch span, advancing virtual
+/// clocks to the batch end so the span duration equals the makespan.
+pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &BatchOutcome<O>) {
+    let rec = plan.recorder;
+    if !rec.is_enabled() {
+        return;
+    }
+    for r in &outcome.records {
+        rec.task(Some(span), &r.task_id, r.worker_id, r.start, r.end);
+    }
+    if outcome.requeued > 0 {
+        rec.add("dataflow/requeued", outcome.requeued as f64);
+    }
+    if outcome.deaths > 0 {
+        rec.add("dataflow/worker_deaths", outcome.deaths as f64);
+    }
+    rec.advance_clock_to(t0 + outcome.makespan);
+    rec.span_end(span);
+}
+
+/// Per-worker busy seconds and finish times derived from task records.
+#[must_use]
+pub fn per_worker_stats(records: &[TaskRecord], workers: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut busy = vec![0.0f64; workers];
+    let mut finish = vec![0.0f64; workers];
+    for r in records {
+        if r.worker_id < workers {
+            busy[r.worker_id] += r.duration();
+            finish[r.worker_id] = finish[r.worker_id].max(r.end);
+        }
+    }
+    (busy, finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::ThreadExecutor;
+    use crate::sim::SimExecutor;
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec::new(format!("t{i}"), 1.0 + (i % 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let s = specs(4);
+        let err = Batch::new(&s).workers(0).run(&SimExecutor::new(0.0));
+        assert_eq!(err.unwrap_err(), BatchError::NoWorkers);
+    }
+
+    #[test]
+    fn item_mismatch_is_a_typed_error() {
+        let s = specs(4);
+        let items = vec![1u32; 3];
+        let err = Batch::new(&s)
+            .workers(2)
+            .run_with(&ThreadExecutor, &items, |_, &x| x)
+            .unwrap_err();
+        assert_eq!(err, BatchError::ItemsMismatch { specs: 4, items: 3 });
+    }
+
+    #[test]
+    fn duration_mismatch_is_a_typed_error() {
+        let s = specs(4);
+        let durations = vec![1.0; 5];
+        let err = Batch::new(&s)
+            .workers(2)
+            .durations(&durations)
+            .run(&SimExecutor::new(0.0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::DurationsMismatch {
+                specs: 4,
+                durations: 5
+            }
+        );
+    }
+
+    #[test]
+    fn all_workers_dying_is_a_typed_error() {
+        let s = specs(10);
+        let faults = [
+            WorkerFault {
+                worker: 0,
+                tasks_before_death: 1,
+            },
+            WorkerFault {
+                worker: 1,
+                tasks_before_death: 1,
+            },
+        ];
+        let err = Batch::new(&s)
+            .workers(2)
+            .faults(&faults)
+            .run(&ThreadExecutor)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::AllWorkersDie {
+                workers: 2,
+                dying: 2
+            }
+        );
+        // Faults aimed at nonexistent workers don't count.
+        let high = [WorkerFault {
+            worker: 9,
+            tasks_before_death: 0,
+        }];
+        assert!(Batch::new(&s)
+            .workers(2)
+            .faults(&high)
+            .run(&ThreadExecutor)
+            .is_ok());
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let msgs = [
+            BatchError::NoWorkers.to_string(),
+            BatchError::ItemsMismatch { specs: 1, items: 2 }.to_string(),
+            BatchError::DurationsMismatch {
+                specs: 1,
+                durations: 2,
+            }
+            .to_string(),
+            BatchError::AllWorkersDie {
+                workers: 2,
+                dying: 2,
+            }
+            .to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[1].contains("1 task specs but 2 items"), "{}", msgs[1]);
+    }
+
+    #[test]
+    fn per_worker_stats_accumulate() {
+        let records = vec![
+            TaskRecord {
+                task_id: "a".into(),
+                worker_id: 0,
+                start: 0.0,
+                end: 2.0,
+            },
+            TaskRecord {
+                task_id: "b".into(),
+                worker_id: 0,
+                start: 3.0,
+                end: 4.0,
+            },
+            TaskRecord {
+                task_id: "c".into(),
+                worker_id: 1,
+                start: 0.0,
+                end: 1.5,
+            },
+        ];
+        let (busy, finish) = per_worker_stats(&records, 2);
+        assert_eq!(busy, vec![3.0, 1.5]);
+        assert_eq!(finish, vec![4.0, 1.5]);
+    }
+
+    #[test]
+    fn empty_batch_runs_everywhere() {
+        let s = specs(0);
+        let sim = Batch::new(&s)
+            .workers(3)
+            .run(&SimExecutor::new(0.0))
+            .unwrap();
+        assert!(sim.records.is_empty());
+        assert_eq!(sim.makespan, 0.0);
+        let real = Batch::new(&s).workers(3).run(&ThreadExecutor).unwrap();
+        assert!(real.outputs.is_empty());
+    }
+}

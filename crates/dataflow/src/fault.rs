@@ -4,17 +4,17 @@
 //! §3.3 notes that over-large proteins "will have failed to process" and
 //! were re-run on high-memory nodes — failed work re-enters the queue
 //! rather than killing the batch. Dask behaves the same way when a worker
-//! is lost. This module provides that semantics for the thread executor:
-//! the scheduler holds the queue; a worker that dies between pulling and
-//! completing a task returns it to the queue (exactly-once *completion*,
-//! at-least-once execution), and the batch drains on the survivors.
+//! is lost. The semantics live in [`crate::real::ThreadExecutor`]: attach
+//! a [`WorkerFault`] schedule with [`crate::exec::Batch::faults`] and a
+//! worker that dies between pulling and completing a task returns it to
+//! the queue (exactly-once *completion*, at-least-once execution), and
+//! the batch drains on the survivors. The old [`map_with_faults`] entry
+//! point survives as a deprecated shim for one PR cycle.
 
+use crate::exec::Batch;
 use crate::policy::OrderingPolicy;
-use crate::sync::lock;
+use crate::real::ThreadExecutor;
 use crate::task::{TaskRecord, TaskSpec};
-use std::collections::VecDeque;
-use std::sync::Mutex;
-use std::time::Instant;
 
 /// A worker-death schedule: worker `w` dies after completing
 /// `tasks_before_death` tasks (the next task it pulls is abandoned and
@@ -27,7 +27,8 @@ pub struct WorkerFault {
     pub tasks_before_death: usize,
 }
 
-/// Result of a fault-tolerant batch.
+/// Result of a fault-tolerant batch (legacy shape kept for
+/// [`map_with_faults`]).
 #[derive(Debug)]
 pub struct FaultBatchResult<O> {
     /// Outputs in submission order (every task completes exactly once).
@@ -47,7 +48,12 @@ pub struct FaultBatchResult<O> {
 /// # Panics
 /// Panics if `workers == 0`, if every worker is scheduled to die before
 /// the queue drains (the batch could never finish), or on spec/item
-/// length mismatch.
+/// length mismatch — use the [`crate::exec::Batch`] API to get these as
+/// typed [`crate::exec::BatchError`] values instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use exec::Batch::new(specs).workers(n).policy(p).faults(sched).run_with(&real::ThreadExecutor, &items, f)"
+)]
 pub fn map_with_faults<I, O, F>(
     specs: &[TaskSpec],
     items: Vec<I>,
@@ -61,89 +67,26 @@ where
     O: Send,
     F: Fn(&TaskSpec, &I) -> O + Sync,
 {
-    // sfcheck::allow(panic-hygiene, caller contract documented under # Panics)
-    assert!(workers > 0, "need at least one worker");
-    // sfcheck::allow(panic-hygiene, caller contract documented under # Panics)
-    assert_eq!(specs.len(), items.len(), "specs and items must correspond");
-    let dying = faults.iter().filter(|f| f.worker < workers).count();
-    // sfcheck::allow(panic-hygiene, caller contract documented under # Panics)
-    assert!(dying < workers, "at least one worker must survive");
-
-    let queue: Mutex<VecDeque<usize>> = Mutex::new(policy.order(specs).into());
-    let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(items.len()));
-    let requeued = std::sync::atomic::AtomicUsize::new(0);
-    let remaining = std::sync::atomic::AtomicUsize::new(items.len());
-    let epoch = Instant::now();
-    let items_ref = &items;
-    let f_ref = &f;
-
-    std::thread::scope(|scope| {
-        for worker_id in 0..workers {
-            let budget = faults
-                .iter()
-                .find(|f| f.worker == worker_id)
-                .map(|f| f.tasks_before_death);
-            let queue = &queue;
-            let outputs = &outputs;
-            let records = &records;
-            let requeued = &requeued;
-            let remaining = &remaining;
-            scope.spawn(move || {
-                let mut completed = 0usize;
-                loop {
-                    if remaining.load(std::sync::atomic::Ordering::Acquire) == 0 {
-                        return;
-                    }
-                    let Some(idx) = lock(queue).pop_front() else {
-                        // Queue momentarily empty but tasks may be
-                        // re-queued by dying workers; spin politely.
-                        std::thread::yield_now();
-                        continue;
-                    };
-                    if budget == Some(completed) {
-                        // The worker dies holding this task: re-queue it
-                        // and exit (Dask reschedules tasks of lost
-                        // workers the same way).
-                        lock(queue).push_back(idx);
-                        requeued.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        return;
-                    }
-                    let start = epoch.elapsed().as_secs_f64();
-                    let out = f_ref(&specs[idx], &items_ref[idx]);
-                    let end = epoch.elapsed().as_secs_f64();
-                    lock(outputs)[idx] = Some(out);
-                    lock(records).push(TaskRecord {
-                        task_id: specs[idx].id.clone(),
-                        worker_id,
-                        start,
-                        end,
-                    });
-                    remaining.fetch_sub(1, std::sync::atomic::Ordering::Release);
-                    completed += 1;
-                }
-            });
-        }
-    });
-
+    let outcome = Batch::new(specs)
+        .workers(workers)
+        .policy(policy)
+        .faults(faults)
+        .run_with(&ThreadExecutor, &items, f)
+        // sfcheck::allow(panic-hygiene, legacy contract; the batch preconditions are the documented panics under # Panics)
+        .unwrap_or_else(|e| panic!("{e}: need at least one worker to survive"));
     FaultBatchResult {
-        outputs: outputs
-            .into_inner()
-            .unwrap_or_else(|p| p.into_inner())
-            .into_iter()
-            // sfcheck::allow(panic-hygiene, the remaining counter reaching zero proves every slot is Some)
-            .map(|o| o.expect("every task completed"))
-            .collect(),
-        records: records.into_inner().unwrap_or_else(|p| p.into_inner()),
-        requeued: requeued.into_inner(),
-        deaths: dying,
-        makespan: epoch.elapsed().as_secs_f64(),
+        outputs: outcome.outputs,
+        records: outcome.records,
+        requeued: outcome.requeued,
+        deaths: outcome.deaths,
+        makespan: outcome.makespan,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{BatchError, BatchOutcome};
 
     fn specs(n: usize) -> Vec<TaskSpec> {
         (0..n)
@@ -156,17 +99,25 @@ mod tests {
         x * 2
     }
 
+    fn run(
+        n: usize,
+        policy: OrderingPolicy,
+        workers: usize,
+        faults: &[WorkerFault],
+    ) -> BatchOutcome<usize> {
+        let items: Vec<usize> = (0..n).collect();
+        Batch::new(&specs(n))
+            .workers(workers)
+            .policy(policy)
+            .faults(faults)
+            .run_with(&ThreadExecutor, &items, slow_double)
+            .unwrap()
+    }
+
     #[test]
     fn no_faults_behaves_like_plain_map() {
         let n = 120;
-        let r = map_with_faults(
-            &specs(n),
-            (0..n).collect(),
-            OrderingPolicy::LongestFirst,
-            4,
-            &[],
-            slow_double,
-        );
+        let r = run(n, OrderingPolicy::LongestFirst, 4, &[]);
         assert_eq!(r.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(r.requeued, 0);
         assert_eq!(r.records.len(), n);
@@ -185,14 +136,7 @@ mod tests {
                 tasks_before_death: 10,
             },
         ];
-        let r = map_with_faults(
-            &specs(n),
-            (0..n).collect(),
-            OrderingPolicy::Fifo,
-            4,
-            &faults,
-            slow_double,
-        );
+        let r = run(n, OrderingPolicy::Fifo, 4, &faults);
         assert_eq!(r.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(r.deaths, 2);
         assert_eq!(r.requeued, 2, "each dying worker abandons exactly one task");
@@ -213,14 +157,7 @@ mod tests {
             worker: 0,
             tasks_before_death: 0,
         }];
-        let r = map_with_faults(
-            &specs(n),
-            (0..n).collect(),
-            OrderingPolicy::Random { seed: 4 },
-            2,
-            &faults,
-            slow_double,
-        );
+        let r = run(n, OrderingPolicy::Random { seed: 4 }, 2, &faults);
         assert_eq!(r.outputs.len(), n);
         assert!(
             r.records.iter().all(|rec| rec.worker_id == 1),
@@ -229,8 +166,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "survive")]
-    fn all_workers_dying_is_rejected() {
+    fn all_workers_dying_is_a_typed_error() {
         let faults = [
             WorkerFault {
                 worker: 0,
@@ -241,11 +177,55 @@ mod tests {
                 tasks_before_death: 1,
             },
         ];
+        let items: Vec<usize> = (0..10).collect();
+        let err = Batch::new(&specs(10))
+            .workers(2)
+            .faults(&faults)
+            .run_with(&ThreadExecutor, &items, |_, &x| x)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::AllWorkersDie {
+                workers: 2,
+                dying: 2
+            }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_batch_api() {
+        let n = 50;
+        let faults = [WorkerFault {
+            worker: 0,
+            tasks_before_death: 2,
+        }];
+        let old = map_with_faults(
+            &specs(n),
+            (0..n).collect(),
+            OrderingPolicy::Fifo,
+            3,
+            &faults,
+            slow_double,
+        );
+        let new = run(n, OrderingPolicy::Fifo, 3, &faults);
+        assert_eq!(old.outputs, new.outputs);
+        assert_eq!(old.deaths, new.deaths);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "survive")]
+    fn all_workers_dying_panics_through_the_shim() {
+        let faults = [WorkerFault {
+            worker: 0,
+            tasks_before_death: 1,
+        }];
         let _ = map_with_faults(
             &specs(10),
             (0..10).collect(),
             OrderingPolicy::Fifo,
-            2,
+            1,
             &faults,
             |_, &x: &usize| x,
         );

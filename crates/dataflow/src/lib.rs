@@ -10,20 +10,30 @@
 //! with one `map` call and appends per-task statistics (start/end time,
 //! worker id) to a CSV file.
 //!
-//! Two executors share the same scheduling semantics:
+//! Every batch is described once with the [`exec::Batch`] builder and
+//! run on an [`exec::Executor`] backend:
 //!
-//! * [`real`] — actual worker threads (a mutex-guarded deque as the task
-//!   queue) running arbitrary Rust closures; used to run the workspace's
-//!   genuine compute (alignment, folding, minimization) in parallel;
-//! * [`sim`] — virtual-time list scheduling for Summit-scale runs (6000
-//!   workers × hours), producing the same per-task records without
-//!   running anything.
+//! * [`real::ThreadExecutor`] — actual worker threads (a mutex-guarded
+//!   deque as the task queue) running arbitrary Rust closures; used to
+//!   run the workspace's genuine compute (alignment, folding,
+//!   minimization) in parallel, optionally under a worker-death schedule
+//!   ([`fault::WorkerFault`]);
+//! * [`sim::SimExecutor`] — virtual-time list scheduling for
+//!   Summit-scale runs (6000 workers × hours), producing the same
+//!   per-task records without running anything.
 //!
 //! Because independent-task dataflow with greedy workers *is* list
 //! scheduling, the policy measured on 48 real threads is exactly the
 //! policy simulated at 6000 virtual workers — the property the Fig 2 and
-//! ablation A1 experiments rely on.
+//! ablation A1 experiments rely on. Both backends return the same
+//! [`exec::BatchOutcome`] and emit the same span/task telemetry into an
+//! [`summitfold_obs::Recorder`], so `stats::to_csv` and
+//! `stats::ascii_gantt` artifacts regenerate byte-identically from a
+//! JSONL trace. The pre-`Batch` entry points (`real::Client::map`,
+//! `sim::simulate`, `fault::map_with_faults`) remain as deprecated shims
+//! for one PR cycle.
 
+pub mod exec;
 pub mod fault;
 pub mod policy;
 pub mod real;
@@ -32,5 +42,6 @@ pub mod stats;
 mod sync;
 pub mod task;
 
+pub use exec::{Batch, BatchError, BatchOutcome, Executor};
 pub use policy::OrderingPolicy;
 pub use task::{TaskRecord, TaskSpec};

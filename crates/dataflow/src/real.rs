@@ -7,19 +7,30 @@
 //! 2. workers start and *register* with the scheduler before accepting
 //!    work (the paper's workers register via a JSON file written by the
 //!    Dask scheduler);
-//! 3. the client submits the full batch in one [`Client::map`] call; each
-//!    worker pulls the next task the instant it finishes the previous one
-//!    (dataflow execution — no static partitioning);
-//! 4. per-task start/end statistics are collected for the CSV report.
+//! 3. the client submits the full batch in one call; each worker pulls
+//!    the next task the instant it finishes the previous one (dataflow
+//!    execution — no static partitioning);
+//! 4. per-task start/end statistics are collected for the CSV report and
+//!    the telemetry trace.
+//!
+//! [`ThreadExecutor`] is the [`crate::exec::Executor`] backend; it also
+//! honors a worker-death schedule (see [`crate::fault`]), re-queueing the
+//! in-flight task of a dying worker so the batch drains on the survivors.
+//! The old [`Client`] entry point survives as a deprecated shim for one
+//! PR cycle.
 
+use crate::exec::{
+    close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, Executor, Plan,
+};
 use crate::policy::OrderingPolicy;
 use crate::sync::lock;
 use crate::task::{TaskRecord, TaskSpec};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Result of a batch execution.
+/// Result of a batch execution (legacy shape kept for [`Client::map`]).
 #[derive(Debug)]
 pub struct BatchResult<O> {
     /// Task outputs, in the original submission order.
@@ -32,6 +43,130 @@ pub struct BatchResult<O> {
     pub registered_workers: Vec<usize>,
 }
 
+/// The thread-backed [`Executor`] backend.
+///
+/// Workers are OS threads pulling from a shared queue; task times are
+/// wall-clock seconds since batch start. With a fault schedule in the
+/// plan, dying workers re-queue their in-flight task and the survivors
+/// drain the queue (exactly-once *completion*, at-least-once execution —
+/// the Dask lost-worker semantics of §3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadExecutor;
+
+impl Executor for ThreadExecutor {
+    fn execute<I, O, F>(&self, plan: &Plan<'_>, items: &[I], f: &F) -> BatchOutcome<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&TaskSpec, &I) -> O + Sync,
+    {
+        let (span, t0) = open_batch_span(plan);
+        let n = items.len();
+        let specs = plan.specs;
+        let has_faults = !plan.faults.is_empty();
+
+        // The scheduler queue: task indices in policy order. The whole
+        // batch is enqueued before any worker starts; workers drain the
+        // deque until it is empty (or, under faults, until the remaining
+        // counter proves every task completed).
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(plan.policy.order(specs).into());
+
+        // Registration list: workers announce themselves before accepting
+        // work.
+        let registered: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(plan.workers));
+
+        let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+        let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(n));
+        let requeued = AtomicUsize::new(0);
+        let remaining = AtomicUsize::new(n);
+        let epoch = Instant::now();
+
+        std::thread::scope(|scope| {
+            for worker_id in 0..plan.workers {
+                let budget = plan
+                    .faults
+                    .iter()
+                    .find(|fault| fault.worker == worker_id)
+                    .map(|fault| fault.tasks_before_death);
+                let queue = &queue;
+                let registered = &registered;
+                let outputs = &outputs;
+                let records = &records;
+                let requeued = &requeued;
+                let remaining = &remaining;
+                scope.spawn(move || {
+                    lock(registered).push(worker_id);
+                    let mut completed = 0usize;
+                    loop {
+                        if has_faults && remaining.load(Ordering::Acquire) == 0 {
+                            return; // every task completed somewhere
+                        }
+                        let Some(idx) = lock(queue).pop_front() else {
+                            if has_faults {
+                                // Queue momentarily empty but tasks may be
+                                // re-queued by dying workers; spin politely.
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            return; // queue drained — batch complete for this worker
+                        };
+                        if budget == Some(completed) {
+                            // The worker dies holding this task: re-queue
+                            // it and exit (Dask reschedules tasks of lost
+                            // workers the same way).
+                            lock(queue).push_back(idx);
+                            requeued.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        let start = epoch.elapsed().as_secs_f64();
+                        let out = f(&specs[idx], &items[idx]);
+                        let end = epoch.elapsed().as_secs_f64();
+                        lock(outputs)[idx] = Some(out);
+                        lock(records).push(TaskRecord {
+                            task_id: specs[idx].id.clone(),
+                            worker_id,
+                            start,
+                            end,
+                        });
+                        remaining.fetch_sub(1, Ordering::Release);
+                        completed += 1;
+                    }
+                });
+            }
+        });
+
+        let makespan = epoch.elapsed().as_secs_f64();
+        let registered_workers = registered.into_inner().unwrap_or_else(|p| p.into_inner());
+        let outputs: Vec<O> = outputs
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .into_iter()
+            // sfcheck::allow(panic-hygiene, scope exit proves every task completed, so every slot is Some)
+            .map(|o| o.expect("every task ran"))
+            .collect();
+        let records = records.into_inner().unwrap_or_else(|p| p.into_inner());
+        let (worker_busy, worker_finish) = per_worker_stats(&records, plan.workers);
+        let deaths = plan
+            .faults
+            .iter()
+            .filter(|fault| fault.worker < plan.workers)
+            .count();
+        let outcome = BatchOutcome {
+            outputs,
+            records,
+            makespan,
+            workers: plan.workers,
+            registered_workers,
+            worker_busy,
+            worker_finish,
+            requeued: requeued.into_inner(),
+            deaths,
+        };
+        close_batch_span(plan, span, t0, &outcome);
+        outcome
+    }
+}
+
 /// The dataflow client: submit a batch and wait for all results.
 pub struct Client {
     workers: usize,
@@ -42,6 +177,10 @@ impl Client {
     ///
     /// # Panics
     /// Panics if `workers == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use exec::Batch::new(specs).workers(n).run_with(&real::ThreadExecutor, ...)"
+    )]
     #[must_use]
     pub fn new(workers: usize) -> Self {
         // sfcheck::allow(panic-hygiene, constructor contract documented under # Panics)
@@ -54,6 +193,14 @@ impl Client {
     /// Equivalent to the paper's single `client.map()` call: tasks are
     /// enqueued once, and free workers pull greedily until the queue
     /// drains.
+    ///
+    /// # Panics
+    /// Panics on spec/item length mismatch — use the
+    /// [`crate::exec::Batch`] API to get this as a typed error instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use exec::Batch::new(specs).workers(n).policy(p).run_with(&real::ThreadExecutor, &items, f)"
+    )]
     pub fn map<I, O, F>(
         &self,
         specs: &[TaskSpec],
@@ -66,68 +213,17 @@ impl Client {
         O: Send,
         F: Fn(&TaskSpec, &I) -> O + Sync,
     {
-        // sfcheck::allow(panic-hygiene, caller contract; mismatched batches cannot be executed)
-        assert_eq!(specs.len(), items.len(), "specs and items must correspond");
-        let n = items.len();
-
-        // The scheduler queue: task indices in policy order. The whole
-        // batch is enqueued before any worker starts; workers drain the
-        // deque until it is empty.
-        let queue: Mutex<VecDeque<usize>> = Mutex::new(policy.order(specs).into());
-
-        // Registration list: workers announce themselves before accepting
-        // work.
-        let registered: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(self.workers));
-
-        let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-        let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(n));
-        let epoch = Instant::now();
-        let items_ref = &items;
-        let f_ref = &f;
-
-        std::thread::scope(|scope| {
-            for worker_id in 0..self.workers {
-                let queue = &queue;
-                let registered = &registered;
-                let outputs = &outputs;
-                let records = &records;
-                scope.spawn(move || {
-                    lock(registered).push(worker_id);
-                    loop {
-                        let Some(idx) = lock(queue).pop_front() else {
-                            return; // queue drained — batch complete for this worker
-                        };
-                        let start = epoch.elapsed().as_secs_f64();
-                        let out = f_ref(&specs[idx], &items_ref[idx]);
-                        let end = epoch.elapsed().as_secs_f64();
-                        lock(outputs)[idx] = Some(out);
-                        lock(records).push(TaskRecord {
-                            task_id: specs[idx].id.clone(),
-                            worker_id,
-                            start,
-                            end,
-                        });
-                    }
-                });
-            }
-        });
-
-        let registered_workers: Vec<usize> =
-            registered.into_inner().unwrap_or_else(|p| p.into_inner());
-        let makespan = epoch.elapsed().as_secs_f64();
-        let outputs = outputs
-            .into_inner()
-            .unwrap_or_else(|p| p.into_inner())
-            .into_iter()
-            // sfcheck::allow(panic-hygiene, scope exit proves the queue drained, so every slot is Some)
-            .map(|o| o.expect("every task ran"))
-            .collect();
-        let records = records.into_inner().unwrap_or_else(|p| p.into_inner());
+        let outcome = crate::exec::Batch::new(specs)
+            .workers(self.workers)
+            .policy(policy)
+            .run_with(&ThreadExecutor, &items, f)
+            // sfcheck::allow(panic-hygiene, legacy contract; the constructor guarantees workers > 0 and mismatch is the documented panic)
+            .expect("specs and items must correspond");
         BatchResult {
-            outputs,
-            records,
-            makespan,
-            registered_workers,
+            outputs: outcome.outputs,
+            records: outcome.records,
+            makespan: outcome.makespan,
+            registered_workers: outcome.registered_workers,
         }
     }
 }
@@ -135,6 +231,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Batch;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn specs(n: usize) -> Vec<TaskSpec> {
@@ -143,26 +240,48 @@ mod tests {
             .collect()
     }
 
+    fn run<I, O, F>(
+        workers: usize,
+        specs: &[TaskSpec],
+        items: &[I],
+        policy: OrderingPolicy,
+        f: F,
+    ) -> BatchOutcome<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&TaskSpec, &I) -> O + Sync,
+    {
+        Batch::new(specs)
+            .workers(workers)
+            .policy(policy)
+            .run_with(&ThreadExecutor, items, f)
+            .unwrap()
+    }
+
     #[test]
     fn outputs_in_submission_order() {
-        let client = Client::new(4);
         let n = 100;
         let items: Vec<usize> = (0..n).collect();
-        let result = client.map(&specs(n), items, OrderingPolicy::LongestFirst, |_, &x| {
-            x * 2
-        });
+        let result = run(
+            4,
+            &specs(n),
+            &items,
+            OrderingPolicy::LongestFirst,
+            |_, &x| x * 2,
+        );
         assert_eq!(result.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn every_task_runs_exactly_once() {
         let counter = AtomicUsize::new(0);
-        let client = Client::new(8);
         let n = 500;
         let items = vec![(); n];
-        let result = client.map(
+        let result = run(
+            8,
             &specs(n),
-            items,
+            &items,
             OrderingPolicy::Random { seed: 3 },
             |_, ()| {
                 counter.fetch_add(1, Ordering::Relaxed);
@@ -178,10 +297,9 @@ mod tests {
 
     #[test]
     fn all_workers_register_and_participate() {
-        let client = Client::new(6);
         let n = 120;
         let items = vec![1u64; n];
-        let result = client.map(&specs(n), items, OrderingPolicy::Fifo, |_, &x| {
+        let result = run(6, &specs(n), &items, OrderingPolicy::Fifo, |_, &x| {
             // Sleeping (rather than spinning) yields the core, so worker
             // rotation happens even on a single-CPU machine.
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -198,16 +316,18 @@ mod tests {
 
     #[test]
     fn records_have_valid_times() {
-        let client = Client::new(3);
         let n = 50;
         let items = vec![(); n];
-        let result = client.map(&specs(n), items, OrderingPolicy::Fifo, |_, ()| {
+        let result = run(3, &specs(n), &items, OrderingPolicy::Fifo, |_, ()| {
             std::thread::sleep(std::time::Duration::from_micros(200));
         });
         for r in &result.records {
             assert!(r.end >= r.start, "{:?}", r);
             assert!(r.end <= result.makespan + 0.05);
         }
+        let busy: f64 = result.worker_busy.iter().sum();
+        let durations: f64 = result.records.iter().map(TaskRecord::duration).sum();
+        assert!((busy - durations).abs() < 1e-9);
     }
 
     #[test]
@@ -221,8 +341,8 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
             x * 3
         };
-        let t1 = Client::new(1).map(&specs_v, items.clone(), OrderingPolicy::Fifo, work);
-        let t4 = Client::new(8).map(&specs_v, items, OrderingPolicy::Fifo, work);
+        let t1 = run(1, &specs_v, &items, OrderingPolicy::Fifo, work);
+        let t4 = run(8, &specs_v, &items, OrderingPolicy::Fifo, work);
         assert_eq!(
             t1.outputs, t4.outputs,
             "parallelism must not change results"
@@ -237,10 +357,10 @@ mod tests {
 
     #[test]
     fn single_item_batch() {
-        let client = Client::new(4);
-        let result = client.map(
+        let result = run(
+            4,
             &[TaskSpec::new("only", 1.0)],
-            vec![7],
+            &[7],
             OrderingPolicy::LongestFirst,
             |_, &x| x + 1,
         );
@@ -248,6 +368,20 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_client_matches_batch_api() {
+        let n = 60;
+        let items: Vec<usize> = (0..n).collect();
+        let old = Client::new(4).map(&specs(n), items.clone(), OrderingPolicy::Fifo, |_, &x| {
+            x + 1
+        });
+        let new = run(4, &specs(n), &items, OrderingPolicy::Fifo, |_, &x| x + 1);
+        assert_eq!(old.outputs, new.outputs);
+        assert_eq!(old.records.len(), new.records.len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Client::new(0);

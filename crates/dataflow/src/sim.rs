@@ -7,13 +7,18 @@
 //! is how the Fig 2 worker timelines, the Table 1 walltimes and the A1
 //! ordering ablation are produced at 1200–6000 workers without a
 //! supercomputer.
+//!
+//! [`SimExecutor`] is the [`crate::exec::Executor`] backend; the old
+//! [`simulate`] free function survives as a deprecated shim for one PR
+//! cycle.
 
+use crate::exec::{close_batch_span, open_batch_span, BatchOutcome, Executor, Plan};
 use crate::policy::OrderingPolicy;
 use crate::task::{TaskRecord, TaskSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Result of a simulated batch.
+/// Result of a simulated batch (legacy shape kept for [`simulate`]).
 #[derive(Debug, Clone)]
 pub struct SimResult {
     /// Per-task records in virtual seconds.
@@ -69,33 +74,20 @@ impl SimResult {
     }
 }
 
-/// Simulate a batch: `durations[i]` is the virtual execution time of
-/// `specs[i]`; `per_task_overhead` models the scheduler dispatch gap
-/// between consecutive tasks on a worker (the white lines in Fig 2).
-#[must_use]
-pub fn simulate(
+/// Greedy list scheduling: assign each task in `order` to the
+/// earliest-free worker. Returns (records, worker_finish, worker_busy,
+/// makespan). Precondition: `workers > 0` and durations correspond to
+/// specs (guaranteed by [`crate::exec::Batch`] validation).
+fn list_schedule(
     specs: &[TaskSpec],
     durations: &[f64],
     workers: usize,
-    policy: OrderingPolicy,
+    order: &[usize],
     per_task_overhead: f64,
-) -> SimResult {
-    // sfcheck::allow(panic-hygiene, caller contract; mismatched inputs cannot be simulated)
-    assert_eq!(
-        specs.len(),
-        durations.len(),
-        "specs and durations must correspond"
-    );
-    // sfcheck::allow(panic-hygiene, caller contract documented on the function)
-    assert!(workers > 0, "need at least one worker");
-    // sfcheck::allow(panic-hygiene, caller contract; negative overhead is meaningless)
-    assert!(per_task_overhead >= 0.0);
-    let order = policy.order(specs);
-
+) -> (Vec<TaskRecord>, Vec<f64>, Vec<f64>, f64) {
     // Earliest-free-worker heap: (free_time, worker_id). Reverse for a
-    // min-heap; f64 wrapped via total ordering on bits is avoided by
-    // using (time, id) tuples compared through partial_cmp — times here
-    // are always finite.
+    // min-heap; times here are always finite, so total_cmp is a total
+    // order consistent with the scheduling semantics.
     #[derive(PartialEq)]
     struct Slot(f64, usize);
     impl Eq for Slot {}
@@ -115,9 +107,10 @@ pub fn simulate(
     let mut worker_finish = vec![0.0f64; workers];
     let mut worker_busy = vec![0.0f64; workers];
 
-    for idx in order {
-        // sfcheck::allow(panic-hygiene, heap is seeded with workers entries and the workers > 0 precondition is asserted above)
-        let Reverse(Slot(free_at, w)) = heap.pop().expect("workers present");
+    for &idx in order {
+        let Some(Reverse(Slot(free_at, w))) = heap.pop() else {
+            break; // unreachable: the heap always holds `workers` slots
+        };
         let start = free_at + per_task_overhead;
         let end = start + durations[idx];
         records.push(TaskRecord {
@@ -132,6 +125,112 @@ pub fn simulate(
     }
 
     let makespan = worker_finish.iter().copied().fold(0.0, f64::max);
+    (records, worker_finish, worker_busy, makespan)
+}
+
+/// The virtual-time [`Executor`] backend.
+///
+/// Task durations come from the plan's explicit `durations` (or from
+/// `cost_hint` when none are given); the closure still runs once per
+/// task — sequentially, in submission order — so simulated batches
+/// produce real outputs. Fault schedules are ignored: virtual workers
+/// do not die.
+#[derive(Debug, Clone, Copy)]
+pub struct SimExecutor {
+    per_task_overhead: f64,
+}
+
+impl SimExecutor {
+    /// A simulator with the given scheduler dispatch gap between
+    /// consecutive tasks on a worker (the white lines in Fig 2).
+    /// Negative overheads are clamped to zero.
+    #[must_use]
+    pub fn new(per_task_overhead: f64) -> Self {
+        Self {
+            per_task_overhead: per_task_overhead.max(0.0),
+        }
+    }
+}
+
+impl Executor for SimExecutor {
+    fn execute<I, O, F>(&self, plan: &Plan<'_>, items: &[I], f: &F) -> BatchOutcome<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&TaskSpec, &I) -> O + Sync,
+    {
+        let (span, t0) = open_batch_span(plan);
+        let owned_durations: Vec<f64>;
+        let durations: &[f64] = match plan.durations {
+            Some(d) => d,
+            None => {
+                owned_durations = plan.specs.iter().map(|s| s.cost_hint).collect();
+                &owned_durations
+            }
+        };
+        let order = plan.policy.order(plan.specs);
+        let (records, worker_finish, worker_busy, makespan) = list_schedule(
+            plan.specs,
+            durations,
+            plan.workers,
+            &order,
+            self.per_task_overhead,
+        );
+        let outputs = plan
+            .specs
+            .iter()
+            .zip(items)
+            .map(|(spec, item)| f(spec, item))
+            .collect();
+        let outcome = BatchOutcome {
+            outputs,
+            records,
+            makespan,
+            workers: plan.workers,
+            registered_workers: (0..plan.workers).collect(),
+            worker_busy,
+            worker_finish,
+            requeued: 0,
+            deaths: 0,
+        };
+        close_batch_span(plan, span, t0, &outcome);
+        outcome
+    }
+}
+
+/// Simulate a batch: `durations[i]` is the virtual execution time of
+/// `specs[i]`; `per_task_overhead` models the scheduler dispatch gap
+/// between consecutive tasks on a worker (the white lines in Fig 2).
+///
+/// # Panics
+/// Panics on spec/duration length mismatch, `workers == 0`, or negative
+/// overhead — use the [`crate::exec::Batch`] API to get these as typed
+/// errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use exec::Batch::new(specs).workers(n).policy(p).durations(d).run(&sim::SimExecutor::new(overhead))"
+)]
+#[must_use]
+pub fn simulate(
+    specs: &[TaskSpec],
+    durations: &[f64],
+    workers: usize,
+    policy: OrderingPolicy,
+    per_task_overhead: f64,
+) -> SimResult {
+    // sfcheck::allow(panic-hygiene, caller contract; mismatched inputs cannot be simulated)
+    assert_eq!(
+        specs.len(),
+        durations.len(),
+        "specs and durations must correspond"
+    );
+    // sfcheck::allow(panic-hygiene, caller contract documented on the function)
+    assert!(workers > 0, "need at least one worker");
+    // sfcheck::allow(panic-hygiene, caller contract; negative overhead is meaningless)
+    assert!(per_task_overhead >= 0.0);
+    let order = policy.order(specs);
+    let (records, worker_finish, worker_busy, makespan) =
+        list_schedule(specs, durations, workers, &order, per_task_overhead);
     SimResult {
         records,
         makespan,
@@ -143,6 +242,7 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Batch;
     use summitfold_protein::rng::Xoshiro256;
 
     fn heterogeneous_batch(n: usize, seed: u64) -> (Vec<TaskSpec>, Vec<f64>) {
@@ -156,11 +256,26 @@ mod tests {
         (specs, durations)
     }
 
+    fn run(
+        specs: &[TaskSpec],
+        durations: &[f64],
+        workers: usize,
+        policy: OrderingPolicy,
+        overhead: f64,
+    ) -> BatchOutcome<()> {
+        Batch::new(specs)
+            .workers(workers)
+            .policy(policy)
+            .durations(durations)
+            .run(&SimExecutor::new(overhead))
+            .unwrap()
+    }
+
     #[test]
     fn makespan_lower_bounds_hold() {
         let (specs, durations) = heterogeneous_batch(500, 1);
         let workers = 32;
-        let r = simulate(
+        let r = run(
             &specs,
             &durations,
             workers,
@@ -182,14 +297,14 @@ mod tests {
         let mut wins = 0;
         for seed in 0..10 {
             let (specs, durations) = heterogeneous_batch(600, seed);
-            let lpt = simulate(
+            let lpt = run(
                 &specs,
                 &durations,
                 workers,
                 OrderingPolicy::LongestFirst,
                 0.0,
             );
-            let rnd = simulate(
+            let rnd = run(
                 &specs,
                 &durations,
                 workers,
@@ -206,7 +321,7 @@ mod tests {
     #[test]
     fn longest_first_has_small_idle_tail() {
         let (specs, durations) = heterogeneous_batch(2000, 7);
-        let r = simulate(&specs, &durations, 100, OrderingPolicy::LongestFirst, 0.0);
+        let r = run(&specs, &durations, 100, OrderingPolicy::LongestFirst, 0.0);
         // Workers finish within one small-task length of one another.
         assert!(
             r.idle_tail() < r.makespan * 0.05,
@@ -220,7 +335,7 @@ mod tests {
     #[test]
     fn conservation_of_work() {
         let (specs, durations) = heterogeneous_batch(300, 9);
-        let r = simulate(&specs, &durations, 16, OrderingPolicy::Fifo, 0.0);
+        let r = run(&specs, &durations, 16, OrderingPolicy::Fifo, 0.0);
         let busy: f64 = r.worker_busy.iter().sum();
         let total: f64 = durations.iter().sum();
         assert!((busy - total).abs() < 1e-6);
@@ -231,7 +346,7 @@ mod tests {
     fn overhead_appears_between_tasks() {
         let specs = vec![TaskSpec::new("a", 1.0), TaskSpec::new("b", 1.0)];
         let durations = vec![10.0, 10.0];
-        let r = simulate(&specs, &durations, 1, OrderingPolicy::Fifo, 2.0);
+        let r = run(&specs, &durations, 1, OrderingPolicy::Fifo, 2.0);
         // worker: [2,12] then [14,24].
         assert!((r.makespan - 24.0).abs() < 1e-9);
         let tl = r.worker_timeline(0);
@@ -241,7 +356,7 @@ mod tests {
     #[test]
     fn worker_timeline_sorted_and_non_overlapping() {
         let (specs, durations) = heterogeneous_batch(400, 11);
-        let r = simulate(&specs, &durations, 10, OrderingPolicy::LongestFirst, 1.0);
+        let r = run(&specs, &durations, 10, OrderingPolicy::LongestFirst, 1.0);
         for w in 0..10 {
             let tl = r.worker_timeline(w);
             for pair in tl.windows(2) {
@@ -255,7 +370,7 @@ mod tests {
         let (specs, durations) = heterogeneous_batch(800, 13);
         let mut prev = f64::INFINITY;
         for workers in [8, 32, 128, 512] {
-            let r = simulate(
+            let r = run(
                 &specs,
                 &durations,
                 workers,
@@ -270,14 +385,14 @@ mod tests {
     #[test]
     fn deterministic() {
         let (specs, durations) = heterogeneous_batch(200, 17);
-        let a = simulate(
+        let a = run(
             &specs,
             &durations,
             24,
             OrderingPolicy::Random { seed: 5 },
             0.5,
         );
-        let b = simulate(
+        let b = run(
             &specs,
             &durations,
             24,
@@ -285,5 +400,39 @@ mod tests {
             0.5,
         );
         assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn durations_default_to_cost_hints() {
+        let specs = vec![TaskSpec::new("a", 3.0), TaskSpec::new("b", 5.0)];
+        let r = Batch::new(&specs)
+            .workers(1)
+            .run(&SimExecutor::new(0.0))
+            .unwrap();
+        assert!((r.makespan - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closure_runs_once_per_task_in_submission_order() {
+        let specs = vec![TaskSpec::new("a", 2.0), TaskSpec::new("b", 1.0)];
+        let items = vec![10u32, 20u32];
+        let r = Batch::new(&specs)
+            .workers(2)
+            .policy(OrderingPolicy::LongestFirst)
+            .run_with(&SimExecutor::new(0.0), &items, |_, &x| x * 2)
+            .unwrap();
+        assert_eq!(r.outputs, vec![20, 40]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_simulate_matches_batch_api() {
+        let (specs, durations) = heterogeneous_batch(150, 21);
+        let old = simulate(&specs, &durations, 12, OrderingPolicy::LongestFirst, 0.5);
+        let new = run(&specs, &durations, 12, OrderingPolicy::LongestFirst, 0.5);
+        assert_eq!(old.records, new.records);
+        assert_eq!(old.makespan, new.makespan);
+        assert_eq!(old.worker_busy, new.worker_busy);
+        assert_eq!(old.worker_finish, new.worker_finish);
     }
 }

@@ -6,6 +6,12 @@
 //! written alongside the raw CSV so it can be re-plotted).
 
 use crate::task::TaskRecord;
+use summitfold_obs::Trace;
+
+/// Tolerance for validating the CSV's redundant `duration_s` column
+/// against `end_s - start_s`: both are written with three decimals, so
+/// rounding can disagree by at most one unit in the last place of each.
+const DURATION_TOLERANCE: f64 = 2e-3;
 
 /// Render task records as the statistics CSV (§3.3 step 3e).
 #[must_use]
@@ -25,6 +31,10 @@ pub fn to_csv(records: &[TaskRecord]) -> String {
 }
 
 /// Parse the statistics CSV back into records (for analysis tooling).
+///
+/// All five columns written by [`to_csv`] are required, and the
+/// redundant `duration_s` column is validated against `end_s - start_s`
+/// so a corrupted duration cannot round-trip silently.
 pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate().skip(1) {
@@ -32,23 +42,57 @@ pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() < 4 {
-            return Err(format!("line {}: expected ≥4 fields", lineno + 1));
+        if fields.len() != 5 {
+            return Err(format!(
+                "line {}: expected 5 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let parse = |s: &str, what: &str| -> Result<f64, String> {
             s.parse()
                 .map_err(|_| format!("line {}: bad {what}", lineno + 1))
         };
-        out.push(TaskRecord {
+        let record = TaskRecord {
             task_id: fields[0].to_owned(),
             worker_id: fields[1]
                 .parse()
                 .map_err(|_| format!("line {}: bad worker id", lineno + 1))?,
             start: parse(fields[2], "start")?,
             end: parse(fields[3], "end")?,
-        });
+        };
+        let duration = parse(fields[4], "duration")?;
+        if (duration - record.duration()).abs() > DURATION_TOLERANCE {
+            return Err(format!(
+                "line {}: duration_s {} disagrees with end_s - start_s = {}",
+                lineno + 1,
+                duration,
+                record.duration()
+            ));
+        }
+        out.push(record);
     }
     Ok(out)
+}
+
+/// Extract task records from a telemetry trace, in recorded order.
+///
+/// Executors emit task events in the same order as the records they
+/// return, with exact (shortest-round-trip) floats — so
+/// `to_csv(&records_from_trace(&trace))` is byte-identical to the CSV
+/// produced from the live batch.
+#[must_use]
+pub fn records_from_trace(trace: &Trace) -> Vec<TaskRecord> {
+    trace
+        .tasks()
+        .into_iter()
+        .map(|t| TaskRecord {
+            task_id: t.task,
+            worker_id: t.worker,
+            start: t.start,
+            end: t.end,
+        })
+        .collect()
 }
 
 /// ASCII gantt of selected workers (Fig 2 style): each row is one worker,
@@ -134,7 +178,72 @@ mod tests {
     #[test]
     fn bad_csv_rejected() {
         assert!(from_csv("header\nonly,three,fields\n").is_err());
-        assert!(from_csv("header\na,notanum,0.0,1.0\n").is_err());
+        assert!(from_csv("header\na,notanum,0.0,1.0,1.0\n").is_err());
+        // Four fields (the pre-fix row shape) are no longer accepted.
+        assert!(from_csv("header\na,0,0.0,1.0\n").is_err());
+    }
+
+    #[test]
+    fn corrupted_duration_column_is_rejected() {
+        let good = "task_id,worker_id,start_s,end_s,duration_s\na,0,1.000,3.500,2.500\n";
+        assert!(from_csv(good).is_ok());
+        let bad = "task_id,worker_id,start_s,end_s,duration_s\na,0,1.000,3.500,9.000\n";
+        let err = from_csv(bad).unwrap_err();
+        assert!(err.contains("duration_s"), "{err}");
+        assert!(from_csv("h\na,0,1.0,3.5,nope\n").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_property_seeded() {
+        use summitfold_protein::rng::Xoshiro256;
+        // Property: to_csv → from_csv → to_csv is byte-identical for
+        // arbitrary (seeded) record sets, including the duration column.
+        for seed in 0..20u64 {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let n = 1 + (rng.next_u64() % 50) as usize;
+            let records: Vec<TaskRecord> = (0..n)
+                .map(|i| {
+                    let start = rng.uniform() * 1e4;
+                    TaskRecord {
+                        task_id: format!("s{seed}t{i}"),
+                        worker_id: (rng.next_u64() % 64) as usize,
+                        start,
+                        end: start + rng.gamma(1.5, 60.0),
+                    }
+                })
+                .collect();
+            let csv = to_csv(&records);
+            let parsed = from_csv(&csv).unwrap();
+            for (p, r) in parsed.iter().zip(&records) {
+                assert_eq!(p.task_id, r.task_id);
+                assert_eq!(p.worker_id, r.worker_id);
+                assert!((p.start - r.start).abs() < 1e-3);
+                assert!((p.end - r.end).abs() < 1e-3);
+            }
+            // After one canonicalization (3-decimal rounding) the cycle
+            // is byte-identical: parse → serialize is a fixed point.
+            let canonical = to_csv(&parsed);
+            let reparsed = from_csv(&canonical).unwrap();
+            assert_eq!(
+                to_csv(&reparsed),
+                canonical,
+                "seed {seed} not byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn records_from_trace_preserves_order_and_values() {
+        let rec = summitfold_obs::Recorder::virtual_time();
+        let span = rec.span_start("batch");
+        for r in &sample() {
+            rec.task(Some(span), &r.task_id, r.worker_id, r.start, r.end);
+        }
+        rec.span_end(span);
+        let trace = Trace::parse_jsonl(&rec.to_jsonl()).unwrap();
+        let records = records_from_trace(&trace);
+        assert_eq!(records, sample());
+        assert_eq!(to_csv(&records), to_csv(&sample()));
     }
 
     #[test]

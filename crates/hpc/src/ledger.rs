@@ -9,6 +9,8 @@
 
 use crate::machine::Machine;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use summitfold_obs::Recorder;
 
 /// A single charge.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +27,7 @@ pub struct Charge {
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
     charges: Vec<Charge>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Ledger {
@@ -34,10 +37,27 @@ impl Ledger {
         Self::default()
     }
 
+    /// New ledger that mirrors every charge into a telemetry recorder as
+    /// a `node_seconds/{machine}/{stage}` counter, so a JSONL trace
+    /// carries the budget alongside the spans it paid for.
+    #[must_use]
+    pub fn observed(recorder: Arc<Recorder>) -> Self {
+        Self {
+            charges: Vec::new(),
+            recorder: Some(recorder),
+        }
+    }
+
     /// Record a charge in node-seconds.
     pub fn charge(&mut self, machine: Machine, stage: &str, node_seconds: f64) {
         // sfcheck::allow(panic-hygiene, caller contract; negative charges would corrupt the budget)
         assert!(node_seconds >= 0.0, "charges are non-negative");
+        if let Some(rec) = &self.recorder {
+            rec.add(
+                &format!("node_seconds/{}/{stage}", machine.name()),
+                node_seconds,
+            );
+        }
         self.charges.push(Charge {
             machine,
             stage: stage.to_owned(),
@@ -139,5 +159,24 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_charges_rejected() {
         Ledger::new().charge(Machine::Summit, "x", -1.0);
+    }
+
+    #[test]
+    fn observed_ledger_mirrors_charges_into_counters() {
+        let rec = Arc::new(Recorder::virtual_time());
+        let mut l = Ledger::observed(Arc::clone(&rec));
+        l.charge_job(Machine::Summit, "inference", 32, 60.0);
+        l.charge(Machine::Summit, "inference", 80.0);
+        l.charge(Machine::Andes, "feature_gen", 7200.0);
+        let trace = summitfold_obs::Trace::from_events(rec.events());
+        let totals = trace.counter_totals();
+        assert!((totals["node_seconds/Summit/inference"] - (32.0 * 60.0 + 80.0)).abs() < 1e-9);
+        assert!((totals["node_seconds/Andes/feature_gen"] - 7200.0).abs() < 1e-9);
+        // The counters agree with the ledger's own accounting.
+        assert!(
+            (totals["node_seconds/Summit/inference"] / 3600.0 - l.node_hours(Machine::Summit))
+                .abs()
+                < 1e-9
+        );
     }
 }

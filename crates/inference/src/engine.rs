@@ -22,6 +22,7 @@ use crate::preset::Preset;
 use crate::quality::{self, target_quality};
 use crate::recycle;
 use summitfold_msa::FeatureSet;
+use summitfold_obs::Recorder;
 use summitfold_protein::family::deform;
 use summitfold_protein::geom::Vec3;
 use summitfold_protein::grid::SpatialGrid;
@@ -188,6 +189,22 @@ impl InferenceEngine {
         features: &FeatureSet,
         model: ModelId,
     ) -> Result<Prediction, InferenceError> {
+        self.predict_traced(entry, features, model, Recorder::disabled())
+    }
+
+    /// [`InferenceEngine::predict`], recording recycle-loop telemetry.
+    ///
+    /// Per successful run: an `inference/recycles` and an
+    /// `inference/gpu_seconds` histogram observation, plus an
+    /// `inference/converged` or `inference/recycle_cap_hits` counter
+    /// increment (the dynamic-recycling outcome of §3.2.2).
+    pub fn predict_traced(
+        &self,
+        entry: &ProteinEntry,
+        features: &FeatureSet,
+        model: ModelId,
+        rec: &Recorder,
+    ) -> Result<Prediction, InferenceError> {
         let length = entry.sequence.len();
         let ensembles = self.preset.ensembles();
         let required = memory::peak_bytes(length, ensembles);
@@ -203,6 +220,14 @@ impl InferenceEngine {
 
         let q = target_quality(features, model);
         let outcome = recycle::run(&q, self.preset, length);
+        if rec.is_enabled() {
+            rec.observe("inference/recycles", f64::from(outcome.recycles));
+            if outcome.converged {
+                rec.add("inference/converged", 1.0);
+            } else {
+                rec.add("inference/recycle_cap_hits", 1.0);
+            }
+        }
         let err = q.error_after(outcome.recycles);
 
         let profile = quality::plddt_profile(err, length, q.seed);
@@ -227,6 +252,8 @@ impl InferenceEngine {
             }
         };
 
+        let gpu_seconds = cost::gpu_seconds(length, outcome.recycles, ensembles);
+        rec.observe("inference/gpu_seconds", gpu_seconds);
         Ok(Prediction {
             target_id: entry.sequence.id.clone(),
             model,
@@ -239,7 +266,7 @@ impl InferenceEngine {
             final_error: err,
             challenging: q.challenging,
             structure,
-            gpu_seconds: cost::gpu_seconds(length, outcome.recycles, ensembles),
+            gpu_seconds,
             peak_mem_bytes: required,
         })
     }
@@ -250,9 +277,21 @@ impl InferenceEngine {
         entry: &ProteinEntry,
         features: &FeatureSet,
     ) -> Result<TargetResult, InferenceError> {
+        self.predict_target_traced(entry, features, Recorder::disabled())
+    }
+
+    /// [`InferenceEngine::predict_target`], recording recycle-loop
+    /// telemetry for each of the five model runs (see
+    /// [`InferenceEngine::predict_traced`]).
+    pub fn predict_target_traced(
+        &self,
+        entry: &ProteinEntry,
+        features: &FeatureSet,
+        rec: &Recorder,
+    ) -> Result<TargetResult, InferenceError> {
         let mut predictions = Vec::with_capacity(5);
         for model in ModelId::ALL {
-            predictions.push(self.predict(entry, features, model)?);
+            predictions.push(self.predict_traced(entry, features, model, rec)?);
         }
         let top_index = predictions
             .iter()
@@ -557,6 +596,35 @@ mod tests {
         }
         let corr = stats::pearson(&ptms_est, &tm_real);
         assert!(corr > 0.5, "pTMS should track realized TM, corr {corr}");
+    }
+
+    #[test]
+    fn traced_prediction_records_recycle_telemetry() {
+        let entries = benchmark_entries(4);
+        let engine = InferenceEngine::new(Preset::Super, Fidelity::Statistical);
+        let rec = Recorder::virtual_time();
+        for e in &entries {
+            let traced = engine.predict_target_traced(e, &feats(e), &rec).unwrap();
+            let plain = engine.predict_target(e, &feats(e)).unwrap();
+            assert_eq!(
+                traced.top().ptms,
+                plain.top().ptms,
+                "telemetry must not perturb results"
+            );
+        }
+        let trace = summitfold_obs::Trace::from_events(rec.events());
+        let hists = trace.histograms();
+        let recycles = &hists["inference/recycles"];
+        assert_eq!(recycles.count, entries.len() * 5);
+        assert!(recycles.p50 >= 3.0);
+        assert_eq!(hists["inference/gpu_seconds"].count, entries.len() * 5);
+        let totals = trace.counter_totals();
+        let outcomes = totals.get("inference/converged").copied().unwrap_or(0.0)
+            + totals
+                .get("inference/recycle_cap_hits")
+                .copied()
+                .unwrap_or(0.0);
+        assert_eq!(outcomes, (entries.len() * 5) as f64);
     }
 
     #[test]

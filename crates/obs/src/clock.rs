@@ -1,0 +1,93 @@
+//! Time sources for the recorder.
+//!
+//! Every timestamp in a trace comes from a [`Clock`]. Two implementations
+//! exist:
+//!
+//! * [`VirtualClock`] (here) — a deterministic, manually-advanced clock.
+//!   This is what the simulator and every repro-number path use: the same
+//!   inputs produce byte-identical traces, satisfying the workspace
+//!   determinism rule enforced by `sfcheck`.
+//! * [`crate::wall::WallClock`] — a monotonic wall clock for the thread
+//!   executor, where measuring real elapsed time is the whole point. It is
+//!   the only place in the observability layer allowed to read host time.
+//!
+//! The contract shared by both: `now` is monotonic non-decreasing, starts
+//! at (or near) `0.0` seconds when the clock is created, and is always
+//! finite.
+
+use std::sync::Mutex;
+
+/// A monotonic time source measured in seconds since the clock's epoch.
+pub trait Clock: Send + Sync {
+    /// Current time in seconds. Monotonic non-decreasing and finite.
+    fn now(&self) -> f64;
+
+    /// Advance the clock to absolute time `t` (seconds since epoch).
+    ///
+    /// Virtual clocks move forward to `max(now, t)`; wall clocks ignore
+    /// this entirely (host time cannot be scheduled). Executors call this
+    /// to land span ends at the simulated makespan.
+    fn advance_to(&self, t: f64) {
+        let _ = t;
+    }
+}
+
+/// Deterministic virtual time: starts at zero, moves only when told to.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    seconds: Mutex<f64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock at `t = 0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, f64> {
+        // A poisoning panic can only come from a panicking holder of this
+        // short lock; the f64 inside cannot be left inconsistent.
+        self.seconds
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> f64 {
+        *self.lock()
+    }
+
+    fn advance_to(&self, t: f64) {
+        if t.is_finite() {
+            let mut s = self.lock();
+            if t > *s {
+                *s = t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance_to(4.5);
+        assert_eq!(c.now(), 4.5);
+    }
+
+    #[test]
+    fn virtual_clock_is_monotonic() {
+        let c = VirtualClock::new();
+        c.advance_to(10.0);
+        c.advance_to(3.0); // moving backwards is ignored
+        assert_eq!(c.now(), 10.0);
+        c.advance_to(f64::NAN); // non-finite is ignored
+        assert_eq!(c.now(), 10.0);
+    }
+}

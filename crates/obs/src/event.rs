@@ -1,0 +1,275 @@
+//! Trace events and their JSONL wire format.
+//!
+//! A trace is an append-only sequence of events, one JSON object per
+//! line. The schema is deliberately flat and closed — every event kind
+//! and key is listed here, and the golden-file test in the workspace root
+//! pins the exact bytes — so traces written by any instrumented run can
+//! be consumed by any analysis tool (`lens --trace`, `stats::to_csv`,
+//! `ascii_gantt`) without version negotiation.
+//!
+//! | `event`      | keys                                                  |
+//! |--------------|-------------------------------------------------------|
+//! | `span_start` | `id`, `parent` (number or `null`), `name`, `t`        |
+//! | `span_end`   | `id`, `t`                                             |
+//! | `task`       | `span` (number or `null`), `task`, `worker`, `start`, `end` |
+//! | `counter`    | `name`, `delta`, `total`, `t`                         |
+//! | `gauge`      | `name`, `value`, `t`                                  |
+//! | `observe`    | `name`, `value`, `t`                                  |
+//!
+//! Span timestamps (`t`) are seconds on the recorder's [`crate::clock::Clock`].
+//! Task `start`/`end` are seconds *relative to the enclosing batch span's
+//! start* — exactly the numbers the paper's per-task statistics CSV
+//! carries — so CSV and Gantt artifacts regenerate byte-identically from
+//! a trace. Numbers are written with Rust's shortest-round-trip `f64`
+//! formatting, so parsing a trace recovers every value exactly.
+
+use std::fmt::Write as _;
+
+/// Identifier of a span within one trace (dense, starting at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened (`batch`, `stage:inference`, …).
+    SpanStart {
+        /// Span id, unique within the trace.
+        id: SpanId,
+        /// Enclosing span, if any.
+        parent: Option<SpanId>,
+        /// Human-readable span name.
+        name: String,
+        /// Clock seconds at open.
+        t: f64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: SpanId,
+        /// Clock seconds at close.
+        t: f64,
+    },
+    /// One executed task (the per-task statistics row of §3.3 step 3e).
+    Task {
+        /// Enclosing batch span, if recorded under one.
+        span: Option<SpanId>,
+        /// Stable task identifier.
+        task: String,
+        /// Worker that executed the task.
+        worker: usize,
+        /// Start, seconds since the enclosing span's start.
+        start: f64,
+        /// End, same timebase.
+        end: f64,
+    },
+    /// A monotonically accumulated counter increment.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// This increment.
+        delta: f64,
+        /// Running total after the increment.
+        total: f64,
+        /// Clock seconds.
+        t: f64,
+    },
+    /// A point-in-time gauge value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// The value.
+        value: f64,
+        /// Clock seconds.
+        t: f64,
+    },
+    /// One histogram observation.
+    Observe {
+        /// Metric name.
+        name: String,
+        /// The observed value.
+        value: f64,
+        /// Clock seconds.
+        t: f64,
+    },
+}
+
+/// Append a JSON string literal (quoted, escaped) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a JSON number to `out`.
+///
+/// Uses `f64`'s shortest-round-trip display, so the value survives a
+/// write/parse cycle bit-for-bit. Timestamps and metrics are always
+/// finite; a non-finite value would corrupt downstream views, so it is
+/// clamped to `0` (and flagged in debug builds).
+fn push_json_num(out: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "trace numbers must be finite");
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_opt_span(out: &mut String, id: Option<SpanId>) {
+    match id {
+        Some(SpanId(n)) => {
+            let _ = write!(out, "{n}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+impl Event {
+    /// Serialize as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            Self::SpanStart {
+                id,
+                parent,
+                name,
+                t,
+            } => {
+                s.push_str("{\"event\":\"span_start\",\"id\":");
+                let _ = write!(s, "{}", id.0);
+                s.push_str(",\"parent\":");
+                push_opt_span(&mut s, *parent);
+                s.push_str(",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"t\":");
+                push_json_num(&mut s, *t);
+            }
+            Self::SpanEnd { id, t } => {
+                s.push_str("{\"event\":\"span_end\",\"id\":");
+                let _ = write!(s, "{}", id.0);
+                s.push_str(",\"t\":");
+                push_json_num(&mut s, *t);
+            }
+            Self::Task {
+                span,
+                task,
+                worker,
+                start,
+                end,
+            } => {
+                s.push_str("{\"event\":\"task\",\"span\":");
+                push_opt_span(&mut s, *span);
+                s.push_str(",\"task\":");
+                push_json_str(&mut s, task);
+                s.push_str(",\"worker\":");
+                let _ = write!(s, "{worker}");
+                s.push_str(",\"start\":");
+                push_json_num(&mut s, *start);
+                s.push_str(",\"end\":");
+                push_json_num(&mut s, *end);
+            }
+            Self::Counter {
+                name,
+                delta,
+                total,
+                t,
+            } => {
+                s.push_str("{\"event\":\"counter\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"delta\":");
+                push_json_num(&mut s, *delta);
+                s.push_str(",\"total\":");
+                push_json_num(&mut s, *total);
+                s.push_str(",\"t\":");
+                push_json_num(&mut s, *t);
+            }
+            Self::Gauge { name, value, t } => {
+                s.push_str("{\"event\":\"gauge\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"value\":");
+                push_json_num(&mut s, *value);
+                s.push_str(",\"t\":");
+                push_json_num(&mut s, *t);
+            }
+            Self::Observe { name, value, t } => {
+                s.push_str("{\"event\":\"observe\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"value\":");
+                push_json_num(&mut s, *value);
+                s.push_str(",\"t\":");
+                push_json_num(&mut s, *t);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_stable() {
+        let e = Event::SpanStart {
+            id: SpanId(1),
+            parent: None,
+            name: "batch".into(),
+            t: 0.0,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"span_start\",\"id\":1,\"parent\":null,\"name\":\"batch\",\"t\":0}"
+        );
+        let e = Event::Task {
+            span: Some(SpanId(1)),
+            task: "DVU_00042/model_3".into(),
+            worker: 5,
+            start: 0.5,
+            end: 30.25,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"task\",\"span\":1,\"task\":\"DVU_00042/model_3\",\"worker\":5,\"start\":0.5,\"end\":30.25}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::Gauge {
+            name: "a\"b\\c\nd".into(),
+            value: 1.0,
+            t: 0.0,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"gauge\",\"name\":\"a\\\"b\\\\c\\nd\",\"value\":1,\"t\":0}"
+        );
+    }
+
+    #[test]
+    fn shortest_roundtrip_formatting() {
+        let e = Event::Observe {
+            name: "x".into(),
+            value: 0.1 + 0.2,
+            t: 1.0 / 3.0,
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("0.30000000000000004"), "{line}");
+        assert!(line.contains("0.3333333333333333"), "{line}");
+    }
+}

@@ -1,0 +1,317 @@
+//! A minimal JSON object parser for trace lines.
+//!
+//! Trace consumers (`lens --trace`, the CSV/Gantt views) only ever see
+//! flat objects whose values are strings, numbers, or `null` — the schema
+//! in [`crate::event`]. This parser handles exactly that subset plus the
+//! standard string escapes, keeping the crate dependency-free. It is not
+//! a general JSON parser: nested objects and arrays are rejected.
+
+use std::collections::BTreeMap;
+
+/// A value in a parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (always read as `f64`).
+    Num(f64),
+    /// JSON `null`.
+    Null,
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was wrong with the line.
+    pub message: String,
+    /// Byte offset within the line where the problem was noticed.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.to_string(),
+            at: self.pos,
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let Some(h) = self.bump().and_then(|b| (b as char).to_digit(16)) else {
+                                return self.err("bad \\u escape");
+                            };
+                            code = code * 16 + h;
+                        }
+                        // Trace writers only emit \u for control chars
+                        // (< 0x20), so surrogate pairs cannot occur.
+                        let Some(c) = char::from_u32(code) else {
+                            return self.err("invalid \\u code point");
+                        };
+                        out.push(c);
+                    }
+                    _ => return self.err("bad escape"),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode a UTF-8 multi-byte sequence starting at b.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return self.err("invalid UTF-8 in string"),
+                    };
+                    let end = start + width;
+                    let Some(chunk) = self.bytes.get(start..end) else {
+                        return self.err("truncated UTF-8 in string");
+                    };
+                    let Ok(s) = std::str::from_utf8(chunk) else {
+                        return self.err("invalid UTF-8 in string");
+                    };
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Value::Null)
+                } else {
+                    self.err("expected null")
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ParseError {
+                        message: "invalid number bytes".to_string(),
+                        at: start,
+                    })?;
+                text.parse::<f64>().map(Value::Num).map_err(|_| ParseError {
+                    message: format!("invalid number '{text}'"),
+                    at: start,
+                })
+            }
+            _ => self.err("expected a string, number, or null"),
+        }
+    }
+}
+
+/// Parse one trace line into its key/value map.
+///
+/// # Errors
+/// Returns [`ParseError`] if the line is not a flat JSON object of
+/// string/number/null values.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut map = BTreeMap::new();
+    c.consume(b'{')?;
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.skip_ws();
+            let key = c.parse_string()?;
+            c.consume(b':')?;
+            let value = c.parse_value()?;
+            map.insert(key, value);
+            c.skip_ws();
+            match c.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return c.err("expected ',' or '}'"),
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return c.err("trailing bytes after object");
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, SpanId};
+
+    #[test]
+    fn parses_every_event_kind() {
+        let events = [
+            Event::SpanStart {
+                id: SpanId(1),
+                parent: None,
+                name: "batch".into(),
+                t: 0.0,
+            },
+            Event::SpanEnd {
+                id: SpanId(1),
+                t: 12.5,
+            },
+            Event::Task {
+                span: Some(SpanId(1)),
+                task: "t0".into(),
+                worker: 3,
+                start: 0.25,
+                end: 1.5,
+            },
+            Event::Counter {
+                name: "oom".into(),
+                delta: 1.0,
+                total: 4.0,
+                t: 2.0,
+            },
+            Event::Gauge {
+                name: "util".into(),
+                value: 0.875,
+                t: 2.0,
+            },
+            Event::Observe {
+                name: "recycles".into(),
+                value: 3.0,
+                t: 2.0,
+            },
+        ];
+        for e in &events {
+            let obj = parse_object(&e.to_json_line()).expect("parse");
+            assert!(obj.contains_key("event"), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        let v = 0.1 + 0.2;
+        let line = Event::Gauge {
+            name: "x".into(),
+            value: v,
+            t: 1.0 / 3.0,
+        }
+        .to_json_line();
+        let obj = parse_object(&line).expect("parse");
+        assert_eq!(obj["value"].as_num(), Some(v));
+        assert_eq!(obj["t"].as_num(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let line = Event::Gauge {
+            name: "a\"b\\c\nd\u{1}é".into(),
+            value: 1.0,
+            t: 0.0,
+        }
+        .to_json_line();
+        let obj = parse_object(&line).expect("parse");
+        assert_eq!(obj["name"].as_str(), Some("a\"b\\c\nd\u{1}é"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object("{\"a\":1").is_err());
+        assert!(parse_object("{\"a\":[1]}").is_err());
+        assert!(parse_object("{\"a\":1}x").is_err());
+        assert!(parse_object("{\"a\":tru}").is_err());
+    }
+
+    #[test]
+    fn empty_object_is_fine() {
+        assert!(parse_object("{}").expect("parse").is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! summitfold-obs: the workspace telemetry layer.
+//!
+//! The paper's operational analysis (Fig 2 load balance, Table 2
+//! node-hour accounting) is built from per-task statistics that every
+//! Dask task appends as it completes (§3.3 step 3e). This crate is the
+//! reproduction's equivalent substrate: a zero-dependency observability
+//! subsystem that every executor and pipeline stage can record into.
+//!
+//! * [`Recorder`] — append-only event sink: hierarchical spans
+//!   (batch → stage → task), counters, gauges, histograms. Thread-safe
+//!   behind `&self`; [`Recorder::disabled`] is a free no-op for
+//!   uninstrumented calls.
+//! * [`Clock`] — pluggable time source. [`VirtualClock`] gives
+//!   deterministic traces for the simulator and all repro-number paths;
+//!   [`WallClock`] (quarantined in `wall.rs`, the one sfcheck-exempt
+//!   module) times real thread batches.
+//! * [`Event`] — the closed JSONL schema; [`Trace`] parses it back and
+//!   derives every view (span durations, counter totals, task rows) so
+//!   CSV and Gantt artifacts regenerate byte-identically from a trace
+//!   file.
+
+pub mod clock;
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod trace;
+pub mod wall;
+
+pub use clock::{Clock, VirtualClock};
+pub use event::{Event, SpanId};
+pub use recorder::Recorder;
+pub use trace::{HistogramView, SpanView, TaskView, Trace, TraceError};
+pub use wall::WallClock;

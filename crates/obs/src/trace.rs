@@ -1,0 +1,480 @@
+//! Reading traces back: parse JSONL, compute views, render summaries.
+//!
+//! A [`Trace`] is the consumer-side twin of [`crate::recorder::Recorder`]:
+//! the same event sequence, reconstructed either directly from a live
+//! recorder or by parsing a `.jsonl` trace file. Every analysis artifact —
+//! per-stage durations, node-hour tables, the per-task CSV, the ASCII
+//! Gantt chart — is a pure function of this sequence, so a trace file is
+//! sufficient to regenerate all of them byte-identically.
+
+use crate::event::{Event, SpanId};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed or captured event sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+/// One span with resolved timing, produced by [`Trace::spans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanView {
+    /// The span's id.
+    pub id: SpanId,
+    /// Parent span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name as recorded.
+    pub name: String,
+    /// Open time (clock seconds).
+    pub start: f64,
+    /// Close time; open spans inherit the trace's last timestamp.
+    pub end: f64,
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+}
+
+impl SpanView {
+    /// Span duration in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// One task row, produced by [`Trace::tasks`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskView {
+    /// Enclosing span, if recorded under one.
+    pub span: Option<SpanId>,
+    /// Task identifier.
+    pub task: String,
+    /// Executing worker.
+    pub worker: usize,
+    /// Start, seconds relative to the enclosing span's start.
+    pub start: f64,
+    /// End, same timebase.
+    pub end: f64,
+}
+
+/// Summary statistics for one histogram, from [`Trace::histograms`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramView {
+    /// Number of observations.
+    pub count: usize,
+    /// Mean of the observations.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// A malformed line in a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn need_num(obj: &BTreeMap<String, Value>, key: &str, line: usize) -> Result<f64, TraceError> {
+    obj.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| TraceError {
+            line,
+            message: format!("missing numeric field '{key}'"),
+        })
+}
+
+fn need_str(obj: &BTreeMap<String, Value>, key: &str, line: usize) -> Result<String, TraceError> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| TraceError {
+            line,
+            message: format!("missing string field '{key}'"),
+        })
+}
+
+fn opt_span(obj: &BTreeMap<String, Value>, key: &str) -> Option<SpanId> {
+    obj.get(key)
+        .and_then(Value::as_num)
+        .map(|n| SpanId(n as u64))
+}
+
+impl Trace {
+    /// Wrap an event sequence captured from a live recorder.
+    #[must_use]
+    pub fn from_events(events: Vec<Event>) -> Self {
+        Self { events }
+    }
+
+    /// Parse a JSONL trace (one event object per non-empty line).
+    ///
+    /// # Errors
+    /// Returns [`TraceError`] naming the first malformed line: bad JSON,
+    /// an unknown `event` kind, or a missing field.
+    pub fn parse_jsonl(text: &str) -> Result<Self, TraceError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let obj = json::parse_object(line).map_err(|e| TraceError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+            let kind = need_str(&obj, "event", line_no)?;
+            let event = match kind.as_str() {
+                "span_start" => Event::SpanStart {
+                    id: SpanId(need_num(&obj, "id", line_no)? as u64),
+                    parent: opt_span(&obj, "parent"),
+                    name: need_str(&obj, "name", line_no)?,
+                    t: need_num(&obj, "t", line_no)?,
+                },
+                "span_end" => Event::SpanEnd {
+                    id: SpanId(need_num(&obj, "id", line_no)? as u64),
+                    t: need_num(&obj, "t", line_no)?,
+                },
+                "task" => Event::Task {
+                    span: opt_span(&obj, "span"),
+                    task: need_str(&obj, "task", line_no)?,
+                    worker: need_num(&obj, "worker", line_no)? as usize,
+                    start: need_num(&obj, "start", line_no)?,
+                    end: need_num(&obj, "end", line_no)?,
+                },
+                "counter" => Event::Counter {
+                    name: need_str(&obj, "name", line_no)?,
+                    delta: need_num(&obj, "delta", line_no)?,
+                    total: need_num(&obj, "total", line_no)?,
+                    t: need_num(&obj, "t", line_no)?,
+                },
+                "gauge" => Event::Gauge {
+                    name: need_str(&obj, "name", line_no)?,
+                    value: need_num(&obj, "value", line_no)?,
+                    t: need_num(&obj, "t", line_no)?,
+                },
+                "observe" => Event::Observe {
+                    name: need_str(&obj, "name", line_no)?,
+                    value: need_num(&obj, "value", line_no)?,
+                    t: need_num(&obj, "t", line_no)?,
+                },
+                other => {
+                    return Err(TraceError {
+                        line: line_no,
+                        message: format!("unknown event kind '{other}'"),
+                    })
+                }
+            };
+            events.push(event);
+        }
+        Ok(Self { events })
+    }
+
+    /// The raw event sequence.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Serialize back to JSONL (identical bytes to the producing
+    /// recorder's [`crate::recorder::Recorder::to_jsonl`]).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for e in &self.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Latest timestamp appearing anywhere in the trace.
+    #[must_use]
+    pub fn last_timestamp(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { t, .. }
+                | Event::SpanEnd { t, .. }
+                | Event::Counter { t, .. }
+                | Event::Gauge { t, .. }
+                | Event::Observe { t, .. } => Some(*t),
+                Event::Task { .. } => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Spans in open order, with durations and nesting depth resolved.
+    /// Unclosed spans end at [`Trace::last_timestamp`].
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanView> {
+        let last_t = self.last_timestamp();
+        let mut spans: Vec<SpanView> = Vec::new();
+        let mut index: BTreeMap<SpanId, usize> = BTreeMap::new();
+        for e in &self.events {
+            match e {
+                Event::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    t,
+                } => {
+                    let depth = parent
+                        .and_then(|p| index.get(&p))
+                        .map_or(0, |&i| spans[i].depth + 1);
+                    index.insert(*id, spans.len());
+                    spans.push(SpanView {
+                        id: *id,
+                        parent: *parent,
+                        name: name.clone(),
+                        start: *t,
+                        end: last_t,
+                        depth,
+                    });
+                }
+                Event::SpanEnd { id, t } => {
+                    if let Some(&i) = index.get(id) {
+                        spans[i].end = *t;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans
+    }
+
+    /// Task rows in recorded order.
+    #[must_use]
+    pub fn tasks(&self) -> Vec<TaskView> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Task {
+                    span,
+                    task,
+                    worker,
+                    start,
+                    end,
+                } => Some(TaskView {
+                    span: *span,
+                    task: task.clone(),
+                    worker: *worker,
+                    start: *start,
+                    end: *end,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Final totals of every counter, by name.
+    #[must_use]
+    pub fn counter_totals(&self) -> BTreeMap<String, f64> {
+        let mut totals = BTreeMap::new();
+        for e in &self.events {
+            if let Event::Counter { name, total, .. } = e {
+                totals.insert(name.clone(), *total);
+            }
+        }
+        totals
+    }
+
+    /// Last recorded value of every gauge, by name.
+    #[must_use]
+    pub fn gauge_values(&self) -> BTreeMap<String, f64> {
+        let mut values = BTreeMap::new();
+        for e in &self.events {
+            if let Event::Gauge { name, value, .. } = e {
+                values.insert(name.clone(), *value);
+            }
+        }
+        values
+    }
+
+    /// Summary statistics for every histogram, by name.
+    #[must_use]
+    pub fn histograms(&self) -> BTreeMap<String, HistogramView> {
+        let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for e in &self.events {
+            if let Event::Observe { name, value, .. } = e {
+                samples.entry(name.clone()).or_default().push(*value);
+            }
+        }
+        samples
+            .into_iter()
+            .map(|(name, mut vs)| {
+                vs.sort_by(f64::total_cmp);
+                let count = vs.len();
+                let mean = vs.iter().sum::<f64>() / count as f64;
+                let rank = |q: f64| {
+                    let i = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+                    vs[i]
+                };
+                let view = HistogramView {
+                    count,
+                    mean,
+                    p50: rank(0.50),
+                    p95: rank(0.95),
+                    max: vs[count - 1],
+                };
+                (name, view)
+            })
+            .collect()
+    }
+
+    /// Render the human-readable summary: span tree, counters, gauges,
+    /// histograms.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let spans = self.spans();
+        if !spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &spans {
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{} {:.3}s",
+                    "",
+                    s.name,
+                    s.duration(),
+                    indent = s.depth * 2
+                );
+            }
+        }
+        let tasks = self.tasks();
+        if !tasks.is_empty() {
+            let _ = writeln!(out, "tasks: {}", tasks.len());
+        }
+        let counters = self.counter_totals();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, total) in &counters {
+                let _ = writeln!(out, "  {name} = {total:.3}");
+            }
+        }
+        let gauges = self.gauge_values();
+        if !gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &gauges {
+                let _ = writeln!(out, "  {name} = {value:.3}");
+            }
+        }
+        let hists = self.histograms();
+        if !hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &hists {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
+                    h.count, h.mean, h.p50, h.p95, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_recorder() -> Recorder {
+        let r = Recorder::virtual_time();
+        let batch = r.span_start("batch");
+        let stage = r.span_start("stage:inference");
+        r.task(Some(stage), "t0", 0, 0.0, 5.0);
+        r.task(Some(stage), "t1", 1, 0.0, 7.5);
+        r.add("oom_failures", 1.0);
+        r.gauge("utilization", 0.9);
+        r.observe("recycles", 3.0);
+        r.observe("recycles", 9.0);
+        r.advance_clock_to(7.5);
+        r.span_end(stage);
+        r.span_end(batch);
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_identical() {
+        let r = sample_recorder();
+        let jsonl = r.to_jsonl();
+        let trace = Trace::parse_jsonl(&jsonl).expect("parse");
+        assert_eq!(trace.to_jsonl(), jsonl);
+        assert_eq!(trace.events(), r.events().as_slice());
+    }
+
+    #[test]
+    fn spans_resolve_durations_and_depth() {
+        let trace = Trace::from_events(sample_recorder().events());
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "batch");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "stage:inference");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[0].duration(), 7.5);
+    }
+
+    #[test]
+    fn views_expose_tasks_counters_gauges_histograms() {
+        let trace = Trace::from_events(sample_recorder().events());
+        assert_eq!(trace.tasks().len(), 2);
+        assert_eq!(trace.counter_totals()["oom_failures"], 1.0);
+        assert_eq!(trace.gauge_values()["utilization"], 0.9);
+        let h = &trace.histograms()["recycles"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean, 6.0);
+        assert_eq!(h.p50, 3.0);
+        assert_eq!(h.max, 9.0);
+    }
+
+    #[test]
+    fn unclosed_spans_end_at_last_timestamp() {
+        let r = Recorder::virtual_time();
+        let s = r.span_start("batch");
+        r.advance_clock_to(4.0);
+        r.gauge("g", 1.0);
+        let _ = s; // never closed
+        let trace = Trace::from_events(r.events());
+        assert_eq!(trace.spans()[0].end, 4.0);
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = Trace::parse_jsonl("{\"event\":\"bogus\"}").expect_err("fails");
+        assert_eq!(err.line, 1);
+        let err =
+            Trace::parse_jsonl("{\"event\":\"gauge\",\"name\":\"x\",\"t\":0}").expect_err("fails");
+        assert!(err.message.contains("value"), "{err}");
+        let err = Trace::parse_jsonl("not json").expect_err("fails");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let s = Trace::from_events(sample_recorder().events()).summary();
+        assert!(s.contains("batch 7.500s"), "{s}");
+        assert!(s.contains("  stage:inference"), "{s}");
+        assert!(s.contains("oom_failures = 1.000"), "{s}");
+        assert!(s.contains("utilization = 0.900"), "{s}");
+        assert!(s.contains("recycles: n=2"), "{s}");
+    }
+}

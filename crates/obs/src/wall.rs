@@ -1,0 +1,68 @@
+//! The wall clock — the only host-time reader in the telemetry layer.
+//!
+//! This module is the telemetry counterpart of the thread executor: it
+//! exists so that *real* batches can be timed, and it is deliberately
+//! quarantined in its own file. The `sfcheck` determinism rule exempts
+//! exactly this path (`crates/obs/src/wall.rs`); everything else in the
+//! crate, and every repro-number path in the workspace, must use
+//! [`crate::clock::VirtualClock`] instead.
+
+use crate::clock::Clock;
+use crate::recorder::Recorder;
+use std::time::Instant;
+
+/// Monotonic wall-clock seconds since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+    // advance_to: default no-op — host time cannot be scheduled.
+}
+
+impl Recorder {
+    /// A recorder timing events with the host wall clock.
+    ///
+    /// For the thread executor and other genuinely-timed paths only;
+    /// simulated and repro-number paths use [`Recorder::virtual_time`]
+    /// so traces stay deterministic.
+    #[must_use]
+    pub fn wall() -> Self {
+        Self::with_clock(Box::new(WallClock::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_ignores_advance() {
+        let c = WallClock::new();
+        let a = c.now();
+        c.advance_to(1e9); // no-op
+        let b = c.now();
+        assert!(b >= a);
+        assert!(b < 1e6, "epoch is construction time");
+    }
+}

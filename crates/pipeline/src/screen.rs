@@ -3,8 +3,8 @@
 //! quadratic cost projection that makes this "especially relevant to HPC
 //! computing".
 
-use summitfold_dataflow::sim::simulate;
-use summitfold_dataflow::{OrderingPolicy, TaskSpec};
+use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
 use summitfold_inference::complex::{ComplexEngine, ComplexTarget};
@@ -108,13 +108,14 @@ pub fn screen_all_pairs(
     }
 
     let workers = (cfg.nodes * crate::stages::WORKERS_PER_NODE) as usize;
-    let sim = simulate(
-        &specs,
-        &durations,
-        workers,
-        OrderingPolicy::LongestFirst,
-        crate::stages::TASK_OVERHEAD_S,
-    );
+    let sim = Batch::new(&specs)
+        .workers(workers)
+        .policy(OrderingPolicy::LongestFirst)
+        .durations(&durations)
+        .label("complex_screen")
+        .run(&SimExecutor::new(crate::stages::TASK_OVERHEAD_S))
+        // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
+        .expect("screening batch is well-formed");
     ledger.charge_job(Machine::Summit, "complex_screen", cfg.nodes, sim.makespan);
 
     let true_edges = calls.iter().filter(|c| c.truly_interacts).count();

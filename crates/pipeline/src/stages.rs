@@ -2,8 +2,9 @@
 //! previous stage's outputs, produces a typed report, and charges the
 //! node-hour ledger.
 
-use summitfold_dataflow::sim::{simulate, SimResult};
-use summitfold_dataflow::{OrderingPolicy, TaskSpec};
+use summitfold_dataflow::exec::BatchOutcome;
+use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_hpc::fs::ReplicaLayout;
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
@@ -11,9 +12,10 @@ use summitfold_inference::engine::{InferenceEngine, InferenceError, TargetResult
 use summitfold_inference::{Fidelity, Preset};
 use summitfold_msa::db::DbSet;
 use summitfold_msa::features::{feature_gen_node_seconds, FeatureSet};
+use summitfold_obs::Recorder;
 use summitfold_protein::proteome::ProteinEntry;
 use summitfold_protein::structure::Structure;
-use summitfold_relax::protocol::{relax, Protocol, RelaxOutcome};
+use summitfold_relax::protocol::{relax_traced, Protocol, RelaxOutcome};
 use summitfold_relax::timing::{wall_seconds, Method};
 
 /// Per-task dispatch overhead on the Summit dataflow deployments
@@ -71,6 +73,21 @@ pub mod feature {
     /// Run the stage over a set of targets.
     #[must_use]
     pub fn run(entries: &[ProteinEntry], cfg: &Config, ledger: &mut Ledger) -> Report {
+        run_traced(entries, cfg, ledger, Recorder::disabled())
+    }
+
+    /// [`run`], recording a `stage:feature_gen` span plus
+    /// `feature/io_slowdown` and `feature/replication_s` gauges. On a
+    /// virtual-time recorder the span covers exactly the stage walltime.
+    #[must_use]
+    pub fn run_traced(
+        entries: &[ProteinEntry],
+        cfg: &Config,
+        ledger: &mut Ledger,
+        rec: &Recorder,
+    ) -> Report {
+        let span = rec.span_start("stage:feature_gen");
+        let t0 = rec.now();
         let layout = ReplicaLayout {
             db_bytes: cfg.db_set.nominal_bytes(),
             replicas: cfg.replicas,
@@ -86,6 +103,12 @@ pub mod feature {
         let replication_s = layout.replication_seconds();
         let walltime_s = replication_s + total_node_s / f64::from(cfg.concurrent_jobs.max(1));
         ledger.charge(Machine::Andes, "feature_gen", total_node_s);
+        if rec.is_enabled() {
+            rec.gauge("feature/io_slowdown", slowdown);
+            rec.gauge("feature/replication_s", replication_s);
+        }
+        rec.advance_clock_to(t0 + walltime_s);
+        rec.span_end(span);
         Report {
             features,
             node_hours: total_node_s / 3600.0,
@@ -149,8 +172,8 @@ pub mod inference {
         pub results: Vec<(usize, TargetResult)>,
         /// OOM failures.
         pub failures: Vec<Failure>,
-        /// Dataflow simulation of the batch (per-task records, makespan).
-        pub sim: SimResult,
+        /// Dataflow batch outcome (per-task records, makespan).
+        pub sim: BatchOutcome<()>,
         /// Wall-clock (seconds) = simulated makespan.
         pub walltime_s: f64,
         /// Summit node-hours charged.
@@ -167,8 +190,24 @@ pub mod inference {
         cfg: &Config,
         ledger: &mut Ledger,
     ) -> Report {
+        run_traced(entries, features, cfg, ledger, Recorder::disabled())
+    }
+
+    /// [`run`], recording a `stage:inference` span, an `inference`
+    /// batch span with per-task events (via the dataflow executor),
+    /// per-model recycle/GPU-time telemetry from the engine, and
+    /// `inference/oom_failures` / `inference/oom_rescued` counters.
+    #[must_use]
+    pub fn run_traced(
+        entries: &[ProteinEntry],
+        features: &[FeatureSet],
+        cfg: &Config,
+        ledger: &mut Ledger,
+        rec: &Recorder,
+    ) -> Report {
         // sfcheck::allow(panic-hygiene, caller contract; features are generated one per entry upstream)
         assert_eq!(entries.len(), features.len(), "entries/features mismatch");
+        let span = rec.span_start("stage:inference");
         let engine = InferenceEngine::new(cfg.preset, cfg.fidelity);
         let rescue_engine = engine.on_high_mem_nodes();
 
@@ -178,7 +217,7 @@ pub mod inference {
         let mut durations: Vec<f64> = Vec::new();
 
         for (i, (entry, feats)) in entries.iter().zip(features).enumerate() {
-            match engine.predict_target(entry, feats) {
+            match engine.predict_target_traced(entry, feats, rec) {
                 Ok(result) => {
                     for p in &result.predictions {
                         specs.push(TaskSpec::new(
@@ -190,8 +229,11 @@ pub mod inference {
                     results.push((i, result));
                 }
                 Err(error) => {
+                    if rec.is_enabled() {
+                        rec.add("inference/oom_failures", 1.0);
+                    }
                     let rescued = if cfg.rescue_on_high_mem {
-                        match rescue_engine.predict_target(entry, feats) {
+                        match rescue_engine.predict_target_traced(entry, feats, rec) {
                             Ok(result) => {
                                 // High-memory tasks run in their own small
                                 // allocation; charge them separately.
@@ -202,6 +244,9 @@ pub mod inference {
                                     gpu_s / f64::from(WORKERS_PER_NODE),
                                 );
                                 results.push((i, result));
+                                if rec.is_enabled() {
+                                    rec.add("inference/oom_rescued", 1.0);
+                                }
                                 true
                             }
                             Err(_) => false,
@@ -219,7 +264,15 @@ pub mod inference {
         }
 
         let workers = (cfg.nodes * WORKERS_PER_NODE) as usize;
-        let sim = simulate(&specs, &durations, workers, cfg.policy, TASK_OVERHEAD_S);
+        let sim = Batch::new(&specs)
+            .workers(workers)
+            .policy(cfg.policy)
+            .durations(&durations)
+            .recorder(rec)
+            .label("inference")
+            .run(&SimExecutor::new(TASK_OVERHEAD_S))
+            // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
+            .expect("inference batch is well-formed");
         let walltime_s = sim.makespan;
         // Dispatch overhead as a share of the delivered node time — the
         // quantity Table 1's footnote reports ("includes overhead, which
@@ -230,6 +283,7 @@ pub mod inference {
             0.0
         };
         ledger.charge_job(Machine::Summit, "inference", cfg.nodes, walltime_s);
+        rec.span_end(span);
         Report {
             results,
             failures,
@@ -293,8 +347,8 @@ pub mod relax_stage {
         pub outcomes: Vec<RelaxOutcome>,
         /// Per-structure wall seconds on the configured platform.
         pub task_seconds: Vec<f64>,
-        /// Dataflow simulation of the batch.
-        pub sim: SimResult,
+        /// Dataflow batch outcome of the stage.
+        pub sim: BatchOutcome<()>,
         /// Batch wall-clock (seconds).
         pub walltime_s: f64,
         /// Node-hours charged.
@@ -304,8 +358,24 @@ pub mod relax_stage {
     /// Run the stage over unrelaxed structures.
     #[must_use]
     pub fn run(structures: &[Structure], cfg: &Config, ledger: &mut Ledger) -> Report {
-        let outcomes: Vec<RelaxOutcome> =
-            structures.iter().map(|s| relax(s, cfg.protocol)).collect();
+        run_traced(structures, cfg, ledger, Recorder::disabled())
+    }
+
+    /// [`run`], recording a `stage:relaxation` span, a `relaxation`
+    /// batch span with per-task events, and the per-structure protocol
+    /// telemetry from [`relax_traced`] (iterations, rounds, checks).
+    #[must_use]
+    pub fn run_traced(
+        structures: &[Structure],
+        cfg: &Config,
+        ledger: &mut Ledger,
+        rec: &Recorder,
+    ) -> Report {
+        let span = rec.span_start("stage:relaxation");
+        let outcomes: Vec<RelaxOutcome> = structures
+            .iter()
+            .map(|s| relax_traced(s, cfg.protocol, rec))
+            .collect();
         let task_seconds: Vec<f64> = outcomes
             .iter()
             .zip(structures)
@@ -315,15 +385,19 @@ pub mod relax_stage {
             .iter()
             .map(|s| TaskSpec::new(s.id.clone(), s.len() as f64))
             .collect();
-        let sim = simulate(
-            &specs,
-            &task_seconds,
-            cfg.workers(),
-            OrderingPolicy::LongestFirst,
-            2.0, // relaxation dispatch is light: no model loading
-        );
+        let sim = Batch::new(&specs)
+            .workers(cfg.workers())
+            .policy(OrderingPolicy::LongestFirst)
+            .durations(&task_seconds)
+            .recorder(rec)
+            .label("relaxation")
+            // Relaxation dispatch is light: no model loading.
+            .run(&SimExecutor::new(2.0))
+            // sfcheck::allow(panic-hygiene, cfg.workers() >= 1 and specs/durations are built pairwise above)
+            .expect("relaxation batch is well-formed");
         let walltime_s = sim.makespan;
         ledger.charge_job(cfg.machine(), "relaxation", cfg.nodes, walltime_s);
+        rec.span_end(span);
         Report {
             outcomes,
             task_seconds,
@@ -449,6 +523,50 @@ mod tests {
         }
         assert!(report.walltime_s > 0.0);
         assert!(ledger.node_hours(Machine::Summit) > 0.0);
+    }
+
+    #[test]
+    fn traced_stages_compose_into_one_trace() {
+        use summitfold_obs::Trace;
+        let entries = sample_entries(0.01);
+        let mut ledger = Ledger::new();
+        let rec = Recorder::virtual_time();
+        let feats = feature::run_traced(
+            &entries,
+            &feature::Config::paper_default(),
+            &mut ledger,
+            &rec,
+        );
+        let inf = inference::run_traced(
+            &entries,
+            &feats.features,
+            &inference::Config::benchmark(Preset::Genome),
+            &mut ledger,
+            &rec,
+        );
+        let trace = Trace::from_events(rec.events());
+        let spans = trace.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["stage:feature_gen", "stage:inference", "inference"]);
+        // The batch span is nested under the inference stage span.
+        assert_eq!(spans[2].parent, Some(spans[1].id));
+        // Virtual time: each span's duration is the stage walltime.
+        assert!((spans[0].end - spans[0].start - feats.walltime_s).abs() < 1e-9);
+        assert!((spans[2].end - spans[2].start - inf.walltime_s).abs() < 1e-9);
+        // Stages run back to back on the shared clock.
+        assert!((spans[1].start - feats.walltime_s).abs() < 1e-9);
+        // One task event per simulated prediction, matching the records.
+        assert_eq!(trace.tasks().len(), inf.sim.records.len());
+        // Engine telemetry rode along: 5 recycle observations per target.
+        assert_eq!(
+            trace.histograms()["inference/recycles"].count,
+            inf.results.len() * 5
+        );
+        // The same stages run with a disabled recorder produce nothing
+        // and the identical report.
+        let mut ledger2 = Ledger::new();
+        let quiet = feature::run(&entries, &feature::Config::paper_default(), &mut ledger2);
+        assert_eq!(quiet.walltime_s, feats.walltime_s);
     }
 
     #[test]

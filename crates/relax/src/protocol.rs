@@ -13,6 +13,7 @@
 use crate::forcefield::System;
 use crate::minimize::{minimize, MinimizeResult};
 use crate::violations::{count_violations, Violations};
+use summitfold_obs::Recorder;
 use summitfold_protein::structure::Structure;
 
 /// Which protocol to run.
@@ -52,6 +53,17 @@ pub struct RelaxOutcome {
 /// Relax a structure under the chosen protocol.
 #[must_use]
 pub fn relax(input: &Structure, protocol: Protocol) -> RelaxOutcome {
+    relax_traced(input, protocol, Recorder::disabled())
+}
+
+/// [`relax`], recording protocol telemetry.
+///
+/// Per structure: a `relax/iterations` histogram observation (the
+/// quantity the timing model scales on) plus `relax/rounds` and
+/// `relax/violation_checks` counter increments — the extra work the A3
+/// ablation shows the AF2 loop pays for nothing.
+#[must_use]
+pub fn relax_traced(input: &Structure, protocol: Protocol, rec: &Recorder) -> RelaxOutcome {
     let initial_violations = count_violations(input);
     let mut sys = System::from_structure(input);
 
@@ -82,6 +94,11 @@ pub fn relax(input: &Structure, protocol: Protocol) -> RelaxOutcome {
 
     let structure = sys.to_structure(input);
     let final_violations = count_violations(&structure);
+    if rec.is_enabled() {
+        rec.observe("relax/iterations", total_iterations as f64);
+        rec.add("relax/rounds", rounds as f64);
+        rec.add("relax/violation_checks", violation_checks as f64);
+    }
     RelaxOutcome {
         structure,
         rounds,
@@ -238,5 +255,31 @@ mod tests {
         let b = relax(&s, Protocol::Af2Loop);
         assert_eq!(a.total_iterations, b.total_iterations);
         assert_eq!(a.structure.ca, b.structure.ca);
+    }
+
+    #[test]
+    fn traced_relax_records_protocol_telemetry() {
+        let structures = predicted_structures(4);
+        let rec = Recorder::virtual_time();
+        let mut rounds = 0usize;
+        let mut checks = 0usize;
+        let mut iterations = 0usize;
+        for (s, _) in &structures {
+            let out = relax_traced(s, Protocol::Af2Loop, &rec);
+            rounds += out.rounds;
+            checks += out.violation_checks;
+            iterations += out.total_iterations;
+        }
+        let trace = summitfold_obs::Trace::from_events(rec.events());
+        let totals = trace.counter_totals();
+        assert!((totals["relax/rounds"] - rounds as f64).abs() < 1e-9);
+        assert!((totals["relax/violation_checks"] - checks as f64).abs() < 1e-9);
+        let hist = &trace.histograms()["relax/iterations"];
+        assert_eq!(hist.count, structures.len());
+        assert!((hist.mean * structures.len() as f64 - iterations as f64).abs() < 1e-6);
+        // The optimized protocol on a disabled recorder is a no-op.
+        let (s, _) = &structures[0];
+        let quiet = relax_traced(s, Protocol::OptimizedSinglePass, Recorder::disabled());
+        assert_eq!(quiet.violation_checks, 0);
     }
 }

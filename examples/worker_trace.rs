@@ -11,11 +11,12 @@
 //! worker-timeline view as Fig 2 from the measured task records — and
 //! contrasts the makespan against random ordering.
 
-use summitfold::dataflow::real::Client;
-use summitfold::dataflow::stats::{ascii_gantt, to_csv};
-use summitfold::dataflow::{OrderingPolicy, TaskSpec};
+use summitfold::dataflow::real::ThreadExecutor;
+use summitfold::dataflow::stats::{ascii_gantt, records_from_trace, to_csv};
+use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::inference::{Fidelity, InferenceEngine, ModelId, Preset};
 use summitfold::msa::FeatureSet;
+use summitfold::obs::{Recorder, Trace};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::structure::Structure;
 use summitfold::relax::protocol::{relax, Protocol};
@@ -49,11 +50,16 @@ fn main() {
         structures.len()
     );
 
-    let client = Client::new(workers);
+    let recorder = Recorder::wall();
     let run = |policy: OrderingPolicy| {
-        client.map(&specs, structures.clone(), policy, |_, s| {
-            relax(s, Protocol::OptimizedSinglePass).final_violations
-        })
+        Batch::new(&specs)
+            .workers(workers)
+            .policy(policy)
+            .recorder(&recorder)
+            .run_with(&ThreadExecutor, &structures, |_, s| {
+                relax(s, Protocol::OptimizedSinglePass).final_violations
+            })
+            .expect("at least one worker")
     };
 
     let sorted = run(OrderingPolicy::LongestFirst);
@@ -79,4 +85,17 @@ fn main() {
     let path = std::env::temp_dir().join("worker_trace.csv");
     std::fs::write(&path, to_csv(&sorted.records)).expect("writable temp dir");
     println!("\ntask statistics CSV: {}", path.display());
+
+    // Both batches also streamed spans/tasks into the recorder; the JSONL
+    // trace regenerates the same records (inspect with `lens --trace`).
+    let trace_path = std::env::temp_dir().join("worker_trace.jsonl");
+    std::fs::write(&trace_path, recorder.to_jsonl()).expect("writable temp dir");
+    let trace = Trace::from_events(recorder.events());
+    println!("telemetry trace:     {}", trace_path.display());
+    println!(
+        "  {} events, {} spans, {} task records",
+        trace.events().len(),
+        trace.spans().len(),
+        records_from_trace(&trace).len()
+    );
 }

@@ -20,4 +20,22 @@ RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --workspace -q
 echo "==> sfcheck"
 cargo run -q --release -p summitfold-analysis --bin sfcheck
 
+echo "==> std::time allowlist (deterministic crates)"
+# Wall-clock time in repro-number crates is confined to the executors
+# that exist to measure it (dataflow real/fault) and the obs wall clock.
+# sfcheck enforces this lexically; this grep is the belt-and-braces gate
+# that also catches allow-annotated uses sneaking into new modules.
+violations=$(grep -rn 'std::time' \
+    crates/protein/src crates/structal/src crates/msa/src \
+    crates/inference/src crates/relax/src crates/dataflow/src crates/obs/src \
+    | grep -v -e '^crates/dataflow/src/real\.rs:' \
+              -e '^crates/dataflow/src/fault\.rs:' \
+              -e '^crates/obs/src/wall\.rs:' \
+    || true)
+if [ -n "$violations" ]; then
+    echo "std::time outside the allowlisted modules:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "All checks passed."

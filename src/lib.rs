@@ -23,6 +23,7 @@
 //! | [`dataflow`] | `summitfold-dataflow` | scheduler, workers, executors |
 //! | [`hpc`] | `summitfold-hpc` | machines, LSF, jsrun, filesystem, ledger |
 //! | [`pipeline`] | `summitfold-pipeline` | the three-stage pipeline + analyses |
+//! | [`obs`] | `summitfold-obs` | telemetry: spans, metrics, clocks, JSONL traces |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use summitfold_dataflow as dataflow;
 pub use summitfold_hpc as hpc;
 pub use summitfold_inference as inference;
 pub use summitfold_msa as msa;
+pub use summitfold_obs as obs;
 pub use summitfold_pipeline as pipeline;
 pub use summitfold_protein as protein;
 pub use summitfold_relax as relax;

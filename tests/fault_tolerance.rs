@@ -3,8 +3,9 @@
 //! behaviour that lets the paper's deployment re-run failed tasks (e.g.
 //! on high-memory nodes) without restarting the campaign.
 
-use summitfold::dataflow::fault::{map_with_faults, WorkerFault};
-use summitfold::dataflow::{OrderingPolicy, TaskSpec};
+use summitfold::dataflow::fault::WorkerFault;
+use summitfold::dataflow::real::ThreadExecutor;
+use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::inference::{Fidelity, InferenceEngine, ModelId, Preset};
 use summitfold::msa::FeatureSet;
 use summitfold::protein::proteome::{Proteome, Species};
@@ -42,14 +43,14 @@ fn relaxation_batch_survives_worker_deaths() {
             tasks_before_death: 3,
         },
     ];
-    let result = map_with_faults(
-        &specs,
-        structures.clone(),
-        OrderingPolicy::LongestFirst,
-        4,
-        &faults,
-        |_, s| relax(s, Protocol::OptimizedSinglePass).final_violations,
-    );
+    let result = Batch::new(&specs)
+        .workers(4)
+        .policy(OrderingPolicy::LongestFirst)
+        .faults(&faults)
+        .run_with(&ThreadExecutor, &structures, |_, s| {
+            relax(s, Protocol::OptimizedSinglePass).final_violations
+        })
+        .unwrap();
 
     // Every structure relaxed exactly once, clash-free, despite two of
     // four workers dying mid-batch.
@@ -76,13 +77,12 @@ fn relaxation_batch_survives_worker_deaths() {
 
     // And the fault-free run produces identical violation outcomes —
     // fault tolerance must not change results.
-    let clean = map_with_faults(
-        &specs,
-        structures,
-        OrderingPolicy::LongestFirst,
-        4,
-        &[],
-        |_, s| relax(s, Protocol::OptimizedSinglePass).final_violations,
-    );
+    let clean = Batch::new(&specs)
+        .workers(4)
+        .policy(OrderingPolicy::LongestFirst)
+        .run_with(&ThreadExecutor, &structures, |_, s| {
+            relax(s, Protocol::OptimizedSinglePass).final_violations
+        })
+        .unwrap();
     assert_eq!(clean.outputs, result.outputs);
 }

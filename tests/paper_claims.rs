@@ -2,8 +2,9 @@
 //! These are the "does the reproduction actually reproduce" tests; the
 //! exact numbers live in EXPERIMENTS.md, these assert the shapes.
 
-use summitfold::dataflow::sim::simulate;
-use summitfold::dataflow::{OrderingPolicy, TaskSpec};
+use summitfold::dataflow::exec::BatchOutcome;
+use summitfold::dataflow::sim::SimExecutor;
+use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
 use summitfold::msa::FeatureSet;
@@ -134,14 +135,16 @@ fn longest_first_ordering_prevents_straggler_tails_at_scale() {
         .enumerate()
         .map(|(i, &d)| TaskSpec::new(format!("t{i}"), d))
         .collect();
-    let lpt = simulate(&specs, &durations, 1200, OrderingPolicy::LongestFirst, 30.0);
-    let rnd = simulate(
-        &specs,
-        &durations,
-        1200,
-        OrderingPolicy::Random { seed: 5 },
-        30.0,
-    );
+    let schedule = |policy: OrderingPolicy| -> BatchOutcome<()> {
+        Batch::new(&specs)
+            .workers(1200)
+            .policy(policy)
+            .durations(&durations)
+            .run(&SimExecutor::new(30.0))
+            .unwrap()
+    };
+    let lpt = schedule(OrderingPolicy::LongestFirst);
+    let rnd = schedule(OrderingPolicy::Random { seed: 5 });
     assert!(lpt.makespan <= rnd.makespan);
     assert!(
         lpt.idle_tail() < rnd.idle_tail(),
@@ -172,7 +175,12 @@ fn six_thousand_worker_deployment_simulates() {
         .enumerate()
         .map(|(i, &d)| TaskSpec::new(format!("t{i}"), d))
         .collect();
-    let sim = simulate(&specs, &durations, 6000, OrderingPolicy::LongestFirst, 30.0);
+    let sim = Batch::new(&specs)
+        .workers(6000)
+        .policy(OrderingPolicy::LongestFirst)
+        .durations(&durations)
+        .run(&SimExecutor::new(30.0))
+        .unwrap();
     assert_eq!(sim.records.len(), 60_000);
     assert!(sim.utilization() > 0.8, "utilization {}", sim.utilization());
 }

@@ -1,0 +1,153 @@
+//! Telemetry contract tests: the JSONL trace schema is a cross-executor
+//! interface. Both dataflow backends must emit the same event shapes, the
+//! schema is pinned by a golden file, and the CSV/Gantt artifacts must
+//! regenerate byte-identically from a parsed trace — the property that
+//! lets analysis tooling work from trace files instead of live runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use summitfold::dataflow::real::ThreadExecutor;
+use summitfold::dataflow::sim::SimExecutor;
+use summitfold::dataflow::stats::{ascii_gantt, records_from_trace, to_csv};
+use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
+use summitfold::obs::json::parse_object;
+use summitfold::obs::{Recorder, Trace};
+
+fn specs(n: usize) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| TaskSpec::new(format!("t{i}"), ((i * 7) % 23 + 1) as f64))
+        .collect()
+}
+
+/// Map each event kind to the set of keys its objects carry.
+fn schema(jsonl: &str) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for line in jsonl.lines() {
+        let obj = parse_object(line).expect("every trace line is a flat JSON object");
+        let kind = obj["event"]
+            .as_str()
+            .expect("event kind is a string")
+            .to_owned();
+        let keys: BTreeSet<String> = obj.keys().cloned().collect();
+        let prev = out.entry(kind.clone()).or_insert_with(|| keys.clone());
+        assert_eq!(*prev, keys, "inconsistent keys within kind {kind}");
+    }
+    out
+}
+
+#[test]
+fn real_and_sim_executors_emit_identical_schema_and_task_sets() {
+    let n = 60;
+    let specs = specs(n);
+    let items: Vec<usize> = (0..n).collect();
+
+    let vrec = Recorder::virtual_time();
+    let sim = Batch::new(&specs)
+        .workers(5)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&vrec)
+        .run_with(&SimExecutor::new(0.5), &items, |_, &x| x * 2)
+        .unwrap();
+
+    let wrec = Recorder::wall();
+    let real = Batch::new(&specs)
+        .workers(5)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&wrec)
+        .run_with(&ThreadExecutor, &items, |_, &x| x * 2)
+        .unwrap();
+
+    // Same computation, same outputs in submission order.
+    assert_eq!(sim.outputs, real.outputs);
+
+    // Both traces parse and their per-kind key sets are identical: the
+    // schema does not depend on the backend or the clock.
+    let (vt, wt) = (vrec.to_jsonl(), wrec.to_jsonl());
+    let (vs, ws) = (schema(&vt), schema(&wt));
+    assert_eq!(vs, ws, "trace schemas diverged between executors");
+    assert!(vs.contains_key("span_start") && vs.contains_key("task"));
+
+    // Identical task-completion sets: every spec completed exactly once
+    // on both backends.
+    let task_set = |jsonl: &str| -> BTreeSet<String> {
+        Trace::parse_jsonl(jsonl)
+            .unwrap()
+            .tasks()
+            .into_iter()
+            .map(|t| t.task)
+            .collect()
+    };
+    let expected: BTreeSet<String> = specs.iter().map(|s| s.id.clone()).collect();
+    assert_eq!(task_set(&vt), expected);
+    assert_eq!(task_set(&wt), expected);
+}
+
+/// A small deterministic trace exercising every event kind.
+fn golden_trace() -> String {
+    let rec = Recorder::virtual_time();
+    let specs = [
+        TaskSpec::new("alpha", 3.0),
+        TaskSpec::new("beta", 2.0),
+        TaskSpec::new("gamma", 1.0),
+    ];
+    let durations = [30.0, 20.0, 10.0];
+    let stage = rec.span_start("stage:demo");
+    Batch::new(&specs)
+        .workers(2)
+        .policy(OrderingPolicy::LongestFirst)
+        .durations(&durations)
+        .recorder(&rec)
+        .label("demo")
+        .run(&SimExecutor::new(1.0))
+        .expect("golden batch is well-formed");
+    rec.add("demo/completed", 3.0);
+    rec.gauge("demo/load", 0.5);
+    rec.observe("demo/latency", 4.25);
+    rec.span_end(stage);
+    rec.to_jsonl()
+}
+
+#[test]
+fn golden_jsonl_trace_is_byte_stable() {
+    let jsonl = golden_trace();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace.jsonl");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &jsonl).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1 cargo test golden");
+    assert_eq!(
+        jsonl, golden,
+        "JSONL trace schema changed; if intentional, regenerate with UPDATE_GOLDEN=1 and \
+         document the change in DESIGN.md"
+    );
+    // And the parser round-trips the golden bytes exactly.
+    let trace = Trace::parse_jsonl(&golden).unwrap();
+    assert_eq!(trace.to_jsonl(), golden);
+}
+
+#[test]
+fn sim_artifacts_regenerate_byte_identical_from_trace() {
+    let specs = specs(200);
+    let rec = Recorder::virtual_time();
+    let outcome = Batch::new(&specs)
+        .workers(12)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&rec)
+        .run(&SimExecutor::new(2.0))
+        .unwrap();
+
+    // Serialize, reparse, and regenerate the paper's two §3.3 artifacts.
+    let trace = Trace::parse_jsonl(&rec.to_jsonl()).unwrap();
+    let regenerated = records_from_trace(&trace);
+    assert_eq!(to_csv(&outcome.records), to_csv(&regenerated));
+
+    let spans = trace.spans();
+    assert_eq!(spans.len(), 1);
+    let makespan = spans[0].end - spans[0].start;
+    assert!((makespan - outcome.makespan).abs() < 1e-12);
+    let workers: Vec<usize> = (0..12).collect();
+    assert_eq!(
+        ascii_gantt(&outcome.records, &workers, outcome.makespan, 80),
+        ascii_gantt(&regenerated, &workers, makespan, 80)
+    );
+}
