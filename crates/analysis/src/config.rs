@@ -172,7 +172,7 @@ pub fn parse_allow(comment: &str, line: u32) -> AllowParse {
     let reason = reason.trim();
     let Some(rule) = Rule::from_name(rule_name) else {
         return AllowParse::Malformed(format!(
-            "unknown sfcheck rule {rule_name:?} (expected one of: determinism, panic-hygiene, unsafe, manifest)"
+            "unknown sfcheck rule {rule_name:?} (expected one of: determinism, panic-hygiene, unsafe, manifest, deprecated)"
         ));
     };
     if reason.is_empty() {

@@ -13,6 +13,8 @@ pub enum Rule {
     UnsafeBan,
     /// Declared dependency never referenced in source.
     Manifest,
+    /// A `#[deprecated]` attribute lingering past its PR cycle.
+    Deprecation,
     /// Malformed `sfcheck::allow` directive.
     AllowSyntax,
 }
@@ -26,6 +28,7 @@ impl Rule {
             Self::PanicHygiene => "panic-hygiene",
             Self::UnsafeBan => "unsafe",
             Self::Manifest => "manifest",
+            Self::Deprecation => "deprecated",
             Self::AllowSyntax => "allow-syntax",
         }
     }
@@ -41,6 +44,7 @@ impl Rule {
             "panic-hygiene" => Some(Self::PanicHygiene),
             "unsafe" => Some(Self::UnsafeBan),
             "manifest" => Some(Self::Manifest),
+            "deprecated" => Some(Self::Deprecation),
             _ => None,
         }
     }
@@ -110,6 +114,7 @@ mod tests {
             Rule::PanicHygiene,
             Rule::UnsafeBan,
             Rule::Manifest,
+            Rule::Deprecation,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }

@@ -294,6 +294,34 @@ pub fn unsafe_ban(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &m
     }
 }
 
+/// Deprecation: a `#[deprecated]` attribute may not linger. Workspace
+/// policy (DESIGN.md) gives a deprecated shim exactly one PR cycle: the
+/// PR after the one that deprecated it deletes it. The attribute is
+/// therefore itself a finding — fires in every file kind, tests
+/// included — unless an allow directive names the removal plan.
+pub fn deprecation(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &mut Vec<Finding>) {
+    let toks = &check.scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "deprecated"
+            && i >= 2
+            && toks[i - 1].text == "["
+            && toks[i - 2].text == "#"
+            && !is_allowed(allows, Rule::Deprecation, t.line)
+        {
+            findings.push(Finding {
+                rule: Rule::Deprecation,
+                file: check.rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "#[deprecated] outlived its PR cycle; delete the shim and migrate the \
+                          callers (DESIGN.md: deprecations last one PR)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Crate-root attribute check: `#![forbid(unsafe_code)]` must be present.
 pub fn crate_root_forbids_unsafe(check: &FileCheck<'_>, findings: &mut Vec<Finding>) {
     let toks = &check.scan.tokens;
@@ -460,6 +488,38 @@ mod tests {
         assert!(
             run_unsafe("// unsafe is discussed here\npub const S: &str = \"unsafe\";").is_empty()
         );
+    }
+
+    fn run_deprecation(src: &str) -> Vec<Finding> {
+        let s = scan(src);
+        let check = lib_check(&s, "crates/x/src/lib.rs", false);
+        let mut findings = Vec::new();
+        let allows = collect_allows(&check, &mut findings);
+        deprecation(&check, &allows, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn deprecated_attribute_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n #[deprecated(note = \"use new\")]\n fn old() {}\n}";
+        let f = run_deprecation(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Deprecation);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn deprecated_in_string_or_comment_is_fine() {
+        assert!(run_deprecation(
+            "// the #[deprecated] era is over\npub const S: &str = \"#[deprecated]\";"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn deprecation_allow_with_reason_suppresses() {
+        let src = "// sfcheck::allow(deprecated, removed in the next PR, tracked in ROADMAP.md)\n#[deprecated]\npub fn old() {}";
+        assert!(run_deprecation(src).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use summitfold_bench::microbench::Criterion;
 use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_hpc::Ledger;
-use summitfold_pipeline::stages::{feature, inference};
+use summitfold_pipeline::stages::{feature, inference, StageCtx};
 use summitfold_pipeline::{run_proteome_campaign, CampaignConfig};
 use summitfold_protein::proteome::{Proteome, Species};
 
@@ -15,7 +15,7 @@ fn bench_feature_stage(c: &mut Criterion) {
             feature::run(
                 &proteome.proteins,
                 &feature::Config::paper_default(),
-                &mut Ledger::new(),
+                StageCtx::new(&mut Ledger::new()),
             )
             .node_hours
         });
@@ -27,7 +27,7 @@ fn bench_inference_stage(c: &mut Criterion) {
     let features = feature::run(
         &proteome.proteins,
         &feature::Config::paper_default(),
-        &mut Ledger::new(),
+        StageCtx::new(&mut Ledger::new()),
     )
     .features;
     c.bench_function("inference_stage_32_targets", |b| {
@@ -36,7 +36,7 @@ fn bench_inference_stage(c: &mut Criterion) {
                 &proteome.proteins,
                 &features,
                 &inference::Config::benchmark(summitfold_inference::Preset::Genome),
-                &mut Ledger::new(),
+                StageCtx::new(&mut Ledger::new()),
             )
             .walltime_s
         });

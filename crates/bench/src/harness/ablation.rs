@@ -16,7 +16,7 @@ use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
 use summitfold_msa::db::DbSet;
 use summitfold_msa::features::feature_gen_node_seconds;
-use summitfold_pipeline::stages::{inference, TASK_OVERHEAD_S};
+use summitfold_pipeline::stages::{inference, StageCtx, TASK_OVERHEAD_S};
 use summitfold_protein::proteome::{Proteome, Species};
 
 /// A1 result row.
@@ -49,8 +49,14 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
         nodes: 8, // node count is irrelevant; we reuse the task durations
         policy: OrderingPolicy::Fifo,
         rescue_on_high_mem: true,
+        ..inference::Config::benchmark(Preset::Genome)
     };
-    let rep = inference::run(&proteome.proteins, &features, &cfg, &mut Ledger::new());
+    let rep = inference::run(
+        &proteome.proteins,
+        &features,
+        &cfg,
+        StageCtx::new(&mut Ledger::new()),
+    );
     // Rebuild (spec, duration) pairs from the simulated records is
     // indirect; instead regenerate them the same way the stage does.
     let mut specs: Vec<TaskSpec> = Vec::new();

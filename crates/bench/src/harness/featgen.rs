@@ -14,7 +14,7 @@ use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
 use summitfold_msa::db::DbSet;
-use summitfold_pipeline::stages::{feature, inference};
+use summitfold_pipeline::stages::{feature, inference, StageCtx};
 use summitfold_protein::proteome::{Proteome, Species};
 use summitfold_protein::stats;
 
@@ -43,13 +43,17 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     // Reduced vs full database feature generation.
     let mut ledger_r = Ledger::new();
     let reduced_cfg = feature::Config::paper_default();
-    let reduced = feature::run(&proteome.proteins, &reduced_cfg, &mut ledger_r);
+    let reduced = feature::run(
+        &proteome.proteins,
+        &reduced_cfg,
+        StageCtx::new(&mut ledger_r),
+    );
     let mut ledger_f = Ledger::new();
     let full_cfg = feature::Config {
         db_set: DbSet::Full,
         ..reduced_cfg
     };
-    let full = feature::run(&proteome.proteins, &full_cfg, &mut ledger_f);
+    let full = feature::run(&proteome.proteins, &full_cfg, StageCtx::new(&mut ledger_f));
 
     // Inference (genome preset, 100 nodes → 600 workers, well filled).
     let mut ledger_i = Ledger::new();
@@ -59,12 +63,13 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         nodes: if ctx.quick { 10 } else { 100 },
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
+        ..inference::Config::benchmark(Preset::Genome)
     };
     let inf = inference::run(
         &proteome.proteins,
         &reduced.features,
         &inf_cfg,
-        &mut ledger_i,
+        StageCtx::new(&mut ledger_i),
     );
 
     // Quality with full-database features: the richness latents are the
@@ -75,7 +80,7 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         &proteome.proteins,
         &full.features,
         &inf_cfg,
-        &mut Ledger::new(),
+        StageCtx::new(&mut Ledger::new()),
     );
     let ptms = |rep: &inference::Report| {
         stats::mean(

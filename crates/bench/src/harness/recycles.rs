@@ -9,7 +9,7 @@ use crate::harness::{benchmark_set, Ctx};
 use crate::report::Report;
 use summitfold_hpc::Ledger;
 use summitfold_inference::Preset;
-use summitfold_pipeline::stages::inference;
+use summitfold_pipeline::stages::{inference, StageCtx};
 use summitfold_protein::stats;
 
 /// Measured outcome.
@@ -46,7 +46,7 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
             &entries,
             &features,
             &inference::Config::benchmark(preset),
-            &mut Ledger::new(),
+            StageCtx::new(&mut Ledger::new()),
         )
     };
     let reduced = run_preset(Preset::ReducedDbs);

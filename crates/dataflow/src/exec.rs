@@ -1,10 +1,9 @@
 //! The unified batch-execution API: one [`Batch`] description, many
 //! [`Executor`] backends.
 //!
-//! Historically each backend had its own ad-hoc entry point —
-//! `real::Client::map`, `sim::simulate`, `fault::map_with_faults` — with
+//! Historically each backend had its own ad-hoc entry point with
 //! slightly different arguments, result types, and documented panics.
-//! This module replaces all three with a single builder:
+//! This module replaces all of them with a single builder:
 //!
 //! ```
 //! use summitfold_dataflow::exec::Batch;
@@ -28,12 +27,24 @@
 //! schedule (`.faults(...)`), and every backend produces the same
 //! [`BatchOutcome`] and emits the same telemetry span/task events through
 //! an [`summitfold_obs::Recorder`] (`.recorder(...)`). Invalid batches
-//! are rejected up front with a typed [`BatchError`] instead of the old
+//! are rejected up front with a typed [`BatchError`] instead of
 //! documented panics.
+//!
+//! Resilience rides on the same description: `.retry(policy)` bounds
+//! attempts with capped backoff, `.task_faults(...)` injects the §3.3
+//! failure shapes, `.quarantine(workers)` re-runs retry-exhausted tasks
+//! in a second high-memory pass, `.journal(...)` checkpoints completions
+//! as JSONL, and [`Batch::resume`] restarts a killed batch from that
+//! journal executing only unfinished tasks.
 
 use crate::fault::WorkerFault;
+use crate::journal::{Journal, JournalEntry};
 use crate::policy::OrderingPolicy;
+use crate::retry::{
+    entry_matches_record, FaultPlan, Lane, PassOutcome, ResilienceError, RetryPolicy, TaskFault,
+};
 use crate::task::{TaskRecord, TaskSpec};
+use std::collections::BTreeMap;
 use summitfold_obs::{Recorder, SpanId};
 
 /// Why a batch could not run.
@@ -62,6 +73,14 @@ pub enum BatchError {
         /// Workers scheduled to die.
         dying: usize,
     },
+    /// The retry/quarantine/journal configuration cannot complete.
+    Resilience(ResilienceError),
+}
+
+impl From<ResilienceError> for BatchError {
+    fn from(e: ResilienceError) -> Self {
+        Self::Resilience(e)
+    }
 }
 
 impl std::fmt::Display for BatchError {
@@ -78,26 +97,37 @@ impl std::fmt::Display for BatchError {
                 f,
                 "all workers die under the fault schedule ({dying} of {workers}); at least one must survive"
             ),
+            Self::Resilience(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for BatchError {}
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Resilience(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A validated batch, handed to [`Executor::execute`].
 ///
-/// Constructed only by [`Batch::run_with`] after validation, so backends
-/// may rely on: `workers > 0`, `specs.len()` equals the item count,
-/// durations (when present) correspond to specs, and at least one worker
-/// survives the fault schedule.
+/// Constructed only by [`Batch::run_with`]/[`Batch::resume`] after
+/// validation, so backends may rely on: `workers > 0`, `specs.len()`
+/// equals the item count, durations (when present) correspond to specs,
+/// at least one worker survives the fault schedule, every task fault
+/// resolves within the configured lanes (no task exhausts the retry
+/// policy without a quarantine lane to catch it), and `completed` only
+/// names tasks present in `specs`.
 pub struct Plan<'a> {
     /// Task descriptions.
     pub specs: &'a [TaskSpec],
-    /// Worker count (> 0).
+    /// Worker count of the standard lane (> 0).
     pub workers: usize,
     /// Queue ordering policy.
     pub policy: OrderingPolicy,
-    /// Worker-death schedule (empty = fault-free).
+    /// Worker-death schedule (empty = fault-free; standard lane only).
     pub faults: &'a [WorkerFault],
     /// Virtual task durations for simulating backends; `None` means
     /// derive from `cost_hint`.
@@ -106,6 +136,19 @@ pub struct Plan<'a> {
     pub recorder: &'a Recorder,
     /// Span label for the batch ("batch", "inference", …).
     pub label: &'a str,
+    /// Retry policy applied per task, per lane.
+    pub retry: RetryPolicy,
+    /// Task-level fault schedule (empty = no task failures).
+    pub task_faults: &'a [TaskFault],
+    /// Quarantine lane width: workers in the high-memory rerun pass,
+    /// numbered `workers..workers + quarantine_workers`.
+    pub quarantine_workers: Option<usize>,
+    /// Checkpoint journal to append completions to, if any.
+    pub journal: Option<&'a Journal>,
+    /// Tasks already completed per a resume journal, by id. Backends
+    /// must not re-schedule them; see [`Batch::resume`] for the exact
+    /// per-backend semantics.
+    pub completed: BTreeMap<String, JournalEntry>,
 }
 
 /// Result of one batch execution, identical across backends.
@@ -129,9 +172,25 @@ pub struct BatchOutcome<O> {
     pub requeued: usize,
     /// Workers that died under the fault schedule.
     pub deaths: usize,
+    /// Tasks that exhausted standard-lane retries and completed in the
+    /// quarantine rerun pass.
+    pub quarantined: usize,
+    /// Wall/virtual seconds the quarantine pass added after the standard
+    /// lane drained (0 when nothing was quarantined).
+    pub quarantine_makespan: f64,
+    /// Tasks skipped because a resume journal already recorded them.
+    pub resumed: usize,
 }
 
 impl<O> BatchOutcome<O> {
+    /// Total failed executions across all tasks (`Σ (attempts - 1)`).
+    #[must_use]
+    pub fn retries(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.attempts.saturating_sub(1) as usize)
+            .sum()
+    }
     /// Mean worker utilization over the makespan, in `[0, 1]`.
     #[must_use]
     pub fn utilization(&self) -> f64 {
@@ -140,6 +199,45 @@ impl<O> BatchOutcome<O> {
         }
         let busy: f64 = self.worker_busy.iter().sum();
         busy / (self.makespan * self.worker_busy.len() as f64)
+    }
+
+    /// Makespan of the standard lane alone: the batch makespan minus the
+    /// quarantine rerun pass (identical to [`Self::makespan`] when nothing
+    /// was quarantined).
+    #[must_use]
+    pub fn standard_makespan(&self) -> f64 {
+        self.makespan - self.quarantine_makespan
+    }
+
+    /// Mean utilization of the standard-lane workers over the standard
+    /// lane's makespan, in `[0, 1]`. Unlike [`Self::utilization`], this
+    /// excludes the quarantine rerun pass, during which the standard lane
+    /// is deliberately idle — it is the load-balance figure of merit.
+    #[must_use]
+    pub fn standard_utilization(&self) -> f64 {
+        let span = self.standard_makespan();
+        if span <= 0.0 || self.workers == 0 {
+            return 1.0;
+        }
+        let busy: f64 = self.worker_busy.iter().take(self.workers).sum();
+        busy / (span * self.workers as f64)
+    }
+
+    /// Idle tail of the standard lane: the standard-lane makespan minus
+    /// the earliest standard-worker finish time.
+    #[must_use]
+    pub fn standard_idle_tail(&self) -> f64 {
+        let earliest = self
+            .worker_finish
+            .iter()
+            .take(self.workers)
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        if earliest.is_finite() {
+            self.standard_makespan() - earliest
+        } else {
+            0.0
+        }
     }
 
     /// The "idle tail": makespan minus the earliest worker finish time —
@@ -192,7 +290,8 @@ pub trait Executor {
 /// Builder describing a batch, independent of the backend that runs it.
 ///
 /// Defaults: 1 worker, [`OrderingPolicy::Fifo`], no faults, no explicit
-/// durations, telemetry disabled, span label `"batch"`.
+/// durations, telemetry disabled, span label `"batch"`, no retries, no
+/// quarantine lane, no journal.
 #[derive(Clone, Copy)]
 pub struct Batch<'a> {
     specs: &'a [TaskSpec],
@@ -202,6 +301,10 @@ pub struct Batch<'a> {
     durations: Option<&'a [f64]>,
     recorder: &'a Recorder,
     label: &'a str,
+    retry: RetryPolicy,
+    task_faults: &'a [TaskFault],
+    quarantine_workers: Option<usize>,
+    journal: Option<&'a Journal>,
 }
 
 impl<'a> Batch<'a> {
@@ -216,6 +319,10 @@ impl<'a> Batch<'a> {
             durations: None,
             recorder: Recorder::disabled(),
             label: "batch",
+            retry: RetryPolicy::none(),
+            task_faults: &[],
+            quarantine_workers: None,
+            journal: None,
         }
     }
 
@@ -263,8 +370,41 @@ impl<'a> Batch<'a> {
         self
     }
 
+    /// Bound attempts per task per lane and insert deterministic capped
+    /// backoff between them.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attach a task-level fault schedule (transient and OOM-shaped
+    /// failures; both backends honor it identically).
+    #[must_use]
+    pub fn task_faults(mut self, task_faults: &'a [TaskFault]) -> Self {
+        self.task_faults = task_faults;
+        self
+    }
+
+    /// Configure the quarantine lane: tasks that exhaust standard-lane
+    /// retries are collected and re-run in a second pass on `workers`
+    /// wider-memory workers (ids `workers..workers + quarantine`).
+    #[must_use]
+    pub fn quarantine(mut self, workers: usize) -> Self {
+        self.quarantine_workers = Some(workers);
+        self
+    }
+
+    /// Append every completed task to `journal` as the batch runs, so a
+    /// killed batch can be restarted with [`Batch::resume`].
+    #[must_use]
+    pub fn journal(mut self, journal: &'a Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     fn validate(&self, items: usize) -> Result<Plan<'a>, BatchError> {
-        if self.workers == 0 {
+        if self.workers == 0 || self.quarantine_workers == Some(0) {
             return Err(BatchError::NoWorkers);
         }
         if self.specs.len() != items {
@@ -292,6 +432,32 @@ impl<'a> Batch<'a> {
                 dying,
             });
         }
+        // The fault schedule is a pure function of the description, so a
+        // task doomed to exhaust every configured lane is rejected here —
+        // executors may assume every scheduled task eventually succeeds.
+        let fault_plan = FaultPlan::new(self.task_faults, self.retry);
+        for spec in self.specs {
+            if fault_plan.pass(&spec.id, Lane::Standard, 0) != PassOutcome::Exhausts {
+                continue;
+            }
+            let burned = self.retry.max_attempts;
+            if self.quarantine_workers.is_none() {
+                return Err(ResilienceError::TaskExhausted {
+                    task: spec.id.clone(),
+                    attempts: burned,
+                    quarantine_configured: false,
+                }
+                .into());
+            }
+            if fault_plan.pass(&spec.id, Lane::HighMemory, burned) == PassOutcome::Exhausts {
+                return Err(ResilienceError::TaskExhausted {
+                    task: spec.id.clone(),
+                    attempts: 2 * burned,
+                    quarantine_configured: true,
+                }
+                .into());
+            }
+        }
         Ok(Plan {
             specs: self.specs,
             workers: self.workers,
@@ -300,6 +466,11 @@ impl<'a> Batch<'a> {
             durations: self.durations,
             recorder: self.recorder,
             label: self.label,
+            retry: self.retry,
+            task_faults: self.task_faults,
+            quarantine_workers: self.quarantine_workers,
+            journal: self.journal,
+            completed: BTreeMap::new(),
         })
     }
 
@@ -307,8 +478,8 @@ impl<'a> Batch<'a> {
     ///
     /// # Errors
     /// Returns [`BatchError`] if the batch description is invalid —
-    /// the conditions that were documented panics under the old
-    /// `Client::map`/`simulate`/`map_with_faults` entry points.
+    /// conditions that were documented panics under the deleted
+    /// per-backend entry points.
     pub fn run_with<I, O, F, E>(
         &self,
         exec: &E,
@@ -334,6 +505,53 @@ impl<'a> Batch<'a> {
         let items = vec![(); self.specs.len()];
         self.run_with(exec, &items, |_, ()| ())
     }
+
+    /// Restart a killed payload-free batch from its checkpoint journal,
+    /// executing only the tasks the journal does not record.
+    ///
+    /// The final [`BatchOutcome`] records are identical to an
+    /// uninterrupted run's (modulo timing on wall-clock backends):
+    /// virtual backends re-derive the full deterministic schedule and
+    /// cross-check it against the journal, while the thread backend
+    /// replays journaled records verbatim and schedules the remainder.
+    /// Resume with the same backend kind that wrote the journal.
+    ///
+    /// # Errors
+    /// Returns [`BatchError`] if the batch description is invalid, if
+    /// the journal names a task absent from the specs
+    /// ([`ResilienceError::UnknownJournalTask`]), or if a deterministic
+    /// backend re-derives a record that disagrees with its journal entry
+    /// ([`ResilienceError::JournalDiverged`] — the journal belongs to a
+    /// different batch).
+    pub fn resume<E: Executor>(
+        &self,
+        exec: &E,
+        journal: &Journal,
+    ) -> Result<BatchOutcome<()>, BatchError> {
+        let mut plan = self.validate(self.specs.len())?;
+        let known: std::collections::BTreeSet<&str> =
+            self.specs.iter().map(|s| s.id.as_str()).collect();
+        let completed = journal.completed();
+        for task in completed.keys() {
+            if !known.contains(task.as_str()) {
+                return Err(ResilienceError::UnknownJournalTask { task: task.clone() }.into());
+            }
+        }
+        plan.completed = completed;
+        let items = vec![(); self.specs.len()];
+        let outcome = exec.execute(&plan, &items, &|_: &TaskSpec, (): &()| ());
+        for r in &outcome.records {
+            if let Some(entry) = plan.completed.get(&r.task_id) {
+                if !entry_matches_record(entry, r) {
+                    return Err(ResilienceError::JournalDiverged {
+                        task: r.task_id.clone(),
+                    }
+                    .into());
+                }
+            }
+        }
+        Ok(outcome)
+    }
 }
 
 /// Open the batch span on the plan's recorder. Returns the span and the
@@ -346,19 +564,49 @@ pub fn open_batch_span(plan: &Plan<'_>) -> (SpanId, f64) {
 
 /// Emit per-task events and close the batch span, advancing virtual
 /// clocks to the batch end so the span duration equals the makespan.
+///
+/// Resilience telemetry rides along: `dataflow/retries`,
+/// `dataflow/quarantined` and `dataflow/resumed` counters, plus a nested
+/// `{label}:quarantine` span covering the rerun pass when one happened.
 pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &BatchOutcome<O>) {
     let rec = plan.recorder;
     if !rec.is_enabled() {
         return;
     }
     for r in &outcome.records {
-        rec.task(Some(span), &r.task_id, r.worker_id, r.start, r.end);
+        rec.task(
+            Some(span),
+            &r.task_id,
+            r.worker_id,
+            r.start,
+            r.end,
+            r.attempts,
+        );
     }
     if outcome.requeued > 0 {
         rec.add("dataflow/requeued", outcome.requeued as f64);
     }
     if outcome.deaths > 0 {
         rec.add("dataflow/worker_deaths", outcome.deaths as f64);
+    }
+    let retries = outcome.retries();
+    if retries > 0 {
+        rec.add("dataflow/retries", retries as f64);
+    }
+    if outcome.quarantined > 0 {
+        rec.add("dataflow/quarantined", outcome.quarantined as f64);
+    }
+    if outcome.resumed > 0 {
+        rec.add("dataflow/resumed", outcome.resumed as f64);
+    }
+    if outcome.quarantined > 0 && outcome.quarantine_makespan > 0.0 {
+        // On a virtual clock the quarantine span covers exactly the
+        // rerun tail; a wall clock has already passed it, so the span
+        // degenerates to a marker at close time.
+        rec.advance_clock_to(t0 + outcome.makespan - outcome.quarantine_makespan);
+        let q = rec.span_start(&format!("{}:quarantine", plan.label));
+        rec.advance_clock_to(t0 + outcome.makespan);
+        rec.span_end(q);
     }
     rec.advance_clock_to(t0 + outcome.makespan);
     rec.span_end(span);
@@ -488,28 +736,65 @@ mod tests {
     #[test]
     fn per_worker_stats_accumulate() {
         let records = vec![
-            TaskRecord {
-                task_id: "a".into(),
-                worker_id: 0,
-                start: 0.0,
-                end: 2.0,
-            },
-            TaskRecord {
-                task_id: "b".into(),
-                worker_id: 0,
-                start: 3.0,
-                end: 4.0,
-            },
-            TaskRecord {
-                task_id: "c".into(),
-                worker_id: 1,
-                start: 0.0,
-                end: 1.5,
-            },
+            TaskRecord::new("a", 0, 0.0, 2.0),
+            TaskRecord::new("b", 0, 3.0, 4.0),
+            TaskRecord::new("c", 1, 0.0, 1.5),
         ];
         let (busy, finish) = per_worker_stats(&records, 2);
         assert_eq!(busy, vec![3.0, 1.5]);
         assert_eq!(finish, vec![4.0, 1.5]);
+    }
+
+    #[test]
+    fn doomed_tasks_are_rejected_up_front() {
+        let s = specs(3);
+        // OOM fault with no quarantine lane: typed error, and it `?`s.
+        let faults = [crate::retry::TaskFault::oom("t1")];
+        let err = Batch::new(&s)
+            .workers(2)
+            .task_faults(&faults)
+            .run(&SimExecutor::new(0.0))
+            .unwrap_err();
+        match &err {
+            BatchError::Resilience(ResilienceError::TaskExhausted {
+                task,
+                quarantine_configured,
+                ..
+            }) => {
+                assert_eq!(task, "t1");
+                assert!(!quarantine_configured);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("no quarantine lane"));
+        use std::error::Error as _;
+        assert!(err.source().is_some(), "Resilience wraps its source");
+
+        // A transient fault too deep for both lanes is doomed even with
+        // quarantine configured.
+        let faults = [crate::retry::TaskFault::transient("t0", 10)];
+        let err = Batch::new(&s)
+            .workers(2)
+            .task_faults(&faults)
+            .retry(crate::retry::RetryPolicy::new(2, 0.0, 0.0))
+            .quarantine(1)
+            .run(&SimExecutor::new(0.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BatchError::Resilience(ResilienceError::TaskExhausted {
+                quarantine_configured: true,
+                ..
+            })
+        ));
+
+        // A zero-width quarantine lane can never drain.
+        let err = Batch::new(&s)
+            .workers(2)
+            .quarantine(0)
+            .run(&SimExecutor::new(0.0))
+            .unwrap_err();
+        assert_eq!(err, BatchError::NoWorkers);
     }
 
     #[test]

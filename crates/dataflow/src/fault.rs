@@ -8,13 +8,8 @@
 //! a [`WorkerFault`] schedule with [`crate::exec::Batch::faults`] and a
 //! worker that dies between pulling and completing a task returns it to
 //! the queue (exactly-once *completion*, at-least-once execution), and
-//! the batch drains on the survivors. The old [`map_with_faults`] entry
-//! point survives as a deprecated shim for one PR cycle.
-
-use crate::exec::Batch;
-use crate::policy::OrderingPolicy;
-use crate::real::ThreadExecutor;
-use crate::task::{TaskRecord, TaskSpec};
+//! the batch drains on the survivors. Task-level failure shapes (a task
+//! that fails rather than a worker that dies) live in [`crate::retry`].
 
 /// A worker-death schedule: worker `w` dies after completing
 /// `tasks_before_death` tasks (the next task it pulls is abandoned and
@@ -27,66 +22,13 @@ pub struct WorkerFault {
     pub tasks_before_death: usize,
 }
 
-/// Result of a fault-tolerant batch (legacy shape kept for
-/// [`map_with_faults`]).
-#[derive(Debug)]
-pub struct FaultBatchResult<O> {
-    /// Outputs in submission order (every task completes exactly once).
-    pub outputs: Vec<O>,
-    /// Completion records (only successful executions).
-    pub records: Vec<TaskRecord>,
-    /// Tasks that were abandoned by a dying worker and re-queued.
-    pub requeued: usize,
-    /// Workers that died.
-    pub deaths: usize,
-    /// Wall-clock makespan (seconds).
-    pub makespan: f64,
-}
-
-/// Execute a batch on `workers` threads with the given fault schedule.
-///
-/// # Panics
-/// Panics if `workers == 0`, if every worker is scheduled to die before
-/// the queue drains (the batch could never finish), or on spec/item
-/// length mismatch — use the [`crate::exec::Batch`] API to get these as
-/// typed [`crate::exec::BatchError`] values instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use exec::Batch::new(specs).workers(n).policy(p).faults(sched).run_with(&real::ThreadExecutor, &items, f)"
-)]
-pub fn map_with_faults<I, O, F>(
-    specs: &[TaskSpec],
-    items: Vec<I>,
-    policy: OrderingPolicy,
-    workers: usize,
-    faults: &[WorkerFault],
-    f: F,
-) -> FaultBatchResult<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&TaskSpec, &I) -> O + Sync,
-{
-    let outcome = Batch::new(specs)
-        .workers(workers)
-        .policy(policy)
-        .faults(faults)
-        .run_with(&ThreadExecutor, &items, f)
-        // sfcheck::allow(panic-hygiene, legacy contract; the batch preconditions are the documented panics under # Panics)
-        .unwrap_or_else(|e| panic!("{e}: need at least one worker to survive"));
-    FaultBatchResult {
-        outputs: outcome.outputs,
-        records: outcome.records,
-        requeued: outcome.requeued,
-        deaths: outcome.deaths,
-        makespan: outcome.makespan,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{BatchError, BatchOutcome};
+    use crate::exec::{Batch, BatchError, BatchOutcome};
+    use crate::policy::OrderingPolicy;
+    use crate::real::ThreadExecutor;
+    use crate::task::TaskSpec;
 
     fn specs(n: usize) -> Vec<TaskSpec> {
         (0..n)
@@ -193,41 +135,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_batch_api() {
-        let n = 50;
+    fn worker_deaths_compose_with_task_retries() {
+        // A dying worker and a transiently failing task in the same
+        // batch: the batch still drains and the attempt count survives.
+        let n = 60;
         let faults = [WorkerFault {
             worker: 0,
             tasks_before_death: 2,
         }];
-        let old = map_with_faults(
-            &specs(n),
-            (0..n).collect(),
-            OrderingPolicy::Fifo,
-            3,
-            &faults,
-            slow_double,
-        );
-        let new = run(n, OrderingPolicy::Fifo, 3, &faults);
-        assert_eq!(old.outputs, new.outputs);
-        assert_eq!(old.deaths, new.deaths);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "survive")]
-    fn all_workers_dying_panics_through_the_shim() {
-        let faults = [WorkerFault {
-            worker: 0,
-            tasks_before_death: 1,
-        }];
-        let _ = map_with_faults(
-            &specs(10),
-            (0..10).collect(),
-            OrderingPolicy::Fifo,
-            1,
-            &faults,
-            |_, &x: &usize| x,
-        );
+        let task_faults = [crate::retry::TaskFault::transient("t7", 1)];
+        let items: Vec<usize> = (0..n).collect();
+        let r = Batch::new(&specs(n))
+            .workers(3)
+            .faults(&faults)
+            .task_faults(&task_faults)
+            .retry(crate::retry::RetryPolicy::new(2, 0.0, 0.0))
+            .run_with(&ThreadExecutor, &items, slow_double)
+            .unwrap();
+        assert_eq!(r.outputs, (0..n).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(r.deaths, 1);
+        let t7 = r.records.iter().find(|rec| rec.task_id == "t7").unwrap();
+        assert_eq!(t7.attempts, 2);
     }
 }

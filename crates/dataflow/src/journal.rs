@@ -1,0 +1,281 @@
+//! The checkpoint journal: an append-only JSONL record of completed
+//! tasks, written as a batch runs and replayed by `Batch::resume`.
+//!
+//! AF_Cache-style restartability (PAPERS.md): a proteome-scale batch that
+//! dies hours in must not redo finished work. Executors append one
+//! `task_done` line per completed task through [`Journal::record`]; after
+//! a crash the journal text is parsed back and handed to
+//! `Batch::resume`, which schedules only the unfinished tasks and
+//! reproduces the uninterrupted outcome's records.
+//!
+//! The wire format reuses the `obs` flat-JSON conventions (same writer,
+//! same parser, shortest-round-trip numbers), so journal lines survive a
+//! write/parse cycle bit-for-bit:
+//!
+//! ```text
+//! {"event":"task_done","task":"DVU_00042/model_3","worker":5,"start":0.5,"end":30.25,"attempts":2}
+//! ```
+
+use crate::retry::ResilienceError;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use summitfold_obs::json::{self, ObjectWriter};
+
+/// One completed task, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Task identifier.
+    pub task: String,
+    /// Worker that completed it.
+    pub worker: usize,
+    /// Start time (seconds since batch start, on the producing
+    /// executor's clock).
+    pub start: f64,
+    /// End time (same clock).
+    pub end: f64,
+    /// Executions including the successful one.
+    pub attempts: u32,
+}
+
+impl JournalEntry {
+    /// Serialize as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "task_done");
+        w.str_field("task", &self.task);
+        w.int_field("worker", self.worker as u64);
+        w.num_field("start", self.start);
+        w.num_field("end", self.end);
+        w.int_field("attempts", u64::from(self.attempts));
+        w.finish()
+    }
+}
+
+/// An append-only checkpoint journal. Interior-mutable so the thread
+/// executor's workers can append live while the batch runs.
+#[derive(Debug, Default)]
+pub struct Journal {
+    entries: Mutex<Vec<JournalEntry>>,
+}
+
+impl Journal {
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<JournalEntry>> {
+        // Poisoning can only come from a panic between push calls; the
+        // vector itself stays consistent.
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Append one completed task.
+    pub fn record(&self, entry: JournalEntry) {
+        self.lock().push(entry);
+    }
+
+    /// Snapshot of all entries in append order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.lock().clone()
+    }
+
+    /// Number of journaled completions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been journaled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A new journal holding only the first `n` entries — the state on
+    /// disk after a batch was killed at that task boundary.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Self {
+        let mut entries = self.entries();
+        entries.truncate(n);
+        Self {
+            entries: Mutex::new(entries),
+        }
+    }
+
+    /// Latest entry per task id (a task re-journaled on resume keeps the
+    /// newest line).
+    #[must_use]
+    pub fn completed(&self) -> BTreeMap<String, JournalEntry> {
+        self.entries()
+            .into_iter()
+            .map(|e| (e.task.clone(), e))
+            .collect()
+    }
+
+    /// Serialize as JSONL, one `task_done` object per line, trailing
+    /// newline (empty string for an empty journal).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let entries = self.lock();
+        let mut out = String::with_capacity(entries.len() * 96);
+        for e in entries.iter() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL journal written by [`Journal::to_jsonl`].
+    ///
+    /// # Errors
+    /// Returns [`ResilienceError::Journal`] naming the first malformed
+    /// line: bad JSON, a kind other than `task_done`, or a missing field.
+    pub fn parse_jsonl(text: &str) -> Result<Self, ResilienceError> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| ResilienceError::Journal {
+                line: line_no,
+                message,
+            };
+            let obj = json::parse_object(line).map_err(|e| err(e.to_string()))?;
+            let kind = obj
+                .get("event")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| err("missing string field 'event'".into()))?;
+            if kind != "task_done" {
+                return Err(err(format!("unknown event kind '{kind}'")));
+            }
+            let need_num = |key: &str| {
+                obj.get(key)
+                    .and_then(json::Value::as_num)
+                    .ok_or_else(|| err(format!("missing numeric field '{key}'")))
+            };
+            entries.push(JournalEntry {
+                task: obj
+                    .get("task")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| err("missing string field 'task'".into()))?
+                    .to_string(),
+                worker: need_num("worker")? as usize,
+                start: need_num("start")?,
+                end: need_num("end")?,
+                attempts: need_num("attempts")? as u32,
+            });
+        }
+        Ok(Self {
+            entries: Mutex::new(entries),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Journal {
+        let j = Journal::new();
+        j.record(JournalEntry {
+            task: "a".into(),
+            worker: 0,
+            start: 0.0,
+            end: 1.0 / 3.0,
+            attempts: 1,
+        });
+        j.record(JournalEntry {
+            task: "b".into(),
+            worker: 3,
+            start: 0.5,
+            end: 30.25,
+            attempts: 2,
+        });
+        j
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let j = sample();
+        let text = j.to_jsonl();
+        let parsed = Journal::parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.entries(), j.entries());
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn truncation_models_a_kill() {
+        let j = sample();
+        let cut = j.truncated(1);
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut.entries()[0].task, "a");
+        assert_eq!(j.len(), 2, "original untouched");
+        assert!(j.truncated(0).is_empty());
+    }
+
+    #[test]
+    fn completed_keeps_the_newest_line_per_task() {
+        let j = sample();
+        j.record(JournalEntry {
+            task: "a".into(),
+            worker: 9,
+            start: 2.0,
+            end: 3.0,
+            attempts: 4,
+        });
+        let done = j.completed();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done["a"].worker, 9);
+    }
+
+    #[test]
+    fn malformed_journals_are_rejected_with_line_numbers() {
+        let bad = Journal::parse_jsonl("{\"event\":\"task\"}").unwrap_err();
+        match bad {
+            ResilienceError::Journal { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("task"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Journal::parse_jsonl("not json").is_err());
+        let ok = sample().to_jsonl();
+        let mangled = format!("{ok}{{\"event\":\"task_done\",\"task\":\"c\"}}\n");
+        match Journal::parse_jsonl(&mangled).unwrap_err() {
+            ResilienceError::Journal { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Blank lines are tolerated.
+        assert_eq!(Journal::parse_jsonl("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_appends_are_safe() {
+        let j = Journal::new();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let j = &j;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        j.record(JournalEntry {
+                            task: format!("w{w}-t{i}"),
+                            worker: w,
+                            start: 0.0,
+                            end: 1.0,
+                            attempts: 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(j.len(), 200);
+    }
+}

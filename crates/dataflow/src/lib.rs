@@ -29,19 +29,31 @@
 //! [`exec::BatchOutcome`] and emit the same span/task telemetry into an
 //! [`summitfold_obs::Recorder`], so `stats::to_csv` and
 //! `stats::ascii_gantt` artifacts regenerate byte-identically from a
-//! JSONL trace. The pre-`Batch` entry points (`real::Client::map`,
-//! `sim::simulate`, `fault::map_with_faults`) remain as deprecated shims
-//! for one PR cycle.
+//! JSONL trace.
+//!
+//! On top of the scheduling core sits the resilience layer (§3.3's
+//! failure handling): a per-task [`retry::RetryPolicy`] with capped
+//! deterministic backoff, a [`retry::TaskFault`] model (transient vs
+//! OOM-shaped failures) alongside the worker-death schedule, a
+//! *quarantine lane* that re-runs retry-exhausted tasks on a wider-memory
+//! worker profile, and a [`journal::Journal`] checkpoint (append-only
+//! JSONL) that lets `exec::Batch::resume` restart a killed batch
+//! executing only unfinished tasks. Both backends share the same fault
+//! arithmetic, so attempt counts agree executor-to-executor.
 
 pub mod exec;
 pub mod fault;
+pub mod journal;
 pub mod policy;
 pub mod real;
+pub mod retry;
 pub mod sim;
 pub mod stats;
 mod sync;
 pub mod task;
 
 pub use exec::{Batch, BatchError, BatchOutcome, Executor};
+pub use journal::{Journal, JournalEntry};
 pub use policy::OrderingPolicy;
+pub use retry::{ResilienceError, RetryPolicy, TaskFault, TaskFaultKind};
 pub use task::{TaskRecord, TaskSpec};

@@ -13,16 +13,22 @@
 //! 4. per-task start/end statistics are collected for the CSV report and
 //!    the telemetry trace.
 //!
-//! [`ThreadExecutor`] is the [`crate::exec::Executor`] backend; it also
-//! honors a worker-death schedule (see [`crate::fault`]), re-queueing the
-//! in-flight task of a dying worker so the batch drains on the survivors.
-//! The old [`Client`] entry point survives as a deprecated shim for one
-//! PR cycle.
+//! [`ThreadExecutor`] is the [`crate::exec::Executor`] backend; it honors
+//! a worker-death schedule (see [`crate::fault`]), re-queueing the
+//! in-flight task of a dying worker so the batch drains on the survivors,
+//! and the task-level fault model (see [`crate::retry`]): failed attempts
+//! really re-execute the closure, backoff delays really sleep, and tasks
+//! that exhaust the standard lane re-run in a second scope of high-memory
+//! workers once the standard lane drains. Resume replays journaled
+//! records verbatim (wall-clock times are not reproducible) and schedules
+//! only the remainder; outputs of replayed tasks are recomputed inline so
+//! the outcome stays fully populated for any output type.
 
 use crate::exec::{
     close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, Executor, Plan,
 };
-use crate::policy::OrderingPolicy;
+use crate::journal::JournalEntry;
+use crate::retry::{FaultPlan, Lane, PassOutcome};
 use crate::sync::lock;
 use crate::task::{TaskRecord, TaskSpec};
 use std::collections::VecDeque;
@@ -30,17 +36,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Result of a batch execution (legacy shape kept for [`Client::map`]).
-#[derive(Debug)]
-pub struct BatchResult<O> {
-    /// Task outputs, in the original submission order.
-    pub outputs: Vec<O>,
-    /// Per-task execution records (arbitrary completion order).
-    pub records: Vec<TaskRecord>,
-    /// Wall-clock makespan in seconds.
-    pub makespan: f64,
-    /// Worker ids that registered (0..workers).
-    pub registered_workers: Vec<usize>,
+fn sleep_secs(s: f64) {
+    if s > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(s));
+    }
 }
 
 /// The thread-backed [`Executor`] backend.
@@ -64,21 +63,51 @@ impl Executor for ThreadExecutor {
         let n = items.len();
         let specs = plan.specs;
         let has_faults = !plan.faults.is_empty();
+        let fault_plan = FaultPlan::new(plan.task_faults, plan.retry);
 
-        // The scheduler queue: task indices in policy order. The whole
-        // batch is enqueued before any worker starts; workers drain the
-        // deque until it is empty (or, under faults, until the remaining
-        // counter proves every task completed).
-        let queue: Mutex<VecDeque<usize>> = Mutex::new(plan.policy.order(specs).into());
+        // Resume: tasks the journal already records are not re-enqueued.
+        // Their records replay verbatim (wall-clock times cannot be
+        // re-derived) and their outputs are recomputed inline here.
+        let mut order: VecDeque<usize> = plan.policy.order(specs).into();
+        let mut initial_records: Vec<TaskRecord> = Vec::with_capacity(n);
+        let mut initial_outputs: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        let resumed = plan.completed.len();
+        if resumed > 0 {
+            order.retain(|&idx| !plan.completed.contains_key(&specs[idx].id));
+            for (idx, spec) in specs.iter().enumerate() {
+                let Some(entry) = plan.completed.get(&spec.id) else {
+                    continue;
+                };
+                initial_outputs[idx] = Some(f(spec, &items[idx]));
+                initial_records.push(TaskRecord {
+                    task_id: entry.task.clone(),
+                    worker_id: entry.worker,
+                    start: entry.start,
+                    end: entry.end,
+                    attempts: entry.attempts,
+                });
+                if let Some(journal) = plan.journal {
+                    journal.record(entry.clone());
+                }
+            }
+        }
+
+        // The scheduler queue: pending task indices in policy order. The
+        // whole batch is enqueued before any worker starts; workers drain
+        // the deque until it is empty (or, under faults, until the
+        // remaining counter proves every task resolved).
+        let pending = order.len();
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(order);
 
         // Registration list: workers announce themselves before accepting
         // work.
         let registered: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(plan.workers));
 
-        let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-        let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(n));
+        let outputs: Mutex<Vec<Option<O>>> = Mutex::new(initial_outputs);
+        let records: Mutex<Vec<TaskRecord>> = Mutex::new(initial_records);
+        let quarantine: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let requeued = AtomicUsize::new(0);
-        let remaining = AtomicUsize::new(n);
+        let remaining = AtomicUsize::new(pending);
         let epoch = Instant::now();
 
         std::thread::scope(|scope| {
@@ -92,14 +121,16 @@ impl Executor for ThreadExecutor {
                 let registered = &registered;
                 let outputs = &outputs;
                 let records = &records;
+                let quarantine = &quarantine;
                 let requeued = &requeued;
                 let remaining = &remaining;
+                let fault_plan = &fault_plan;
                 scope.spawn(move || {
                     lock(registered).push(worker_id);
                     let mut completed = 0usize;
                     loop {
                         if has_faults && remaining.load(Ordering::Acquire) == 0 {
-                            return; // every task completed somewhere
+                            return; // every task resolved somewhere
                         }
                         let Some(idx) = lock(queue).pop_front() else {
                             if has_faults {
@@ -119,23 +150,125 @@ impl Executor for ThreadExecutor {
                             return;
                         }
                         let start = epoch.elapsed().as_secs_f64();
-                        let out = f(&specs[idx], &items[idx]);
-                        let end = epoch.elapsed().as_secs_f64();
-                        lock(outputs)[idx] = Some(out);
-                        lock(records).push(TaskRecord {
-                            task_id: specs[idx].id.clone(),
-                            worker_id,
-                            start,
-                            end,
-                        });
-                        remaining.fetch_sub(1, Ordering::Release);
-                        completed += 1;
+                        match fault_plan.pass(&specs[idx].id, Lane::Standard, 0) {
+                            PassOutcome::Succeeds { failures } => {
+                                // Failed attempts really execute (their
+                                // results are discarded) and the backoff
+                                // delays really sleep on this worker.
+                                for i in 1..=failures {
+                                    let _ = f(&specs[idx], &items[idx]);
+                                    sleep_secs(plan.retry.backoff_after(i));
+                                }
+                                let out = f(&specs[idx], &items[idx]);
+                                let end = epoch.elapsed().as_secs_f64();
+                                lock(outputs)[idx] = Some(out);
+                                if let Some(journal) = plan.journal {
+                                    journal.record(JournalEntry {
+                                        task: specs[idx].id.clone(),
+                                        worker: worker_id,
+                                        start,
+                                        end,
+                                        attempts: failures + 1,
+                                    });
+                                }
+                                lock(records).push(TaskRecord {
+                                    task_id: specs[idx].id.clone(),
+                                    worker_id,
+                                    start,
+                                    end,
+                                    attempts: failures + 1,
+                                });
+                                remaining.fetch_sub(1, Ordering::Release);
+                                completed += 1;
+                            }
+                            PassOutcome::Exhausts => {
+                                // Burn the lane's full attempt budget
+                                // (sleeping between attempts, not after the
+                                // last), then hand the task to quarantine.
+                                let burned = plan.retry.max_attempts;
+                                for i in 1..=burned {
+                                    let _ = f(&specs[idx], &items[idx]);
+                                    if i < burned {
+                                        sleep_secs(plan.retry.backoff_after(i));
+                                    }
+                                }
+                                lock(quarantine).push(idx);
+                                remaining.fetch_sub(1, Ordering::Release);
+                            }
+                        }
                     }
                 });
             }
         });
 
-        let makespan = epoch.elapsed().as_secs_f64();
+        let pass1_elapsed = epoch.elapsed().as_secs_f64();
+        let mut quarantined_tasks = quarantine.into_inner().unwrap_or_else(|p| p.into_inner());
+        // Race-free deterministic rerun order regardless of which worker
+        // exhausted which task first.
+        quarantined_tasks.sort_unstable();
+        let quarantined = quarantined_tasks.len();
+        let q_width = plan.quarantine_workers.unwrap_or(0);
+
+        // Quarantine rerun lane: a second scope of wider-memory workers
+        // (ids following the standard lane's) drains the exhausted tasks
+        // after the standard lane finishes — §3.3's dedicated rerun.
+        if quarantined > 0 {
+            let qqueue: Mutex<VecDeque<usize>> =
+                Mutex::new(quarantined_tasks.iter().copied().collect());
+            let prior = plan.retry.max_attempts;
+            std::thread::scope(|scope| {
+                for q in 0..q_width {
+                    let worker_id = plan.workers + q;
+                    let qqueue = &qqueue;
+                    let registered = &registered;
+                    let outputs = &outputs;
+                    let records = &records;
+                    let fault_plan = &fault_plan;
+                    scope.spawn(move || {
+                        lock(registered).push(worker_id);
+                        loop {
+                            let Some(idx) = lock(qqueue).pop_front() else {
+                                return;
+                            };
+                            let start = epoch.elapsed().as_secs_f64();
+                            // Validation rejects tasks that exhaust even
+                            // this lane, so the pass always succeeds.
+                            let failures =
+                                match fault_plan.pass(&specs[idx].id, Lane::HighMemory, prior) {
+                                    PassOutcome::Succeeds { failures } => failures,
+                                    PassOutcome::Exhausts => 0,
+                                };
+                            for i in 1..=failures {
+                                let _ = f(&specs[idx], &items[idx]);
+                                sleep_secs(plan.retry.backoff_after(i));
+                            }
+                            let out = f(&specs[idx], &items[idx]);
+                            let end = epoch.elapsed().as_secs_f64();
+                            let attempts = prior + failures + 1;
+                            lock(outputs)[idx] = Some(out);
+                            if let Some(journal) = plan.journal {
+                                journal.record(JournalEntry {
+                                    task: specs[idx].id.clone(),
+                                    worker: worker_id,
+                                    start,
+                                    end,
+                                    attempts,
+                                });
+                            }
+                            lock(records).push(TaskRecord {
+                                task_id: specs[idx].id.clone(),
+                                worker_id,
+                                start,
+                                end,
+                                attempts,
+                            });
+                        }
+                    });
+                }
+            });
+        }
+
+        let elapsed = epoch.elapsed().as_secs_f64();
         let registered_workers = registered.into_inner().unwrap_or_else(|p| p.into_inner());
         let outputs: Vec<O> = outputs
             .into_inner()
@@ -145,7 +278,10 @@ impl Executor for ThreadExecutor {
             .map(|o| o.expect("every task ran"))
             .collect();
         let records = records.into_inner().unwrap_or_else(|p| p.into_inner());
-        let (worker_busy, worker_finish) = per_worker_stats(&records, plan.workers);
+        // Replayed journal records may end later than this run's clock.
+        let makespan = records.iter().fold(elapsed, |m, r| m.max(r.end));
+        let lanes_width = plan.workers + if quarantined > 0 { q_width } else { 0 };
+        let (worker_busy, worker_finish) = per_worker_stats(&records, lanes_width);
         let deaths = plan
             .faults
             .iter()
@@ -161,70 +297,16 @@ impl Executor for ThreadExecutor {
             worker_finish,
             requeued: requeued.into_inner(),
             deaths,
+            quarantined,
+            quarantine_makespan: if quarantined > 0 {
+                makespan - pass1_elapsed
+            } else {
+                0.0
+            },
+            resumed,
         };
         close_batch_span(plan, span, t0, &outcome);
         outcome
-    }
-}
-
-/// The dataflow client: submit a batch and wait for all results.
-pub struct Client {
-    workers: usize,
-}
-
-impl Client {
-    /// Connect a client to a scheduler managing `workers` workers.
-    ///
-    /// # Panics
-    /// Panics if `workers == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use exec::Batch::new(specs).workers(n).run_with(&real::ThreadExecutor, ...)"
-    )]
-    #[must_use]
-    pub fn new(workers: usize) -> Self {
-        // sfcheck::allow(panic-hygiene, constructor contract documented under # Panics)
-        assert!(workers > 0, "need at least one worker");
-        Self { workers }
-    }
-
-    /// Execute `f` over all items, scheduling by `policy`.
-    ///
-    /// Equivalent to the paper's single `client.map()` call: tasks are
-    /// enqueued once, and free workers pull greedily until the queue
-    /// drains.
-    ///
-    /// # Panics
-    /// Panics on spec/item length mismatch — use the
-    /// [`crate::exec::Batch`] API to get this as a typed error instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use exec::Batch::new(specs).workers(n).policy(p).run_with(&real::ThreadExecutor, &items, f)"
-    )]
-    pub fn map<I, O, F>(
-        &self,
-        specs: &[TaskSpec],
-        items: Vec<I>,
-        policy: OrderingPolicy,
-        f: F,
-    ) -> BatchResult<O>
-    where
-        I: Sync,
-        O: Send,
-        F: Fn(&TaskSpec, &I) -> O + Sync,
-    {
-        let outcome = crate::exec::Batch::new(specs)
-            .workers(self.workers)
-            .policy(policy)
-            .run_with(&ThreadExecutor, &items, f)
-            // sfcheck::allow(panic-hygiene, legacy contract; the constructor guarantees workers > 0 and mismatch is the documented panic)
-            .expect("specs and items must correspond");
-        BatchResult {
-            outputs: outcome.outputs,
-            records: outcome.records,
-            makespan: outcome.makespan,
-            registered_workers: outcome.registered_workers,
-        }
     }
 }
 
@@ -232,6 +314,9 @@ impl Client {
 mod tests {
     use super::*;
     use crate::exec::Batch;
+    use crate::journal::Journal;
+    use crate::policy::OrderingPolicy;
+    use crate::retry::{RetryPolicy, TaskFault};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn specs(n: usize) -> Vec<TaskSpec> {
@@ -368,22 +453,83 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_client_matches_batch_api() {
-        let n = 60;
-        let items: Vec<usize> = (0..n).collect();
-        let old = Client::new(4).map(&specs(n), items.clone(), OrderingPolicy::Fifo, |_, &x| {
-            x + 1
-        });
-        let new = run(4, &specs(n), &items, OrderingPolicy::Fifo, |_, &x| x + 1);
-        assert_eq!(old.outputs, new.outputs);
-        assert_eq!(old.records.len(), new.records.len());
+    fn transient_failures_reexecute_and_count_attempts() {
+        let s = specs(6);
+        let items = vec![(); 6];
+        let executions = AtomicUsize::new(0);
+        let faults = [TaskFault::transient("t2", 2)];
+        let result = Batch::new(&s)
+            .workers(2)
+            .task_faults(&faults)
+            .retry(RetryPolicy::new(3, 0.001, 0.002))
+            .run_with(&ThreadExecutor, &items, |_, ()| {
+                executions.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        // 5 clean tasks + 3 executions of t2 (2 failures + success).
+        assert_eq!(executions.load(Ordering::Relaxed), 8);
+        let r2 = result.records.iter().find(|r| r.task_id == "t2").unwrap();
+        assert_eq!(r2.attempts, 3);
+        assert!(result
+            .records
+            .iter()
+            .all(|r| r.task_id != "t2" || r.attempts == 3));
+        assert_eq!(result.retries(), 2);
+        assert_eq!(result.quarantined, 0);
     }
 
     #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
-        let _ = Client::new(0);
+    fn oom_tasks_finish_in_the_quarantine_scope() {
+        let s = specs(5);
+        let items = vec![(); 5];
+        let faults = [TaskFault::oom("t1"), TaskFault::oom("t3")];
+        let result = Batch::new(&s)
+            .workers(2)
+            .task_faults(&faults)
+            .quarantine(1)
+            .run_with(&ThreadExecutor, &items, |_, ()| ())
+            .unwrap();
+        assert_eq!(result.records.len(), 5, "every task completes somewhere");
+        assert_eq!(result.quarantined, 2);
+        for id in ["t1", "t3"] {
+            let r = result.records.iter().find(|r| r.task_id == id).unwrap();
+            assert_eq!(r.worker_id, 2, "quarantine worker follows standard ids");
+            assert_eq!(r.attempts, 2, "one burned standard attempt + rerun");
+        }
+        let mut reg = result.registered_workers.clone();
+        reg.sort_unstable();
+        assert_eq!(reg, vec![0, 1, 2]);
+        assert!(result.quarantine_makespan > 0.0);
+        assert!(result.quarantine_makespan <= result.makespan);
+    }
+
+    #[test]
+    fn journal_and_resume_complete_the_remainder() {
+        let s = specs(8);
+        let items = vec![(); 8];
+        let journal = Journal::new();
+        let first = Batch::new(&s)
+            .workers(3)
+            .journal(&journal)
+            .run_with(&ThreadExecutor, &items, |_, ()| ())
+            .unwrap();
+        assert_eq!(journal.len(), 8);
+        assert_eq!(first.resumed, 0);
+
+        // Kill after 5 completions, then resume from the partial journal.
+        let partial = journal.truncated(5);
+        let outcome = Batch::new(&s)
+            .workers(3)
+            .resume(&ThreadExecutor, &partial)
+            .unwrap();
+        assert_eq!(outcome.resumed, 5);
+        assert_eq!(outcome.records.len(), 8, "replayed + freshly run");
+        let done = partial.completed();
+        for r in &outcome.records {
+            if let Some(entry) = done.get(&r.task_id) {
+                assert_eq!(entry.end, r.end, "replayed verbatim");
+                assert_eq!(entry.worker, r.worker_id);
+            }
+        }
     }
 }

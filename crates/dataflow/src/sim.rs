@@ -8,124 +8,110 @@
 //! ordering ablation are produced at 1200–6000 workers without a
 //! supercomputer.
 //!
-//! [`SimExecutor`] is the [`crate::exec::Executor`] backend; the old
-//! [`simulate`] free function survives as a deprecated shim for one PR
-//! cycle.
+//! [`SimExecutor`] is the [`crate::exec::Executor`] backend. Task-level
+//! faults are replayed deterministically: a retried task occupies its
+//! worker for every failed attempt plus the policy's backoff delays, and
+//! tasks that exhaust the standard lane are re-scheduled in a second
+//! quarantine pass on the high-memory worker ids. Worker-death schedules
+//! are ignored — virtual workers do not die. Resume is re-derivation:
+//! the schedule is a pure function of the batch description, so a
+//! resumed simulation recomputes every record bit-for-bit and
+//! `Batch::resume` cross-checks them against the journal.
 
 use crate::exec::{close_batch_span, open_batch_span, BatchOutcome, Executor, Plan};
-use crate::policy::OrderingPolicy;
+use crate::journal::JournalEntry;
+use crate::retry::{FaultPlan, Lane, PassOutcome};
 use crate::task::{TaskRecord, TaskSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Result of a simulated batch (legacy shape kept for [`simulate`]).
-#[derive(Debug, Clone)]
-pub struct SimResult {
-    /// Per-task records in virtual seconds.
-    pub records: Vec<TaskRecord>,
-    /// Batch makespan (virtual seconds).
-    pub makespan: f64,
-    /// Per-worker finish times (virtual seconds), indexed by worker id.
-    pub worker_finish: Vec<f64>,
-    /// Per-worker busy time (virtual seconds).
-    pub worker_busy: Vec<f64>,
+/// Earliest-free-worker min-heap slot: (free_time, worker_id). Times are
+/// always finite, so `total_cmp` is a total order consistent with the
+/// scheduling semantics.
+#[derive(PartialEq)]
+struct Slot(f64, usize);
+impl Eq for Slot {}
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
-
-impl SimResult {
-    /// Mean worker utilization over the makespan, in `[0, 1]`.
-    #[must_use]
-    pub fn utilization(&self) -> f64 {
-        if self.makespan <= 0.0 || self.worker_busy.is_empty() {
-            return 1.0;
-        }
-        let busy: f64 = self.worker_busy.iter().sum();
-        busy / (self.makespan * self.worker_busy.len() as f64)
-    }
-
-    /// The "idle tail": makespan minus the earliest worker finish time —
-    /// how long the fastest-finishing worker waits for the stragglers.
-    /// Near zero is the load-balance goal ("all the Dask workers finished
-    /// all of their respective tasks within minutes of one another").
-    #[must_use]
-    pub fn idle_tail(&self) -> f64 {
-        let earliest = self
-            .worker_finish
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        if earliest.is_finite() {
-            self.makespan - earliest
-        } else {
-            0.0
-        }
-    }
-
-    /// Records belonging to one worker, sorted by start time (one row of
-    /// Fig 2).
-    #[must_use]
-    pub fn worker_timeline(&self, worker_id: usize) -> Vec<&TaskRecord> {
-        let mut rows: Vec<&TaskRecord> = self
-            .records
-            .iter()
-            .filter(|r| r.worker_id == worker_id)
-            .collect();
-        rows.sort_by(|a, b| a.start.total_cmp(&b.start));
-        rows
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 
-/// Greedy list scheduling: assign each task in `order` to the
-/// earliest-free worker. Returns (records, worker_finish, worker_busy,
-/// makespan). Precondition: `workers > 0` and durations correspond to
-/// specs (guaranteed by [`crate::exec::Batch`] validation).
-fn list_schedule(
+/// Mutable scheduling state for one pass, shared across lanes.
+struct PassState<'a> {
+    records: Vec<TaskRecord>,
+    worker_finish: &'a mut Vec<f64>,
+    worker_busy: &'a mut Vec<f64>,
+}
+
+/// Greedy list scheduling of `order` onto workers `id_offset..id_offset +
+/// workers`, all free at `start_at`. Tasks that exhaust the lane's retry
+/// budget burn their attempts on the worker and are returned (in order)
+/// for the next lane. Preconditions (workers > 0, durations correspond
+/// to specs) are guaranteed by [`crate::exec::Batch`] validation.
+#[allow(clippy::too_many_arguments)]
+fn schedule_pass(
     specs: &[TaskSpec],
     durations: &[f64],
-    workers: usize,
     order: &[usize],
+    workers: usize,
+    id_offset: usize,
+    start_at: f64,
     per_task_overhead: f64,
-) -> (Vec<TaskRecord>, Vec<f64>, Vec<f64>, f64) {
-    // Earliest-free-worker heap: (free_time, worker_id). Reverse for a
-    // min-heap; times here are always finite, so total_cmp is a total
-    // order consistent with the scheduling semantics.
-    #[derive(PartialEq)]
-    struct Slot(f64, usize);
-    impl Eq for Slot {}
-    impl PartialOrd for Slot {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Slot {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-        }
-    }
-
-    let mut heap: BinaryHeap<Reverse<Slot>> = (0..workers).map(|w| Reverse(Slot(0.0, w))).collect();
-    let mut records = Vec::with_capacity(specs.len());
-    let mut worker_finish = vec![0.0f64; workers];
-    let mut worker_busy = vec![0.0f64; workers];
+    fault_plan: &FaultPlan<'_>,
+    lane: Lane,
+    prior_failures: u32,
+    state: &mut PassState<'_>,
+) -> (Vec<usize>, f64) {
+    let policy = fault_plan.policy();
+    let mut heap: BinaryHeap<Reverse<Slot>> = (0..workers)
+        .map(|w| Reverse(Slot(start_at, id_offset + w)))
+        .collect();
+    let mut exhausted = Vec::new();
+    let mut makespan = start_at;
 
     for &idx in order {
         let Some(Reverse(Slot(free_at, w))) = heap.pop() else {
             break; // unreachable: the heap always holds `workers` slots
         };
+        let d = durations[idx];
         let start = free_at + per_task_overhead;
-        let end = start + durations[idx];
-        records.push(TaskRecord {
-            task_id: specs[idx].id.clone(),
-            worker_id: w,
-            start,
-            end,
-        });
-        worker_finish[w] = end;
-        worker_busy[w] += durations[idx];
-        heap.push(Reverse(Slot(end, w)));
+        match fault_plan.pass(&specs[idx].id, lane, prior_failures) {
+            PassOutcome::Succeeds { failures } => {
+                let occupancy =
+                    f64::from(failures + 1) * d + policy.backoff_before_success(failures);
+                let end = start + occupancy;
+                state.records.push(TaskRecord {
+                    task_id: specs[idx].id.clone(),
+                    worker_id: w,
+                    start,
+                    end,
+                    attempts: prior_failures + failures + 1,
+                });
+                state.worker_finish[w] = end;
+                state.worker_busy[w] += f64::from(failures + 1) * d;
+                makespan = makespan.max(end);
+                heap.push(Reverse(Slot(end, w)));
+            }
+            PassOutcome::Exhausts => {
+                // The task burns its full attempt budget on this worker,
+                // completes nowhere, and moves to the next lane.
+                let burned = policy.max_attempts;
+                let end = start + f64::from(burned) * d + policy.backoff_before_exhaustion();
+                state.worker_finish[w] = end;
+                state.worker_busy[w] += f64::from(burned) * d;
+                makespan = makespan.max(end);
+                exhausted.push(idx);
+                heap.push(Reverse(Slot(end, w)));
+            }
+        }
     }
-
-    let makespan = worker_finish.iter().copied().fold(0.0, f64::max);
-    (records, worker_finish, worker_busy, makespan)
+    (exhausted, makespan)
 }
 
 /// The virtual-time [`Executor`] backend.
@@ -133,8 +119,8 @@ fn list_schedule(
 /// Task durations come from the plan's explicit `durations` (or from
 /// `cost_hint` when none are given); the closure still runs once per
 /// task — sequentially, in submission order — so simulated batches
-/// produce real outputs. Fault schedules are ignored: virtual workers
-/// do not die.
+/// produce real outputs. Worker-death schedules are ignored: virtual
+/// workers do not die.
 #[derive(Debug, Clone, Copy)]
 pub struct SimExecutor {
     per_task_overhead: f64,
@@ -169,13 +155,81 @@ impl Executor for SimExecutor {
             }
         };
         let order = plan.policy.order(plan.specs);
-        let (records, worker_finish, worker_busy, makespan) = list_schedule(
+        let fault_plan = FaultPlan::new(plan.task_faults, plan.retry);
+        let quarantine_width = plan.quarantine_workers.unwrap_or(0);
+
+        let mut worker_finish = vec![0.0f64; plan.workers + quarantine_width];
+        let mut worker_busy = vec![0.0f64; plan.workers + quarantine_width];
+        let mut state = PassState {
+            records: Vec::with_capacity(plan.specs.len()),
+            worker_finish: &mut worker_finish,
+            worker_busy: &mut worker_busy,
+        };
+
+        let (exhausted, pass1_makespan) = schedule_pass(
             plan.specs,
             durations,
-            plan.workers,
             &order,
+            plan.workers,
+            0,
+            0.0,
             self.per_task_overhead,
+            &fault_plan,
+            Lane::Standard,
+            0,
+            &mut state,
         );
+
+        // Quarantine rerun lane: a fresh high-memory allocation starts
+        // once the standard lane drains (§3.3's dedicated rerun).
+        let quarantined = exhausted.len();
+        let mut makespan = pass1_makespan;
+        if quarantined > 0 {
+            let (leftover, q_makespan) = schedule_pass(
+                plan.specs,
+                durations,
+                &exhausted,
+                quarantine_width,
+                plan.workers,
+                pass1_makespan,
+                self.per_task_overhead,
+                &fault_plan,
+                Lane::HighMemory,
+                plan.retry.max_attempts,
+                &mut state,
+            );
+            debug_assert!(leftover.is_empty(), "validation rejects doomed tasks");
+            makespan = makespan.max(q_makespan);
+        }
+        let quarantine_makespan = if quarantined > 0 {
+            makespan - pass1_makespan
+        } else {
+            0.0
+        };
+
+        // Trim unused quarantine worker slots so the arrays only cover
+        // workers that could have run (keeps utilization meaningful).
+        let lanes_width = if quarantined > 0 {
+            plan.workers + quarantine_width
+        } else {
+            plan.workers
+        };
+        let records = state.records;
+        worker_finish.truncate(lanes_width);
+        worker_busy.truncate(lanes_width);
+
+        if let Some(journal) = plan.journal {
+            for r in &records {
+                journal.record(JournalEntry {
+                    task: r.task_id.clone(),
+                    worker: r.worker_id,
+                    start: r.start,
+                    end: r.end,
+                    attempts: r.attempts,
+                });
+            }
+        }
+
         let outputs = plan
             .specs
             .iter()
@@ -187,55 +241,17 @@ impl Executor for SimExecutor {
             records,
             makespan,
             workers: plan.workers,
-            registered_workers: (0..plan.workers).collect(),
+            registered_workers: (0..lanes_width).collect(),
             worker_busy,
             worker_finish,
             requeued: 0,
             deaths: 0,
+            quarantined,
+            quarantine_makespan,
+            resumed: plan.completed.len(),
         };
         close_batch_span(plan, span, t0, &outcome);
         outcome
-    }
-}
-
-/// Simulate a batch: `durations[i]` is the virtual execution time of
-/// `specs[i]`; `per_task_overhead` models the scheduler dispatch gap
-/// between consecutive tasks on a worker (the white lines in Fig 2).
-///
-/// # Panics
-/// Panics on spec/duration length mismatch, `workers == 0`, or negative
-/// overhead — use the [`crate::exec::Batch`] API to get these as typed
-/// errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use exec::Batch::new(specs).workers(n).policy(p).durations(d).run(&sim::SimExecutor::new(overhead))"
-)]
-#[must_use]
-pub fn simulate(
-    specs: &[TaskSpec],
-    durations: &[f64],
-    workers: usize,
-    policy: OrderingPolicy,
-    per_task_overhead: f64,
-) -> SimResult {
-    // sfcheck::allow(panic-hygiene, caller contract; mismatched inputs cannot be simulated)
-    assert_eq!(
-        specs.len(),
-        durations.len(),
-        "specs and durations must correspond"
-    );
-    // sfcheck::allow(panic-hygiene, caller contract documented on the function)
-    assert!(workers > 0, "need at least one worker");
-    // sfcheck::allow(panic-hygiene, caller contract; negative overhead is meaningless)
-    assert!(per_task_overhead >= 0.0);
-    let order = policy.order(specs);
-    let (records, worker_finish, worker_busy, makespan) =
-        list_schedule(specs, durations, workers, &order, per_task_overhead);
-    SimResult {
-        records,
-        makespan,
-        worker_finish,
-        worker_busy,
     }
 }
 
@@ -243,6 +259,7 @@ pub fn simulate(
 mod tests {
     use super::*;
     use crate::exec::Batch;
+    use crate::retry::{RetryPolicy, TaskFault};
     use summitfold_protein::rng::Xoshiro256;
 
     fn heterogeneous_batch(n: usize, seed: u64) -> (Vec<TaskSpec>, Vec<f64>) {
@@ -260,7 +277,7 @@ mod tests {
         specs: &[TaskSpec],
         durations: &[f64],
         workers: usize,
-        policy: OrderingPolicy,
+        policy: crate::policy::OrderingPolicy,
         overhead: f64,
     ) -> BatchOutcome<()> {
         Batch::new(specs)
@@ -270,6 +287,8 @@ mod tests {
             .run(&SimExecutor::new(overhead))
             .unwrap()
     }
+
+    use crate::policy::OrderingPolicy;
 
     #[test]
     fn makespan_lower_bounds_hold() {
@@ -425,14 +444,70 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_simulate_matches_batch_api() {
-        let (specs, durations) = heterogeneous_batch(150, 21);
-        let old = simulate(&specs, &durations, 12, OrderingPolicy::LongestFirst, 0.5);
-        let new = run(&specs, &durations, 12, OrderingPolicy::LongestFirst, 0.5);
-        assert_eq!(old.records, new.records);
-        assert_eq!(old.makespan, new.makespan);
-        assert_eq!(old.worker_busy, new.worker_busy);
-        assert_eq!(old.worker_finish, new.worker_finish);
+    fn transient_retries_extend_occupancy_and_count_attempts() {
+        let specs = vec![TaskSpec::new("a", 1.0), TaskSpec::new("b", 1.0)];
+        let durations = vec![10.0, 10.0];
+        let faults = [TaskFault::transient("a", 2)];
+        let r = Batch::new(&specs)
+            .workers(1)
+            .durations(&durations)
+            .task_faults(&faults)
+            .retry(RetryPolicy::new(3, 4.0, 16.0))
+            .run(&SimExecutor::new(0.0))
+            .unwrap();
+        // Worker 0: a = 3 attempts × 10 s + backoffs (4 + 8) = 42 s,
+        // then b = 10 s.
+        let a = r.records.iter().find(|x| x.task_id == "a").unwrap();
+        assert_eq!(a.attempts, 3);
+        assert!((a.end - a.start - 42.0).abs() < 1e-9, "{a:?}");
+        let b = r.records.iter().find(|x| x.task_id == "b").unwrap();
+        assert_eq!(b.attempts, 1);
+        assert!((r.makespan - 52.0).abs() < 1e-9);
+        assert_eq!(r.retries(), 2);
+        assert_eq!(r.quarantined, 0);
+    }
+
+    #[test]
+    fn oom_tasks_complete_in_the_quarantine_lane() {
+        let specs = vec![
+            TaskSpec::new("small", 1.0),
+            TaskSpec::new("big", 2.0),
+            TaskSpec::new("tiny", 0.5),
+        ];
+        let durations = vec![10.0, 40.0, 5.0];
+        let faults = [TaskFault::oom("big")];
+        let r = Batch::new(&specs)
+            .workers(2)
+            .policy(OrderingPolicy::Fifo)
+            .durations(&durations)
+            .task_faults(&faults)
+            .quarantine(1)
+            .run(&SimExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(r.records.len(), 3, "every task completes somewhere");
+        assert_eq!(r.quarantined, 1);
+        let big = r.records.iter().find(|x| x.task_id == "big").unwrap();
+        // Burned one standard attempt (worker 1, 0..40); pass 1 drains at
+        // t=40; quarantine worker id 2 reruns it 40..80.
+        assert_eq!(big.worker_id, 2, "quarantine lane ids follow standard ids");
+        assert_eq!(big.attempts, 2);
+        assert!((big.start - 40.0).abs() < 1e-9, "{big:?}");
+        assert!((r.makespan - 80.0).abs() < 1e-9);
+        assert!((r.quarantine_makespan - 40.0).abs() < 1e-9);
+        assert_eq!(r.worker_busy.len(), 3, "quarantine worker appears");
+    }
+
+    #[test]
+    fn fault_free_batches_have_no_quarantine_footprint() {
+        let (specs, durations) = heterogeneous_batch(50, 23);
+        let r = Batch::new(&specs)
+            .workers(4)
+            .durations(&durations)
+            .quarantine(8)
+            .run(&SimExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(r.quarantined, 0);
+        assert_eq!(r.quarantine_makespan, 0.0);
+        assert_eq!(r.worker_busy.len(), 4, "unused lane is trimmed");
     }
 }

@@ -16,15 +16,16 @@ const DURATION_TOLERANCE: f64 = 2e-3;
 /// Render task records as the statistics CSV (§3.3 step 3e).
 #[must_use]
 pub fn to_csv(records: &[TaskRecord]) -> String {
-    let mut out = String::from("task_id,worker_id,start_s,end_s,duration_s\n");
+    let mut out = String::from("task_id,worker_id,start_s,end_s,duration_s,attempts\n");
     for r in records {
         out.push_str(&format!(
-            "{},{},{:.3},{:.3},{:.3}\n",
+            "{},{},{:.3},{:.3},{:.3},{}\n",
             r.task_id,
             r.worker_id,
             r.start,
             r.end,
-            r.duration()
+            r.duration(),
+            r.attempts
         ));
     }
     out
@@ -32,7 +33,7 @@ pub fn to_csv(records: &[TaskRecord]) -> String {
 
 /// Parse the statistics CSV back into records (for analysis tooling).
 ///
-/// All five columns written by [`to_csv`] are required, and the
+/// All six columns written by [`to_csv`] are required, and the
 /// redundant `duration_s` column is validated against `end_s - start_s`
 /// so a corrupted duration cannot round-trip silently.
 pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
@@ -42,9 +43,9 @@ pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 5 {
+        if fields.len() != 6 {
             return Err(format!(
-                "line {}: expected 5 fields, got {}",
+                "line {}: expected 6 fields, got {}",
                 lineno + 1,
                 fields.len()
             ));
@@ -60,6 +61,9 @@ pub fn from_csv(text: &str) -> Result<Vec<TaskRecord>, String> {
                 .map_err(|_| format!("line {}: bad worker id", lineno + 1))?,
             start: parse(fields[2], "start")?,
             end: parse(fields[3], "end")?,
+            attempts: fields[5]
+                .parse()
+                .map_err(|_| format!("line {}: bad attempts", lineno + 1))?,
         };
         let duration = parse(fields[4], "duration")?;
         if (duration - record.duration()).abs() > DURATION_TOLERANCE {
@@ -91,6 +95,7 @@ pub fn records_from_trace(trace: &Trace) -> Vec<TaskRecord> {
             worker_id: t.worker,
             start: t.start,
             end: t.end,
+            attempts: t.attempts,
         })
         .collect()
 }
@@ -132,23 +137,14 @@ mod tests {
 
     fn sample() -> Vec<TaskRecord> {
         vec![
-            TaskRecord {
-                task_id: "a".into(),
-                worker_id: 0,
-                start: 0.0,
-                end: 5.0,
-            },
-            TaskRecord {
-                task_id: "b".into(),
-                worker_id: 1,
-                start: 0.0,
-                end: 3.0,
-            },
+            TaskRecord::new("a", 0, 0.0, 5.0),
+            TaskRecord::new("b", 1, 0.0, 3.0),
             TaskRecord {
                 task_id: "c".into(),
                 worker_id: 1,
                 start: 3.5,
                 end: 9.0,
+                attempts: 3,
             },
         ]
     }
@@ -178,19 +174,23 @@ mod tests {
     #[test]
     fn bad_csv_rejected() {
         assert!(from_csv("header\nonly,three,fields\n").is_err());
-        assert!(from_csv("header\na,notanum,0.0,1.0,1.0\n").is_err());
-        // Four fields (the pre-fix row shape) are no longer accepted.
-        assert!(from_csv("header\na,0,0.0,1.0\n").is_err());
+        assert!(from_csv("header\na,notanum,0.0,1.0,1.0,1\n").is_err());
+        // Five fields (the pre-attempts row shape) are no longer accepted.
+        assert!(from_csv("header\na,0,0.0,1.0,1.0\n").is_err());
+        assert!(
+            from_csv("header\na,0,0.0,1.0,1.0,x\n").is_err(),
+            "bad attempts"
+        );
     }
 
     #[test]
     fn corrupted_duration_column_is_rejected() {
-        let good = "task_id,worker_id,start_s,end_s,duration_s\na,0,1.000,3.500,2.500\n";
+        let good = "task_id,worker_id,start_s,end_s,duration_s,attempts\na,0,1.000,3.500,2.500,1\n";
         assert!(from_csv(good).is_ok());
-        let bad = "task_id,worker_id,start_s,end_s,duration_s\na,0,1.000,3.500,9.000\n";
+        let bad = "task_id,worker_id,start_s,end_s,duration_s,attempts\na,0,1.000,3.500,9.000,1\n";
         let err = from_csv(bad).unwrap_err();
         assert!(err.contains("duration_s"), "{err}");
-        assert!(from_csv("h\na,0,1.0,3.5,nope\n").is_err());
+        assert!(from_csv("h\na,0,1.0,3.5,nope,1\n").is_err());
     }
 
     #[test]
@@ -209,6 +209,7 @@ mod tests {
                         worker_id: (rng.next_u64() % 64) as usize,
                         start,
                         end: start + rng.gamma(1.5, 60.0),
+                        attempts: 1 + (rng.next_u64() % 4) as u32,
                     }
                 })
                 .collect();
@@ -217,6 +218,7 @@ mod tests {
             for (p, r) in parsed.iter().zip(&records) {
                 assert_eq!(p.task_id, r.task_id);
                 assert_eq!(p.worker_id, r.worker_id);
+                assert_eq!(p.attempts, r.attempts);
                 assert!((p.start - r.start).abs() < 1e-3);
                 assert!((p.end - r.end).abs() < 1e-3);
             }
@@ -237,7 +239,14 @@ mod tests {
         let rec = summitfold_obs::Recorder::virtual_time();
         let span = rec.span_start("batch");
         for r in &sample() {
-            rec.task(Some(span), &r.task_id, r.worker_id, r.start, r.end);
+            rec.task(
+                Some(span),
+                &r.task_id,
+                r.worker_id,
+                r.start,
+                r.end,
+                r.attempts,
+            );
         }
         rec.span_end(span);
         let trace = Trace::parse_jsonl(&rec.to_jsonl()).unwrap();

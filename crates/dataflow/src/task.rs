@@ -35,14 +35,31 @@ pub struct TaskRecord {
     /// Worker that executed the task.
     pub worker_id: usize,
     /// Start time (seconds since batch start; wall-clock for the real
-    /// executor, virtual for the simulator).
+    /// executor, virtual for the simulator). For retried tasks this is
+    /// the start of the *first* attempt on the completing lane.
     pub start: f64,
-    /// End time (same clock).
+    /// End time of the successful attempt (same clock).
     pub end: f64,
+    /// Executions including the successful one (1 = first-try success;
+    /// retries and quarantine reruns push it higher).
+    pub attempts: u32,
 }
 
 impl TaskRecord {
-    /// Task duration in seconds.
+    /// A record for a first-try success (`attempts == 1`).
+    #[must_use]
+    pub fn new(task_id: impl Into<String>, worker_id: usize, start: f64, end: f64) -> Self {
+        Self {
+            task_id: task_id.into(),
+            worker_id,
+            start,
+            end,
+            attempts: 1,
+        }
+    }
+
+    /// Task occupancy in seconds (includes retry attempts and backoff on
+    /// the completing lane).
     #[must_use]
     pub fn duration(&self) -> f64 {
         self.end - self.start
@@ -55,13 +72,9 @@ mod tests {
 
     #[test]
     fn record_duration() {
-        let r = TaskRecord {
-            task_id: "t".into(),
-            worker_id: 0,
-            start: 1.5,
-            end: 4.0,
-        };
+        let r = TaskRecord::new("t", 0, 1.5, 4.0);
         assert!((r.duration() - 2.5).abs() < 1e-12);
+        assert_eq!(r.attempts, 1);
     }
 
     #[test]

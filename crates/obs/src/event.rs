@@ -11,7 +11,7 @@
 //! |--------------|-------------------------------------------------------|
 //! | `span_start` | `id`, `parent` (number or `null`), `name`, `t`        |
 //! | `span_end`   | `id`, `t`                                             |
-//! | `task`       | `span` (number or `null`), `task`, `worker`, `start`, `end` |
+//! | `task`       | `span` (number or `null`), `task`, `worker`, `start`, `end`, `attempts` |
 //! | `counter`    | `name`, `delta`, `total`, `t`                         |
 //! | `gauge`      | `name`, `value`, `t`                                  |
 //! | `observe`    | `name`, `value`, `t`                                  |
@@ -20,10 +20,13 @@
 //! Task `start`/`end` are seconds *relative to the enclosing batch span's
 //! start* — exactly the numbers the paper's per-task statistics CSV
 //! carries — so CSV and Gantt artifacts regenerate byte-identically from
-//! a trace. Numbers are written with Rust's shortest-round-trip `f64`
-//! formatting, so parsing a trace recovers every value exactly.
+//! a trace. `attempts` counts executions of the task including the
+//! successful one (1 = first-try success; retries and quarantine reruns
+//! push it higher). Numbers are written with Rust's shortest-round-trip
+//! `f64` formatting via [`crate::json::ObjectWriter`], so parsing a trace
+//! recovers every value exactly.
 
-use std::fmt::Write as _;
+use crate::json::ObjectWriter;
 
 /// Identifier of a span within one trace (dense, starting at 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,6 +65,8 @@ pub enum Event {
         start: f64,
         /// End, same timebase.
         end: f64,
+        /// Executions including the successful one (1 = no retries).
+        attempts: u32,
     },
     /// A monotonically accumulated counter increment.
     Counter {
@@ -94,54 +99,11 @@ pub enum Event {
     },
 }
 
-/// Append a JSON string literal (quoted, escaped) to `out`.
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Append a JSON number to `out`.
-///
-/// Uses `f64`'s shortest-round-trip display, so the value survives a
-/// write/parse cycle bit-for-bit. Timestamps and metrics are always
-/// finite; a non-finite value would corrupt downstream views, so it is
-/// clamped to `0` (and flagged in debug builds).
-fn push_json_num(out: &mut String, v: f64) {
-    debug_assert!(v.is_finite(), "trace numbers must be finite");
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
-        out.push('0');
-    }
-}
-
-fn push_opt_span(out: &mut String, id: Option<SpanId>) {
-    match id {
-        Some(SpanId(n)) => {
-            let _ = write!(out, "{n}");
-        }
-        None => out.push_str("null"),
-    }
-}
-
 impl Event {
     /// Serialize as one JSONL line (no trailing newline).
     #[must_use]
     pub fn to_json_line(&self) -> String {
-        let mut s = String::with_capacity(96);
+        let mut w = ObjectWriter::new();
         match self {
             Self::SpanStart {
                 id,
@@ -149,20 +111,16 @@ impl Event {
                 name,
                 t,
             } => {
-                s.push_str("{\"event\":\"span_start\",\"id\":");
-                let _ = write!(s, "{}", id.0);
-                s.push_str(",\"parent\":");
-                push_opt_span(&mut s, *parent);
-                s.push_str(",\"name\":");
-                push_json_str(&mut s, name);
-                s.push_str(",\"t\":");
-                push_json_num(&mut s, *t);
+                w.str_field("event", "span_start");
+                w.int_field("id", id.0);
+                w.opt_int_field("parent", parent.map(|p| p.0));
+                w.str_field("name", name);
+                w.num_field("t", *t);
             }
             Self::SpanEnd { id, t } => {
-                s.push_str("{\"event\":\"span_end\",\"id\":");
-                let _ = write!(s, "{}", id.0);
-                s.push_str(",\"t\":");
-                push_json_num(&mut s, *t);
+                w.str_field("event", "span_end");
+                w.int_field("id", id.0);
+                w.num_field("t", *t);
             }
             Self::Task {
                 span,
@@ -170,17 +128,15 @@ impl Event {
                 worker,
                 start,
                 end,
+                attempts,
             } => {
-                s.push_str("{\"event\":\"task\",\"span\":");
-                push_opt_span(&mut s, *span);
-                s.push_str(",\"task\":");
-                push_json_str(&mut s, task);
-                s.push_str(",\"worker\":");
-                let _ = write!(s, "{worker}");
-                s.push_str(",\"start\":");
-                push_json_num(&mut s, *start);
-                s.push_str(",\"end\":");
-                push_json_num(&mut s, *end);
+                w.str_field("event", "task");
+                w.opt_int_field("span", span.map(|s| s.0));
+                w.str_field("task", task);
+                w.int_field("worker", *worker as u64);
+                w.num_field("start", *start);
+                w.num_field("end", *end);
+                w.int_field("attempts", u64::from(*attempts));
             }
             Self::Counter {
                 name,
@@ -188,34 +144,26 @@ impl Event {
                 total,
                 t,
             } => {
-                s.push_str("{\"event\":\"counter\",\"name\":");
-                push_json_str(&mut s, name);
-                s.push_str(",\"delta\":");
-                push_json_num(&mut s, *delta);
-                s.push_str(",\"total\":");
-                push_json_num(&mut s, *total);
-                s.push_str(",\"t\":");
-                push_json_num(&mut s, *t);
+                w.str_field("event", "counter");
+                w.str_field("name", name);
+                w.num_field("delta", *delta);
+                w.num_field("total", *total);
+                w.num_field("t", *t);
             }
             Self::Gauge { name, value, t } => {
-                s.push_str("{\"event\":\"gauge\",\"name\":");
-                push_json_str(&mut s, name);
-                s.push_str(",\"value\":");
-                push_json_num(&mut s, *value);
-                s.push_str(",\"t\":");
-                push_json_num(&mut s, *t);
+                w.str_field("event", "gauge");
+                w.str_field("name", name);
+                w.num_field("value", *value);
+                w.num_field("t", *t);
             }
             Self::Observe { name, value, t } => {
-                s.push_str("{\"event\":\"observe\",\"name\":");
-                push_json_str(&mut s, name);
-                s.push_str(",\"value\":");
-                push_json_num(&mut s, *value);
-                s.push_str(",\"t\":");
-                push_json_num(&mut s, *t);
+                w.str_field("event", "observe");
+                w.str_field("name", name);
+                w.num_field("value", *value);
+                w.num_field("t", *t);
             }
         }
-        s.push('}');
-        s
+        w.finish()
     }
 }
 
@@ -241,10 +189,11 @@ mod tests {
             worker: 5,
             start: 0.5,
             end: 30.25,
+            attempts: 2,
         };
         assert_eq!(
             e.to_json_line(),
-            "{\"event\":\"task\",\"span\":1,\"task\":\"DVU_00042/model_3\",\"worker\":5,\"start\":0.5,\"end\":30.25}"
+            "{\"event\":\"task\",\"span\":1,\"task\":\"DVU_00042/model_3\",\"worker\":5,\"start\":0.5,\"end\":30.25,\"attempts\":2}"
         );
     }
 

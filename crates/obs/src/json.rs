@@ -1,12 +1,119 @@
-//! A minimal JSON object parser for trace lines.
+//! A minimal JSON object parser and writer for trace lines.
 //!
 //! Trace consumers (`lens --trace`, the CSV/Gantt views) only ever see
 //! flat objects whose values are strings, numbers, or `null` — the schema
 //! in [`crate::event`]. This parser handles exactly that subset plus the
 //! standard string escapes, keeping the crate dependency-free. It is not
 //! a general JSON parser: nested objects and arrays are rejected.
+//!
+//! [`ObjectWriter`] is the producing side: every flat-object line in the
+//! workspace (trace events, the dataflow checkpoint journal) is written
+//! through it, so escaping and number formatting are identical across
+//! producers and `parse_object` round-trips them exactly.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Incremental writer for one flat JSON object line.
+///
+/// Fields appear in insertion order. Strings are escaped exactly as
+/// [`parse_object`] expects; numbers use `f64`'s shortest-round-trip
+/// display so values survive a write/parse cycle bit-for-bit.
+#[derive(Debug)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectWriter {
+    /// Start an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Append a string field (quoted, escaped).
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        push_json_str(&mut self.buf, value);
+    }
+
+    /// Append a numeric field with shortest-round-trip formatting.
+    ///
+    /// Trace numbers are always finite; a non-finite value would corrupt
+    /// downstream views, so it is clamped to `0` (and flagged in debug
+    /// builds).
+    pub fn num_field(&mut self, key: &str, value: f64) {
+        debug_assert!(value.is_finite(), "trace numbers must be finite");
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push('0');
+        }
+    }
+
+    /// Append an integer field (no fractional formatting).
+    pub fn int_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Append an integer-or-`null` field.
+    pub fn opt_int_field(&mut self, key: &str, value: Option<u64>) {
+        self.key(key);
+        match value {
+            Some(v) => {
+                let _ = write!(self.buf, "{v}");
+            }
+            None => self.buf.push_str("null"),
+        }
+    }
+
+    /// Close the object and return the line (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Append a JSON string literal (quoted, escaped) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
 
 /// A value in a parsed trace line.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +357,7 @@ mod tests {
                 worker: 3,
                 start: 0.25,
                 end: 1.5,
+                attempts: 1,
             },
             Event::Counter {
                 name: "oom".into(),
@@ -313,5 +421,27 @@ mod tests {
     #[test]
     fn empty_object_is_fine() {
         assert!(parse_object("{}").expect("parse").is_empty());
+    }
+
+    #[test]
+    fn object_writer_round_trips_through_the_parser() {
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "task_done");
+        w.str_field("task", "a\"b\\c\nd");
+        w.int_field("worker", 42);
+        w.num_field("start", 0.1 + 0.2);
+        w.opt_int_field("span", None);
+        let line = w.finish();
+        let obj = parse_object(&line).expect("parse");
+        assert_eq!(obj["event"].as_str(), Some("task_done"));
+        assert_eq!(obj["task"].as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(obj["worker"].as_num(), Some(42.0));
+        assert_eq!(obj["start"].as_num(), Some(0.1 + 0.2));
+        assert_eq!(obj["span"], Value::Null);
+    }
+
+    #[test]
+    fn empty_writer_produces_empty_object() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
     }
 }

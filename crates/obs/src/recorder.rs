@@ -154,7 +154,17 @@ impl Recorder {
     }
 
     /// Record one executed task under `span` (batch-relative seconds).
-    pub fn task(&self, span: Option<SpanId>, task: &str, worker: usize, start: f64, end: f64) {
+    /// `attempts` counts executions including the successful one
+    /// (1 = first-try success).
+    pub fn task(
+        &self,
+        span: Option<SpanId>,
+        task: &str,
+        worker: usize,
+        start: f64,
+        end: f64,
+        attempts: u32,
+    ) {
         if !self.enabled {
             return;
         }
@@ -164,6 +174,7 @@ impl Recorder {
             worker,
             start,
             end,
+            attempts,
         });
     }
 
@@ -248,7 +259,7 @@ mod tests {
         let r = Recorder::disabled();
         let id = r.span_start("batch");
         assert_eq!(id, SpanId(0));
-        r.task(Some(id), "t0", 0, 0.0, 1.0);
+        r.task(Some(id), "t0", 0, 0.0, 1.0, 1);
         r.add("c", 1.0);
         r.gauge("g", 1.0);
         r.observe("h", 1.0);
@@ -313,7 +324,7 @@ mod tests {
             let r = Recorder::virtual_time();
             let s = r.span_start("batch");
             r.advance_clock_to(12.5);
-            r.task(Some(s), "t0", 0, 0.0, 12.5);
+            r.task(Some(s), "t0", 0, 0.0, 12.5, 1);
             r.span_end(s);
             r.to_jsonl()
         };
@@ -329,7 +340,7 @@ mod tests {
                 let r = &r;
                 scope.spawn(move || {
                     for i in 0..50 {
-                        r.task(None, &format!("w{w}-t{i}"), w, 0.0, 1.0);
+                        r.task(None, &format!("w{w}-t{i}"), w, 0.0, 1.0, 1);
                         r.add("done", 1.0);
                     }
                 });

@@ -56,6 +56,8 @@ pub struct TaskView {
     pub start: f64,
     /// End, same timebase.
     pub end: f64,
+    /// Executions including the successful one (1 = no retries).
+    pub attempts: u32,
 }
 
 /// Summary statistics for one histogram, from [`Trace::histograms`].
@@ -157,6 +159,7 @@ impl Trace {
                     worker: need_num(&obj, "worker", line_no)? as usize,
                     start: need_num(&obj, "start", line_no)?,
                     end: need_num(&obj, "end", line_no)?,
+                    attempts: need_num(&obj, "attempts", line_no)? as u32,
                 },
                 "counter" => Event::Counter {
                     name: need_str(&obj, "name", line_no)?,
@@ -271,12 +274,14 @@ impl Trace {
                     worker,
                     start,
                     end,
+                    attempts,
                 } => Some(TaskView {
                     span: *span,
                     task: task.clone(),
                     worker: *worker,
                     start: *start,
                     end: *end,
+                    attempts: *attempts,
                 }),
                 _ => None,
             })
@@ -359,7 +364,17 @@ impl Trace {
         }
         let tasks = self.tasks();
         if !tasks.is_empty() {
-            let _ = writeln!(out, "tasks: {}", tasks.len());
+            let retried = tasks.iter().filter(|t| t.attempts > 1).count();
+            if retried > 0 {
+                let max_attempts = tasks.iter().map(|t| t.attempts).max().unwrap_or(1);
+                let _ = writeln!(
+                    out,
+                    "tasks: {} ({retried} retried, max attempts {max_attempts})",
+                    tasks.len()
+                );
+            } else {
+                let _ = writeln!(out, "tasks: {}", tasks.len());
+            }
         }
         let counters = self.counter_totals();
         if !counters.is_empty() {
@@ -399,8 +414,8 @@ mod tests {
         let r = Recorder::virtual_time();
         let batch = r.span_start("batch");
         let stage = r.span_start("stage:inference");
-        r.task(Some(stage), "t0", 0, 0.0, 5.0);
-        r.task(Some(stage), "t1", 1, 0.0, 7.5);
+        r.task(Some(stage), "t0", 0, 0.0, 5.0, 1);
+        r.task(Some(stage), "t1", 1, 0.0, 7.5, 2);
         r.add("oom_failures", 1.0);
         r.gauge("utilization", 0.9);
         r.observe("recycles", 3.0);
@@ -473,6 +488,7 @@ mod tests {
         let s = Trace::from_events(sample_recorder().events()).summary();
         assert!(s.contains("batch 7.500s"), "{s}");
         assert!(s.contains("  stage:inference"), "{s}");
+        assert!(s.contains("tasks: 2 (1 retried, max attempts 2)"), "{s}");
         assert!(s.contains("oom_failures = 1.000"), "{s}");
         assert!(s.contains("utilization = 0.900"), "{s}");
         assert!(s.contains("recycles: n=2"), "{s}");

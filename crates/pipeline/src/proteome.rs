@@ -2,7 +2,7 @@
 //! (or scaled) proteome, with the quality and budget statistics the paper
 //! reports for *S. divinum*.
 
-use crate::stages::{feature, inference, relax_stage};
+use crate::stages::{feature, inference, relax_stage, StageCtx};
 use summitfold_dataflow::OrderingPolicy;
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
@@ -80,7 +80,7 @@ pub fn run_proteome_campaign(species: Species, cfg: &CampaignConfig) -> Proteome
 
     // Stage 1: features on Andes.
     let feat_cfg = feature::Config::paper_default();
-    let feat = feature::run(&proteome.proteins, &feat_cfg, &mut ledger);
+    let feat = feature::run(&proteome.proteins, &feat_cfg, StageCtx::new(&mut ledger));
 
     // Stage 2: inference on Summit.
     let inf_cfg = inference::Config {
@@ -89,8 +89,14 @@ pub fn run_proteome_campaign(species: Species, cfg: &CampaignConfig) -> Proteome
         nodes: cfg.inference_nodes,
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
+        ..inference::Config::benchmark(cfg.preset)
     };
-    let inf = inference::run(&proteome.proteins, &feat.features, &inf_cfg, &mut ledger);
+    let inf = inference::run(
+        &proteome.proteins,
+        &feat.features,
+        &inf_cfg,
+        StageCtx::new(&mut ledger),
+    );
 
     // Stage 3: relaxation budget. Statistical fidelity produces no
     // coordinates, so the stage is charged from the calibrated

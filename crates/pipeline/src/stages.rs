@@ -1,10 +1,15 @@
 //! The three pipeline stages as composable units. Each stage consumes the
 //! previous stage's outputs, produces a typed report, and charges the
 //! node-hour ledger.
+//!
+//! Every stage has a single entry point taking a [`StageCtx`] — the
+//! ledger to charge plus the telemetry recorder (pass
+//! [`StageCtx::new`] for untraced runs; the old `run`/`run_traced` split
+//! is gone).
 
 use summitfold_dataflow::exec::BatchOutcome;
 use summitfold_dataflow::sim::SimExecutor;
-use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
+use summitfold_dataflow::{Batch, OrderingPolicy, RetryPolicy, TaskFault, TaskSpec};
 use summitfold_hpc::fs::ReplicaLayout;
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
@@ -26,10 +31,50 @@ pub const TASK_OVERHEAD_S: f64 = 30.0;
 /// Dask workers per Summit node: one per GPU.
 pub const WORKERS_PER_NODE: u32 = 6;
 
+/// Everything a stage needs besides its inputs: the node-hour ledger it
+/// charges and the telemetry recorder it emits spans into.
+///
+/// Construct one per stage call — it borrows the ledger mutably for the
+/// duration of the stage:
+///
+/// ```
+/// use summitfold_hpc::Ledger;
+/// use summitfold_pipeline::stages::StageCtx;
+///
+/// let mut ledger = Ledger::new();
+/// let ctx = StageCtx::new(&mut ledger); // untraced
+/// # let _ = ctx;
+/// ```
+pub struct StageCtx<'a> {
+    /// Node-hour ledger the stage charges.
+    pub ledger: &'a mut Ledger,
+    /// Telemetry sink (possibly [`Recorder::disabled`]).
+    pub recorder: &'a Recorder,
+}
+
+impl<'a> StageCtx<'a> {
+    /// An untraced context: charges the ledger, records nothing.
+    #[must_use]
+    pub fn new(ledger: &'a mut Ledger) -> Self {
+        Self {
+            ledger,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// A traced context: stage spans, batch spans, and per-task events
+    /// are recorded into `recorder`.
+    #[must_use]
+    pub fn traced(ledger: &'a mut Ledger, recorder: &'a Recorder) -> Self {
+        Self { ledger, recorder }
+    }
+}
+
 pub mod feature {
     //! Stage 1: input feature generation on Andes (§3.2.1).
 
     use super::*;
+    use summitfold_protein::rng::Xoshiro256;
 
     /// Configuration for the feature-generation stage.
     #[derive(Debug, Clone, Copy)]
@@ -40,17 +85,28 @@ pub mod feature {
         pub replicas: u32,
         /// Concurrently running Andes jobs (one node each).
         pub concurrent_jobs: u32,
+        /// Retry policy for transiently failing scans (filesystem
+        /// stalls under contention, §3.3's failure handling).
+        pub retry: RetryPolicy,
+        /// Injected transient-failure rate per thousand targets
+        /// (0 = fault-free; requires `retry.max_attempts >= 2`).
+        pub flaky_per_mille: u32,
+        /// Seed for the deterministic fault injection draw.
+        pub fault_seed: u64,
     }
 
     impl Config {
         /// The paper's production configuration: reduced databases, 24
-        /// replicas, 4 jobs per replica.
+        /// replicas, 4 jobs per replica, three attempts per scan.
         #[must_use]
         pub fn paper_default() -> Self {
             Self {
                 db_set: DbSet::Reduced,
                 replicas: 24,
                 concurrent_jobs: 96,
+                retry: RetryPolicy::new(3, 60.0, 480.0),
+                flaky_per_mille: 0,
+                fault_seed: 0,
             }
         }
     }
@@ -60,7 +116,10 @@ pub mod feature {
     pub struct Report {
         /// Per-target feature sets, parallel to the input entries.
         pub features: Vec<FeatureSet>,
-        /// Andes node-hours charged (includes contention slowdown).
+        /// Dataflow batch outcome (per-scan records, attempt counts).
+        pub sim: BatchOutcome<()>,
+        /// Andes node-hours charged (contention slowdown and retries
+        /// included).
         pub node_hours: f64,
         /// Wall-clock including replication (seconds).
         pub walltime_s: f64,
@@ -70,22 +129,15 @@ pub mod feature {
         pub io_slowdown: f64,
     }
 
-    /// Run the stage over a set of targets.
+    /// Run the stage over a set of targets, recording a
+    /// `stage:feature_gen` span, a `feature_gen` batch span with
+    /// per-scan task events, plus `feature/io_slowdown` and
+    /// `feature/replication_s` gauges when the context is traced. On a
+    /// virtual-time recorder the stage span covers exactly the stage
+    /// walltime.
     #[must_use]
-    pub fn run(entries: &[ProteinEntry], cfg: &Config, ledger: &mut Ledger) -> Report {
-        run_traced(entries, cfg, ledger, Recorder::disabled())
-    }
-
-    /// [`run`], recording a `stage:feature_gen` span plus
-    /// `feature/io_slowdown` and `feature/replication_s` gauges. On a
-    /// virtual-time recorder the span covers exactly the stage walltime.
-    #[must_use]
-    pub fn run_traced(
-        entries: &[ProteinEntry],
-        cfg: &Config,
-        ledger: &mut Ledger,
-        rec: &Recorder,
-    ) -> Report {
+    pub fn run(entries: &[ProteinEntry], cfg: &Config, ctx: StageCtx<'_>) -> Report {
+        let rec = ctx.recorder;
         let span = rec.span_start("stage:feature_gen");
         let t0 = rec.now();
         let layout = ReplicaLayout {
@@ -94,15 +146,68 @@ pub mod feature {
         };
         let slowdown = layout.slowdown(cfg.concurrent_jobs);
         let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
-        let total_node_s: f64 = entries
+        let specs: Vec<TaskSpec> = entries
+            .iter()
+            .map(|e| TaskSpec::new(e.sequence.id.clone(), e.sequence.len() as f64))
+            .collect();
+        let durations: Vec<f64> = entries
             .iter()
             .map(|e| {
                 feature_gen_node_seconds(e.sequence.len(), cfg.db_set.nominal_bytes()) * slowdown
             })
-            .sum();
+            .collect();
+
+        // Deterministic transient-fault injection: each target draws
+        // once from a seeded stream; afflicted scans fail their first
+        // execution and succeed on retry.
+        let mut faults: Vec<TaskFault> = Vec::new();
+        if cfg.flaky_per_mille > 0 && cfg.retry.max_attempts >= 2 {
+            let mut rng = Xoshiro256::seed_from_u64(cfg.fault_seed);
+            for spec in &specs {
+                if rng.below(1000) < cfg.flaky_per_mille as usize {
+                    faults.push(TaskFault::transient(spec.id.clone(), 1));
+                }
+            }
+        }
+
         let replication_s = layout.replication_seconds();
-        let walltime_s = replication_s + total_node_s / f64::from(cfg.concurrent_jobs.max(1));
-        ledger.charge(Machine::Andes, "feature_gen", total_node_s);
+        rec.advance_clock_to(t0 + replication_s);
+        let sim = Batch::new(&specs)
+            .workers(cfg.concurrent_jobs.max(1) as usize)
+            .policy(OrderingPolicy::LongestFirst)
+            .durations(&durations)
+            .retry(cfg.retry)
+            .task_faults(&faults)
+            .recorder(rec)
+            .label("feature_gen")
+            .run(&SimExecutor::new(0.0))
+            // sfcheck::allow(panic-hygiene, workers >= 1 and specs/durations are built pairwise above)
+            .expect("feature batch is well-formed");
+
+        let base_node_s: f64 = durations.iter().sum();
+        // Failed attempts burn real node time; charge them separately so
+        // the rerun lane's cost is visible in the ledger.
+        let dur_of: std::collections::HashMap<&str, f64> = specs
+            .iter()
+            .zip(&durations)
+            .map(|(s, &d)| (s.id.as_str(), d))
+            .collect();
+        let retry_node_s: f64 = sim
+            .records
+            .iter()
+            .filter(|r| r.attempts > 1)
+            .map(|r| {
+                f64::from(r.attempts - 1) * dur_of.get(r.task_id.as_str()).copied().unwrap_or(0.0)
+            })
+            .sum();
+
+        let walltime_s = replication_s + sim.makespan;
+        ctx.ledger
+            .charge(Machine::Andes, "feature_gen", base_node_s);
+        if retry_node_s > 0.0 {
+            ctx.ledger
+                .charge(Machine::Andes, "feature_gen_retries", retry_node_s);
+        }
         if rec.is_enabled() {
             rec.gauge("feature/io_slowdown", slowdown);
             rec.gauge("feature/replication_s", replication_s);
@@ -111,10 +216,11 @@ pub mod feature {
         rec.span_end(span);
         Report {
             features,
-            node_hours: total_node_s / 3600.0,
+            node_hours: (base_node_s + retry_node_s) / 3600.0,
             walltime_s,
             replication_s,
             io_slowdown: slowdown,
+            sim,
         }
     }
 }
@@ -135,8 +241,13 @@ pub mod inference {
         pub nodes: u32,
         /// Task ordering (the paper sorts longest-first, §3.3 step 3c).
         pub policy: OrderingPolicy,
-        /// Retry OOM targets on high-memory nodes (§3.3).
+        /// Retry OOM targets on high-memory nodes (§3.3): their tasks
+        /// carry OOM-shaped faults and complete in the quarantine lane.
         pub rescue_on_high_mem: bool,
+        /// High-memory nodes backing the quarantine rerun lane.
+        pub highmem_nodes: u32,
+        /// Retry policy for the standard lane.
+        pub retry: RetryPolicy,
     }
 
     impl Config {
@@ -150,6 +261,8 @@ pub mod inference {
                 nodes,
                 policy: OrderingPolicy::LongestFirst,
                 rescue_on_high_mem: false,
+                highmem_nodes: 1,
+                retry: RetryPolicy::none(),
             }
         }
     }
@@ -172,41 +285,33 @@ pub mod inference {
         pub results: Vec<(usize, TargetResult)>,
         /// OOM failures.
         pub failures: Vec<Failure>,
-        /// Dataflow batch outcome (per-task records, makespan).
+        /// Dataflow batch outcome (per-task records, makespan,
+        /// quarantine tail).
         pub sim: BatchOutcome<()>,
-        /// Wall-clock (seconds) = simulated makespan.
+        /// Wall-clock (seconds) = simulated makespan, quarantine rerun
+        /// included.
         pub walltime_s: f64,
-        /// Summit node-hours charged.
+        /// Summit node-hours charged (standard + high-memory lanes).
         pub node_hours: f64,
         /// Fraction of the wall-clock spent on dispatch overhead.
         pub overhead_fraction: f64,
     }
 
-    /// Run the stage.
+    /// Run the stage, recording a `stage:inference` span, an `inference`
+    /// batch span with per-task events (and an `inference:quarantine`
+    /// child span when OOM targets re-ran on the high-memory lane),
+    /// per-model recycle/GPU-time telemetry from the engine, and
+    /// `inference/oom_failures` / `inference/oom_rescued` counters.
     #[must_use]
     pub fn run(
         entries: &[ProteinEntry],
         features: &[FeatureSet],
         cfg: &Config,
-        ledger: &mut Ledger,
-    ) -> Report {
-        run_traced(entries, features, cfg, ledger, Recorder::disabled())
-    }
-
-    /// [`run`], recording a `stage:inference` span, an `inference`
-    /// batch span with per-task events (via the dataflow executor),
-    /// per-model recycle/GPU-time telemetry from the engine, and
-    /// `inference/oom_failures` / `inference/oom_rescued` counters.
-    #[must_use]
-    pub fn run_traced(
-        entries: &[ProteinEntry],
-        features: &[FeatureSet],
-        cfg: &Config,
-        ledger: &mut Ledger,
-        rec: &Recorder,
+        ctx: StageCtx<'_>,
     ) -> Report {
         // sfcheck::allow(panic-hygiene, caller contract; features are generated one per entry upstream)
         assert_eq!(entries.len(), features.len(), "entries/features mismatch");
+        let rec = ctx.recorder;
         let span = rec.span_start("stage:inference");
         let engine = InferenceEngine::new(cfg.preset, cfg.fidelity);
         let rescue_engine = engine.on_high_mem_nodes();
@@ -215,6 +320,7 @@ pub mod inference {
         let mut failures = Vec::new();
         let mut specs: Vec<TaskSpec> = Vec::new();
         let mut durations: Vec<f64> = Vec::new();
+        let mut faults: Vec<TaskFault> = Vec::new();
 
         for (i, (entry, feats)) in entries.iter().zip(features).enumerate() {
             match engine.predict_target_traced(entry, feats, rec) {
@@ -235,14 +341,16 @@ pub mod inference {
                     let rescued = if cfg.rescue_on_high_mem {
                         match rescue_engine.predict_target_traced(entry, feats, rec) {
                             Ok(result) => {
-                                // High-memory tasks run in their own small
-                                // allocation; charge them separately.
-                                let gpu_s = result.total_gpu_seconds();
-                                ledger.charge(
-                                    Machine::Summit,
-                                    "inference_highmem",
-                                    gpu_s / f64::from(WORKERS_PER_NODE),
-                                );
+                                // The target's tasks enter the same batch
+                                // carrying OOM-shaped faults: they burn
+                                // their standard-lane attempts and
+                                // complete in the quarantine rerun pass.
+                                for p in &result.predictions {
+                                    let id = format!("{}/{}", entry.sequence.id, p.model);
+                                    faults.push(TaskFault::oom(id.clone()));
+                                    specs.push(TaskSpec::new(id, entry.sequence.len() as f64));
+                                    durations.push(p.gpu_seconds);
+                                }
                                 results.push((i, result));
                                 if rec.is_enabled() {
                                     rec.add("inference/oom_rescued", 1.0);
@@ -264,16 +372,23 @@ pub mod inference {
         }
 
         let workers = (cfg.nodes * WORKERS_PER_NODE) as usize;
-        let sim = Batch::new(&specs)
+        let mut batch = Batch::new(&specs)
             .workers(workers)
             .policy(cfg.policy)
             .durations(&durations)
+            .retry(cfg.retry)
+            .task_faults(&faults)
             .recorder(rec)
-            .label("inference")
+            .label("inference");
+        if cfg.rescue_on_high_mem {
+            batch = batch.quarantine((cfg.highmem_nodes.max(1) * WORKERS_PER_NODE) as usize);
+        }
+        let sim = batch
             .run(&SimExecutor::new(TASK_OVERHEAD_S))
             // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
             .expect("inference batch is well-formed");
         let walltime_s = sim.makespan;
+        let quarantine_s = sim.quarantine_makespan;
         // Dispatch overhead as a share of the delivered node time — the
         // quantity Table 1's footnote reports ("includes overhead, which
         // is about 16% of the total time in the super preset run").
@@ -282,14 +397,33 @@ pub mod inference {
         } else {
             0.0
         };
-        ledger.charge_job(Machine::Summit, "inference", cfg.nodes, walltime_s);
+        // The standard allocation drains before the quarantine lane
+        // starts, so its charge stops there; the rerun tail bills the
+        // small high-memory allocation instead.
+        ctx.ledger.charge_job(
+            Machine::Summit,
+            "inference",
+            cfg.nodes,
+            walltime_s - quarantine_s,
+        );
+        if quarantine_s > 0.0 {
+            ctx.ledger.charge_job(
+                Machine::Summit,
+                "inference_highmem",
+                cfg.highmem_nodes.max(1),
+                quarantine_s,
+            );
+        }
+        let node_hours = (f64::from(cfg.nodes) * (walltime_s - quarantine_s)
+            + f64::from(cfg.highmem_nodes.max(1)) * quarantine_s)
+            / 3600.0;
         rec.span_end(span);
         Report {
             results,
             failures,
             sim,
             walltime_s,
-            node_hours: f64::from(cfg.nodes) * walltime_s / 3600.0,
+            node_hours,
             overhead_fraction,
         }
     }
@@ -355,22 +489,13 @@ pub mod relax_stage {
         pub node_hours: f64,
     }
 
-    /// Run the stage over unrelaxed structures.
+    /// Run the stage over unrelaxed structures, recording a
+    /// `stage:relaxation` span, a `relaxation` batch span with per-task
+    /// events, and the per-structure protocol telemetry from
+    /// [`relax_traced`] (iterations, rounds, checks).
     #[must_use]
-    pub fn run(structures: &[Structure], cfg: &Config, ledger: &mut Ledger) -> Report {
-        run_traced(structures, cfg, ledger, Recorder::disabled())
-    }
-
-    /// [`run`], recording a `stage:relaxation` span, a `relaxation`
-    /// batch span with per-task events, and the per-structure protocol
-    /// telemetry from [`relax_traced`] (iterations, rounds, checks).
-    #[must_use]
-    pub fn run_traced(
-        structures: &[Structure],
-        cfg: &Config,
-        ledger: &mut Ledger,
-        rec: &Recorder,
-    ) -> Report {
+    pub fn run(structures: &[Structure], cfg: &Config, ctx: StageCtx<'_>) -> Report {
+        let rec = ctx.recorder;
         let span = rec.span_start("stage:relaxation");
         let outcomes: Vec<RelaxOutcome> = structures
             .iter()
@@ -396,7 +521,8 @@ pub mod relax_stage {
             // sfcheck::allow(panic-hygiene, cfg.workers() >= 1 and specs/durations are built pairwise above)
             .expect("relaxation batch is well-formed");
         let walltime_s = sim.makespan;
-        ledger.charge_job(cfg.machine(), "relaxation", cfg.nodes, walltime_s);
+        ctx.ledger
+            .charge_job(cfg.machine(), "relaxation", cfg.nodes, walltime_s);
         rec.span_end(span);
         Report {
             outcomes,
@@ -421,8 +547,13 @@ mod tests {
     fn feature_stage_charges_andes() {
         let entries = sample_entries(0.01);
         let mut ledger = Ledger::new();
-        let report = feature::run(&entries, &feature::Config::paper_default(), &mut ledger);
+        let report = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut ledger),
+        );
         assert_eq!(report.features.len(), entries.len());
+        assert_eq!(report.sim.records.len(), entries.len());
         assert!(report.node_hours > 0.0);
         assert!(ledger.node_hours(Machine::Andes) > 0.0);
         assert_eq!(ledger.node_hours(Machine::Summit), 0.0);
@@ -434,28 +565,72 @@ mod tests {
         let entries = sample_entries(0.01);
         let mut l1 = Ledger::new();
         let mut l2 = Ledger::new();
-        let reduced = feature::run(&entries, &feature::Config::paper_default(), &mut l1);
+        let reduced = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut l1),
+        );
         let full = feature::run(
             &entries,
             &feature::Config {
                 db_set: DbSet::Full,
                 ..feature::Config::paper_default()
             },
-            &mut l2,
+            StageCtx::new(&mut l2),
         );
         assert!(full.node_hours > reduced.node_hours * 1.5);
+    }
+
+    #[test]
+    fn flaky_feature_scans_retry_and_charge_the_rerun_lane() {
+        let entries = sample_entries(0.05);
+        let cfg = feature::Config {
+            flaky_per_mille: 200,
+            fault_seed: 11,
+            ..feature::Config::paper_default()
+        };
+        let mut ledger = Ledger::new();
+        let flaky = feature::run(&entries, &cfg, StageCtx::new(&mut ledger));
+        assert!(flaky.sim.retries() > 0, "some scans should have retried");
+        let retried = flaky.sim.records.iter().filter(|r| r.attempts == 2).count();
+        assert_eq!(flaky.sim.retries(), retried, "each flaky scan fails once");
+        let breakdown = ledger.by_stage();
+        assert!(
+            breakdown
+                .get(&("Andes".to_owned(), "feature_gen_retries".to_owned()))
+                .copied()
+                .unwrap_or(0.0)
+                > 0.0,
+            "retry node-hours are charged separately: {breakdown:?}"
+        );
+        // Fault-free run of the same config costs strictly less.
+        let mut l2 = Ledger::new();
+        let clean = feature::run(
+            &entries,
+            &feature::Config {
+                flaky_per_mille: 0,
+                ..cfg
+            },
+            StageCtx::new(&mut l2),
+        );
+        assert!(flaky.node_hours > clean.node_hours);
+        assert!(flaky.walltime_s >= clean.walltime_s);
     }
 
     #[test]
     fn inference_stage_produces_results_and_charges_summit() {
         let entries = sample_entries(0.01);
         let mut ledger = Ledger::new();
-        let features = feature::run(&entries, &feature::Config::paper_default(), &mut ledger);
+        let features = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut ledger),
+        );
         let report = inference::run(
             &entries,
             &features.features,
             &inference::Config::benchmark(Preset::Genome),
-            &mut ledger,
+            StageCtx::new(&mut ledger),
         );
         assert_eq!(report.results.len() + report.failures.len(), entries.len());
         assert!(report.walltime_s > 0.0);
@@ -470,9 +645,18 @@ mod tests {
     fn casp14_fails_long_targets_and_high_mem_rescues() {
         let entries = sample_entries(0.25); // enough for some long tails
         let mut ledger = Ledger::new();
-        let features = feature::run(&entries, &feature::Config::paper_default(), &mut ledger);
+        let features = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut ledger),
+        );
         let cfg = inference::Config::benchmark(Preset::Casp14);
-        let report = inference::run(&entries, &features.features, &cfg, &mut ledger);
+        let report = inference::run(
+            &entries,
+            &features.features,
+            &cfg,
+            StageCtx::new(&mut ledger),
+        );
         // If any target is long enough, it fails; rescue turned off here.
         for f in &report.failures {
             assert!(!f.rescued);
@@ -481,18 +665,44 @@ mod tests {
                 "only the longest sequences OOM"
             );
         }
-        // With rescue, everything completes.
+        assert_eq!(report.sim.quarantined, 0, "no quarantine without rescue");
+
+        // With rescue, everything completes — via the quarantine lane.
         let cfg = inference::Config {
             rescue_on_high_mem: true,
             ..cfg
         };
         let mut ledger2 = Ledger::new();
-        let report2 = inference::run(&entries, &features.features, &cfg, &mut ledger2);
+        let report2 = inference::run(
+            &entries,
+            &features.features,
+            &cfg,
+            StageCtx::new(&mut ledger2),
+        );
         assert_eq!(
             report2.results.len(),
             entries.len(),
             "high-mem rescue must recover all targets"
         );
+        if !report2.failures.is_empty() {
+            // 5 prediction tasks per rescued target complete in quarantine.
+            assert_eq!(report2.sim.quarantined, report2.failures.len() * 5);
+            assert!(report2.sim.quarantine_makespan > 0.0);
+            let highmem = ledger2
+                .by_stage()
+                .get(&("Summit".to_owned(), "inference_highmem".to_owned()))
+                .copied()
+                .unwrap_or(0.0);
+            assert!(highmem > 0.0, "quarantine lane charges its own job");
+            // Quarantined tasks carry the burned standard attempt.
+            let reran = report2
+                .sim
+                .records
+                .iter()
+                .filter(|r| r.attempts == 2)
+                .count();
+            assert_eq!(reran, report2.sim.quarantined);
+        }
     }
 
     #[test]
@@ -515,7 +725,7 @@ mod tests {
         let report = relax_stage::run(
             &structures,
             &relax_stage::Config::paper_default(),
-            &mut ledger,
+            StageCtx::new(&mut ledger),
         );
         assert_eq!(report.outcomes.len(), structures.len());
         for o in &report.outcomes {
@@ -531,32 +741,43 @@ mod tests {
         let entries = sample_entries(0.01);
         let mut ledger = Ledger::new();
         let rec = Recorder::virtual_time();
-        let feats = feature::run_traced(
+        let feats = feature::run(
             &entries,
             &feature::Config::paper_default(),
-            &mut ledger,
-            &rec,
+            StageCtx::traced(&mut ledger, &rec),
         );
-        let inf = inference::run_traced(
+        let inf = inference::run(
             &entries,
             &feats.features,
             &inference::Config::benchmark(Preset::Genome),
-            &mut ledger,
-            &rec,
+            StageCtx::traced(&mut ledger, &rec),
         );
         let trace = Trace::from_events(rec.events());
         let spans = trace.spans();
         let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["stage:feature_gen", "stage:inference", "inference"]);
-        // The batch span is nested under the inference stage span.
-        assert_eq!(spans[2].parent, Some(spans[1].id));
-        // Virtual time: each span's duration is the stage walltime.
+        assert_eq!(
+            names,
+            [
+                "stage:feature_gen",
+                "feature_gen",
+                "stage:inference",
+                "inference"
+            ]
+        );
+        // Each batch span is nested under its stage span.
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[3].parent, Some(spans[2].id));
+        // Virtual time: each stage span's duration is the stage walltime.
         assert!((spans[0].end - spans[0].start - feats.walltime_s).abs() < 1e-9);
-        assert!((spans[2].end - spans[2].start - inf.walltime_s).abs() < 1e-9);
+        assert!((spans[3].end - spans[3].start - inf.walltime_s).abs() < 1e-9);
         // Stages run back to back on the shared clock.
-        assert!((spans[1].start - feats.walltime_s).abs() < 1e-9);
-        // One task event per simulated prediction, matching the records.
-        assert_eq!(trace.tasks().len(), inf.sim.records.len());
+        assert!((spans[2].start - feats.walltime_s).abs() < 1e-9);
+        // One task event per feature scan plus one per simulated
+        // prediction, matching the records.
+        assert_eq!(
+            trace.tasks().len(),
+            feats.sim.records.len() + inf.sim.records.len()
+        );
         // Engine telemetry rode along: 5 recycle observations per target.
         assert_eq!(
             trace.histograms()["inference/recycles"].count,
@@ -565,7 +786,11 @@ mod tests {
         // The same stages run with a disabled recorder produce nothing
         // and the identical report.
         let mut ledger2 = Ledger::new();
-        let quiet = feature::run(&entries, &feature::Config::paper_default(), &mut ledger2);
+        let quiet = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut ledger2),
+        );
         assert_eq!(quiet.walltime_s, feats.walltime_s);
     }
 
@@ -573,12 +798,16 @@ mod tests {
     fn inference_overhead_fraction_is_sane() {
         let entries = sample_entries(0.02);
         let mut ledger = Ledger::new();
-        let features = feature::run(&entries, &feature::Config::paper_default(), &mut ledger);
+        let features = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut ledger),
+        );
         let report = inference::run(
             &entries,
             &features.features,
             &inference::Config::benchmark(Preset::Super),
-            &mut ledger,
+            StageCtx::new(&mut ledger),
         );
         assert!(
             report.overhead_fraction > 0.005 && report.overhead_fraction < 0.6,

@@ -13,7 +13,7 @@ use summitfold::dataflow::OrderingPolicy;
 use summitfold::hpc::Ledger;
 use summitfold::inference::Preset;
 use summitfold::msa::FeatureSet;
-use summitfold::pipeline::stages::inference;
+use summitfold::pipeline::stages::{inference, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::stats;
 
@@ -44,7 +44,7 @@ fn main() {
             policy: OrderingPolicy::LongestFirst,
             ..inference::Config::benchmark(preset)
         };
-        let report = inference::run(&entries, &features, &cfg, &mut ledger);
+        let report = inference::run(&entries, &features, &cfg, StageCtx::new(&mut ledger));
         let plddt: Vec<f64> = report
             .results
             .iter()

@@ -16,7 +16,7 @@ use summitfold::hpc::jsrun::DaskBatchScript;
 use summitfold::hpc::machine::Machine;
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
-use summitfold::pipeline::stages::{feature, inference};
+use summitfold::pipeline::stages::{feature, inference, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
 
     // Stage 1: feature generation on Andes.
     let feat_cfg = feature::Config::paper_default();
-    let feat = feature::run(&proteome.proteins, &feat_cfg, &mut ledger);
+    let feat = feature::run(&proteome.proteins, &feat_cfg, StageCtx::new(&mut ledger));
     println!(
         "\n[1] feature generation: {:.1} node-h on Andes ({:.1} h wall, I/O slowdown {:.2}x, \
          replication {:.0} s)",
@@ -53,6 +53,7 @@ fn main() {
         nodes,
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
+        ..inference::Config::benchmark(Preset::Genome)
     };
     let script = DaskBatchScript::inference(nodes, 180);
     script.validate().expect("placeable");
@@ -63,7 +64,12 @@ fn main() {
     for line in script.render().lines() {
         println!("    {line}");
     }
-    let inf = inference::run(&proteome.proteins, &feat.features, &inf_cfg, &mut ledger);
+    let inf = inference::run(
+        &proteome.proteins,
+        &feat.features,
+        &inf_cfg,
+        StageCtx::new(&mut ledger),
+    );
     println!(
         "    -> {} targets ({} rescued on high-mem nodes), {:.1} h wall, {:.1} node-h, \
          {:.0}% dispatch overhead",

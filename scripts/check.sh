@@ -38,4 +38,19 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+echo "==> deleted legacy entry points stay deleted"
+# PR 3 removed the deprecated shims; these tokens must not reappear.
+# `#[deprecated]` itself is policed by sfcheck's `deprecated` rule — this
+# grep pins the specific names so a revert or copy-paste is caught even
+# if it arrives with an allow directive.
+shims=$(grep -rn \
+    -e 'map_with_faults' -e 'FaultBatchResult' -e 'SimResult' \
+    -e 'fn simulate\b' -e 'pub struct Client\b' \
+    crates/*/src src tests examples benches 2>/dev/null || true)
+if [ -n "$shims" ]; then
+    echo "legacy batch entry points reintroduced:" >&2
+    echo "$shims" >&2
+    exit 1
+fi
+
 echo "All checks passed."

@@ -6,7 +6,7 @@ use summitfold::hpc::machine::Machine;
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
 use summitfold::msa::FeatureSet;
-use summitfold::pipeline::stages::{feature, inference, relax_stage};
+use summitfold::pipeline::stages::{feature, inference, relax_stage, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::structure::Structure;
 use summitfold::relax::protocol::Protocol;
@@ -22,7 +22,7 @@ fn three_stage_pipeline_end_to_end() {
     let feat = feature::run(
         &proteome.proteins,
         &feature::Config::paper_default(),
-        &mut ledger,
+        StageCtx::new(&mut ledger),
     );
     assert_eq!(feat.features.len(), proteome.len());
 
@@ -33,8 +33,14 @@ fn three_stage_pipeline_end_to_end() {
         nodes: 8,
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
+        ..inference::Config::benchmark(Preset::Genome)
     };
-    let inf = inference::run(&proteome.proteins, &feat.features, &inf_cfg, &mut ledger);
+    let inf = inference::run(
+        &proteome.proteins,
+        &feat.features,
+        &inf_cfg,
+        StageCtx::new(&mut ledger),
+    );
     assert_eq!(
         inf.results.len(),
         proteome.len(),
@@ -57,7 +63,11 @@ fn three_stage_pipeline_end_to_end() {
     }
 
     // Stage 3: relaxation on Summit GPUs.
-    let relax = relax_stage::run(&tops, &relax_stage::Config::paper_default(), &mut ledger);
+    let relax = relax_stage::run(
+        &tops,
+        &relax_stage::Config::paper_default(),
+        StageCtx::new(&mut ledger),
+    );
     for outcome in &relax.outcomes {
         assert_eq!(outcome.final_violations.clashes, 0, "no clashes survive");
         assert!(outcome.energy_final <= outcome.energy_initial);
@@ -137,7 +147,7 @@ fn relax_stage_timing_scales_with_method() {
             method,
             nodes: 4,
         };
-        relax_stage::run(&structures, &cfg, &mut ledger).walltime_s
+        relax_stage::run(&structures, &cfg, StageCtx::new(&mut ledger)).walltime_s
     };
     let gpu = run_with(Method::OptimizedGpuSummit);
     let cpu = run_with(Method::OptimizedCpuAndes);

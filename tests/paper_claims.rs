@@ -8,7 +8,7 @@ use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
 use summitfold::msa::FeatureSet;
-use summitfold::pipeline::stages::inference;
+use summitfold::pipeline::stages::{inference, StageCtx};
 use summitfold::pipeline::{run_proteome_campaign, CampaignConfig};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::rng::Xoshiro256;
@@ -57,8 +57,14 @@ fn five_structures_per_sequence_and_ptms_ranking() {
         nodes: 4,
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
+        ..inference::Config::benchmark(Preset::Genome)
     };
-    let report = inference::run(&proteome.proteins, &features, &cfg, &mut Ledger::new());
+    let report = inference::run(
+        &proteome.proteins,
+        &features,
+        &cfg,
+        StageCtx::new(&mut Ledger::new()),
+    );
     let structures: usize = report
         .results
         .iter()
@@ -84,7 +90,7 @@ fn preset_tradeoff_shape() {
             &bench,
             &features,
             &inference::Config::benchmark(preset),
-            &mut Ledger::new(),
+            StageCtx::new(&mut Ledger::new()),
         )
     };
     let reduced = run(Preset::ReducedDbs);
