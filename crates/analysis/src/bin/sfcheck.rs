@@ -69,7 +69,7 @@ fn main() -> ExitCode {
     match check_workspace(&root) {
         Ok(findings) if findings.is_empty() => {
             if !quiet {
-                println!("sfcheck: workspace clean ({} rules)", 5);
+                println!("sfcheck: workspace clean ({} rules)", 6);
             }
             ExitCode::SUCCESS
         }

@@ -10,8 +10,8 @@ use crate::config::{Config, FileKind};
 use crate::lexer::{scan, TokKind};
 use crate::report::{Finding, Rule};
 use crate::rules::{
-    collect_allows, crate_root_forbids_unsafe, deprecation, determinism, panic_hygiene,
-    test_regions, unsafe_ban, FileCheck,
+    collect_allows, crate_root_forbids_unsafe, deprecation, determinism, error_display,
+    panic_hygiene, test_regions, unsafe_ban, FileCheck,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -271,6 +271,7 @@ fn check_file(
     determinism(config, &check, &regions, &allows, findings);
     unsafe_ban(&check, &allows, findings);
     deprecation(&check, &allows, findings);
+    error_display(&check, &regions, &allows, findings);
     if rel.ends_with("src/lib.rs") {
         crate_root_forbids_unsafe(&check, findings);
     }

@@ -15,6 +15,8 @@ pub enum Rule {
     Manifest,
     /// A `#[deprecated]` attribute lingering past its PR cycle.
     Deprecation,
+    /// An `*Error` enum without a `Display` arm for every variant.
+    ErrorDisplay,
     /// Malformed `sfcheck::allow` directive.
     AllowSyntax,
 }
@@ -29,6 +31,7 @@ impl Rule {
             Self::UnsafeBan => "unsafe",
             Self::Manifest => "manifest",
             Self::Deprecation => "deprecated",
+            Self::ErrorDisplay => "error-display",
             Self::AllowSyntax => "allow-syntax",
         }
     }
@@ -45,6 +48,7 @@ impl Rule {
             "unsafe" => Some(Self::UnsafeBan),
             "manifest" => Some(Self::Manifest),
             "deprecated" => Some(Self::Deprecation),
+            "error-display" => Some(Self::ErrorDisplay),
             _ => None,
         }
     }
@@ -115,6 +119,7 @@ mod tests {
             Rule::UnsafeBan,
             Rule::Manifest,
             Rule::Deprecation,
+            Rule::ErrorDisplay,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }

@@ -322,6 +322,165 @@ pub fn deprecation(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &
     }
 }
 
+/// Error-surface completeness: every `enum` whose name ends in `Error`
+/// in non-test library code must have a `Display` impl in the same file
+/// covering every variant — either a `Self::Variant` / `Name::Variant`
+/// match arm or a `_ =>` wildcard. A variant the Display impl cannot
+/// render surfaces as a finding on the enum's declaration line.
+pub fn error_display(
+    check: &FileCheck<'_>,
+    regions: &[(u32, u32)],
+    allows: &[AllowDirective],
+    findings: &mut Vec<Finding>,
+) {
+    if check.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &check.scan.tokens;
+    for (name_idx, variants) in error_enums(toks, regions) {
+        let name = &toks[name_idx];
+        if is_allowed(allows, Rule::ErrorDisplay, name.line) {
+            continue;
+        }
+        let Some((body_open, body_close)) = display_impl_body(toks, &name.text) else {
+            findings.push(Finding {
+                rule: Rule::ErrorDisplay,
+                file: check.rel_path.to_string(),
+                line: name.line,
+                col: name.col,
+                message: format!(
+                    "{} has no Display impl in this file; operators see error values only \
+                     through Display",
+                    name.text
+                ),
+            });
+            continue;
+        };
+        let mut wildcard = false;
+        let mut covered: Vec<&str> = Vec::new();
+        let mut j = body_open;
+        while j < body_close {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident {
+                if t.text == "_"
+                    && toks.get(j + 1).is_some_and(|a| a.text == "=")
+                    && toks.get(j + 2).is_some_and(|b| b.text == ">")
+                {
+                    wildcard = true;
+                }
+                if (t.text == "Self" || t.text == name.text)
+                    && toks.get(j + 1).is_some_and(|a| a.text == ":")
+                    && toks.get(j + 2).is_some_and(|b| b.text == ":")
+                {
+                    if let Some(v) = toks.get(j + 3) {
+                        if v.kind == TokKind::Ident {
+                            covered.push(v.text.as_str());
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        if wildcard {
+            continue;
+        }
+        for &vi in &variants {
+            let v = &toks[vi];
+            if !covered.iter().any(|c| *c == v.text) {
+                findings.push(Finding {
+                    rule: Rule::ErrorDisplay,
+                    file: check.rel_path.to_string(),
+                    line: v.line,
+                    col: v.col,
+                    message: format!(
+                        "{}::{} has no Display arm; every error variant must render a message",
+                        name.text, v.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Find `enum <Name>Error { … }` declarations outside test regions.
+/// Returns (name token index, variant token indices) per enum.
+fn error_enums(toks: &[Tok], regions: &[(u32, u32)]) -> Vec<(usize, Vec<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let is_decl = t.kind == TokKind::Ident
+            && t.text == "enum"
+            && !in_regions(t.line, regions)
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && n.text.ends_with("Error") && n.text != "Error"
+            });
+        if !is_decl {
+            i += 1;
+            continue;
+        }
+        // Skip generics/where clauses to the enum body.
+        let mut k = i + 2;
+        while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+            k += 1;
+        }
+        if k >= toks.len() || toks[k].text != "{" {
+            i = k;
+            continue;
+        }
+        let close = match_brace(toks, k);
+        // A variant name is an identifier at nesting depth 1 directly
+        // followed by `,`, `{`, `(`, `=`, or the closing `}` — field
+        // names and payload types sit deeper.
+        let mut variants = Vec::new();
+        let (mut braces, mut parens, mut brackets) = (0i32, 0i32, 0i32);
+        for (j, tok) in toks.iter().enumerate().take(close + 1).skip(k) {
+            if tok.kind == TokKind::Punct {
+                match tok.text.as_str() {
+                    "{" => braces += 1,
+                    "}" => braces -= 1,
+                    "(" => parens += 1,
+                    ")" => parens -= 1,
+                    "[" => brackets += 1,
+                    "]" => brackets -= 1,
+                    _ => {}
+                }
+                continue;
+            }
+            if tok.kind == TokKind::Ident && braces == 1 && parens == 0 && brackets == 0 {
+                let next = toks.get(j + 1).map(|n| n.text.as_str());
+                if matches!(next, Some("," | "{" | "(" | "=" | "}")) {
+                    variants.push(j);
+                }
+            }
+        }
+        out.push((i + 1, variants));
+        i = close + 1;
+    }
+    out
+}
+
+/// Locate `Display for <name>` in the file and return the token range of
+/// the impl body (open brace index + matching close).
+fn display_impl_body(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    for j in 0..toks.len() {
+        if toks[j].kind == TokKind::Ident
+            && toks[j].text == "Display"
+            && toks.get(j + 1).is_some_and(|a| a.text == "for")
+            && toks.get(j + 2).is_some_and(|b| b.text == name)
+        {
+            let mut k = j + 3;
+            while k < toks.len() && toks[k].text != "{" {
+                k += 1;
+            }
+            if k < toks.len() {
+                return Some((k, match_brace(toks, k)));
+            }
+        }
+    }
+    None
+}
+
 /// Crate-root attribute check: `#![forbid(unsafe_code)]` must be present.
 pub fn crate_root_forbids_unsafe(check: &FileCheck<'_>, findings: &mut Vec<Finding>) {
     let toks = &check.scan.tokens;
@@ -520,6 +679,64 @@ mod tests {
     fn deprecation_allow_with_reason_suppresses() {
         let src = "// sfcheck::allow(deprecated, removed in the next PR, tracked in ROADMAP.md)\n#[deprecated]\npub fn old() {}";
         assert!(run_deprecation(src).is_empty());
+    }
+
+    fn run_error_display(src: &str) -> Vec<Finding> {
+        let s = scan(src);
+        let check = lib_check(&s, "crates/x/src/lib.rs", false);
+        let mut findings = Vec::new();
+        let allows = collect_allows(&check, &mut findings);
+        let regions = test_regions(&s);
+        error_display(&check, &regions, &allows, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn error_variant_without_display_arm_fires() {
+        let src = "pub enum IoError { Missing, Torn { line: usize } }\n\
+                   impl std::fmt::Display for IoError {\n\
+                   fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n\
+                   match self { Self::Missing => write!(f, \"missing\") }\n} }";
+        let f = run_error_display(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ErrorDisplay);
+        assert!(f[0].message.contains("IoError::Torn"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn full_and_wildcard_display_coverage_pass() {
+        let full = "pub enum IoError { Missing, Torn(usize) }\n\
+                    impl std::fmt::Display for IoError {\n\
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n\
+                    match self { IoError::Missing => write!(f, \"m\"), IoError::Torn(n) => write!(f, \"{n}\") }\n} }";
+        assert!(run_error_display(full).is_empty());
+        let wild = "pub enum IoError { Missing, Torn }\n\
+                    impl std::fmt::Display for IoError {\n\
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n\
+                    match self { Self::Missing => write!(f, \"m\"), _ => write!(f, \"?\") }\n} }";
+        assert!(run_error_display(wild).is_empty());
+    }
+
+    #[test]
+    fn display_less_error_enum_fires_once() {
+        let f = run_error_display("pub enum ParseError { Bad }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no Display impl"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn error_display_ignores_structs_tests_and_non_error_enums() {
+        assert!(run_error_display("pub struct IoError { pub line: usize }\n").is_empty());
+        assert!(run_error_display("pub enum Mode { Fast, Slow }\n").is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n pub enum FakeError { Oops }\n fn f() {}\n}\n";
+        assert!(run_error_display(in_tests).is_empty());
+    }
+
+    #[test]
+    fn error_display_allow_suppresses() {
+        let src = "// sfcheck::allow(error-display, rendered via Debug in the test harness only)\n\
+                   pub enum ProbeError { Odd }\n";
+        assert!(run_error_display(src).is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use summitfold_bench::microbench::{BenchmarkId, Criterion};
 use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_dataflow::real::ThreadExecutor;
-use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::sim::VirtualExecutor;
 use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_protein::rng::Xoshiro256;
 
@@ -33,7 +33,7 @@ fn bench_simulator_scale(c: &mut Criterion) {
                         .workers(*workers)
                         .policy(OrderingPolicy::LongestFirst)
                         .durations(durations)
-                        .run(&SimExecutor::new(30.0))
+                        .run(&VirtualExecutor::new(30.0))
                         .expect("workload is well-formed")
                         .makespan
                 });
@@ -57,7 +57,7 @@ fn bench_ordering_policies(c: &mut Criterion) {
                     .workers(1_200)
                     .policy(policy)
                     .durations(&durations)
-                    .run(&SimExecutor::new(30.0))
+                    .run(&VirtualExecutor::new(30.0))
                     .expect("workload is well-formed")
                     .makespan
             });

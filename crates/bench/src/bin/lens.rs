@@ -54,6 +54,21 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 fn render_trace(trace: &Trace) -> String {
     let mut out = trace.summary();
     let totals = trace.counter_totals();
+    // Deadline/speculation accounting, when the batch recorded any.
+    if let Some(&carried) = totals.get("dataflow/deadline_carryover") {
+        out.push_str(&format!(
+            "deadline: {carried:.0} task(s) carried over to a follow-on job\n"
+        ));
+    }
+    if let Some(&speculated) = totals.get("dataflow/speculated") {
+        let wins = totals
+            .get("dataflow/speculation_wins")
+            .copied()
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "speculation: {speculated:.0} duplicate(s) launched, {wins:.0} won the race\n"
+        ));
+    }
     let node: Vec<(&String, &f64)> = totals
         .iter()
         .filter(|(k, _)| k.starts_with("node_seconds/"))

@@ -9,7 +9,7 @@
 
 use crate::harness::{fig4, Ctx};
 use crate::report::Report;
-use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::sim::VirtualExecutor;
 use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_hpc::fs::{campaign_walltime_s, ReplicaLayout};
 use summitfold_hpc::Ledger;
@@ -87,7 +87,7 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
                 .workers(workers)
                 .policy(policy)
                 .durations(&durations)
-                .run(&SimExecutor::new(TASK_OVERHEAD_S))
+                .run(&VirtualExecutor::new(TASK_OVERHEAD_S))
                 // sfcheck::allow(panic-hygiene, worker counts are the fixed positive set above)
                 .expect("ablation batch is well-formed");
             rows.push(OrderingRow {

@@ -112,6 +112,18 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
             sim.quarantine_makespan / 60.0
         ));
     }
+    if sim.speculated > 0 {
+        rpt.line(format!(
+            "Speculation: {} duplicate(s) launched against stragglers, {} won the race.",
+            sim.speculated, sim.speculation_wins
+        ));
+    }
+    if sim.status.is_partial() {
+        rpt.line(format!(
+            "Walltime budget cut the batch: {} task(s) carried over to a follow-on job.",
+            sim.status.carried_over().len()
+        ));
+    }
     rpt.line(format!(
         "First task longer than last on {first_longer}/10 sampled workers (sorted queue effect)."
     ));

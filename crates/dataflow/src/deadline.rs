@@ -1,0 +1,138 @@
+//! Walltime budgets and straggler speculation: the shared decision layer.
+//!
+//! The paper's campaigns run inside fixed LSF walltime bins — a Summit
+//! job is killed at its limit mid-batch and the campaign carries the
+//! unfinished proteins into the next job; Dask-style runtimes likewise
+//! defend throughput against stragglers by launching speculative
+//! duplicates of slow tasks. Both decisions live here as pure functions
+//! of the batch description, so [`crate::sim::VirtualExecutor`] and
+//! [`crate::real::ThreadExecutor`] agree exactly on *which* tasks are
+//! cut at the deadline and *which* tasks speculate — the cross-executor
+//! contract pinned by `tests/chaos.rs`.
+//!
+//! * **Deadline** (`Batch::deadline(seconds)`): dispatching stops at the
+//!   first task whose completion would overrun the budget
+//!   ([`would_overrun`]); in-flight work finishes, the leftover is
+//!   journaled as carried-over, and the outcome is flagged
+//!   `BatchStatus::Partial`. Stopping at the *first* overrun (rather
+//!   than skipping it and dispatching later, shorter tasks) keeps the
+//!   dispatched prefix identical to the uninterrupted run's — the
+//!   property that makes kill-and-resume campaigns reproduce the full
+//!   record set byte-for-byte.
+//! * **Speculation** (`Batch::speculate()`): a fault-free task whose
+//!   modeled duration exceeds `k ×` its expected duration (`cost_hint`)
+//!   is a straggler; an idle worker runs a duplicate and the first
+//!   completion wins, the loser recording as cancelled (attempts = 0).
+//!   [`speculation_flags`] is the single decision function; the default
+//!   threshold is [`DEFAULT_SPECULATION_FACTOR`].
+
+use crate::retry::FaultPlan;
+use crate::task::TaskSpec;
+
+/// Default straggler threshold `k`: a task speculates when its modeled
+/// duration exceeds `k ×` its expected duration (`cost_hint`). 1.5 —
+/// half again the expectation — mirrors the speculative-execution
+/// defaults of Hadoop-lineage schedulers: late enough to skip normal
+/// jitter, early enough that a duplicate still beats the straggler.
+pub const DEFAULT_SPECULATION_FACTOR: f64 = 1.5;
+
+/// Whether completing at `completion` seconds would overrun `deadline`.
+///
+/// `None` means no budget (never overruns); the comparison is strict, so
+/// a task finishing exactly at the deadline still dispatches.
+#[must_use]
+pub fn would_overrun(deadline: Option<f64>, completion: f64) -> bool {
+    match deadline {
+        Some(d) => completion > d,
+        None => false,
+    }
+}
+
+/// Per-task speculation decision: `flags[i]` is whether `specs[i]` gets
+/// a speculative duplicate when a worker is idle.
+///
+/// A task speculates iff a factor `k` is configured, at least two
+/// workers exist (a duplicate needs somewhere to run), the task is
+/// clean under the fault schedule (retries already re-execute faulty
+/// tasks; stacking speculation on top would double-count attempts), its
+/// expected duration is positive, and its modeled duration exceeds
+/// `k ×` the expectation. Pure in the batch description, so both
+/// executors compute identical flags.
+#[must_use]
+pub fn speculation_flags(
+    specs: &[TaskSpec],
+    durations: &[f64],
+    fault_plan: &FaultPlan<'_>,
+    factor: Option<f64>,
+    workers: usize,
+) -> Vec<bool> {
+    let Some(k) = factor else {
+        return vec![false; specs.len()];
+    };
+    if workers < 2 {
+        return vec![false; specs.len()];
+    }
+    specs
+        .iter()
+        .zip(durations)
+        .map(|(spec, &d)| {
+            spec.cost_hint > 0.0 && fault_plan.clean_first_try(&spec.id) && d > k * spec.cost_hint
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::{RetryPolicy, TaskFault};
+
+    fn spec(id: &str, hint: f64) -> TaskSpec {
+        TaskSpec::new(id, hint)
+    }
+
+    #[test]
+    fn no_deadline_never_overruns() {
+        assert!(!would_overrun(None, f64::MAX));
+        assert!(!would_overrun(Some(10.0), 10.0), "exact finish dispatches");
+        assert!(would_overrun(Some(10.0), 10.0 + 1e-12));
+    }
+
+    #[test]
+    fn stragglers_flagged_above_threshold_only() {
+        let specs = vec![spec("fast", 10.0), spec("slow", 10.0), spec("edge", 10.0)];
+        let durations = [10.0, 16.0, 15.0];
+        let fp = FaultPlan::new(&[], RetryPolicy::none());
+        let flags = speculation_flags(&specs, &durations, &fp, Some(1.5), 4);
+        assert_eq!(flags, vec![false, true, false], "threshold is strict");
+    }
+
+    #[test]
+    fn faulty_tasks_and_single_workers_never_speculate() {
+        let specs = vec![spec("a", 10.0), spec("b", 10.0)];
+        let durations = [40.0, 40.0];
+        let faults = [TaskFault::transient("a", 1)];
+        let fp = FaultPlan::new(&faults, RetryPolicy::new(3, 0.0, 0.0));
+        let flags = speculation_flags(&specs, &durations, &fp, Some(1.5), 4);
+        assert_eq!(flags, vec![false, true], "retrying tasks never speculate");
+        assert_eq!(
+            speculation_flags(&specs, &durations, &fp, Some(1.5), 1),
+            vec![false, false],
+            "a duplicate needs a second worker"
+        );
+        assert_eq!(
+            speculation_flags(&specs, &durations, &fp, None, 4),
+            vec![false, false],
+            "speculation is opt-in"
+        );
+    }
+
+    #[test]
+    fn zero_cost_hints_never_speculate() {
+        let specs = vec![spec("z", 0.0)];
+        let fp = FaultPlan::new(&[], RetryPolicy::none());
+        assert_eq!(
+            speculation_flags(&specs, &[100.0], &fp, Some(1.5), 4),
+            vec![false]
+        );
+    }
+}

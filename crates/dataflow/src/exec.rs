@@ -7,7 +7,7 @@
 //!
 //! ```
 //! use summitfold_dataflow::exec::Batch;
-//! use summitfold_dataflow::sim::SimExecutor;
+//! use summitfold_dataflow::sim::VirtualExecutor;
 //! use summitfold_dataflow::{OrderingPolicy, TaskSpec};
 //!
 //! let specs: Vec<TaskSpec> = (0..40)
@@ -16,7 +16,7 @@
 //! let outcome = Batch::new(&specs)
 //!     .workers(6)
 //!     .policy(OrderingPolicy::LongestFirst)
-//!     .run(&SimExecutor::new(0.5))
+//!     .run(&VirtualExecutor::new(0.5))
 //!     .expect("valid batch");
 //! assert_eq!(outcome.records.len(), 40);
 //! assert!(outcome.utilization() > 0.5);
@@ -73,6 +73,17 @@ pub enum BatchError {
         /// Workers scheduled to die.
         dying: usize,
     },
+    /// A fault names a worker id outside the standard lane.
+    FaultWorkerOutOfRange {
+        /// The out-of-range worker id.
+        worker: usize,
+        /// Workers in the batch.
+        workers: usize,
+    },
+    /// The walltime budget is not a finite non-negative number.
+    InvalidDeadline,
+    /// The speculation factor is not a finite number greater than 1.
+    InvalidSpeculation,
     /// The retry/quarantine/journal configuration cannot complete.
     Resilience(ResilienceError),
 }
@@ -97,6 +108,16 @@ impl std::fmt::Display for BatchError {
                 f,
                 "all workers die under the fault schedule ({dying} of {workers}); at least one must survive"
             ),
+            Self::FaultWorkerOutOfRange { worker, workers } => write!(
+                f,
+                "fault schedule names worker {worker}, but the batch has workers 0..{workers}"
+            ),
+            Self::InvalidDeadline => {
+                write!(f, "deadline must be a finite non-negative number of seconds")
+            }
+            Self::InvalidSpeculation => {
+                write!(f, "speculation factor must be finite and greater than 1")
+            }
             Self::Resilience(e) => write!(f, "{e}"),
         }
     }
@@ -145,10 +166,50 @@ pub struct Plan<'a> {
     pub quarantine_workers: Option<usize>,
     /// Checkpoint journal to append completions to, if any.
     pub journal: Option<&'a Journal>,
+    /// Walltime budget in seconds: backends stop dispatching tasks whose
+    /// completion would overrun it (`None` = unbounded). On the virtual
+    /// backend the budget is an absolute virtual-time horizon, so a
+    /// resumed batch reuses the schedule's original clock — pass a later
+    /// horizon to model the follow-on job's fresh allocation.
+    pub deadline: Option<f64>,
+    /// Straggler-speculation factor `k` (`None` = speculation off): a
+    /// clean task whose modeled duration exceeds `k × cost_hint` gets a
+    /// speculative duplicate on an idle worker.
+    pub speculation: Option<f64>,
     /// Tasks already completed per a resume journal, by id. Backends
     /// must not re-schedule them; see [`Batch::resume`] for the exact
     /// per-backend semantics.
     pub completed: BTreeMap<String, JournalEntry>,
+}
+
+/// Whether a batch ran to completion or was cut by its walltime budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Every task completed.
+    Complete,
+    /// The deadline cut dispatching; the named tasks carried over to a
+    /// follow-on job (in queue-policy order).
+    Partial {
+        /// Task ids left undone, in the order a resume would run them.
+        carried_over: Vec<String>,
+    },
+}
+
+impl BatchStatus {
+    /// Whether the batch was cut by its deadline.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        matches!(self, Self::Partial { .. })
+    }
+
+    /// The carried-over task ids (empty for a complete batch).
+    #[must_use]
+    pub fn carried_over(&self) -> &[String] {
+        match self {
+            Self::Complete => &[],
+            Self::Partial { carried_over } => carried_over,
+        }
+    }
 }
 
 /// Result of one batch execution, identical across backends.
@@ -180,6 +241,17 @@ pub struct BatchOutcome<O> {
     pub quarantine_makespan: f64,
     /// Tasks skipped because a resume journal already recorded them.
     pub resumed: usize,
+    /// Whether the batch completed or was cut by its walltime budget.
+    /// Carried-over tasks still appear in `outputs` (the closure runs
+    /// inline, as for resumed tasks) but have no completion record.
+    pub status: BatchStatus,
+    /// Losing speculative executions (attempts = 0), one per task whose
+    /// duplicate raced; not part of `records`.
+    pub cancelled: Vec<TaskRecord>,
+    /// Tasks that actually ran a speculative duplicate.
+    pub speculated: usize,
+    /// Speculated tasks whose duplicate finished first.
+    pub speculation_wins: usize,
 }
 
 impl<O> BatchOutcome<O> {
@@ -258,6 +330,15 @@ impl<O> BatchOutcome<O> {
         }
     }
 
+    /// Completion records followed by cancelled speculative executions —
+    /// the full set of worker activity, as the stats CSV reports it.
+    #[must_use]
+    pub fn all_records(&self) -> Vec<TaskRecord> {
+        let mut out = self.records.clone();
+        out.extend(self.cancelled.iter().cloned());
+        out
+    }
+
     /// Records belonging to one worker, sorted by start time (one row of
     /// Fig 2).
     #[must_use]
@@ -305,6 +386,8 @@ pub struct Batch<'a> {
     task_faults: &'a [TaskFault],
     quarantine_workers: Option<usize>,
     journal: Option<&'a Journal>,
+    deadline: Option<f64>,
+    speculation: Option<f64>,
 }
 
 impl<'a> Batch<'a> {
@@ -323,6 +406,8 @@ impl<'a> Batch<'a> {
             task_faults: &[],
             quarantine_workers: None,
             journal: None,
+            deadline: None,
+            speculation: None,
         }
     }
 
@@ -340,8 +425,9 @@ impl<'a> Batch<'a> {
         self
     }
 
-    /// Attach a worker-death schedule (thread backend only; the
-    /// simulator ignores faults).
+    /// Attach a worker-death schedule (both backends honor it: the
+    /// thread pool's workers really exit, the simulator retires their
+    /// slots in virtual time).
     #[must_use]
     pub fn faults(mut self, faults: &'a [WorkerFault]) -> Self {
         self.faults = faults;
@@ -403,6 +489,39 @@ impl<'a> Batch<'a> {
         self
     }
 
+    /// Set a walltime budget: dispatching stops at the first task whose
+    /// completion would overrun `seconds`, in-flight work finishes, the
+    /// leftover is journaled as carried-over, and the outcome's status
+    /// becomes [`BatchStatus::Partial`]. On the virtual backend the
+    /// budget is an absolute virtual-time horizon (a resumed batch keeps
+    /// the original clock, so pass a later horizon for each follow-on
+    /// job); on the thread backend it is wall-clock seconds since batch
+    /// start.
+    #[must_use]
+    pub fn deadline(mut self, seconds: f64) -> Self {
+        self.deadline = Some(seconds);
+        self
+    }
+
+    /// Enable straggler speculation at the default `k×` threshold
+    /// ([`crate::deadline::DEFAULT_SPECULATION_FACTOR`]).
+    #[must_use]
+    pub fn speculate(self) -> Self {
+        self.speculation(crate::deadline::DEFAULT_SPECULATION_FACTOR)
+    }
+
+    /// Enable straggler speculation: a clean task whose modeled duration
+    /// exceeds `factor × cost_hint` gets a speculative duplicate on an
+    /// idle worker; the first completion wins and the loser is recorded
+    /// as cancelled (attempts = 0). Both backends derive the decision
+    /// from [`crate::deadline::speculation_flags`], so they agree on
+    /// which tasks speculate.
+    #[must_use]
+    pub fn speculation(mut self, factor: f64) -> Self {
+        self.speculation = Some(factor);
+        self
+    }
+
     fn validate(&self, items: usize) -> Result<Plan<'a>, BatchError> {
         if self.workers == 0 || self.quarantine_workers == Some(0) {
             return Err(BatchError::NoWorkers);
@@ -421,16 +540,33 @@ impl<'a> Batch<'a> {
                 });
             }
         }
+        if let Some(fault) = self.faults.iter().find(|f| f.worker >= self.workers) {
+            return Err(BatchError::FaultWorkerOutOfRange {
+                worker: fault.worker,
+                workers: self.workers,
+            });
+        }
         let dying = self
             .faults
             .iter()
-            .filter(|f| f.worker < self.workers)
-            .count();
+            .map(|f| f.worker)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
         if dying >= self.workers {
             return Err(BatchError::AllWorkersDie {
                 workers: self.workers,
                 dying,
             });
+        }
+        if let Some(d) = self.deadline {
+            if !d.is_finite() || d < 0.0 {
+                return Err(BatchError::InvalidDeadline);
+            }
+        }
+        if let Some(k) = self.speculation {
+            if !k.is_finite() || k <= 1.0 {
+                return Err(BatchError::InvalidSpeculation);
+            }
         }
         // The fault schedule is a pure function of the description, so a
         // task doomed to exhaust every configured lane is rejected here —
@@ -470,6 +606,8 @@ impl<'a> Batch<'a> {
             task_faults: self.task_faults,
             quarantine_workers: self.quarantine_workers,
             journal: self.journal,
+            deadline: self.deadline,
+            speculation: self.speculation,
             completed: BTreeMap::new(),
         })
     }
@@ -537,6 +675,16 @@ impl<'a> Batch<'a> {
                 return Err(ResilienceError::UnknownJournalTask { task: task.clone() }.into());
             }
         }
+        for task in journal.carried_over() {
+            if !known.contains(task.as_str()) {
+                return Err(ResilienceError::UnknownJournalTask { task }.into());
+            }
+        }
+        if journal.had_torn_tail() && self.recorder.is_enabled() {
+            // A kill mid-append truncated the journal's final line; the
+            // partial entry was dropped and that task re-runs.
+            self.recorder.add("dataflow/journal_torn", 1.0);
+        }
         plan.completed = completed;
         let items = vec![(); self.specs.len()];
         let outcome = exec.execute(&plan, &items, &|_: &TaskSpec, (): &()| ());
@@ -566,14 +714,18 @@ pub fn open_batch_span(plan: &Plan<'_>) -> (SpanId, f64) {
 /// clocks to the batch end so the span duration equals the makespan.
 ///
 /// Resilience telemetry rides along: `dataflow/retries`,
-/// `dataflow/quarantined` and `dataflow/resumed` counters, plus a nested
-/// `{label}:quarantine` span covering the rerun pass when one happened.
+/// `dataflow/quarantined`, `dataflow/resumed`, `dataflow/speculated`,
+/// `dataflow/speculation_wins` and `dataflow/deadline_carryover`
+/// counters, cancelled speculative executions as task events with
+/// attempts = 0, a nested `{label}:quarantine` span covering the rerun
+/// pass when one happened, and a zero-duration `{label}:carryover`
+/// marker span when the deadline cut the batch.
 pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &BatchOutcome<O>) {
     let rec = plan.recorder;
     if !rec.is_enabled() {
         return;
     }
-    for r in &outcome.records {
+    for r in outcome.records.iter().chain(&outcome.cancelled) {
         rec.task(
             Some(span),
             &r.task_id,
@@ -599,6 +751,10 @@ pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &Bat
     if outcome.resumed > 0 {
         rec.add("dataflow/resumed", outcome.resumed as f64);
     }
+    if outcome.speculated > 0 {
+        rec.add("dataflow/speculated", outcome.speculated as f64);
+        rec.add("dataflow/speculation_wins", outcome.speculation_wins as f64);
+    }
     if outcome.quarantined > 0 && outcome.quarantine_makespan > 0.0 {
         // On a virtual clock the quarantine span covers exactly the
         // rerun tail; a wall clock has already passed it, so the span
@@ -607,6 +763,15 @@ pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &Bat
         let q = rec.span_start(&format!("{}:quarantine", plan.label));
         rec.advance_clock_to(t0 + outcome.makespan);
         rec.span_end(q);
+    }
+    let carried = outcome.status.carried_over();
+    if !carried.is_empty() {
+        // The carryover marker span: zero duration at the cut point,
+        // with a counter carrying how many tasks move to the next job.
+        rec.add("dataflow/deadline_carryover", carried.len() as f64);
+        rec.advance_clock_to(t0 + outcome.makespan);
+        let c = rec.span_start(&format!("{}:carryover", plan.label));
+        rec.span_end(c);
     }
     rec.advance_clock_to(t0 + outcome.makespan);
     rec.span_end(span);
@@ -630,7 +795,7 @@ pub fn per_worker_stats(records: &[TaskRecord], workers: usize) -> (Vec<f64>, Ve
 mod tests {
     use super::*;
     use crate::real::ThreadExecutor;
-    use crate::sim::SimExecutor;
+    use crate::sim::VirtualExecutor;
 
     fn specs(n: usize) -> Vec<TaskSpec> {
         (0..n)
@@ -641,7 +806,7 @@ mod tests {
     #[test]
     fn zero_workers_is_a_typed_error() {
         let s = specs(4);
-        let err = Batch::new(&s).workers(0).run(&SimExecutor::new(0.0));
+        let err = Batch::new(&s).workers(0).run(&VirtualExecutor::new(0.0));
         assert_eq!(err.unwrap_err(), BatchError::NoWorkers);
     }
 
@@ -663,7 +828,7 @@ mod tests {
         let err = Batch::new(&s)
             .workers(2)
             .durations(&durations)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap_err();
         assert_eq!(
             err,
@@ -699,16 +864,71 @@ mod tests {
                 dying: 2
             }
         );
-        // Faults aimed at nonexistent workers don't count.
+        // Two faults on the same worker count it once.
+        let twice = [
+            WorkerFault {
+                worker: 0,
+                tasks_before_death: 1,
+            },
+            WorkerFault {
+                worker: 0,
+                tasks_before_death: 5,
+            },
+        ];
+        assert!(Batch::new(&s)
+            .workers(2)
+            .faults(&twice)
+            .run(&ThreadExecutor)
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_on_a_nonexistent_worker_is_a_typed_error() {
+        let s = specs(10);
         let high = [WorkerFault {
             worker: 9,
             tasks_before_death: 0,
         }];
-        assert!(Batch::new(&s)
+        let err = Batch::new(&s)
             .workers(2)
             .faults(&high)
             .run(&ThreadExecutor)
-            .is_ok());
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::FaultWorkerOutOfRange {
+                worker: 9,
+                workers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bad_deadline_and_speculation_are_typed_errors() {
+        let s = specs(4);
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = Batch::new(&s)
+                .workers(2)
+                .deadline(bad)
+                .run(&VirtualExecutor::new(0.0))
+                .unwrap_err();
+            assert_eq!(err, BatchError::InvalidDeadline, "deadline {bad}");
+        }
+        for bad in [f64::NAN, 1.0, 0.5, -2.0] {
+            let err = Batch::new(&s)
+                .workers(2)
+                .speculation(bad)
+                .run(&VirtualExecutor::new(0.0))
+                .unwrap_err();
+            assert_eq!(err, BatchError::InvalidSpeculation, "factor {bad}");
+        }
+        // A zero deadline is legal: everything carries over.
+        let r = Batch::new(&s)
+            .workers(2)
+            .deadline(0.0)
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(r.status.carried_over().len(), 4);
     }
 
     #[test]
@@ -726,11 +946,19 @@ mod tests {
                 dying: 2,
             }
             .to_string(),
+            BatchError::FaultWorkerOutOfRange {
+                worker: 9,
+                workers: 2,
+            }
+            .to_string(),
+            BatchError::InvalidDeadline.to_string(),
+            BatchError::InvalidSpeculation.to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());
         }
         assert!(msgs[1].contains("1 task specs but 2 items"), "{}", msgs[1]);
+        assert!(msgs[4].contains("worker 9"), "{}", msgs[4]);
     }
 
     #[test]
@@ -753,7 +981,7 @@ mod tests {
         let err = Batch::new(&s)
             .workers(2)
             .task_faults(&faults)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap_err();
         match &err {
             BatchError::Resilience(ResilienceError::TaskExhausted {
@@ -778,7 +1006,7 @@ mod tests {
             .task_faults(&faults)
             .retry(crate::retry::RetryPolicy::new(2, 0.0, 0.0))
             .quarantine(1)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap_err();
         assert!(matches!(
             err,
@@ -792,7 +1020,7 @@ mod tests {
         let err = Batch::new(&s)
             .workers(2)
             .quarantine(0)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap_err();
         assert_eq!(err, BatchError::NoWorkers);
     }
@@ -802,7 +1030,7 @@ mod tests {
         let s = specs(0);
         let sim = Batch::new(&s)
             .workers(3)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert!(sim.records.is_empty());
         assert_eq!(sim.makespan, 0.0);

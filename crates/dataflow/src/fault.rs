@@ -4,12 +4,18 @@
 //! §3.3 notes that over-large proteins "will have failed to process" and
 //! were re-run on high-memory nodes — failed work re-enters the queue
 //! rather than killing the batch. Dask behaves the same way when a worker
-//! is lost. The semantics live in [`crate::real::ThreadExecutor`]: attach
-//! a [`WorkerFault`] schedule with [`crate::exec::Batch::faults`] and a
-//! worker that dies between pulling and completing a task returns it to
-//! the queue (exactly-once *completion*, at-least-once execution), and
-//! the batch drains on the survivors. Task-level failure shapes (a task
-//! that fails rather than a worker that dies) live in [`crate::retry`].
+//! is lost. Both executors model the semantics: attach a [`WorkerFault`]
+//! schedule with [`crate::exec::Batch::faults`] and a worker that dies
+//! between pulling and completing a task returns it to the queue
+//! (exactly-once *completion*, at-least-once execution), and the batch
+//! drains on the survivors — [`crate::real::ThreadExecutor`] on the wall
+//! clock, [`crate::sim::VirtualExecutor`] in virtual time, agreeing on
+//! deaths, requeues, and per-worker task counts (`tests/chaos.rs` pins
+//! the cross-executor agreement). A fault naming a worker outside
+//! `0..workers` is rejected at plan time with
+//! [`crate::exec::BatchError::FaultWorkerOutOfRange`]. Task-level
+//! failure shapes (a task that fails rather than a worker that dies)
+//! live in [`crate::retry`].
 
 /// A worker-death schedule: worker `w` dies after completing
 /// `tasks_before_death` tasks (the next task it pulls is abandoned and

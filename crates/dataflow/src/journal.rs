@@ -14,7 +14,15 @@
 //!
 //! ```text
 //! {"event":"task_done","task":"DVU_00042/model_3","worker":5,"start":0.5,"end":30.25,"attempts":2}
+//! {"event":"task_carryover","task":"DVU_00117/model_1"}
 //! ```
+//!
+//! `task_carryover` lines name tasks a deadline-cut batch left undone
+//! (see `Batch::deadline`), in the order a resume would run them. A kill
+//! mid-append can truncate the file mid-byte; [`Journal::parse_jsonl`]
+//! drops such a torn final line (the half-written task simply re-runs)
+//! and flags it via [`Journal::had_torn_tail`], which `Batch::resume`
+//! surfaces as a `dataflow/journal_torn` counter.
 
 use crate::retry::ResilienceError;
 use std::collections::BTreeMap;
@@ -57,6 +65,8 @@ impl JournalEntry {
 #[derive(Debug, Default)]
 pub struct Journal {
     entries: Mutex<Vec<JournalEntry>>,
+    carryover: Mutex<Vec<String>>,
+    torn_tail: bool,
 }
 
 impl Journal {
@@ -97,14 +107,43 @@ impl Journal {
         self.lock().is_empty()
     }
 
+    /// Note a task the deadline left undone, in resume order. Carryover
+    /// lines are written at batch end, after every completion.
+    pub fn record_carryover(&self, task: impl Into<String>) {
+        self.carryover
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(task.into());
+    }
+
+    /// Tasks journaled as carried over by a deadline-cut batch, in the
+    /// order a resume would run them.
+    #[must_use]
+    pub fn carried_over(&self) -> Vec<String> {
+        self.carryover
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Whether [`Journal::parse_jsonl`] dropped a torn final line (the
+    /// producing batch was killed mid-append).
+    #[must_use]
+    pub fn had_torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
     /// A new journal holding only the first `n` entries — the state on
-    /// disk after a batch was killed at that task boundary.
+    /// disk after a batch was killed at that task boundary. Carryover
+    /// lines are dropped: they are written only at a clean batch end,
+    /// after the last completion.
     #[must_use]
     pub fn truncated(&self, n: usize) -> Self {
         let mut entries = self.entries();
         entries.truncate(n);
         Self {
             entries: Mutex::new(entries),
+            ..Self::default()
         }
     }
 
@@ -118,14 +157,26 @@ impl Journal {
             .collect()
     }
 
-    /// Serialize as JSONL, one `task_done` object per line, trailing
+    /// Serialize as JSONL: one `task_done` object per completion, then
+    /// one `task_carryover` object per carried-over task, trailing
     /// newline (empty string for an empty journal).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let entries = self.lock();
-        let mut out = String::with_capacity(entries.len() * 96);
+        let carryover = self
+            .carryover
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::with_capacity(entries.len() * 96 + carryover.len() * 48);
         for e in entries.iter() {
             out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        for task in carryover.iter() {
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "task_carryover");
+            w.str_field("task", task);
+            out.push_str(&w.finish());
             out.push('\n');
         }
         out
@@ -133,12 +184,22 @@ impl Journal {
 
     /// Parse a JSONL journal written by [`Journal::to_jsonl`].
     ///
+    /// A malformed *final* line in a text not ending with a newline is a
+    /// torn tail — the producer was killed mid-append. The partial entry
+    /// is dropped (its task re-runs on resume) and the journal reports
+    /// [`Journal::had_torn_tail`].
+    ///
     /// # Errors
     /// Returns [`ResilienceError::Journal`] naming the first malformed
-    /// line: bad JSON, a kind other than `task_done`, or a missing field.
+    /// line (bad JSON, an unknown event kind, or a missing field) other
+    /// than a torn tail.
     pub fn parse_jsonl(text: &str) -> Result<Self, ResilienceError> {
         let mut entries = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
+        let mut carryover = Vec::new();
+        let mut torn_tail = false;
+        let ends_nl = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
             let line_no = i + 1;
             let line = raw.trim();
             if line.is_empty() {
@@ -148,35 +209,61 @@ impl Journal {
                 line: line_no,
                 message,
             };
-            let obj = json::parse_object(line).map_err(|e| err(e.to_string()))?;
-            let kind = obj
-                .get("event")
-                .and_then(json::Value::as_str)
-                .ok_or_else(|| err("missing string field 'event'".into()))?;
-            if kind != "task_done" {
-                return Err(err(format!("unknown event kind '{kind}'")));
+            let last = i + 1 == lines.len();
+            match Self::parse_line(line) {
+                Ok(ParsedLine::Done(entry)) => entries.push(entry),
+                Ok(ParsedLine::Carryover(task)) => carryover.push(task),
+                // The half-written final line of a killed append carries
+                // no usable data; the task it named simply re-runs.
+                Err(_) if last && !ends_nl => torn_tail = true,
+                Err(message) => return Err(err(message)),
             }
-            let need_num = |key: &str| {
-                obj.get(key)
-                    .and_then(json::Value::as_num)
-                    .ok_or_else(|| err(format!("missing numeric field '{key}'")))
-            };
-            entries.push(JournalEntry {
-                task: obj
-                    .get("task")
-                    .and_then(json::Value::as_str)
-                    .ok_or_else(|| err("missing string field 'task'".into()))?
-                    .to_string(),
-                worker: need_num("worker")? as usize,
-                start: need_num("start")?,
-                end: need_num("end")?,
-                attempts: need_num("attempts")? as u32,
-            });
         }
         Ok(Self {
             entries: Mutex::new(entries),
+            carryover: Mutex::new(carryover),
+            torn_tail,
         })
     }
+
+    fn parse_line(line: &str) -> Result<ParsedLine, String> {
+        let obj = json::parse_object(line).map_err(|e| e.to_string())?;
+        let kind = obj
+            .get("event")
+            .and_then(json::Value::as_str)
+            .ok_or("missing string field 'event'")?;
+        let task = obj
+            .get("task")
+            .and_then(json::Value::as_str)
+            .ok_or("missing string field 'task'")?
+            .to_string();
+        match kind {
+            "task_carryover" => Ok(ParsedLine::Carryover(task)),
+            "task_done" => {
+                let need_num = |key: &str| {
+                    obj.get(key)
+                        .and_then(json::Value::as_num)
+                        .ok_or(format!("missing numeric field '{key}'"))
+                };
+                Ok(ParsedLine::Done(JournalEntry {
+                    task,
+                    worker: need_num("worker")? as usize,
+                    start: need_num("start")?,
+                    end: need_num("end")?,
+                    attempts: need_num("attempts")? as u32,
+                }))
+            }
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+}
+
+/// One parsed journal line.
+enum ParsedLine {
+    /// A `task_done` completion entry.
+    Done(JournalEntry),
+    /// A `task_carryover` name.
+    Carryover(String),
 }
 
 #[cfg(test)]
@@ -238,7 +325,9 @@ mod tests {
 
     #[test]
     fn malformed_journals_are_rejected_with_line_numbers() {
-        let bad = Journal::parse_jsonl("{\"event\":\"task\"}").unwrap_err();
+        // A trailing newline marks the line as completely written, so
+        // its malformation is a real error, not a torn append.
+        let bad = Journal::parse_jsonl("{\"event\":\"task\"}\n").unwrap_err();
         match bad {
             ResilienceError::Journal { line, message } => {
                 assert_eq!(line, 1);
@@ -246,15 +335,59 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(Journal::parse_jsonl("not json").is_err());
+        assert!(Journal::parse_jsonl("not json\n").is_err());
         let ok = sample().to_jsonl();
         let mangled = format!("{ok}{{\"event\":\"task_done\",\"task\":\"c\"}}\n");
         match Journal::parse_jsonl(&mangled).unwrap_err() {
             ResilienceError::Journal { line, .. } => assert_eq!(line, 3),
             other => panic!("unexpected {other:?}"),
         }
+        // A malformed line *before* the tail errors even without a final
+        // newline: only the very last line can be a torn append.
+        let mid = "garbage\n{\"event\":\"task_done\",\"task\":\"c\"";
+        assert!(Journal::parse_jsonl(mid).is_err());
         // Blank lines are tolerated.
         assert_eq!(Journal::parse_jsonl("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_flagged() {
+        let j = sample();
+        let text = j.to_jsonl();
+        // Kill mid-append: chop bytes off the final line, leaving no
+        // trailing newline. Every cut inside the last line must parse to
+        // the surviving prefix with the torn flag set.
+        let last_line_start = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+        for cut in last_line_start + 1..text.len() - 1 {
+            let torn = Journal::parse_jsonl(&text[..cut]).expect("torn tail tolerated");
+            assert_eq!(torn.len(), 1, "cut at byte {cut}");
+            assert_eq!(torn.entries()[0].task, "a");
+            assert!(torn.had_torn_tail(), "cut at byte {cut}");
+        }
+        // An intact journal reports no torn tail.
+        assert!(!Journal::parse_jsonl(&text).unwrap().had_torn_tail());
+    }
+
+    #[test]
+    fn carryover_lines_round_trip_after_completions() {
+        let j = sample();
+        j.record_carryover("x");
+        j.record_carryover("y");
+        let text = j.to_jsonl();
+        assert!(
+            text.ends_with(
+                "{\"event\":\"task_carryover\",\"task\":\"x\"}\n\
+                 {\"event\":\"task_carryover\",\"task\":\"y\"}\n"
+            ),
+            "{text}"
+        );
+        let parsed = Journal::parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.carried_over(), vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(parsed.len(), 2, "carryover lines are not completions");
+        assert_eq!(parsed.to_jsonl(), text);
+        // Truncation models a kill: carryover lines (written only at a
+        // clean end) are dropped.
+        assert!(j.truncated(1).carried_over().is_empty());
     }
 
     #[test]

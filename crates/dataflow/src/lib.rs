@@ -18,7 +18,7 @@
 //!   run the workspace's genuine compute (alignment, folding,
 //!   minimization) in parallel, optionally under a worker-death schedule
 //!   ([`fault::WorkerFault`]);
-//! * [`sim::SimExecutor`] — virtual-time list scheduling for
+//! * [`sim::VirtualExecutor`] — virtual-time list scheduling for
 //!   Summit-scale runs (6000 workers × hours), producing the same
 //!   per-task records without running anything.
 //!
@@ -40,7 +40,17 @@
 //! JSONL) that lets `exec::Batch::resume` restart a killed batch
 //! executing only unfinished tasks. Both backends share the same fault
 //! arithmetic, so attempt counts agree executor-to-executor.
+//!
+//! The deadline layer (see [`deadline`]) adds walltime budgets — a batch
+//! stops dispatching tasks that would overrun `Batch::deadline`, journals
+//! the leftovers as carried over, and returns
+//! [`exec::BatchStatus::Partial`] so a follow-on job can resume exactly —
+//! and straggler speculation: tasks running past `k×` their expected
+//! duration race a duplicate on an idle worker, first completion wins.
+//! Both decisions derive from pure functions shared by the backends, so
+//! the virtual and thread executors pick the identical speculation set.
 
+pub mod deadline;
 pub mod exec;
 pub mod fault;
 pub mod journal;
@@ -52,7 +62,7 @@ pub mod stats;
 mod sync;
 pub mod task;
 
-pub use exec::{Batch, BatchError, BatchOutcome, Executor};
+pub use exec::{Batch, BatchError, BatchOutcome, BatchStatus, Executor};
 pub use journal::{Journal, JournalEntry};
 pub use policy::OrderingPolicy;
 pub use retry::{ResilienceError, RetryPolicy, TaskFault, TaskFaultKind};

@@ -19,20 +19,26 @@
 //! and the task-level fault model (see [`crate::retry`]): failed attempts
 //! really re-execute the closure, backoff delays really sleep, and tasks
 //! that exhaust the standard lane re-run in a second scope of high-memory
-//! workers once the standard lane drains. Resume replays journaled
-//! records verbatim (wall-clock times are not reproducible) and schedules
-//! only the remainder; outputs of replayed tasks are recomputed inline so
-//! the outcome stays fully populated for any output type.
+//! workers once the standard lane drains. A deadline stops workers from
+//! starting tasks whose modeled duration would overrun the wall-clock
+//! budget (in-flight work finishes; the rest carries over), and tasks
+//! flagged by [`crate::deadline::speculation_flags`] enqueue a
+//! speculative twin the moment their primary starts — the first
+//! completion claims the task, the loser records as cancelled. Resume
+//! replays journaled records verbatim (wall-clock times are not
+//! reproducible) and schedules only the remainder; outputs of replayed
+//! and carried-over tasks are recomputed inline so the outcome stays
+//! fully populated for any output type.
 
 use crate::exec::{
-    close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, Executor, Plan,
+    close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, BatchStatus, Executor, Plan,
 };
 use crate::journal::JournalEntry;
 use crate::retry::{FaultPlan, Lane, PassOutcome};
 use crate::sync::lock;
 use crate::task::{TaskRecord, TaskSpec};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -64,6 +70,22 @@ impl Executor for ThreadExecutor {
         let specs = plan.specs;
         let has_faults = !plan.faults.is_empty();
         let fault_plan = FaultPlan::new(plan.task_faults, plan.retry);
+        let owned_durations: Vec<f64>;
+        let model_durations: &[f64] = match plan.durations {
+            Some(d) => d,
+            None => {
+                owned_durations = specs.iter().map(|s| s.cost_hint).collect();
+                &owned_durations
+            }
+        };
+        let spec_flags = crate::deadline::speculation_flags(
+            specs,
+            model_durations,
+            &fault_plan,
+            plan.speculation,
+            plan.workers,
+        );
+        let speculating = spec_flags.iter().any(|&b| b);
 
         // Resume: tasks the journal already records are not re-enqueued.
         // Their records replay verbatim (wall-clock times cannot be
@@ -92,12 +114,15 @@ impl Executor for ThreadExecutor {
             }
         }
 
-        // The scheduler queue: pending task indices in policy order. The
-        // whole batch is enqueued before any worker starts; workers drain
-        // the deque until it is empty (or, under faults, until the
-        // remaining counter proves every task resolved).
+        // The scheduler queue: pending (task index, is_twin) pairs in
+        // policy order. The whole batch is enqueued before any worker
+        // starts; workers drain the deque until the remaining counter
+        // proves every primary resolved (twins of claimed tasks drop
+        // silently), a dying worker re-queues its pull, or the deadline
+        // stops dispatch.
         let pending = order.len();
-        let queue: Mutex<VecDeque<usize>> = Mutex::new(order);
+        let queue: Mutex<VecDeque<(usize, bool)>> =
+            Mutex::new(order.into_iter().map(|idx| (idx, false)).collect());
 
         // Registration list: workers announce themselves before accepting
         // work.
@@ -105,8 +130,14 @@ impl Executor for ThreadExecutor {
 
         let outputs: Mutex<Vec<Option<O>>> = Mutex::new(initial_outputs);
         let records: Mutex<Vec<TaskRecord>> = Mutex::new(initial_records);
+        let cancelled: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::new());
         let quarantine: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        // First-completion-wins claims for speculated tasks.
+        let claims: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let requeued = AtomicUsize::new(0);
+        let speculated = AtomicUsize::new(0);
+        let speculation_wins = AtomicUsize::new(0);
+        let deadline_hit = AtomicBool::new(false);
         let remaining = AtomicUsize::new(pending);
         let epoch = Instant::now();
 
@@ -121,37 +152,110 @@ impl Executor for ThreadExecutor {
                 let registered = &registered;
                 let outputs = &outputs;
                 let records = &records;
+                let cancelled = &cancelled;
                 let quarantine = &quarantine;
+                let claims = &claims;
                 let requeued = &requeued;
+                let speculated = &speculated;
+                let speculation_wins = &speculation_wins;
+                let deadline_hit = &deadline_hit;
                 let remaining = &remaining;
                 let fault_plan = &fault_plan;
+                let spec_flags = &spec_flags;
                 scope.spawn(move || {
                     lock(registered).push(worker_id);
                     let mut completed = 0usize;
                     loop {
-                        if has_faults && remaining.load(Ordering::Acquire) == 0 {
-                            return; // every task resolved somewhere
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            return; // every primary resolved somewhere
                         }
-                        let Some(idx) = lock(queue).pop_front() else {
-                            if has_faults {
+                        if deadline_hit.load(Ordering::Acquire) {
+                            return; // dispatch stopped; leftovers carry over
+                        }
+                        let Some((idx, twin)) = lock(queue).pop_front() else {
+                            if has_faults || speculating {
                                 // Queue momentarily empty but tasks may be
-                                // re-queued by dying workers; spin politely.
+                                // re-queued by dying workers (or twins
+                                // enqueued by starting primaries); spin
+                                // politely.
                                 std::thread::yield_now();
                                 continue;
                             }
                             return; // queue drained — batch complete for this worker
                         };
                         if budget == Some(completed) {
-                            // The worker dies holding this task: re-queue
+                            // The worker dies holding this pull: re-queue
                             // it and exit (Dask reschedules tasks of lost
-                            // workers the same way).
-                            lock(queue).push_back(idx);
-                            requeued.fetch_add(1, Ordering::Relaxed);
+                            // workers the same way). Only primaries count
+                            // as re-queued work.
+                            lock(queue).push_back((idx, twin));
+                            if !twin {
+                                requeued.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return;
+                        }
+                        if twin {
+                            // Speculative duplicate: skip if the primary
+                            // already claimed the task (never launched).
+                            if claims[idx].load(Ordering::Acquire) {
+                                continue;
+                            }
+                            speculated.fetch_add(1, Ordering::Relaxed);
+                            let start = epoch.elapsed().as_secs_f64();
+                            let out = f(&specs[idx], &items[idx]);
+                            let end = epoch.elapsed().as_secs_f64();
+                            if claims[idx].swap(true, Ordering::AcqRel) {
+                                // The primary finished first: this
+                                // execution cancels (attempts = 0).
+                                lock(cancelled).push(TaskRecord {
+                                    task_id: specs[idx].id.clone(),
+                                    worker_id,
+                                    start,
+                                    end,
+                                    attempts: 0,
+                                });
+                            } else {
+                                speculation_wins.fetch_add(1, Ordering::Relaxed);
+                                lock(outputs)[idx] = Some(out);
+                                if let Some(journal) = plan.journal {
+                                    journal.record(JournalEntry {
+                                        task: specs[idx].id.clone(),
+                                        worker: worker_id,
+                                        start,
+                                        end,
+                                        attempts: 1,
+                                    });
+                                }
+                                lock(records).push(TaskRecord {
+                                    task_id: specs[idx].id.clone(),
+                                    worker_id,
+                                    start,
+                                    end,
+                                    attempts: 1,
+                                });
+                                remaining.fetch_sub(1, Ordering::Release);
+                                completed += 1;
+                            }
+                            continue;
+                        }
+                        if plan.deadline.is_some_and(|dl| {
+                            epoch.elapsed().as_secs_f64() + model_durations[idx] > dl
+                        }) {
+                            // Starting this task would overrun the
+                            // walltime budget: put it back at the head
+                            // and stop all dispatch.
+                            lock(queue).push_front((idx, false));
+                            deadline_hit.store(true, Ordering::Release);
                             return;
                         }
                         let start = epoch.elapsed().as_secs_f64();
                         match fault_plan.pass(&specs[idx].id, Lane::Standard, 0) {
                             PassOutcome::Succeeds { failures } => {
+                                if spec_flags[idx] {
+                                    // Enqueue the speculative twin before
+                                    // starting, so an idle worker races it.
+                                    lock(queue).push_back((idx, true));
+                                }
                                 // Failed attempts really execute (their
                                 // results are discarded) and the backoff
                                 // delays really sleep on this worker.
@@ -161,6 +265,18 @@ impl Executor for ThreadExecutor {
                                 }
                                 let out = f(&specs[idx], &items[idx]);
                                 let end = epoch.elapsed().as_secs_f64();
+                                if spec_flags[idx] && claims[idx].swap(true, Ordering::AcqRel) {
+                                    // The twin finished first: this
+                                    // execution cancels (attempts = 0).
+                                    lock(cancelled).push(TaskRecord {
+                                        task_id: specs[idx].id.clone(),
+                                        worker_id,
+                                        start,
+                                        end,
+                                        attempts: 0,
+                                    });
+                                    continue;
+                                }
                                 lock(outputs)[idx] = Some(out);
                                 if let Some(journal) = plan.journal {
                                     journal.record(JournalEntry {
@@ -202,24 +318,39 @@ impl Executor for ThreadExecutor {
         });
 
         let pass1_elapsed = epoch.elapsed().as_secs_f64();
+        let standard_cut = deadline_hit.load(Ordering::Acquire);
+        // Undispatched primaries whose twins did not finish for them carry
+        // over to a follow-on batch.
+        let mut carryover_idx: Vec<usize> = queue
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .into_iter()
+            .filter(|&(idx, twin)| !twin && !claims[idx].load(Ordering::Acquire))
+            .map(|(idx, _)| idx)
+            .collect();
         let mut quarantined_tasks = quarantine.into_inner().unwrap_or_else(|p| p.into_inner());
         // Race-free deterministic rerun order regardless of which worker
         // exhausted which task first.
         quarantined_tasks.sort_unstable();
-        let quarantined = quarantined_tasks.len();
         let q_width = plan.quarantine_workers.unwrap_or(0);
 
         // Quarantine rerun lane: a second scope of wider-memory workers
         // (ids following the standard lane's) drains the exhausted tasks
-        // after the standard lane finishes — §3.3's dedicated rerun.
-        if quarantined > 0 {
+        // after the standard lane finishes — §3.3's dedicated rerun. A
+        // deadline that already cut the standard lane skips the rerun
+        // entirely (its start time would differ in the follow-on run), so
+        // the exhausted tasks carry over instead.
+        let mut quarantined = 0usize;
+        if !quarantined_tasks.is_empty() && !standard_cut {
             let qqueue: Mutex<VecDeque<usize>> =
                 Mutex::new(quarantined_tasks.iter().copied().collect());
+            let q_deadline_hit = AtomicBool::new(false);
             let prior = plan.retry.max_attempts;
             std::thread::scope(|scope| {
                 for q in 0..q_width {
                     let worker_id = plan.workers + q;
                     let qqueue = &qqueue;
+                    let q_deadline_hit = &q_deadline_hit;
                     let registered = &registered;
                     let outputs = &outputs;
                     let records = &records;
@@ -227,9 +358,19 @@ impl Executor for ThreadExecutor {
                     scope.spawn(move || {
                         lock(registered).push(worker_id);
                         loop {
+                            if q_deadline_hit.load(Ordering::Acquire) {
+                                return;
+                            }
                             let Some(idx) = lock(qqueue).pop_front() else {
                                 return;
                             };
+                            if plan.deadline.is_some_and(|dl| {
+                                epoch.elapsed().as_secs_f64() + model_durations[idx] > dl
+                            }) {
+                                lock(qqueue).push_front(idx);
+                                q_deadline_hit.store(true, Ordering::Release);
+                                return;
+                            }
                             let start = epoch.elapsed().as_secs_f64();
                             // Validation rejects tasks that exhaust even
                             // this lane, so the pass always succeeds.
@@ -266,6 +407,11 @@ impl Executor for ThreadExecutor {
                     });
                 }
             });
+            let leftover = qqueue.into_inner().unwrap_or_else(|p| p.into_inner());
+            quarantined = quarantined_tasks.len() - leftover.len();
+            carryover_idx.extend(leftover);
+        } else if standard_cut {
+            carryover_idx.extend(quarantined_tasks.iter().copied());
         }
 
         let elapsed = epoch.elapsed().as_secs_f64();
@@ -274,22 +420,49 @@ impl Executor for ThreadExecutor {
             .into_inner()
             .unwrap_or_else(|p| p.into_inner())
             .into_iter()
-            // sfcheck::allow(panic-hygiene, scope exit proves every task completed, so every slot is Some)
-            .map(|o| o.expect("every task ran"))
+            .enumerate()
+            // Carried-over tasks never ran; recompute their outputs inline
+            // so callers still get a dense result vector.
+            .map(|(i, o)| o.unwrap_or_else(|| f(&specs[i], &items[i])))
             .collect();
         let records = records.into_inner().unwrap_or_else(|p| p.into_inner());
+        let cancelled = cancelled.into_inner().unwrap_or_else(|p| p.into_inner());
         // Replayed journal records may end later than this run's clock.
-        let makespan = records.iter().fold(elapsed, |m, r| m.max(r.end));
+        let makespan = records
+            .iter()
+            .chain(cancelled.iter())
+            .fold(elapsed, |m, r| m.max(r.end));
         let lanes_width = plan.workers + if quarantined > 0 { q_width } else { 0 };
-        let (worker_busy, worker_finish) = per_worker_stats(&records, lanes_width);
+        let all_recorded: Vec<TaskRecord> =
+            records.iter().chain(cancelled.iter()).cloned().collect();
+        let (worker_busy, worker_finish) = per_worker_stats(&all_recorded, lanes_width);
         let deaths = plan
             .faults
             .iter()
-            .filter(|fault| fault.worker < plan.workers)
-            .count();
+            .map(|fault| fault.worker)
+            .collect::<BTreeSet<_>>()
+            .len();
+        // Carryover names are journalled and reported in submission-index
+        // order on both backends.
+        carryover_idx.sort_unstable();
+        let carried_over: Vec<String> = carryover_idx
+            .iter()
+            .map(|&idx| specs[idx].id.clone())
+            .collect();
+        if let Some(journal) = plan.journal {
+            for name in &carried_over {
+                journal.record_carryover(name.clone());
+            }
+        }
+        let status = if carried_over.is_empty() {
+            BatchStatus::Complete
+        } else {
+            BatchStatus::Partial { carried_over }
+        };
         let outcome = BatchOutcome {
             outputs,
             records,
+            cancelled,
             makespan,
             workers: plan.workers,
             registered_workers,
@@ -303,6 +476,9 @@ impl Executor for ThreadExecutor {
             } else {
                 0.0
             },
+            speculated: speculated.into_inner(),
+            speculation_wins: speculation_wins.into_inner(),
+            status,
             resumed,
         };
         close_batch_span(plan, span, t0, &outcome);

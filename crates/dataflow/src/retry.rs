@@ -26,7 +26,7 @@
 //!
 //! The whole model is a pure function of the batch description:
 //! [`FaultPlan::pass`] computes how many failures a task burns in a lane,
-//! and both [`crate::sim::SimExecutor`] and
+//! and both [`crate::sim::VirtualExecutor`] and
 //! [`crate::real::ThreadExecutor`] derive identical attempt counts from
 //! it — the cross-executor contract the resilience tests pin.
 
@@ -206,6 +206,14 @@ impl<'a> FaultPlan<'a> {
         self.faults.is_empty()
     }
 
+    /// Whether `task` succeeds on its very first standard-lane attempt —
+    /// the precondition for straggler speculation (duplicating a task
+    /// that retries would double-count its attempt arithmetic).
+    #[must_use]
+    pub fn clean_first_try(&self, task: &str) -> bool {
+        self.pass(task, Lane::Standard, 0) == (PassOutcome::Succeeds { failures: 0 })
+    }
+
     /// Run `task` through `lane` having already burned `prior` failed
     /// executions in earlier lanes.
     #[must_use]
@@ -361,6 +369,15 @@ mod tests {
             fp.pass("a", Lane::HighMemory, 3),
             PassOutcome::Succeeds { failures: 1 }
         );
+    }
+
+    #[test]
+    fn clean_first_try_identifies_faultless_tasks() {
+        let faults = [TaskFault::transient("a", 1), TaskFault::oom("big")];
+        let fp = FaultPlan::new(&faults, RetryPolicy::new(3, 0.0, 0.0));
+        assert!(fp.clean_first_try("unrelated"));
+        assert!(!fp.clean_first_try("a"));
+        assert!(!fp.clean_first_try("big"));
     }
 
     #[test]

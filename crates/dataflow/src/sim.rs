@@ -8,22 +8,31 @@
 //! ordering ablation are produced at 1200–6000 workers without a
 //! supercomputer.
 //!
-//! [`SimExecutor`] is the [`crate::exec::Executor`] backend. Task-level
+//! [`VirtualExecutor`] is the [`crate::exec::Executor`] backend. Task-level
 //! faults are replayed deterministically: a retried task occupies its
 //! worker for every failed attempt plus the policy's backoff delays, and
 //! tasks that exhaust the standard lane are re-scheduled in a second
 //! quarantine pass on the high-memory worker ids. Worker-death schedules
-//! are ignored — virtual workers do not die. Resume is re-derivation:
-//! the schedule is a pure function of the batch description, so a
-//! resumed simulation recomputes every record bit-for-bit and
-//! `Batch::resume` cross-checks them against the journal.
+//! are modeled in virtual time: a worker that has completed its budget
+//! retires the moment it would pull another task, re-queueing that task
+//! onto the surviving workers — the same `deaths`/`requeued` accounting
+//! as [`crate::real::ThreadExecutor`]. Deadlines cut dispatching at the
+//! first task whose completion would overrun the budget (an absolute
+//! virtual-time horizon, so resumed batches pass a later horizon for
+//! each follow-on job), and stragglers flagged by
+//! [`crate::deadline::speculation_flags`] race a speculative duplicate
+//! on the next-free worker. Resume is re-derivation: the schedule is a
+//! pure function of the batch description, so a resumed simulation
+//! recomputes every record bit-for-bit and `Batch::resume` cross-checks
+//! them against the journal.
 
-use crate::exec::{close_batch_span, open_batch_span, BatchOutcome, Executor, Plan};
+use crate::deadline::would_overrun;
+use crate::exec::{close_batch_span, open_batch_span, BatchOutcome, BatchStatus, Executor, Plan};
 use crate::journal::JournalEntry;
 use crate::retry::{FaultPlan, Lane, PassOutcome};
 use crate::task::{TaskRecord, TaskSpec};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Earliest-free-worker min-heap slot: (free_time, worker_id). Times are
 /// always finite, so `total_cmp` is a total order consistent with the
@@ -45,57 +54,189 @@ impl Ord for Slot {
 /// Mutable scheduling state for one pass, shared across lanes.
 struct PassState<'a> {
     records: Vec<TaskRecord>,
+    cancelled: Vec<TaskRecord>,
     worker_finish: &'a mut Vec<f64>,
     worker_busy: &'a mut Vec<f64>,
+}
+
+/// Immutable inputs of one scheduling pass.
+struct PassParams<'a> {
+    specs: &'a [TaskSpec],
+    durations: &'a [f64],
+    order: &'a [usize],
+    workers: usize,
+    id_offset: usize,
+    start_at: f64,
+    per_task_overhead: f64,
+    lane: Lane,
+    prior_failures: u32,
+    /// Absolute completion horizon (`None` = unbounded).
+    deadline: Option<f64>,
+    /// Straggler threshold `k` (`None` = speculation off).
+    speculation: Option<f64>,
+    /// Per-task speculation flags, indexed by submission index.
+    spec_flags: &'a [bool],
+    /// `worker id → tasks_before_death`, standard lane only.
+    budgets: &'a BTreeMap<usize, usize>,
+}
+
+/// Accounting of one scheduling pass.
+struct PassResult {
+    /// Tasks that burned the lane's attempt budget (for the next lane).
+    exhausted: Vec<usize>,
+    /// Tasks never dispatched because the deadline cut the pass.
+    carryover: Vec<usize>,
+    makespan: f64,
+    requeued: usize,
+    speculated: usize,
+    speculation_wins: usize,
 }
 
 /// Greedy list scheduling of `order` onto workers `id_offset..id_offset +
 /// workers`, all free at `start_at`. Tasks that exhaust the lane's retry
 /// budget burn their attempts on the worker and are returned (in order)
-/// for the next lane. Preconditions (workers > 0, durations correspond
-/// to specs) are guaranteed by [`crate::exec::Batch`] validation.
-#[allow(clippy::too_many_arguments)]
+/// for the next lane; tasks whose completion would overrun the deadline
+/// stop the pass and carry over. Preconditions (workers > 0, durations
+/// correspond to specs, at least one worker survives the budgets) are
+/// guaranteed by [`crate::exec::Batch`] validation.
 fn schedule_pass(
-    specs: &[TaskSpec],
-    durations: &[f64],
-    order: &[usize],
-    workers: usize,
-    id_offset: usize,
-    start_at: f64,
-    per_task_overhead: f64,
+    p: &PassParams<'_>,
     fault_plan: &FaultPlan<'_>,
-    lane: Lane,
-    prior_failures: u32,
     state: &mut PassState<'_>,
-) -> (Vec<usize>, f64) {
+) -> PassResult {
     let policy = fault_plan.policy();
-    let mut heap: BinaryHeap<Reverse<Slot>> = (0..workers)
-        .map(|w| Reverse(Slot(start_at, id_offset + w)))
+    let mut heap: BinaryHeap<Reverse<Slot>> = (0..p.workers)
+        .map(|w| Reverse(Slot(p.start_at, p.id_offset + w)))
         .collect();
-    let mut exhausted = Vec::new();
-    let mut makespan = start_at;
+    // Successful completions per worker, checked against death budgets.
+    let mut successes: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut out = PassResult {
+        exhausted: Vec::new(),
+        carryover: Vec::new(),
+        makespan: p.start_at,
+        requeued: 0,
+        speculated: 0,
+        speculation_wins: 0,
+    };
+    // A worker at its death budget retires the moment it would pull
+    // another task. Pulling a primary re-queues it (the thread workers'
+    // push-back); pulling a speculative twin does not.
+    let dead = |successes: &BTreeMap<usize, usize>, w: usize| -> bool {
+        p.budgets
+            .get(&w)
+            .is_some_and(|&b| successes.get(&w).copied().unwrap_or(0) >= b)
+    };
 
-    for &idx in order {
-        let Some(Reverse(Slot(free_at, w))) = heap.pop() else {
-            break; // unreachable: the heap always holds `workers` slots
+    'dispatch: for (pos, &idx) in p.order.iter().enumerate() {
+        // Earliest live worker; dead ones retire (re-queueing the task).
+        let (free_at, w) = loop {
+            let Some(Reverse(Slot(free_at, w))) = heap.pop() else {
+                // Unreachable: validation keeps at least one survivor.
+                out.carryover.extend_from_slice(&p.order[pos..]);
+                break 'dispatch;
+            };
+            if dead(&successes, w) {
+                out.requeued += 1;
+                continue;
+            }
+            break (free_at, w);
         };
-        let d = durations[idx];
-        let start = free_at + per_task_overhead;
-        match fault_plan.pass(&specs[idx].id, lane, prior_failures) {
+        let d = p.durations[idx];
+        let start = free_at + p.per_task_overhead;
+        match fault_plan.pass(&p.specs[idx].id, p.lane, p.prior_failures) {
             PassOutcome::Succeeds { failures } => {
                 let occupancy =
                     f64::from(failures + 1) * d + policy.backoff_before_success(failures);
                 let end = start + occupancy;
+
+                // Straggler speculation: race a duplicate (running at the
+                // expected speed `cost_hint`) on the next-free worker,
+                // launched once the original is `k ×` its expectation in.
+                if p.spec_flags[idx] {
+                    let k = p.speculation.unwrap_or(f64::INFINITY);
+                    let expected = p.specs[idx].cost_hint;
+                    let launch = start + k * expected;
+                    // Next-free live worker for the duplicate; dead ones
+                    // retire silently (a twin pull is not re-queued).
+                    let twin = loop {
+                        match heap.pop() {
+                            None => break None,
+                            Some(Reverse(Slot(f2, w2))) => {
+                                if dead(&successes, w2) {
+                                    continue;
+                                }
+                                break Some((f2, w2));
+                            }
+                        }
+                    };
+                    if let Some((f2, w2)) = twin {
+                        let start2 = f2.max(launch) + p.per_task_overhead;
+                        let end2 = start2 + expected;
+                        if start2 >= end {
+                            // The original finishes before the duplicate
+                            // could start: never launched.
+                            heap.push(Reverse(Slot(f2, w2)));
+                        } else {
+                            let winner_end = end2.min(end);
+                            if would_overrun(p.deadline, winner_end) {
+                                heap.push(Reverse(Slot(free_at, w)));
+                                heap.push(Reverse(Slot(f2, w2)));
+                                out.carryover.extend_from_slice(&p.order[pos..]);
+                                break 'dispatch;
+                            }
+                            out.speculated += 1;
+                            // Ties go to the original.
+                            let (win_w, win_start, lose_w, lose_start) = if end2 < end {
+                                out.speculation_wins += 1;
+                                (w2, start2, w, start)
+                            } else {
+                                (w, start, w2, start2)
+                            };
+                            state.records.push(TaskRecord {
+                                task_id: p.specs[idx].id.clone(),
+                                worker_id: win_w,
+                                start: win_start,
+                                end: winner_end,
+                                attempts: p.prior_failures + 1,
+                            });
+                            // The loser runs until the winner's finish
+                            // cancels it: attempts = 0, real occupancy.
+                            state.cancelled.push(TaskRecord {
+                                task_id: p.specs[idx].id.clone(),
+                                worker_id: lose_w,
+                                start: lose_start,
+                                end: winner_end,
+                                attempts: 0,
+                            });
+                            state.worker_busy[win_w] += winner_end - win_start;
+                            state.worker_busy[lose_w] += winner_end - lose_start;
+                            state.worker_finish[win_w] = winner_end;
+                            state.worker_finish[lose_w] = winner_end;
+                            out.makespan = out.makespan.max(winner_end);
+                            *successes.entry(win_w).or_insert(0) += 1;
+                            heap.push(Reverse(Slot(winner_end, w)));
+                            heap.push(Reverse(Slot(winner_end, w2)));
+                            continue;
+                        }
+                    }
+                }
+
+                if would_overrun(p.deadline, end) {
+                    heap.push(Reverse(Slot(free_at, w)));
+                    out.carryover.extend_from_slice(&p.order[pos..]);
+                    break 'dispatch;
+                }
                 state.records.push(TaskRecord {
-                    task_id: specs[idx].id.clone(),
+                    task_id: p.specs[idx].id.clone(),
                     worker_id: w,
                     start,
                     end,
-                    attempts: prior_failures + failures + 1,
+                    attempts: p.prior_failures + failures + 1,
                 });
                 state.worker_finish[w] = end;
                 state.worker_busy[w] += f64::from(failures + 1) * d;
-                makespan = makespan.max(end);
+                out.makespan = out.makespan.max(end);
+                *successes.entry(w).or_insert(0) += 1;
                 heap.push(Reverse(Slot(end, w)));
             }
             PassOutcome::Exhausts => {
@@ -103,15 +244,20 @@ fn schedule_pass(
                 // completes nowhere, and moves to the next lane.
                 let burned = policy.max_attempts;
                 let end = start + f64::from(burned) * d + policy.backoff_before_exhaustion();
+                if would_overrun(p.deadline, end) {
+                    heap.push(Reverse(Slot(free_at, w)));
+                    out.carryover.extend_from_slice(&p.order[pos..]);
+                    break 'dispatch;
+                }
                 state.worker_finish[w] = end;
                 state.worker_busy[w] += f64::from(burned) * d;
-                makespan = makespan.max(end);
-                exhausted.push(idx);
+                out.makespan = out.makespan.max(end);
+                out.exhausted.push(idx);
                 heap.push(Reverse(Slot(end, w)));
             }
         }
     }
-    (exhausted, makespan)
+    out
 }
 
 /// The virtual-time [`Executor`] backend.
@@ -119,14 +265,15 @@ fn schedule_pass(
 /// Task durations come from the plan's explicit `durations` (or from
 /// `cost_hint` when none are given); the closure still runs once per
 /// task — sequentially, in submission order — so simulated batches
-/// produce real outputs. Worker-death schedules are ignored: virtual
-/// workers do not die.
+/// produce real outputs. Worker deaths, deadlines, and straggler
+/// speculation are all modeled in virtual time with the same accounting
+/// as the thread backend.
 #[derive(Debug, Clone, Copy)]
-pub struct SimExecutor {
+pub struct VirtualExecutor {
     per_task_overhead: f64,
 }
 
-impl SimExecutor {
+impl VirtualExecutor {
     /// A simulator with the given scheduler dispatch gap between
     /// consecutive tasks on a worker (the white lines in Fig 2).
     /// Negative overheads are clamped to zero.
@@ -138,7 +285,7 @@ impl SimExecutor {
     }
 }
 
-impl Executor for SimExecutor {
+impl Executor for VirtualExecutor {
     fn execute<I, O, F>(&self, plan: &Plan<'_>, items: &[I], f: &F) -> BatchOutcome<O>
     where
         I: Sync,
@@ -157,55 +304,111 @@ impl Executor for SimExecutor {
         let order = plan.policy.order(plan.specs);
         let fault_plan = FaultPlan::new(plan.task_faults, plan.retry);
         let quarantine_width = plan.quarantine_workers.unwrap_or(0);
+        let spec_flags = crate::deadline::speculation_flags(
+            plan.specs,
+            durations,
+            &fault_plan,
+            plan.speculation,
+            plan.workers,
+        );
+        // First fault per worker wins, like the thread workers' `find`.
+        let mut budgets: BTreeMap<usize, usize> = BTreeMap::new();
+        for fault in plan.faults {
+            budgets
+                .entry(fault.worker)
+                .or_insert(fault.tasks_before_death);
+        }
 
         let mut worker_finish = vec![0.0f64; plan.workers + quarantine_width];
         let mut worker_busy = vec![0.0f64; plan.workers + quarantine_width];
         let mut state = PassState {
             records: Vec::with_capacity(plan.specs.len()),
+            cancelled: Vec::new(),
             worker_finish: &mut worker_finish,
             worker_busy: &mut worker_busy,
         };
 
-        let (exhausted, pass1_makespan) = schedule_pass(
-            plan.specs,
-            durations,
-            &order,
-            plan.workers,
-            0,
-            0.0,
-            self.per_task_overhead,
+        let pass1 = schedule_pass(
+            &PassParams {
+                specs: plan.specs,
+                durations,
+                order: &order,
+                workers: plan.workers,
+                id_offset: 0,
+                start_at: 0.0,
+                per_task_overhead: self.per_task_overhead,
+                lane: Lane::Standard,
+                prior_failures: 0,
+                deadline: plan.deadline,
+                speculation: plan.speculation,
+                spec_flags: &spec_flags,
+                budgets: &budgets,
+            },
             &fault_plan,
-            Lane::Standard,
-            0,
             &mut state,
         );
+        let pass1_makespan = pass1.makespan;
+        let standard_cut = !pass1.carryover.is_empty();
+        let mut carryover_idx = pass1.carryover;
+        let mut requeued = pass1.requeued;
+        let speculated = pass1.speculated;
+        let speculation_wins = pass1.speculation_wins;
 
         // Quarantine rerun lane: a fresh high-memory allocation starts
-        // once the standard lane drains (§3.3's dedicated rerun).
-        let quarantined = exhausted.len();
+        // once the standard lane drains (§3.3's dedicated rerun). A
+        // deadline-cut standard lane skips it entirely — the rerun's
+        // start time would diverge from the uninterrupted run's, and the
+        // carryover resume re-derives it instead.
+        let mut quarantined = 0;
         let mut makespan = pass1_makespan;
-        if quarantined > 0 {
-            let (leftover, q_makespan) = schedule_pass(
-                plan.specs,
-                durations,
-                &exhausted,
-                quarantine_width,
-                plan.workers,
-                pass1_makespan,
-                self.per_task_overhead,
-                &fault_plan,
-                Lane::HighMemory,
-                plan.retry.max_attempts,
-                &mut state,
-            );
-            debug_assert!(leftover.is_empty(), "validation rejects doomed tasks");
-            makespan = makespan.max(q_makespan);
+        if !pass1.exhausted.is_empty() {
+            if standard_cut {
+                carryover_idx.extend_from_slice(&pass1.exhausted);
+            } else {
+                let no_budgets = BTreeMap::new();
+                let pass2 = schedule_pass(
+                    &PassParams {
+                        specs: plan.specs,
+                        durations,
+                        order: &pass1.exhausted,
+                        workers: quarantine_width,
+                        id_offset: plan.workers,
+                        start_at: pass1_makespan,
+                        per_task_overhead: self.per_task_overhead,
+                        lane: Lane::HighMemory,
+                        prior_failures: plan.retry.max_attempts,
+                        deadline: plan.deadline,
+                        speculation: None,
+                        spec_flags: &spec_flags,
+                        budgets: &no_budgets,
+                    },
+                    &fault_plan,
+                    &mut state,
+                );
+                debug_assert!(
+                    pass2.exhausted.is_empty(),
+                    "validation rejects doomed tasks"
+                );
+                quarantined = pass1.exhausted.len() - pass2.carryover.len();
+                carryover_idx.extend_from_slice(&pass2.carryover);
+                requeued += pass2.requeued;
+                if quarantined > 0 {
+                    makespan = makespan.max(pass2.makespan);
+                }
+            }
         }
         let quarantine_makespan = if quarantined > 0 {
             makespan - pass1_makespan
         } else {
             0.0
         };
+        // Carryover names in submission order: deterministic across
+        // backends and policies.
+        carryover_idx.sort_unstable();
+        let carried_over: Vec<String> = carryover_idx
+            .iter()
+            .map(|&i| plan.specs[i].id.clone())
+            .collect();
 
         // Trim unused quarantine worker slots so the arrays only cover
         // workers that could have run (keeps utilization meaningful).
@@ -215,6 +418,7 @@ impl Executor for SimExecutor {
             plan.workers
         };
         let records = state.records;
+        let cancelled = state.cancelled;
         worker_finish.truncate(lanes_width);
         worker_busy.truncate(lanes_width);
 
@@ -228,8 +432,22 @@ impl Executor for SimExecutor {
                     attempts: r.attempts,
                 });
             }
+            for task in &carried_over {
+                journal.record_carryover(task.clone());
+            }
         }
 
+        let deaths = plan
+            .faults
+            .iter()
+            .map(|fault| fault.worker)
+            .collect::<BTreeSet<_>>()
+            .len();
+        let status = if carried_over.is_empty() {
+            BatchStatus::Complete
+        } else {
+            BatchStatus::Partial { carried_over }
+        };
         let outputs = plan
             .specs
             .iter()
@@ -244,11 +462,15 @@ impl Executor for SimExecutor {
             registered_workers: (0..lanes_width).collect(),
             worker_busy,
             worker_finish,
-            requeued: 0,
-            deaths: 0,
+            requeued,
+            deaths,
             quarantined,
             quarantine_makespan,
             resumed: plan.completed.len(),
+            status,
+            cancelled,
+            speculated,
+            speculation_wins,
         };
         close_batch_span(plan, span, t0, &outcome);
         outcome
@@ -284,7 +506,7 @@ mod tests {
             .workers(workers)
             .policy(policy)
             .durations(durations)
-            .run(&SimExecutor::new(overhead))
+            .run(&VirtualExecutor::new(overhead))
             .unwrap()
     }
 
@@ -426,7 +648,7 @@ mod tests {
         let specs = vec![TaskSpec::new("a", 3.0), TaskSpec::new("b", 5.0)];
         let r = Batch::new(&specs)
             .workers(1)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert!((r.makespan - 8.0).abs() < 1e-9);
     }
@@ -438,7 +660,7 @@ mod tests {
         let r = Batch::new(&specs)
             .workers(2)
             .policy(OrderingPolicy::LongestFirst)
-            .run_with(&SimExecutor::new(0.0), &items, |_, &x| x * 2)
+            .run_with(&VirtualExecutor::new(0.0), &items, |_, &x| x * 2)
             .unwrap();
         assert_eq!(r.outputs, vec![20, 40]);
     }
@@ -453,7 +675,7 @@ mod tests {
             .durations(&durations)
             .task_faults(&faults)
             .retry(RetryPolicy::new(3, 4.0, 16.0))
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap();
         // Worker 0: a = 3 attempts × 10 s + backoffs (4 + 8) = 42 s,
         // then b = 10 s.
@@ -482,7 +704,7 @@ mod tests {
             .durations(&durations)
             .task_faults(&faults)
             .quarantine(1)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert_eq!(r.records.len(), 3, "every task completes somewhere");
         assert_eq!(r.quarantined, 1);
@@ -498,13 +720,128 @@ mod tests {
     }
 
     #[test]
+    fn worker_deaths_modeled_in_virtual_time() {
+        use crate::fault::WorkerFault;
+        let specs: Vec<TaskSpec> = (0..6)
+            .map(|i| TaskSpec::new(format!("t{i}"), 1.0))
+            .collect();
+        let durations = vec![10.0; 6];
+        let faults = [WorkerFault {
+            worker: 1,
+            tasks_before_death: 1,
+        }];
+        let r = Batch::new(&specs)
+            .workers(2)
+            .policy(OrderingPolicy::Fifo)
+            .durations(&durations)
+            .faults(&faults)
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(r.records.len(), 6, "survivors drain the queue");
+        assert_eq!(r.deaths, 1);
+        assert_eq!(r.requeued, 1, "the dying worker re-queues one task");
+        let on_dead = r.records.iter().filter(|x| x.worker_id == 1).count();
+        assert_eq!(on_dead, 1, "the dead worker completes exactly its budget");
+        // Survivor takes the rest: t0,t2,t3,t4,t5 at 10 s each.
+        assert!((r.makespan - 50.0).abs() < 1e-9, "{}", r.makespan);
+    }
+
+    #[test]
+    fn deadline_cuts_dispatch_and_the_prefix_matches_the_full_run() {
+        let specs: Vec<TaskSpec> = (0..3)
+            .map(|i| TaskSpec::new(format!("t{i}"), 1.0))
+            .collect();
+        let durations = vec![10.0; 3];
+        let batch = || {
+            Batch::new(&specs)
+                .workers(1)
+                .policy(OrderingPolicy::Fifo)
+                .durations(&durations)
+        };
+        let full = batch().run(&VirtualExecutor::new(0.0)).unwrap();
+        assert_eq!(full.status, crate::exec::BatchStatus::Complete);
+
+        let cut = batch()
+            .deadline(25.0)
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(cut.records.len(), 2, "third task would finish at 30 > 25");
+        assert_eq!(cut.status.carried_over(), ["t2".to_owned()]);
+        assert!((cut.makespan - 20.0).abs() < 1e-9);
+        // The dispatched prefix is bit-identical to the full run's.
+        assert_eq!(cut.records[..], full.records[..2]);
+        // A deadline at an exact finish time still dispatches the task.
+        let exact = batch()
+            .deadline(30.0)
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(exact.status, crate::exec::BatchStatus::Complete);
+    }
+
+    #[test]
+    fn straggler_races_a_duplicate_and_the_duplicate_wins() {
+        let specs = vec![TaskSpec::new("slow", 10.0)];
+        let durations = vec![40.0];
+        let r = Batch::new(&specs)
+            .workers(2)
+            .durations(&durations)
+            .speculate()
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!(r.speculated, 1);
+        assert_eq!(r.speculation_wins, 1);
+        // Duplicate launches at k × cost_hint = 15 s on worker 1 and runs
+        // at the expected 10 s, beating the 40 s straggler.
+        let win = &r.records[0];
+        assert_eq!((win.worker_id, win.attempts), (1, 1));
+        assert!((win.start - 15.0).abs() < 1e-9 && (win.end - 25.0).abs() < 1e-9);
+        let lose = &r.cancelled[0];
+        assert_eq!((lose.worker_id, lose.attempts), (0, 0));
+        assert!((lose.end - 25.0).abs() < 1e-9, "cancelled at the win");
+        assert!((r.makespan - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn original_win_cancels_the_duplicate() {
+        let specs = vec![TaskSpec::new("mild", 10.0)];
+        let durations = vec![16.0];
+        let r = Batch::new(&specs)
+            .workers(2)
+            .durations(&durations)
+            .speculate()
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!((r.speculated, r.speculation_wins), (1, 0));
+        let win = &r.records[0];
+        assert_eq!(win.worker_id, 0);
+        assert!((win.end - 16.0).abs() < 1e-9);
+        let lose = &r.cancelled[0];
+        assert!((lose.start - 15.0).abs() < 1e-9 && (lose.end - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_within_threshold_never_speculate() {
+        let specs = vec![TaskSpec::new("ok", 10.0)];
+        let durations = vec![14.0];
+        let r = Batch::new(&specs)
+            .workers(2)
+            .durations(&durations)
+            .speculate()
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap();
+        assert_eq!((r.speculated, r.speculation_wins), (0, 0));
+        assert!(r.cancelled.is_empty());
+        assert_eq!(r.cancelled.len(), r.speculated, "invariant");
+    }
+
+    #[test]
     fn fault_free_batches_have_no_quarantine_footprint() {
         let (specs, durations) = heterogeneous_batch(50, 23);
         let r = Batch::new(&specs)
             .workers(4)
             .durations(&durations)
             .quarantine(8)
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert_eq!(r.quarantined, 0);
         assert_eq!(r.quarantine_makespan, 0.0);

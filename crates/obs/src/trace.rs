@@ -365,15 +365,21 @@ impl Trace {
         let tasks = self.tasks();
         if !tasks.is_empty() {
             let retried = tasks.iter().filter(|t| t.attempts > 1).count();
+            // attempts == 0 marks a cancelled speculative execution: the
+            // duplicate (or original) that lost the completion race.
+            let cancelled = tasks.iter().filter(|t| t.attempts == 0).count();
+            let mut notes = Vec::new();
             if retried > 0 {
                 let max_attempts = tasks.iter().map(|t| t.attempts).max().unwrap_or(1);
-                let _ = writeln!(
-                    out,
-                    "tasks: {} ({retried} retried, max attempts {max_attempts})",
-                    tasks.len()
-                );
-            } else {
+                notes.push(format!("{retried} retried, max attempts {max_attempts}"));
+            }
+            if cancelled > 0 {
+                notes.push(format!("{cancelled} cancelled speculative"));
+            }
+            if notes.is_empty() {
                 let _ = writeln!(out, "tasks: {}", tasks.len());
+            } else {
+                let _ = writeln!(out, "tasks: {} ({})", tasks.len(), notes.join("; "));
             }
         }
         let counters = self.counter_totals();
@@ -481,6 +487,21 @@ mod tests {
         assert!(err.message.contains("value"), "{err}");
         let err = Trace::parse_jsonl("not json").expect_err("fails");
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn summary_counts_cancelled_speculative_executions() {
+        let r = Recorder::virtual_time();
+        let s = r.span_start("batch");
+        r.task(Some(s), "t0", 0, 0.0, 5.0, 1);
+        r.task(Some(s), "t0", 1, 2.0, 5.0, 0); // losing duplicate
+        r.advance_clock_to(5.0);
+        r.span_end(s);
+        let text = Trace::from_events(r.events()).summary();
+        assert!(
+            text.contains("tasks: 2 (1 cancelled speculative)"),
+            "{text}"
+        );
     }
 
     #[test]

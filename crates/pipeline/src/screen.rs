@@ -3,7 +3,7 @@
 //! quadratic cost projection that makes this "especially relevant to HPC
 //! computing".
 
-use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::sim::VirtualExecutor;
 use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
@@ -113,7 +113,7 @@ pub fn screen_all_pairs(
         .policy(OrderingPolicy::LongestFirst)
         .durations(&durations)
         .label("complex_screen")
-        .run(&SimExecutor::new(crate::stages::TASK_OVERHEAD_S))
+        .run(&VirtualExecutor::new(crate::stages::TASK_OVERHEAD_S))
         // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
         .expect("screening batch is well-formed");
     ledger.charge_job(Machine::Summit, "complex_screen", cfg.nodes, sim.makespan);

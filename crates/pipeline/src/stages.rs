@@ -8,7 +8,7 @@
 //! is gone).
 
 use summitfold_dataflow::exec::BatchOutcome;
-use summitfold_dataflow::sim::SimExecutor;
+use summitfold_dataflow::sim::VirtualExecutor;
 use summitfold_dataflow::{Batch, OrderingPolicy, RetryPolicy, TaskFault, TaskSpec};
 use summitfold_hpc::fs::ReplicaLayout;
 use summitfold_hpc::machine::Machine;
@@ -180,7 +180,7 @@ pub mod feature {
             .task_faults(&faults)
             .recorder(rec)
             .label("feature_gen")
-            .run(&SimExecutor::new(0.0))
+            .run(&VirtualExecutor::new(0.0))
             // sfcheck::allow(panic-hygiene, workers >= 1 and specs/durations are built pairwise above)
             .expect("feature batch is well-formed");
 
@@ -248,6 +248,13 @@ pub mod inference {
         pub highmem_nodes: u32,
         /// Retry policy for the standard lane.
         pub retry: RetryPolicy,
+        /// Walltime budget (seconds of simulated batch time). Tasks that
+        /// would overrun it carry over to a follow-on job (the batch
+        /// reports `BatchStatus::Partial`).
+        pub walltime_budget_s: Option<f64>,
+        /// Straggler-speculation factor `k` (duplicate a task once it runs
+        /// past `k×` its expected duration); `None` disables speculation.
+        pub speculation: Option<f64>,
     }
 
     impl Config {
@@ -263,6 +270,8 @@ pub mod inference {
                 rescue_on_high_mem: false,
                 highmem_nodes: 1,
                 retry: RetryPolicy::none(),
+                walltime_budget_s: None,
+                speculation: None,
             }
         }
     }
@@ -383,8 +392,14 @@ pub mod inference {
         if cfg.rescue_on_high_mem {
             batch = batch.quarantine((cfg.highmem_nodes.max(1) * WORKERS_PER_NODE) as usize);
         }
+        if let Some(budget) = cfg.walltime_budget_s {
+            batch = batch.deadline(budget);
+        }
+        if let Some(factor) = cfg.speculation {
+            batch = batch.speculation(factor);
+        }
         let sim = batch
-            .run(&SimExecutor::new(TASK_OVERHEAD_S))
+            .run(&VirtualExecutor::new(TASK_OVERHEAD_S))
             // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
             .expect("inference batch is well-formed");
         let walltime_s = sim.makespan;
@@ -517,7 +532,7 @@ pub mod relax_stage {
             .recorder(rec)
             .label("relaxation")
             // Relaxation dispatch is light: no model loading.
-            .run(&SimExecutor::new(2.0))
+            .run(&VirtualExecutor::new(2.0))
             // sfcheck::allow(panic-hygiene, cfg.workers() >= 1 and specs/durations are built pairwise above)
             .expect("relaxation batch is well-formed");
         let walltime_s = sim.makespan;
@@ -792,6 +807,61 @@ mod tests {
             StageCtx::new(&mut ledger2),
         );
         assert_eq!(quiet.walltime_s, feats.walltime_s);
+    }
+
+    #[test]
+    fn walltime_budget_cuts_inference_and_plans_a_follow_on() {
+        use summitfold_dataflow::BatchStatus;
+        let entries = sample_entries(0.02);
+        let mut ledger = Ledger::new();
+        let features = feature::run(
+            &entries,
+            &feature::Config::paper_default(),
+            StageCtx::new(&mut ledger),
+        );
+        let base = inference::Config::benchmark(Preset::Genome);
+        let full = inference::run(
+            &entries,
+            &features.features,
+            &base,
+            StageCtx::new(&mut ledger),
+        );
+        assert_eq!(full.sim.status, BatchStatus::Complete);
+
+        // Half the uninterrupted walltime: the batch must cut early and
+        // report what carried over.
+        let cfg = inference::Config {
+            walltime_budget_s: Some(full.walltime_s * 0.5),
+            ..base
+        };
+        let mut l2 = Ledger::new();
+        let cut = inference::run(&entries, &features.features, &cfg, StageCtx::new(&mut l2));
+        assert!(cut.sim.status.is_partial(), "half the walltime must cut");
+        let carried = cut.sim.status.carried_over();
+        assert!(!carried.is_empty());
+        assert_eq!(
+            carried.len() + cut.sim.records.len(),
+            full.sim.records.len(),
+            "carryover and completions partition the task set"
+        );
+
+        // The leftover work plans a real follow-on job on the same
+        // allocation shape.
+        let leftover_node_s = carried.len() as f64 * 120.0;
+        let follow = summitfold_hpc::batch::plan_follow_on(
+            Machine::Summit,
+            cfg.nodes,
+            full.walltime_s.max(1.0),
+            leftover_node_s,
+        );
+        assert!(follow.jobs >= 1);
+        let none = summitfold_hpc::batch::plan_follow_on(
+            Machine::Summit,
+            cfg.nodes,
+            full.walltime_s.max(1.0),
+            0.0,
+        );
+        assert_eq!(none.jobs, 0);
     }
 
     #[test]

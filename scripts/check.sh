@@ -17,6 +17,13 @@ fi
 echo "==> cargo test (workspace, warnings are errors)"
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --workspace -q
 
+echo "==> chaos suite (deadlines, speculation, composed faults)"
+# The chaos harness is the cross-executor robustness gate: deadline-kill
+# plus follow-on resume must reproduce the uninterrupted record set, and
+# both executors must pick the identical speculation set. Run it by name
+# so a filtered or partial test invocation can never skip it silently.
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test chaos
+
 echo "==> sfcheck"
 cargo run -q --release -p summitfold-analysis --bin sfcheck
 

@@ -1,0 +1,383 @@
+//! Chaos harness: seeded scenarios composing worker deaths, task
+//! faults, stragglers, deadline kills, and mid-append journal kills.
+//!
+//! The invariants pinned here are the robustness contract of the
+//! dataflow layer (paper §3.3 plus the walltime-bin reality of LSF
+//! campaigns): every task completes exactly once in the outputs, resume
+//! never recomputes finished work, a deadline-killed campaign followed
+//! by resume legs reproduces the uninterrupted record set byte for
+//! byte, and attempt/speculation accounting matches across the virtual
+//! and thread executors.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+use summitfold::dataflow::deadline::{speculation_flags, DEFAULT_SPECULATION_FACTOR};
+use summitfold::dataflow::fault::WorkerFault;
+use summitfold::dataflow::real::ThreadExecutor;
+use summitfold::dataflow::retry::FaultPlan;
+use summitfold::dataflow::sim::VirtualExecutor;
+use summitfold::dataflow::stats::to_csv;
+use summitfold::dataflow::{
+    Batch, BatchOutcome, BatchStatus, Journal, OrderingPolicy, RetryPolicy, TaskFault, TaskSpec,
+};
+use summitfold::obs::{Recorder, Trace};
+use summitfold::protein::rng::Xoshiro256;
+
+/// Seeded workload with stragglers: every sixth task's modeled duration
+/// runs 3× its expected duration (`cost_hint`), so speculation triggers
+/// under the default threshold.
+fn straggler_workload(seed: u64, n: usize) -> (Vec<TaskSpec>, Vec<f64>) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(n);
+    let mut durations = Vec::with_capacity(n);
+    for i in 0..n {
+        let expected = 1.0 + 9.0 * rng.uniform();
+        specs.push(TaskSpec::new(format!("t{i}"), expected));
+        durations.push(if i % 6 == 5 { expected * 3.0 } else { expected });
+    }
+    (specs, durations)
+}
+
+fn task_id_set(records: &[summitfold::dataflow::TaskRecord]) -> BTreeSet<String> {
+    records.iter().map(|r| r.task_id.clone()).collect()
+}
+
+/// Tentpole acceptance: kill-at-deadline → follow-on resume legs
+/// reproduce the uninterrupted record set exactly on the simulator.
+#[test]
+fn deadline_campaign_reproduces_uninterrupted_records() {
+    let exec = VirtualExecutor::new(0.25);
+    for seed in [1u64, 7, 42] {
+        let (specs, durations) = straggler_workload(seed, 30);
+        let faults = [
+            TaskFault::transient(specs[2].id.clone(), 1),
+            TaskFault::transient(specs[9].id.clone(), 2),
+        ];
+        let batch = || {
+            Batch::new(&specs)
+                .workers(3)
+                .policy(OrderingPolicy::LongestFirst)
+                .durations(&durations)
+                .retry(RetryPolicy::new(3, 0.5, 2.0))
+                .task_faults(&faults)
+                .speculate()
+        };
+
+        let full_journal = Journal::new();
+        let full = batch().journal(&full_journal).run(&exec).expect("full run");
+        assert_eq!(full.status, BatchStatus::Complete);
+        assert!(full.speculated > 0, "seed {seed}: workload must speculate");
+
+        // Campaign legs: each job runs against a walltime horizon one
+        // third of the uninterrupted makespan further out, resuming from
+        // the previous leg's journal — the LSF kill-and-resubmit loop.
+        let step = full.makespan / 3.0;
+        let mut prev = Journal::new();
+        let mut partial_legs = 0usize;
+        let mut finished: Option<BatchOutcome<()>> = None;
+        for leg in 1..=50u32 {
+            let next = Journal::new();
+            let horizon = step * f64::from(leg);
+            let out = batch()
+                .journal(&next)
+                .deadline(horizon)
+                .resume(&exec, &prev)
+                .expect("campaign leg");
+            if out.status.is_partial() {
+                partial_legs += 1;
+                assert!(!out.status.carried_over().is_empty());
+                assert_eq!(
+                    next.carried_over().as_slice(),
+                    out.status.carried_over(),
+                    "seed {seed}: journal carryover mirrors the outcome"
+                );
+                prev = next;
+            } else {
+                finished = Some(out);
+                break;
+            }
+        }
+        let done = finished.expect("campaign finishes within 50 legs");
+        assert!(partial_legs >= 1, "seed {seed}: the deadline must bite");
+        assert_eq!(
+            to_csv(&done.records),
+            to_csv(&full.records),
+            "seed {seed}: campaign records diverge from the uninterrupted run"
+        );
+        assert_eq!(done.makespan, full.makespan, "seed {seed}");
+    }
+}
+
+/// Both executors derive the speculation decision from the same pure
+/// function, so they duplicate the identical task set.
+#[test]
+fn executors_agree_on_speculation_set() {
+    let n = 12;
+    let expected = 0.002; // seconds — the thread backend really sleeps
+    let stragglers: BTreeSet<usize> = [3usize, 7, 10].into_iter().collect();
+    let specs: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(format!("t{i}"), expected))
+        .collect();
+    let durations: Vec<f64> = (0..n)
+        .map(|i| {
+            if stragglers.contains(&i) {
+                0.08
+            } else {
+                expected
+            }
+        })
+        .collect();
+    let batch = || {
+        Batch::new(&specs)
+            .workers(4)
+            .policy(OrderingPolicy::Fifo)
+            .durations(&durations)
+            .speculate()
+    };
+
+    let sim = batch().run(&VirtualExecutor::new(0.0)).expect("sim");
+    let items = durations.clone();
+    let real = batch()
+        .run_with(&ThreadExecutor, &items, |_, &d: &f64| {
+            std::thread::sleep(Duration::from_secs_f64(d));
+        })
+        .expect("thread");
+
+    // The pure decision function is the contract both backends follow.
+    let flags = speculation_flags(
+        &specs,
+        &durations,
+        &FaultPlan::new(&[], RetryPolicy::none()),
+        Some(DEFAULT_SPECULATION_FACTOR),
+        4,
+    );
+    let flagged: BTreeSet<String> = specs
+        .iter()
+        .zip(&flags)
+        .filter(|&(_, &f)| f)
+        .map(|(s, _)| s.id.clone())
+        .collect();
+    let expected_ids: BTreeSet<String> = stragglers.iter().map(|i| format!("t{i}")).collect();
+    assert_eq!(flagged, expected_ids);
+
+    for (label, out) in [("sim", &sim), ("thread", &real)] {
+        assert_eq!(out.speculated, stragglers.len(), "{label}");
+        assert_eq!(
+            task_id_set(&out.cancelled),
+            flagged,
+            "{label}: the losing half of every race records as cancelled"
+        );
+        assert!(
+            out.cancelled.iter().all(|r| r.attempts == 0),
+            "{label}: cancelled records carry attempts = 0"
+        );
+        assert_eq!(
+            task_id_set(&out.records).len(),
+            n,
+            "{label}: every task completes exactly once"
+        );
+        assert!(out.speculation_wins <= out.speculated, "{label}");
+    }
+}
+
+/// Composed chaos on the simulator: worker deaths, task faults,
+/// stragglers, quarantine, deadline kills, and a byte-level torn journal
+/// tail — the completion/partition/resume invariants all hold.
+#[test]
+fn chaos_invariants_hold_under_composed_faults() {
+    let exec = VirtualExecutor::new(0.25);
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed.wrapping_mul(0xC0FFEE) ^ 7);
+        let n = 18 + rng.below(18);
+        let (specs, durations) = straggler_workload(seed ^ 0xABCD, n);
+        let mut task_faults = Vec::new();
+        for spec in &specs {
+            match rng.below(6) {
+                0 => task_faults.push(TaskFault::transient(spec.id.clone(), 1)),
+                1 => task_faults.push(TaskFault::oom(spec.id.clone())),
+                _ => {}
+            }
+        }
+        let worker_faults = [WorkerFault {
+            worker: 1,
+            tasks_before_death: 2 + rng.below(4),
+        }];
+        let batch = || {
+            Batch::new(&specs)
+                .workers(3)
+                .policy(OrderingPolicy::LongestFirst)
+                .durations(&durations)
+                .retry(RetryPolicy::new(3, 0.5, 2.0))
+                .task_faults(&task_faults)
+                .faults(&worker_faults)
+                .quarantine(2)
+                .speculate()
+        };
+
+        let journal = Journal::new();
+        let full = batch().journal(&journal).run(&exec).expect("full run");
+        let all_ids: BTreeSet<String> = specs.iter().map(|s| s.id.clone()).collect();
+        assert_eq!(full.records.len(), n, "seed {seed}");
+        assert_eq!(task_id_set(&full.records), all_ids, "seed {seed}");
+        assert_eq!(full.deaths, 1, "seed {seed}");
+
+        // Deadline kill: completions and carryover partition the specs,
+        // and the dispatched records are a prefix of the full run's.
+        let cut = batch()
+            .deadline(full.makespan * 0.5)
+            .run(&exec)
+            .expect("cut run");
+        let done_ids = task_id_set(&cut.records);
+        let carried: BTreeSet<String> = cut.status.carried_over().iter().cloned().collect();
+        assert!(done_ids.is_disjoint(&carried), "seed {seed}");
+        let union: BTreeSet<String> = done_ids.union(&carried).cloned().collect();
+        assert_eq!(union, all_ids, "seed {seed}: partition covers the batch");
+        assert_eq!(
+            to_csv(&cut.records),
+            to_csv(&full.records[..cut.records.len()]),
+            "seed {seed}: deadline-cut records are a prefix of the full run"
+        );
+
+        // Kill mid-append: truncate the journal inside its final line,
+        // parse tolerates the torn tail, resume completes the remainder
+        // without recomputing finished work and reproduces the full
+        // record set.
+        let text = journal.to_jsonl();
+        let last_line_start = text[..text.len() - 1].rfind('\n').map_or(0, |i| i + 1);
+        let cut_at = last_line_start + 1 + rng.below(text.len() - last_line_start - 2);
+        let torn = Journal::parse_jsonl(&text[..cut_at]).expect("torn tail tolerated");
+        assert!(torn.had_torn_tail(), "seed {seed}");
+        assert_eq!(torn.len(), journal.len() - 1, "only the torn line drops");
+
+        let rec = Recorder::virtual_time();
+        let resumed = batch()
+            .recorder(&rec)
+            .resume(&exec, &torn)
+            .expect("resume from torn journal");
+        assert_eq!(resumed.resumed, torn.len(), "seed {seed}");
+        assert_eq!(
+            to_csv(&resumed.records),
+            to_csv(&full.records),
+            "seed {seed}: resume reproduces the uninterrupted records"
+        );
+        let totals = Trace::from_events(rec.events()).counter_totals();
+        assert_eq!(
+            totals.get("dataflow/journal_torn").copied(),
+            Some(1.0),
+            "seed {seed}: the torn tail is visible in telemetry"
+        );
+    }
+}
+
+/// Satellite (a): the virtual executor models worker deaths in virtual
+/// time and agrees with the thread executor on deaths and requeues.
+#[test]
+fn sim_and_thread_agree_on_worker_deaths() {
+    let n = 60;
+    let specs: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(format!("t{i}"), ((i % 5) + 1) as f64))
+        .collect();
+    let durations: Vec<f64> = specs.iter().map(|s| s.cost_hint).collect();
+    let faults = [
+        WorkerFault {
+            worker: 0,
+            tasks_before_death: 3,
+        },
+        WorkerFault {
+            worker: 2,
+            tasks_before_death: 7,
+        },
+    ];
+    let batch = || {
+        Batch::new(&specs)
+            .workers(4)
+            .policy(OrderingPolicy::Fifo)
+            .durations(&durations)
+            .faults(&faults)
+    };
+
+    let sim = batch().run(&VirtualExecutor::new(0.0)).expect("sim");
+    // Real sleeps keep the queue non-empty long enough that both dying
+    // workers actually reach their budgets.
+    let items = vec![(); n];
+    let real = batch()
+        .run_with(&ThreadExecutor, &items, |_, ()| {
+            std::thread::sleep(Duration::from_millis(1));
+        })
+        .expect("thread");
+
+    for (label, out) in [("sim", &sim), ("thread", &real)] {
+        assert_eq!(out.deaths, 2, "{label}");
+        assert_eq!(out.requeued, 2, "{label}");
+        assert_eq!(out.records.len(), n, "{label}");
+        assert_eq!(task_id_set(&out.records).len(), n, "{label}");
+        let per_worker = |w: usize| out.records.iter().filter(|r| r.worker_id == w).count();
+        assert_eq!(per_worker(0), 3, "{label}: worker 0 dies after 3 tasks");
+        assert_eq!(per_worker(2), 7, "{label}: worker 2 dies after 7 tasks");
+    }
+}
+
+/// Satellite (d): worker deaths, quarantine, and kill/resume composed in
+/// one thread-backend batch — the survivors drain everything, journaled
+/// rows replay verbatim, and nothing completes twice.
+#[test]
+fn thread_deaths_quarantine_and_resume_compose() {
+    for seed in 0..4u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed.wrapping_mul(0xBADF00D) | 1);
+        let n = 24 + rng.below(12);
+        let specs: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec::new(format!("t{i}"), ((i % 3) + 1) as f64))
+            .collect();
+        let mut task_faults = Vec::new();
+        for spec in &specs {
+            if rng.below(6) == 0 {
+                task_faults.push(TaskFault::oom(spec.id.clone()));
+            }
+        }
+        let worker_faults = [WorkerFault {
+            worker: (seed as usize) % 4,
+            tasks_before_death: 2 + rng.below(3),
+        }];
+        let batch = || {
+            Batch::new(&specs)
+                .workers(4)
+                .policy(OrderingPolicy::Fifo)
+                .retry(RetryPolicy::new(2, 1e-4, 4e-4))
+                .task_faults(&task_faults)
+                .faults(&worker_faults)
+                .quarantine(2)
+        };
+
+        let journal = Journal::new();
+        let full = batch()
+            .journal(&journal)
+            .run(&ThreadExecutor)
+            .expect("full");
+        assert_eq!(full.records.len(), n, "seed {seed}");
+        assert_eq!(task_id_set(&full.records).len(), n, "seed {seed}");
+        assert_eq!(full.quarantined, task_faults.len(), "seed {seed}");
+        assert_eq!(full.deaths, 1, "seed {seed}");
+        assert_eq!(journal.len(), n, "seed {seed}");
+
+        // Kill at a random journal boundary, then resume: the journaled
+        // prefix replays verbatim and only the remainder re-executes.
+        let cut = journal.truncated(rng.below(n + 1));
+        let survivors = cut.entries();
+        let resumed = batch().resume(&ThreadExecutor, &cut).expect("resume");
+        assert_eq!(resumed.resumed, survivors.len(), "seed {seed}");
+        assert_eq!(resumed.records.len(), n, "seed {seed}");
+        assert_eq!(task_id_set(&resumed.records).len(), n, "seed {seed}");
+        for e in survivors {
+            let r = resumed
+                .records
+                .iter()
+                .find(|r| r.task_id == e.task)
+                .expect("journaled task present");
+            assert_eq!(
+                (r.worker_id, r.start, r.end, r.attempts),
+                (e.worker, e.start, e.end, e.attempts),
+                "seed {seed}: journaled rows replay verbatim"
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! exact numbers live in EXPERIMENTS.md, these assert the shapes.
 
 use summitfold::dataflow::exec::BatchOutcome;
-use summitfold::dataflow::sim::SimExecutor;
+use summitfold::dataflow::sim::VirtualExecutor;
 use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
@@ -146,7 +146,7 @@ fn longest_first_ordering_prevents_straggler_tails_at_scale() {
             .workers(1200)
             .policy(policy)
             .durations(&durations)
-            .run(&SimExecutor::new(30.0))
+            .run(&VirtualExecutor::new(30.0))
             .unwrap()
     };
     let lpt = schedule(OrderingPolicy::LongestFirst);
@@ -185,7 +185,7 @@ fn six_thousand_worker_deployment_simulates() {
         .workers(6000)
         .policy(OrderingPolicy::LongestFirst)
         .durations(&durations)
-        .run(&SimExecutor::new(30.0))
+        .run(&VirtualExecutor::new(30.0))
         .unwrap();
     assert_eq!(sim.records.len(), 60_000);
     assert!(sim.utilization() > 0.8, "utilization {}", sim.utilization());

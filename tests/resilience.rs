@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 use summitfold::dataflow::real::ThreadExecutor;
-use summitfold::dataflow::sim::SimExecutor;
+use summitfold::dataflow::sim::VirtualExecutor;
 use summitfold::dataflow::stats::to_csv;
 use summitfold::dataflow::{Batch, Journal, OrderingPolicy, RetryPolicy, TaskFault, TaskSpec};
 use summitfold::hpc::Ledger;
@@ -33,7 +33,7 @@ fn specs_and_durations(seed: u64, n: usize) -> (Vec<TaskSpec>, Vec<f64>) {
 /// deterministic simulator.
 #[test]
 fn sim_resume_after_kill_is_byte_identical() {
-    let exec = SimExecutor::new(0.5);
+    let exec = VirtualExecutor::new(0.5);
     for seed in 0..12u64 {
         let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD15EA5E);
         let n = 20 + rng.below(40);
@@ -141,7 +141,7 @@ fn attempt_counts_agree_across_executors() {
                 .task_faults(&faults)
                 .quarantine(2)
         };
-        let sim = batch().run(&SimExecutor::new(0.0)).expect("sim");
+        let sim = batch().run(&VirtualExecutor::new(0.0)).expect("sim");
         let real = batch().run(&ThreadExecutor).expect("thread");
 
         assert_eq!(sim.records.len(), n);

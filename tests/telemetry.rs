@@ -6,7 +6,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use summitfold::dataflow::real::ThreadExecutor;
-use summitfold::dataflow::sim::SimExecutor;
+use summitfold::dataflow::sim::VirtualExecutor;
 use summitfold::dataflow::stats::{ascii_gantt, records_from_trace, to_csv};
 use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::obs::json::parse_object;
@@ -45,7 +45,7 @@ fn real_and_sim_executors_emit_identical_schema_and_task_sets() {
         .workers(5)
         .policy(OrderingPolicy::LongestFirst)
         .recorder(&vrec)
-        .run_with(&SimExecutor::new(0.5), &items, |_, &x| x * 2)
+        .run_with(&VirtualExecutor::new(0.5), &items, |_, &x| x * 2)
         .unwrap();
 
     let wrec = Recorder::wall();
@@ -97,8 +97,29 @@ fn golden_trace() -> String {
         .durations(&durations)
         .recorder(&rec)
         .label("demo")
-        .run(&SimExecutor::new(1.0))
+        .run(&VirtualExecutor::new(1.0))
         .expect("golden batch is well-formed");
+    // A speculating batch under a walltime budget: pins the
+    // `dataflow/speculated`, `dataflow/speculation_wins`, and
+    // `dataflow/deadline_carryover` counters plus the `:carryover`
+    // marker span in the golden schema.
+    let cut_specs = [
+        TaskSpec::new("delta", 2.0),
+        TaskSpec::new("epsilon", 2.0),
+        TaskSpec::new("zeta", 2.0),
+        TaskSpec::new("eta", 2.0),
+    ];
+    let cut_durations = [2.0, 9.0, 2.0, 2.0]; // epsilon straggles at 4.5×
+    Batch::new(&cut_specs)
+        .workers(2)
+        .policy(OrderingPolicy::Fifo)
+        .durations(&cut_durations)
+        .recorder(&rec)
+        .label("cut")
+        .speculate()
+        .deadline(7.0)
+        .run(&VirtualExecutor::new(1.0))
+        .expect("golden cut batch is well-formed");
     rec.add("demo/completed", 3.0);
     rec.gauge("demo/load", 0.5);
     rec.observe("demo/latency", 4.25);
@@ -133,7 +154,7 @@ fn sim_artifacts_regenerate_byte_identical_from_trace() {
         .workers(12)
         .policy(OrderingPolicy::LongestFirst)
         .recorder(&rec)
-        .run(&SimExecutor::new(2.0))
+        .run(&VirtualExecutor::new(2.0))
         .unwrap();
 
     // Serialize, reparse, and regenerate the paper's two §3.3 artifacts.
