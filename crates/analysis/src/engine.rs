@@ -11,7 +11,7 @@ use crate::lexer::{scan, TokKind};
 use crate::report::{Finding, Rule};
 use crate::rules::{
     collect_allows, crate_root_forbids_unsafe, deprecation, determinism, error_display,
-    panic_hygiene, test_regions, unsafe_ban, FileCheck,
+    metric_name, panic_hygiene, test_regions, unsafe_ban, FileCheck,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -272,6 +272,7 @@ fn check_file(
     unsafe_ban(&check, &allows, findings);
     deprecation(&check, &allows, findings);
     error_display(&check, &regions, &allows, findings);
+    metric_name(&check, &regions, &allows, findings);
     if rel.ends_with("src/lib.rs") {
         crate_root_forbids_unsafe(&check, findings);
     }

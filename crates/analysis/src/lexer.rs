@@ -12,8 +12,10 @@
 //! * char literals (including `'\''`) disambiguated from lifetimes,
 //!
 //! and emits identifiers and punctuation with 1-based line/column spans.
-//! Comment text is preserved separately so the engine can find
-//! `sfcheck::allow` directives.
+//! String literal bodies are emitted as [`TokKind::Str`] tokens (rules
+//! that inspect literal *arguments*, like metric-name hygiene, match on
+//! those; identifier rules never see them). Comment text is preserved
+//! separately so the engine can find `sfcheck::allow` directives.
 
 /// Kinds of token the scanner emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +28,11 @@ pub enum TokKind {
     Number,
     /// Lifetime such as `'a` (kept distinct from char literals).
     Lifetime,
+    /// String literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`). The token text
+    /// is the raw source slice between the delimiters, escapes
+    /// unprocessed — enough for rules that inspect literal arguments
+    /// (e.g. metric-name hygiene) without a full unescape pass.
+    Str,
 }
 
 /// One token with its 1-based source position.
@@ -88,8 +95,8 @@ impl Lexer<'_> {
             match c {
                 b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
-                b'"' => self.string_literal(),
-                b'r' | b'b' | b'c' if self.raw_or_prefixed_literal() => {}
+                b'"' => self.string_literal(line, col),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_literal(line, col) => {}
                 b'\'' => self.char_or_lifetime(line, col),
                 _ if c == b'_' || c.is_ascii_alphabetic() => self.ident(line, col),
                 _ if c.is_ascii_digit() => self.number(line, col),
@@ -164,8 +171,9 @@ impl Lexer<'_> {
     }
 
     /// Ordinary `"…"` literal with `\` escapes.
-    fn string_literal(&mut self) {
+    fn string_literal(&mut self, line: u32, col: u32) {
         self.bump(); // opening quote
+        let start = self.i;
         while self.i < self.b.len() {
             match self.b[self.i] {
                 b'\\' => {
@@ -175,18 +183,31 @@ impl Lexer<'_> {
                     }
                 }
                 b'"' => {
+                    self.push_str_tok(start, self.i, line, col);
                     self.bump();
                     return;
                 }
                 _ => self.bump(),
             }
         }
+        self.push_str_tok(start, self.i, line, col); // unterminated: to EOF
+    }
+
+    /// Emit a [`TokKind::Str`] token for the literal body `b[start..end]`.
+    fn push_str_tok(&mut self, start: usize, end: usize, line: u32, col: u32) {
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.out.tokens.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+            col,
+        });
     }
 
     /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` prefixes.
     /// Returns false (consuming nothing) when the `r`/`b`/`c` is just the
     /// start of an ordinary identifier.
-    fn raw_or_prefixed_literal(&mut self) -> bool {
+    fn raw_or_prefixed_literal(&mut self, line: u32, col: u32) -> bool {
         let mut j = self.i;
         // Optional b/c prefix before r, e.g. br"…".
         if matches!(self.b[j], b'b' | b'c') {
@@ -211,6 +232,7 @@ impl Lexer<'_> {
         while self.i <= j {
             self.bump();
         }
+        let start = self.i;
         if !raw {
             // b"…" / c"…": escapes allowed.
             while self.i < self.b.len() {
@@ -222,12 +244,14 @@ impl Lexer<'_> {
                         }
                     }
                     b'"' => {
+                        self.push_str_tok(start, self.i, line, col);
                         self.bump();
                         return true;
                     }
                     _ => self.bump(),
                 }
             }
+            self.push_str_tok(start, self.i, line, col);
             return true;
         }
         // Raw string: ends at `"` followed by `hashes` hash marks.
@@ -238,6 +262,7 @@ impl Lexer<'_> {
                     k += 1;
                 }
                 if k == hashes {
+                    self.push_str_tok(start, self.i, line, col);
                     for _ in 0..=hashes {
                         self.bump();
                     }
@@ -246,6 +271,7 @@ impl Lexer<'_> {
             }
             self.bump();
         }
+        self.push_str_tok(start, self.i, line, col);
         true
     }
 
@@ -427,6 +453,36 @@ mod tests {
             idents("let r = rows; let b = bits;"),
             vec!["let", "r", "rows", "let", "b", "bits"]
         );
+    }
+
+    #[test]
+    fn string_literals_emit_str_tokens() {
+        let src = "rec.add(\"area/name\", 1.0); let r = r#\"raw/body\"#; let b = b\"bytes\";";
+        let s = scan(src);
+        let strs: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["area/name", "raw/body", "bytes"]);
+        let tok = s
+            .tokens
+            .iter()
+            .find(|t| t.text == "area/name")
+            .expect("str token present");
+        assert_eq!((tok.kind, tok.line, tok.col), (TokKind::Str, 1, 9));
+    }
+
+    #[test]
+    fn escapes_stay_raw_in_str_tokens() {
+        let s = scan(r#"let x = "a\"b";"#);
+        let tok = s
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("str token present");
+        assert_eq!(tok.text, "a\\\"b");
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub enum Rule {
     Deprecation,
     /// An `*Error` enum without a `Display` arm for every variant.
     ErrorDisplay,
+    /// A metric name literal that breaks the `area/name` path scheme.
+    MetricName,
     /// Malformed `sfcheck::allow` directive.
     AllowSyntax,
 }
@@ -32,6 +34,7 @@ impl Rule {
             Self::Manifest => "manifest",
             Self::Deprecation => "deprecated",
             Self::ErrorDisplay => "error-display",
+            Self::MetricName => "metric-name",
             Self::AllowSyntax => "allow-syntax",
         }
     }
@@ -49,6 +52,7 @@ impl Rule {
             "manifest" => Some(Self::Manifest),
             "deprecated" => Some(Self::Deprecation),
             "error-display" => Some(Self::ErrorDisplay),
+            "metric-name" => Some(Self::MetricName),
             _ => None,
         }
     }
@@ -120,6 +124,7 @@ mod tests {
             Rule::Manifest,
             Rule::Deprecation,
             Rule::ErrorDisplay,
+            Rule::MetricName,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }

@@ -481,6 +481,75 @@ fn display_impl_body(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
     None
 }
 
+/// Metric-name hygiene: a string literal passed to a telemetry recording
+/// call (`.add("…", …)`, `.gauge("…", …)`, `.gauge_at("…", …)`,
+/// `.observe("…", …)`) must follow the workspace metric path scheme —
+/// two or more `/`-separated segments, each snake_case
+/// (`[a-z][a-z0-9_]*`) or a `{placeholder}` for runtime-interpolated
+/// names (`node_seconds/{machine}/{stage}`). A flat or CamelCase name
+/// fragments the trace vocabulary and breaks `lens --diff` baselines.
+/// Dynamic names (variables, `format!`) are out of scope for a token
+/// rule and are skipped.
+pub fn metric_name(
+    check: &FileCheck<'_>,
+    regions: &[(u32, u32)],
+    allows: &[AllowDirective],
+    findings: &mut Vec<Finding>,
+) {
+    if check.kind != FileKind::Lib {
+        return;
+    }
+    const RECORDING_CALLS: [&str; 4] = ["add", "gauge", "gauge_at", "observe"];
+    let toks = &check.scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !RECORDING_CALLS.contains(&t.text.as_str())
+            || in_regions(t.line, regions)
+            || is_allowed(allows, Rule::MetricName, t.line)
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        if prev != Some(".") || next != Some("(") {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else {
+            continue;
+        };
+        if arg.kind != TokKind::Str || valid_metric_name(&arg.text) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::MetricName,
+            file: check.rel_path.to_string(),
+            line: arg.line,
+            col: arg.col,
+            message: format!(
+                "metric name \"{}\" breaks the area/name scheme: two or more '/'-separated \
+                 segments, each snake_case ([a-z][a-z0-9_]*) or a {{placeholder}}",
+                arg.text
+            ),
+        });
+    }
+}
+
+/// `area/name` path validity: see [`metric_name`].
+fn valid_metric_name(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('/').collect();
+    segments.len() >= 2 && segments.iter().all(|s| valid_metric_segment(s))
+}
+
+fn valid_metric_segment(seg: &str) -> bool {
+    let inner = seg
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or(seg);
+    let mut chars = inner.chars();
+    matches!(chars.next(), Some('a'..='z'))
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
 /// Crate-root attribute check: `#![forbid(unsafe_code)]` must be present.
 pub fn crate_root_forbids_unsafe(check: &FileCheck<'_>, findings: &mut Vec<Finding>) {
     let toks = &check.scan.tokens;
@@ -737,6 +806,63 @@ mod tests {
         let src = "// sfcheck::allow(error-display, rendered via Debug in the test harness only)\n\
                    pub enum ProbeError { Odd }\n";
         assert!(run_error_display(src).is_empty());
+    }
+
+    fn run_metric(src: &str) -> Vec<Finding> {
+        let s = scan(src);
+        let check = lib_check(&s, "crates/x/src/lib.rs", false);
+        let mut findings = Vec::new();
+        let allows = collect_allows(&check, &mut findings);
+        let regions = test_regions(&s);
+        metric_name(&check, &regions, &allows, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn conforming_metric_names_pass() {
+        let src = r#"pub fn f(rec: &Recorder) {
+            rec.add("dataflow/retries", 1.0);
+            rec.gauge("monitor/eta_s", 4.0);
+            rec.gauge_at("monitor/done", 3.0, 0.5);
+            rec.observe("infer/recycles", 3.0);
+            rec.add(&format!("node_seconds/{m}/{s}"), 1.0);
+        }"#;
+        assert!(run_metric(src).is_empty());
+    }
+
+    #[test]
+    fn placeholder_segments_are_legal() {
+        assert!(
+            run_metric(r#"pub fn f(r: &R) { r.add("node_seconds/{machine}/{stage}", 1.0); }"#)
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn flat_camelcase_and_empty_segment_names_fire() {
+        for bad in ["retries", "Dataflow/Retries", "dataflow//x", "dataflow/x-y"] {
+            let src = format!("pub fn f(r: &R) {{ r.add(\"{bad}\", 1.0); }}");
+            let f = run_metric(&src);
+            assert_eq!(f.len(), 1, "{bad} should fire");
+            assert_eq!(f[0].rule, Rule::MetricName);
+            assert!(f[0].message.contains(bad), "{}", f[0].message);
+        }
+    }
+
+    #[test]
+    fn non_recorder_adds_and_dynamic_names_are_skipped() {
+        // `.add(` with a non-string first argument, a bare `add(...)`
+        // call, and test-region usage are all out of scope.
+        assert!(run_metric("pub fn f(s: &mut S, n: f64) { s.add(n, 1.0); }").is_empty());
+        assert!(run_metric("pub fn f() { add(\"whatever\", 1.0); }").is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n fn f(r: &R) { r.add(\"BadName\", 1.0); }\n}\n";
+        assert!(run_metric(in_tests).is_empty());
+    }
+
+    #[test]
+    fn metric_name_allow_suppresses() {
+        let src = "pub fn f(r: &R) {\n // sfcheck::allow(metric-name, legacy external dashboard key)\n r.add(\"LegacyKey\", 1.0);\n}";
+        assert!(run_metric(src).is_empty());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Inspect benchmark inputs and telemetry traces.
 //!
 //! ```text
-//! lens                  # length statistics of the benchmark set
-//! lens --trace <file>   # render a JSONL telemetry trace
+//! lens                           # length statistics of the benchmark set
+//! lens --trace <file>            # render a JSONL telemetry trace
+//! lens --diff <new> <baseline>   # compare two traces, exit 1 on regressions
+//! lens --help
 //! ```
 //!
 //! The `--trace` mode parses an append-only JSONL trace (as written by
@@ -10,27 +12,58 @@
 //! artifact) and prints the span tree with durations, task/counter/gauge
 //! summaries, histogram quantiles, and a node-hour breakdown from the
 //! `node_seconds/{machine}/{stage}` counters the observed ledger emits.
+//!
+//! The `--diff` mode extracts comparable metrics from both traces
+//! (makespan, per-span total durations, counter totals, histogram
+//! quantiles), classifies each against a 10 % relative threshold, and
+//! exits 1 when any metric regressed — `scripts/check.sh` uses this as
+//! the bench regression gate against a committed golden baseline.
+//!
+//! Exit codes: 0 success / no regressions, 1 unreadable trace or
+//! regressions found, 2 bad usage (unknown flag, wrong arity).
 
 use summitfold_bench::harness::benchmark_set;
 use summitfold_obs::Trace;
 
+const USAGE: &str = "usage: lens                           length statistics of the benchmark set
+       lens --trace <file.jsonl>      render a JSONL telemetry trace
+       lens --diff <new> <baseline>   compare two traces (exit 1 on regressions)
+       lens --help                    show this message";
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("--trace") {
-        let Some(path) = args.get(2) else {
-            eprintln!("usage: lens --trace <file.jsonl>");
-            std::process::exit(2);
-        };
-        match load_trace(path) {
-            Ok(trace) => print!("{}", render_trace(&trace)),
-            Err(e) => {
-                eprintln!("lens: {path}: {e}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => length_stats(),
+        Some("--help" | "-h") => println!("{USAGE}"),
+        Some("--trace") => {
+            let [_, path] = args.as_slice() else {
+                return bad_usage();
+            };
+            let trace = load_trace_or_exit(path);
+            print!("{}", render_trace(&trace));
+        }
+        Some("--diff") => {
+            let [_, new_path, base_path] = args.as_slice() else {
+                return bad_usage();
+            };
+            let new = load_trace_or_exit(new_path);
+            let baseline = load_trace_or_exit(base_path);
+            let diff = new.diff(&baseline);
+            print!("{}", diff.render());
+            if diff.has_regressions() {
                 std::process::exit(1);
             }
         }
-        return;
+        Some(_) => bad_usage(),
     }
+}
 
+fn bad_usage() {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn length_stats() {
     let set = benchmark_set();
     let mut lens: Vec<usize> = set.iter().map(|e| e.sequence.len()).collect();
     lens.sort_unstable();
@@ -43,6 +76,16 @@ fn main() {
     );
     for t in [600, 700, 740, 800, 892, 1000] {
         println!(">{}: {}", t, lens.iter().filter(|&&l| l > t).count());
+    }
+}
+
+fn load_trace_or_exit(path: &str) -> Trace {
+    match load_trace(path) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("lens: {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

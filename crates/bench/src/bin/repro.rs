@@ -5,10 +5,25 @@
 //! repro table1 [--quick]     # one experiment
 //! repro list                 # available experiments
 //! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — subsample the heavy experiments (CI scale).
+//! * `--out <dir>` — write artifacts there instead of `results/`.
+//! * `--emit-bench` — after the `fig2` experiment, distill its outcome
+//!   into a machine-readable `BENCH_dataflow.json` (makespan,
+//!   utilization, throughput). Written next to the other artifacts when
+//!   `--out` is given, else at the workspace root; `scripts/check.sh`
+//!   compares a fresh quick-mode copy against the committed one.
+//!
+//! Exit codes: 0 success, 2 bad usage (unknown flag or experiment,
+//! `--out` without a directory).
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use summitfold_bench::harness::{self, Ctx};
 use summitfold_bench::report::{results_dir, Report};
+use summitfold_obs::json::ObjectWriter;
 
 const EXPERIMENTS: [&str; 17] = [
     "headline",
@@ -30,11 +45,62 @@ const EXPERIMENTS: [&str; 17] = [
     "ablation-staging",
 ];
 
-fn run_one(name: &str, ctx: &Ctx) -> Option<Report> {
+/// Parsed command line: flags plus positional targets.
+struct Opts {
+    quick: bool,
+    emit_bench: bool,
+    out: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment|all|list> [--quick] [--emit-bench] [--out <dir>]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        emit_bench: false,
+        out: None,
+        targets: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--emit-bench" => opts.emit_bench = true,
+            "--out" => match it.next() {
+                Some(dir) => opts.out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("repro: --out needs a directory");
+                    usage();
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "help" => opts.targets.push(a),
+            f if f.starts_with('-') => {
+                eprintln!("repro: unknown flag {f:?}");
+                usage();
+                std::process::exit(2);
+            }
+            _ => opts.targets.push(a),
+        }
+    }
+    opts
+}
+
+fn run_one(name: &str, ctx: &Ctx, opts: &Opts) -> Option<Report> {
     Some(match name {
         "headline" => harness::headline::run(ctx).1,
         "table1" => harness::table1::run(ctx).1,
-        "fig2" => harness::fig2::run(ctx).1,
+        "fig2" => {
+            let (outcome, report) = harness::fig2::run(ctx);
+            if opts.emit_bench {
+                write_bench(&outcome, ctx.quick, opts);
+            }
+            report
+        }
         "fig3" => harness::fig3::run(ctx).1,
         "fig4" => harness::fig4::run(ctx).1,
         "featgen" => harness::featgen::run(ctx).1,
@@ -53,22 +119,48 @@ fn run_one(name: &str, ctx: &Ctx) -> Option<Report> {
     })
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| *a != "--quick")
-        .collect();
-    let ctx = Ctx { quick };
-    let dir = results_dir();
+/// Distill the fig2 outcome into `BENCH_dataflow.json`.
+///
+/// All numbers come from the virtual clock, so a quick-mode run is
+/// byte-stable across machines — the committed copy doubles as a
+/// regression baseline for `scripts/check.sh`.
+fn write_bench(outcome: &harness::fig2::Outcome, quick: bool, opts: &Opts) {
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "dataflow");
+    w.str_field("experiment", "fig2");
+    w.int_field("quick", u64::from(quick));
+    w.int_field("tasks", outcome.tasks as u64);
+    w.int_field("workers", outcome.workers as u64);
+    w.num_field("makespan_s", outcome.makespan_s);
+    w.num_field("utilization", outcome.utilization);
+    w.num_field("throughput_per_s", outcome.throughput_per_s);
+    let mut line = w.finish();
+    line.push('\n');
+    let dir = match &opts.out {
+        Some(dir) => dir.clone(),
+        None => workspace_root(),
+    };
+    let path = dir.join("BENCH_dataflow.json");
+    std::fs::create_dir_all(&dir).expect("writable bench dir");
+    std::fs::write(&path, line).expect("writable bench file");
+    eprintln!("wrote {}", path.display());
+}
 
-    match targets.first().copied() {
-        None | Some("--help") | Some("help") => {
-            eprintln!("usage: repro <experiment|all|list> [--quick]");
-            eprintln!("experiments: {}", EXPERIMENTS.join(", "));
-        }
+/// The workspace root — `results/`'s parent.
+fn workspace_root() -> PathBuf {
+    results_dir()
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() {
+    let opts = parse_args();
+    let ctx = Ctx { quick: opts.quick };
+    let dir = opts.out.clone().unwrap_or_else(results_dir);
+
+    match opts.targets.first().map(String::as_str) {
+        None | Some("--help" | "help") => usage(),
         Some("list") => {
             for e in EXPERIMENTS {
                 println!("{e}");
@@ -76,13 +168,13 @@ fn main() {
         }
         Some("all") => {
             let mut summary = String::from("# summitfold reproduction summary\n\n");
-            if quick {
+            if opts.quick {
                 summary.push_str("_Quick mode: heavy experiments subsampled._\n\n");
             }
             for name in EXPERIMENTS {
                 let t0 = Instant::now();
                 eprint!("{name:<20} ... ");
-                let report = run_one(name, &ctx).expect("known experiment");
+                let report = run_one(name, &ctx, &opts).expect("known experiment");
                 report.write_to(&dir).expect("writable results dir");
                 summary.push_str(&report.markdown);
                 summary.push('\n');
@@ -91,7 +183,7 @@ fn main() {
             std::fs::write(dir.join("SUMMARY.md"), summary).expect("write summary");
             eprintln!("wrote {}", dir.join("SUMMARY.md").display());
         }
-        Some(name) => match run_one(name, &ctx) {
+        Some(name) => match run_one(name, &ctx, &opts) {
             Some(report) => {
                 report.write_to(&dir).expect("writable results dir");
                 print!("{}", report.markdown);

@@ -11,7 +11,7 @@ use summitfold_dataflow::stats::{ascii_gantt, to_csv};
 use summitfold_dataflow::OrderingPolicy;
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
-use summitfold_obs::Recorder;
+use summitfold_obs::{Monitor, MonitorConfig, Recorder, Sink as _};
 use summitfold_pipeline::stages::{inference, StageCtx};
 use summitfold_protein::proteome::{Proteome, Species};
 
@@ -22,6 +22,12 @@ pub struct Outcome {
     pub workers: usize,
     /// Batch walltime in hours.
     pub walltime_h: f64,
+    /// Standard-lane makespan in (virtual) seconds.
+    pub makespan_s: f64,
+    /// Completed tasks in the batch.
+    pub tasks: usize,
+    /// Completions per second over the whole batch.
+    pub throughput_per_s: f64,
     /// Idle tail in minutes.
     pub idle_tail_min: f64,
     /// Mean worker busy fraction.
@@ -49,6 +55,9 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         nodes,
         policy: OrderingPolicy::LongestFirst,
         rescue_on_high_mem: true,
+        // Live health gauges roughly every workers/2 completions — a
+        // couple hundred monitor samples over the batch either way.
+        progress_every: Some(if ctx.quick { 50 } else { 500 }),
         ..inference::Config::benchmark(Preset::Genome)
     };
     // Run traced on a virtual clock: the JSONL trace carries the stage
@@ -84,9 +93,17 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
             }
         }
     }
+    let tasks = sim.records.len();
     let outcome = Outcome {
         workers,
         walltime_h: sim.makespan / 3600.0,
+        makespan_s: sim.makespan,
+        tasks,
+        throughput_per_s: if sim.makespan > 0.0 {
+            tasks as f64 / sim.makespan
+        } else {
+            0.0
+        },
         idle_tail_min: sim.standard_idle_tail() / 60.0,
         utilization: sim.standard_utilization(),
         first_tasks_longer: first_longer >= 8,
@@ -104,6 +121,20 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         outcome.walltime_h,
         outcome.idle_tail_min,
         outcome.utilization * 100.0
+    ));
+    // Replay the trace through the health monitor — same fold the live
+    // `progress_every` gauges come from — for a one-line closing state.
+    let monitor = Monitor::new(MonitorConfig {
+        total_tasks: Some(tasks),
+        workers: Some(workers),
+        ..MonitorConfig::default()
+    });
+    for e in rec.events() {
+        monitor.event(&e);
+    }
+    rpt.line(format!(
+        "Monitor close-out (whole campaign, quarantine tail included): {}.",
+        monitor.snapshot().render_line()
     ));
     if sim.quarantined > 0 {
         rpt.line(format!(

@@ -84,6 +84,8 @@ pub enum BatchError {
     InvalidDeadline,
     /// The speculation factor is not a finite number greater than 1.
     InvalidSpeculation,
+    /// `progress(0)` was requested: the cadence must be at least 1 task.
+    InvalidProgress,
     /// The retry/quarantine/journal configuration cannot complete.
     Resilience(ResilienceError),
 }
@@ -117,6 +119,9 @@ impl std::fmt::Display for BatchError {
             }
             Self::InvalidSpeculation => {
                 write!(f, "speculation factor must be finite and greater than 1")
+            }
+            Self::InvalidProgress => {
+                write!(f, "progress cadence must be at least one task")
             }
             Self::Resilience(e) => write!(f, "{e}"),
         }
@@ -176,6 +181,9 @@ pub struct Plan<'a> {
     /// clean task whose modeled duration exceeds `k × cost_hint` gets a
     /// speculative duplicate on an idle worker.
     pub speculation: Option<f64>,
+    /// Emit `monitor/...` health gauges every N completed tasks
+    /// (`None` = no progress telemetry). Validated ≥ 1.
+    pub progress: Option<usize>,
     /// Tasks already completed per a resume journal, by id. Backends
     /// must not re-schedule them; see [`Batch::resume`] for the exact
     /// per-backend semantics.
@@ -388,6 +396,7 @@ pub struct Batch<'a> {
     journal: Option<&'a Journal>,
     deadline: Option<f64>,
     speculation: Option<f64>,
+    progress: Option<usize>,
 }
 
 impl<'a> Batch<'a> {
@@ -408,6 +417,7 @@ impl<'a> Batch<'a> {
             journal: None,
             deadline: None,
             speculation: None,
+            progress: None,
         }
     }
 
@@ -522,6 +532,17 @@ impl<'a> Batch<'a> {
         self
     }
 
+    /// Emit live-health gauges (`monitor/done`, `monitor/throughput`,
+    /// `monitor/utilization`, `monitor/eta_s`, …) every `every_n_tasks`
+    /// completions, plus once at batch end. The gauges flow through the
+    /// normal trace schema, so on the virtual backend the full snapshot
+    /// sequence is deterministic and cross-executor-testable.
+    #[must_use]
+    pub fn progress(mut self, every_n_tasks: usize) -> Self {
+        self.progress = Some(every_n_tasks);
+        self
+    }
+
     fn validate(&self, items: usize) -> Result<Plan<'a>, BatchError> {
         if self.workers == 0 || self.quarantine_workers == Some(0) {
             return Err(BatchError::NoWorkers);
@@ -568,6 +589,9 @@ impl<'a> Batch<'a> {
                 return Err(BatchError::InvalidSpeculation);
             }
         }
+        if self.progress == Some(0) {
+            return Err(BatchError::InvalidProgress);
+        }
         // The fault schedule is a pure function of the description, so a
         // task doomed to exhaust every configured lane is rejected here —
         // executors may assume every scheduled task eventually succeeds.
@@ -608,6 +632,7 @@ impl<'a> Batch<'a> {
             journal: self.journal,
             deadline: self.deadline,
             speculation: self.speculation,
+            progress: self.progress,
             completed: BTreeMap::new(),
         })
     }
@@ -719,7 +744,9 @@ pub fn open_batch_span(plan: &Plan<'_>) -> (SpanId, f64) {
 /// counters, cancelled speculative executions as task events with
 /// attempts = 0, a nested `{label}:quarantine` span covering the rerun
 /// pass when one happened, and a zero-duration `{label}:carryover`
-/// marker span when the deadline cut the batch.
+/// marker span when the deadline cut the batch. When the plan asked for
+/// progress telemetry, `monitor/...` gauges are interleaved at their
+/// completion timestamps (see [`Batch::progress`]).
 pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &BatchOutcome<O>) {
     let rec = plan.recorder;
     if !rec.is_enabled() {
@@ -734,6 +761,9 @@ pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &Bat
             r.end,
             r.attempts,
         );
+    }
+    if let Some(every) = plan.progress {
+        emit_progress(plan, t0, outcome, every);
     }
     if outcome.requeued > 0 {
         rec.add("dataflow/requeued", outcome.requeued as f64);
@@ -775,6 +805,59 @@ pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &Bat
     }
     rec.advance_clock_to(t0 + outcome.makespan);
     rec.span_end(span);
+}
+
+/// Replay the completion sequence through a [`summitfold_obs::Monitor`]
+/// and emit `monitor/...` health gauges every `every` completions (plus
+/// once at the final completion).
+///
+/// Completions are replayed in end-time order (ties broken by task id),
+/// which is the order an operator would have watched them land, and the
+/// gauges are stamped with [`Recorder::gauge_at`] at the completion's
+/// batch time — the clock is never advanced, so every other event in
+/// the trace keeps byte-identical timestamps whether or not progress
+/// telemetry is on.
+fn emit_progress<O>(plan: &Plan<'_>, t0: f64, outcome: &BatchOutcome<O>, every: usize) {
+    use summitfold_obs::{Event, Monitor, MonitorConfig, Sink as _};
+    let expected_total_s = match plan.durations {
+        Some(ds) => ds.iter().sum(),
+        None => plan.specs.iter().map(|s| s.cost_hint).sum(),
+    };
+    let monitor = Monitor::new(MonitorConfig {
+        total_tasks: Some(plan.specs.len()),
+        expected_total_s: Some(expected_total_s),
+        workers: Some(plan.workers),
+        ..MonitorConfig::default()
+    });
+    let mut records: Vec<&TaskRecord> = outcome.records.iter().collect();
+    records.sort_by(|a, b| {
+        a.end
+            .total_cmp(&b.end)
+            .then_with(|| a.task_id.cmp(&b.task_id))
+    });
+    let rec = plan.recorder;
+    let last = records.len();
+    for (i, r) in records.iter().enumerate() {
+        monitor.event(&Event::Task {
+            span: None,
+            task: r.task_id.clone(),
+            worker: r.worker_id,
+            start: r.start,
+            end: r.end,
+            attempts: r.attempts,
+        });
+        let done = i + 1;
+        if done % every != 0 && done != last {
+            continue;
+        }
+        let snap = monitor.snapshot();
+        let t = t0 + snap.t;
+        rec.gauge_at("monitor/done", snap.tasks_done as f64, t);
+        rec.gauge_at("monitor/total", plan.specs.len() as f64, t);
+        rec.gauge_at("monitor/throughput", snap.throughput_per_s, t);
+        rec.gauge_at("monitor/utilization", snap.utilization, t);
+        rec.gauge_at("monitor/eta_s", snap.eta_s, t);
+    }
 }
 
 /// Per-worker busy seconds and finish times derived from task records.
@@ -953,12 +1036,64 @@ mod tests {
             .to_string(),
             BatchError::InvalidDeadline.to_string(),
             BatchError::InvalidSpeculation.to_string(),
+            BatchError::InvalidProgress.to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());
         }
         assert!(msgs[1].contains("1 task specs but 2 items"), "{}", msgs[1]);
         assert!(msgs[4].contains("worker 9"), "{}", msgs[4]);
+    }
+
+    #[test]
+    fn zero_progress_cadence_is_a_typed_error() {
+        let s = specs(4);
+        let err = Batch::new(&s)
+            .workers(2)
+            .progress(0)
+            .run(&VirtualExecutor::new(0.0))
+            .unwrap_err();
+        assert_eq!(err, BatchError::InvalidProgress);
+    }
+
+    #[test]
+    fn progress_emits_monitor_gauges_without_perturbing_the_rest() {
+        use summitfold_obs::{Event, Recorder};
+        let s = specs(6);
+        let run = |progress: Option<usize>| {
+            let rec = Recorder::virtual_time();
+            let mut b = Batch::new(&s).workers(2).recorder(&rec);
+            if let Some(every) = progress {
+                b = b.progress(every);
+            }
+            b.run(&VirtualExecutor::new(0.0)).unwrap();
+            rec.events()
+        };
+        let plain = run(None);
+        let with = run(Some(2));
+        let (gauges, rest): (Vec<Event>, Vec<Event>) = with
+            .into_iter()
+            .partition(|e| matches!(e, Event::Gauge { name, .. } if name.starts_with("monitor/")));
+        assert_eq!(rest, plain, "progress only adds gauges");
+        // 6 tasks at cadence 2 → 3 emissions × 5 gauges.
+        assert_eq!(gauges.len(), 15);
+        let done: Vec<f64> = gauges
+            .iter()
+            .filter_map(|e| match e {
+                Event::Gauge { name, value, .. } if name == "monitor/done" => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![2.0, 4.0, 6.0]);
+        // Gauge timestamps are completion times, nondecreasing.
+        let ts: Vec<f64> = gauges
+            .iter()
+            .filter_map(|e| match e {
+                Event::Gauge { t, .. } => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! replays journaled records verbatim (wall-clock times are not
 //! reproducible) and schedules only the remainder; outputs of replayed
 //! and carried-over tasks are recomputed inline so the outcome stays
-//! fully populated for any output type.
+//! fully populated for any output type. With `Batch::progress(n)` the
+//! shared span-closing path interleaves `monitor/...` health gauges at
+//! completion timestamps; task counts are cross-executor-deterministic,
+//! rate/utilization values reflect the measured wall-clock timings.
 
 use crate::exec::{
     close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, BatchStatus, Executor, Plan,

@@ -24,7 +24,10 @@
 //! on the next-free worker. Resume is re-derivation: the schedule is a
 //! pure function of the batch description, so a resumed simulation
 //! recomputes every record bit-for-bit and `Batch::resume` cross-checks
-//! them against the journal.
+//! them against the journal. With `Batch::progress(n)` the shared
+//! span-closing path also interleaves `monitor/...` health gauges at
+//! completion timestamps; on this backend the whole snapshot sequence
+//! is deterministic.
 
 use crate::deadline::would_overrun;
 use crate::exec::{close_batch_span, open_batch_span, BatchOutcome, BatchStatus, Executor, Plan};

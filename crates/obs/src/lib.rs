@@ -21,16 +21,30 @@
 //!   derives every view (span durations, counter totals, task rows) so
 //!   CSV and Gantt artifacts regenerate byte-identically from a trace
 //!   file.
+//! * [`Sink`] — streaming consumers ([`RingSink`], [`JsonlSink`],
+//!   [`TeeSink`]) that receive events as they are recorded, bounding
+//!   memory for production-scale runs.
+//! * [`Monitor`] — a `Sink` folding the stream into live campaign
+//!   health ([`HealthSnapshot`]: done/total, throughput, utilization,
+//!   stragglers, budget burn, ETA).
+//! * [`TraceDiff`] — relative-threshold comparison of two traces
+//!   ([`Trace::diff`]), the regression gate behind `lens --diff`.
 
 pub mod clock;
+pub mod diff;
 pub mod event;
 pub mod json;
+pub mod monitor;
 pub mod recorder;
+pub mod sink;
 pub mod trace;
 pub mod wall;
 
 pub use clock::{Clock, VirtualClock};
+pub use diff::{DiffClass, DiffEntry, TraceDiff};
 pub use event::{Event, SpanId};
+pub use monitor::{HealthSnapshot, Monitor, MonitorConfig};
 pub use recorder::Recorder;
+pub use sink::{JsonlSink, RingSink, Sink, TeeSink};
 pub use trace::{HistogramView, SpanView, TaskView, Trace, TraceError};
 pub use wall::WallClock;

@@ -10,9 +10,15 @@
 //! Code that is only *optionally* observed takes `&Recorder` and callers
 //! without telemetry pass [`Recorder::disabled`], which drops every event
 //! without locking overhead beyond a single boolean check.
+//!
+//! Events can also *stream*: any number of [`Sink`]s attached via
+//! [`Recorder::with_sink`] or [`Recorder::attach_sink`] receive each
+//! event the moment it is recorded. With no sink attached, behavior —
+//! including the exact bytes of [`Recorder::to_jsonl`] — is unchanged.
 
 use crate::clock::Clock;
 use crate::event::{Event, SpanId};
+use crate::sink::Sink;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -22,6 +28,23 @@ struct Inner {
     next_span: u64,
     span_stack: Vec<SpanId>,
     counters: BTreeMap<String, f64>,
+    /// Attached streaming consumers; each sees every event in order.
+    sinks: Vec<Box<dyn Sink>>,
+    /// Whether events are kept in `events` after streaming. Only
+    /// [`Recorder::with_sink`] turns this off (bounded-memory mode).
+    retain: bool,
+}
+
+impl Inner {
+    /// Route one event: stream to every sink, then retain if configured.
+    fn emit(&mut self, e: Event) {
+        for s in &self.sinks {
+            s.event(&e);
+        }
+        if self.retain {
+            self.events.push(e);
+        }
+    }
 }
 
 /// Append-only event sink with a pluggable [`Clock`].
@@ -50,6 +73,8 @@ static DISABLED: Recorder = Recorder {
         next_span: 1,
         span_stack: Vec::new(),
         counters: BTreeMap::new(),
+        sinks: Vec::new(),
+        retain: true,
     }),
 };
 
@@ -65,6 +90,8 @@ impl Recorder {
                 next_span: 1,
                 span_stack: Vec::new(),
                 counters: BTreeMap::new(),
+                sinks: Vec::new(),
+                retain: true,
             }),
         }
     }
@@ -91,6 +118,36 @@ impl Recorder {
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Builder: stream every event into `sink` *instead of* retaining it.
+    ///
+    /// This is the bounded-memory mode for production-scale runs: with a
+    /// [`crate::sink::RingSink`] of capacity N the recorder holds at most
+    /// N events regardless of run length, and [`Recorder::events`] /
+    /// [`Recorder::to_jsonl`] return nothing — the sink owns the stream.
+    /// Attach further sinks with [`Recorder::attach_sink`] (or use a
+    /// [`crate::sink::TeeSink`]) to fan out.
+    #[must_use]
+    pub fn with_sink(self, sink: Box<dyn Sink>) -> Self {
+        {
+            let mut inner = self.lock();
+            inner.sinks.push(sink);
+            inner.retain = false;
+        }
+        self
+    }
+
+    /// Tee every future event into `sink` *in addition to* the existing
+    /// behavior (retained snapshot and previously attached sinks).
+    ///
+    /// Events recorded before the attach are not replayed. No-op on the
+    /// disabled recorder.
+    pub fn attach_sink(&self, sink: Box<dyn Sink>) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().sinks.push(sink);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -127,7 +184,7 @@ impl Recorder {
         inner.next_span += 1;
         let parent = inner.span_stack.last().copied();
         inner.span_stack.push(id);
-        inner.events.push(Event::SpanStart {
+        inner.emit(Event::SpanStart {
             id,
             parent,
             name: name.to_string(),
@@ -150,7 +207,7 @@ impl Recorder {
         if let Some(pos) = inner.span_stack.iter().rposition(|s| *s == id) {
             inner.span_stack.remove(pos);
         }
-        inner.events.push(Event::SpanEnd { id, t });
+        inner.emit(Event::SpanEnd { id, t });
     }
 
     /// Record one executed task under `span` (batch-relative seconds).
@@ -168,7 +225,7 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        self.lock().events.push(Event::Task {
+        self.lock().emit(Event::Task {
             span: span.filter(|s| *s != SpanId(0)),
             task: task.to_string(),
             worker,
@@ -190,7 +247,7 @@ impl Recorder {
             *slot += delta;
             *slot
         };
-        inner.events.push(Event::Counter {
+        inner.emit(Event::Counter {
             name: name.to_string(),
             delta,
             total,
@@ -200,11 +257,20 @@ impl Recorder {
 
     /// Record a point-in-time gauge value.
     pub fn gauge(&self, name: &str, value: f64) {
+        self.gauge_at(name, value, self.now());
+    }
+
+    /// Record a gauge with an explicit timestamp instead of the clock.
+    ///
+    /// For values reconstructed after the fact at a known instant — the
+    /// executors emit `monitor/...` progress gauges mid-batch this way
+    /// without touching the (monotonic) clock, so the rest of the trace
+    /// keeps its exact timings.
+    pub fn gauge_at(&self, name: &str, value: f64, t: f64) {
         if !self.enabled {
             return;
         }
-        let t = self.now();
-        self.lock().events.push(Event::Gauge {
+        self.lock().emit(Event::Gauge {
             name: name.to_string(),
             value,
             t,
@@ -217,17 +283,26 @@ impl Recorder {
             return;
         }
         let t = self.now();
-        self.lock().events.push(Event::Observe {
+        self.lock().emit(Event::Observe {
             name: name.to_string(),
             value,
             t,
         });
     }
 
-    /// Snapshot of all events recorded so far.
+    /// Snapshot of all events recorded so far (empty in streaming mode).
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
         self.lock().events.clone()
+    }
+
+    /// Drain the retained events without cloning, leaving the recorder
+    /// empty (but still recording). The cheap hand-off for consumers
+    /// that take ownership of the trace, e.g.
+    /// `Trace::from_events(rec.take_events())`.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut self.lock().events)
     }
 
     /// Serialize the trace as JSONL: one event per line, trailing newline.
@@ -243,10 +318,11 @@ impl Recorder {
     }
 
     /// Human-readable summary: span tree with durations, counter totals,
-    /// last gauge values, histogram statistics.
+    /// last gauge values, histogram statistics. Computed from a borrow
+    /// under the lock — the event vector is not cloned.
     #[must_use]
     pub fn summary(&self) -> String {
-        crate::trace::Trace::from_events(self.events()).summary()
+        crate::trace::summary_of(&self.lock().events)
     }
 }
 
@@ -330,6 +406,99 @@ mod tests {
         };
         assert_eq!(build(), build());
         assert!(build().contains("\"t\":12.5"));
+    }
+
+    #[test]
+    fn attach_sink_tees_without_changing_snapshot() {
+        use crate::sink::RingSink;
+        use std::sync::Arc;
+        let baseline = {
+            let r = Recorder::virtual_time();
+            let s = r.span_start("batch");
+            r.add("demo/completed", 1.0);
+            r.span_end(s);
+            r.to_jsonl()
+        };
+        let ring = Arc::new(RingSink::new(16));
+        let r = Recorder::virtual_time();
+        r.attach_sink(Box::new(Arc::clone(&ring)));
+        let s = r.span_start("batch");
+        r.add("demo/completed", 1.0);
+        r.span_end(s);
+        assert_eq!(
+            r.to_jsonl(),
+            baseline,
+            "tee leaves the snapshot path intact"
+        );
+        assert_eq!(ring.to_jsonl(), baseline, "sink saw the same stream");
+    }
+
+    #[test]
+    fn with_sink_streams_instead_of_retaining() {
+        use crate::sink::RingSink;
+        use std::sync::Arc;
+        let ring = Arc::new(RingSink::new(2));
+        let r = Recorder::virtual_time().with_sink(Box::new(Arc::clone(&ring)));
+        let s = r.span_start("batch");
+        for i in 0..5 {
+            r.task(Some(s), &format!("t{i}"), 0, 0.0, 1.0, 1);
+        }
+        r.span_end(s);
+        assert!(r.events().is_empty(), "streaming mode retains nothing");
+        assert_eq!(r.to_jsonl(), "");
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 5); // 7 events through a 2-slot ring
+    }
+
+    #[test]
+    fn attach_sink_on_disabled_recorder_is_noop() {
+        use crate::sink::RingSink;
+        use std::sync::Arc;
+        let ring = Arc::new(RingSink::new(4));
+        let r = Recorder::disabled();
+        r.attach_sink(Box::new(Arc::clone(&ring)));
+        r.add("c/x", 1.0);
+        assert!(ring.is_empty());
+        // The shared static must not have accumulated a sink.
+        assert!(Recorder::disabled().lock().sinks.is_empty());
+    }
+
+    #[test]
+    fn take_events_drains_without_cloning() {
+        let r = Recorder::virtual_time();
+        r.add("c/x", 1.0);
+        let taken = r.take_events();
+        assert_eq!(taken.len(), 1);
+        assert!(r.events().is_empty());
+        r.add("c/x", 1.0); // still recording after the drain
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn gauge_at_uses_explicit_timestamp_and_leaves_clock_alone() {
+        let r = Recorder::virtual_time();
+        r.gauge_at("monitor/done", 3.0, 42.5);
+        assert_eq!(r.now(), 0.0);
+        match r.events().last().expect("event") {
+            Event::Gauge { name, value, t } => {
+                assert_eq!(name, "monitor/done");
+                assert_eq!(*value, 3.0);
+                assert_eq!(*t, 42.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_does_not_consume_or_clone_observable_state() {
+        let r = Recorder::virtual_time();
+        let s = r.span_start("batch");
+        r.add("c/x", 2.0);
+        r.span_end(s);
+        let before = r.events();
+        let text = r.summary();
+        assert!(text.contains("c/x = 2.000"), "{text}");
+        assert_eq!(r.events(), before, "summary left the events in place");
     }
 
     #[test]

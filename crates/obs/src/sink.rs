@@ -1,0 +1,357 @@
+//! Streaming event sinks: bounded buffers, incremental writers, fan-out.
+//!
+//! A [`Sink`] receives every [`Event`] the instant a
+//! [`crate::recorder::Recorder`] records it, instead of waiting for the
+//! run to end and snapshotting the accumulated vector. This is the
+//! production half of the telemetry layer: a proteome-scale campaign
+//! emits one task event per model prediction (millions of lines), and an
+//! operator watching the run needs the stream — bounded in memory — not
+//! the retrospective.
+//!
+//! Three implementations cover the common shapes:
+//!
+//! * [`RingSink`] — bounded ring buffer keeping the most recent `N`
+//!   events and counting what it dropped; the "last minutes of the
+//!   campaign" view with O(N) memory regardless of run length.
+//! * [`JsonlSink`] — incremental line writer: each event is serialized
+//!   with [`Event::to_json_line`] and appended immediately, so a killed
+//!   run leaves a readable (at worst torn-tail) trace on disk.
+//! * [`TeeSink`] — fan-out to several sinks, e.g. a ring for the live
+//!   view plus a JSONL file for the archive.
+//!
+//! [`crate::monitor::Monitor`] is itself a `Sink`, so live health rides
+//! the same mechanism.
+//!
+//! Sinks are invoked while the recorder's internal lock is held: an
+//! implementation must not call back into the same recorder (it would
+//! deadlock) and should keep per-event work small.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A consumer of the live event stream.
+///
+/// `event` takes `&self` because sinks are shared across the recorder's
+/// callers (the thread executor's workers record concurrently);
+/// implementations carry their own interior mutability.
+pub trait Sink: Send + Sync {
+    /// Receive one event, in recording order.
+    fn event(&self, e: &Event);
+}
+
+impl<S: Sink + ?Sized> Sink for Arc<S> {
+    fn event(&self, e: &Event) {
+        (**self).event(e);
+    }
+}
+
+/// Interior state of a [`RingSink`].
+struct RingState {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer over the event stream.
+///
+/// Holds at most `capacity` events; once full, each new event evicts the
+/// oldest and increments the drop counter. A capacity of 0 drops
+/// everything (pure counting).
+pub struct RingSink {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl RingSink {
+    /// A ring keeping the most recent `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(RingState {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingState> {
+        // Short, allocation-only critical sections: state stays
+        // consistent across a poisoning panic.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether the ring currently holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().buf.is_empty()
+    }
+
+    /// Events evicted (or rejected, at capacity 0) so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// Serialize the retained events as JSONL (a trace *suffix*: the
+    /// dropped prefix is gone, which [`RingSink::dropped`] reports).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let state = self.lock();
+        let mut out = String::with_capacity(state.buf.len() * 96);
+        for e in &state.buf {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for RingSink {
+    fn event(&self, e: &Event) {
+        let mut state = self.lock();
+        if self.capacity == 0 {
+            state.dropped += 1;
+            return;
+        }
+        if state.buf.len() == self.capacity {
+            state.buf.pop_front();
+            state.dropped += 1;
+        }
+        state.buf.push_back(e.clone());
+    }
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("RingSink")
+            .field("capacity", &self.capacity)
+            .field("len", &state.buf.len())
+            .field("dropped", &state.dropped)
+            .finish()
+    }
+}
+
+/// Interior state of a [`JsonlSink`].
+struct JsonlState {
+    writer: Box<dyn Write + Send>,
+    write_errors: u64,
+}
+
+/// Incremental JSONL writer: one line per event, appended as recorded.
+///
+/// Write failures never panic or poison the recorder — they are counted
+/// ([`JsonlSink::write_errors`]) and the stream continues, matching the
+/// telemetry contract that observation must not take down the campaign.
+pub struct JsonlSink {
+    state: Mutex<JsonlState>,
+}
+
+impl JsonlSink {
+    /// Stream events into any writer (a file, a pipe, a `Vec<u8>`).
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            state: Mutex::new(JsonlState {
+                writer,
+                write_errors: 0,
+            }),
+        }
+    }
+
+    /// Create (truncating) `path` and stream events into it.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JsonlState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Events that failed to write so far.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.lock().write_errors
+    }
+
+    /// Flush the underlying writer.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error on a failed flush.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.lock().writer.flush()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, e: &Event) {
+        let mut state = self.lock();
+        let mut line = e.to_json_line();
+        line.push('\n');
+        if state.writer.write_all(line.as_bytes()).is_err() {
+            state.write_errors += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("write_errors", &self.lock().write_errors)
+            .finish()
+    }
+}
+
+/// Fan-out to several sinks, in order.
+pub struct TeeSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// Tee the stream into every sink in `sinks`.
+    #[must_use]
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+
+    /// Number of downstream sinks.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+}
+
+impl Sink for TeeSink {
+    fn event(&self, e: &Event) {
+        for s in &self.sinks {
+            s.event(e);
+        }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink")
+            .field("fanout", &self.sinks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge(i: usize) -> Event {
+        Event::Gauge {
+            name: format!("g{i}"),
+            value: i as f64,
+            t: i as f64,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let ring = RingSink::new(3);
+        for i in 0..10 {
+            ring.event(&gauge(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let kept: Vec<String> = ring
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Gauge { name, .. } => name.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept, vec!["g7", "g8", "g9"], "oldest events evicted first");
+    }
+
+    #[test]
+    fn ring_capacity_zero_drops_everything() {
+        let ring = RingSink::new(0);
+        ring.event(&gauge(0));
+        ring.event(&gauge(1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines_incrementally() {
+        let dir = std::env::temp_dir().join("summitfold_jsonl_sink_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("stream.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.event(&gauge(0));
+        sink.event(&gauge(1));
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"event\":\"gauge\""), "{text}");
+        assert_eq!(sink.write_errors(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A writer that fails after its budget is exhausted.
+    struct Failing(usize);
+    impl Write for Failing {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.0 == 0 {
+                return Err(std::io::Error::other("full"));
+            }
+            self.0 -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_write_errors_without_panicking() {
+        let sink = JsonlSink::new(Box::new(Failing(1)));
+        sink.event(&gauge(0));
+        sink.event(&gauge(1));
+        sink.event(&gauge(2));
+        assert_eq!(sink.write_errors(), 2);
+    }
+
+    #[test]
+    fn tee_fans_out_in_order() {
+        let a = Arc::new(RingSink::new(8));
+        let b = Arc::new(RingSink::new(1));
+        let tee = TeeSink::new(vec![Box::new(Arc::clone(&a)), Box::new(Arc::clone(&b))]);
+        assert_eq!(tee.fanout(), 2);
+        tee.event(&gauge(0));
+        tee.event(&gauge(1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.dropped(), 1);
+    }
+}

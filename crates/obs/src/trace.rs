@@ -75,6 +75,42 @@ pub struct HistogramView {
     pub max: f64,
 }
 
+impl HistogramView {
+    /// Summarize raw samples with nearest-rank quantiles.
+    ///
+    /// Nearest-rank: the q-quantile of n sorted samples is the value at
+    /// 1-based rank `ceil(q·n)` (clamped to `1..=n`), so every reported
+    /// quantile is an actual observation. Degenerate inputs are
+    /// well-defined:
+    ///
+    /// * 0 observations → `None` (there is no sample to report);
+    /// * 1 observation → p50 = p95 = max = that sample;
+    /// * 2 observations → p50 is the *smaller* (rank ceil(0.5·2) = 1),
+    ///   p95 and max are the larger;
+    /// * all-equal samples → every statistic equals that value.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut vs = samples.to_vec();
+        vs.sort_by(f64::total_cmp);
+        let count = vs.len();
+        let mean = vs.iter().sum::<f64>() / count as f64;
+        let rank = |q: f64| {
+            let i = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            vs[i]
+        };
+        Some(Self {
+            count,
+            mean,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: vs[count - 1],
+        })
+    }
+}
+
 /// A malformed line in a JSONL trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceError {
@@ -210,205 +246,221 @@ impl Trace {
     /// Latest timestamp appearing anywhere in the trace.
     #[must_use]
     pub fn last_timestamp(&self) -> f64 {
-        self.events
-            .iter()
-            .filter_map(|e| match e {
-                Event::SpanStart { t, .. }
-                | Event::SpanEnd { t, .. }
-                | Event::Counter { t, .. }
-                | Event::Gauge { t, .. }
-                | Event::Observe { t, .. } => Some(*t),
-                Event::Task { .. } => None,
-            })
-            .fold(0.0, f64::max)
+        last_timestamp_of(&self.events)
     }
 
     /// Spans in open order, with durations and nesting depth resolved.
     /// Unclosed spans end at [`Trace::last_timestamp`].
     #[must_use]
     pub fn spans(&self) -> Vec<SpanView> {
-        let last_t = self.last_timestamp();
-        let mut spans: Vec<SpanView> = Vec::new();
-        let mut index: BTreeMap<SpanId, usize> = BTreeMap::new();
-        for e in &self.events {
-            match e {
-                Event::SpanStart {
-                    id,
-                    parent,
-                    name,
-                    t,
-                } => {
-                    let depth = parent
-                        .and_then(|p| index.get(&p))
-                        .map_or(0, |&i| spans[i].depth + 1);
-                    index.insert(*id, spans.len());
-                    spans.push(SpanView {
-                        id: *id,
-                        parent: *parent,
-                        name: name.clone(),
-                        start: *t,
-                        end: last_t,
-                        depth,
-                    });
-                }
-                Event::SpanEnd { id, t } => {
-                    if let Some(&i) = index.get(id) {
-                        spans[i].end = *t;
-                    }
-                }
-                _ => {}
-            }
-        }
-        spans
+        spans_of(&self.events)
     }
 
     /// Task rows in recorded order.
     #[must_use]
     pub fn tasks(&self) -> Vec<TaskView> {
-        self.events
-            .iter()
-            .filter_map(|e| match e {
-                Event::Task {
-                    span,
-                    task,
-                    worker,
-                    start,
-                    end,
-                    attempts,
-                } => Some(TaskView {
-                    span: *span,
-                    task: task.clone(),
-                    worker: *worker,
-                    start: *start,
-                    end: *end,
-                    attempts: *attempts,
-                }),
-                _ => None,
-            })
-            .collect()
+        tasks_of(&self.events)
     }
 
     /// Final totals of every counter, by name.
     #[must_use]
     pub fn counter_totals(&self) -> BTreeMap<String, f64> {
-        let mut totals = BTreeMap::new();
-        for e in &self.events {
-            if let Event::Counter { name, total, .. } = e {
-                totals.insert(name.clone(), *total);
-            }
-        }
-        totals
+        counter_totals_of(&self.events)
     }
 
     /// Last recorded value of every gauge, by name.
     #[must_use]
     pub fn gauge_values(&self) -> BTreeMap<String, f64> {
-        let mut values = BTreeMap::new();
-        for e in &self.events {
-            if let Event::Gauge { name, value, .. } = e {
-                values.insert(name.clone(), *value);
-            }
-        }
-        values
+        gauge_values_of(&self.events)
     }
 
     /// Summary statistics for every histogram, by name.
     #[must_use]
     pub fn histograms(&self) -> BTreeMap<String, HistogramView> {
-        let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-        for e in &self.events {
-            if let Event::Observe { name, value, .. } = e {
-                samples.entry(name.clone()).or_default().push(*value);
-            }
-        }
-        samples
-            .into_iter()
-            .map(|(name, mut vs)| {
-                vs.sort_by(f64::total_cmp);
-                let count = vs.len();
-                let mean = vs.iter().sum::<f64>() / count as f64;
-                let rank = |q: f64| {
-                    let i = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
-                    vs[i]
-                };
-                let view = HistogramView {
-                    count,
-                    mean,
-                    p50: rank(0.50),
-                    p95: rank(0.95),
-                    max: vs[count - 1],
-                };
-                (name, view)
-            })
-            .collect()
+        histograms_of(&self.events)
     }
 
     /// Render the human-readable summary: span tree, counters, gauges,
     /// histograms.
     #[must_use]
     pub fn summary(&self) -> String {
-        let mut out = String::new();
-        let spans = self.spans();
-        if !spans.is_empty() {
-            out.push_str("spans:\n");
-            for s in &spans {
-                let _ = writeln!(
-                    out,
-                    "  {:indent$}{} {:.3}s",
-                    "",
-                    s.name,
-                    s.duration(),
-                    indent = s.depth * 2
-                );
-            }
-        }
-        let tasks = self.tasks();
-        if !tasks.is_empty() {
-            let retried = tasks.iter().filter(|t| t.attempts > 1).count();
-            // attempts == 0 marks a cancelled speculative execution: the
-            // duplicate (or original) that lost the completion race.
-            let cancelled = tasks.iter().filter(|t| t.attempts == 0).count();
-            let mut notes = Vec::new();
-            if retried > 0 {
-                let max_attempts = tasks.iter().map(|t| t.attempts).max().unwrap_or(1);
-                notes.push(format!("{retried} retried, max attempts {max_attempts}"));
-            }
-            if cancelled > 0 {
-                notes.push(format!("{cancelled} cancelled speculative"));
-            }
-            if notes.is_empty() {
-                let _ = writeln!(out, "tasks: {}", tasks.len());
-            } else {
-                let _ = writeln!(out, "tasks: {} ({})", tasks.len(), notes.join("; "));
-            }
-        }
-        let counters = self.counter_totals();
-        if !counters.is_empty() {
-            out.push_str("counters:\n");
-            for (name, total) in &counters {
-                let _ = writeln!(out, "  {name} = {total:.3}");
-            }
-        }
-        let gauges = self.gauge_values();
-        if !gauges.is_empty() {
-            out.push_str("gauges:\n");
-            for (name, value) in &gauges {
-                let _ = writeln!(out, "  {name} = {value:.3}");
-            }
-        }
-        let hists = self.histograms();
-        if !hists.is_empty() {
-            out.push_str("histograms:\n");
-            for (name, h) in &hists {
-                let _ = writeln!(
-                    out,
-                    "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
-                    h.count, h.mean, h.p50, h.p95, h.max
-                );
-            }
-        }
-        out
+        summary_of(&self.events)
     }
+}
+
+// The view computations are free functions over a borrowed event slice
+// so consumers that already hold events — notably `Recorder::summary`
+// under its own lock — can use them without cloning into a `Trace`.
+
+pub(crate) fn last_timestamp_of(events: &[Event]) -> f64 {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanStart { t, .. }
+            | Event::SpanEnd { t, .. }
+            | Event::Counter { t, .. }
+            | Event::Gauge { t, .. }
+            | Event::Observe { t, .. } => Some(*t),
+            Event::Task { .. } => None,
+        })
+        .fold(0.0, f64::max)
+}
+
+pub(crate) fn spans_of(events: &[Event]) -> Vec<SpanView> {
+    let last_t = last_timestamp_of(events);
+    let mut spans: Vec<SpanView> = Vec::new();
+    let mut index: BTreeMap<SpanId, usize> = BTreeMap::new();
+    for e in events {
+        match e {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                t,
+            } => {
+                let depth = parent
+                    .and_then(|p| index.get(&p))
+                    .map_or(0, |&i| spans[i].depth + 1);
+                index.insert(*id, spans.len());
+                spans.push(SpanView {
+                    id: *id,
+                    parent: *parent,
+                    name: name.clone(),
+                    start: *t,
+                    end: last_t,
+                    depth,
+                });
+            }
+            Event::SpanEnd { id, t } => {
+                if let Some(&i) = index.get(id) {
+                    spans[i].end = *t;
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+pub(crate) fn tasks_of(events: &[Event]) -> Vec<TaskView> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Task {
+                span,
+                task,
+                worker,
+                start,
+                end,
+                attempts,
+            } => Some(TaskView {
+                span: *span,
+                task: task.clone(),
+                worker: *worker,
+                start: *start,
+                end: *end,
+                attempts: *attempts,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+pub(crate) fn counter_totals_of(events: &[Event]) -> BTreeMap<String, f64> {
+    let mut totals = BTreeMap::new();
+    for e in events {
+        if let Event::Counter { name, total, .. } = e {
+            totals.insert(name.clone(), *total);
+        }
+    }
+    totals
+}
+
+pub(crate) fn gauge_values_of(events: &[Event]) -> BTreeMap<String, f64> {
+    let mut values = BTreeMap::new();
+    for e in events {
+        if let Event::Gauge { name, value, .. } = e {
+            values.insert(name.clone(), *value);
+        }
+    }
+    values
+}
+
+pub(crate) fn histograms_of(events: &[Event]) -> BTreeMap<String, HistogramView> {
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for e in events {
+        if let Event::Observe { name, value, .. } = e {
+            samples.entry(name.clone()).or_default().push(*value);
+        }
+    }
+    samples
+        .into_iter()
+        .filter_map(|(name, vs)| HistogramView::from_samples(&vs).map(|view| (name, view)))
+        .collect()
+}
+
+pub(crate) fn summary_of(events: &[Event]) -> String {
+    let mut out = String::new();
+    let spans = spans_of(events);
+    if !spans.is_empty() {
+        out.push_str("spans:\n");
+        for s in &spans {
+            let _ = writeln!(
+                out,
+                "  {:indent$}{} {:.3}s",
+                "",
+                s.name,
+                s.duration(),
+                indent = s.depth * 2
+            );
+        }
+    }
+    let tasks = tasks_of(events);
+    if !tasks.is_empty() {
+        let retried = tasks.iter().filter(|t| t.attempts > 1).count();
+        // attempts == 0 marks a cancelled speculative execution: the
+        // duplicate (or original) that lost the completion race.
+        let cancelled = tasks.iter().filter(|t| t.attempts == 0).count();
+        let mut notes = Vec::new();
+        if retried > 0 {
+            let max_attempts = tasks.iter().map(|t| t.attempts).max().unwrap_or(1);
+            notes.push(format!("{retried} retried, max attempts {max_attempts}"));
+        }
+        if cancelled > 0 {
+            notes.push(format!("{cancelled} cancelled speculative"));
+        }
+        if notes.is_empty() {
+            let _ = writeln!(out, "tasks: {}", tasks.len());
+        } else {
+            let _ = writeln!(out, "tasks: {} ({})", tasks.len(), notes.join("; "));
+        }
+    }
+    let counters = counter_totals_of(events);
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, total) in &counters {
+            let _ = writeln!(out, "  {name} = {total:.3}");
+        }
+    }
+    let gauges = gauge_values_of(events);
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "  {name} = {value:.3}");
+        }
+    }
+    let hists = histograms_of(events);
+    if !hists.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &hists {
+            let _ = writeln!(
+                out,
+                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
+                h.count, h.mean, h.p50, h.p95, h.max
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -502,6 +554,42 @@ mod tests {
             text.contains("tasks: 2 (1 cancelled speculative)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn histogram_zero_observations_yields_no_view() {
+        assert_eq!(HistogramView::from_samples(&[]), None);
+        let r = Recorder::virtual_time();
+        r.add("c/only_counters", 1.0);
+        assert!(Trace::from_events(r.events()).histograms().is_empty());
+    }
+
+    #[test]
+    fn histogram_single_observation_quantiles() {
+        let h = HistogramView::from_samples(&[7.0]).expect("one sample");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.mean, 7.0);
+        assert_eq!(h.p50, 7.0);
+        assert_eq!(h.p95, 7.0);
+        assert_eq!(h.max, 7.0);
+    }
+
+    #[test]
+    fn histogram_two_observations_quantiles() {
+        // Nearest-rank with n=2: p50 sits at rank ceil(0.5·2)=1 (the
+        // smaller sample), p95 at rank ceil(0.95·2)=2 (the larger).
+        let h = HistogramView::from_samples(&[10.0, 2.0]).expect("two samples");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean, 6.0);
+        assert_eq!(h.p50, 2.0);
+        assert_eq!(h.p95, 10.0);
+        assert_eq!(h.max, 10.0);
+    }
+
+    #[test]
+    fn histogram_all_equal_observations() {
+        let h = HistogramView::from_samples(&[3.0; 5]).expect("samples");
+        assert_eq!((h.mean, h.p50, h.p95, h.max), (3.0, 3.0, 3.0, 3.0));
     }
 
     #[test]

@@ -255,6 +255,9 @@ pub mod inference {
         /// Straggler-speculation factor `k` (duplicate a task once it runs
         /// past `k×` its expected duration); `None` disables speculation.
         pub speculation: Option<f64>,
+        /// Emit `monitor/...` live-health gauges every N completed tasks
+        /// (`None` disables progress telemetry).
+        pub progress_every: Option<usize>,
     }
 
     impl Config {
@@ -272,6 +275,7 @@ pub mod inference {
                 retry: RetryPolicy::none(),
                 walltime_budget_s: None,
                 speculation: None,
+                progress_every: None,
             }
         }
     }
@@ -397,6 +401,9 @@ pub mod inference {
         }
         if let Some(factor) = cfg.speculation {
             batch = batch.speculation(factor);
+        }
+        if let Some(every) = cfg.progress_every {
+            batch = batch.progress(every);
         }
         let sim = batch
             .run(&VirtualExecutor::new(TASK_OVERHEAD_S))

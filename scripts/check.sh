@@ -24,6 +24,13 @@ echo "==> chaos suite (deadlines, speculation, composed faults)"
 # so a filtered or partial test invocation can never skip it silently.
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test chaos
 
+echo "==> telemetry suite (trace schema, streaming sinks, health monitor)"
+# The telemetry contract is the interface every analysis tool builds on:
+# golden JSONL schema, bounded streaming sinks, monitor stream-vs-replay
+# equality, and cross-executor progress gauges. Run it by name so a
+# filtered test invocation can never skip it silently.
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test telemetry
+
 echo "==> sfcheck"
 cargo run -q --release -p summitfold-analysis --bin sfcheck
 
@@ -57,6 +64,22 @@ shims=$(grep -rn \
 if [ -n "$shims" ]; then
     echo "legacy batch entry points reintroduced:" >&2
     echo "$shims" >&2
+    exit 1
+fi
+
+echo "==> bench regression gate (fig2 quick vs committed baseline)"
+# A fresh quick-mode fig2 run is fully deterministic (virtual clock), so
+# its trace must diff clean (no metric >10% off) against the committed
+# golden baseline, and its distilled BENCH_dataflow.json must match the
+# committed copy byte-for-byte. A real scheduling or accounting
+# regression shows up here before any reviewer reads a Gantt chart.
+cargo run -q --release -p summitfold-bench --bin repro -- \
+    fig2 --quick --emit-bench --out target/bench-gate >/dev/null
+cargo run -q --release -p summitfold-bench --bin lens -- \
+    --diff target/bench-gate/fig2_trace.jsonl tests/golden/fig2_quick_trace.jsonl
+if ! cmp -s target/bench-gate/BENCH_dataflow.json BENCH_dataflow.json; then
+    echo "BENCH_dataflow.json is stale; regenerate with:" >&2
+    echo "  cargo run --release -p summitfold-bench --bin repro -- fig2 --quick --emit-bench" >&2
     exit 1
 fi
 

@@ -5,12 +5,13 @@
 //! lets analysis tooling work from trace files instead of live runs.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use summitfold::dataflow::real::ThreadExecutor;
 use summitfold::dataflow::sim::VirtualExecutor;
 use summitfold::dataflow::stats::{ascii_gantt, records_from_trace, to_csv};
 use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::obs::json::parse_object;
-use summitfold::obs::{Recorder, Trace};
+use summitfold::obs::{Monitor, MonitorConfig, Recorder, RingSink, Sink as _, Trace};
 
 fn specs(n: usize) -> Vec<TaskSpec> {
     (0..n)
@@ -120,6 +121,24 @@ fn golden_trace() -> String {
         .deadline(7.0)
         .run(&VirtualExecutor::new(1.0))
         .expect("golden cut batch is well-formed");
+    // A progress-instrumented batch: pins the `monitor/...` gauge family
+    // the live health monitor interleaves into the trace.
+    let live_specs = [
+        TaskSpec::new("theta", 3.0),
+        TaskSpec::new("iota", 2.0),
+        TaskSpec::new("kappa", 2.0),
+        TaskSpec::new("lambda", 1.0),
+    ];
+    let live_durations = [3.0, 2.0, 2.0, 1.0];
+    Batch::new(&live_specs)
+        .workers(2)
+        .policy(OrderingPolicy::LongestFirst)
+        .durations(&live_durations)
+        .recorder(&rec)
+        .label("live")
+        .progress(2)
+        .run(&VirtualExecutor::new(1.0))
+        .expect("golden live batch is well-formed");
     rec.add("demo/completed", 3.0);
     rec.gauge("demo/load", 0.5);
     rec.observe("demo/latency", 4.25);
@@ -144,6 +163,127 @@ fn golden_jsonl_trace_is_byte_stable() {
     // And the parser round-trips the golden bytes exactly.
     let trace = Trace::parse_jsonl(&golden).unwrap();
     assert_eq!(trace.to_jsonl(), golden);
+}
+
+#[test]
+fn streaming_recorder_bounds_memory_with_a_ring_sink() {
+    let ring = Arc::new(RingSink::new(8));
+    let rec = Recorder::virtual_time().with_sink(Box::new(Arc::clone(&ring)));
+    let specs = specs(30);
+    Batch::new(&specs)
+        .workers(3)
+        .recorder(&rec)
+        .run(&VirtualExecutor::new(1.0))
+        .unwrap();
+    // A 30-task batch emits far more than 8 events; the streaming
+    // recorder retains none of them and the ring holds only the tail.
+    assert!(rec.events().is_empty(), "with_sink disables retention");
+    assert_eq!(ring.len(), 8);
+    assert!(ring.dropped() > 0, "overflow must be counted, not silent");
+}
+
+#[test]
+fn monitor_stream_snapshot_equals_full_trace_replay() {
+    // Live: the monitor rides the recorder as a sink and folds events
+    // as they happen. Replay: a fresh monitor consumes the retained
+    // trace afterwards. Both must land on the identical snapshot.
+    let live = Arc::new(Monitor::new(MonitorConfig::default()));
+    let rec = Recorder::virtual_time();
+    rec.attach_sink(Box::new(Arc::clone(&live)));
+    let specs = specs(40);
+    Batch::new(&specs)
+        .workers(4)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&rec)
+        .run(&VirtualExecutor::new(1.0))
+        .unwrap();
+    let replay = Monitor::new(MonitorConfig::default());
+    for e in rec.events() {
+        replay.event(&e);
+    }
+    assert_eq!(live.snapshot(), replay.snapshot());
+    assert_eq!(live.snapshot().tasks_done, 40);
+}
+
+/// The ordered values of one gauge name in a recorder's trace.
+fn gauge_sequence(rec: &Recorder, name: &str) -> Vec<f64> {
+    rec.to_jsonl()
+        .lines()
+        .map(|l| parse_object(l).expect("trace line parses"))
+        .filter(|o| o["event"].as_str() == Some("gauge") && o["name"].as_str() == Some(name))
+        .map(|o| o["value"].as_num().expect("gauge value is a number"))
+        .collect()
+}
+
+#[test]
+fn progress_gauges_agree_across_executors() {
+    let n = 24;
+    let specs = specs(n);
+    let items: Vec<usize> = (0..n).collect();
+    let vrec = Recorder::virtual_time();
+    Batch::new(&specs)
+        .workers(4)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&vrec)
+        .progress(6)
+        .run_with(&VirtualExecutor::new(0.5), &items, |_, &x| x)
+        .unwrap();
+    let wrec = Recorder::wall();
+    Batch::new(&specs)
+        .workers(4)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&wrec)
+        .progress(6)
+        .run_with(&ThreadExecutor, &items, |_, &x| x)
+        .unwrap();
+    // The completion-count trajectory is executor-independent: both
+    // backends sample the monitor at the same cadence over the same
+    // task set, so done/total sequences match exactly even though the
+    // thread backend's timestamps are wall-clock.
+    assert_eq!(
+        gauge_sequence(&vrec, "monitor/done"),
+        vec![6.0, 12.0, 18.0, 24.0]
+    );
+    assert_eq!(
+        gauge_sequence(&vrec, "monitor/done"),
+        gauge_sequence(&wrec, "monitor/done")
+    );
+    assert_eq!(gauge_sequence(&vrec, "monitor/total"), vec![24.0; 4]);
+    assert_eq!(
+        gauge_sequence(&vrec, "monitor/total"),
+        gauge_sequence(&wrec, "monitor/total")
+    );
+}
+
+#[test]
+fn progress_instrumented_virtual_runs_are_byte_deterministic() {
+    let run = || {
+        let rec = Recorder::virtual_time();
+        Batch::new(&specs(24))
+            .workers(4)
+            .policy(OrderingPolicy::LongestFirst)
+            .recorder(&rec)
+            .progress(5)
+            .run(&VirtualExecutor::new(1.0))
+            .unwrap();
+        rec.to_jsonl()
+    };
+    assert_eq!(run(), run(), "monitor gauges must not break determinism");
+}
+
+#[test]
+fn trace_self_diff_reports_no_regressions() {
+    let rec = Recorder::virtual_time();
+    Batch::new(&specs(20))
+        .workers(3)
+        .recorder(&rec)
+        .progress(4)
+        .run(&VirtualExecutor::new(1.0))
+        .unwrap();
+    let trace = Trace::parse_jsonl(&rec.to_jsonl()).unwrap();
+    let diff = trace.diff(&trace);
+    assert!(!diff.has_regressions(), "{}", diff.render());
+    assert!(diff.render().contains("0 regression"), "{}", diff.render());
 }
 
 #[test]
