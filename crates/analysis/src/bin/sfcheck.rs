@@ -1,17 +1,19 @@
 //! `sfcheck` — run the workspace invariant linter from the command line.
 //!
 //! ```text
-//! sfcheck [--root <path>] [--quiet]
+//! sfcheck [--root <path>] [--quiet] [--json]
 //! ```
 //!
 //! Exits 0 when the workspace is clean, 1 when findings exist, 2 on
 //! usage or I/O errors. With no `--root`, the workspace root is located
 //! by walking up from the current directory to the first `Cargo.toml`
-//! containing a `[workspace]` table.
+//! containing a `[workspace]` table. `--json` writes a machine-readable
+//! report to stdout regardless of outcome (the exit code still encodes
+//! clean/dirty), for archiving next to bench-gate artifacts.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use summitfold_analysis::{check_workspace, render};
+use summitfold_analysis::{check_workspace, render, render_json, Rule};
 
 fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     let mut dir = Some(start);
@@ -30,6 +32,7 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,8 +44,9 @@ fn main() -> ExitCode {
                 }
             },
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: sfcheck [--root <path>] [--quiet]");
+                println!("usage: sfcheck [--root <path>] [--quiet] [--json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -67,15 +71,21 @@ fn main() -> ExitCode {
     };
 
     match check_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            if !quiet {
-                println!("sfcheck: workspace clean ({} rules)", 6);
-            }
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            eprint!("{}", render(&findings));
-            ExitCode::FAILURE
+            if json {
+                print!("{}", render_json(&findings));
+            } else if findings.is_empty() {
+                if !quiet {
+                    println!("sfcheck: workspace clean ({} rules)", Rule::ALL.len());
+                }
+            } else {
+                eprint!("{}", render(&findings));
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("{e}");

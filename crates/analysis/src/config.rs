@@ -4,9 +4,10 @@
 use crate::report::Rule;
 
 /// How a source file participates in checking, derived from its path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FileKind {
     /// Library code — full rule set.
+    #[default]
     Lib,
     /// Binary target (`src/main.rs`, `src/bin/*`) — panic-hygiene and
     /// determinism exempt (a CLI may parse args, print, and exit).
@@ -58,6 +59,13 @@ pub struct Config {
     pub nondeterministic_idents: Vec<(String, String)>,
     /// `prefix::ident` path pairs banned by the determinism rule.
     pub nondeterministic_paths: Vec<(String, String, String)>,
+    /// Workspace-relative path suffixes exempt from the lock-discipline
+    /// rule (modules whose documented contract is IO under their own
+    /// lock, e.g. the single-writer JSONL sink).
+    pub lock_discipline_exempt_paths: Vec<String>,
+    /// Pairs of path suffixes whose recorded metric-path sets must be
+    /// equal (the real/virtual executor parity contract).
+    pub metric_parity_pairs: Vec<(String, String)>,
 }
 
 impl Config {
@@ -109,6 +117,18 @@ impl Config {
                 path("std", "time", "wall-clock time leaks host state into results; use an obs::Clock"),
                 path("thread", "current", "thread identity depends on OS scheduling"),
             ],
+            lock_discipline_exempt_paths: vec![
+                // The JSONL sink's documented contract is incremental IO
+                // under its own lock: events append under the state lock
+                // so a killed run leaves an at-worst-torn-tail trace.
+                // Sinks must not call back into the recorder (sink.rs
+                // module docs), so the held guard cannot deadlock.
+                "crates/obs/src/sink.rs".to_string(),
+            ],
+            metric_parity_pairs: vec![(
+                "crates/dataflow/src/real.rs".to_string(),
+                "crates/dataflow/src/sim.rs".to_string(),
+            )],
         }
     }
 
@@ -120,6 +140,14 @@ impl Config {
                 .deterministic_exempt_paths
                 .iter()
                 .any(|p| rel_path == p || rel_path.ends_with(p))
+    }
+
+    /// Whether `rel_path` is exempt from the lock-discipline rule.
+    #[must_use]
+    pub fn is_lock_discipline_exempt(&self, rel_path: &str) -> bool {
+        self.lock_discipline_exempt_paths
+            .iter()
+            .any(|p| rel_path == p || rel_path.ends_with(p))
     }
 }
 
@@ -172,7 +200,8 @@ pub fn parse_allow(comment: &str, line: u32) -> AllowParse {
     let reason = reason.trim();
     let Some(rule) = Rule::from_name(rule_name) else {
         return AllowParse::Malformed(format!(
-            "unknown sfcheck rule {rule_name:?} (expected one of: determinism, panic-hygiene, unsafe, manifest, deprecated)"
+            "unknown sfcheck rule {rule_name:?} (expected one of: {})",
+            Rule::allowable_names()
         ));
     };
     if reason.is_empty() {
@@ -227,6 +256,33 @@ mod tests {
         assert!(!c.is_deterministic_file("obs", "crates/obs/src/wall.rs"));
         assert!(!c.is_deterministic_file("hpc", "crates/hpc/src/machine.rs"));
         assert!(!c.is_deterministic_file("bench", "crates/bench/src/microbench.rs"));
+    }
+
+    #[test]
+    fn lock_discipline_exemption_default() {
+        let c = Config::workspace_default();
+        assert!(c.is_lock_discipline_exempt("crates/obs/src/sink.rs"));
+        assert!(!c.is_lock_discipline_exempt("crates/dataflow/src/real.rs"));
+        assert_eq!(
+            c.metric_parity_pairs,
+            vec![(
+                "crates/dataflow/src/real.rs".to_string(),
+                "crates/dataflow/src/sim.rs".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn parse_accepts_new_rule_names() {
+        for name in [
+            "lock-discipline",
+            "lock-unwrap",
+            "metric-parity",
+            "allow-audit",
+        ] {
+            let parsed = parse_allow(&format!("sfcheck::allow({name}, justified)"), 3);
+            assert!(matches!(parsed, AllowParse::Ok(_)), "{name}: {parsed:?}");
+        }
     }
 
     #[test]

@@ -1,18 +1,30 @@
 //! Workspace discovery, manifest parsing, and rule orchestration.
 //!
 //! [`check_workspace`] is the single entry point used by both the
-//! `sfcheck` binary and the root `tests/static_analysis.rs` gate: it
-//! walks the workspace (root package plus every `crates/*` member),
-//! scans each `.rs` file with the [`crate::lexer`], runs every rule
-//! pass, and audits every `Cargo.toml` for dead dependencies.
+//! `sfcheck` binary and the root `tests/static_analysis.rs` gate. v2
+//! runs in two phases:
+//!
+//! 1. **Facts** — each `.rs` file is scanned once ([`crate::lexer`]) and
+//!    reduced to a [`FileFacts`] record (lock sites with guard scopes,
+//!    lock-order edges, guard crossings, metric paths, allow
+//!    directives), while the per-file rule passes ([`crate::rules`])
+//!    emit findings *unsuppressed*.
+//! 2. **Workspace rules** — [`crate::wsrules`] scores the merged facts
+//!    (lock-discipline cycles, lock-unwrap, metric-parity), manifests
+//!    are audited for dead dependencies, and [`crate::suppress::apply`]
+//!    applies every `sfcheck::allow` centrally — which is what lets the
+//!    allow-audit rule report directives that suppress nothing.
 
 use crate::config::{Config, FileKind};
-use crate::lexer::{scan, TokKind};
+use crate::facts::{extract, FileFacts};
+use crate::lexer::{scan, Scan, TokKind};
 use crate::report::{Finding, Rule};
 use crate::rules::{
-    collect_allows, crate_root_forbids_unsafe, deprecation, determinism, error_display,
-    metric_name, panic_hygiene, test_regions, unsafe_ban, FileCheck,
+    crate_root_forbids_unsafe, deprecation, determinism, error_display, metric_name, panic_hygiene,
+    test_regions, unsafe_ban, FileCheck,
 };
+use crate::suppress::{self, FileAllows};
+use crate::wsrules;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
@@ -124,8 +136,8 @@ struct Member {
     manifest_rel: String,
     /// Parsed manifest.
     manifest: Manifest,
-    /// Workspace-relative `.rs` files belonging to this member.
-    files: Vec<String>,
+    /// Workspace-relative `.rs` files with their token scans.
+    files: Vec<(String, Scan)>,
     /// Every identifier appearing in this member's source (for the
     /// manifest audit).
     idents: BTreeSet<String>,
@@ -145,14 +157,30 @@ pub fn check_workspace_with(root: &Path, config: &Config) -> Result<Vec<Finding>
     let mut findings = Vec::new();
     let members = discover_members(root)?;
 
+    // Phase 1: per-file facts + unsuppressed per-file rule findings.
+    let mut facts: Vec<FileFacts> = Vec::new();
     for member in &members {
-        for rel in &member.files {
-            check_file(root, member, rel, config, &mut findings)?;
+        for (rel, scanned) in &member.files {
+            facts.push(check_file(member, rel, scanned, config, &mut findings));
         }
         audit_member_manifest(member, &mut findings);
     }
     audit_workspace_deps(&members, &mut findings);
-    Ok(findings)
+
+    // Phase 2: workspace rules over the merged facts.
+    wsrules::lock_discipline(config, &facts, &mut findings);
+    wsrules::lock_unwrap(&facts, &mut findings);
+    wsrules::metric_parity(config, &facts, &mut findings);
+
+    // Central suppression + allow-audit.
+    let allow_files: Vec<FileAllows> = facts
+        .iter()
+        .map(|f| FileAllows {
+            file: f.rel_path.clone(),
+            allows: f.allows.clone(),
+        })
+        .collect();
+    Ok(suppress::apply(findings, &allow_files))
 }
 
 fn read(root: &Path, rel: &str) -> Result<String, CheckError> {
@@ -201,19 +229,22 @@ fn load_member(
     dirs: &[&str],
 ) -> Result<Member, CheckError> {
     let manifest = parse_manifest(&read(root, manifest_rel)?);
-    let mut files = Vec::new();
+    let mut rels = Vec::new();
     for dir in dirs {
-        collect_rs_files(root, dir, &mut files)?;
+        collect_rs_files(root, dir, &mut rels)?;
     }
-    files.sort();
+    rels.sort();
     let mut idents = BTreeSet::new();
-    for rel in &files {
-        let src = read(root, rel)?;
-        for t in scan(&src).tokens {
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let src = read(root, &rel)?;
+        let scanned = scan(&src);
+        for t in &scanned.tokens {
             if t.kind == TokKind::Ident {
-                idents.insert(t.text);
+                idents.insert(t.text.clone());
             }
         }
+        files.push((rel, scanned));
     }
     Ok(Member {
         dir_name,
@@ -250,33 +281,44 @@ fn collect_rs_files(root: &Path, rel_dir: &str, out: &mut Vec<String>) -> Result
     Ok(())
 }
 
+/// Phase 1 for one file: extract facts, run the per-file passes
+/// unsuppressed, surface malformed allow directives.
 fn check_file(
-    root: &Path,
     member: &Member,
     rel: &str,
+    scanned: &Scan,
     config: &Config,
     findings: &mut Vec<Finding>,
-) -> Result<(), CheckError> {
-    let src = read(root, rel)?;
-    let scanned = scan(&src);
+) -> FileFacts {
     let check = FileCheck {
         rel_path: rel,
         kind: FileKind::classify(rel),
         deterministic: config.is_deterministic_file(&member.dir_name, rel),
-        scan: &scanned,
+        scan: scanned,
     };
-    let allows = collect_allows(&check, findings);
-    let regions = test_regions(&scanned);
-    panic_hygiene(&check, &regions, &allows, findings);
-    determinism(config, &check, &regions, &allows, findings);
-    unsafe_ban(&check, &allows, findings);
-    deprecation(&check, &allows, findings);
-    error_display(&check, &regions, &allows, findings);
-    metric_name(&check, &regions, &allows, findings);
+    let regions = test_regions(scanned);
+    let facts = extract(rel, &member.dir_name, check.kind, scanned, &regions);
+    for (line, msg) in &facts.malformed_allows {
+        findings.push(Finding {
+            rule: Rule::AllowSyntax,
+            file: rel.to_string(),
+            line: *line,
+            col: 1,
+            message: msg.clone(),
+        });
+    }
+    let lock_chain_sites: Vec<(u32, u32)> =
+        facts.lock_unwraps.iter().map(|u| (u.line, u.col)).collect();
+    panic_hygiene(&check, &regions, &lock_chain_sites, findings);
+    determinism(config, &check, &regions, findings);
+    unsafe_ban(&check, findings);
+    deprecation(&check, findings);
+    error_display(&check, &regions, findings);
+    metric_name(&check, &regions, findings);
     if rel.ends_with("src/lib.rs") {
         crate_root_forbids_unsafe(&check, findings);
     }
-    Ok(())
+    facts
 }
 
 /// Every declared dependency must be referenced in the member's source.
@@ -359,7 +401,7 @@ mod tests {
             dir_name: "x".to_string(),
             manifest_rel: "crates/x/Cargo.toml".to_string(),
             manifest: parse_manifest("[dependencies]\ndead-crate = \"1\"\nlive-crate = \"1\"\n"),
-            files: vec!["crates/x/src/lib.rs".to_string()],
+            files: vec![("crates/x/src/lib.rs".to_string(), Scan::default())],
             idents: ["use", "live_crate", "thing"]
                 .iter()
                 .map(ToString::to_string)

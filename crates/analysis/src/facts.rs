@@ -1,0 +1,740 @@
+//! Phase-1 fact extraction: one token walk per file, producing the
+//! workspace `Facts` table the phase-2 rules consume.
+//!
+//! The extractor tracks *guard scopes* — where a `MutexGuard` produced by
+//! `.lock()` (or the workspace `sync::lock` helper) is live — using
+//! brace-depth and binding tracking over the token stream:
+//!
+//! * `let g = m.lock()…;` with a guard-preserving chain (`unwrap`,
+//!   `expect`, `unwrap_or_else`) binds the guard until the end of the
+//!   enclosing block, or until `drop(g)`.
+//! * A chained temporary (`lock(q).pop_front()`) lives to the end of its
+//!   statement — except in `match` / `if let` / `while let` / `for`
+//!   heads, where (pre-2024 editions) the scrutinee temporary lives
+//!   through the whole body: the classic extended-temporary deadlock.
+//!
+//! While any guard is live, a further lock site contributes a
+//! [`LockEdge`] (holder → acquired) to the lock-order graph, and a
+//! blocking call — `spawn`, `.join()`, channel `recv`, file writes —
+//! contributes a [`GuardCrossing`]. The extractor reports facts, not
+//! findings: scoring them is phase 2's job (`wsrules`).
+
+use crate::config::{parse_allow, AllowDirective, AllowParse, FileKind};
+use crate::lexer::{Scan, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A blocking operation observed inside a guard scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossingOp {
+    /// `thread::spawn` / `scope.spawn` — the child may contend for the
+    /// held lock.
+    Spawn,
+    /// `.join()` — blocks on a thread that may need the held lock.
+    Join,
+    /// `.recv()` / `.recv_timeout()` — blocks on a sender that may need
+    /// the held lock.
+    ChannelRecv,
+    /// `.write_all()` / `.flush()` / `.sync_all()` — IO latency while
+    /// every other locker waits.
+    FileWrite,
+}
+
+impl fmt::Display for CrossingOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Spawn => "a thread spawn",
+            Self::Join => "a thread join",
+            Self::ChannelRecv => "a blocking channel recv",
+            Self::FileWrite => "a file write",
+        })
+    }
+}
+
+/// One `.lock()` / `lock(…)` call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// Inferred mutex name (receiver, helper operand, or `self@<file>`).
+    pub mutex: String,
+    /// 1-based line of the `lock` token.
+    pub line: u32,
+    /// 1-based column of the `lock` token.
+    pub col: u32,
+}
+
+/// A lock acquired while another guard was live: one lock-order edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Mutex whose guard was already held.
+    pub holder: String,
+    /// Line where the held guard was acquired.
+    pub held_line: u32,
+    /// Mutex acquired under the held guard.
+    pub acquired: String,
+    /// 1-based line of the inner lock site.
+    pub line: u32,
+    /// 1-based column of the inner lock site.
+    pub col: u32,
+}
+
+/// A blocking call made while a guard was live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardCrossing {
+    /// Mutex whose guard was held across the call.
+    pub mutex: String,
+    /// Line where the guard was acquired.
+    pub guard_line: u32,
+    /// Category of the blocking call.
+    pub op: CrossingOp,
+    /// The called identifier (`spawn`, `join`, `recv`, `write_all`, …).
+    pub call: String,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// 1-based column of the call.
+    pub col: u32,
+}
+
+/// `.lock().unwrap()` / `.lock().expect(…)` — poison-propagating guard
+/// recovery outside the sanctioned `unwrap_or_else(PoisonError::into_inner)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockUnwrapSite {
+    /// Inferred mutex name.
+    pub mutex: String,
+    /// `unwrap` or `expect`.
+    pub method: String,
+    /// 1-based line of the `unwrap`/`expect` token.
+    pub line: u32,
+    /// 1-based column of the `unwrap`/`expect` token.
+    pub col: u32,
+}
+
+/// A literal metric path passed to a `Recorder` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSite {
+    /// The recording method (`add`, `gauge`, `gauge_at`, `observe`).
+    pub call: String,
+    /// The literal metric path.
+    pub path: String,
+    /// 1-based line of the literal.
+    pub line: u32,
+    /// 1-based column of the literal.
+    pub col: u32,
+}
+
+/// Everything phase 1 learned about one file.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// Workspace-relative path (`/`-separated).
+    pub rel_path: String,
+    /// Crate directory name (`dataflow`, `obs`, … or the package name
+    /// for the workspace-root package).
+    pub crate_dir: String,
+    /// Path-derived role of the file.
+    pub kind: FileKind,
+    /// Names bound to `Mutex` declarations (`state: Mutex<…>`,
+    /// `let q = Mutex::new(…)`).
+    pub mutexes: BTreeSet<String>,
+    /// Every lock site outside test regions.
+    pub locks: Vec<LockSite>,
+    /// Lock-order edges (a lock acquired under a live guard).
+    pub edges: Vec<LockEdge>,
+    /// Blocking calls under a live guard.
+    pub crossings: Vec<GuardCrossing>,
+    /// Unsanctioned guard-recovery sites.
+    pub lock_unwraps: Vec<LockUnwrapSite>,
+    /// Literal metric paths recorded outside test regions.
+    pub metrics: Vec<MetricSite>,
+    /// Well-formed `sfcheck::allow` directives in the file.
+    pub allows: Vec<AllowDirective>,
+    /// Malformed directives: (line, error message).
+    pub malformed_allows: Vec<(u32, String)>,
+}
+
+/// Methods that forward the guard (or its poison recovery) rather than
+/// consuming it: a chain of these after `.lock()` still binds a guard.
+const GUARD_PRESERVING: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// Recorder methods whose first literal argument is a metric path.
+const RECORDING_CALLS: [&str; 4] = ["add", "gauge", "gauge_at", "observe"];
+
+/// One live guard during the token walk.
+struct Guard {
+    mutex: String,
+    /// `let` binding name, when bound (enables `drop(name)` tracking).
+    binding: Option<String>,
+    /// Brace depth at the lock site.
+    depth: i32,
+    /// Statement-scoped temporary (dies at `;` at its depth).
+    temp: bool,
+    /// Temporary extended through a control-flow body (`match` head
+    /// etc.); dies when depth returns to `depth`.
+    in_body: bool,
+    /// Acquired inside a `#[cfg(test)]` region — tracked for scope
+    /// correctness but excluded from edges/crossings.
+    exempt: bool,
+    line: u32,
+}
+
+/// Extract facts from one scanned file.
+///
+/// `regions` are the `#[cfg(test)]` line ranges from
+/// [`crate::rules::test_regions`]; facts inside them are suppressed the
+/// same way the per-file rules suppress findings there.
+#[must_use]
+pub fn extract(
+    rel_path: &str,
+    crate_dir: &str,
+    kind: FileKind,
+    scan: &Scan,
+    regions: &[(u32, u32)],
+) -> FileFacts {
+    let mut facts = FileFacts {
+        rel_path: rel_path.to_string(),
+        crate_dir: crate_dir.to_string(),
+        kind,
+        ..FileFacts::default()
+    };
+    collect_allows(scan, &mut facts);
+    collect_mutex_decls(scan, &mut facts);
+    walk(rel_path, scan, regions, &mut facts);
+    facts
+}
+
+/// Collect well-formed allow directives and note malformed ones.
+///
+/// Only plain `//` / `/* */` comments carry directives; doc comments
+/// (`///`, `//!`, `/**`, `/*!`) are prose and are never parsed.
+fn collect_allows(scan: &Scan, facts: &mut FileFacts) {
+    for c in &scan.comments {
+        if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
+            continue; // doc comment
+        }
+        match parse_allow(&c.text, c.line) {
+            AllowParse::None => {}
+            AllowParse::Ok(d) => facts.allows.push(d),
+            AllowParse::Malformed(msg) => facts.malformed_allows.push((c.line, msg)),
+        }
+    }
+}
+
+/// Record names bound to `Mutex` declarations: `name: Mutex<…>` (struct
+/// fields, statics — including `name: std::sync::Mutex<…>`) and
+/// `let name = Mutex::new(…)`.
+fn collect_mutex_decls(scan: &Scan, facts: &mut FileFacts) {
+    let toks = &scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "Mutex" {
+            continue;
+        }
+        // Walk back over `path :: ` segments to the declaring `name :`.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].text == ":"
+            && toks[j - 2].text == ":"
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].kind == TokKind::Ident {
+            facts.mutexes.insert(toks[j - 2].text.clone());
+            continue;
+        }
+        // `let name = Mutex::new(…)` / `name = Mutex::new(…)`.
+        if j >= 2 && toks[j - 1].text == "=" && toks[j - 2].kind == TokKind::Ident {
+            facts.mutexes.insert(toks[j - 2].text.clone());
+        }
+    }
+}
+
+fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Given `toks[open] == "("`, return the index of the matching `)`.
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scan a post-lock method chain starting at `i` (the token after the
+/// lock call's closing paren). Returns `(end, consumed, unwrap_site)`:
+/// `end` is the first token past the chain, `consumed` is whether a
+/// non-guard-preserving method consumed the guard, and `unwrap_site`
+/// is the `(method, line, col)` of a `.unwrap()`/`.expect(…)` link.
+fn scan_chain(toks: &[Tok], mut i: usize) -> (usize, bool, Option<(String, u32, u32)>) {
+    let mut unwrap_site = None;
+    loop {
+        let is_link = i + 2 < toks.len()
+            && toks[i].text == "."
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].text == "(";
+        if !is_link {
+            return (i, false, unwrap_site);
+        }
+        let name = toks[i + 1].text.as_str();
+        if !GUARD_PRESERVING.contains(&name) {
+            return (i, true, unwrap_site);
+        }
+        if name == "unwrap" || name == "expect" {
+            unwrap_site = Some((name.to_string(), toks[i + 1].line, toks[i + 1].col));
+        }
+        // `.unwrap_or_else(…)` — including the sanctioned
+        // `PoisonError::into_inner` recovery — is not reportable.
+        i = match_paren(toks, i + 2) + 1;
+    }
+}
+
+/// Try to read a lock site at `toks[i] == "lock"`. Returns the inferred
+/// mutex name and the index of the call's opening paren.
+fn lock_site_at(rel_path: &str, toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    if toks[i].kind != TokKind::Ident || toks[i].text != "lock" {
+        return None;
+    }
+    let open = i + 1;
+    if toks.get(open).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+    if prev == Some(".") && i >= 2 {
+        // Method form: `recv.lock()` / `self.state.lock()` / `self.lock()`.
+        let recv = &toks[i - 2];
+        if recv.kind != TokKind::Ident {
+            // Dynamic receiver (`mutexes[k].lock()`): unique node, so it
+            // can scope a guard but never aliases another mutex.
+            return Some((format!("expr@L{}", toks[i].line), open));
+        }
+        if recv.text == "self" {
+            let stem = rel_path
+                .rsplit('/')
+                .next()
+                .and_then(|f| f.strip_suffix(".rs"))
+                .unwrap_or(rel_path);
+            return Some((format!("self@{stem}"), open));
+        }
+        return Some((recv.text.clone(), open));
+    }
+    if prev == Some("fn") {
+        return None; // a `fn lock(…)` definition, not a call
+    }
+    // Helper form: `lock(queue)` / `crate::sync::lock(&self.q)`. The
+    // mutex is the last identifier in the argument list.
+    let close = match_paren(toks, open);
+    let operand = toks[open + 1..close]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && t.text != "self" && t.text != "mut")?;
+    Some((operand.text.clone(), open))
+}
+
+/// Try to classify `toks[i]` as a blocking call under a guard.
+fn crossing_at(toks: &[Tok], i: usize) -> Option<CrossingOp> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+    let next = toks.get(i + 1).map(|n| n.text.as_str());
+    let next2 = toks.get(i + 2).map(|n| n.text.as_str());
+    match t.text.as_str() {
+        "spawn" if next == Some("(") => Some(CrossingOp::Spawn),
+        // Zero-argument shape required so `Path::join(p)` / `Vec::join(…)`
+        // never match.
+        "join" if prev == Some(".") && next == Some("(") && next2 == Some(")") => {
+            Some(CrossingOp::Join)
+        }
+        "recv" if prev == Some(".") && next == Some("(") && next2 == Some(")") => {
+            Some(CrossingOp::ChannelRecv)
+        }
+        "recv_timeout" if prev == Some(".") && next == Some("(") => Some(CrossingOp::ChannelRecv),
+        "write_all" | "sync_all" if prev == Some(".") && next == Some("(") => {
+            Some(CrossingOp::FileWrite)
+        }
+        "flush" if prev == Some(".") && next == Some("(") && next2 == Some(")") => {
+            Some(CrossingOp::FileWrite)
+        }
+        _ => None,
+    }
+}
+
+/// Control keywords whose head expression's temporaries live through the
+/// body (the extended-temporary rule, pre-2024 editions). `if`/`while`
+/// qualify only in their `let` forms.
+fn control_extends(keyword: &str, has_let: bool) -> bool {
+    match keyword {
+        "match" | "for" => true,
+        "if" | "while" => has_let,
+        _ => false,
+    }
+}
+
+/// The guard-scope walk: one forward pass over the tokens.
+#[allow(clippy::too_many_lines)]
+fn walk(rel_path: &str, scan: &Scan, regions: &[(u32, u32)], facts: &mut FileFacts) {
+    let toks = &scan.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    // `let` binding name for the statement in progress.
+    let mut pending_let: Option<String> = None;
+    // Most recent control keyword (+ whether a `let` followed) since the
+    // last statement boundary.
+    let mut pending_control: Option<(String, bool)> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    let extend = pending_control
+                        .as_ref()
+                        .is_some_and(|(k, l)| control_extends(k, *l));
+                    for g in &mut guards {
+                        if g.temp && !g.in_body && g.depth == depth {
+                            if extend {
+                                g.in_body = true;
+                            } else {
+                                g.depth = -1; // dead: condition temporary
+                            }
+                        }
+                    }
+                    guards.retain(|g| g.depth >= 0);
+                    depth += 1;
+                    pending_control = None;
+                    pending_let = None;
+                }
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| {
+                        let body_done = g.in_body && g.depth == depth;
+                        !body_done && g.depth <= depth
+                    });
+                    pending_control = None;
+                    pending_let = None;
+                }
+                ";" => {
+                    guards.retain(|g| !(g.temp && g.depth == depth));
+                    pending_control = None;
+                    pending_let = None;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "let" => {
+                    // `let [mut] name = …`; tuple/struct patterns yield
+                    // no trackable binding, which only costs `drop()`
+                    // precision.
+                    let mut j = i + 1;
+                    if toks.get(j).is_some_and(|n| n.text == "mut") {
+                        j += 1;
+                    }
+                    pending_let = toks
+                        .get(j)
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map(|n| n.text.clone());
+                    if let Some((_, has_let)) = pending_control.as_mut() {
+                        *has_let = true;
+                    }
+                }
+                "match" | "for" | "if" | "while" => {
+                    pending_control = Some((t.text.clone(), false));
+                }
+                "drop" if toks.get(i + 1).is_some_and(|n| n.text == "(") => {
+                    if let Some(arg) = toks.get(i + 2) {
+                        if arg.kind == TokKind::Ident
+                            && toks.get(i + 3).is_some_and(|n| n.text == ")")
+                        {
+                            guards.retain(|g| g.binding.as_deref() != Some(arg.text.as_str()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let exempt_here = in_regions(t.line, regions);
+            if let Some((mutex, open)) = lock_site_at(rel_path, toks, i) {
+                if !exempt_here {
+                    facts.locks.push(LockSite {
+                        mutex: mutex.clone(),
+                        line: t.line,
+                        col: t.col,
+                    });
+                    for g in &guards {
+                        if !g.exempt {
+                            facts.edges.push(LockEdge {
+                                holder: g.mutex.clone(),
+                                held_line: g.line,
+                                acquired: mutex.clone(),
+                                line: t.line,
+                                col: t.col,
+                            });
+                        }
+                    }
+                }
+                let close = match_paren(toks, open);
+                let (end, consumed, unwrap_site) = scan_chain(toks, close + 1);
+                if !exempt_here {
+                    if let Some((method, line, col)) = unwrap_site {
+                        facts.lock_unwraps.push(LockUnwrapSite {
+                            mutex: mutex.clone(),
+                            method,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                let bound = !consumed
+                    && pending_let.is_some()
+                    && toks.get(end).is_some_and(|n| n.text == ";");
+                guards.push(Guard {
+                    mutex,
+                    binding: if bound { pending_let.clone() } else { None },
+                    depth,
+                    temp: !bound,
+                    in_body: false,
+                    exempt: exempt_here,
+                    line: t.line,
+                });
+            } else if let Some(op) = crossing_at(toks, i) {
+                if !exempt_here {
+                    if let Some(g) = guards.iter().rev().find(|g| !g.exempt) {
+                        facts.crossings.push(GuardCrossing {
+                            mutex: g.mutex.clone(),
+                            guard_line: g.line,
+                            op,
+                            call: t.text.clone(),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+            } else if !exempt_here
+                && RECORDING_CALLS.contains(&t.text.as_str())
+                && i >= 1
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                if let Some(arg) = toks.get(i + 2) {
+                    if arg.kind == TokKind::Str {
+                        facts.metrics.push(MetricSite {
+                            call: t.text.clone(),
+                            path: arg.text.clone(),
+                            line: arg.line,
+                            col: arg.col,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::rules::test_regions;
+
+    fn facts(src: &str) -> FileFacts {
+        let s = scan(src);
+        let regions = test_regions(&s);
+        extract("crates/x/src/lib.rs", "x", FileKind::Lib, &s, &regions)
+    }
+
+    #[test]
+    fn mutex_declarations_collected() {
+        let f = facts(
+            "pub struct S { queue: Mutex<Vec<u32>>, reg: std::sync::Mutex<u8> }\n\
+             pub fn f() { let pool = Mutex::new(0); let _ = pool; }",
+        );
+        let names: Vec<&str> = f.mutexes.iter().map(String::as_str).collect();
+        assert_eq!(names, vec!["pool", "queue", "reg"]);
+    }
+
+    #[test]
+    fn bound_guard_produces_edge_for_inner_lock() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+             let g = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+             let h = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+             let _ = (g, h);\n}",
+        );
+        assert_eq!(f.edges.len(), 1, "{:?}", f.edges);
+        assert_eq!(f.edges[0].holder, "a");
+        assert_eq!(f.edges[0].acquired, "b");
+        assert!(f.lock_unwraps.is_empty(), "{:?}", f.lock_unwraps);
+    }
+
+    #[test]
+    fn statement_temporary_does_not_span_statements() {
+        let f = facts(
+            "pub fn f(a: &Mutex<Vec<u8>>, b: &Mutex<Vec<u8>>) {\n\
+             lock(a).clear();\n\
+             lock(b).clear();\n}",
+        );
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+        assert_eq!(f.locks.len(), 2);
+    }
+
+    #[test]
+    fn block_scoping_releases_bound_guard() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+             { let g = lock(a); let _ = g; }\n\
+             let h = lock(b); let _ = h;\n}",
+        );
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+    }
+
+    #[test]
+    fn drop_releases_bound_guard() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+             let g = lock(a);\n drop(g);\n let h = lock(b); let _ = h;\n}",
+        );
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+    }
+
+    #[test]
+    fn match_head_temporary_extends_through_body() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+             match lock(a).count_ones() {\n\
+             _ => { let g = lock(b); let _ = g; }\n}\n}",
+        );
+        assert_eq!(f.edges.len(), 1, "{:?}", f.edges);
+        assert_eq!(f.edges[0].holder, "a");
+    }
+
+    #[test]
+    fn plain_if_condition_temporary_is_released() {
+        let f = facts(
+            "pub fn f(a: &Mutex<Vec<u8>>, b: &Mutex<u8>) {\n\
+             if lock(a).is_empty() {\n let g = lock(b); let _ = g;\n}\n}",
+        );
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+    }
+
+    #[test]
+    fn while_let_head_temporary_extends_through_body() {
+        let f = facts(
+            "pub fn f(a: &Mutex<Vec<u8>>, b: &Mutex<u8>) {\n\
+             while let Some(x) = lock(a).pop() {\n\
+             let g = lock(b); let _ = (x, g);\n}\n}",
+        );
+        assert_eq!(f.edges.len(), 1, "{:?}", f.edges);
+        assert_eq!(
+            (f.edges[0].holder.as_str(), f.edges[0].acquired.as_str()),
+            ("a", "b")
+        );
+    }
+
+    #[test]
+    fn guard_across_join_and_spawn_crossings() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>, h: std::thread::JoinHandle<()>) {\n\
+             let g = lock(a);\n\
+             std::thread::spawn(move || {});\n\
+             let _ = h.join();\n\
+             let _ = g;\n}",
+        );
+        assert_eq!(f.crossings.len(), 2, "{:?}", f.crossings);
+        assert_eq!(f.crossings[0].op, CrossingOp::Spawn);
+        assert_eq!(f.crossings[1].op, CrossingOp::Join);
+    }
+
+    #[test]
+    fn path_join_is_not_a_crossing() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>, p: &std::path::Path) -> std::path::PathBuf {\n\
+             let g = lock(a); let _ = g;\n p.join(\"x\")\n}",
+        );
+        assert!(f.crossings.is_empty(), "{:?}", f.crossings);
+    }
+
+    #[test]
+    fn lock_unwrap_detected_and_sanctioned_pattern_is_not() {
+        let f = facts(
+            "pub fn f(a: &Mutex<u8>) -> u8 {\n *a.lock().unwrap()\n}\n\
+             pub fn g(a: &Mutex<u8>) -> u8 {\n\
+             *a.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}",
+        );
+        assert_eq!(f.lock_unwraps.len(), 1, "{:?}", f.lock_unwraps);
+        assert_eq!(f.lock_unwraps[0].method, "unwrap");
+        assert_eq!(f.lock_unwraps[0].mutex, "a");
+    }
+
+    #[test]
+    fn self_lock_names_include_file_stem() {
+        let f = facts("impl S {\n fn get(&self) -> u8 { *self.lock() }\n}");
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].mutex, "self@lib");
+    }
+
+    #[test]
+    fn fn_lock_definition_is_not_a_call_site() {
+        let f = facts(
+            "pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+             m.lock().unwrap_or_else(PoisonError::into_inner)\n}",
+        );
+        // The body's `m.lock()` is a site; the `fn lock` header is not.
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].mutex, "m");
+    }
+
+    #[test]
+    fn test_region_sites_are_exempt() {
+        let f = facts(
+            "pub fn a() {}\n\
+             #[cfg(test)]\nmod tests {\n\
+             fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+             let g = a.lock().unwrap();\n let h = b.lock().unwrap();\n let _ = (g, h);\n}\n}",
+        );
+        assert!(f.locks.is_empty(), "{:?}", f.locks);
+        assert!(f.edges.is_empty());
+        assert!(f.lock_unwraps.is_empty());
+    }
+
+    #[test]
+    fn metric_paths_collected_with_call_names() {
+        let f = facts(
+            "pub fn f(rec: &Recorder) {\n\
+             rec.add(\"dataflow/retries\", 1.0);\n\
+             rec.gauge(\"monitor/eta_s\", 2.0);\n\
+             rec.add(&format!(\"node_seconds/{m}\"), 1.0);\n}",
+        );
+        let paths: Vec<&str> = f.metrics.iter().map(|m| m.path.as_str()).collect();
+        assert_eq!(paths, vec!["dataflow/retries", "monitor/eta_s"]);
+        assert_eq!(f.metrics[0].call, "add");
+    }
+
+    #[test]
+    fn allows_and_malformed_allows_split() {
+        let f = facts(
+            "// sfcheck::allow(determinism, seeded probe)\n\
+             // sfcheck::allow(bogus-rule, nope)\n\
+             /// doc prose about sfcheck::allow(garbage
+             pub fn f() {}\n",
+        );
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.malformed_allows.len(), 1);
+    }
+}

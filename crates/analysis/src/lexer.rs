@@ -204,10 +204,38 @@ impl Lexer<'_> {
         });
     }
 
-    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` prefixes.
-    /// Returns false (consuming nothing) when the `r`/`b`/`c` is just the
-    /// start of an ordinary identifier.
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` prefixes, plus
+    /// raw identifiers `r#name`. Returns false (consuming nothing) when
+    /// the `r`/`b`/`c` is just the start of an ordinary identifier.
     fn raw_or_prefixed_literal(&mut self, line: u32, col: u32) -> bool {
+        // Raw identifier `r#name`: one Ident token whose text keeps the
+        // `r#` prefix. Splitting it into `r`, `#`, `name` would hand the
+        // keyword `name` (e.g. `r#unsafe`, `r#match`) to identifier
+        // rules and a stray `#` to the scope tracker.
+        if self.b[self.i] == b'r'
+            && self.peek(1) == Some(b'#')
+            && self
+                .peek(2)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphabetic())
+        {
+            let start = self.i;
+            self.bump(); // r
+            self.bump(); // #
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            return true;
+        }
         let mut j = self.i;
         // Optional b/c prefix before r, e.g. br"…".
         if matches!(self.b[j], b'b' | b'c') {
@@ -453,6 +481,53 @@ mod tests {
             idents("let r = rows; let b = bits;"),
             vec!["let", "r", "rows", "let", "b", "bits"]
         );
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let got = idents("let r#match = 1; let x = r#unsafe; a.r#unwrap();");
+        assert_eq!(
+            got,
+            vec!["let", "r#match", "let", "x", "r#unsafe", "a", "r#unwrap"]
+        );
+        // The escaped keywords must never surface as bare identifiers.
+        assert!(!got
+            .iter()
+            .any(|t| t == "match" || t == "unsafe" || t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_skew_brace_counts() {
+        // Unbalanced braces inside raw strings (any hash depth), ordinary
+        // strings, comments, and char literals must all be invisible to
+        // brace counting — guard-scope tracking depends on it.
+        let src = "fn f() { let a = r#\"{ { {\"#; let b = r\"}\"; \
+                   let c = \"{\"; /* } */ let d = '{'; }";
+        let toks = scan(src);
+        let opens = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == "{")
+            .count();
+        let closes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == "}")
+            .count();
+        assert_eq!((opens, closes), (1, 1));
+    }
+
+    #[test]
+    fn raw_string_hash_depths_terminate_correctly() {
+        // `"#` inside an r##"…"## body is content, not a terminator.
+        let src = "let s = r##\"body \"# still\"##; let t = tail;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t", "tail"]);
+        let body = scan(src)
+            .tokens
+            .into_iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("str token present");
+        assert_eq!(body.text, "body \"# still");
     }
 
     #[test]

@@ -21,6 +21,20 @@
 //!   (the dead-`rand` regression class), and every
 //!   `[workspace.dependencies]` entry is consumed by a member.
 //!
+//! v2 adds a second, *workspace-flow* phase: every file is first reduced
+//! to a [`facts::FileFacts`] table (mutex declarations, lock sites with
+//! guard scopes, blocking calls under guards, metric-path literals), and
+//! phase-2 rules score the merged table:
+//!
+//! * **lock-discipline** — the crate-qualified lock-order graph must be
+//!   acyclic, and no guard may be held across spawn/join/recv/file IO;
+//! * **lock-unwrap** — `.lock().unwrap()` propagates poison as a panic;
+//!   recover with `.unwrap_or_else(PoisonError::into_inner)`;
+//! * **metric-parity** — the real and virtual executors must record the
+//!   identical literal metric-path set, or trace byte-equality breaks;
+//! * **allow-audit** — an `sfcheck::allow` that suppresses nothing is
+//!   itself a finding, so escape hatches cannot rot silently.
+//!
 //! Findings are token-accurate (a comment-/string-aware lexer, not a
 //! regex), and each rule has a per-line escape hatch:
 //!
@@ -34,10 +48,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod facts;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod suppress;
+pub mod wsrules;
 
 pub use config::{Config, FileKind};
 pub use engine::{check_workspace, check_workspace_with, CheckError};
-pub use report::{render, Finding, Rule};
+pub use report::{render, render_json, Finding, Rule};

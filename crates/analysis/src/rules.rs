@@ -1,11 +1,13 @@
-//! The per-rule token passes.
+//! The per-rule token passes (phase-1 file rules).
 //!
 //! Every pass consumes a [`FileCheck`] — one scanned file plus its
-//! classification — and emits [`Finding`]s. Suppression via
-//! `sfcheck::allow` and test-region exemption are applied here so each
-//! pass stays a pure token matcher.
+//! classification — and emits [`Finding`]s, *unsuppressed*: as of v2,
+//! `sfcheck::allow` directives are applied centrally by
+//! [`crate::suppress::apply`], which is what lets the allow-audit rule
+//! see directives that never suppressed anything. Test-region exemption
+//! stays here so each pass remains a pure token matcher.
 
-use crate::config::{parse_allow, AllowDirective, AllowParse, Config, FileKind};
+use crate::config::{Config, FileKind};
 use crate::lexer::{Scan, Tok, TokKind};
 use crate::report::{Finding, Rule};
 
@@ -131,48 +133,17 @@ fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
     regions.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
 
-/// Collect well-formed allow directives and report malformed ones.
-///
-/// Only plain `//` comments carry directives; doc comments (`///`,
-/// `//!`, `/**`, `/*!`) are prose and are never parsed, so documentation
-/// may freely discuss the grammar.
-pub fn collect_allows(check: &FileCheck<'_>, findings: &mut Vec<Finding>) -> Vec<AllowDirective> {
-    let mut allows = Vec::new();
-    for c in &check.scan.comments {
-        if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
-            continue; // doc comment
-        }
-        match parse_allow(&c.text, c.line) {
-            AllowParse::None => {}
-            AllowParse::Ok(d) => allows.push(d),
-            AllowParse::Malformed(msg) => findings.push(Finding {
-                rule: Rule::AllowSyntax,
-                file: check.rel_path.to_string(),
-                line: c.line,
-                col: 1,
-                message: msg,
-            }),
-        }
-    }
-    allows
-}
-
-/// Whether a finding at `line` for `rule` is suppressed by a directive
-/// on the same line or on the line directly above.
-#[must_use]
-pub fn is_allowed(allows: &[AllowDirective], rule: Rule, line: u32) -> bool {
-    allows
-        .iter()
-        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
-}
-
 /// Panic-hygiene: no `unwrap`/`expect` calls and no
 /// `panic!`/`todo!`/`unimplemented!`/`dbg!`/`assert!`-family macros in
 /// non-test library code.
+///
+/// `lock_chain_sites` are the `(line, col)` positions of
+/// `.lock().unwrap()`/`.expect()` tokens already owned by the
+/// lock-unwrap rule — skipped here so one token never double-reports.
 pub fn panic_hygiene(
     check: &FileCheck<'_>,
     regions: &[(u32, u32)],
-    allows: &[AllowDirective],
+    lock_chain_sites: &[(u32, u32)],
     findings: &mut Vec<Finding>,
 ) {
     if check.kind != FileKind::Lib {
@@ -190,16 +161,17 @@ pub fn panic_hygiene(
     ];
     let toks = &check.scan.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident
-            || in_regions(t.line, regions)
-            || is_allowed(allows, Rule::PanicHygiene, t.line)
-        {
+        if t.kind != TokKind::Ident || in_regions(t.line, regions) {
             continue;
         }
         let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
         let next = toks.get(i + 1).map(|n| n.text.as_str());
         let name = t.text.as_str();
-        if METHODS.contains(&name) && prev == Some(".") && next == Some("(") {
+        if METHODS.contains(&name)
+            && prev == Some(".")
+            && next == Some("(")
+            && !lock_chain_sites.contains(&(t.line, t.col))
+        {
             findings.push(Finding {
                 rule: Rule::PanicHygiene,
                 file: check.rel_path.to_string(),
@@ -229,7 +201,6 @@ pub fn determinism(
     config: &Config,
     check: &FileCheck<'_>,
     regions: &[(u32, u32)],
-    allows: &[AllowDirective],
     findings: &mut Vec<Finding>,
 ) {
     if !check.deterministic || check.kind != FileKind::Lib {
@@ -237,10 +208,7 @@ pub fn determinism(
     }
     let toks = &check.scan.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident
-            || in_regions(t.line, regions)
-            || is_allowed(allows, Rule::Determinism, t.line)
-        {
+        if t.kind != TokKind::Ident || in_regions(t.line, regions) {
             continue;
         }
         for (ident, why) in &config.nondeterministic_idents {
@@ -275,14 +243,11 @@ pub fn determinism(
 }
 
 /// Unsafe-ban: the `unsafe` keyword may not appear anywhere — not even
-/// in test code — and is not allowable via directive-on-the-same-line
-/// tricks in strings or comments (the lexer already ignores those).
-pub fn unsafe_ban(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &mut Vec<Finding>) {
+/// in test code — and cannot be triggered from strings or comments (the
+/// lexer already ignores those).
+pub fn unsafe_ban(check: &FileCheck<'_>, findings: &mut Vec<Finding>) {
     for t in &check.scan.tokens {
-        if t.kind == TokKind::Ident
-            && t.text == "unsafe"
-            && !is_allowed(allows, Rule::UnsafeBan, t.line)
-        {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
             findings.push(Finding {
                 rule: Rule::UnsafeBan,
                 file: check.rel_path.to_string(),
@@ -299,7 +264,7 @@ pub fn unsafe_ban(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &m
 /// PR after the one that deprecated it deletes it. The attribute is
 /// therefore itself a finding — fires in every file kind, tests
 /// included — unless an allow directive names the removal plan.
-pub fn deprecation(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &mut Vec<Finding>) {
+pub fn deprecation(check: &FileCheck<'_>, findings: &mut Vec<Finding>) {
     let toks = &check.scan.tokens;
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Ident
@@ -307,7 +272,6 @@ pub fn deprecation(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &
             && i >= 2
             && toks[i - 1].text == "["
             && toks[i - 2].text == "#"
-            && !is_allowed(allows, Rule::Deprecation, t.line)
         {
             findings.push(Finding {
                 rule: Rule::Deprecation,
@@ -327,21 +291,13 @@ pub fn deprecation(check: &FileCheck<'_>, allows: &[AllowDirective], findings: &
 /// covering every variant — either a `Self::Variant` / `Name::Variant`
 /// match arm or a `_ =>` wildcard. A variant the Display impl cannot
 /// render surfaces as a finding on the enum's declaration line.
-pub fn error_display(
-    check: &FileCheck<'_>,
-    regions: &[(u32, u32)],
-    allows: &[AllowDirective],
-    findings: &mut Vec<Finding>,
-) {
+pub fn error_display(check: &FileCheck<'_>, regions: &[(u32, u32)], findings: &mut Vec<Finding>) {
     if check.kind != FileKind::Lib {
         return;
     }
     let toks = &check.scan.tokens;
     for (name_idx, variants) in error_enums(toks, regions) {
         let name = &toks[name_idx];
-        if is_allowed(allows, Rule::ErrorDisplay, name.line) {
-            continue;
-        }
         let Some((body_open, body_close)) = display_impl_body(toks, &name.text) else {
             findings.push(Finding {
                 rule: Rule::ErrorDisplay,
@@ -490,12 +446,7 @@ fn display_impl_body(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
 /// fragments the trace vocabulary and breaks `lens --diff` baselines.
 /// Dynamic names (variables, `format!`) are out of scope for a token
 /// rule and are skipped.
-pub fn metric_name(
-    check: &FileCheck<'_>,
-    regions: &[(u32, u32)],
-    allows: &[AllowDirective],
-    findings: &mut Vec<Finding>,
-) {
+pub fn metric_name(check: &FileCheck<'_>, regions: &[(u32, u32)], findings: &mut Vec<Finding>) {
     if check.kind != FileKind::Lib {
         return;
     }
@@ -505,7 +456,6 @@ pub fn metric_name(
         if t.kind != TokKind::Ident
             || !RECORDING_CALLS.contains(&t.text.as_str())
             || in_regions(t.line, regions)
-            || is_allowed(allows, Rule::MetricName, t.line)
         {
             continue;
         }
@@ -584,14 +534,38 @@ mod tests {
         }
     }
 
+    /// Post-process raw findings the way the engine does: add
+    /// allow-syntax findings and apply central suppression.
+    fn finalize(path: &str, s: &Scan, mut findings: Vec<Finding>) -> Vec<Finding> {
+        let regions = test_regions(s);
+        let facts = crate::facts::extract(path, "x", FileKind::Lib, s, &regions);
+        for (line, msg) in &facts.malformed_allows {
+            findings.push(Finding {
+                rule: Rule::AllowSyntax,
+                file: path.to_string(),
+                line: *line,
+                col: 1,
+                message: msg.clone(),
+            });
+        }
+        crate::suppress::apply(
+            findings,
+            &[crate::suppress::FileAllows {
+                file: path.to_string(),
+                allows: facts.allows,
+            }],
+        )
+    }
+
     fn run_panic(src: &str) -> Vec<Finding> {
         let s = scan(src);
         let check = lib_check(&s, "crates/x/src/lib.rs", false);
-        let mut findings = Vec::new();
-        let allows = collect_allows(&check, &mut findings);
         let regions = test_regions(&s);
-        panic_hygiene(&check, &regions, &allows, &mut findings);
-        findings
+        let facts = crate::facts::extract(check.rel_path, "x", FileKind::Lib, &s, &regions);
+        let sites: Vec<(u32, u32)> = facts.lock_unwraps.iter().map(|u| (u.line, u.col)).collect();
+        let mut findings = Vec::new();
+        panic_hygiene(&check, &regions, &sites, &mut findings);
+        finalize(check.rel_path, &s, findings)
     }
 
     #[test]
@@ -636,6 +610,18 @@ mod tests {
     }
 
     #[test]
+    fn lock_unwrap_is_owned_by_the_lock_unwrap_rule() {
+        // `.lock().unwrap()` is lock-unwrap's finding, not panic-hygiene's;
+        // the unwrap on the *other* line still fires here.
+        let f = run_panic(
+            "pub fn f(m: &std::sync::Mutex<u8>, x: Option<u8>) -> u8 {\n\
+             *m.lock().unwrap() + x.unwrap()\n}",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].col, 24, "only the Option unwrap: {f:?}");
+    }
+
+    #[test]
     fn panic_macro_fires_but_debug_assert_does_not() {
         let f = run_panic(
             "pub fn f(n: usize) { debug_assert!(n > 0); if n == 7 { panic!(\"seven\") } }",
@@ -647,17 +633,15 @@ mod tests {
     fn run_det(src: &str, deterministic: bool) -> Vec<Finding> {
         let s = scan(src);
         let check = lib_check(&s, "crates/msa/src/x.rs", deterministic);
-        let mut findings = Vec::new();
-        let allows = collect_allows(&check, &mut findings);
         let regions = test_regions(&s);
+        let mut findings = Vec::new();
         determinism(
             &Config::workspace_default(),
             &check,
             &regions,
-            &allows,
             &mut findings,
         );
-        findings
+        finalize(check.rel_path, &s, findings)
     }
 
     #[test]
@@ -700,9 +684,8 @@ mod tests {
         let s = scan(src);
         let check = lib_check(&s, "crates/x/src/lib.rs", false);
         let mut findings = Vec::new();
-        let allows = collect_allows(&check, &mut findings);
-        unsafe_ban(&check, &allows, &mut findings);
-        findings
+        unsafe_ban(&check, &mut findings);
+        finalize(check.rel_path, &s, findings)
     }
 
     #[test]
@@ -722,9 +705,8 @@ mod tests {
         let s = scan(src);
         let check = lib_check(&s, "crates/x/src/lib.rs", false);
         let mut findings = Vec::new();
-        let allows = collect_allows(&check, &mut findings);
-        deprecation(&check, &allows, &mut findings);
-        findings
+        deprecation(&check, &mut findings);
+        finalize(check.rel_path, &s, findings)
     }
 
     #[test]
@@ -753,11 +735,10 @@ mod tests {
     fn run_error_display(src: &str) -> Vec<Finding> {
         let s = scan(src);
         let check = lib_check(&s, "crates/x/src/lib.rs", false);
-        let mut findings = Vec::new();
-        let allows = collect_allows(&check, &mut findings);
         let regions = test_regions(&s);
-        error_display(&check, &regions, &allows, &mut findings);
-        findings
+        let mut findings = Vec::new();
+        error_display(&check, &regions, &mut findings);
+        finalize(check.rel_path, &s, findings)
     }
 
     #[test]
@@ -811,11 +792,10 @@ mod tests {
     fn run_metric(src: &str) -> Vec<Finding> {
         let s = scan(src);
         let check = lib_check(&s, "crates/x/src/lib.rs", false);
-        let mut findings = Vec::new();
-        let allows = collect_allows(&check, &mut findings);
         let regions = test_regions(&s);
-        metric_name(&check, &regions, &allows, &mut findings);
-        findings
+        let mut findings = Vec::new();
+        metric_name(&check, &regions, &mut findings);
+        finalize(check.rel_path, &s, findings)
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Centralized suppression and the allow-audit rule.
+//!
+//! v1 applied `sfcheck::allow` inside each rule pass, which made it
+//! impossible to know whether a directive ever suppressed anything. v2
+//! runs every rule unsuppressed, then applies directives in one place:
+//!
+//! 1. A finding is dropped when a directive for its rule sits on the
+//!    same line or the line directly above. Every matching directive is
+//!    marked *used*.
+//! 2. A non-`allow-audit` directive that suppressed nothing becomes an
+//!    `allow-audit` finding at the directive's line — suppressions
+//!    cannot go stale silently.
+//! 3. An `allow-audit` directive may cover a stale-directive finding
+//!    (for suppressions kept on purpose across a refactor); an unused
+//!    `allow-audit` directive is itself reported, with no further
+//!    suppression — the audit terminates after one level by design.
+//!
+//! `allow-syntax` findings are never suppressible: a malformed directive
+//! must always surface.
+
+use crate::config::AllowDirective;
+use crate::report::{Finding, Rule};
+
+/// The directives of one file, as collected by phase 1.
+#[derive(Debug, Clone)]
+pub struct FileAllows {
+    /// Workspace-relative path the directives live in.
+    pub file: String,
+    /// Well-formed directives, in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+fn covers(a: &AllowDirective, rule: Rule, line: u32) -> bool {
+    a.rule == rule && (a.line == line || a.line + 1 == line)
+}
+
+/// Apply suppression and emit allow-audit findings.
+#[must_use]
+pub fn apply(findings: Vec<Finding>, files: &[FileAllows]) -> Vec<Finding> {
+    let mut used: Vec<Vec<bool>> = files.iter().map(|f| vec![false; f.allows.len()]).collect();
+    let mut kept = Vec::new();
+    for finding in findings {
+        if finding.rule == Rule::AllowSyntax {
+            kept.push(finding);
+            continue;
+        }
+        let mut suppressed = false;
+        if let Some(fi) = files.iter().position(|f| f.file == finding.file) {
+            for (ai, a) in files[fi].allows.iter().enumerate() {
+                if covers(a, finding.rule, finding.line) {
+                    used[fi][ai] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            kept.push(finding);
+        }
+    }
+    // Stale non-audit directives become allow-audit findings…
+    for (fi, file) in files.iter().enumerate() {
+        for (ai, a) in file.allows.iter().enumerate() {
+            if used[fi][ai] || a.rule == Rule::AllowAudit {
+                continue;
+            }
+            // …which an allow-audit directive in range may cover.
+            let mut suppressed = false;
+            for (aj, audit) in file.allows.iter().enumerate() {
+                if covers(audit, Rule::AllowAudit, a.line) {
+                    used[fi][aj] = true;
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                kept.push(Finding {
+                    rule: Rule::AllowAudit,
+                    file: file.file.clone(),
+                    line: a.line,
+                    col: 1,
+                    message: format!(
+                        "sfcheck::allow({}, …) suppresses nothing — the finding it covered \
+                         is gone; delete the stale directive",
+                        a.rule.name()
+                    ),
+                });
+            }
+        }
+    }
+    // Unused allow-audit directives are stale too, and unsuppressable.
+    for (fi, file) in files.iter().enumerate() {
+        for (ai, a) in file.allows.iter().enumerate() {
+            if a.rule == Rule::AllowAudit && !used[fi][ai] {
+                kept.push(Finding {
+                    rule: Rule::AllowAudit,
+                    file: file.file.clone(),
+                    line: a.line,
+                    col: 1,
+                    message: "sfcheck::allow(allow-audit, …) suppresses nothing — no stale \
+                              directive in range; delete it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    fn allows(file: &str, directives: &[(Rule, u32)]) -> FileAllows {
+        FileAllows {
+            file: file.to_string(),
+            allows: directives
+                .iter()
+                .map(|(rule, line)| AllowDirective {
+                    rule: *rule,
+                    reason: "r".to_string(),
+                    line: *line,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn same_line_and_line_above_suppress() {
+        let fs = [allows("a.rs", &[(Rule::PanicHygiene, 4)])];
+        assert!(apply(vec![finding(Rule::PanicHygiene, "a.rs", 4)], &fs).is_empty());
+        assert!(apply(vec![finding(Rule::PanicHygiene, "a.rs", 5)], &fs).is_empty());
+        let kept = apply(vec![finding(Rule::PanicHygiene, "a.rs", 6)], &fs);
+        // Line 6 is out of range: the finding survives AND the directive
+        // is reported stale.
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|f| f.rule == Rule::PanicHygiene));
+        assert!(kept.iter().any(|f| f.rule == Rule::AllowAudit));
+    }
+
+    #[test]
+    fn wrong_rule_or_wrong_file_does_not_suppress() {
+        let fs = [allows("a.rs", &[(Rule::Determinism, 4)])];
+        let kept = apply(vec![finding(Rule::PanicHygiene, "a.rs", 4)], &fs);
+        assert!(kept.iter().any(|f| f.rule == Rule::PanicHygiene));
+        let fs = [allows("b.rs", &[(Rule::PanicHygiene, 4)])];
+        let kept = apply(vec![finding(Rule::PanicHygiene, "a.rs", 4)], &fs);
+        assert!(kept.iter().any(|f| f.rule == Rule::PanicHygiene));
+    }
+
+    #[test]
+    fn used_directive_is_not_stale() {
+        let fs = [allows("a.rs", &[(Rule::LockDiscipline, 9)])];
+        let kept = apply(vec![finding(Rule::LockDiscipline, "a.rs", 10)], &fs);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn stale_directive_reported_and_audit_allow_covers_it() {
+        // Stale lock-unwrap directive at line 7, no audit cover.
+        let fs = [allows("a.rs", &[(Rule::LockUnwrap, 7)])];
+        let kept = apply(Vec::new(), &fs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, Rule::AllowAudit);
+        assert_eq!(kept[0].line, 7);
+        // Same, plus an allow-audit directive directly above: clean.
+        let fs = [allows(
+            "a.rs",
+            &[(Rule::LockUnwrap, 7), (Rule::AllowAudit, 6)],
+        )];
+        assert!(apply(Vec::new(), &fs).is_empty());
+    }
+
+    #[test]
+    fn unused_audit_directive_is_reported_unsuppressably() {
+        let fs = [allows("a.rs", &[(Rule::AllowAudit, 3)])];
+        let kept = apply(Vec::new(), &fs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, Rule::AllowAudit);
+        assert!(kept[0].message.contains("no stale directive"));
+    }
+
+    #[test]
+    fn allow_syntax_findings_pass_through() {
+        let fs = [allows("a.rs", &[(Rule::PanicHygiene, 2)])];
+        let kept = apply(vec![finding(Rule::AllowSyntax, "a.rs", 2)], &fs);
+        // The malformed-directive finding survives; the unrelated
+        // directive is stale.
+        assert!(kept.iter().any(|f| f.rule == Rule::AllowSyntax));
+    }
+
+    #[test]
+    fn one_directive_covers_multiple_findings() {
+        let fs = [allows("a.rs", &[(Rule::Determinism, 4)])];
+        let kept = apply(
+            vec![
+                finding(Rule::Determinism, "a.rs", 4),
+                finding(Rule::Determinism, "a.rs", 5),
+            ],
+            &fs,
+        );
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+}

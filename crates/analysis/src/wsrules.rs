@@ -1,0 +1,276 @@
+//! Phase-2 workspace rules: scoring the merged [`FileFacts`] table.
+//!
+//! Per-file passes (`rules`) see one file at a time; the rules here see
+//! the whole workspace — the lock-order graph spans files within a
+//! crate, and metric parity compares two executors that never appear in
+//! the same file.
+
+use crate::config::{Config, FileKind};
+use crate::facts::FileFacts;
+use crate::graph;
+use crate::report::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether lock-discipline applies to this file: library and binary
+/// code, minus configured exemptions. Tests, benches, and examples may
+/// hold locks sloppily — they run under the test harness's timeout.
+fn lock_discipline_applies(config: &Config, f: &FileFacts) -> bool {
+    matches!(f.kind, FileKind::Lib | FileKind::Bin)
+        && !config.is_lock_discipline_exempt(&f.rel_path)
+}
+
+/// Graph node for a mutex: crate-qualified so `queue` in two crates
+/// never unifies, but `queue` across files of one crate does (the
+/// executor's queue is locked from several modules).
+fn node(f: &FileFacts, mutex: &str) -> String {
+    if f.crate_dir.is_empty() {
+        mutex.to_string()
+    } else {
+        format!("{}/{mutex}", f.crate_dir)
+    }
+}
+
+/// lock-discipline: build the crate-qualified lock-order graph from
+/// every guard-held lock acquisition, report each cycle as a potential
+/// deadlock, and flag guards held across blocking calls.
+pub fn lock_discipline(config: &Config, facts: &[FileFacts], findings: &mut Vec<Finding>) {
+    let mut edges: Vec<(String, String)> = Vec::new();
+    // Earliest site per directed edge, for attributing cycle findings to
+    // a concrete line an allow directive can cover.
+    let mut sites: BTreeMap<(String, String), (String, u32, u32)> = BTreeMap::new();
+    for f in facts.iter().filter(|f| lock_discipline_applies(config, f)) {
+        for c in &f.crossings {
+            findings.push(Finding {
+                rule: Rule::LockDiscipline,
+                file: f.rel_path.clone(),
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "guard of `{}` (held since line {}) is held across {} (`{}`): \
+                     the blocked party may need the same lock; narrow the guard scope \
+                     or move the call outside the critical section",
+                    c.mutex, c.guard_line, c.op, c.call
+                ),
+            });
+        }
+        for e in &f.edges {
+            let key = (node(f, &e.holder), node(f, &e.acquired));
+            let site = (f.rel_path.clone(), e.line, e.col);
+            sites
+                .entry(key.clone())
+                .and_modify(|s| {
+                    if site < *s {
+                        *s = site.clone();
+                    }
+                })
+                .or_insert(site);
+            edges.push(key);
+        }
+    }
+    for cycle in graph::cycles(&edges) {
+        // Attribute the finding to the smallest participating edge site.
+        let mut best: Option<(String, u32, u32)> = None;
+        for (i, from) in cycle.iter().enumerate() {
+            let to = &cycle[(i + 1) % cycle.len()];
+            if let Some(s) = sites.get(&(from.clone(), to.clone())) {
+                if best.as_ref().is_none_or(|b| s < b) {
+                    best = Some(s.clone());
+                }
+            }
+        }
+        let Some((file, line, col)) = best else {
+            continue; // unreachable: every cycle edge came from `sites`
+        };
+        let path = cycle.join(" -> ");
+        let closing = &cycle[0];
+        let message = if cycle.len() == 1 {
+            format!(
+                "lock-order cycle: `{closing}` is locked again while its own guard is \
+                 held — std::sync::Mutex is not reentrant, this deadlocks the thread"
+            )
+        } else {
+            format!(
+                "lock-order cycle {path} -> {closing}: threads acquiring these locks in \
+                 different orders can deadlock; pick one global acquisition order"
+            )
+        };
+        findings.push(Finding {
+            rule: Rule::LockDiscipline,
+            file,
+            line,
+            col,
+            message,
+        });
+    }
+}
+
+/// lock-unwrap: `.lock().unwrap()` / `.expect(…)` propagates poison as a
+/// panic and takes the worker down with the first panicking locker. The
+/// sanctioned recovery is `.lock().unwrap_or_else(PoisonError::into_inner)`
+/// (see `obs::monitor`): the guard is still valid, the data is at worst
+/// mid-update, and campaign telemetry must outlive worker panics.
+pub fn lock_unwrap(facts: &[FileFacts], findings: &mut Vec<Finding>) {
+    for f in facts.iter().filter(|f| f.kind == FileKind::Lib) {
+        for u in &f.lock_unwraps {
+            findings.push(Finding {
+                rule: Rule::LockUnwrap,
+                file: f.rel_path.clone(),
+                line: u.line,
+                col: u.col,
+                message: format!(
+                    ".lock().{}() on `{}` panics on a poisoned mutex; recover the guard \
+                     with .unwrap_or_else(PoisonError::into_inner) (see obs::monitor) or \
+                     handle the Err",
+                    u.method, u.mutex
+                ),
+            });
+        }
+    }
+}
+
+/// metric-parity: each configured file pair must record the identical
+/// set of literal metric paths. The real and virtual executors replicate
+/// the paper's load-balance numbers via byte-identical traces; a metric
+/// recorded by one side only silently breaks `lens --diff` baselines.
+pub fn metric_parity(config: &Config, facts: &[FileFacts], findings: &mut Vec<Finding>) {
+    for (a_suffix, b_suffix) in &config.metric_parity_pairs {
+        let a = facts
+            .iter()
+            .find(|f| f.rel_path == *a_suffix || f.rel_path.ends_with(a_suffix));
+        let b = facts
+            .iter()
+            .find(|f| f.rel_path == *b_suffix || f.rel_path.ends_with(b_suffix));
+        let (Some(a), Some(b)) = (a, b) else {
+            continue; // pair not present in this tree (fixture workspaces)
+        };
+        report_asymmetry(a, b, findings);
+        report_asymmetry(b, a, findings);
+    }
+}
+
+/// Report every metric path `present` records that `absent` does not,
+/// attributed to the recording site so a line-level allow can cover it.
+fn report_asymmetry(present: &FileFacts, absent: &FileFacts, findings: &mut Vec<Finding>) {
+    let absent_paths: BTreeSet<&str> = absent.metrics.iter().map(|m| m.path.as_str()).collect();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for m in &present.metrics {
+        if absent_paths.contains(m.path.as_str()) || !seen.insert(m.path.as_str()) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::MetricParity,
+            file: present.rel_path.clone(),
+            line: m.line,
+            col: m.col,
+            message: format!(
+                "metric path \"{}\" is recorded by {} but not by {}: executor traces \
+                 must record the identical metric set or trace byte-equality breaks",
+                m.path, present.rel_path, absent.rel_path
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::rules::test_regions;
+
+    fn facts_for(rel: &str, crate_dir: &str, src: &str) -> FileFacts {
+        let s = scan(src);
+        let regions = test_regions(&s);
+        crate::facts::extract(rel, crate_dir, FileKind::classify(rel), &s, &regions)
+    }
+
+    #[test]
+    fn opposite_order_lock_pair_is_a_cycle() {
+        let src_ab = "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                      let g = lock(a);\n let h = lock(b);\n let _ = (g, h);\n}";
+        let src_ba = "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                      let h = lock(b);\n let g = lock(a);\n let _ = (g, h);\n}";
+        let facts = vec![
+            facts_for("crates/x/src/one.rs", "x", src_ab),
+            facts_for("crates/x/src/two.rs", "x", src_ba),
+        ];
+        let mut findings = Vec::new();
+        lock_discipline(&Config::workspace_default(), &facts, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("lock-order cycle"));
+        assert!(
+            findings[0].message.contains("x/a -> x/b"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean_across_crates() {
+        let src_ab = "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                      let g = lock(a);\n let h = lock(b);\n let _ = (g, h);\n}";
+        // Same names, opposite order — but in a different crate: no unify.
+        let src_ba = "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                      let h = lock(b);\n let g = lock(a);\n let _ = (g, h);\n}";
+        let facts = vec![
+            facts_for("crates/x/src/one.rs", "x", src_ab),
+            facts_for("crates/y/src/two.rs", "y", src_ba),
+        ];
+        let mut findings = Vec::new();
+        lock_discipline(&Config::workspace_default(), &facts, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn crossing_in_test_file_kind_is_exempt() {
+        let src = "pub fn f(a: &Mutex<u8>, h: std::thread::JoinHandle<()>) {\n\
+                   let g = lock(a);\n let _ = h.join();\n let _ = g;\n}";
+        let facts = vec![facts_for("crates/x/tests/probe.rs", "x", src)];
+        let mut findings = Vec::new();
+        lock_discipline(&Config::workspace_default(), &facts, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn lock_unwrap_fires_in_lib_not_bin() {
+        let src = "pub fn f(a: &Mutex<u8>) -> u8 { *a.lock().unwrap() }";
+        let mut findings = Vec::new();
+        lock_unwrap(&[facts_for("crates/x/src/lib.rs", "x", src)], &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::LockUnwrap);
+        findings.clear();
+        lock_unwrap(
+            &[facts_for("crates/x/src/bin/tool.rs", "x", src)],
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn metric_parity_reports_both_directions_once_per_path() {
+        let real = "pub fn f(r: &Recorder) {\n r.add(\"exec/shared\", 1.0);\n \
+                    r.add(\"exec/real_only\", 1.0);\n r.add(\"exec/real_only\", 2.0);\n}";
+        let sim = "pub fn f(r: &Recorder) {\n r.add(\"exec/shared\", 1.0);\n \
+                   r.add(\"exec/sim_only\", 1.0);\n}";
+        let facts = vec![
+            facts_for("crates/dataflow/src/real.rs", "dataflow", real),
+            facts_for("crates/dataflow/src/sim.rs", "dataflow", sim),
+        ];
+        let mut findings = Vec::new();
+        metric_parity(&Config::workspace_default(), &facts, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("real_only"));
+        assert!(findings[1].message.contains("sim_only"));
+    }
+
+    #[test]
+    fn metric_parity_skips_absent_pairs() {
+        let facts = vec![facts_for(
+            "crates/x/src/lib.rs",
+            "x",
+            "pub fn f(r: &R) { r.add(\"a/b\", 1.0); }",
+        )];
+        let mut findings = Vec::new();
+        metric_parity(&Config::workspace_default(), &facts, &mut findings);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Seeded property test for the lock-order graph.
+//!
+//! Three properties, each over many randomly generated graphs from a
+//! fixed-seed PRNG (fully deterministic — no flaky CI):
+//!
+//! 1. a random DAG never produces a cycle finding,
+//! 2. injecting one back-edge across an existing path always does,
+//! 3. the reported cycle set is identical across runs and edge orders.
+
+use summitfold_analysis::graph::cycles;
+
+/// Minimal xorshift64* PRNG; good enough for shuffles, zero deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant here).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+/// A random topological order over `n` mutex names.
+fn topo_order(rng: &mut Rng, n: usize) -> Vec<String> {
+    let mut nodes: Vec<String> = (0..n).map(|i| format!("m{i:02}")).collect();
+    rng.shuffle(&mut nodes);
+    nodes
+}
+
+/// Random edges that only point forward in `topo` — acyclic by
+/// construction.
+fn forward_edges(rng: &mut Rng, topo: &[String], extra: usize) -> Vec<(String, String)> {
+    let mut edges = Vec::new();
+    for _ in 0..extra {
+        let i = rng.below(topo.len() - 1);
+        let j = i + 1 + rng.below(topo.len() - i - 1);
+        edges.push((topo[i].clone(), topo[j].clone()));
+    }
+    edges
+}
+
+#[test]
+fn random_dags_never_report_cycles() {
+    let mut rng = Rng(0x5eed_0001);
+    for trial in 0..200 {
+        let n = 3 + rng.below(10);
+        let topo = topo_order(&mut rng, n);
+        let extra = rng.below(3 * n);
+        let edges = forward_edges(&mut rng, &topo, extra);
+        let got = cycles(&edges);
+        assert!(
+            got.is_empty(),
+            "trial {trial}: DAG produced cycles {got:?} from edges {edges:?}"
+        );
+    }
+}
+
+#[test]
+fn injected_back_edge_is_always_reported() {
+    let mut rng = Rng(0x5eed_0002);
+    for trial in 0..200 {
+        let n = 3 + rng.below(10);
+        let topo = topo_order(&mut rng, n);
+        // A spine along the topological order guarantees a path between
+        // any two positions; extra forward edges are noise.
+        let mut edges: Vec<(String, String)> = topo
+            .windows(2)
+            .map(|w| (w[0].clone(), w[1].clone()))
+            .collect();
+        let extra = rng.below(2 * n);
+        edges.extend(forward_edges(&mut rng, &topo, extra));
+        // One back-edge from a later node to an earlier one closes a
+        // cycle through the spine.
+        let i = rng.below(n - 1);
+        let j = i + 1 + rng.below(n - i - 1);
+        edges.push((topo[j].clone(), topo[i].clone()));
+        let got = cycles(&edges);
+        assert!(
+            !got.is_empty(),
+            "trial {trial}: back-edge {} -> {} not reported; edges {edges:?}",
+            topo[j],
+            topo[i]
+        );
+        // The cycle runs through the back-edge's endpoints.
+        assert!(
+            got.iter()
+                .any(|c| c.contains(&topo[i]) && c.contains(&topo[j])),
+            "trial {trial}: no reported cycle contains both endpoints: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn reports_are_deterministic_across_runs_and_edge_orders() {
+    let mut rng = Rng(0x5eed_0003);
+    for _ in 0..100 {
+        let n = 3 + rng.below(10);
+        let topo = topo_order(&mut rng, n);
+        let mut edges: Vec<(String, String)> = topo
+            .windows(2)
+            .map(|w| (w[0].clone(), w[1].clone()))
+            .collect();
+        let extra = rng.below(2 * n);
+        edges.extend(forward_edges(&mut rng, &topo, extra));
+        // Mix of cyclic and acyclic graphs: inject a back-edge half the
+        // time.
+        if rng.below(2) == 0 {
+            let i = rng.below(n - 1);
+            let j = i + 1 + rng.below(n - i - 1);
+            edges.push((topo[j].clone(), topo[i].clone()));
+        }
+        let first = cycles(&edges);
+        let second = cycles(&edges);
+        assert_eq!(first, second, "same edge list, different reports");
+        let mut shuffled = edges.clone();
+        rng.shuffle(&mut shuffled);
+        shuffled.dedup();
+        assert_eq!(
+            first,
+            cycles(&shuffled),
+            "edge order changed the report: {edges:?}"
+        );
+    }
+}

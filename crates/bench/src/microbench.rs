@@ -13,7 +13,6 @@
 
 use std::fmt::Display;
 use std::hint::black_box;
-// sfcheck::allow(determinism, benchmark timing is wall-clock by definition)
 use std::time::Instant;
 
 /// Timing loop handle passed to each benchmark closure.

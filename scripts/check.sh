@@ -34,6 +34,34 @@ RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test telemetry
 echo "==> sfcheck"
 cargo run -q --release -p summitfold-analysis --bin sfcheck
 
+echo "==> sfcheck --json (archive + gate cross-check)"
+# Archive the machine-readable report next to the bench-gate artifacts,
+# fail on any non-suppressed finding, and fail if the binary and the
+# tier-1 integration test disagree about the workspace state — a drift
+# between the two means one of the gates has quietly stopped gating.
+mkdir -p target/bench-gate
+sfcheck_json_status=0
+cargo run -q --release -p summitfold-analysis --bin sfcheck -- --json \
+    > target/bench-gate/sfcheck_report.json || sfcheck_json_status=$?
+if [ "$sfcheck_json_status" -ne 0 ]; then
+    echo "sfcheck --json reported findings (see target/bench-gate/sfcheck_report.json):" >&2
+    cat target/bench-gate/sfcheck_report.json >&2
+    exit 1
+fi
+if ! grep -q '"total":0' target/bench-gate/sfcheck_report.json; then
+    echo "sfcheck exited clean but the JSON report disagrees:" >&2
+    cat target/bench-gate/sfcheck_report.json >&2
+    exit 1
+fi
+test_status=0
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test static_analysis \
+    >/dev/null || test_status=$?
+if [ "$test_status" -ne 0 ]; then
+    echo "sfcheck binary reports a clean workspace but tests/static_analysis.rs fails:" >&2
+    echo "the binary and the integration test disagree on finding counts" >&2
+    exit 1
+fi
+
 echo "==> std::time allowlist (deterministic crates)"
 # Wall-clock time in repro-number crates is confined to the executors
 # that exist to measure it (dataflow real/fault) and the obs wall clock.

@@ -3,11 +3,13 @@
 //! `cargo test` fails if `sfcheck` reports any unallowed finding: a
 //! nondeterministic construct in a deterministic crate, a panic site in
 //! library code, an `unsafe` token or missing `#![forbid(unsafe_code)]`,
-//! or a declared-but-unused dependency. See `crates/analysis` and the
-//! "Static analysis" section of DESIGN.md.
+//! a lock-order cycle or guard held across a blocking call, an unpaired
+//! executor metric, a declared-but-unused dependency, or a stale
+//! `sfcheck::allow` directive. See `crates/analysis` and the "Static
+//! analysis" section of DESIGN.md.
 
 use std::path::Path;
-use summitfold_analysis::{check_workspace, render};
+use summitfold_analysis::{check_workspace, render, render_json, Rule};
 
 #[test]
 fn workspace_passes_sfcheck() {
@@ -18,4 +20,27 @@ fn workspace_passes_sfcheck() {
         "sfcheck found workspace invariant violations:\n{}",
         render(&findings)
     );
+}
+
+/// The JSON report and this test must agree on the workspace state:
+/// `scripts/check.sh` archives `sfcheck --json` output and cross-checks
+/// its `"total"` against this test's verdict, so a drift between the two
+/// renderers would corrupt the gate.
+#[test]
+fn json_report_agrees_with_the_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = check_workspace(root).expect("sfcheck must be able to read the workspace");
+    let json = render_json(&findings);
+    assert!(
+        json.contains(&format!("\"total\":{}", findings.len())),
+        "render_json total disagrees with findings: {json}"
+    );
+    // Every rule appears in the per-rule histogram, even at zero.
+    for rule in Rule::ALL {
+        assert!(
+            json.contains(&format!("\"{}\":", rule.name())),
+            "rule {} missing from JSON histogram: {json}",
+            rule.name()
+        );
+    }
 }
