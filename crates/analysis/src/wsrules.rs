@@ -263,6 +263,28 @@ mod tests {
     }
 
     #[test]
+    fn metric_parity_covers_service_live_counters() {
+        // The run_live drain counters are part of the executor-pair
+        // contract: dropping one from a single backend must fire.
+        let real = "pub fn run_live(r: &Recorder) {\n \
+                    r.add(\"service/live_completed\", 1.0);\n \
+                    r.add(\"service/live_waits\", 1.0);\n \
+                    r.add(\"service/live_carryover\", 1.0);\n}";
+        let sim = "pub fn run_live(r: &Recorder) {\n \
+                   r.add(\"service/live_completed\", 1.0);\n \
+                   r.add(\"service/live_waits\", 1.0);\n}";
+        let facts = vec![
+            facts_for("crates/dataflow/src/real.rs", "dataflow", real),
+            facts_for("crates/dataflow/src/sim.rs", "dataflow", sim),
+        ];
+        let mut findings = Vec::new();
+        metric_parity(&Config::workspace_default(), &facts, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("service/live_carryover"));
+        assert!(findings[0].file.ends_with("real.rs"));
+    }
+
+    #[test]
     fn metric_parity_skips_absent_pairs() {
         let facts = vec![facts_for(
             "crates/x/src/lib.rs",

@@ -82,9 +82,10 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
 
     // "The first set of proteins for each worker took significantly
     // longer to process than those at the end due to task sorting."
+    let timelines = sim.worker_timelines();
     let mut first_longer = 0;
     for &w in &sample {
-        let tl = sim.worker_timeline(w);
+        let tl = &timelines[w];
         if tl.len() >= 4 {
             let first = tl[0].duration();
             let last = tl[tl.len() - 1].duration();

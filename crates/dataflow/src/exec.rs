@@ -43,7 +43,9 @@ use crate::policy::OrderingPolicy;
 use crate::retry::{
     entry_matches_record, FaultPlan, Lane, PassOutcome, ResilienceError, RetryPolicy, TaskFault,
 };
+use crate::source::SubmissionQueue;
 use crate::task::{TaskRecord, TaskSpec};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use summitfold_obs::{Recorder, SpanId};
 
@@ -210,6 +212,13 @@ impl BatchStatus {
         matches!(self, Self::Partial { .. })
     }
 
+    /// Whether every task completed — the symmetric twin of
+    /// [`Self::carried_over`] for callers asserting the happy path.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Complete)
+    }
+
     /// The carried-over task ids (empty for a complete batch).
     #[must_use]
     pub fn carried_over(&self) -> &[String] {
@@ -348,17 +357,50 @@ impl<O> BatchOutcome<O> {
     }
 
     /// Records belonging to one worker, sorted by start time (one row of
-    /// Fig 2).
+    /// Fig 2). Callers walking every worker should use
+    /// [`Self::worker_timelines`] — it groups all lanes in one pass
+    /// instead of re-scanning the records per worker.
     #[must_use]
     pub fn worker_timeline(&self, worker_id: usize) -> Vec<&TaskRecord> {
-        let mut rows: Vec<&TaskRecord> = self
+        self.worker_timelines()
+            .into_iter()
+            .nth(worker_id)
+            .unwrap_or_default()
+    }
+
+    /// Every worker's timeline from one grouped pass over the records:
+    /// lane `w` holds worker `w`'s records sorted by start time. Sized
+    /// to cover the batch's lanes and every worker id that appears in
+    /// the records (the quarantine lane extends past `worker_busy`).
+    #[must_use]
+    pub fn worker_timelines(&self) -> Vec<Vec<&TaskRecord>> {
+        let lanes = self
             .records
             .iter()
-            .filter(|r| r.worker_id == worker_id)
-            .collect();
-        rows.sort_by(|a, b| a.start.total_cmp(&b.start));
-        rows
+            .map(|r| r.worker_id + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.worker_busy.len());
+        group_by_worker(&self.records, lanes)
     }
+}
+
+/// A validated live-queue run, handed to [`Executor::run_live`].
+///
+/// Constructed only by [`crate::source::LiveRun`] after validation, so
+/// backends may rely on `workers > 0` and a finite non-negative
+/// deadline when one is set.
+pub struct LivePlan<'a> {
+    /// Worker count pulling from the queue (> 0).
+    pub workers: usize,
+    /// Telemetry sink (possibly [`Recorder::disabled`]).
+    pub recorder: &'a Recorder,
+    /// Span label for the run ("service", …).
+    pub label: &'a str,
+    /// Horizon in seconds on the executor's clock: no dispatched task
+    /// may end past it; tasks that would overrun stay queued and are
+    /// reported as carried over (`None` = unbounded).
+    pub deadline: Option<f64>,
 }
 
 /// A backend that can run a validated [`Plan`].
@@ -374,16 +416,33 @@ pub trait Executor {
         I: Sync,
         O: Send,
         F: Fn(&TaskSpec, &I) -> O + Sync;
+
+    /// Drain a live [`SubmissionQueue`]: workers pull dispatches one at
+    /// a time until the queue reports [`crate::source::Pull::Drained`]
+    /// (or, on the virtual backend, `Pending` — close the queue before
+    /// a virtual run). Scheduling across tenants is the queue's
+    /// fair-share contract; this method only decides *when* each worker
+    /// pulls. Tasks are scheduling-only (`cost_hint` models the work):
+    /// the virtual backend advances its clock by `cost_hint` per task,
+    /// the thread backend records real pull timestamps. Both emit the
+    /// same `service/*` counters so service traces stay
+    /// cross-executor-comparable. Entry point: [`crate::source::LiveRun`].
+    fn run_live(&self, plan: &LivePlan<'_>, queue: &SubmissionQueue) -> BatchOutcome<()>;
 }
 
 /// Builder describing a batch, independent of the backend that runs it.
 ///
+/// The task list is either borrowed ([`Batch::new`]) or owned
+/// ([`Batch::from_specs`]) — callers building specs on the fly, like
+/// the folding service, no longer need an array that outlives the
+/// builder.
+///
 /// Defaults: 1 worker, [`OrderingPolicy::Fifo`], no faults, no explicit
 /// durations, telemetry disabled, span label `"batch"`, no retries, no
 /// quarantine lane, no journal.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub struct Batch<'a> {
-    specs: &'a [TaskSpec],
+    specs: Cow<'a, [TaskSpec]>,
     workers: usize,
     policy: OrderingPolicy,
     faults: &'a [WorkerFault],
@@ -400,9 +459,23 @@ pub struct Batch<'a> {
 }
 
 impl<'a> Batch<'a> {
-    /// Start describing a batch over these task specs.
+    /// Start describing a batch over borrowed task specs.
     #[must_use]
     pub fn new(specs: &'a [TaskSpec]) -> Self {
+        Self::from_cow(Cow::Borrowed(specs))
+    }
+
+    /// Start describing a batch that owns its task specs — the caller
+    /// hands over the `Vec` and the builder is `'static` as far as the
+    /// task list is concerned. This is the constructor services and
+    /// other long-lived submitters use; see the crate root for the
+    /// migration notes.
+    #[must_use]
+    pub fn from_specs(specs: Vec<TaskSpec>) -> Self {
+        Self::from_cow(Cow::Owned(specs))
+    }
+
+    fn from_cow(specs: Cow<'a, [TaskSpec]>) -> Self {
         Self {
             specs,
             workers: 1,
@@ -513,22 +586,17 @@ impl<'a> Batch<'a> {
         self
     }
 
-    /// Enable straggler speculation at the default `k×` threshold
-    /// ([`crate::deadline::DEFAULT_SPECULATION_FACTOR`]).
-    #[must_use]
-    pub fn speculate(self) -> Self {
-        self.speculation(crate::deadline::DEFAULT_SPECULATION_FACTOR)
-    }
-
     /// Enable straggler speculation: a clean task whose modeled duration
     /// exceeds `factor × cost_hint` gets a speculative duplicate on an
     /// idle worker; the first completion wins and the loser is recorded
-    /// as cancelled (attempts = 0). Both backends derive the decision
-    /// from [`crate::deadline::speculation_flags`], so they agree on
-    /// which tasks speculate.
+    /// as cancelled (attempts = 0). `None` uses the default threshold,
+    /// [`crate::deadline::DEFAULT_SPECULATION_FACTOR`] (1.5×) — the
+    /// former `speculate()` shorthand. Both backends derive the
+    /// decision from [`crate::deadline::speculation_flags`], so they
+    /// agree on which tasks speculate.
     #[must_use]
-    pub fn speculation(mut self, factor: f64) -> Self {
-        self.speculation = Some(factor);
+    pub fn speculation(mut self, factor: Option<f64>) -> Self {
+        self.speculation = Some(factor.unwrap_or(crate::deadline::DEFAULT_SPECULATION_FACTOR));
         self
     }
 
@@ -543,7 +611,7 @@ impl<'a> Batch<'a> {
         self
     }
 
-    fn validate(&self, items: usize) -> Result<Plan<'a>, BatchError> {
+    fn validate(&self, items: usize) -> Result<Plan<'_>, BatchError> {
         if self.workers == 0 || self.quarantine_workers == Some(0) {
             return Err(BatchError::NoWorkers);
         }
@@ -596,7 +664,7 @@ impl<'a> Batch<'a> {
         // task doomed to exhaust every configured lane is rejected here —
         // executors may assume every scheduled task eventually succeeds.
         let fault_plan = FaultPlan::new(self.task_faults, self.retry);
-        for spec in self.specs {
+        for spec in self.specs.iter() {
             if fault_plan.pass(&spec.id, Lane::Standard, 0) != PassOutcome::Exhausts {
                 continue;
             }
@@ -619,7 +687,7 @@ impl<'a> Batch<'a> {
             }
         }
         Ok(Plan {
-            specs: self.specs,
+            specs: &self.specs[..],
             workers: self.workers,
             policy: self.policy,
             faults: self.faults,
@@ -860,17 +928,40 @@ fn emit_progress<O>(plan: &Plan<'_>, t0: f64, outcome: &BatchOutcome<O>, every: 
     }
 }
 
-/// Per-worker busy seconds and finish times derived from task records.
+/// Group `records` by worker in one pass: lane `w` of the result holds
+/// worker `w`'s records sorted by start time. Records naming workers
+/// outside `0..lanes` are dropped — callers size `lanes` to include the
+/// quarantine lane when they want it. This is the single grouped scan
+/// behind both [`BatchOutcome::worker_timelines`] and
+/// [`per_worker_stats`], so the Gantt view and the load-balance stats
+/// can never disagree about which records belong to a worker.
 #[must_use]
-pub fn per_worker_stats(records: &[TaskRecord], workers: usize) -> (Vec<f64>, Vec<f64>) {
-    let mut busy = vec![0.0f64; workers];
-    let mut finish = vec![0.0f64; workers];
+pub fn group_by_worker(records: &[TaskRecord], lanes: usize) -> Vec<Vec<&TaskRecord>> {
+    let mut groups: Vec<Vec<&TaskRecord>> = vec![Vec::new(); lanes];
     for r in records {
-        if r.worker_id < workers {
-            busy[r.worker_id] += r.duration();
-            finish[r.worker_id] = finish[r.worker_id].max(r.end);
+        if r.worker_id < lanes {
+            groups[r.worker_id].push(r);
         }
     }
+    for g in &mut groups {
+        g.sort_by(|a, b| a.start.total_cmp(&b.start));
+    }
+    groups
+}
+
+/// Per-worker busy seconds and finish times derived from task records,
+/// via the same grouped pass as [`BatchOutcome::worker_timelines`].
+#[must_use]
+pub fn per_worker_stats(records: &[TaskRecord], workers: usize) -> (Vec<f64>, Vec<f64>) {
+    let groups = group_by_worker(records, workers);
+    let busy = groups
+        .iter()
+        .map(|g| g.iter().map(|r| r.duration()).sum())
+        .collect();
+    let finish = groups
+        .iter()
+        .map(|g| g.iter().map(|r| r.end).fold(0.0, f64::max))
+        .collect();
     (busy, finish)
 }
 
@@ -1000,7 +1091,7 @@ mod tests {
         for bad in [f64::NAN, 1.0, 0.5, -2.0] {
             let err = Batch::new(&s)
                 .workers(2)
-                .speculation(bad)
+                .speculation(Some(bad))
                 .run(&VirtualExecutor::new(0.0))
                 .unwrap_err();
             assert_eq!(err, BatchError::InvalidSpeculation, "factor {bad}");
@@ -1106,6 +1197,33 @@ mod tests {
         let (busy, finish) = per_worker_stats(&records, 2);
         assert_eq!(busy, vec![3.0, 1.5]);
         assert_eq!(finish, vec![4.0, 1.5]);
+    }
+
+    #[test]
+    fn timeline_and_stats_views_agree() {
+        // Regression for the shared grouped pass: the Gantt view
+        // (worker_timelines) and the load-balance stats
+        // (worker_busy/worker_finish via per_worker_stats) must describe
+        // the same per-worker record sets.
+        let s = specs(40);
+        let r = Batch::new(&s)
+            .workers(5)
+            .policy(OrderingPolicy::LongestFirst)
+            .run(&VirtualExecutor::new(0.5))
+            .unwrap();
+        let timelines = r.worker_timelines();
+        assert_eq!(timelines.len(), r.worker_busy.len());
+        for (w, tl) in timelines.iter().enumerate() {
+            let busy: f64 = tl.iter().map(|rec| rec.duration()).sum();
+            let finish = tl.iter().map(|rec| rec.end).fold(0.0, f64::max);
+            assert!((busy - r.worker_busy[w]).abs() < 1e-9, "worker {w}");
+            assert!((finish - r.worker_finish[w]).abs() < 1e-9, "worker {w}");
+            // And the single-worker view is the same lane.
+            assert_eq!(r.worker_timeline(w), *tl);
+        }
+        // Every record appears in exactly one lane.
+        let total: usize = timelines.iter().map(Vec::len).sum();
+        assert_eq!(total, r.records.len());
     }
 
     #[test]

@@ -49,6 +49,29 @@
 //! duration race a duplicate on an idle worker, first completion wins.
 //! Both decisions derive from pure functions shared by the backends, so
 //! the virtual and thread executors pick the identical speculation set.
+//!
+//! The live layer (see [`source`]) is the multi-tenant pivot: a
+//! [`source::SubmissionQueue`] accepts campaigns from concurrent
+//! submitters with weighted fair-share + priority scheduling across
+//! classes, and both executors drain it through
+//! [`exec::Executor::run_live`] — workers *pull* dispatches one at a
+//! time instead of walking a plan frozen at `run()` time.
+//!
+//! ## Migrating to the owned Batch API
+//!
+//! Two call shapes changed when the live layer landed:
+//!
+//! * **Owned specs.** [`exec::Batch::new`] still borrows
+//!   `&[TaskSpec]`, but callers that build their task list on the fly
+//!   (services, follow-on planners) should hand it over with
+//!   [`exec::Batch::from_specs`]`(Vec<TaskSpec>)` — the builder owns
+//!   the list, nothing has to outlive it, and `Batch` is now `Clone`
+//!   (no longer `Copy`).
+//! * **One speculation knob.** The `speculate()` / `speculation(k)`
+//!   pair collapsed into `speculation(Option<f64>)`:
+//!   `.speculate()` becomes `.speculation(None)` (the documented
+//!   default, [`deadline::DEFAULT_SPECULATION_FACTOR`] = 1.5×) and
+//!   `.speculation(k)` becomes `.speculation(Some(k))`.
 
 pub mod deadline;
 pub mod exec;
@@ -58,6 +81,7 @@ pub mod policy;
 pub mod real;
 pub mod retry;
 pub mod sim;
+pub mod source;
 pub mod stats;
 mod sync;
 pub mod task;
@@ -66,4 +90,7 @@ pub use exec::{Batch, BatchError, BatchOutcome, BatchStatus, Executor};
 pub use journal::{Journal, JournalEntry};
 pub use policy::OrderingPolicy;
 pub use retry::{ResilienceError, RetryPolicy, TaskFault, TaskFaultKind};
+pub use source::{
+    ClassConfig, DispatchEntry, Dispatched, LiveRun, Pull, SubmissionQueue, SubmitError, TaskSource,
+};
 pub use task::{TaskRecord, TaskSpec};

@@ -34,10 +34,12 @@
 //! rate/utilization values reflect the measured wall-clock timings.
 
 use crate::exec::{
-    close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, BatchStatus, Executor, Plan,
+    close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, BatchStatus, Executor,
+    LivePlan, Plan,
 };
 use crate::journal::JournalEntry;
 use crate::retry::{FaultPlan, Lane, PassOutcome};
+use crate::source::{Pull, SubmissionQueue};
 use crate::sync::lock;
 use crate::task::{TaskRecord, TaskSpec};
 use std::collections::{BTreeSet, VecDeque};
@@ -485,6 +487,119 @@ impl Executor for ThreadExecutor {
             resumed,
         };
         close_batch_span(plan, span, t0, &outcome);
+        outcome
+    }
+
+    fn run_live(&self, plan: &LivePlan<'_>, queue: &SubmissionQueue) -> BatchOutcome<()> {
+        let rec = plan.recorder;
+        let t0 = rec.now();
+        let span = rec.span_start(plan.label);
+        let registered: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(plan.workers));
+        let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::new());
+        let waits = AtomicUsize::new(0);
+        let deadline_hit = AtomicBool::new(false);
+        let epoch = Instant::now();
+        // Live workers pull dispatches one at a time, wall-clocked:
+        // `Wait` sleeps until the next arrival (capped, then re-check),
+        // `Pending` yields — the queue is open and a concurrent
+        // submitter may still push — and `Drained` retires the worker.
+        // Tasks are scheduling-only on the live path (`cost_hint`
+        // models the work); a dispatch whose modeled completion would
+        // overrun the deadline is returned to the queue and stops all
+        // dispatch, mirroring the frozen path.
+        std::thread::scope(|scope| {
+            for worker_id in 0..plan.workers {
+                let registered = &registered;
+                let records = &records;
+                let waits = &waits;
+                let deadline_hit = &deadline_hit;
+                scope.spawn(move || {
+                    lock(registered).push(worker_id);
+                    loop {
+                        if deadline_hit.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let now = epoch.elapsed().as_secs_f64();
+                        match queue.pull(now) {
+                            Pull::Task(d) => {
+                                if plan
+                                    .deadline
+                                    .is_some_and(|dl| now + d.spec.cost_hint.max(0.0) > dl)
+                                {
+                                    queue.requeue(d);
+                                    deadline_hit.store(true, Ordering::Release);
+                                    return;
+                                }
+                                let start = epoch.elapsed().as_secs_f64();
+                                let end = epoch.elapsed().as_secs_f64();
+                                lock(records).push(TaskRecord {
+                                    task_id: d.spec.id,
+                                    worker_id,
+                                    start,
+                                    end,
+                                    attempts: 1,
+                                });
+                            }
+                            Pull::Wait(t) => {
+                                waits.fetch_add(1, Ordering::Relaxed);
+                                sleep_secs((t - now).clamp(0.0, 0.005));
+                            }
+                            Pull::Pending => {
+                                waits.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Pull::Drained => return,
+                        }
+                    }
+                });
+            }
+        });
+        let records = records.into_inner().unwrap_or_else(|p| p.into_inner());
+        let makespan = records.iter().map(|r| r.end).fold(0.0, f64::max);
+        let (worker_busy, worker_finish) = per_worker_stats(&records, plan.workers);
+        let carried_over = queue.pending_ids();
+        let outcome = BatchOutcome {
+            outputs: vec![(); records.len()],
+            records,
+            makespan,
+            workers: plan.workers,
+            registered_workers: registered.into_inner().unwrap_or_else(|p| p.into_inner()),
+            worker_busy,
+            worker_finish,
+            requeued: 0,
+            deaths: 0,
+            quarantined: 0,
+            quarantine_makespan: 0.0,
+            resumed: 0,
+            status: if carried_over.is_empty() {
+                BatchStatus::Complete
+            } else {
+                BatchStatus::Partial { carried_over }
+            },
+            cancelled: Vec::new(),
+            speculated: 0,
+            speculation_wins: 0,
+        };
+        if rec.is_enabled() {
+            for r in &outcome.records {
+                rec.task(
+                    Some(span),
+                    &r.task_id,
+                    r.worker_id,
+                    r.start,
+                    r.end,
+                    r.attempts,
+                );
+            }
+            rec.add("service/live_completed", outcome.records.len() as f64);
+            rec.add("service/live_waits", waits.into_inner() as f64);
+            let carried = outcome.status.carried_over().len();
+            if carried > 0 {
+                rec.add("service/live_carryover", carried as f64);
+            }
+            rec.advance_clock_to(t0 + outcome.makespan);
+        }
+        rec.span_end(span);
         outcome
     }
 }

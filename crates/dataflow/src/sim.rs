@@ -30,9 +30,13 @@
 //! is deterministic.
 
 use crate::deadline::would_overrun;
-use crate::exec::{close_batch_span, open_batch_span, BatchOutcome, BatchStatus, Executor, Plan};
+use crate::exec::{
+    close_batch_span, open_batch_span, per_worker_stats, BatchOutcome, BatchStatus, Executor,
+    LivePlan, Plan,
+};
 use crate::journal::JournalEntry;
 use crate::retry::{FaultPlan, Lane, PassOutcome};
+use crate::source::{OrderCursor, Pull, SubmissionQueue};
 use crate::task::{TaskRecord, TaskSpec};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -130,12 +134,17 @@ fn schedule_pass(
             .is_some_and(|&b| successes.get(&w).copied().unwrap_or(0) >= b)
     };
 
-    'dispatch: for (pos, &idx) in p.order.iter().enumerate() {
+    // The frozen path pulls from a cursor over the pre-ordered list —
+    // the same worker-pulls-next-dispatch shape as the live queue in
+    // `run_live`, with the un-pulled tail as the carry-over set.
+    let mut cursor = OrderCursor::new(p.order);
+    'dispatch: while let Some((_pos, idx)) = cursor.pull() {
         // Earliest live worker; dead ones retire (re-queueing the task).
         let (free_at, w) = loop {
             let Some(Reverse(Slot(free_at, w))) = heap.pop() else {
                 // Unreachable: validation keeps at least one survivor.
-                out.carryover.extend_from_slice(&p.order[pos..]);
+                out.carryover.push(idx);
+                out.carryover.extend_from_slice(cursor.rest());
                 break 'dispatch;
             };
             if dead(&successes, w) {
@@ -184,7 +193,8 @@ fn schedule_pass(
                             if would_overrun(p.deadline, winner_end) {
                                 heap.push(Reverse(Slot(free_at, w)));
                                 heap.push(Reverse(Slot(f2, w2)));
-                                out.carryover.extend_from_slice(&p.order[pos..]);
+                                out.carryover.push(idx);
+                                out.carryover.extend_from_slice(cursor.rest());
                                 break 'dispatch;
                             }
                             out.speculated += 1;
@@ -226,7 +236,8 @@ fn schedule_pass(
 
                 if would_overrun(p.deadline, end) {
                     heap.push(Reverse(Slot(free_at, w)));
-                    out.carryover.extend_from_slice(&p.order[pos..]);
+                    out.carryover.push(idx);
+                    out.carryover.extend_from_slice(cursor.rest());
                     break 'dispatch;
                 }
                 state.records.push(TaskRecord {
@@ -249,7 +260,8 @@ fn schedule_pass(
                 let end = start + f64::from(burned) * d + policy.backoff_before_exhaustion();
                 if would_overrun(p.deadline, end) {
                     heap.push(Reverse(Slot(free_at, w)));
-                    out.carryover.extend_from_slice(&p.order[pos..]);
+                    out.carryover.push(idx);
+                    out.carryover.extend_from_slice(cursor.rest());
                     break 'dispatch;
                 }
                 state.worker_finish[w] = end;
@@ -476,6 +488,93 @@ impl Executor for VirtualExecutor {
             speculation_wins,
         };
         close_batch_span(plan, span, t0, &outcome);
+        outcome
+    }
+
+    fn run_live(&self, plan: &LivePlan<'_>, queue: &SubmissionQueue) -> BatchOutcome<()> {
+        let rec = plan.recorder;
+        let t0 = rec.now();
+        let span = rec.span_start(plan.label);
+        let mut heap: BinaryHeap<Reverse<Slot>> =
+            (0..plan.workers).map(|w| Reverse(Slot(0.0, w))).collect();
+        let mut records: Vec<TaskRecord> = Vec::new();
+        let mut waits = 0usize;
+        // Earliest-free worker pulls the queue's next dispatch at its
+        // free time; `Wait` re-heaps the worker at the next arrival
+        // (strictly later, so the loop always progresses), `Pending` /
+        // `Drained` retires it. A dispatch whose completion would
+        // overrun the horizon is returned to the queue and cuts the
+        // run, mirroring the frozen path's stop-at-first-overrun.
+        'run: while let Some(Reverse(Slot(free_at, w))) = heap.pop() {
+            match queue.pull(free_at) {
+                Pull::Task(d) => {
+                    let start = free_at + self.per_task_overhead;
+                    let end = start + d.spec.cost_hint.max(0.0);
+                    if would_overrun(plan.deadline, end) {
+                        queue.requeue(d);
+                        break 'run;
+                    }
+                    records.push(TaskRecord {
+                        task_id: d.spec.id.clone(),
+                        worker_id: w,
+                        start,
+                        end,
+                        attempts: 1,
+                    });
+                    heap.push(Reverse(Slot(end, w)));
+                }
+                Pull::Wait(t) => {
+                    waits += 1;
+                    heap.push(Reverse(Slot(t.max(free_at), w)));
+                }
+                Pull::Pending | Pull::Drained => {}
+            }
+        }
+        let makespan = records.iter().map(|r| r.end).fold(0.0, f64::max);
+        let (worker_busy, worker_finish) = per_worker_stats(&records, plan.workers);
+        let carried_over = queue.pending_ids();
+        let outcome = BatchOutcome {
+            outputs: vec![(); records.len()],
+            records,
+            makespan,
+            workers: plan.workers,
+            registered_workers: (0..plan.workers).collect(),
+            worker_busy,
+            worker_finish,
+            requeued: 0,
+            deaths: 0,
+            quarantined: 0,
+            quarantine_makespan: 0.0,
+            resumed: 0,
+            status: if carried_over.is_empty() {
+                BatchStatus::Complete
+            } else {
+                BatchStatus::Partial { carried_over }
+            },
+            cancelled: Vec::new(),
+            speculated: 0,
+            speculation_wins: 0,
+        };
+        if rec.is_enabled() {
+            for r in &outcome.records {
+                rec.task(
+                    Some(span),
+                    &r.task_id,
+                    r.worker_id,
+                    r.start,
+                    r.end,
+                    r.attempts,
+                );
+            }
+            rec.add("service/live_completed", outcome.records.len() as f64);
+            rec.add("service/live_waits", waits as f64);
+            let carried = outcome.status.carried_over().len();
+            if carried > 0 {
+                rec.add("service/live_carryover", carried as f64);
+            }
+            rec.advance_clock_to(t0 + outcome.makespan);
+        }
+        rec.span_end(span);
         outcome
     }
 }
@@ -788,7 +887,7 @@ mod tests {
         let r = Batch::new(&specs)
             .workers(2)
             .durations(&durations)
-            .speculate()
+            .speculation(None)
             .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert_eq!(r.speculated, 1);
@@ -811,7 +910,7 @@ mod tests {
         let r = Batch::new(&specs)
             .workers(2)
             .durations(&durations)
-            .speculate()
+            .speculation(None)
             .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert_eq!((r.speculated, r.speculation_wins), (1, 0));
@@ -829,7 +928,7 @@ mod tests {
         let r = Batch::new(&specs)
             .workers(2)
             .durations(&durations)
-            .speculate()
+            .speculation(None)
             .run(&VirtualExecutor::new(0.0))
             .unwrap();
         assert_eq!((r.speculated, r.speculation_wins), (0, 0));

@@ -21,6 +21,8 @@ pub mod fs;
 pub mod jsrun;
 pub mod ledger;
 pub mod machine;
+pub mod service;
 
 pub use ledger::Ledger;
 pub use machine::Machine;
+pub use service::{FoldingService, ServiceConfig, ServiceError, TenantSpec};

@@ -1,0 +1,699 @@
+//! The multi-tenant folding service.
+//!
+//! The paper's deployment is one group's campaign on a reserved
+//! allocation; ROADMAP item 1 pivots the same machinery toward
+//! *folding-as-a-service*: a long-running service that accepts
+//! prediction campaigns from several tenants concurrently, schedules
+//! them with weighted fair share, and accounts every node-hour against
+//! per-tenant quotas.
+//!
+//! [`FoldingService`] composes three existing layers:
+//!
+//! * a [`SubmissionQueue`](summitfold_dataflow::SubmissionQueue) with
+//!   one scheduling class per tenant (weight + priority from the
+//!   [`TenantSpec`]), drained by either executor through
+//!   [`Executor::run_live`](summitfold_dataflow::Executor);
+//! * one [`Ledger`] per tenant charging modeled node-seconds on
+//!   [`Machine::Summit`], so quota checks and post-run accounting use
+//!   the same unit the paper budgets in;
+//! * one [`Monitor`] per tenant, fed the tenant's completion records at
+//!   settlement, as the tenant-facing status endpoint.
+//!
+//! # Admission control
+//!
+//! A campaign is admitted only if (a) the tenant's node-hour quota
+//! covers it — every already-admitted campaign holds its reservation
+//! until the service is dropped — and (b) the queue has room under the
+//! configured depth limit (backpressure). Both rejections are typed
+//! ([`ServiceError::QuotaExceeded`], [`ServiceError::Saturated`]) and
+//! counted (`service/rejected_quota`, `service/rejected_saturated`).
+//!
+//! # Determinism
+//!
+//! On the virtual executor a service run is a pure function of the
+//! submission script: admission decisions, the dispatch sequence, task
+//! timings, settlement order, and therefore the entire telemetry trace
+//! replay byte-identically. The thread backend keeps the same dispatch
+//! *order* under due arrivals but wall timings differ run to run.
+
+use crate::ledger::Ledger;
+use crate::machine::Machine;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use summitfold_dataflow::{
+    BatchError, BatchOutcome, ClassConfig, DispatchEntry, Executor, LiveRun, SubmissionQueue,
+    SubmitError, TaskSpec,
+};
+use summitfold_obs::{Event, HealthSnapshot, Monitor, MonitorConfig, Recorder, Sink as _};
+
+/// Stage label every service charge is booked under.
+const STAGE: &str = "fold";
+
+/// One tenant of the folding service.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name; must be unique and non-empty. Task ids are
+    /// namespaced as `{tenant}:{campaign}:{task}`.
+    pub name: String,
+    /// Fair-share weight (relative node-seconds under contention).
+    /// Must be finite and positive.
+    pub weight: f64,
+    /// Priority tier; all eligible work of a higher tier dispatches
+    /// before any lower tier.
+    pub priority: u32,
+    /// Node-hour quota: admission ceiling over the service lifetime.
+    /// Must be finite and non-negative.
+    pub quota_node_hours: f64,
+}
+
+impl TenantSpec {
+    /// A priority-0 tenant with the given share weight and quota.
+    #[must_use]
+    pub fn new(name: impl Into<String>, weight: f64, quota_node_hours: f64) -> Self {
+        Self {
+            name: name.into(),
+            weight,
+            priority: 0,
+            quota_node_hours,
+        }
+    }
+
+    /// Set the priority tier.
+    #[must_use]
+    pub fn priority(mut self, tier: u32) -> Self {
+        self.priority = tier;
+        self
+    }
+}
+
+/// Service-level knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Workers pulling from the shared queue.
+    pub workers: usize,
+    /// Backpressure limit: a submission that would leave more than
+    /// this many tasks queued is rejected as
+    /// [`ServiceError::Saturated`].
+    pub max_queue_depth: usize,
+    /// Optional horizon (seconds on the executor's clock): no task may
+    /// end past it; the rest stays queued and is reported as carried
+    /// over.
+    pub deadline: Option<f64>,
+    /// Span label for the run's trace.
+    pub label: String,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_queue_depth: 4096,
+            deadline: None,
+            label: "service".to_owned(),
+        }
+    }
+}
+
+/// Typed errors of the service API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The service was constructed with no tenants.
+    NoTenants,
+    /// Two tenants share a name, or a name is empty.
+    BadTenantName {
+        /// The offending name.
+        tenant: String,
+    },
+    /// A tenant's weight is not finite and positive.
+    InvalidWeight {
+        /// The tenant.
+        tenant: String,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A tenant's quota is not finite and non-negative.
+    InvalidQuota {
+        /// The tenant.
+        tenant: String,
+        /// The offending quota.
+        quota_node_hours: f64,
+    },
+    /// A submission named a tenant the service does not know.
+    UnknownTenant {
+        /// The offending name.
+        tenant: String,
+    },
+    /// The campaign would overrun the tenant's node-hour quota.
+    QuotaExceeded {
+        /// The tenant.
+        tenant: String,
+        /// Node-hours the campaign asked for.
+        requested_node_hours: f64,
+        /// Node-hours still unreserved under the quota.
+        remaining_node_hours: f64,
+    },
+    /// The queue is full: admitting the campaign would exceed the
+    /// configured depth limit.
+    Saturated {
+        /// Tasks currently queued.
+        queued: usize,
+        /// The configured depth limit.
+        limit: usize,
+    },
+    /// The underlying queue rejected the submission.
+    Submit(SubmitError),
+    /// The underlying executor rejected the run.
+    Run(BatchError),
+    /// `run`/`serve` was called a second time.
+    AlreadyRan,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoTenants => write!(f, "a folding service needs at least one tenant"),
+            Self::BadTenantName { tenant } => {
+                write!(f, "tenant name {tenant:?} is empty or duplicated")
+            }
+            Self::InvalidWeight { tenant, weight } => {
+                write!(f, "tenant {tenant}: weight {weight} is not finite and positive")
+            }
+            Self::InvalidQuota {
+                tenant,
+                quota_node_hours,
+            } => write!(
+                f,
+                "tenant {tenant}: quota {quota_node_hours} node-hours is not finite and non-negative"
+            ),
+            Self::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant:?}"),
+            Self::QuotaExceeded {
+                tenant,
+                requested_node_hours,
+                remaining_node_hours,
+            } => write!(
+                f,
+                "tenant {tenant}: campaign needs {requested_node_hours:.3} node-hours, \
+                 quota has {remaining_node_hours:.3} left"
+            ),
+            Self::Saturated { queued, limit } => {
+                write!(f, "service saturated: {queued} tasks queued, limit {limit}")
+            }
+            Self::Submit(e) => write!(f, "submission rejected: {e}"),
+            Self::Run(e) => write!(f, "run rejected: {e}"),
+            Self::AlreadyRan => write!(f, "the service has already run"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Submit(e) => Some(e),
+            Self::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Tenant-facing status: quota position plus the tenant's health
+/// snapshot — the "status endpoint" of the service.
+#[derive(Debug, Clone)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub name: String,
+    /// The quota the tenant was registered with.
+    pub quota_node_hours: f64,
+    /// Node-hours reserved by admitted campaigns (≤ quota).
+    pub admitted_node_hours: f64,
+    /// Node-hours actually charged for completed tasks so far.
+    pub charged_node_hours: f64,
+    /// Completed tasks settled to this tenant.
+    pub completed_tasks: usize,
+    /// Campaigns admitted for this tenant.
+    pub campaigns: usize,
+    /// Health snapshot folded from the tenant's completion records.
+    pub snapshot: HealthSnapshot,
+}
+
+/// What a service run returns: the executor outcome plus the service
+/// view of it.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The raw executor outcome (records, makespan, carry-over, …).
+    pub outcome: BatchOutcome<()>,
+    /// Dispatch log of the run: order of service across tenants, with
+    /// modeled cost per dispatch — the fair-share measurement.
+    pub dispatch_log: Vec<DispatchEntry>,
+    /// Task ids still queued when the run was cut (empty on a full
+    /// drain).
+    pub carried_over: Vec<String>,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    spec: TenantSpec,
+    /// Node-seconds reserved by admitted campaigns.
+    admitted_node_seconds: f64,
+    campaigns: usize,
+    completed_tasks: usize,
+    ledger: Ledger,
+    monitor: Monitor,
+}
+
+#[derive(Debug)]
+struct State {
+    tenants: Vec<TenantState>,
+    /// Full task id → (tenant index, modeled cost in node-seconds).
+    /// BTreeMap so iteration (and thus any derived output) is
+    /// deterministic.
+    attribution: BTreeMap<String, (usize, f64)>,
+    ran: bool,
+}
+
+/// A long-running, multi-tenant folding service. See the
+/// [module docs](self) for the architecture.
+///
+/// The service is `Sync`: share it behind an [`Arc`] and call
+/// [`submit`](Self::submit) from concurrent submitter threads while
+/// [`serve`](Self::serve) drains the queue on the thread backend.
+#[derive(Debug)]
+pub struct FoldingService {
+    cfg: ServiceConfig,
+    queue: SubmissionQueue,
+    recorder: Arc<Recorder>,
+    state: Mutex<State>,
+}
+
+impl FoldingService {
+    /// Build a service for `tenants`, validating names, weights and
+    /// quotas. Telemetry (admission counters, the run trace) goes to
+    /// `recorder`.
+    pub fn new(
+        cfg: ServiceConfig,
+        tenants: Vec<TenantSpec>,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, ServiceError> {
+        if tenants.is_empty() {
+            return Err(ServiceError::NoTenants);
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if t.name.is_empty() || tenants[..i].iter().any(|u| u.name == t.name) {
+                return Err(ServiceError::BadTenantName {
+                    tenant: t.name.clone(),
+                });
+            }
+            if !t.weight.is_finite() || t.weight <= 0.0 {
+                return Err(ServiceError::InvalidWeight {
+                    tenant: t.name.clone(),
+                    weight: t.weight,
+                });
+            }
+            if !t.quota_node_hours.is_finite() || t.quota_node_hours < 0.0 {
+                return Err(ServiceError::InvalidQuota {
+                    tenant: t.name.clone(),
+                    quota_node_hours: t.quota_node_hours,
+                });
+            }
+        }
+        let classes: Vec<ClassConfig> = tenants
+            .iter()
+            .map(|t| ClassConfig {
+                weight: t.weight,
+                priority: t.priority,
+            })
+            .collect();
+        let workers = cfg.workers;
+        let states = tenants
+            .into_iter()
+            .map(|spec| TenantState {
+                spec,
+                admitted_node_seconds: 0.0,
+                campaigns: 0,
+                completed_tasks: 0,
+                ledger: Ledger::new(),
+                monitor: Monitor::new(MonitorConfig {
+                    workers: Some(workers),
+                    ..MonitorConfig::default()
+                }),
+            })
+            .collect();
+        Ok(Self {
+            cfg,
+            queue: SubmissionQueue::with_classes(&classes),
+            recorder,
+            state: Mutex::new(State {
+                tenants: states,
+                attribution: BTreeMap::new(),
+                ran: false,
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Admission and settlement are short, total-ordered sections;
+        // state survives a poisoning panic consistent.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registered tenant names, in class-id order.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<String> {
+        self.lock()
+            .tenants
+            .iter()
+            .map(|t| t.spec.name.clone())
+            .collect()
+    }
+
+    /// Submit a campaign for `tenant`: `specs` become dispatchable at
+    /// `arrival` (seconds on the executor's clock), namespaced as
+    /// `{tenant}:{campaign}:{task}`. Returns the number of admitted
+    /// tasks.
+    ///
+    /// Admission is atomic: on any rejection ([`quota`]
+    /// (ServiceError::QuotaExceeded), [backpressure]
+    /// (ServiceError::Saturated), queue errors) nothing is enqueued,
+    /// nothing is reserved, and the rejection is counted.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        campaign: &str,
+        arrival: f64,
+        specs: Vec<TaskSpec>,
+    ) -> Result<usize, ServiceError> {
+        let mut state = self.lock();
+        let Some(class) = state.tenants.iter().position(|t| t.spec.name == tenant) else {
+            return Err(ServiceError::UnknownTenant {
+                tenant: tenant.to_owned(),
+            });
+        };
+        let t = &state.tenants[class];
+        let requested_node_seconds: f64 = specs.iter().map(|s| s.cost_hint.max(0.0)).sum();
+        let remaining = t.spec.quota_node_hours * 3600.0 - t.admitted_node_seconds;
+        if requested_node_seconds > remaining {
+            self.recorder.add("service/rejected_quota", 1.0);
+            return Err(ServiceError::QuotaExceeded {
+                tenant: tenant.to_owned(),
+                requested_node_hours: requested_node_seconds / 3600.0,
+                remaining_node_hours: remaining.max(0.0) / 3600.0,
+            });
+        }
+        if self.queue.len() + specs.len() > self.cfg.max_queue_depth {
+            self.recorder.add("service/rejected_saturated", 1.0);
+            return Err(ServiceError::Saturated {
+                queued: self.queue.len(),
+                limit: self.cfg.max_queue_depth,
+            });
+        }
+        let namespaced: Vec<TaskSpec> = specs
+            .iter()
+            .map(|s| TaskSpec::new(format!("{tenant}:{campaign}:{}", s.id), s.cost_hint))
+            .collect();
+        let count = self
+            .queue
+            .submit(class, arrival, namespaced.iter().cloned())
+            .map_err(ServiceError::Submit)?;
+        for s in &namespaced {
+            state
+                .attribution
+                .insert(s.id.clone(), (class, s.cost_hint.max(0.0)));
+        }
+        let t = &mut state.tenants[class];
+        t.admitted_node_seconds += requested_node_seconds;
+        t.campaigns += 1;
+        self.recorder.add("service/admitted_campaigns", 1.0);
+        self.recorder.add("service/admitted_tasks", count as f64);
+        Ok(count)
+    }
+
+    /// Close the queue: pending work still drains, further submissions
+    /// fail, and workers retire once the queue is empty.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Close the queue, then drain it on `exec`. The deterministic
+    /// entry point: with all campaigns scripted up front and a virtual
+    /// executor, the whole run (including the telemetry trace) replays
+    /// byte-identically.
+    pub fn run<E: Executor>(&self, exec: &E) -> Result<ServiceOutcome, ServiceError> {
+        self.close();
+        self.serve(exec)
+    }
+
+    /// Drain the queue on `exec` *without* closing it first: the live
+    /// shape, where submitter threads keep calling
+    /// [`submit`](Self::submit) while workers pull, and one of them
+    /// eventually calls [`close`](Self::close). Only meaningful on the
+    /// thread backend — the virtual executor treats an open, empty
+    /// queue as end-of-stream.
+    pub fn serve<E: Executor>(&self, exec: &E) -> Result<ServiceOutcome, ServiceError> {
+        {
+            let mut state = self.lock();
+            if state.ran {
+                return Err(ServiceError::AlreadyRan);
+            }
+            state.ran = true;
+        }
+        let mut run = LiveRun::new(&self.queue)
+            .workers(self.cfg.workers)
+            .recorder(self.recorder.as_ref())
+            .label(&self.cfg.label);
+        if let Some(d) = self.cfg.deadline {
+            run = run.deadline(d);
+        }
+        let outcome = run.run(exec).map_err(ServiceError::Run)?;
+        self.settle(&outcome);
+        Ok(ServiceOutcome {
+            dispatch_log: self.queue.dispatch_log(),
+            carried_over: self.queue.pending_ids(),
+            outcome,
+        })
+    }
+
+    /// Attribute the run's completion records to tenants: charge each
+    /// tenant's ledger the *modeled* cost (node-seconds =
+    /// `cost_hint`, one node per worker — identical on both backends)
+    /// and feed each tenant's monitor its own completion events.
+    fn settle(&self, outcome: &BatchOutcome<()>) {
+        let mut state = self.lock();
+        let mut records: Vec<_> = outcome.records.iter().collect();
+        records.sort_by(|a, b| {
+            (a.end, &a.task_id)
+                .partial_cmp(&(b.end, &b.task_id))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut settled = 0usize;
+        for r in records {
+            let Some(&(class, cost)) = state.attribution.get(&r.task_id) else {
+                continue;
+            };
+            let t = &mut state.tenants[class];
+            t.ledger.charge(Machine::Summit, STAGE, cost);
+            t.completed_tasks += 1;
+            t.monitor.event(&Event::Task {
+                span: None,
+                task: r.task_id.clone(),
+                worker: r.worker_id,
+                start: r.start,
+                end: r.end,
+                attempts: r.attempts,
+            });
+            settled += 1;
+        }
+        self.recorder.add("service/settled_tasks", settled as f64);
+    }
+
+    /// The tenant's status endpoint: quota position and health
+    /// snapshot.
+    pub fn tenant_status(&self, tenant: &str) -> Result<TenantStatus, ServiceError> {
+        let state = self.lock();
+        let Some(t) = state.tenants.iter().find(|t| t.spec.name == tenant) else {
+            return Err(ServiceError::UnknownTenant {
+                tenant: tenant.to_owned(),
+            });
+        };
+        Ok(TenantStatus {
+            name: t.spec.name.clone(),
+            quota_node_hours: t.spec.quota_node_hours,
+            admitted_node_hours: t.admitted_node_seconds / 3600.0,
+            charged_node_hours: t.ledger.node_hours(Machine::Summit),
+            completed_tasks: t.completed_tasks,
+            campaigns: t.campaigns,
+            snapshot: t.monitor.snapshot(),
+        })
+    }
+
+    /// Human-readable service report: one line per tenant.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let state = self.lock();
+        let mut out = String::from(
+            "tenant        weight  campaigns  done   admitted-nh  charged-nh     quota-nh\n",
+        );
+        for t in &state.tenants {
+            out.push_str(&format!(
+                "{:<13} {:>6.1} {:>10} {:>5} {:>12.3} {:>11.3} {:>12.3}\n",
+                t.spec.name,
+                t.spec.weight,
+                t.campaigns,
+                t.completed_tasks,
+                t.admitted_node_seconds / 3600.0,
+                t.ledger.node_hours(Machine::Summit),
+                t.spec.quota_node_hours,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summitfold_dataflow::sim::VirtualExecutor;
+
+    fn campaign(n: usize, cost: f64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec::new(format!("t{i}"), cost))
+            .collect()
+    }
+
+    fn two_tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("alice", 2.0, 1.0),
+            TenantSpec::new("bob", 1.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn validates_tenants() {
+        let rec = Arc::new(Recorder::virtual_time());
+        let cfg = ServiceConfig::default();
+        assert_eq!(
+            FoldingService::new(cfg.clone(), vec![], Arc::clone(&rec)).err(),
+            Some(ServiceError::NoTenants)
+        );
+        let dup = vec![
+            TenantSpec::new("a", 1.0, 1.0),
+            TenantSpec::new("a", 1.0, 1.0),
+        ];
+        assert!(matches!(
+            FoldingService::new(cfg.clone(), dup, Arc::clone(&rec)).err(),
+            Some(ServiceError::BadTenantName { .. })
+        ));
+        let bad_w = vec![TenantSpec::new("a", -1.0, 1.0)];
+        assert!(matches!(
+            FoldingService::new(cfg.clone(), bad_w, Arc::clone(&rec)).err(),
+            Some(ServiceError::InvalidWeight { .. })
+        ));
+        let bad_q = vec![TenantSpec::new("a", 1.0, f64::NAN)];
+        assert!(matches!(
+            FoldingService::new(cfg, bad_q, rec).err(),
+            Some(ServiceError::InvalidQuota { .. })
+        ));
+    }
+
+    #[test]
+    fn quota_rejection_is_typed_and_counted() {
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc =
+            FoldingService::new(ServiceConfig::default(), two_tenants(), Arc::clone(&rec)).unwrap();
+        // 1.0 node-hour quota = 3600 node-seconds; ask for 4000.
+        let err = svc
+            .submit("alice", "big", 0.0, campaign(4, 1000.0))
+            .unwrap_err();
+        match err {
+            ServiceError::QuotaExceeded {
+                tenant,
+                requested_node_hours,
+                remaining_node_hours,
+            } => {
+                assert_eq!(tenant, "alice");
+                assert!((requested_node_hours - 4000.0 / 3600.0).abs() < 1e-9);
+                assert!((remaining_node_hours - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // Nothing was enqueued or reserved.
+        let st = svc.tenant_status("alice").unwrap();
+        assert_eq!(st.admitted_node_hours, 0.0);
+        assert_eq!(st.campaigns, 0);
+        let totals = summitfold_obs::Trace::from_events(rec.events()).counter_totals();
+        assert_eq!(totals["service/rejected_quota"], 1.0);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_saturated() {
+        let rec = Arc::new(Recorder::virtual_time());
+        let cfg = ServiceConfig {
+            max_queue_depth: 3,
+            ..ServiceConfig::default()
+        };
+        let svc = FoldingService::new(cfg, two_tenants(), Arc::clone(&rec)).unwrap();
+        svc.submit("alice", "c0", 0.0, campaign(3, 1.0)).unwrap();
+        let err = svc.submit("bob", "c1", 0.0, campaign(1, 1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Saturated {
+                queued: 3,
+                limit: 3
+            }
+        );
+        let totals = summitfold_obs::Trace::from_events(rec.events()).counter_totals();
+        assert_eq!(totals["service/rejected_saturated"], 1.0);
+    }
+
+    #[test]
+    fn run_settles_ledgers_and_monitors() {
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc =
+            FoldingService::new(ServiceConfig::default(), two_tenants(), Arc::clone(&rec)).unwrap();
+        svc.submit("alice", "c0", 0.0, campaign(6, 10.0)).unwrap();
+        svc.submit("bob", "c0", 0.0, campaign(3, 10.0)).unwrap();
+        let out = svc.run(&VirtualExecutor::new(0.0)).unwrap();
+        assert_eq!(out.outcome.records.len(), 9);
+        assert!(out.carried_over.is_empty());
+        let a = svc.tenant_status("alice").unwrap();
+        let b = svc.tenant_status("bob").unwrap();
+        assert_eq!(a.completed_tasks, 6);
+        assert_eq!(b.completed_tasks, 3);
+        assert!((a.charged_node_hours - 60.0 / 3600.0).abs() < 1e-12);
+        assert!((b.charged_node_hours - 30.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(a.snapshot.tasks_done, 6);
+        // The run is single-shot.
+        assert_eq!(
+            svc.run(&VirtualExecutor::new(0.0)).err(),
+            Some(ServiceError::AlreadyRan)
+        );
+        let report = svc.report();
+        assert!(report.contains("alice"));
+        assert!(report.contains("bob"));
+    }
+
+    #[test]
+    fn unknown_tenant_is_typed() {
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(ServiceConfig::default(), two_tenants(), rec).unwrap();
+        assert!(matches!(
+            svc.submit("mallory", "c", 0.0, campaign(1, 1.0)),
+            Err(ServiceError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            svc.tenant_status("mallory"),
+            Err(ServiceError::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ServiceError::QuotaExceeded {
+            tenant: "alice".into(),
+            requested_node_hours: 2.0,
+            remaining_node_hours: 0.5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("alice"));
+        assert!(text.contains("2.000"));
+    }
+}

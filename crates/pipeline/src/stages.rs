@@ -400,7 +400,7 @@ pub mod inference {
             batch = batch.deadline(budget);
         }
         if let Some(factor) = cfg.speculation {
-            batch = batch.speculation(factor);
+            batch = batch.speculation(Some(factor));
         }
         if let Some(every) = cfg.progress_every {
             batch = batch.progress(every);

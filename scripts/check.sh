@@ -31,6 +31,14 @@ echo "==> telemetry suite (trace schema, streaming sinks, health monitor)"
 # filtered test invocation can never skip it silently.
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test telemetry
 
+echo "==> service suite (multi-tenant queue, fair share, quotas, live drain)"
+# The folding service is the multi-tenant contract: byte-identical
+# virtual replay of overlapping campaign submissions, 2:1 fair-share
+# within tolerance on both executors, typed quota rejections, and live
+# submission racing the thread-backend drain. Run it by name so a
+# filtered test invocation can never skip it silently.
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test service
+
 echo "==> sfcheck"
 cargo run -q --release -p summitfold-analysis --bin sfcheck
 
@@ -94,6 +102,28 @@ if [ -n "$shims" ]; then
     echo "$shims" >&2
     exit 1
 fi
+
+echo "==> service metric parity (live drain counters, real vs sim)"
+# Both run_live implementations must emit the same literal service/*
+# metric names. sfcheck's metric-parity rule covers this pair; this grep
+# is the belt-and-braces gate that fails even if the rule's config pair
+# list is edited.
+real_service=$(grep -o '"service/[a-z_/]*"' crates/dataflow/src/real.rs | sort -u)
+sim_service=$(grep -o '"service/[a-z_/]*"' crates/dataflow/src/sim.rs | sort -u)
+if [ "$real_service" != "$sim_service" ]; then
+    echo "service/* metric names diverge between executors:" >&2
+    diff <(echo "$real_service") <(echo "$sim_service") >&2 || true
+    exit 1
+fi
+
+echo "==> service health snapshot (archive next to bench-gate artifacts)"
+# The folding-service example runs the three-tenant session on the
+# virtual clock and emits per-tenant closing health snapshots; keep the
+# artifact with the other gate outputs so a service regression has a
+# baseline to diff against.
+cargo run -q --release --example folding_service -- \
+    --emit target/bench-gate/service_health.json >/dev/null
+test -s target/bench-gate/service_health.json
 
 echo "==> bench regression gate (fig2 quick vs committed baseline)"
 # A fresh quick-mode fig2 run is fully deterministic (virtual clock), so

@@ -60,7 +60,7 @@ fn deadline_campaign_reproduces_uninterrupted_records() {
                 .durations(&durations)
                 .retry(RetryPolicy::new(3, 0.5, 2.0))
                 .task_faults(&faults)
-                .speculate()
+                .speculation(None)
         };
 
         let full_journal = Journal::new();
@@ -132,7 +132,7 @@ fn executors_agree_on_speculation_set() {
             .workers(4)
             .policy(OrderingPolicy::Fifo)
             .durations(&durations)
-            .speculate()
+            .speculation(None)
     };
 
     let sim = batch().run(&VirtualExecutor::new(0.0)).expect("sim");
@@ -211,7 +211,7 @@ fn chaos_invariants_hold_under_composed_faults() {
                 .task_faults(&task_faults)
                 .faults(&worker_faults)
                 .quarantine(2)
-                .speculate()
+                .speculation(None)
         };
 
         let journal = Journal::new();

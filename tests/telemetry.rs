@@ -117,7 +117,7 @@ fn golden_trace() -> String {
         .durations(&cut_durations)
         .recorder(&rec)
         .label("cut")
-        .speculate()
+        .speculation(None)
         .deadline(7.0)
         .run(&VirtualExecutor::new(1.0))
         .expect("golden cut batch is well-formed");
