@@ -66,6 +66,12 @@ pub struct Config {
     /// Pairs of path suffixes whose recorded metric-path sets must be
     /// equal (the real/virtual executor parity contract).
     pub metric_parity_pairs: Vec<(String, String)>,
+    /// `(metric-path prefix, owning file suffix)` pairs: every metric
+    /// under the prefix must be recorded from the owning file alone, so
+    /// the counter means the same thing wherever it shows up in a trace
+    /// (the result-store `cache/*` contract: both executors hit the one
+    /// recording site inside the store, parity by construction).
+    pub metric_owner_prefixes: Vec<(String, String)>,
 }
 
 impl Config {
@@ -73,8 +79,10 @@ impl Config {
     ///
     /// Deterministic crates: `protein`, `structal`, `msa`, `inference`,
     /// `relax`, `dataflow` (its virtual-time simulator is the basis of
-    /// every scaling figure), and `obs` (its virtual clock feeds the
-    /// repro-number traces). The thread-backed executors
+    /// every scaling figure), `obs` (its virtual clock feeds the
+    /// repro-number traces), and `store` (content-addressed keys must
+    /// be stable across runs and toolchains or every warm rerun
+    /// misses). The thread-backed executors
     /// `dataflow/src/real.rs` and `dataflow/src/fault.rs` are exempt —
     /// wall-clock timing and OS scheduling are their whole purpose — as
     /// is `obs/src/wall.rs`, the one module allowed to read `Instant`
@@ -95,6 +103,7 @@ impl Config {
                 "relax",
                 "dataflow",
                 "obs",
+                "store",
             ]
             .iter()
             .map(ToString::to_string)
@@ -124,10 +133,20 @@ impl Config {
                 // Sinks must not call back into the recorder (sink.rs
                 // module docs), so the held guard cannot deadlock.
                 "crates/obs/src/sink.rs".to_string(),
+                // The result store's documented contract is the same
+                // single-writer shape: journal appends and blob writes
+                // happen under the index lock so concurrent puts cannot
+                // interleave a torn journal, and the store never calls
+                // back into itself or the recorder's sinks while held.
+                "crates/store/src/lib.rs".to_string(),
             ],
             metric_parity_pairs: vec![(
                 "crates/dataflow/src/real.rs".to_string(),
                 "crates/dataflow/src/sim.rs".to_string(),
+            )],
+            metric_owner_prefixes: vec![(
+                "cache/".to_string(),
+                "crates/store/src/lib.rs".to_string(),
             )],
         }
     }
@@ -256,12 +275,15 @@ mod tests {
         assert!(!c.is_deterministic_file("obs", "crates/obs/src/wall.rs"));
         assert!(!c.is_deterministic_file("hpc", "crates/hpc/src/machine.rs"));
         assert!(!c.is_deterministic_file("bench", "crates/bench/src/microbench.rs"));
+        assert!(c.is_deterministic_file("store", "crates/store/src/key.rs"));
+        assert!(c.is_deterministic_file("store", "crates/store/src/lib.rs"));
     }
 
     #[test]
     fn lock_discipline_exemption_default() {
         let c = Config::workspace_default();
         assert!(c.is_lock_discipline_exempt("crates/obs/src/sink.rs"));
+        assert!(c.is_lock_discipline_exempt("crates/store/src/lib.rs"));
         assert!(!c.is_lock_discipline_exempt("crates/dataflow/src/real.rs"));
         assert_eq!(
             c.metric_parity_pairs,
@@ -269,6 +291,10 @@ mod tests {
                 "crates/dataflow/src/real.rs".to_string(),
                 "crates/dataflow/src/sim.rs".to_string()
             )]
+        );
+        assert_eq!(
+            c.metric_owner_prefixes,
+            vec![("cache/".to_string(), "crates/store/src/lib.rs".to_string())]
         );
     }
 

@@ -171,6 +171,7 @@ pub fn check_workspace_with(root: &Path, config: &Config) -> Result<Vec<Finding>
     wsrules::lock_discipline(config, &facts, &mut findings);
     wsrules::lock_unwrap(&facts, &mut findings);
     wsrules::metric_parity(config, &facts, &mut findings);
+    wsrules::metric_ownership(config, &facts, &mut findings);
 
     // Central suppression + allow-audit.
     let allow_files: Vec<FileAllows> = facts

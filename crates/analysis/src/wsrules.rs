@@ -148,6 +148,38 @@ pub fn metric_parity(config: &Config, facts: &[FileFacts], findings: &mut Vec<Fi
     }
 }
 
+/// metric-ownership: metric paths under a configured prefix may only be
+/// recorded from the one file that owns them. The result store's
+/// `cache/*` counters keep executor parity *by construction* — every
+/// backend reaches the single recording site inside the store — and a
+/// second recording site would double-count hits or drift the two
+/// executors' traces apart. Reported under [`Rule::MetricParity`]: it is
+/// the same contract (one metric set, wherever recorded) enforced at the
+/// source instead of pairwise.
+pub fn metric_ownership(config: &Config, facts: &[FileFacts], findings: &mut Vec<Finding>) {
+    for (prefix, owner_suffix) in &config.metric_owner_prefixes {
+        for f in facts.iter().filter(|f| f.kind == FileKind::Lib) {
+            if f.rel_path == *owner_suffix || f.rel_path.ends_with(owner_suffix) {
+                continue;
+            }
+            for m in f.metrics.iter().filter(|m| m.path.starts_with(prefix)) {
+                findings.push(Finding {
+                    rule: Rule::MetricParity,
+                    file: f.rel_path.clone(),
+                    line: m.line,
+                    col: m.col,
+                    message: format!(
+                        "metric path \"{}\" is owned by {}: `{}*` counters must be \
+                         recorded from the store's single site so both executors stay \
+                         in parity by construction",
+                        m.path, owner_suffix, prefix
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Report every metric path `present` records that `absent` does not,
 /// attributed to the recording site so a line-level allow can cover it.
 fn report_asymmetry(present: &FileFacts, absent: &FileFacts, findings: &mut Vec<Finding>) {
@@ -294,5 +326,45 @@ mod tests {
         let mut findings = Vec::new();
         metric_parity(&Config::workspace_default(), &facts, &mut findings);
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn cache_counters_outside_the_store_are_flagged() {
+        let rogue = "pub fn f(r: &Recorder) { r.add(\"cache/hit\", 1.0); }";
+        let facts = vec![facts_for(
+            "crates/pipeline/src/stages.rs",
+            "pipeline",
+            rogue,
+        )];
+        let mut findings = Vec::new();
+        metric_ownership(&Config::workspace_default(), &facts, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::MetricParity);
+        assert!(findings[0].message.contains("crates/store/src/lib.rs"));
+    }
+
+    #[test]
+    fn cache_counters_in_the_owning_store_are_clean() {
+        let owner = "pub fn get(r: &Recorder) {\n r.add(\"cache/hit\", 1.0);\n \
+                     r.add(\"cache/miss\", 1.0);\n r.add(\"cache/near_hit\", 1.0);\n \
+                     r.add(\"cache/put\", 1.0);\n r.add(\"cache/evicted\", 1.0);\n}";
+        let other = "pub fn f(r: &Recorder) { r.add(\"service/settled_tasks\", 1.0); }";
+        let facts = vec![
+            facts_for("crates/store/src/lib.rs", "store", owner),
+            facts_for("crates/hpc/src/service.rs", "hpc", other),
+        ];
+        let mut findings = Vec::new();
+        metric_ownership(&Config::workspace_default(), &facts, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cache_counters_in_tests_are_exempt_from_ownership() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n \
+                   fn g(r: &Recorder) { r.add(\"cache/hit\", 1.0); }\n}";
+        let facts = vec![facts_for("crates/pipeline/src/stages.rs", "pipeline", src)];
+        let mut findings = Vec::new();
+        metric_ownership(&Config::workspace_default(), &facts, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

@@ -4,7 +4,7 @@
 use summitfold_bench::microbench::Criterion;
 use summitfold_bench::{criterion_group, criterion_main};
 use summitfold_hpc::Ledger;
-use summitfold_pipeline::stages::{feature, inference, StageCtx};
+use summitfold_pipeline::stages::{feature, inference, Stage as _, StageCtx};
 use summitfold_pipeline::{run_proteome_campaign, CampaignConfig};
 use summitfold_protein::proteome::{Proteome, Species};
 
@@ -12,33 +12,29 @@ fn bench_feature_stage(c: &mut Criterion) {
     let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.01);
     c.bench_function("feature_stage_32_targets", |b| {
         b.iter(|| {
-            feature::run(
-                &proteome.proteins,
-                &feature::Config::paper_default(),
-                StageCtx::new(&mut Ledger::new()),
-            )
-            .node_hours
+            feature::Config::paper_default()
+                .run(&proteome.proteins, StageCtx::for_ledger(&mut Ledger::new()))
+                .node_hours
         });
     });
 }
 
 fn bench_inference_stage(c: &mut Criterion) {
     let proteome = Proteome::generate_scaled(Species::DVulgaris, 0.01);
-    let features = feature::run(
-        &proteome.proteins,
-        &feature::Config::paper_default(),
-        StageCtx::new(&mut Ledger::new()),
-    )
-    .features;
+    let features = feature::Config::paper_default()
+        .run(&proteome.proteins, StageCtx::for_ledger(&mut Ledger::new()))
+        .features;
     c.bench_function("inference_stage_32_targets", |b| {
         b.iter(|| {
-            inference::run(
-                &proteome.proteins,
-                &features,
-                &inference::Config::benchmark(summitfold_inference::Preset::Genome),
-                StageCtx::new(&mut Ledger::new()),
-            )
-            .walltime_s
+            inference::Config::benchmark(summitfold_inference::Preset::Genome)
+                .run(
+                    inference::Input {
+                        entries: &proteome.proteins,
+                        features: &features,
+                    },
+                    StageCtx::for_ledger(&mut Ledger::new()),
+                )
+                .walltime_s
         });
     });
 }

@@ -12,9 +12,11 @@
 //! * `--out <dir>` — write artifacts there instead of `results/`.
 //! * `--emit-bench` — after the `fig2` experiment, distill its outcome
 //!   into a machine-readable `BENCH_dataflow.json` (makespan,
-//!   utilization, throughput). Written next to the other artifacts when
-//!   `--out` is given, else at the workspace root; `scripts/check.sh`
-//!   compares a fresh quick-mode copy against the committed one.
+//!   utilization, throughput), and after the `store` experiment distill
+//!   warm-vs-cold makespans into `BENCH_store.json`. Written next to
+//!   the other artifacts when `--out` is given, else at the workspace
+//!   root; `scripts/check.sh` compares fresh quick-mode copies against
+//!   the committed ones.
 //!
 //! Exit codes: 0 success, 2 bad usage (unknown flag or experiment,
 //! `--out` without a directory).
@@ -25,7 +27,7 @@ use summitfold_bench::harness::{self, Ctx};
 use summitfold_bench::report::{results_dir, Report};
 use summitfold_obs::json::ObjectWriter;
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "headline",
     "table1",
     "fig2",
@@ -34,6 +36,7 @@ const EXPERIMENTS: [&str; 17] = [
     "featgen",
     "recycles",
     "sdivinum",
+    "store",
     "violations",
     "relaxscale",
     "annotate",
@@ -106,6 +109,13 @@ fn run_one(name: &str, ctx: &Ctx, opts: &Opts) -> Option<Report> {
         "featgen" => harness::featgen::run(ctx).1,
         "recycles" => harness::recycles::run(ctx).1,
         "sdivinum" => harness::sdivinum::run(ctx).1,
+        "store" => {
+            let (outcome, report) = harness::store::run(ctx);
+            if opts.emit_bench {
+                write_store_bench(&outcome, ctx.quick, opts);
+            }
+            report
+        }
         "violations" => harness::violations::run(ctx).1,
         "relaxscale" => harness::relaxscale::run(ctx).1,
         "annotate" => harness::annotate::run(ctx).1,
@@ -141,6 +151,33 @@ fn write_bench(outcome: &harness::fig2::Outcome, quick: bool, opts: &Opts) {
         None => workspace_root(),
     };
     let path = dir.join("BENCH_dataflow.json");
+    std::fs::create_dir_all(&dir).expect("writable bench dir");
+    std::fs::write(&path, line).expect("writable bench file");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Distill the store outcome into `BENCH_store.json`.
+///
+/// Same contract as [`write_bench`]: virtual-clock numbers only, so the
+/// quick-mode copy is byte-stable and doubles as the warm-rerun
+/// regression baseline (`hit_rate` must stay 1.0).
+fn write_store_bench(outcome: &harness::store::Outcome, quick: bool, opts: &Opts) {
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "store");
+    w.str_field("experiment", "warm_vs_cold");
+    w.int_field("quick", u64::from(quick));
+    w.int_field("tasks", outcome.tasks as u64);
+    w.int_field("cache_hits", outcome.cache_hits as u64);
+    w.num_field("hit_rate", outcome.hit_rate);
+    w.num_field("cold_makespan_s", outcome.cold_makespan_s);
+    w.num_field("warm_makespan_s", outcome.warm_makespan_s);
+    let mut line = w.finish();
+    line.push('\n');
+    let dir = match &opts.out {
+        Some(dir) => dir.clone(),
+        None => workspace_root(),
+    };
+    let path = dir.join("BENCH_store.json");
     std::fs::create_dir_all(&dir).expect("writable bench dir");
     std::fs::write(&path, line).expect("writable bench file");
     eprintln!("wrote {}", path.display());

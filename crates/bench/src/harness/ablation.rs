@@ -16,7 +16,7 @@ use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
 use summitfold_msa::db::DbSet;
 use summitfold_msa::features::feature_gen_node_seconds;
-use summitfold_pipeline::stages::{inference, StageCtx, TASK_OVERHEAD_S};
+use summitfold_pipeline::stages::{inference, Stage as _, StageCtx, TASK_OVERHEAD_S};
 use summitfold_protein::proteome::{Proteome, Species};
 
 /// A1 result row.
@@ -51,11 +51,12 @@ pub fn run_ordering(ctx: &Ctx) -> (Vec<OrderingRow>, Report) {
         rescue_on_high_mem: true,
         ..inference::Config::benchmark(Preset::Genome)
     };
-    let rep = inference::run(
-        &proteome.proteins,
-        &features,
-        &cfg,
-        StageCtx::new(&mut Ledger::new()),
+    let rep = cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &features,
+        },
+        StageCtx::for_ledger(&mut Ledger::new()),
     );
     // Rebuild (spec, duration) pairs from the simulated records is
     // indirect; instead regenerate them the same way the stage does.

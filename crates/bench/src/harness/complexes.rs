@@ -12,8 +12,9 @@ use crate::report::Report;
 use summitfold_hpc::Ledger;
 use summitfold_inference::Preset;
 use summitfold_pipeline::screen::{
-    iscore_separation, projected_node_hours, screen_all_pairs, ScreenConfig, ScreenReport,
+    iscore_separation, projected_node_hours, ScreenConfig, ScreenReport,
 };
+use summitfold_pipeline::stages::{Stage as _, StageCtx};
 use summitfold_protein::proteome::{ProteinEntry, Proteome, Species};
 
 /// Run the screening experiment.
@@ -29,7 +30,7 @@ pub fn run(ctx: &Ctx) -> (ScreenReport, Report) {
         .collect();
     let refs: Vec<&ProteinEntry> = set.iter().collect();
     let mut ledger = Ledger::new();
-    let report = screen_all_pairs(&refs, &ScreenConfig::default(), &mut ledger);
+    let report = ScreenConfig::default().run(&refs, StageCtx::for_ledger(&mut ledger));
 
     let mut rpt = Report::new(
         "complexes",

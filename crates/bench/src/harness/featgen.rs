@@ -14,7 +14,7 @@ use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
 use summitfold_msa::db::DbSet;
-use summitfold_pipeline::stages::{feature, inference, StageCtx};
+use summitfold_pipeline::stages::{feature, inference, Stage as _, StageCtx};
 use summitfold_protein::proteome::{Proteome, Species};
 use summitfold_protein::stats;
 
@@ -43,17 +43,13 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     // Reduced vs full database feature generation.
     let mut ledger_r = Ledger::new();
     let reduced_cfg = feature::Config::paper_default();
-    let reduced = feature::run(
-        &proteome.proteins,
-        &reduced_cfg,
-        StageCtx::new(&mut ledger_r),
-    );
+    let reduced = reduced_cfg.run(&proteome.proteins, StageCtx::for_ledger(&mut ledger_r));
     let mut ledger_f = Ledger::new();
     let full_cfg = feature::Config {
         db_set: DbSet::Full,
         ..reduced_cfg
     };
-    let full = feature::run(&proteome.proteins, &full_cfg, StageCtx::new(&mut ledger_f));
+    let full = full_cfg.run(&proteome.proteins, StageCtx::for_ledger(&mut ledger_f));
 
     // Inference (genome preset, 100 nodes → 600 workers, well filled).
     let mut ledger_i = Ledger::new();
@@ -65,22 +61,24 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         rescue_on_high_mem: true,
         ..inference::Config::benchmark(Preset::Genome)
     };
-    let inf = inference::run(
-        &proteome.proteins,
-        &reduced.features,
-        &inf_cfg,
-        StageCtx::new(&mut ledger_i),
+    let inf = inf_cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &reduced.features,
+        },
+        StageCtx::for_ledger(&mut ledger_i),
     );
 
     // Quality with full-database features: the richness latents are the
     // same (Neff saturates; near-duplicates add nothing), so the measured
     // quality delta is zero by the Neff mechanism — report it from the
     // top-model pTMS distributions to make that visible.
-    let inf_full = inference::run(
-        &proteome.proteins,
-        &full.features,
-        &inf_cfg,
-        StageCtx::new(&mut Ledger::new()),
+    let inf_full = inf_cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &full.features,
+        },
+        StageCtx::for_ledger(&mut Ledger::new()),
     );
     let ptms = |rep: &inference::Report| {
         stats::mean(

@@ -12,7 +12,7 @@ use summitfold_dataflow::OrderingPolicy;
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, Preset};
 use summitfold_obs::{Monitor, MonitorConfig, Recorder, Sink as _};
-use summitfold_pipeline::stages::{inference, StageCtx};
+use summitfold_pipeline::stages::{inference, Stage as _, StageCtx};
 use summitfold_protein::proteome::{Proteome, Species};
 
 /// Load-balance metrics extracted from the run.
@@ -64,11 +64,12 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
     // span, every task event, and (via the observed ledger) the budget.
     let rec = Arc::new(Recorder::virtual_time());
     let mut ledger = Ledger::observed(Arc::clone(&rec));
-    let report = inference::run(
-        &proteome.proteins,
-        &features,
-        &cfg,
-        StageCtx::traced(&mut ledger, &rec),
+    let report = cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &features,
+        },
+        StageCtx::for_ledger(&mut ledger).recorder(&rec),
     );
     let sim = &report.sim;
     // Load-balance metrics are over the standard lane; the quarantine

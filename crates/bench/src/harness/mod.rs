@@ -12,6 +12,7 @@ pub mod headline;
 pub mod recycles;
 pub mod relaxscale;
 pub mod sdivinum;
+pub mod store;
 pub mod table1;
 pub mod violations;
 

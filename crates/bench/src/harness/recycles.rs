@@ -9,7 +9,7 @@ use crate::harness::{benchmark_set, Ctx};
 use crate::report::Report;
 use summitfold_hpc::Ledger;
 use summitfold_inference::Preset;
-use summitfold_pipeline::stages::{inference, StageCtx};
+use summitfold_pipeline::stages::{inference, Stage as _, StageCtx};
 use summitfold_protein::stats;
 
 /// Measured outcome.
@@ -42,11 +42,12 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
         .collect();
 
     let run_preset = |preset| {
-        inference::run(
-            &entries,
-            &features,
-            &inference::Config::benchmark(preset),
-            StageCtx::new(&mut Ledger::new()),
+        inference::Config::benchmark(preset).run(
+            inference::Input {
+                entries: &entries,
+                features: &features,
+            },
+            StageCtx::for_ledger(&mut Ledger::new()),
         )
     };
     let reduced = run_preset(Preset::ReducedDbs);

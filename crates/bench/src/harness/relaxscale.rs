@@ -11,7 +11,7 @@ use crate::report::Report;
 use summitfold_hpc::Ledger;
 use summitfold_inference::{Fidelity, InferenceEngine, Preset};
 use summitfold_msa::FeatureSet;
-use summitfold_pipeline::stages::{relax_stage, StageCtx};
+use summitfold_pipeline::stages::{relax_stage, Stage as _, StageCtx};
 use summitfold_protein::proteome::{Proteome, Species};
 use summitfold_protein::structure::Structure;
 
@@ -55,7 +55,7 @@ pub fn run(ctx: &Ctx) -> (Outcome, Report) {
 
     let mut ledger = Ledger::new();
     let cfg = relax_stage::Config::paper_default();
-    let report = relax_stage::run(&structures, &cfg, StageCtx::new(&mut ledger));
+    let report = cfg.run(&structures, StageCtx::for_ledger(&mut ledger));
     let scale_up = proteome.len() as f64 / structures.len() as f64;
 
     let clashes_remaining: usize = report

@@ -14,7 +14,7 @@ use crate::harness::{benchmark_set, Ctx};
 use crate::report::Report;
 use summitfold_hpc::Ledger;
 use summitfold_inference::Preset;
-use summitfold_pipeline::stages::{inference, StageCtx};
+use summitfold_pipeline::stages::{inference, Stage as _, StageCtx};
 use summitfold_protein::stats;
 
 /// One measured row.
@@ -52,7 +52,13 @@ pub fn run(ctx: &Ctx) -> (Vec<Row>, Report) {
     for preset in Preset::ALL {
         let mut ledger = Ledger::new();
         let cfg = inference::Config::benchmark(preset);
-        let report = inference::run(&entries, &features, &cfg, StageCtx::new(&mut ledger));
+        let report = cfg.run(
+            inference::Input {
+                entries: &entries,
+                features: &features,
+            },
+            StageCtx::for_ledger(&mut ledger),
+        );
         let tops: Vec<_> = report.results.iter().map(|(_, r)| r.top()).collect();
         let plddt: Vec<f64> = tops.iter().map(|p| p.plddt_mean).collect();
         let ptms: Vec<f64> = tops.iter().map(|p| p.ptms).collect();

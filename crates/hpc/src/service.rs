@@ -46,9 +46,16 @@ use summitfold_dataflow::{
     SubmitError, TaskSpec,
 };
 use summitfold_obs::{Event, HealthSnapshot, Monitor, MonitorConfig, Recorder, Sink as _};
+use summitfold_store::{Artifact, Store};
 
 /// Stage label every service charge is booked under.
 const STAGE: &str = "fold";
+
+/// Store preset under which service results are filed. One namespace
+/// for the whole service: cache identity is carried by the artifact
+/// content (tenant, task id, modeled cost), never by campaign name, so
+/// a resubmitted campaign hits regardless of what it is called.
+const STORE_PRESET: &str = "service";
 
 /// One tenant of the folding service.
 #[derive(Debug, Clone)]
@@ -65,6 +72,12 @@ pub struct TenantSpec {
     /// Node-hour quota: admission ceiling over the service lifetime.
     /// Must be finite and non-negative.
     pub quota_node_hours: f64,
+    /// Opt this tenant into the result store: settled tasks are filed
+    /// under a campaign-independent key and a resubmission of the same
+    /// work settles from cache at admission time — no queue slot, no
+    /// quota reservation, no charge. Ignored unless the service was
+    /// built with [`ServiceConfig::store`].
+    pub cached: bool,
 }
 
 impl TenantSpec {
@@ -76,6 +89,7 @@ impl TenantSpec {
             weight,
             priority: 0,
             quota_node_hours,
+            cached: false,
         }
     }
 
@@ -83,6 +97,13 @@ impl TenantSpec {
     #[must_use]
     pub fn priority(mut self, tier: u32) -> Self {
         self.priority = tier;
+        self
+    }
+
+    /// Opt into the service's result store (see [`TenantSpec::cached`]).
+    #[must_use]
+    pub fn cached(mut self) -> Self {
+        self.cached = true;
         self
     }
 }
@@ -102,6 +123,11 @@ pub struct ServiceConfig {
     pub deadline: Option<f64>,
     /// Span label for the run's trace.
     pub label: String,
+    /// Optional result store shared by every [`cached`]
+    /// (TenantSpec::cached) tenant. `None` (the default) disables
+    /// caching service-wide and leaves behavior — including the
+    /// telemetry trace — exactly as before the store existed.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +137,7 @@ impl Default for ServiceConfig {
             max_queue_depth: 4096,
             deadline: None,
             label: "service".to_owned(),
+            store: None,
         }
     }
 }
@@ -230,6 +257,9 @@ pub struct TenantStatus {
     pub charged_node_hours: f64,
     /// Completed tasks settled to this tenant.
     pub completed_tasks: usize,
+    /// Tasks settled straight from the result store at admission time
+    /// (never queued, never charged). Always 0 for uncached tenants.
+    pub cached_tasks: usize,
     /// Campaigns admitted for this tenant.
     pub campaigns: usize,
     /// Health snapshot folded from the tenant's completion records.
@@ -257,6 +287,7 @@ struct TenantState {
     admitted_node_seconds: f64,
     campaigns: usize,
     completed_tasks: usize,
+    cached_tasks: usize,
     ledger: Ledger,
     monitor: Monitor,
 }
@@ -331,6 +362,7 @@ impl FoldingService {
                 admitted_node_seconds: 0.0,
                 campaigns: 0,
                 completed_tasks: 0,
+                cached_tasks: 0,
                 ledger: Ledger::new(),
                 monitor: Monitor::new(MonitorConfig {
                     workers: Some(workers),
@@ -366,15 +398,34 @@ impl FoldingService {
             .collect()
     }
 
+    /// The campaign-independent store identity of one service task:
+    /// keyed on tenant, raw task id and modeled cost, never on the
+    /// campaign name, so a resubmission hits whatever it is called.
+    fn service_artifact(tenant: &str, task: &str, cost: f64) -> Artifact {
+        Artifact::new(
+            STAGE,
+            STORE_PRESET,
+            &format!("{tenant}|{task}|{cost}"),
+            vec![format!("{cost}")],
+        )
+    }
+
     /// Submit a campaign for `tenant`: `specs` become dispatchable at
     /// `arrival` (seconds on the executor's clock), namespaced as
     /// `{tenant}:{campaign}:{task}`. Returns the number of admitted
-    /// tasks.
+    /// tasks, counting tasks settled straight from the result store.
+    ///
+    /// When the service holds a [store](ServiceConfig::store) and the
+    /// tenant opted in ([`TenantSpec::cached`]), each task is first
+    /// looked up under its campaign-independent key: a hit settles at
+    /// admission time — no queue slot, no quota reservation, no charge
+    /// — and only the misses are enqueued.
     ///
     /// Admission is atomic: on any rejection ([`quota`]
     /// (ServiceError::QuotaExceeded), [backpressure]
     /// (ServiceError::Saturated), queue errors) nothing is enqueued,
-    /// nothing is reserved, and the rejection is counted.
+    /// nothing is reserved, no hit is settled, and the rejection is
+    /// counted.
     pub fn submit(
         &self,
         tenant: &str,
@@ -389,7 +440,21 @@ impl FoldingService {
             });
         };
         let t = &state.tenants[class];
-        let requested_node_seconds: f64 = specs.iter().map(|s| s.cost_hint.max(0.0)).sum();
+        let store = self.cfg.store.as_deref().filter(|_| t.spec.cached);
+        let mut live: Vec<&TaskSpec> = Vec::with_capacity(specs.len());
+        let mut cached_hits = 0usize;
+        for s in &specs {
+            let hit = store.is_some_and(|st| {
+                let key = Self::service_artifact(tenant, &s.id, s.cost_hint.max(0.0)).key();
+                st.get(key, &self.recorder).is_some()
+            });
+            if hit {
+                cached_hits += 1;
+            } else {
+                live.push(s);
+            }
+        }
+        let requested_node_seconds: f64 = live.iter().map(|s| s.cost_hint.max(0.0)).sum();
         let remaining = t.spec.quota_node_hours * 3600.0 - t.admitted_node_seconds;
         if requested_node_seconds > remaining {
             self.recorder.add("service/rejected_quota", 1.0);
@@ -399,14 +464,14 @@ impl FoldingService {
                 remaining_node_hours: remaining.max(0.0) / 3600.0,
             });
         }
-        if self.queue.len() + specs.len() > self.cfg.max_queue_depth {
+        if self.queue.len() + live.len() > self.cfg.max_queue_depth {
             self.recorder.add("service/rejected_saturated", 1.0);
             return Err(ServiceError::Saturated {
                 queued: self.queue.len(),
                 limit: self.cfg.max_queue_depth,
             });
         }
-        let namespaced: Vec<TaskSpec> = specs
+        let namespaced: Vec<TaskSpec> = live
             .iter()
             .map(|s| TaskSpec::new(format!("{tenant}:{campaign}:{}", s.id), s.cost_hint))
             .collect();
@@ -422,9 +487,14 @@ impl FoldingService {
         let t = &mut state.tenants[class];
         t.admitted_node_seconds += requested_node_seconds;
         t.campaigns += 1;
+        t.cached_tasks += cached_hits;
         self.recorder.add("service/admitted_campaigns", 1.0);
         self.recorder.add("service/admitted_tasks", count as f64);
-        Ok(count)
+        if cached_hits > 0 {
+            self.recorder
+                .add("service/cache_settled_tasks", cached_hits as f64);
+        }
+        Ok(count + cached_hits)
     }
 
     /// Close the queue: pending work still drains, further submissions
@@ -475,7 +545,10 @@ impl FoldingService {
     /// Attribute the run's completion records to tenants: charge each
     /// tenant's ledger the *modeled* cost (node-seconds =
     /// `cost_hint`, one node per worker — identical on both backends)
-    /// and feed each tenant's monitor its own completion events.
+    /// and feed each tenant's monitor its own completion events. For
+    /// [`cached`](TenantSpec::cached) tenants, each settled task is
+    /// also filed in the result store so a resubmission of the same
+    /// work hits at admission time.
     fn settle(&self, outcome: &BatchOutcome<()>) {
         let mut state = self.lock();
         let mut records: Vec<_> = outcome.records.iter().collect();
@@ -500,6 +573,19 @@ impl FoldingService {
                 end: r.end,
                 attempts: r.attempts,
             });
+            if let Some(store) = self.cfg.store.as_deref().filter(|_| t.spec.cached) {
+                // Strip the campaign from `{tenant}:{campaign}:{task}`
+                // so the stored identity is campaign-independent.
+                let mut parts = r.task_id.splitn(3, ':');
+                if let (Some(tenant), Some(_campaign), Some(task)) =
+                    (parts.next(), parts.next(), parts.next())
+                {
+                    // Filing is best-effort: a full or unwritable store
+                    // degrades the next submission to a miss, never the
+                    // current settlement.
+                    let _ = store.put(&Self::service_artifact(tenant, task, cost), &self.recorder);
+                }
+            }
             settled += 1;
         }
         self.recorder.add("service/settled_tasks", settled as f64);
@@ -520,6 +606,7 @@ impl FoldingService {
             admitted_node_hours: t.admitted_node_seconds / 3600.0,
             charged_node_hours: t.ledger.node_hours(Machine::Summit),
             completed_tasks: t.completed_tasks,
+            cached_tasks: t.cached_tasks,
             campaigns: t.campaigns,
             snapshot: t.monitor.snapshot(),
         })
@@ -683,6 +770,88 @@ mod tests {
             svc.tenant_status("mallory"),
             Err(ServiceError::UnknownTenant { .. })
         ));
+    }
+
+    #[test]
+    fn resubmitted_campaign_settles_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("sf-svc-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let tenants = || {
+            vec![
+                TenantSpec::new("alice", 2.0, 1.0).cached(),
+                TenantSpec::new("bob", 1.0, 1.0),
+            ]
+        };
+        let cfg = || ServiceConfig {
+            store: Some(Arc::clone(&store)),
+            ..ServiceConfig::default()
+        };
+
+        // Cold service: everything misses, runs, and is filed at settle.
+        let rec_cold = Arc::new(Recorder::virtual_time());
+        let cold = FoldingService::new(cfg(), tenants(), Arc::clone(&rec_cold)).unwrap();
+        assert_eq!(
+            cold.submit("alice", "c0", 0.0, campaign(5, 10.0)).unwrap(),
+            5
+        );
+        assert_eq!(cold.submit("bob", "c0", 0.0, campaign(2, 10.0)).unwrap(), 2);
+        let out = cold.run(&VirtualExecutor::new(0.0)).unwrap();
+        assert_eq!(out.outcome.records.len(), 7);
+        let cold_makespan = out.outcome.makespan;
+        // Only alice is cached: 5 artifacts filed, bob's tasks are not.
+        assert_eq!(store.len(), 5);
+        assert_eq!(cold.tenant_status("alice").unwrap().cached_tasks, 0);
+
+        // Warm service over the same store: the identical campaign under
+        // a *different* name settles entirely at admission time.
+        let rec_warm = Arc::new(Recorder::virtual_time());
+        let warm = FoldingService::new(cfg(), tenants(), Arc::clone(&rec_warm)).unwrap();
+        assert_eq!(
+            warm.submit("alice", "renamed", 0.0, campaign(5, 10.0))
+                .unwrap(),
+            5
+        );
+        // A changed cost hint is different work: it misses and queues.
+        assert_eq!(
+            warm.submit("alice", "c2", 0.0, campaign(1, 11.0)).unwrap(),
+            1
+        );
+        let out = warm.run(&VirtualExecutor::new(0.0)).unwrap();
+        assert_eq!(out.outcome.records.len(), 1);
+        assert!(out.outcome.makespan < cold_makespan);
+        let st = warm.tenant_status("alice").unwrap();
+        assert_eq!(st.cached_tasks, 5);
+        assert_eq!(st.completed_tasks, 1);
+        // Cache-settled work reserves no quota and is never charged.
+        assert!((st.admitted_node_hours - 11.0 / 3600.0).abs() < 1e-12);
+        assert!((st.charged_node_hours - 11.0 / 3600.0).abs() < 1e-12);
+        let totals = summitfold_obs::Trace::from_events(rec_warm.events()).counter_totals();
+        assert_eq!(totals["service/cache_settled_tasks"], 5.0);
+        assert_eq!(totals["cache/hit"], 5.0);
+        assert_eq!(totals["cache/miss"], 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncached_tenants_never_touch_the_store() {
+        let dir = std::env::temp_dir().join(format!("sf-svc-uncached-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let cfg = ServiceConfig {
+            store: Some(Arc::clone(&store)),
+            ..ServiceConfig::default()
+        };
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(cfg, two_tenants(), Arc::clone(&rec)).unwrap();
+        svc.submit("bob", "c0", 0.0, campaign(3, 10.0)).unwrap();
+        svc.run(&VirtualExecutor::new(0.0)).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(svc.tenant_status("bob").unwrap().cached_tasks, 0);
+        let totals = summitfold_obs::Trace::from_events(rec.events()).counter_totals();
+        assert!(!totals.contains_key("cache/hit"));
+        assert!(!totals.contains_key("cache/miss"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -115,12 +115,28 @@ pub fn greedy_cluster(input: &[Sequence], identity: f64) -> Clustering {
     }
 }
 
-/// Identity check: aligned identity ≥ threshold over ≥ 80 % of the shorter
-/// sequence (the CD-HIT coverage criterion, simplified).
-fn is_similar(a: &Sequence, b: &Sequence, identity: f64) -> bool {
+/// Neighborhood identity between two sequences: the banded
+/// Smith–Waterman aligned identity, reported only when the alignment
+/// covers ≥ 80 % of the shorter sequence (the CD-HIT coverage criterion,
+/// simplified). `None` means the pair does not share a clusterable
+/// neighborhood at all — the same judgement [`greedy_cluster`] uses, and
+/// the one the result store's near-duplicate lookup reuses so "cacheable
+/// neighbor" and "clusterable neighbor" can never drift apart.
+#[must_use]
+pub fn neighborhood_identity(a: &Sequence, b: &Sequence) -> Option<f64> {
     let aln = smith_waterman(a, b, Some(16));
     let shorter = a.len().min(b.len()).max(1);
-    aln.columns as f64 / shorter as f64 >= 0.8 && aln.identity() >= identity
+    if (aln.columns as f64) / shorter as f64 >= 0.8 {
+        Some(aln.identity())
+    } else {
+        None
+    }
+}
+
+/// Identity check used by clustering: a shared neighborhood at ≥ the
+/// given aligned identity.
+fn is_similar(a: &Sequence, b: &Sequence, identity: f64) -> bool {
+    neighborhood_identity(a, b).is_some_and(|id| id >= identity)
 }
 
 #[cfg(test)]

@@ -77,6 +77,12 @@ impl ObjectWriter {
         let _ = write!(self.buf, "{value}");
     }
 
+    /// Append an explicit `null` field.
+    pub fn null_field(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push_str("null");
+    }
+
     /// Append an integer-or-`null` field.
     pub fn opt_int_field(&mut self, key: &str, value: Option<u64>) {
         self.key(key);

@@ -17,8 +17,11 @@
 //! annotation of hypothetical proteins and novel-fold detection.
 
 pub mod annotate;
+pub mod artifacts;
 pub mod proteome;
 pub mod screen;
 pub mod stages;
 
-pub use proteome::{run_proteome_campaign, CampaignConfig, ProteomeReport};
+pub use proteome::{
+    run_proteome_campaign, run_proteome_campaign_with_store, CampaignConfig, ProteomeReport,
+};

@@ -2,7 +2,7 @@
 //! (or scaled) proteome, with the quality and budget statistics the paper
 //! reports for *S. divinum*.
 
-use crate::stages::{feature, inference, relax_stage, StageCtx};
+use crate::stages::{feature, inference, relax_stage, Stage, StageCtx};
 use summitfold_dataflow::OrderingPolicy;
 use summitfold_hpc::machine::Machine;
 use summitfold_hpc::Ledger;
@@ -11,6 +11,7 @@ use summitfold_protein::proteome::{Proteome, Species};
 use summitfold_protein::stats;
 use summitfold_relax::protocol::Protocol;
 use summitfold_relax::timing::Method;
+use summitfold_store::{CacheSummary, Store};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +65,9 @@ pub struct ProteomeReport {
     pub summit_node_hours_full: f64,
     /// Inference walltime at the configured node count (seconds).
     pub inference_walltime_s: f64,
+    /// Combined store lookup outcomes across the feature and inference
+    /// stages (all zeros when no store is attached).
+    pub cache: CacheSummary,
 }
 
 /// Run a full campaign (features → inference → relaxation accounting).
@@ -75,12 +79,30 @@ pub struct ProteomeReport {
 /// dedicated relaxation experiments instead).
 #[must_use]
 pub fn run_proteome_campaign(species: Species, cfg: &CampaignConfig) -> ProteomeReport {
+    run_proteome_campaign_with_store(species, cfg, None)
+}
+
+/// [`run_proteome_campaign`] with an optional content-addressed result
+/// store: the feature and inference stages consult it before computing,
+/// so resubmitting the same proteome is served from cache.
+#[must_use]
+pub fn run_proteome_campaign_with_store(
+    species: Species,
+    cfg: &CampaignConfig,
+    store: Option<&Store>,
+) -> ProteomeReport {
     let proteome = Proteome::generate_scaled(species, cfg.scale);
     let mut ledger = Ledger::new();
+    fn ctx<'a>(ledger: &'a mut Ledger, store: Option<&'a Store>) -> StageCtx<'a> {
+        match store {
+            Some(s) => StageCtx::for_ledger(ledger).store(s),
+            None => StageCtx::for_ledger(ledger),
+        }
+    }
 
     // Stage 1: features on Andes.
     let feat_cfg = feature::Config::paper_default();
-    let feat = feature::run(&proteome.proteins, &feat_cfg, StageCtx::new(&mut ledger));
+    let feat = feat_cfg.run(&proteome.proteins, ctx(&mut ledger, store));
 
     // Stage 2: inference on Summit.
     let inf_cfg = inference::Config {
@@ -91,11 +113,12 @@ pub fn run_proteome_campaign(species: Species, cfg: &CampaignConfig) -> Proteome
         rescue_on_high_mem: true,
         ..inference::Config::benchmark(cfg.preset)
     };
-    let inf = inference::run(
-        &proteome.proteins,
-        &feat.features,
-        &inf_cfg,
-        StageCtx::new(&mut ledger),
+    let inf = inf_cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &feat.features,
+        },
+        ctx(&mut ledger, store),
     );
 
     // Stage 3: relaxation budget. Statistical fidelity produces no
@@ -150,6 +173,11 @@ pub fn run_proteome_campaign(species: Species, cfg: &CampaignConfig) -> Proteome
         andes_node_hours_full: ledger.node_hours(Machine::Andes) * scale_up,
         summit_node_hours_full: ledger.node_hours(Machine::Summit) * scale_up,
         inference_walltime_s: inf.walltime_s,
+        cache: CacheSummary {
+            hits: feat.cache.hits + inf.cache.hits,
+            near_hits: feat.cache.near_hits + inf.cache.near_hits,
+            misses: feat.cache.misses + inf.cache.misses,
+        },
     }
 }
 

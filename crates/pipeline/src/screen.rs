@@ -3,15 +3,17 @@
 //! quadratic cost projection that makes this "especially relevant to HPC
 //! computing".
 
+use crate::stages::{Stage, StageCtx};
 use summitfold_dataflow::sim::VirtualExecutor;
 use summitfold_dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold_hpc::machine::Machine;
-use summitfold_hpc::Ledger;
 use summitfold_inference::complex::{ComplexEngine, ComplexTarget};
 use summitfold_inference::{Fidelity, ModelId, Preset};
 use summitfold_msa::FeatureSet;
+use summitfold_obs::json::{parse_object, ObjectWriter};
 use summitfold_protein::proteome::ProteinEntry;
 use summitfold_protein::stats;
+use summitfold_store::{Artifact, CacheSummary, StoreKey};
 
 /// Screening configuration.
 #[derive(Debug, Clone, Copy)]
@@ -66,84 +68,160 @@ pub struct ScreenReport {
     pub walltime_s: f64,
     /// Summit node-hours charged.
     pub node_hours: f64,
+    /// Store lookup outcomes over pair predictions (all zeros when no
+    /// store is attached).
+    pub cache: CacheSummary,
 }
 
-/// Screen all pairs in a protein set (model 1 per pair, as AF2Complex's
-/// screening mode does; promising pairs would be re-run with all five).
-#[must_use]
-pub fn screen_all_pairs(
-    proteins: &[&ProteinEntry],
-    cfg: &ScreenConfig,
-    ledger: &mut Ledger,
-) -> ScreenReport {
-    let engine = ComplexEngine::new(cfg.preset, Fidelity::Statistical).on_high_mem_nodes();
-    let features: Vec<FeatureSet> = proteins.iter().map(|e| FeatureSet::synthetic(e)).collect();
+/// One cached pair result as a single payload line.
+fn encode_pair(p: &PairCall, gpu_seconds: f64) -> Vec<String> {
+    let mut w = ObjectWriter::new();
+    w.str_field("pair_id", &p.pair_id);
+    w.num_field("iscore", p.iscore);
+    w.int_field("truly_interacts", u64::from(p.truly_interacts));
+    w.num_field("gpu_seconds", gpu_seconds);
+    vec![w.finish()]
+}
 
-    let mut calls = Vec::new();
-    let mut specs = Vec::new();
-    let mut durations = Vec::new();
-    let mut skipped = 0usize;
-    for i in 0..proteins.len() {
-        for j in i + 1..proteins.len() {
-            let target = ComplexTarget {
-                a: proteins[i],
-                b: proteins[j],
-            };
-            match engine.predict(&target, &features[i], &features[j], ModelId(1)) {
-                Ok(p) => {
-                    specs.push(TaskSpec::new(
-                        p.pair_id.clone(),
-                        target.joint_length() as f64,
-                    ));
-                    durations.push(p.gpu_seconds);
-                    calls.push(PairCall {
-                        pair_id: p.pair_id,
-                        iscore: p.iscore,
-                        truly_interacts: target.interacts(),
-                    });
-                }
-                Err(_) => skipped += 1,
-            }
-        }
+fn num_to_bool(n: f64) -> Option<bool> {
+    if n == 0.0 {
+        Some(false)
+    } else if n == 1.0 {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+fn decode_pair(payload: &[String]) -> Option<PairCall> {
+    let [line] = payload else { return None };
+    let obj = parse_object(line).ok()?;
+    Some(PairCall {
+        pair_id: obj.get("pair_id")?.as_str()?.to_owned(),
+        iscore: obj.get("iscore")?.as_num()?,
+        truly_interacts: num_to_bool(obj.get("truly_interacts")?.as_num()?)?,
+    })
+}
+
+impl Stage for ScreenConfig {
+    type Input<'i> = &'i [&'i ProteinEntry];
+    type Output = ScreenReport;
+
+    fn id(&self) -> &'static str {
+        "complex_screen"
     }
 
-    let workers = (cfg.nodes * crate::stages::WORKERS_PER_NODE) as usize;
-    let sim = Batch::new(&specs)
-        .workers(workers)
-        .policy(OrderingPolicy::LongestFirst)
-        .durations(&durations)
-        .label("complex_screen")
-        .run(&VirtualExecutor::new(crate::stages::TASK_OVERHEAD_S))
-        // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
-        .expect("screening batch is well-formed");
-    ledger.charge_job(Machine::Summit, "complex_screen", cfg.nodes, sim.makespan);
+    /// Screen all pairs in a protein set (model 1 per pair, as
+    /// AF2Complex's screening mode does; promising pairs would be re-run
+    /// with all five), recording a `complex_screen` batch span with
+    /// per-pair task events when the context is traced.
+    ///
+    /// With a store attached, each pair is looked up by
+    /// `(complex_screen, preset, letters_a/letters_b)` first; hits skip
+    /// the complex engine and the batch.
+    fn run(&self, proteins: Self::Input<'_>, ctx: StageCtx<'_>) -> ScreenReport {
+        let cfg = self;
+        let rec = ctx.recorder;
+        let engine = ComplexEngine::new(cfg.preset, Fidelity::Statistical).on_high_mem_nodes();
+        let features: Vec<FeatureSet> = proteins.iter().map(|e| FeatureSet::synthetic(e)).collect();
+        let preset = format!("{:?}", cfg.preset);
 
-    let true_edges = calls.iter().filter(|c| c.truly_interacts).count();
-    let called: Vec<&PairCall> = calls
-        .iter()
-        .filter(|c| c.iscore >= cfg.iscore_cutoff)
-        .collect();
-    let true_called = called.iter().filter(|c| c.truly_interacts).count();
-    let recall = if true_edges > 0 {
-        true_called as f64 / true_edges as f64
-    } else {
-        1.0
-    };
-    let precision = if called.is_empty() {
-        1.0
-    } else {
-        true_called as f64 / called.len() as f64
-    };
+        let mut cache = CacheSummary::default();
+        let mut calls = Vec::new();
+        let mut specs = Vec::new();
+        let mut durations = Vec::new();
+        let mut skipped = 0usize;
+        for i in 0..proteins.len() {
+            for j in i + 1..proteins.len() {
+                let target = ComplexTarget {
+                    a: proteins[i],
+                    b: proteins[j],
+                };
+                let content = ctx.store.map(|_| {
+                    format!(
+                        "{}/{}",
+                        proteins[i].sequence.to_letters(),
+                        proteins[j].sequence.to_letters()
+                    )
+                });
+                if let (Some(store), Some(content)) = (ctx.store, &content) {
+                    let key = StoreKey::derive("complex_screen", &preset, content);
+                    if let Some(call) = store.get(key, rec).and_then(|a| decode_pair(&a.payload)) {
+                        cache.hits += 1;
+                        calls.push(call);
+                        continue;
+                    }
+                    cache.misses += 1;
+                }
+                match engine.predict(&target, &features[i], &features[j], ModelId(1)) {
+                    Ok(p) => {
+                        specs.push(TaskSpec::new(
+                            p.pair_id.clone(),
+                            target.joint_length() as f64,
+                        ));
+                        durations.push(p.gpu_seconds);
+                        let call = PairCall {
+                            pair_id: p.pair_id,
+                            iscore: p.iscore,
+                            truly_interacts: target.interacts(),
+                        };
+                        if let (Some(store), Some(content)) = (ctx.store, &content) {
+                            let artifact = Artifact::new(
+                                "complex_screen",
+                                &preset,
+                                content,
+                                encode_pair(&call, p.gpu_seconds),
+                            );
+                            let _ = store.put(&artifact, rec);
+                        }
+                        calls.push(call);
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
 
-    ScreenReport {
-        proteins: proteins.len(),
-        pairs: calls.len() + skipped,
-        skipped,
-        calls,
-        recall,
-        precision,
-        walltime_s: sim.makespan,
-        node_hours: f64::from(cfg.nodes) * sim.makespan / 3600.0,
+        let workers = (cfg.nodes * crate::stages::WORKERS_PER_NODE) as usize;
+        let sim = Batch::new(&specs)
+            .workers(workers)
+            .policy(OrderingPolicy::LongestFirst)
+            .durations(&durations)
+            .recorder(rec)
+            .label("complex_screen")
+            .run(&VirtualExecutor::new(crate::stages::TASK_OVERHEAD_S))
+            // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
+            .expect("screening batch is well-formed");
+        ctx.ledger
+            .charge_job(Machine::Summit, "complex_screen", cfg.nodes, sim.makespan);
+
+        let true_edges = calls.iter().filter(|c| c.truly_interacts).count();
+        let called: Vec<&PairCall> = calls
+            .iter()
+            .filter(|c| c.iscore >= cfg.iscore_cutoff)
+            .collect();
+        let true_called = called.iter().filter(|c| c.truly_interacts).count();
+        let recall = if true_edges > 0 {
+            true_called as f64 / true_edges as f64
+        } else {
+            1.0
+        };
+        let precision = if called.is_empty() {
+            1.0
+        } else {
+            true_called as f64 / called.len() as f64
+        };
+
+        ScreenReport {
+            proteins: proteins.len(),
+            pairs: calls.len() + skipped,
+            skipped,
+            calls,
+            recall,
+            precision,
+            walltime_s: sim.makespan,
+            node_hours: f64::from(cfg.nodes) * sim.makespan / 3600.0,
+            cache,
+        }
     }
 }
 
@@ -180,6 +258,7 @@ pub fn iscore_separation(calls: &[PairCall]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use summitfold_hpc::Ledger;
     use summitfold_protein::proteome::{Proteome, Species};
 
     fn small_set() -> Vec<ProteinEntry> {
@@ -196,7 +275,7 @@ mod tests {
         let set = small_set();
         let refs: Vec<&ProteinEntry> = set.iter().collect();
         let mut ledger = Ledger::new();
-        let report = screen_all_pairs(&refs, &ScreenConfig::default(), &mut ledger);
+        let report = ScreenConfig::default().run(&refs, StageCtx::for_ledger(&mut ledger));
         assert_eq!(report.pairs, refs.len() * (refs.len() - 1) / 2);
         assert_eq!(report.skipped, 0);
         assert!(report.recall > 0.6, "recall {}", report.recall);
@@ -223,8 +302,8 @@ mod tests {
     fn deterministic() {
         let set = small_set();
         let refs: Vec<&ProteinEntry> = set.iter().collect();
-        let a = screen_all_pairs(&refs, &ScreenConfig::default(), &mut Ledger::new());
-        let b = screen_all_pairs(&refs, &ScreenConfig::default(), &mut Ledger::new());
+        let a = ScreenConfig::default().run(&refs, StageCtx::for_ledger(&mut Ledger::new()));
+        let b = ScreenConfig::default().run(&refs, StageCtx::for_ledger(&mut Ledger::new()));
         assert_eq!(a.recall, b.recall);
         for (x, y) in a.calls.iter().zip(&b.calls) {
             assert_eq!(x.iscore, y.iscore);

@@ -2,11 +2,29 @@
 //! previous stage's outputs, produces a typed report, and charges the
 //! node-hour ledger.
 //!
-//! Every stage has a single entry point taking a [`StageCtx`] — the
-//! ledger to charge plus the telemetry recorder (pass
-//! [`StageCtx::new`] for untraced runs; the old `run`/`run_traced` split
-//! is gone).
+//! Every stage is a [`Stage`] implementation on its own `Config` type —
+//! the config *is* the stage — with one uniform entry point:
+//! `cfg.run(input, ctx)`. The [`StageCtx`] is built with
+//! [`StageCtx::for_ledger`] and optionally extended with a telemetry
+//! recorder and a content-addressed result store:
+//!
+//! ```
+//! use summitfold_hpc::Ledger;
+//! use summitfold_pipeline::stages::StageCtx;
+//!
+//! let mut ledger = Ledger::new();
+//! let ctx = StageCtx::for_ledger(&mut ledger); // untraced, uncached
+//! # let _ = ctx;
+//! ```
+//!
+//! When a store is attached (`.store(&store)`), each stage consults it
+//! per target before computing: exact content hits skip the work
+//! entirely, the feature stage additionally reuses near-duplicate MSA
+//! neighborhoods at a recorded quality discount, and misses are computed
+//! then written back. With no store attached the stages behave — and
+//! trace — exactly as before.
 
+use crate::artifacts;
 use summitfold_dataflow::exec::BatchOutcome;
 use summitfold_dataflow::sim::VirtualExecutor;
 use summitfold_dataflow::{Batch, OrderingPolicy, RetryPolicy, TaskFault, TaskSpec};
@@ -22,6 +40,7 @@ use summitfold_protein::proteome::ProteinEntry;
 use summitfold_protein::structure::Structure;
 use summitfold_relax::protocol::{relax_traced, Protocol, RelaxOutcome};
 use summitfold_relax::timing::{wall_seconds, Method};
+use summitfold_store::{Artifact, CacheSummary, Store, StoreKey};
 
 /// Per-task dispatch overhead on the Summit dataflow deployments
 /// (scheduler hop, container start, model/weight loading) — calibrated so
@@ -32,17 +51,23 @@ pub const TASK_OVERHEAD_S: f64 = 30.0;
 pub const WORKERS_PER_NODE: u32 = 6;
 
 /// Everything a stage needs besides its inputs: the node-hour ledger it
-/// charges and the telemetry recorder it emits spans into.
+/// charges, the telemetry recorder it emits spans into, and (optionally)
+/// the content-addressed result store it consults before computing.
 ///
-/// Construct one per stage call — it borrows the ledger mutably for the
+/// Built with [`StageCtx::for_ledger`] plus the fluent extensions; one
+/// context per stage call — it borrows the ledger mutably for the
 /// duration of the stage:
 ///
-/// ```
+/// ```no_run
 /// use summitfold_hpc::Ledger;
+/// use summitfold_obs::Recorder;
 /// use summitfold_pipeline::stages::StageCtx;
+/// use summitfold_store::Store;
 ///
 /// let mut ledger = Ledger::new();
-/// let ctx = StageCtx::new(&mut ledger); // untraced
+/// let rec = Recorder::virtual_time();
+/// let store = Store::open("/tmp/store").unwrap();
+/// let ctx = StageCtx::for_ledger(&mut ledger).recorder(&rec).store(&store);
 /// # let _ = ctx;
 /// ```
 pub struct StageCtx<'a> {
@@ -50,24 +75,56 @@ pub struct StageCtx<'a> {
     pub ledger: &'a mut Ledger,
     /// Telemetry sink (possibly [`Recorder::disabled`]).
     pub recorder: &'a Recorder,
+    /// Result store consulted before computing (`None` = always compute).
+    pub store: Option<&'a Store>,
 }
 
 impl<'a> StageCtx<'a> {
-    /// An untraced context: charges the ledger, records nothing.
+    /// Start building a context around the ledger to charge: untraced
+    /// and uncached until extended.
     #[must_use]
-    pub fn new(ledger: &'a mut Ledger) -> Self {
+    pub fn for_ledger(ledger: &'a mut Ledger) -> Self {
         Self {
             ledger,
             recorder: Recorder::disabled(),
+            store: None,
         }
     }
 
-    /// A traced context: stage spans, batch spans, and per-task events
-    /// are recorded into `recorder`.
+    /// Record stage spans, batch spans, and per-task events into `rec`.
     #[must_use]
-    pub fn traced(ledger: &'a mut Ledger, recorder: &'a Recorder) -> Self {
-        Self { ledger, recorder }
+    pub fn recorder(mut self, rec: &'a Recorder) -> Self {
+        self.recorder = rec;
+        self
     }
+
+    /// Consult (and fill) the result store instead of recomputing
+    /// content that is already cached.
+    #[must_use]
+    pub fn store(mut self, store: &'a Store) -> Self {
+        self.store = Some(store);
+        self
+    }
+}
+
+/// A pipeline stage: one typed transformation from borrowed inputs to a
+/// typed report, charging the ledger and recording telemetry through a
+/// [`StageCtx`]. Configs implement this trait — the config *is* the
+/// stage — so campaigns, the folding service, and the bench harness
+/// drive every stage through the same `cfg.run(input, ctx)` shape, and
+/// result-store caching wraps any stage uniformly.
+pub trait Stage {
+    /// Borrowed input consumed by one invocation.
+    type Input<'i>;
+    /// The stage's typed report.
+    type Output;
+
+    /// Stable stage identifier: the span label prefix, the ledger stage
+    /// name, and the store-key `stage` component.
+    fn id(&self) -> &'static str;
+
+    /// Run the stage over `input`.
+    fn run(&self, input: Self::Input<'_>, ctx: StageCtx<'_>) -> Self::Output;
 }
 
 pub mod feature {
@@ -114,113 +171,220 @@ pub mod feature {
     /// Stage report.
     #[derive(Debug, Clone)]
     pub struct Report {
-        /// Per-target feature sets, parallel to the input entries.
+        /// Per-target feature sets, parallel to the input entries
+        /// (cache-served and computed alike).
         pub features: Vec<FeatureSet>,
-        /// Dataflow batch outcome (per-scan records, attempt counts).
+        /// Dataflow batch outcome over the *computed* scans (cache hits
+        /// never enter the batch).
         pub sim: BatchOutcome<()>,
         /// Andes node-hours charged (contention slowdown and retries
-        /// included).
+        /// included; cache hits charge nothing).
         pub node_hours: f64,
         /// Wall-clock including replication (seconds).
         pub walltime_s: f64,
-        /// One-time replication cost (seconds).
+        /// One-time replication cost (seconds; 0 when every target was
+        /// served from the store).
         pub replication_s: f64,
         /// I/O slowdown factor applied to each scan.
         pub io_slowdown: f64,
+        /// Store lookup outcomes (all-miss with no store attached, but
+        /// nothing is recorded or written in that case).
+        pub cache: CacheSummary,
     }
 
-    /// Run the stage over a set of targets, recording a
-    /// `stage:feature_gen` span, a `feature_gen` batch span with
-    /// per-scan task events, plus `feature/io_slowdown` and
-    /// `feature/replication_s` gauges when the context is traced. On a
-    /// virtual-time recorder the stage span covers exactly the stage
-    /// walltime.
-    #[must_use]
-    pub fn run(entries: &[ProteinEntry], cfg: &Config, ctx: StageCtx<'_>) -> Report {
-        let rec = ctx.recorder;
-        let span = rec.span_start("stage:feature_gen");
-        let t0 = rec.now();
-        let layout = ReplicaLayout {
-            db_bytes: cfg.db_set.nominal_bytes(),
-            replicas: cfg.replicas,
-        };
-        let slowdown = layout.slowdown(cfg.concurrent_jobs);
-        let features: Vec<FeatureSet> = entries.iter().map(FeatureSet::synthetic).collect();
-        let specs: Vec<TaskSpec> = entries
-            .iter()
-            .map(|e| TaskSpec::new(e.sequence.id.clone(), e.sequence.len() as f64))
-            .collect();
-        let durations: Vec<f64> = entries
-            .iter()
-            .map(|e| {
-                feature_gen_node_seconds(e.sequence.len(), cfg.db_set.nominal_bytes()) * slowdown
-            })
-            .collect();
+    impl Stage for Config {
+        type Input<'i> = &'i [ProteinEntry];
+        type Output = Report;
 
-        // Deterministic transient-fault injection: each target draws
-        // once from a seeded stream; afflicted scans fail their first
-        // execution and succeed on retry.
-        let mut faults: Vec<TaskFault> = Vec::new();
-        if cfg.flaky_per_mille > 0 && cfg.retry.max_attempts >= 2 {
-            let mut rng = Xoshiro256::seed_from_u64(cfg.fault_seed);
-            for spec in &specs {
-                if rng.below(1000) < cfg.flaky_per_mille as usize {
-                    faults.push(TaskFault::transient(spec.id.clone(), 1));
+        fn id(&self) -> &'static str {
+            "feature_gen"
+        }
+
+        /// Run the stage over a set of targets, recording a
+        /// `stage:feature_gen` span, a `feature_gen` batch span with
+        /// per-scan task events, plus `feature/io_slowdown` and
+        /// `feature/replication_s` gauges when the context is traced. On
+        /// a virtual-time recorder the stage span covers exactly the
+        /// stage walltime.
+        ///
+        /// With a store attached, each target is looked up by
+        /// `(feature_gen, db_set, sequence letters)` first: exact hits
+        /// reuse the stored feature set, near-duplicate hits reuse the
+        /// clustered-MSA neighborhood of a ≥ 90 %-identical stored
+        /// sequence with richness/Neff scaled down by the recorded
+        /// quality discount, and only misses are scanned (and written
+        /// back).
+        fn run(&self, entries: Self::Input<'_>, ctx: StageCtx<'_>) -> Report {
+            let cfg = self;
+            let rec = ctx.recorder;
+            let span = rec.span_start("stage:feature_gen");
+            let t0 = rec.now();
+            let layout = ReplicaLayout {
+                db_bytes: cfg.db_set.nominal_bytes(),
+                replicas: cfg.replicas,
+            };
+            let slowdown = layout.slowdown(cfg.concurrent_jobs);
+            let preset = format!("{:?}", cfg.db_set);
+
+            // Store pass: resolve each target to a cached feature set or
+            // mark it for computation. No store: everything computes.
+            let mut cache = CacheSummary::default();
+            let mut cached: Vec<Option<FeatureSet>> = Vec::with_capacity(entries.len());
+            for e in entries {
+                let Some(store) = ctx.store else {
+                    cached.push(None);
+                    continue;
+                };
+                let letters = e.sequence.to_letters();
+                let key = StoreKey::derive("feature_gen", &preset, &letters);
+                if let Some(f) = store
+                    .get(key, rec)
+                    .and_then(|a| artifacts::decode_feature_set(&a.payload))
+                {
+                    cache.hits += 1;
+                    cached.push(Some(FeatureSet {
+                        target_id: e.sequence.id.clone(),
+                        ..f
+                    }));
+                } else if let Some((near, f)) = store
+                    .near_lookup("feature_gen", &preset, &e.sequence, rec)
+                    .and_then(|(near, a)| {
+                        artifacts::decode_feature_set(&a.payload).map(|f| (near, f))
+                    })
+                {
+                    cache.near_hits += 1;
+                    // Reuse the neighbor's MSA neighborhood at the
+                    // modelled quality discount: the alignment is
+                    // (1-identity)-noisier, so the effective richness
+                    // and Neff shrink accordingly.
+                    cached.push(Some(FeatureSet {
+                        target_id: e.sequence.id.clone(),
+                        length: e.sequence.len(),
+                        richness: f.richness * (1.0 - near.discount),
+                        neff: f.neff * (1.0 - near.discount),
+                        coverage: f.coverage,
+                        has_templates: f.has_templates,
+                    }));
+                } else {
+                    cache.misses += 1;
+                    cached.push(None);
                 }
             }
-        }
+            let missed: Vec<usize> = cached
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            let features: Vec<FeatureSet> = entries
+                .iter()
+                .zip(cached)
+                .map(|(e, c)| c.unwrap_or_else(|| FeatureSet::synthetic(e)))
+                .collect();
 
-        let replication_s = layout.replication_seconds();
-        rec.advance_clock_to(t0 + replication_s);
-        let sim = Batch::new(&specs)
-            .workers(cfg.concurrent_jobs.max(1) as usize)
-            .policy(OrderingPolicy::LongestFirst)
-            .durations(&durations)
-            .retry(cfg.retry)
-            .task_faults(&faults)
-            .recorder(rec)
-            .label("feature_gen")
-            .run(&VirtualExecutor::new(0.0))
-            // sfcheck::allow(panic-hygiene, workers >= 1 and specs/durations are built pairwise above)
-            .expect("feature batch is well-formed");
+            let specs: Vec<TaskSpec> = missed
+                .iter()
+                .map(|&i| {
+                    let e = &entries[i];
+                    TaskSpec::new(e.sequence.id.clone(), e.sequence.len() as f64)
+                })
+                .collect();
+            let durations: Vec<f64> = missed
+                .iter()
+                .map(|&i| {
+                    feature_gen_node_seconds(entries[i].sequence.len(), cfg.db_set.nominal_bytes())
+                        * slowdown
+                })
+                .collect();
 
-        let base_node_s: f64 = durations.iter().sum();
-        // Failed attempts burn real node time; charge them separately so
-        // the rerun lane's cost is visible in the ledger.
-        let dur_of: std::collections::HashMap<&str, f64> = specs
-            .iter()
-            .zip(&durations)
-            .map(|(s, &d)| (s.id.as_str(), d))
-            .collect();
-        let retry_node_s: f64 = sim
-            .records
-            .iter()
-            .filter(|r| r.attempts > 1)
-            .map(|r| {
-                f64::from(r.attempts - 1) * dur_of.get(r.task_id.as_str()).copied().unwrap_or(0.0)
-            })
-            .sum();
+            // Deterministic transient-fault injection: each scanned
+            // target draws once from a seeded stream; afflicted scans
+            // fail their first execution and succeed on retry.
+            let mut faults: Vec<TaskFault> = Vec::new();
+            if cfg.flaky_per_mille > 0 && cfg.retry.max_attempts >= 2 {
+                let mut rng = Xoshiro256::seed_from_u64(cfg.fault_seed);
+                for spec in &specs {
+                    if rng.below(1000) < cfg.flaky_per_mille as usize {
+                        faults.push(TaskFault::transient(spec.id.clone(), 1));
+                    }
+                }
+            }
 
-        let walltime_s = replication_s + sim.makespan;
-        ctx.ledger
-            .charge(Machine::Andes, "feature_gen", base_node_s);
-        if retry_node_s > 0.0 {
+            // Databases replicate only when something will actually be
+            // scanned; a fully cache-served stage never touches them.
+            let replication_s = if ctx.store.is_some() && missed.is_empty() {
+                0.0
+            } else {
+                layout.replication_seconds()
+            };
+            rec.advance_clock_to(t0 + replication_s);
+            let sim = Batch::new(&specs)
+                .workers(cfg.concurrent_jobs.max(1) as usize)
+                .policy(OrderingPolicy::LongestFirst)
+                .durations(&durations)
+                .retry(cfg.retry)
+                .task_faults(&faults)
+                .recorder(rec)
+                .label("feature_gen")
+                .run(&VirtualExecutor::new(0.0))
+                // sfcheck::allow(panic-hygiene, workers >= 1 and specs/durations are built pairwise above)
+                .expect("feature batch is well-formed");
+
+            // Computed feature sets flow back into the store; a write
+            // failure only costs future hits, never the stage.
+            if let Some(store) = ctx.store {
+                for &i in &missed {
+                    let letters = entries[i].sequence.to_letters();
+                    let artifact = Artifact::new(
+                        "feature_gen",
+                        &preset,
+                        &letters,
+                        artifacts::encode_feature_set(&features[i]),
+                    );
+                    let _ = store.put(&artifact, rec);
+                }
+            }
+
+            let base_node_s: f64 = durations.iter().sum();
+            // Failed attempts burn real node time; charge them separately so
+            // the rerun lane's cost is visible in the ledger.
+            let dur_of: std::collections::HashMap<&str, f64> = specs
+                .iter()
+                .zip(&durations)
+                .map(|(s, &d)| (s.id.as_str(), d))
+                .collect();
+            let retry_node_s: f64 = sim
+                .records
+                .iter()
+                .filter(|r| r.attempts > 1)
+                .map(|r| {
+                    f64::from(r.attempts - 1)
+                        * dur_of.get(r.task_id.as_str()).copied().unwrap_or(0.0)
+                })
+                .sum();
+
+            let walltime_s = replication_s + sim.makespan;
             ctx.ledger
-                .charge(Machine::Andes, "feature_gen_retries", retry_node_s);
-        }
-        if rec.is_enabled() {
-            rec.gauge("feature/io_slowdown", slowdown);
-            rec.gauge("feature/replication_s", replication_s);
-        }
-        rec.advance_clock_to(t0 + walltime_s);
-        rec.span_end(span);
-        Report {
-            features,
-            node_hours: (base_node_s + retry_node_s) / 3600.0,
-            walltime_s,
-            replication_s,
-            io_slowdown: slowdown,
-            sim,
+                .charge(Machine::Andes, "feature_gen", base_node_s);
+            if retry_node_s > 0.0 {
+                ctx.ledger
+                    .charge(Machine::Andes, "feature_gen_retries", retry_node_s);
+            }
+            if rec.is_enabled() {
+                rec.gauge("feature/io_slowdown", slowdown);
+                rec.gauge("feature/replication_s", replication_s);
+            }
+            rec.advance_clock_to(t0 + walltime_s);
+            rec.span_end(span);
+            Report {
+                features,
+                node_hours: (base_node_s + retry_node_s) / 3600.0,
+                walltime_s,
+                replication_s,
+                io_slowdown: slowdown,
+                sim,
+                cache,
+            }
         }
     }
 }
@@ -280,6 +444,16 @@ pub mod inference {
         }
     }
 
+    /// The stage's borrowed input: targets plus their (parallel)
+    /// feature sets from stage 1.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Input<'i> {
+        /// Targets to predict.
+        pub entries: &'i [ProteinEntry],
+        /// Feature sets, parallel to `entries`.
+        pub features: &'i [FeatureSet],
+    }
+
     /// An OOM failure record.
     #[derive(Debug, Clone)]
     pub struct Failure {
@@ -298,8 +472,8 @@ pub mod inference {
         pub results: Vec<(usize, TargetResult)>,
         /// OOM failures.
         pub failures: Vec<Failure>,
-        /// Dataflow batch outcome (per-task records, makespan,
-        /// quarantine tail).
+        /// Dataflow batch outcome over the *computed* predictions
+        /// (cache hits never enter the batch).
         pub sim: BatchOutcome<()>,
         /// Wall-clock (seconds) = simulated makespan, quarantine rerun
         /// included.
@@ -308,145 +482,196 @@ pub mod inference {
         pub node_hours: f64,
         /// Fraction of the wall-clock spent on dispatch overhead.
         pub overhead_fraction: f64,
+        /// Store lookup outcomes. Inference caches only under
+        /// statistical fidelity; with no store attached (or geometric
+        /// fidelity) this stays all-miss and nothing is recorded.
+        pub cache: CacheSummary,
     }
 
-    /// Run the stage, recording a `stage:inference` span, an `inference`
-    /// batch span with per-task events (and an `inference:quarantine`
-    /// child span when OOM targets re-ran on the high-memory lane),
-    /// per-model recycle/GPU-time telemetry from the engine, and
-    /// `inference/oom_failures` / `inference/oom_rescued` counters.
-    #[must_use]
-    pub fn run(
-        entries: &[ProteinEntry],
-        features: &[FeatureSet],
-        cfg: &Config,
-        ctx: StageCtx<'_>,
-    ) -> Report {
-        // sfcheck::allow(panic-hygiene, caller contract; features are generated one per entry upstream)
-        assert_eq!(entries.len(), features.len(), "entries/features mismatch");
-        let rec = ctx.recorder;
-        let span = rec.span_start("stage:inference");
-        let engine = InferenceEngine::new(cfg.preset, cfg.fidelity);
-        let rescue_engine = engine.on_high_mem_nodes();
+    impl Stage for Config {
+        type Input<'i> = Input<'i>;
+        type Output = Report;
 
-        let mut results = Vec::new();
-        let mut failures = Vec::new();
-        let mut specs: Vec<TaskSpec> = Vec::new();
-        let mut durations: Vec<f64> = Vec::new();
-        let mut faults: Vec<TaskFault> = Vec::new();
+        fn id(&self) -> &'static str {
+            "inference"
+        }
 
-        for (i, (entry, feats)) in entries.iter().zip(features).enumerate() {
-            match engine.predict_target_traced(entry, feats, rec) {
-                Ok(result) => {
-                    for p in &result.predictions {
-                        specs.push(TaskSpec::new(
-                            format!("{}/{}", entry.sequence.id, p.model),
-                            entry.sequence.len() as f64,
-                        ));
-                        durations.push(p.gpu_seconds);
+        /// Run the stage, recording a `stage:inference` span, an
+        /// `inference` batch span with per-task events (and an
+        /// `inference:quarantine` child span when OOM targets re-ran on
+        /// the high-memory lane), per-model recycle/GPU-time telemetry
+        /// from the engine, and `inference/oom_failures` /
+        /// `inference/oom_rescued` counters.
+        ///
+        /// With a store attached and statistical fidelity, each target
+        /// is looked up by `(inference, preset, letters|feature
+        /// fingerprint)` first — so predictions made from different
+        /// (e.g. near-hit-discounted) features address different
+        /// artifacts — and hits skip the engine and the batch entirely.
+        fn run(&self, input: Self::Input<'_>, ctx: StageCtx<'_>) -> Report {
+            let cfg = self;
+            let Input { entries, features } = input;
+            // sfcheck::allow(panic-hygiene, caller contract; features are generated one per entry upstream)
+            assert_eq!(entries.len(), features.len(), "entries/features mismatch");
+            let rec = ctx.recorder;
+            let span = rec.span_start("stage:inference");
+            let engine = InferenceEngine::new(cfg.preset, cfg.fidelity);
+            let rescue_engine = engine.on_high_mem_nodes();
+            // Geometric runs carry full structures; only the statistical
+            // path (the production proteome configuration) caches.
+            let store = ctx.store.filter(|_| cfg.fidelity == Fidelity::Statistical);
+            let preset = format!("{:?}", cfg.preset);
+
+            let mut cache = CacheSummary::default();
+            let mut results = Vec::new();
+            let mut failures = Vec::new();
+            let mut specs: Vec<TaskSpec> = Vec::new();
+            let mut durations: Vec<f64> = Vec::new();
+            let mut faults: Vec<TaskFault> = Vec::new();
+
+            for (i, (entry, feats)) in entries.iter().zip(features).enumerate() {
+                let content = artifacts::content_with_fingerprint(
+                    &entry.sequence.to_letters(),
+                    Some(&artifacts::feature_fingerprint(feats)),
+                );
+                if let Some(store) = store {
+                    let key = StoreKey::derive("inference", &preset, &content);
+                    if let Some(result) = store
+                        .get(key, rec)
+                        .and_then(|a| artifacts::decode_target_result(&a.payload))
+                    {
+                        cache.hits += 1;
+                        results.push((i, result));
+                        continue;
                     }
-                    results.push((i, result));
+                    cache.misses += 1;
                 }
-                Err(error) => {
-                    if rec.is_enabled() {
-                        rec.add("inference/oom_failures", 1.0);
+                let cache_result = |result: &TargetResult| {
+                    if let Some(store) = store {
+                        let artifact = Artifact::new(
+                            "inference",
+                            &preset,
+                            &content,
+                            artifacts::encode_target_result(result),
+                        );
+                        let _ = store.put(&artifact, rec);
                     }
-                    let rescued = if cfg.rescue_on_high_mem {
-                        match rescue_engine.predict_target_traced(entry, feats, rec) {
-                            Ok(result) => {
-                                // The target's tasks enter the same batch
-                                // carrying OOM-shaped faults: they burn
-                                // their standard-lane attempts and
-                                // complete in the quarantine rerun pass.
-                                for p in &result.predictions {
-                                    let id = format!("{}/{}", entry.sequence.id, p.model);
-                                    faults.push(TaskFault::oom(id.clone()));
-                                    specs.push(TaskSpec::new(id, entry.sequence.len() as f64));
-                                    durations.push(p.gpu_seconds);
-                                }
-                                results.push((i, result));
-                                if rec.is_enabled() {
-                                    rec.add("inference/oom_rescued", 1.0);
-                                }
-                                true
-                            }
-                            Err(_) => false,
+                };
+                match engine.predict_target_traced(entry, feats, rec) {
+                    Ok(result) => {
+                        for p in &result.predictions {
+                            specs.push(TaskSpec::new(
+                                format!("{}/{}", entry.sequence.id, p.model),
+                                entry.sequence.len() as f64,
+                            ));
+                            durations.push(p.gpu_seconds);
                         }
-                    } else {
-                        false
-                    };
-                    failures.push(Failure {
-                        entry_index: i,
-                        error,
-                        rescued,
-                    });
+                        cache_result(&result);
+                        results.push((i, result));
+                    }
+                    Err(error) => {
+                        if rec.is_enabled() {
+                            rec.add("inference/oom_failures", 1.0);
+                        }
+                        let rescued = if cfg.rescue_on_high_mem {
+                            match rescue_engine.predict_target_traced(entry, feats, rec) {
+                                Ok(result) => {
+                                    // The target's tasks enter the same batch
+                                    // carrying OOM-shaped faults: they burn
+                                    // their standard-lane attempts and
+                                    // complete in the quarantine rerun pass.
+                                    for p in &result.predictions {
+                                        let id = format!("{}/{}", entry.sequence.id, p.model);
+                                        faults.push(TaskFault::oom(id.clone()));
+                                        specs.push(TaskSpec::new(id, entry.sequence.len() as f64));
+                                        durations.push(p.gpu_seconds);
+                                    }
+                                    cache_result(&result);
+                                    results.push((i, result));
+                                    if rec.is_enabled() {
+                                        rec.add("inference/oom_rescued", 1.0);
+                                    }
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        } else {
+                            false
+                        };
+                        failures.push(Failure {
+                            entry_index: i,
+                            error,
+                            rescued,
+                        });
+                    }
                 }
             }
-        }
 
-        let workers = (cfg.nodes * WORKERS_PER_NODE) as usize;
-        let mut batch = Batch::new(&specs)
-            .workers(workers)
-            .policy(cfg.policy)
-            .durations(&durations)
-            .retry(cfg.retry)
-            .task_faults(&faults)
-            .recorder(rec)
-            .label("inference");
-        if cfg.rescue_on_high_mem {
-            batch = batch.quarantine((cfg.highmem_nodes.max(1) * WORKERS_PER_NODE) as usize);
-        }
-        if let Some(budget) = cfg.walltime_budget_s {
-            batch = batch.deadline(budget);
-        }
-        if let Some(factor) = cfg.speculation {
-            batch = batch.speculation(Some(factor));
-        }
-        if let Some(every) = cfg.progress_every {
-            batch = batch.progress(every);
-        }
-        let sim = batch
-            .run(&VirtualExecutor::new(TASK_OVERHEAD_S))
-            // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
-            .expect("inference batch is well-formed");
-        let walltime_s = sim.makespan;
-        let quarantine_s = sim.quarantine_makespan;
-        // Dispatch overhead as a share of the delivered node time — the
-        // quantity Table 1's footnote reports ("includes overhead, which
-        // is about 16% of the total time in the super preset run").
-        let overhead_fraction = if walltime_s > 0.0 {
-            specs.len() as f64 * TASK_OVERHEAD_S / (walltime_s * workers as f64)
-        } else {
-            0.0
-        };
-        // The standard allocation drains before the quarantine lane
-        // starts, so its charge stops there; the rerun tail bills the
-        // small high-memory allocation instead.
-        ctx.ledger.charge_job(
-            Machine::Summit,
-            "inference",
-            cfg.nodes,
-            walltime_s - quarantine_s,
-        );
-        if quarantine_s > 0.0 {
+            let workers = (cfg.nodes * WORKERS_PER_NODE) as usize;
+            let mut batch = Batch::new(&specs)
+                .workers(workers)
+                .policy(cfg.policy)
+                .durations(&durations)
+                .retry(cfg.retry)
+                .task_faults(&faults)
+                .recorder(rec)
+                .label("inference");
+            if cfg.rescue_on_high_mem {
+                batch = batch.quarantine((cfg.highmem_nodes.max(1) * WORKERS_PER_NODE) as usize);
+            }
+            if let Some(budget) = cfg.walltime_budget_s {
+                batch = batch.deadline(budget);
+            }
+            if let Some(factor) = cfg.speculation {
+                batch = batch.speculation(Some(factor));
+            }
+            if let Some(every) = cfg.progress_every {
+                batch = batch.progress(every);
+            }
+            let sim = batch
+                .run(&VirtualExecutor::new(TASK_OVERHEAD_S))
+                // sfcheck::allow(panic-hygiene, cfg.nodes >= 1 and specs/durations are built pairwise above)
+                .expect("inference batch is well-formed");
+            let walltime_s = sim.makespan;
+            let quarantine_s = sim.quarantine_makespan;
+            // Dispatch overhead as a share of the delivered node time — the
+            // quantity Table 1's footnote reports ("includes overhead, which
+            // is about 16% of the total time in the super preset run").
+            let overhead_fraction = if walltime_s > 0.0 {
+                specs.len() as f64 * TASK_OVERHEAD_S / (walltime_s * workers as f64)
+            } else {
+                0.0
+            };
+            // The standard allocation drains before the quarantine lane
+            // starts, so its charge stops there; the rerun tail bills the
+            // small high-memory allocation instead.
             ctx.ledger.charge_job(
                 Machine::Summit,
-                "inference_highmem",
-                cfg.highmem_nodes.max(1),
-                quarantine_s,
+                "inference",
+                cfg.nodes,
+                walltime_s - quarantine_s,
             );
-        }
-        let node_hours = (f64::from(cfg.nodes) * (walltime_s - quarantine_s)
-            + f64::from(cfg.highmem_nodes.max(1)) * quarantine_s)
-            / 3600.0;
-        rec.span_end(span);
-        Report {
-            results,
-            failures,
-            sim,
-            walltime_s,
-            node_hours,
-            overhead_fraction,
+            if quarantine_s > 0.0 {
+                ctx.ledger.charge_job(
+                    Machine::Summit,
+                    "inference_highmem",
+                    cfg.highmem_nodes.max(1),
+                    quarantine_s,
+                );
+            }
+            let node_hours = (f64::from(cfg.nodes) * (walltime_s - quarantine_s)
+                + f64::from(cfg.highmem_nodes.max(1)) * quarantine_s)
+                / 3600.0;
+            rec.span_end(span);
+            Report {
+                results,
+                failures,
+                sim,
+                walltime_s,
+                node_hours,
+                overhead_fraction,
+                cache,
+            }
         }
     }
 }
@@ -499,59 +724,128 @@ pub mod relax_stage {
     /// Stage report.
     #[derive(Debug, Clone)]
     pub struct Report {
-        /// Per-structure relaxation outcomes (input order).
+        /// Per-structure relaxation outcomes (input order, cache-served
+        /// and computed alike).
         pub outcomes: Vec<RelaxOutcome>,
-        /// Per-structure wall seconds on the configured platform.
+        /// Per-structure wall seconds on the configured platform (0 for
+        /// cache-served structures).
         pub task_seconds: Vec<f64>,
-        /// Dataflow batch outcome of the stage.
+        /// Dataflow batch outcome over the *computed* relaxations.
         pub sim: BatchOutcome<()>,
         /// Batch wall-clock (seconds).
         pub walltime_s: f64,
         /// Node-hours charged.
         pub node_hours: f64,
+        /// Store lookup outcomes (all-miss with no store attached).
+        pub cache: CacheSummary,
     }
 
-    /// Run the stage over unrelaxed structures, recording a
-    /// `stage:relaxation` span, a `relaxation` batch span with per-task
-    /// events, and the per-structure protocol telemetry from
-    /// [`relax_traced`] (iterations, rounds, checks).
-    #[must_use]
-    pub fn run(structures: &[Structure], cfg: &Config, ctx: StageCtx<'_>) -> Report {
-        let rec = ctx.recorder;
-        let span = rec.span_start("stage:relaxation");
-        let outcomes: Vec<RelaxOutcome> = structures
-            .iter()
-            .map(|s| relax_traced(s, cfg.protocol, rec))
-            .collect();
-        let task_seconds: Vec<f64> = outcomes
-            .iter()
-            .zip(structures)
-            .map(|(o, s)| wall_seconds(o, s.heavy_atoms(), cfg.method))
-            .collect();
-        let specs: Vec<TaskSpec> = structures
-            .iter()
-            .map(|s| TaskSpec::new(s.id.clone(), s.len() as f64))
-            .collect();
-        let sim = Batch::new(&specs)
-            .workers(cfg.workers())
-            .policy(OrderingPolicy::LongestFirst)
-            .durations(&task_seconds)
-            .recorder(rec)
-            .label("relaxation")
-            // Relaxation dispatch is light: no model loading.
-            .run(&VirtualExecutor::new(2.0))
-            // sfcheck::allow(panic-hygiene, cfg.workers() >= 1 and specs/durations are built pairwise above)
-            .expect("relaxation batch is well-formed");
-        let walltime_s = sim.makespan;
-        ctx.ledger
-            .charge_job(cfg.machine(), "relaxation", cfg.nodes, walltime_s);
-        rec.span_end(span);
-        Report {
-            outcomes,
-            task_seconds,
-            sim,
-            walltime_s,
-            node_hours: f64::from(cfg.nodes) * walltime_s / 3600.0,
+    impl Stage for Config {
+        type Input<'i> = &'i [Structure];
+        type Output = Report;
+
+        fn id(&self) -> &'static str {
+            "relaxation"
+        }
+
+        /// Run the stage over unrelaxed structures, recording a
+        /// `stage:relaxation` span, a `relaxation` batch span with
+        /// per-task events, and the per-structure protocol telemetry
+        /// from [`relax_traced`] (iterations, rounds, checks).
+        ///
+        /// With a store attached, each structure is looked up by
+        /// `(relaxation, protocol, letters|geometry fingerprint)` — the
+        /// fingerprint covers coordinates and pLDDT, so a re-predicted
+        /// structure with moved atoms misses — and hits skip both the
+        /// minimizer and the batch.
+        fn run(&self, structures: Self::Input<'_>, ctx: StageCtx<'_>) -> Report {
+            let cfg = self;
+            let rec = ctx.recorder;
+            let span = rec.span_start("stage:relaxation");
+            let preset = format!("{:?}", cfg.protocol);
+            let mut cache = CacheSummary::default();
+            let mut computed: Vec<bool> = Vec::with_capacity(structures.len());
+            let outcomes: Vec<RelaxOutcome> = structures
+                .iter()
+                .map(|s| {
+                    let content = ctx.store.map(|_| {
+                        artifacts::content_with_fingerprint(
+                            &s.residues.iter().map(|aa| aa.code()).collect::<String>(),
+                            Some(&artifacts::structure_fingerprint(s)),
+                        )
+                    });
+                    if let (Some(store), Some(content)) = (ctx.store, &content) {
+                        let key = StoreKey::derive("relaxation", &preset, content);
+                        if let Some(o) = store
+                            .get(key, rec)
+                            .and_then(|a| artifacts::decode_relax_outcome(&a.payload))
+                        {
+                            cache.hits += 1;
+                            computed.push(false);
+                            return o;
+                        }
+                        cache.misses += 1;
+                    }
+                    let o = relax_traced(s, cfg.protocol, rec);
+                    if let (Some(store), Some(content)) = (ctx.store, &content) {
+                        let artifact = Artifact::new(
+                            "relaxation",
+                            &preset,
+                            content,
+                            artifacts::encode_relax_outcome(&o),
+                        );
+                        let _ = store.put(&artifact, rec);
+                    }
+                    computed.push(true);
+                    o
+                })
+                .collect();
+            let task_seconds: Vec<f64> = outcomes
+                .iter()
+                .zip(structures)
+                .zip(&computed)
+                .map(|((o, s), &ran)| {
+                    if ran {
+                        wall_seconds(o, s.heavy_atoms(), cfg.method)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let specs: Vec<TaskSpec> = structures
+                .iter()
+                .zip(&computed)
+                .filter(|(_, &ran)| ran)
+                .map(|(s, _)| TaskSpec::new(s.id.clone(), s.len() as f64))
+                .collect();
+            let durations: Vec<f64> = task_seconds
+                .iter()
+                .zip(&computed)
+                .filter(|(_, &ran)| ran)
+                .map(|(&d, _)| d)
+                .collect();
+            let sim = Batch::new(&specs)
+                .workers(cfg.workers())
+                .policy(OrderingPolicy::LongestFirst)
+                .durations(&durations)
+                .recorder(rec)
+                .label("relaxation")
+                // Relaxation dispatch is light: no model loading.
+                .run(&VirtualExecutor::new(2.0))
+                // sfcheck::allow(panic-hygiene, cfg.workers() >= 1 and specs/durations are built pairwise above)
+                .expect("relaxation batch is well-formed");
+            let walltime_s = sim.makespan;
+            ctx.ledger
+                .charge_job(cfg.machine(), "relaxation", cfg.nodes, walltime_s);
+            rec.span_end(span);
+            Report {
+                outcomes,
+                task_seconds,
+                sim,
+                walltime_s,
+                node_hours: f64::from(cfg.nodes) * walltime_s / 3600.0,
+                cache,
+            }
         }
     }
 }
@@ -565,21 +859,29 @@ mod tests {
         Proteome::generate_scaled(Species::DVulgaris, scale).proteins
     }
 
+    fn scratch_store(tag: &str) -> (std::path::PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!(
+            "summitfold-stages-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("scratch store opens");
+        (dir, store)
+    }
+
     #[test]
     fn feature_stage_charges_andes() {
         let entries = sample_entries(0.01);
         let mut ledger = Ledger::new();
-        let report = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut ledger),
-        );
+        let report =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger));
         assert_eq!(report.features.len(), entries.len());
         assert_eq!(report.sim.records.len(), entries.len());
         assert!(report.node_hours > 0.0);
         assert!(ledger.node_hours(Machine::Andes) > 0.0);
         assert_eq!(ledger.node_hours(Machine::Summit), 0.0);
         assert!(report.io_slowdown >= 1.0);
+        assert_eq!(report.cache, CacheSummary::default(), "no store, no cache");
     }
 
     #[test]
@@ -587,19 +889,12 @@ mod tests {
         let entries = sample_entries(0.01);
         let mut l1 = Ledger::new();
         let mut l2 = Ledger::new();
-        let reduced = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut l1),
-        );
-        let full = feature::run(
-            &entries,
-            &feature::Config {
-                db_set: DbSet::Full,
-                ..feature::Config::paper_default()
-            },
-            StageCtx::new(&mut l2),
-        );
+        let reduced = feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut l1));
+        let full = feature::Config {
+            db_set: DbSet::Full,
+            ..feature::Config::paper_default()
+        }
+        .run(&entries, StageCtx::for_ledger(&mut l2));
         assert!(full.node_hours > reduced.node_hours * 1.5);
     }
 
@@ -612,7 +907,7 @@ mod tests {
             ..feature::Config::paper_default()
         };
         let mut ledger = Ledger::new();
-        let flaky = feature::run(&entries, &cfg, StageCtx::new(&mut ledger));
+        let flaky = cfg.run(&entries, StageCtx::for_ledger(&mut ledger));
         assert!(flaky.sim.retries() > 0, "some scans should have retried");
         let retried = flaky.sim.records.iter().filter(|r| r.attempts == 2).count();
         assert_eq!(flaky.sim.retries(), retried, "each flaky scan fails once");
@@ -627,14 +922,11 @@ mod tests {
         );
         // Fault-free run of the same config costs strictly less.
         let mut l2 = Ledger::new();
-        let clean = feature::run(
-            &entries,
-            &feature::Config {
-                flaky_per_mille: 0,
-                ..cfg
-            },
-            StageCtx::new(&mut l2),
-        );
+        let clean = feature::Config {
+            flaky_per_mille: 0,
+            ..cfg
+        }
+        .run(&entries, StageCtx::for_ledger(&mut l2));
         assert!(flaky.node_hours > clean.node_hours);
         assert!(flaky.walltime_s >= clean.walltime_s);
     }
@@ -643,16 +935,14 @@ mod tests {
     fn inference_stage_produces_results_and_charges_summit() {
         let entries = sample_entries(0.01);
         let mut ledger = Ledger::new();
-        let features = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut ledger),
-        );
-        let report = inference::run(
-            &entries,
-            &features.features,
-            &inference::Config::benchmark(Preset::Genome),
-            StageCtx::new(&mut ledger),
+        let features =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger));
+        let report = inference::Config::benchmark(Preset::Genome).run(
+            inference::Input {
+                entries: &entries,
+                features: &features.features,
+            },
+            StageCtx::for_ledger(&mut ledger),
         );
         assert_eq!(report.results.len() + report.failures.len(), entries.len());
         assert!(report.walltime_s > 0.0);
@@ -667,18 +957,14 @@ mod tests {
     fn casp14_fails_long_targets_and_high_mem_rescues() {
         let entries = sample_entries(0.25); // enough for some long tails
         let mut ledger = Ledger::new();
-        let features = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut ledger),
-        );
+        let features =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger));
         let cfg = inference::Config::benchmark(Preset::Casp14);
-        let report = inference::run(
-            &entries,
-            &features.features,
-            &cfg,
-            StageCtx::new(&mut ledger),
-        );
+        let input = inference::Input {
+            entries: &entries,
+            features: &features.features,
+        };
+        let report = cfg.run(input, StageCtx::for_ledger(&mut ledger));
         // If any target is long enough, it fails; rescue turned off here.
         for f in &report.failures {
             assert!(!f.rescued);
@@ -695,12 +981,7 @@ mod tests {
             ..cfg
         };
         let mut ledger2 = Ledger::new();
-        let report2 = inference::run(
-            &entries,
-            &features.features,
-            &cfg,
-            StageCtx::new(&mut ledger2),
-        );
+        let report2 = cfg.run(input, StageCtx::for_ledger(&mut ledger2));
         assert_eq!(
             report2.results.len(),
             entries.len(),
@@ -744,11 +1025,8 @@ mod tests {
             })
             .collect();
         let mut ledger = Ledger::new();
-        let report = relax_stage::run(
-            &structures,
-            &relax_stage::Config::paper_default(),
-            StageCtx::new(&mut ledger),
-        );
+        let report = relax_stage::Config::paper_default()
+            .run(&structures, StageCtx::for_ledger(&mut ledger));
         assert_eq!(report.outcomes.len(), structures.len());
         for o in &report.outcomes {
             assert_eq!(o.final_violations.clashes, 0, "clashes removed");
@@ -763,16 +1041,14 @@ mod tests {
         let entries = sample_entries(0.01);
         let mut ledger = Ledger::new();
         let rec = Recorder::virtual_time();
-        let feats = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::traced(&mut ledger, &rec),
-        );
-        let inf = inference::run(
-            &entries,
-            &feats.features,
-            &inference::Config::benchmark(Preset::Genome),
-            StageCtx::traced(&mut ledger, &rec),
+        let feats = feature::Config::paper_default()
+            .run(&entries, StageCtx::for_ledger(&mut ledger).recorder(&rec));
+        let inf = inference::Config::benchmark(Preset::Genome).run(
+            inference::Input {
+                entries: &entries,
+                features: &feats.features,
+            },
+            StageCtx::for_ledger(&mut ledger).recorder(&rec),
         );
         let trace = Trace::from_events(rec.events());
         let spans = trace.spans();
@@ -808,11 +1084,8 @@ mod tests {
         // The same stages run with a disabled recorder produce nothing
         // and the identical report.
         let mut ledger2 = Ledger::new();
-        let quiet = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut ledger2),
-        );
+        let quiet =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger2));
         assert_eq!(quiet.walltime_s, feats.walltime_s);
     }
 
@@ -821,18 +1094,14 @@ mod tests {
         use summitfold_dataflow::BatchStatus;
         let entries = sample_entries(0.02);
         let mut ledger = Ledger::new();
-        let features = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut ledger),
-        );
+        let features =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger));
+        let input = inference::Input {
+            entries: &entries,
+            features: &features.features,
+        };
         let base = inference::Config::benchmark(Preset::Genome);
-        let full = inference::run(
-            &entries,
-            &features.features,
-            &base,
-            StageCtx::new(&mut ledger),
-        );
+        let full = base.run(input, StageCtx::for_ledger(&mut ledger));
         assert_eq!(full.sim.status, BatchStatus::Complete);
 
         // Half the uninterrupted walltime: the batch must cut early and
@@ -842,7 +1111,7 @@ mod tests {
             ..base
         };
         let mut l2 = Ledger::new();
-        let cut = inference::run(&entries, &features.features, &cfg, StageCtx::new(&mut l2));
+        let cut = cfg.run(input, StageCtx::for_ledger(&mut l2));
         assert!(cut.sim.status.is_partial(), "half the walltime must cut");
         let carried = cut.sim.status.carried_over();
         assert!(!carried.is_empty());
@@ -875,21 +1144,194 @@ mod tests {
     fn inference_overhead_fraction_is_sane() {
         let entries = sample_entries(0.02);
         let mut ledger = Ledger::new();
-        let features = feature::run(
-            &entries,
-            &feature::Config::paper_default(),
-            StageCtx::new(&mut ledger),
-        );
-        let report = inference::run(
-            &entries,
-            &features.features,
-            &inference::Config::benchmark(Preset::Super),
-            StageCtx::new(&mut ledger),
+        let features =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger));
+        let report = inference::Config::benchmark(Preset::Super).run(
+            inference::Input {
+                entries: &entries,
+                features: &features.features,
+            },
+            StageCtx::for_ledger(&mut ledger),
         );
         assert!(
             report.overhead_fraction > 0.005 && report.overhead_fraction < 0.6,
             "overhead {}",
             report.overhead_fraction
         );
+    }
+
+    #[test]
+    fn warm_feature_rerun_hits_everything_and_charges_nothing() {
+        let entries = sample_entries(0.02);
+        let cfg = feature::Config::paper_default();
+        let (dir, store) = scratch_store("feature-warm");
+
+        let mut cold_ledger = Ledger::new();
+        let cold = cfg.run(
+            &entries,
+            StageCtx::for_ledger(&mut cold_ledger).store(&store),
+        );
+        assert_eq!(cold.cache.misses, entries.len(), "cold store: all misses");
+        assert!(cold.node_hours > 0.0);
+
+        let mut warm_ledger = Ledger::new();
+        let warm = cfg.run(
+            &entries,
+            StageCtx::for_ledger(&mut warm_ledger).store(&store),
+        );
+        assert_eq!(warm.cache.hits, entries.len(), "warm store: all hits");
+        assert!(warm.cache.all_hit());
+        assert_eq!(warm.node_hours, 0.0, "hits charge nothing");
+        assert_eq!(warm.replication_s, 0.0, "no scan, no replication");
+        assert!(warm.walltime_s < cold.walltime_s);
+        assert_eq!(ledger_total(&warm_ledger), 0.0);
+        // Cached features are bit-identical to the computed ones.
+        for (w, c) in warm.features.iter().zip(&cold.features) {
+            assert_eq!(w.target_id, c.target_id);
+            assert_eq!(w.richness.to_bits(), c.richness.to_bits());
+            assert_eq!(w.neff.to_bits(), c.neff.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn ledger_total(l: &Ledger) -> f64 {
+        l.node_hours(Machine::Andes)
+            + l.node_hours(Machine::Summit)
+            + l.node_hours(Machine::Phoenix)
+    }
+
+    #[test]
+    fn near_duplicate_target_reuses_features_at_a_discount() {
+        use summitfold_protein::rng::Xoshiro256;
+        use summitfold_protein::seq::Sequence;
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let base = Sequence::random("base", 180, &mut rng);
+        let near = base.mutated("near", 0.02, &mut rng);
+        let mk = |s: &Sequence| ProteinEntry {
+            sequence: s.clone(),
+            hypothetical: false,
+            origin: summitfold_protein::proteome::Origin::Orphan,
+            msa_richness: 0.6,
+        };
+        let cfg = feature::Config::paper_default();
+        let (dir, store) = scratch_store("feature-near");
+
+        let mut l1 = Ledger::new();
+        let cold = cfg.run(
+            std::slice::from_ref(&mk(&base)),
+            StageCtx::for_ledger(&mut l1).store(&store),
+        );
+        let mut l2 = Ledger::new();
+        let rerun = cfg.run(
+            std::slice::from_ref(&mk(&near)),
+            StageCtx::for_ledger(&mut l2).store(&store),
+        );
+        assert_eq!(rerun.cache.near_hits, 1, "98%-identical target near-hits");
+        assert_eq!(rerun.node_hours, 0.0, "near hit skips the scan");
+        let f = &rerun.features[0];
+        assert_eq!(f.target_id, "near");
+        assert!(
+            f.richness < cold.features[0].richness,
+            "reused MSA carries a quality discount"
+        );
+        assert!(f.richness > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_inference_rerun_hits_and_matches_cold_results() {
+        let entries = sample_entries(0.01);
+        let mut ledger = Ledger::new();
+        let features =
+            feature::Config::paper_default().run(&entries, StageCtx::for_ledger(&mut ledger));
+        let cfg = inference::Config::benchmark(Preset::Genome);
+        let input = inference::Input {
+            entries: &entries,
+            features: &features.features,
+        };
+        let (dir, store) = scratch_store("inference-warm");
+
+        let mut l1 = Ledger::new();
+        let cold = cfg.run(input, StageCtx::for_ledger(&mut l1).store(&store));
+        assert_eq!(cold.cache.misses, cold.results.len() + cold.failures.len());
+
+        let mut l2 = Ledger::new();
+        let warm = cfg.run(input, StageCtx::for_ledger(&mut l2).store(&store));
+        assert!(warm.cache.all_hit(), "warm rerun must be all hits");
+        assert_eq!(warm.results.len(), cold.results.len());
+        assert_eq!(warm.node_hours, 0.0);
+        assert!(warm.walltime_s < cold.walltime_s);
+        for ((wi, w), (ci, c)) in warm.results.iter().zip(&cold.results) {
+            assert_eq!(wi, ci);
+            assert_eq!(w.top_index, c.top_index);
+            assert_eq!(
+                w.top().ptms.to_bits(),
+                c.top().ptms.to_bits(),
+                "cached predictions are bit-identical"
+            );
+        }
+
+        // Changed features (a different fingerprint) must miss.
+        let mut bumped = features.features.clone();
+        for f in &mut bumped {
+            f.richness = (f.richness * 0.5).max(0.01);
+        }
+        let mut l3 = Ledger::new();
+        let changed = cfg.run(
+            inference::Input {
+                entries: &entries,
+                features: &bumped,
+            },
+            StageCtx::for_ledger(&mut l3).store(&store),
+        );
+        assert_eq!(
+            changed.cache.hits, 0,
+            "different features address different artifacts"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_relax_rerun_hits_and_matches_cold_outcomes() {
+        use summitfold_inference::engine::InferenceEngine;
+        let entries = sample_entries(0.005);
+        let engine = InferenceEngine::new(Preset::ReducedDbs, Fidelity::Geometric);
+        let structures: Vec<Structure> = entries
+            .iter()
+            .map(|e| {
+                let f = FeatureSet::synthetic(e);
+                engine
+                    .predict(e, &f, summitfold_inference::ModelId(1))
+                    .unwrap()
+                    .structure
+                    .unwrap()
+            })
+            .collect();
+        let cfg = relax_stage::Config::paper_default();
+        let (dir, store) = scratch_store("relax-warm");
+
+        let mut l1 = Ledger::new();
+        let cold = cfg.run(&structures, StageCtx::for_ledger(&mut l1).store(&store));
+        assert_eq!(cold.cache.misses, structures.len());
+
+        let mut l2 = Ledger::new();
+        let warm = cfg.run(&structures, StageCtx::for_ledger(&mut l2).store(&store));
+        assert!(warm.cache.all_hit());
+        assert_eq!(warm.node_hours, 0.0);
+        assert!(warm.walltime_s < cold.walltime_s);
+        for (w, c) in warm.outcomes.iter().zip(&cold.outcomes) {
+            assert_eq!(w.structure, c.structure, "cached structure bit-identical");
+            assert_eq!(w.total_iterations, c.total_iterations);
+            assert_eq!(w.energy_final.to_bits(), c.energy_final.to_bits());
+        }
+
+        // Perturbed coordinates miss (geometry is in the key).
+        let mut moved = structures.clone();
+        moved[0].ca[0].x += 0.25;
+        let mut l3 = Ledger::new();
+        let re = cfg.run(&moved, StageCtx::for_ledger(&mut l3).store(&store));
+        assert_eq!(re.cache.misses, 1);
+        assert_eq!(re.cache.hits, structures.len() - 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

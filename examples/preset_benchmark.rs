@@ -13,7 +13,7 @@ use summitfold::dataflow::OrderingPolicy;
 use summitfold::hpc::Ledger;
 use summitfold::inference::Preset;
 use summitfold::msa::FeatureSet;
-use summitfold::pipeline::stages::{inference, StageCtx};
+use summitfold::pipeline::stages::{inference, Stage as _, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::stats;
 
@@ -44,7 +44,13 @@ fn main() {
             policy: OrderingPolicy::LongestFirst,
             ..inference::Config::benchmark(preset)
         };
-        let report = inference::run(&entries, &features, &cfg, StageCtx::new(&mut ledger));
+        let report = cfg.run(
+            inference::Input {
+                entries: &entries,
+                features: &features,
+            },
+            StageCtx::for_ledger(&mut ledger),
+        );
         let plddt: Vec<f64> = report
             .results
             .iter()

@@ -16,7 +16,7 @@ use summitfold::hpc::jsrun::DaskBatchScript;
 use summitfold::hpc::machine::Machine;
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
-use summitfold::pipeline::stages::{feature, inference, StageCtx};
+use summitfold::pipeline::stages::{feature, inference, Stage as _, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
 
     // Stage 1: feature generation on Andes.
     let feat_cfg = feature::Config::paper_default();
-    let feat = feature::run(&proteome.proteins, &feat_cfg, StageCtx::new(&mut ledger));
+    let feat = feat_cfg.run(&proteome.proteins, StageCtx::for_ledger(&mut ledger));
     println!(
         "\n[1] feature generation: {:.1} node-h on Andes ({:.1} h wall, I/O slowdown {:.2}x, \
          replication {:.0} s)",
@@ -64,11 +64,12 @@ fn main() {
     for line in script.render().lines() {
         println!("    {line}");
     }
-    let inf = inference::run(
-        &proteome.proteins,
-        &feat.features,
-        &inf_cfg,
-        StageCtx::new(&mut ledger),
+    let inf = inf_cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &feat.features,
+        },
+        StageCtx::for_ledger(&mut ledger),
     );
     println!(
         "    -> {} targets ({} rescued on high-mem nodes), {:.1} h wall, {:.1} node-h, \

@@ -39,6 +39,13 @@ echo "==> service suite (multi-tenant queue, fair share, quotas, live drain)"
 # filtered test invocation can never skip it silently.
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test service
 
+echo "==> store suite (key determinism, warm reruns, torn-write recovery)"
+# The result store is the warm-rerun contract: content-addressed keys
+# must be stable across runs, a resubmitted campaign must hit 100 %, and
+# both executors must record identical cache counters. Run it by name so
+# a filtered test invocation can never skip it silently.
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test store
+
 echo "==> sfcheck"
 cargo run -q --release -p summitfold-analysis --bin sfcheck
 
@@ -116,6 +123,25 @@ if [ "$real_service" != "$sim_service" ]; then
     exit 1
 fi
 
+echo "==> cache counter single-source (store records cache/*, nothing else does)"
+# The cache/{hit,miss,near_hit,put,evicted} counters keep executor parity
+# by construction: every backend reaches the one recording site inside
+# the store. sfcheck's metric-ownership extension polices this lexically;
+# this grep is the belt-and-braces gate that also fails if the config's
+# owner list is edited. Test modules may assert on the literals.
+rogue=$(grep -rn \
+    -e '\.add("cache/' -e '\.gauge("cache/' \
+    -e '\.gauge_at("cache/' -e '\.observe("cache/' \
+    crates/*/src src --include='*.rs' 2>/dev/null \
+    | grep -v '^crates/store/src/lib.rs:' \
+    | grep -v '^crates/analysis/src/' \
+    || true)
+if [ -n "$rogue" ]; then
+    echo "cache/* counters recorded outside crates/store/src/lib.rs:" >&2
+    echo "$rogue" >&2
+    exit 1
+fi
+
 echo "==> service health snapshot (archive next to bench-gate artifacts)"
 # The folding-service example runs the three-tenant session on the
 # virtual clock and emits per-tenant closing health snapshots; keep the
@@ -138,6 +164,25 @@ cargo run -q --release -p summitfold-bench --bin lens -- \
 if ! cmp -s target/bench-gate/BENCH_dataflow.json BENCH_dataflow.json; then
     echo "BENCH_dataflow.json is stale; regenerate with:" >&2
     echo "  cargo run --release -p summitfold-bench --bin repro -- fig2 --quick --emit-bench" >&2
+    exit 1
+fi
+
+echo "==> store regression gate (warm rerun vs committed baseline)"
+# The store experiment resubmits an identical campaign through the
+# folding service: the warm-rerun artifact must show a non-zero (in fact
+# 100 %) hit rate and a warm makespan below the cold one, and the
+# distilled BENCH_store.json must match the committed copy byte-for-byte
+# (all numbers are virtual-clock, so quick mode is byte-stable).
+cargo run -q --release -p summitfold-bench --bin repro -- \
+    store --quick --emit-bench --out target/bench-gate >/dev/null
+if ! grep -q '"hit_rate":1' target/bench-gate/BENCH_store.json; then
+    echo "warm rerun no longer hits 100 %:" >&2
+    cat target/bench-gate/BENCH_store.json >&2
+    exit 1
+fi
+if ! cmp -s target/bench-gate/BENCH_store.json BENCH_store.json; then
+    echo "BENCH_store.json is stale; regenerate with:" >&2
+    echo "  cargo run --release -p summitfold-bench --bin repro -- store --quick --emit-bench" >&2
     exit 1
 fi
 

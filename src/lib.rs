@@ -24,6 +24,7 @@
 //! | [`hpc`] | `summitfold-hpc` | machines, LSF, jsrun, filesystem, ledger |
 //! | [`pipeline`] | `summitfold-pipeline` | the three-stage pipeline + analyses |
 //! | [`obs`] | `summitfold-obs` | telemetry: spans, metrics, clocks, JSONL traces |
+//! | [`store`] | `summitfold-store` | content-addressed result store: warm reruns, near-duplicate reuse |
 //!
 //! ## Quickstart
 //!
@@ -49,4 +50,5 @@ pub use summitfold_obs as obs;
 pub use summitfold_pipeline as pipeline;
 pub use summitfold_protein as protein;
 pub use summitfold_relax as relax;
+pub use summitfold_store as store;
 pub use summitfold_structal as structal;

@@ -6,7 +6,7 @@ use summitfold::hpc::machine::Machine;
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
 use summitfold::msa::FeatureSet;
-use summitfold::pipeline::stages::{feature, inference, relax_stage, StageCtx};
+use summitfold::pipeline::stages::{feature, inference, relax_stage, Stage as _, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::structure::Structure;
 use summitfold::relax::protocol::Protocol;
@@ -19,11 +19,8 @@ fn three_stage_pipeline_end_to_end() {
     let mut ledger = Ledger::new();
 
     // Stage 1: features.
-    let feat = feature::run(
-        &proteome.proteins,
-        &feature::Config::paper_default(),
-        StageCtx::new(&mut ledger),
-    );
+    let feat =
+        feature::Config::paper_default().run(&proteome.proteins, StageCtx::for_ledger(&mut ledger));
     assert_eq!(feat.features.len(), proteome.len());
 
     // Stage 2: inference (geometric so stage 3 has real structures).
@@ -35,11 +32,12 @@ fn three_stage_pipeline_end_to_end() {
         rescue_on_high_mem: true,
         ..inference::Config::benchmark(Preset::Genome)
     };
-    let inf = inference::run(
-        &proteome.proteins,
-        &feat.features,
-        &inf_cfg,
-        StageCtx::new(&mut ledger),
+    let inf = inf_cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &feat.features,
+        },
+        StageCtx::for_ledger(&mut ledger),
     );
     assert_eq!(
         inf.results.len(),
@@ -63,11 +61,7 @@ fn three_stage_pipeline_end_to_end() {
     }
 
     // Stage 3: relaxation on Summit GPUs.
-    let relax = relax_stage::run(
-        &tops,
-        &relax_stage::Config::paper_default(),
-        StageCtx::new(&mut ledger),
-    );
+    let relax = relax_stage::Config::paper_default().run(&tops, StageCtx::for_ledger(&mut ledger));
     for outcome in &relax.outcomes {
         assert_eq!(outcome.final_violations.clashes, 0, "no clashes survive");
         assert!(outcome.energy_final <= outcome.energy_initial);
@@ -147,7 +141,8 @@ fn relax_stage_timing_scales_with_method() {
             method,
             nodes: 4,
         };
-        relax_stage::run(&structures, &cfg, StageCtx::new(&mut ledger)).walltime_s
+        cfg.run(&structures, StageCtx::for_ledger(&mut ledger))
+            .walltime_s
     };
     let gpu = run_with(Method::OptimizedGpuSummit);
     let cpu = run_with(Method::OptimizedCpuAndes);

@@ -8,7 +8,7 @@ use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
 use summitfold::hpc::Ledger;
 use summitfold::inference::{Fidelity, Preset};
 use summitfold::msa::FeatureSet;
-use summitfold::pipeline::stages::{inference, StageCtx};
+use summitfold::pipeline::stages::{inference, Stage as _, StageCtx};
 use summitfold::pipeline::{run_proteome_campaign, CampaignConfig};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::rng::Xoshiro256;
@@ -59,11 +59,12 @@ fn five_structures_per_sequence_and_ptms_ranking() {
         rescue_on_high_mem: true,
         ..inference::Config::benchmark(Preset::Genome)
     };
-    let report = inference::run(
-        &proteome.proteins,
-        &features,
-        &cfg,
-        StageCtx::new(&mut Ledger::new()),
+    let report = cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &features,
+        },
+        StageCtx::for_ledger(&mut Ledger::new()),
     );
     let structures: usize = report
         .results
@@ -86,11 +87,12 @@ fn preset_tradeoff_shape() {
         .collect();
     let features: Vec<_> = bench.iter().map(FeatureSet::synthetic).collect();
     let run = |preset| {
-        inference::run(
-            &bench,
-            &features,
-            &inference::Config::benchmark(preset),
-            StageCtx::new(&mut Ledger::new()),
+        inference::Config::benchmark(preset).run(
+            inference::Input {
+                entries: &bench,
+                features: &features,
+            },
+            StageCtx::for_ledger(&mut Ledger::new()),
         )
     };
     let reduced = run(Preset::ReducedDbs);

@@ -12,7 +12,7 @@ use summitfold::hpc::Ledger;
 use summitfold::inference::Preset;
 use summitfold::msa::FeatureSet;
 use summitfold::obs::{Recorder, Trace};
-use summitfold::pipeline::stages::{inference, StageCtx};
+use summitfold::pipeline::stages::{inference, Stage as _, StageCtx};
 use summitfold::protein::proteome::{Proteome, Species};
 use summitfold::protein::rng::Xoshiro256;
 
@@ -181,11 +181,12 @@ fn quarantine_rerun_is_charged_and_traced() {
 
     let rec = Arc::new(Recorder::virtual_time());
     let mut ledger = Ledger::observed(Arc::clone(&rec));
-    let report = inference::run(
-        &proteome.proteins,
-        &features,
-        &cfg,
-        StageCtx::traced(&mut ledger, &rec),
+    let report = cfg.run(
+        inference::Input {
+            entries: &proteome.proteins,
+            features: &features,
+        },
+        StageCtx::for_ledger(&mut ledger).recorder(&rec),
     );
     assert!(
         report.sim.quarantined > 0,

@@ -1,0 +1,236 @@
+//! Tier-1 contract of the content-addressed result store: key
+//! determinism, insertion-order independence, 100 % warm-rerun hits
+//! through the pipeline, identical cache counters on both executors,
+//! and torn-write recovery.
+
+use std::sync::Arc;
+use summitfold::dataflow::real::ThreadExecutor;
+use summitfold::dataflow::sim::VirtualExecutor;
+use summitfold::dataflow::{Executor, TaskSpec};
+use summitfold::hpc::service::{FoldingService, ServiceConfig, TenantSpec};
+use summitfold::obs::{Recorder, Trace};
+use summitfold::pipeline::{run_proteome_campaign_with_store, CampaignConfig};
+use summitfold::protein::proteome::Species;
+use summitfold::protein::rng::Xoshiro256;
+use summitfold::protein::seq::Sequence;
+use summitfold::store::{Artifact, Store, StoreConfig, StoreKey};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sf-t1-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Seeded property: a key is a pure function of (stage, preset, content)
+/// — stable across repeated derivation, derivation order, and distinct
+/// on any field change.
+#[test]
+fn store_keys_are_deterministic_and_content_sensitive() {
+    let mut rng = Xoshiro256::from_name("store-key-property");
+    let mut seqs = Vec::new();
+    for i in 0..64 {
+        let len = 30 + (i * 7) % 200;
+        seqs.push(Sequence::random(&format!("t{i}"), len, &mut rng));
+    }
+    let forward: Vec<StoreKey> = seqs
+        .iter()
+        .map(|s| StoreKey::derive("feature_gen", "reduced", s.to_letters().as_str()))
+        .collect();
+    // Same inputs, reversed derivation order: identical keys.
+    let mut backward: Vec<StoreKey> = seqs
+        .iter()
+        .rev()
+        .map(|s| StoreKey::derive("feature_gen", "reduced", s.to_letters().as_str()))
+        .collect();
+    backward.reverse();
+    assert_eq!(forward, backward);
+    // All distinct (random sequences), and sensitive to every field.
+    for (i, s) in seqs.iter().enumerate() {
+        let letters = s.to_letters();
+        assert_eq!(
+            forward[i],
+            StoreKey::derive("feature_gen", "reduced", &letters)
+        );
+        assert_ne!(
+            forward[i],
+            StoreKey::derive("inference", "reduced", &letters)
+        );
+        assert_ne!(
+            forward[i],
+            StoreKey::derive("feature_gen", "full", &letters)
+        );
+    }
+    let distinct: std::collections::BTreeSet<String> = forward.iter().map(|k| k.to_hex()).collect();
+    assert_eq!(distinct.len(), seqs.len());
+}
+
+/// Near-duplicate lookup returns the same neighbor whatever order the
+/// store was populated in.
+#[test]
+fn near_lookup_is_insertion_order_independent() {
+    let mut rng = Xoshiro256::from_name("store-near-order");
+    let base = Sequence::random("base", 120, &mut rng);
+    let letters = base.to_letters();
+    // Three mutated neighbors at different distances plus the query.
+    let mutate = |letters: &str, every: usize| -> String {
+        letters
+            .chars()
+            .enumerate()
+            .map(|(i, c)| if i % every == every - 1 { 'A' } else { c })
+            .collect()
+    };
+    let neighbors = [
+        mutate(&letters, 11),
+        mutate(&letters, 17),
+        mutate(&letters, 23),
+    ];
+    let query = Sequence::parse("q", "", &mutate(&letters, 29)).expect("valid letters");
+    let rec = Recorder::virtual_time();
+
+    let mut picked = Vec::new();
+    for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+        let dir = scratch(&format!("near-{}{}{}", order[0], order[1], order[2]));
+        let store = Store::open(&dir).expect("writable scratch dir");
+        for &i in &order {
+            let a = Artifact::new("feature_gen", "reduced", &neighbors[i], vec![]);
+            store.put(&a, &rec).expect("put succeeds");
+        }
+        let (near, art) = store
+            .near_lookup("feature_gen", "reduced", &query, &rec)
+            .expect("a neighbor above the identity floor");
+        picked.push((near.key, near.identity.to_bits(), art.content));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(picked[0], picked[1]);
+    assert_eq!(picked[1], picked[2]);
+}
+
+/// Resubmitting an identical campaign through the pipeline serves every
+/// cacheable stage lookup from the store and reproduces the cold
+/// report's quality numbers bit-for-bit.
+#[test]
+fn warm_campaign_rerun_hits_every_cacheable_stage() {
+    let dir = scratch("campaign");
+    let store = Store::open(&dir).expect("writable scratch dir");
+    let cfg = CampaignConfig::paper_default(0.01);
+    let cold = run_proteome_campaign_with_store(Species::PMercurii, &cfg, Some(&store));
+    assert_eq!(cold.cache.hits, 0, "cold store starts empty");
+    assert!(cold.cache.misses > 0);
+
+    let warm = run_proteome_campaign_with_store(Species::PMercurii, &cfg, Some(&store));
+    assert!(warm.cache.all_hit(), "warm rerun: {:?}", warm.cache);
+    assert_eq!(warm.cache.lookups(), cold.cache.lookups());
+    assert_eq!(warm.frac_plddt_gt70, cold.frac_plddt_gt70);
+    assert_eq!(warm.frac_ptms_gt06, cold.frac_ptms_gt06);
+    assert_eq!(warm.mean_top_recycles, cold.mean_top_recycles);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn service_pass<E: Executor>(tag: &str, exec: &E) -> std::collections::BTreeMap<String, f64> {
+    let dir = scratch(tag);
+    let store = Arc::new(Store::open(&dir).expect("writable scratch dir"));
+    let specs: Vec<TaskSpec> = (0..24)
+        .map(|i| TaskSpec::new(format!("t{i}"), 5.0 + i as f64))
+        .collect();
+    let mk = |rec: &Arc<Recorder>| {
+        FoldingService::new(
+            ServiceConfig {
+                workers: 4,
+                store: Some(Arc::clone(&store)),
+                ..ServiceConfig::default()
+            },
+            vec![TenantSpec::new("alice", 1.0, 100.0).cached()],
+            Arc::clone(rec),
+        )
+        .expect("valid tenants")
+    };
+    // Cold pass files everything; warm pass settles from cache.
+    let rec_cold = Arc::new(Recorder::virtual_time());
+    let cold = mk(&rec_cold);
+    cold.submit("alice", "c0", 0.0, specs.clone())
+        .expect("admitted");
+    cold.run(exec).expect("drains clean");
+    let rec_warm = Arc::new(Recorder::virtual_time());
+    let warm = mk(&rec_warm);
+    warm.submit("alice", "again", 0.0, specs).expect("admitted");
+    warm.run(exec).expect("drains clean");
+    let mut totals = Trace::from_events(rec_cold.events()).counter_totals();
+    for (k, v) in Trace::from_events(rec_warm.events()).counter_totals() {
+        *totals.entry(k).or_insert(0.0) += v;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    totals
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("cache/") || k.starts_with("service/"))
+        .collect()
+}
+
+/// The cache counters are recorded inside the store — both executors
+/// drain through the same recording site, so a cold+warm service session
+/// produces the identical counter totals on either backend.
+#[test]
+fn cache_counters_are_identical_on_both_executors() {
+    let virt = service_pass("exec-virt", &VirtualExecutor::new(0.0));
+    let real = service_pass("exec-real", &ThreadExecutor);
+    assert_eq!(virt, real);
+    assert_eq!(virt["cache/hit"], 24.0);
+    assert_eq!(virt["cache/miss"], 24.0);
+    assert_eq!(virt["cache/put"], 24.0);
+    assert_eq!(virt["service/cache_settled_tasks"], 24.0);
+}
+
+/// A torn final journal line (killed mid-append) is dropped on reopen;
+/// intact entries stay retrievable.
+#[test]
+fn torn_journal_tail_is_recovered_on_reopen() {
+    let dir = scratch("torn");
+    let rec = Recorder::virtual_time();
+    {
+        let store = Store::open(&dir).expect("writable scratch dir");
+        for i in 0..3 {
+            let a = Artifact::new("fold", "v1", &format!("content-{i}"), vec![]);
+            store.put(&a, &rec).expect("put succeeds");
+        }
+    }
+    // Simulate a torn append: garbage with no trailing newline.
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("store.jsonl"))
+        .expect("journal exists");
+    f.write_all(b"{\"torn").expect("appendable");
+    drop(f);
+
+    let store = Store::open(&dir).expect("torn tail tolerated");
+    assert_eq!(store.len(), 3);
+    let key = Artifact::new("fold", "v1", "content-1", vec![]).key();
+    assert!(store.get(key, &rec).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Capacity eviction drops the oldest entries, records them, and the
+/// bound survives reopen.
+#[test]
+fn eviction_is_oldest_first_and_durable() {
+    let dir = scratch("evict");
+    let rec = Recorder::virtual_time();
+    let cfg = StoreConfig {
+        max_entries: Some(2),
+        ..StoreConfig::default()
+    };
+    {
+        let store = Store::open_with(&dir, cfg).expect("writable scratch dir");
+        for i in 0..4 {
+            let a = Artifact::new("fold", "v1", &format!("content-{i}"), vec![]);
+            store.put(&a, &rec).expect("put succeeds");
+        }
+        assert_eq!(store.len(), 2);
+    }
+    let store = Store::open_with(&dir, cfg).expect("reopens");
+    assert_eq!(store.len(), 2);
+    let oldest = Artifact::new("fold", "v1", "content-0", vec![]).key();
+    let newest = Artifact::new("fold", "v1", "content-3", vec![]).key();
+    assert!(!store.contains(oldest));
+    assert!(store.contains(newest));
+    let _ = std::fs::remove_dir_all(&dir);
+}
