@@ -139,15 +139,35 @@ impl Config {
                 // interleave a torn journal, and the store never calls
                 // back into itself or the recorder's sinks while held.
                 "crates/store/src/lib.rs".to_string(),
+                // The folding service's WAL has the identical contract:
+                // a campaign's task+admit block and each settle line
+                // append under the state lock so admission and
+                // settlement stay total-ordered on disk, and the append
+                // path never calls back into the service or a sink.
+                "crates/hpc/src/service.rs".to_string(),
             ],
             metric_parity_pairs: vec![(
                 "crates/dataflow/src/real.rs".to_string(),
                 "crates/dataflow/src/sim.rs".to_string(),
             )],
-            metric_owner_prefixes: vec![(
-                "cache/".to_string(),
-                "crates/store/src/lib.rs".to_string(),
-            )],
+            metric_owner_prefixes: vec![
+                (
+                    "cache/".to_string(),
+                    "crates/store/src/lib.rs".to_string(),
+                ),
+                // Injected-fault counters are recorded where the fault
+                // fires — the chaos plane — so a trace's fault/* totals
+                // are the injection schedule, not a component's view.
+                (
+                    "fault/".to_string(),
+                    "crates/dataflow/src/chaos.rs".to_string(),
+                ),
+                // Recovery counters are the WAL replay's own telemetry.
+                (
+                    "recovery/".to_string(),
+                    "crates/hpc/src/service.rs".to_string(),
+                ),
+            ],
         }
     }
 
@@ -284,6 +304,7 @@ mod tests {
         let c = Config::workspace_default();
         assert!(c.is_lock_discipline_exempt("crates/obs/src/sink.rs"));
         assert!(c.is_lock_discipline_exempt("crates/store/src/lib.rs"));
+        assert!(c.is_lock_discipline_exempt("crates/hpc/src/service.rs"));
         assert!(!c.is_lock_discipline_exempt("crates/dataflow/src/real.rs"));
         assert_eq!(
             c.metric_parity_pairs,
@@ -294,7 +315,17 @@ mod tests {
         );
         assert_eq!(
             c.metric_owner_prefixes,
-            vec![("cache/".to_string(), "crates/store/src/lib.rs".to_string())]
+            vec![
+                ("cache/".to_string(), "crates/store/src/lib.rs".to_string()),
+                (
+                    "fault/".to_string(),
+                    "crates/dataflow/src/chaos.rs".to_string()
+                ),
+                (
+                    "recovery/".to_string(),
+                    "crates/hpc/src/service.rs".to_string()
+                ),
+            ]
         );
     }
 

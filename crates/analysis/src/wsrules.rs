@@ -367,4 +367,39 @@ mod tests {
         metric_ownership(&Config::workspace_default(), &facts, &mut findings);
         assert!(findings.is_empty(), "{findings:?}");
     }
+
+    #[test]
+    fn fault_counters_outside_the_chaos_plane_are_flagged() {
+        let rogue = "pub fn f(r: &Recorder) { r.add(\"fault/injected_torn\", 1.0); }";
+        let facts = vec![facts_for("crates/store/src/lib.rs", "store", rogue)];
+        let mut findings = Vec::new();
+        metric_ownership(&Config::workspace_default(), &facts, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("crates/dataflow/src/chaos.rs"));
+    }
+
+    #[test]
+    fn recovery_counters_outside_the_service_are_flagged() {
+        let rogue = "pub fn f(r: &Recorder) { r.add(\"recovery/wal_torn\", 1.0); }";
+        let facts = vec![facts_for("crates/store/src/lib.rs", "store", rogue)];
+        let mut findings = Vec::new();
+        metric_ownership(&Config::workspace_default(), &facts, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("crates/hpc/src/service.rs"));
+    }
+
+    #[test]
+    fn fault_and_recovery_counters_at_their_owners_are_clean() {
+        let chaos = "pub fn f(r: &Recorder) {\n r.add(\"fault/injected_torn\", 1.0);\n \
+                     r.add(\"fault/injected_kill\", 1.0);\n}";
+        let service = "pub fn f(r: &Recorder) {\n r.add(\"recovery/replayed_campaigns\", 1.0);\n \
+                       r.add(\"recovery/wal_corrupt\", 1.0);\n}";
+        let facts = vec![
+            facts_for("crates/dataflow/src/chaos.rs", "dataflow", chaos),
+            facts_for("crates/hpc/src/service.rs", "hpc", service),
+        ];
+        let mut findings = Vec::new();
+        metric_ownership(&Config::workspace_default(), &facts, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
 }

@@ -12,11 +12,12 @@
 //! * `--out <dir>` — write artifacts there instead of `results/`.
 //! * `--emit-bench` — after the `fig2` experiment, distill its outcome
 //!   into a machine-readable `BENCH_dataflow.json` (makespan,
-//!   utilization, throughput), and after the `store` experiment distill
-//!   warm-vs-cold makespans into `BENCH_store.json`. Written next to
-//!   the other artifacts when `--out` is given, else at the workspace
-//!   root; `scripts/check.sh` compares fresh quick-mode copies against
-//!   the committed ones.
+//!   utilization, throughput), after the `store` experiment distill
+//!   warm-vs-cold makespans into `BENCH_store.json`, and after the
+//!   `recovery` experiment distill kill-resume convergence into
+//!   `BENCH_recovery.json`. Written next to the other artifacts when
+//!   `--out` is given, else at the workspace root; `scripts/check.sh`
+//!   compares fresh quick-mode copies against the committed ones.
 //!
 //! Exit codes: 0 success, 2 bad usage (unknown flag or experiment,
 //! `--out` without a directory).
@@ -27,7 +28,7 @@ use summitfold_bench::harness::{self, Ctx};
 use summitfold_bench::report::{results_dir, Report};
 use summitfold_obs::json::ObjectWriter;
 
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "headline",
     "table1",
     "fig2",
@@ -37,6 +38,7 @@ const EXPERIMENTS: [&str; 18] = [
     "recycles",
     "sdivinum",
     "store",
+    "recovery",
     "violations",
     "relaxscale",
     "annotate",
@@ -116,6 +118,13 @@ fn run_one(name: &str, ctx: &Ctx, opts: &Opts) -> Option<Report> {
             }
             report
         }
+        "recovery" => {
+            let (outcome, report) = harness::recovery::run(ctx);
+            if opts.emit_bench {
+                write_recovery_bench(&outcome, ctx.quick, opts);
+            }
+            report
+        }
         "violations" => harness::violations::run(ctx).1,
         "relaxscale" => harness::relaxscale::run(ctx).1,
         "annotate" => harness::annotate::run(ctx).1,
@@ -178,6 +187,35 @@ fn write_store_bench(outcome: &harness::store::Outcome, quick: bool, opts: &Opts
         None => workspace_root(),
     };
     let path = dir.join("BENCH_store.json");
+    std::fs::create_dir_all(&dir).expect("writable bench dir");
+    std::fs::write(&path, line).expect("writable bench file");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Distill the recovery outcome into `BENCH_recovery.json`.
+///
+/// Same contract as [`write_bench`]: virtual-clock numbers only, so the
+/// quick-mode copy is byte-stable and doubles as the kill-resume
+/// regression baseline (`traces_match` must stay 1).
+fn write_recovery_bench(outcome: &harness::recovery::Outcome, quick: bool, opts: &Opts) {
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "recovery");
+    w.str_field("experiment", "kill_resume");
+    w.int_field("quick", u64::from(quick));
+    w.int_field("tasks", outcome.tasks as u64);
+    w.int_field("killed_after", outcome.killed_after as u64);
+    w.int_field("replayed", outcome.replayed as u64);
+    w.int_field("requeued", outcome.requeued as u64);
+    w.int_field("traces_match", u64::from(outcome.traces_match));
+    w.num_field("uninterrupted_makespan_s", outcome.uninterrupted_makespan_s);
+    w.num_field("resumed_makespan_s", outcome.resumed_makespan_s);
+    let mut line = w.finish();
+    line.push('\n');
+    let dir = match &opts.out {
+        Some(dir) => dir.clone(),
+        None => workspace_root(),
+    };
+    let path = dir.join("BENCH_recovery.json");
     std::fs::create_dir_all(&dir).expect("writable bench dir");
     std::fs::write(&path, line).expect("writable bench file");
     eprintln!("wrote {}", path.display());

@@ -39,7 +39,12 @@
 //! worker profile, and a [`journal::Journal`] checkpoint (append-only
 //! JSONL) that lets `exec::Batch::resume` restart a killed batch
 //! executing only unfinished tasks. Both backends share the same fault
-//! arithmetic, so attempt counts agree executor-to-executor.
+//! arithmetic, so attempt counts agree executor-to-executor. The
+//! [`chaos`] module extends the schedule below the executors: a
+//! [`chaos::FaultPlan`] adds deterministic *I/O* faults (torn writes,
+//! bit flips, failed puts, kills at named code points) that the store
+//! and the folding service observe through a shared [`chaos::IoFaults`]
+//! handle, making crash/corruption recovery a seeded, replayable test.
 //!
 //! The deadline layer (see [`deadline`]) adds walltime budgets — a batch
 //! stops dispatching tasks that would overrun `Batch::deadline`, journals
@@ -73,6 +78,7 @@
 //!   default, [`deadline::DEFAULT_SPECULATION_FACTOR`] = 1.5×) and
 //!   `.speculation(k)` becomes `.speculation(Some(k))`.
 
+pub mod chaos;
 pub mod deadline;
 pub mod exec;
 pub mod fault;
@@ -86,6 +92,7 @@ pub mod stats;
 mod sync;
 pub mod task;
 
+pub use chaos::{IoFault, IoFaultKind, IoFaults, WriteOutcome};
 pub use exec::{Batch, BatchError, BatchOutcome, BatchStatus, Executor};
 pub use journal::{Journal, JournalEntry};
 pub use policy::OrderingPolicy;

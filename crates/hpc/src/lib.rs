@@ -25,4 +25,4 @@ pub mod service;
 
 pub use ledger::Ledger;
 pub use machine::Machine;
-pub use service::{FoldingService, ServiceConfig, ServiceError, TenantSpec};
+pub use service::{FoldingService, RecoveryReport, ServiceConfig, ServiceError, TenantSpec};

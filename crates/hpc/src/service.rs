@@ -35,21 +35,58 @@
 //! timings, settlement order, and therefore the entire telemetry trace
 //! replay byte-identically. The thread backend keeps the same dispatch
 //! *order* under due arrivals but wall timings differ run to run.
+//!
+//! # Crash recovery
+//!
+//! With [`ServiceConfig::dir`] set, the service keeps a write-ahead log
+//! (`service.jsonl`, sealed lines — see
+//! [`summitfold_obs::json::ObjectWriter::finish_sealed`]) of every
+//! admission, rejection and settlement. The log is torn-tail tolerant
+//! and ordered so that durable state never runs ahead of it:
+//!
+//! * a campaign's `task` lines are committed by the trailing `admit`
+//!   line — a crash mid-append leaves an uncommitted block that replay
+//!   ignores;
+//! * a task's `settle` line is written *before* its artifact is filed
+//!   in the result store, so store-has-artifact implies
+//!   WAL-has-settlement and a resumed service never re-charges settled
+//!   work.
+//!
+//! [`FoldingService::resume`] reconstructs quotas, ledgers, monitors
+//! and the pending queue from the log (idempotently: replaying a
+//! settlement twice is a no-op) and returns a [`RecoveryReport`].
+//! Un-settled tasks are requeued with their original arrivals, so on
+//! the virtual executor a killed-and-resumed session converges to the
+//! same canonical [`settlement_trace`](FoldingService::settlement_trace)
+//! as an uninterrupted run. Injected faults
+//! ([`summitfold_dataflow::chaos`]) enter through
+//! [`ServiceConfig::faults`]: the WAL write path and the
+//! `service/admit` / `service/settle` kill points observe the same
+//! deterministic schedule as the store.
 
 use crate::ledger::Ledger;
 use crate::machine::Machine;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use summitfold_dataflow::chaos::{IoFaults, WriteOutcome};
 use summitfold_dataflow::{
     BatchError, BatchOutcome, ClassConfig, DispatchEntry, Executor, LiveRun, SubmissionQueue,
     SubmitError, TaskSpec,
 };
+use summitfold_obs::json::{self, ObjectWriter, Seal, Value};
 use summitfold_obs::{Event, HealthSnapshot, Monitor, MonitorConfig, Recorder, Sink as _};
 use summitfold_store::{Artifact, Store};
 
 /// Stage label every service charge is booked under.
 const STAGE: &str = "fold";
+
+/// File name of the service write-ahead log under
+/// [`ServiceConfig::dir`].
+const WAL_FILE: &str = "service.jsonl";
 
 /// Store preset under which service results are filed. One namespace
 /// for the whole service: cache identity is carried by the artifact
@@ -128,6 +165,19 @@ pub struct ServiceConfig {
     /// caching service-wide and leaves behavior — including the
     /// telemetry trace — exactly as before the store existed.
     pub store: Option<Arc<Store>>,
+    /// Optional service directory. When set, the service keeps a
+    /// write-ahead log at `dir/service.jsonl`: [`FoldingService::new`]
+    /// starts a fresh log, [`FoldingService::resume`] replays an
+    /// existing one. `None` (the default) disables the WAL and crash
+    /// recovery entirely.
+    pub dir: Option<PathBuf>,
+    /// Fault-injection handle for the WAL write path and the
+    /// `service/admit` / `service/settle` kill points. The default
+    /// no-op handle is free; chaos tests arm a
+    /// [`FaultPlan`](summitfold_dataflow::chaos::FaultPlan) and clone
+    /// the same handle into the store so both layers observe one
+    /// deterministic schedule.
+    pub faults: IoFaults,
 }
 
 impl Default for ServiceConfig {
@@ -138,6 +188,8 @@ impl Default for ServiceConfig {
             deadline: None,
             label: "service".to_owned(),
             store: None,
+            dir: None,
+            faults: IoFaults::none(),
         }
     }
 }
@@ -194,6 +246,29 @@ pub enum ServiceError {
     Run(BatchError),
     /// `run`/`serve` was called a second time.
     AlreadyRan,
+    /// An injected fault ([`ServiceConfig::faults`]) killed the
+    /// process at a named code point; the operation did not complete
+    /// and the service object models a dead process.
+    Killed {
+        /// The fault point that fired (e.g. `service/admit`).
+        point: String,
+    },
+    /// The write-ahead log could not be appended.
+    Wal {
+        /// What went wrong with the append.
+        message: String,
+    },
+    /// [`FoldingService::resume`] found no write-ahead log to replay.
+    RecoveryUnavailable {
+        /// Why recovery cannot proceed.
+        reason: String,
+    },
+    /// The write-ahead log belongs to a differently-configured
+    /// service: tenant roster or service shape does not match.
+    RecoveryMismatch {
+        /// The first divergence found.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -229,6 +304,16 @@ impl fmt::Display for ServiceError {
             Self::Submit(e) => write!(f, "submission rejected: {e}"),
             Self::Run(e) => write!(f, "run rejected: {e}"),
             Self::AlreadyRan => write!(f, "the service has already run"),
+            Self::Killed { point } => {
+                write!(f, "injected fault killed the service at {point}")
+            }
+            Self::Wal { message } => write!(f, "service WAL append failed: {message}"),
+            Self::RecoveryUnavailable { reason } => {
+                write!(f, "service recovery unavailable: {reason}")
+            }
+            Self::RecoveryMismatch { reason } => {
+                write!(f, "service WAL does not match this service: {reason}")
+            }
         }
     }
 }
@@ -280,6 +365,24 @@ pub struct ServiceOutcome {
     pub carried_over: Vec<String>,
 }
 
+/// What [`FoldingService::resume`] reconstructed from the WAL.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Admitted campaigns replayed from committed `admit` blocks.
+    pub replayed_campaigns: usize,
+    /// Settlements replayed (charged once, never twice).
+    pub replayed_settlements: usize,
+    /// Rejections replayed (counter re-emission only).
+    pub replayed_rejections: usize,
+    /// Admitted-but-unsettled tasks put back on the queue.
+    pub requeued_tasks: usize,
+    /// Fully-written WAL lines that failed their seal or shape check
+    /// and were skipped.
+    pub wal_corrupt_lines: usize,
+    /// Whether a torn (partial) final line was dropped and truncated.
+    pub wal_torn_tail: bool,
+}
+
 #[derive(Debug)]
 struct TenantState {
     spec: TenantSpec,
@@ -299,6 +402,10 @@ struct State {
     /// BTreeMap so iteration (and thus any derived output) is
     /// deterministic.
     attribution: BTreeMap<String, (usize, f64)>,
+    /// Full task id → (tenant index, charged cost) of every settled
+    /// task — the dedupe set behind exactly-once settlement and the
+    /// body of [`FoldingService::settlement_trace`].
+    settled: BTreeMap<String, (usize, f64)>,
     ran: bool,
 }
 
@@ -320,7 +427,22 @@ impl FoldingService {
     /// Build a service for `tenants`, validating names, weights and
     /// quotas. Telemetry (admission counters, the run trace) goes to
     /// `recorder`.
+    ///
+    /// With [`ServiceConfig::dir`] set, a *fresh* write-ahead log is
+    /// started (any existing `service.jsonl` is truncated — use
+    /// [`resume`](Self::resume) to continue one instead).
     pub fn new(
+        cfg: ServiceConfig,
+        tenants: Vec<TenantSpec>,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, ServiceError> {
+        let svc = Self::build(cfg, tenants, recorder)?;
+        svc.wal_start()?;
+        Ok(svc)
+    }
+
+    /// Construct the in-memory service without touching the WAL.
+    fn build(
         cfg: ServiceConfig,
         tenants: Vec<TenantSpec>,
         recorder: Arc<Recorder>,
@@ -377,6 +499,7 @@ impl FoldingService {
             state: Mutex::new(State {
                 tenants: states,
                 attribution: BTreeMap::new(),
+                settled: BTreeMap::new(),
                 ran: false,
             }),
         })
@@ -386,6 +509,92 @@ impl FoldingService {
         // Admission and settlement are short, total-ordered sections;
         // state survives a poisoning panic consistent.
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The WAL path, if the service keeps one.
+    fn wal_path(&self) -> Option<PathBuf> {
+        self.cfg.dir.as_ref().map(|d| d.join(WAL_FILE))
+    }
+
+    /// Start a fresh WAL: truncate any previous log, then write the
+    /// `open` header and one `tenant` line per tenant — the roster
+    /// [`resume`](Self::resume) verifies against.
+    fn wal_start(&self) -> Result<(), ServiceError> {
+        let Some(path) = self.wal_path() else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| ServiceError::Wal {
+                message: format!("create {}: {e}", dir.display()),
+            })?;
+        }
+        fs::write(&path, "").map_err(|e| ServiceError::Wal {
+            message: format!("truncate {}: {e}", path.display()),
+        })?;
+        let state = self.lock();
+        let mut lines = Vec::with_capacity(state.tenants.len() + 1);
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "open");
+        w.str_field("label", &self.cfg.label);
+        w.int_field("workers", self.cfg.workers as u64);
+        w.int_field("depth", self.cfg.max_queue_depth as u64);
+        lines.push(w.finish_sealed());
+        for t in &state.tenants {
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "tenant");
+            w.str_field("name", &t.spec.name);
+            w.num_field("weight", t.spec.weight);
+            w.int_field("priority", u64::from(t.spec.priority));
+            w.num_field("quota", t.spec.quota_node_hours);
+            w.int_field("cached", u64::from(t.spec.cached));
+            lines.push(w.finish_sealed());
+        }
+        drop(state);
+        self.wal_append(&lines)
+    }
+
+    /// Append sealed `lines` to the WAL as one write, gated by the
+    /// fault handle. A torn append persists the prefix and reports the
+    /// process killed; nothing in memory may be applied after an `Err`.
+    fn wal_append(&self, lines: &[String]) -> Result<(), ServiceError> {
+        let Some(path) = self.wal_path() else {
+            return Ok(());
+        };
+        let mut bytes = Vec::new();
+        for l in lines {
+            bytes.extend_from_slice(l.as_bytes());
+            bytes.push(b'\n');
+        }
+        match self
+            .cfg
+            .faults
+            .on_write("service/wal", &mut bytes, &self.recorder)
+        {
+            WriteOutcome::Full => append_bytes(&path, &bytes).map_err(|e| ServiceError::Wal {
+                message: format!("append {}: {e}", path.display()),
+            }),
+            WriteOutcome::Torn(keep) => {
+                let _ = append_bytes(&path, &bytes[..keep]);
+                Err(ServiceError::Killed {
+                    point: "service/wal".to_owned(),
+                })
+            }
+            WriteOutcome::Fail => {
+                if self.cfg.faults.is_killed() {
+                    Err(ServiceError::Killed {
+                        point: self
+                            .cfg
+                            .faults
+                            .kill_reason()
+                            .unwrap_or_else(|| "service/wal".to_owned()),
+                    })
+                } else {
+                    Err(ServiceError::Wal {
+                        message: "injected fault failed the append".to_owned(),
+                    })
+                }
+            }
+        }
     }
 
     /// Registered tenant names, in class-id order.
@@ -408,6 +617,16 @@ impl FoldingService {
             &format!("{tenant}|{task}|{cost}"),
             vec![format!("{cost}")],
         )
+    }
+
+    /// One sealed WAL `reject` line (appended best-effort: the typed
+    /// rejection error dominates a WAL failure).
+    fn wal_reject_line(tenant: &str, kind: &str) -> String {
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "reject");
+        w.str_field("tenant", tenant);
+        w.str_field("kind", kind);
+        w.finish_sealed()
     }
 
     /// Submit a campaign for `tenant`: `specs` become dispatchable at
@@ -439,6 +658,13 @@ impl FoldingService {
                 tenant: tenant.to_owned(),
             });
         };
+        // Kill point *before* anything durable or visible happens: a
+        // process dying here leaves no trace of the campaign at all.
+        if self.cfg.faults.kill_point("service/admit", &self.recorder) {
+            return Err(ServiceError::Killed {
+                point: "service/admit".to_owned(),
+            });
+        }
         let t = &state.tenants[class];
         let store = self.cfg.store.as_deref().filter(|_| t.spec.cached);
         let mut live: Vec<&TaskSpec> = Vec::with_capacity(specs.len());
@@ -457,6 +683,7 @@ impl FoldingService {
         let requested_node_seconds: f64 = live.iter().map(|s| s.cost_hint.max(0.0)).sum();
         let remaining = t.spec.quota_node_hours * 3600.0 - t.admitted_node_seconds;
         if requested_node_seconds > remaining {
+            let _ = self.wal_append(&[Self::wal_reject_line(tenant, "quota")]);
             self.recorder.add("service/rejected_quota", 1.0);
             return Err(ServiceError::QuotaExceeded {
                 tenant: tenant.to_owned(),
@@ -465,12 +692,40 @@ impl FoldingService {
             });
         }
         if self.queue.len() + live.len() > self.cfg.max_queue_depth {
+            let _ = self.wal_append(&[Self::wal_reject_line(tenant, "saturated")]);
             self.recorder.add("service/rejected_saturated", 1.0);
             return Err(ServiceError::Saturated {
                 queued: self.queue.len(),
                 limit: self.cfg.max_queue_depth,
             });
         }
+        // WAL commit comes first: `task` lines for the whole campaign
+        // (hits included — resume re-derives the hit set organically),
+        // made real by the trailing `admit` line, all in one gated
+        // append. A tear inside the block leaves it uncommitted.
+        let mut lines = Vec::with_capacity(specs.len() + 1);
+        for s in &specs {
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "task");
+            w.str_field("task", &s.id);
+            w.num_field(
+                "cost",
+                if s.cost_hint.is_finite() {
+                    s.cost_hint
+                } else {
+                    0.0
+                },
+            );
+            lines.push(w.finish_sealed());
+        }
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "admit");
+        w.str_field("tenant", tenant);
+        w.str_field("campaign", campaign);
+        w.num_field("arrival", if arrival.is_finite() { arrival } else { 0.0 });
+        w.int_field("tasks", specs.len() as u64);
+        lines.push(w.finish_sealed());
+        self.wal_append(&lines)?;
         let namespaced: Vec<TaskSpec> = live
             .iter()
             .map(|s| TaskSpec::new(format!("{tenant}:{campaign}:{}", s.id), s.cost_hint))
@@ -534,7 +789,7 @@ impl FoldingService {
             run = run.deadline(d);
         }
         let outcome = run.run(exec).map_err(ServiceError::Run)?;
-        self.settle(&outcome);
+        self.settle(&outcome)?;
         Ok(ServiceOutcome {
             dispatch_log: self.queue.dispatch_log(),
             carried_over: self.queue.pending_ids(),
@@ -549,7 +804,17 @@ impl FoldingService {
     /// [`cached`](TenantSpec::cached) tenants, each settled task is
     /// also filed in the result store so a resubmission of the same
     /// work hits at admission time.
-    fn settle(&self, outcome: &BatchOutcome<()>) {
+    ///
+    /// Crash-consistent ordering per record: kill point → WAL `settle`
+    /// line → store put → memory apply. The store can therefore never
+    /// hold an artifact whose settlement the WAL does not record, and a
+    /// settled task is never re-charged (the `settled` map dedupes).
+    ///
+    /// # Errors
+    /// [`ServiceError::Killed`] if an injected fault killed the
+    /// process mid-settlement (already-settled records stay settled),
+    /// [`ServiceError::Wal`] on a failed log append.
+    fn settle(&self, outcome: &BatchOutcome<()>) -> Result<(), ServiceError> {
         let mut state = self.lock();
         let mut records: Vec<_> = outcome.records.iter().collect();
         records.sort_by(|a, b| {
@@ -562,6 +827,44 @@ impl FoldingService {
             let Some(&(class, cost)) = state.attribution.get(&r.task_id) else {
                 continue;
             };
+            if state.settled.contains_key(&r.task_id) {
+                continue;
+            }
+            if self.cfg.faults.kill_point("service/settle", &self.recorder) {
+                return Err(ServiceError::Killed {
+                    point: "service/settle".to_owned(),
+                });
+            }
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "settle");
+            w.str_field("task", &r.task_id);
+            w.num_field("cost", cost);
+            w.int_field("worker", r.worker_id as u64);
+            w.num_field("start", r.start);
+            w.num_field("end", r.end);
+            w.int_field("attempts", u64::from(r.attempts));
+            self.wal_append(&[w.finish_sealed()])?;
+            let cached = state.tenants[class].spec.cached;
+            if let Some(store) = self.cfg.store.as_deref().filter(|_| cached) {
+                // Strip the campaign from `{tenant}:{campaign}:{task}`
+                // so the stored identity is campaign-independent.
+                let mut parts = r.task_id.splitn(3, ':');
+                if let (Some(tenant), Some(_campaign), Some(task)) =
+                    (parts.next(), parts.next(), parts.next())
+                {
+                    // Filing is best-effort: a full or unwritable store
+                    // degrades the next submission to a miss, never the
+                    // current settlement…
+                    let _ = store.put(&Self::service_artifact(tenant, task, cost), &self.recorder);
+                    // …unless an injected fault killed the process mid-
+                    // put: a dead process settles nothing further.
+                    if self.cfg.faults.is_killed() {
+                        return Err(ServiceError::Killed {
+                            point: "store-put".to_owned(),
+                        });
+                    }
+                }
+            }
             let t = &mut state.tenants[class];
             t.ledger.charge(Machine::Summit, STAGE, cost);
             t.completed_tasks += 1;
@@ -573,22 +876,11 @@ impl FoldingService {
                 end: r.end,
                 attempts: r.attempts,
             });
-            if let Some(store) = self.cfg.store.as_deref().filter(|_| t.spec.cached) {
-                // Strip the campaign from `{tenant}:{campaign}:{task}`
-                // so the stored identity is campaign-independent.
-                let mut parts = r.task_id.splitn(3, ':');
-                if let (Some(tenant), Some(_campaign), Some(task)) =
-                    (parts.next(), parts.next(), parts.next())
-                {
-                    // Filing is best-effort: a full or unwritable store
-                    // degrades the next submission to a miss, never the
-                    // current settlement.
-                    let _ = store.put(&Self::service_artifact(tenant, task, cost), &self.recorder);
-                }
-            }
+            state.settled.insert(r.task_id.clone(), (class, cost));
             settled += 1;
         }
         self.recorder.add("service/settled_tasks", settled as f64);
+        Ok(())
     }
 
     /// The tenant's status endpoint: quota position and health
@@ -633,6 +925,352 @@ impl FoldingService {
         }
         out
     }
+
+    /// Canonical settlement record: one JSONL line per settled task
+    /// (sorted by full task id — independent of settlement order) plus
+    /// one summary line per tenant, all numbers at full `f64`
+    /// round-trip precision.
+    ///
+    /// This is the crash-recovery equivalence artifact: a service
+    /// killed at any point and [resumed](Self::resume) must finish
+    /// with a trace byte-identical to an uninterrupted virtual run's.
+    #[must_use]
+    pub fn settlement_trace(&self) -> String {
+        let state = self.lock();
+        let mut out = String::new();
+        for (task, &(class, cost)) in &state.settled {
+            let mut w = ObjectWriter::new();
+            w.str_field("task", task);
+            w.str_field("tenant", &state.tenants[class].spec.name);
+            w.num_field("cost", cost);
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        for t in &state.tenants {
+            let mut w = ObjectWriter::new();
+            w.str_field("tenant", &t.spec.name);
+            w.int_field("campaigns", t.campaigns as u64);
+            w.int_field("completed", t.completed_tasks as u64);
+            w.int_field("cached", t.cached_tasks as u64);
+            w.num_field("admitted_node_seconds", t.admitted_node_seconds);
+            w.num_field("charged_node_hours", t.ledger.node_hours(Machine::Summit));
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Resume a service from the write-ahead log under
+    /// [`ServiceConfig::dir`].
+    ///
+    /// The log is replayed in order after dropping a torn final line
+    /// (which is also truncated on disk) and skipping any fully-written
+    /// line whose seal fails. Committed admissions re-reserve quota and
+    /// requeue their un-settled tasks at the original arrivals;
+    /// settlements re-charge ledgers and re-feed monitors with their
+    /// original bit-exact timings, exactly once (replaying a settlement
+    /// for an already-settled task is a no-op); rejections re-emit
+    /// their counters. For [`cached`](TenantSpec::cached) tenants the
+    /// hit set is re-derived organically against the store, so an
+    /// artifact quarantined as corrupt since the crash simply degrades
+    /// that task to a requeue.
+    ///
+    /// # Errors
+    /// [`ServiceError::RecoveryUnavailable`] if no WAL exists (or
+    /// [`ServiceConfig::dir`] is unset), [`ServiceError::RecoveryMismatch`]
+    /// if the log's header does not match `cfg`/`tenants`, plus any
+    /// tenant-validation error [`new`](Self::new) would report.
+    pub fn resume(
+        cfg: ServiceConfig,
+        tenants: Vec<TenantSpec>,
+        recorder: Arc<Recorder>,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let Some(path) = cfg.dir.as_ref().map(|d| d.join(WAL_FILE)) else {
+            return Err(ServiceError::RecoveryUnavailable {
+                reason: "ServiceConfig::dir is not set".to_owned(),
+            });
+        };
+        let text = fs::read_to_string(&path).map_err(|e| ServiceError::RecoveryUnavailable {
+            reason: format!("read {}: {e}", path.display()),
+        })?;
+        let mut report = RecoveryReport::default();
+        let mut body: &str = &text;
+        if !text.is_empty() && !text.ends_with('\n') {
+            let keep = text.rfind('\n').map_or(0, |i| i + 1);
+            body = &text[..keep];
+            report.wal_torn_tail = true;
+            // Durably drop the torn tail so future appends start on a
+            // clean line boundary instead of merging into garbage.
+            if let Ok(f) = fs::OpenOptions::new().write(true).open(&path) {
+                let _ = f.set_len(keep as u64);
+            }
+        }
+        let svc = Self::build(cfg, tenants, recorder)?;
+        // Pass 1: the settled set — needed during admission replay to
+        // keep completed tasks off the queue.
+        let mut settled_ids: BTreeSet<String> = BTreeSet::new();
+        for line in body.lines() {
+            if let Some(obj) = wal_object(line) {
+                if obj.get("event").and_then(Value::as_str) == Some("settle") {
+                    if let Some(task) = obj.get("task").and_then(Value::as_str) {
+                        settled_ids.insert(task.to_owned());
+                    }
+                }
+            }
+        }
+        // Pass 2: replay in log order. `task` lines buffer until their
+        // committing `admit` line; a buffer left at end-of-log is an
+        // uncommitted (crashed) admission and is dropped.
+        let mut pending: Vec<(String, f64)> = Vec::new();
+        for line in body.lines() {
+            let Some(obj) = wal_object(line) else {
+                report.wal_corrupt_lines += 1;
+                continue;
+            };
+            match obj.get("event").and_then(Value::as_str) {
+                Some("open") => svc.replay_open(&obj)?,
+                Some("tenant") => svc.replay_tenant(&obj)?,
+                Some("task") => {
+                    let (Some(task), Some(cost)) = (
+                        obj.get("task").and_then(Value::as_str),
+                        obj.get("cost").and_then(Value::as_num),
+                    ) else {
+                        report.wal_corrupt_lines += 1;
+                        continue;
+                    };
+                    pending.push((task.to_owned(), cost));
+                }
+                Some("admit") => {
+                    let block: Vec<(String, f64)> = std::mem::take(&mut pending);
+                    svc.replay_admit(&obj, block, &settled_ids, &mut report)?;
+                }
+                Some("reject") => {
+                    match obj.get("kind").and_then(Value::as_str) {
+                        Some("quota") => svc.recorder.add("service/rejected_quota", 1.0),
+                        Some("saturated") => svc.recorder.add("service/rejected_saturated", 1.0),
+                        _ => {
+                            report.wal_corrupt_lines += 1;
+                            continue;
+                        }
+                    }
+                    report.replayed_rejections += 1;
+                }
+                Some("settle") => svc.replay_settle(&obj, &mut report),
+                _ => report.wal_corrupt_lines += 1,
+            }
+        }
+        if report.replayed_settlements > 0 {
+            svc.recorder
+                .add("service/settled_tasks", report.replayed_settlements as f64);
+        }
+        svc.recorder.add(
+            "recovery/replayed_campaigns",
+            report.replayed_campaigns as f64,
+        );
+        svc.recorder.add(
+            "recovery/replayed_settlements",
+            report.replayed_settlements as f64,
+        );
+        svc.recorder
+            .add("recovery/requeued_tasks", report.requeued_tasks as f64);
+        svc.recorder
+            .add("recovery/wal_corrupt", report.wal_corrupt_lines as f64);
+        svc.recorder.add(
+            "recovery/wal_torn",
+            f64::from(u8::from(report.wal_torn_tail)),
+        );
+        Ok((svc, report))
+    }
+
+    /// Verify the WAL `open` header against this service's config.
+    fn replay_open(&self, obj: &BTreeMap<String, Value>) -> Result<(), ServiceError> {
+        let label = obj.get("label").and_then(Value::as_str).unwrap_or_default();
+        let workers = obj.get("workers").and_then(Value::as_num).unwrap_or(-1.0);
+        let depth = obj.get("depth").and_then(Value::as_num).unwrap_or(-1.0);
+        if label != self.cfg.label
+            || workers != self.cfg.workers as f64
+            || depth != self.cfg.max_queue_depth as f64
+        {
+            return Err(ServiceError::RecoveryMismatch {
+                reason: format!(
+                    "WAL opened as {label:?} ({workers} workers, depth {depth}); resuming as {:?} \
+                     ({} workers, depth {})",
+                    self.cfg.label, self.cfg.workers, self.cfg.max_queue_depth
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Verify one WAL `tenant` roster line against the resumed specs.
+    fn replay_tenant(&self, obj: &BTreeMap<String, Value>) -> Result<(), ServiceError> {
+        let name = obj.get("name").and_then(Value::as_str).unwrap_or_default();
+        let state = self.lock();
+        let Some(t) = state.tenants.iter().find(|t| t.spec.name == name) else {
+            return Err(ServiceError::RecoveryMismatch {
+                reason: format!("WAL tenant {name:?} is not registered on the resumed service"),
+            });
+        };
+        let spec = &t.spec;
+        if obj.get("weight").and_then(Value::as_num) != Some(spec.weight)
+            || obj.get("priority").and_then(Value::as_num) != Some(f64::from(spec.priority))
+            || obj.get("quota").and_then(Value::as_num) != Some(spec.quota_node_hours)
+            || obj.get("cached").and_then(Value::as_num) != Some(f64::from(u8::from(spec.cached)))
+        {
+            return Err(ServiceError::RecoveryMismatch {
+                reason: format!("tenant {name:?} is registered with a different spec than the WAL"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replay one committed admission block: re-reserve quota for the
+    /// live subset, requeue what never settled, re-derive cache hits
+    /// organically, and re-emit the admission counters.
+    fn replay_admit(
+        &self,
+        obj: &BTreeMap<String, Value>,
+        block: Vec<(String, f64)>,
+        settled_ids: &BTreeSet<String>,
+        report: &mut RecoveryReport,
+    ) -> Result<(), ServiceError> {
+        let (Some(tenant), Some(campaign), Some(arrival), Some(tasks)) = (
+            obj.get("tenant").and_then(Value::as_str),
+            obj.get("campaign").and_then(Value::as_str),
+            obj.get("arrival").and_then(Value::as_num),
+            obj.get("tasks").and_then(Value::as_num),
+        ) else {
+            report.wal_corrupt_lines += 1;
+            return Ok(());
+        };
+        if block.len() as f64 != tasks {
+            // A task line inside the block was lost or corrupted: the
+            // whole block is untrustworthy.
+            report.wal_corrupt_lines += 1;
+            return Ok(());
+        }
+        let mut state = self.lock();
+        let Some(class) = state.tenants.iter().position(|t| t.spec.name == tenant) else {
+            report.wal_corrupt_lines += 1;
+            return Ok(());
+        };
+        let cached_tenant = state.tenants[class].spec.cached;
+        let store = self.cfg.store.as_deref().filter(|_| cached_tenant);
+        let mut requested_node_seconds = 0.0_f64;
+        let mut live = 0usize;
+        let mut hits = 0usize;
+        let mut requeue: Vec<TaskSpec> = Vec::new();
+        for (task, cost) in block {
+            let full = format!("{tenant}:{campaign}:{task}");
+            if settled_ids.contains(&full) {
+                // Already ran to completion: reserve and attribute as
+                // the original admission did; ledger/monitor effects
+                // land when its settle line replays.
+                requested_node_seconds += cost.max(0.0);
+                live += 1;
+                state.attribution.insert(full, (class, cost.max(0.0)));
+                continue;
+            }
+            let hit = store.is_some_and(|st| {
+                let key = Self::service_artifact(tenant, &task, cost.max(0.0)).key();
+                st.get(key, &self.recorder).is_some()
+            });
+            if hit {
+                hits += 1;
+            } else {
+                requested_node_seconds += cost.max(0.0);
+                live += 1;
+                state
+                    .attribution
+                    .insert(full.clone(), (class, cost.max(0.0)));
+                requeue.push(TaskSpec::new(full, cost));
+            }
+        }
+        let requeued = self
+            .queue
+            .submit(class, arrival, requeue.iter().cloned())
+            .map_err(ServiceError::Submit)?;
+        let t = &mut state.tenants[class];
+        t.admitted_node_seconds += requested_node_seconds;
+        t.campaigns += 1;
+        t.cached_tasks += hits;
+        self.recorder.add("service/admitted_campaigns", 1.0);
+        self.recorder.add("service/admitted_tasks", live as f64);
+        if hits > 0 {
+            self.recorder
+                .add("service/cache_settled_tasks", hits as f64);
+        }
+        report.replayed_campaigns += 1;
+        report.requeued_tasks += requeued;
+        Ok(())
+    }
+
+    /// Replay one settlement, exactly once: charge the ledger, feed the
+    /// monitor the original bit-exact timings, refile the artifact for
+    /// cached tenants, and mark the task settled.
+    fn replay_settle(&self, obj: &BTreeMap<String, Value>, report: &mut RecoveryReport) {
+        let (Some(task), Some(worker), Some(start), Some(end), Some(attempts)) = (
+            obj.get("task").and_then(Value::as_str),
+            obj.get("worker").and_then(Value::as_num),
+            obj.get("start").and_then(Value::as_num),
+            obj.get("end").and_then(Value::as_num),
+            obj.get("attempts").and_then(Value::as_num),
+        ) else {
+            report.wal_corrupt_lines += 1;
+            return;
+        };
+        let mut state = self.lock();
+        if state.settled.contains_key(task) {
+            return;
+        }
+        let Some(&(class, cost)) = state.attribution.get(task) else {
+            // A settlement with no committed admission behind it.
+            report.wal_corrupt_lines += 1;
+            return;
+        };
+        let cached = state.tenants[class].spec.cached;
+        if let Some(store) = self.cfg.store.as_deref().filter(|_| cached) {
+            let mut parts = task.splitn(3, ':');
+            if let (Some(tenant), Some(_campaign), Some(raw)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                // Refile idempotently: the crash may have landed between
+                // the WAL settle line and the original put.
+                let _ = store.put(&Self::service_artifact(tenant, raw, cost), &self.recorder);
+            }
+        }
+        let t = &mut state.tenants[class];
+        t.ledger.charge(Machine::Summit, STAGE, cost);
+        t.completed_tasks += 1;
+        t.monitor.event(&Event::Task {
+            span: None,
+            task: task.to_owned(),
+            worker: worker as usize,
+            start,
+            end,
+            attempts: attempts as u32,
+        });
+        state.settled.insert(task.to_owned(), (class, cost));
+        report.replayed_settlements += 1;
+    }
+}
+
+/// Append raw bytes to `path`, creating it if needed.
+fn append_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(bytes)
+}
+
+/// Parse one WAL line, accepting only lines whose seal verifies: every
+/// WAL line is written sealed, so `Absent` means corrupt, not legacy.
+fn wal_object(line: &str) -> Option<BTreeMap<String, Value>> {
+    if json::check_seal(line) != Seal::Valid {
+        return None;
+    }
+    json::parse_object(line).ok()
 }
 
 #[cfg(test)]
@@ -864,5 +1502,216 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("alice"));
         assert!(text.contains("2.000"));
+        let k = ServiceError::Killed {
+            point: "service/settle".into(),
+        };
+        assert!(k.to_string().contains("service/settle"));
+    }
+
+    fn wal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sf-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn resume_without_a_wal_is_typed() {
+        let rec = Arc::new(Recorder::virtual_time());
+        assert!(matches!(
+            FoldingService::resume(ServiceConfig::default(), two_tenants(), Arc::clone(&rec)),
+            Err(ServiceError::RecoveryUnavailable { .. })
+        ));
+        let dir = wal_dir("no-wal");
+        let cfg = ServiceConfig {
+            dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        assert!(matches!(
+            FoldingService::resume(cfg, two_tenants(), rec),
+            Err(ServiceError::RecoveryUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_roster() {
+        let dir = wal_dir("mismatch");
+        let cfg = || ServiceConfig {
+            dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(cfg(), two_tenants(), Arc::clone(&rec)).unwrap();
+        drop(svc);
+        // Same names, different weight: the WAL belongs to another shape.
+        let other = vec![
+            TenantSpec::new("alice", 3.0, 1.0),
+            TenantSpec::new("bob", 1.0, 1.0),
+        ];
+        assert!(matches!(
+            FoldingService::resume(cfg(), other, Arc::clone(&rec)),
+            Err(ServiceError::RecoveryMismatch { .. })
+        ));
+        // A differently-shaped service (worker count) is also refused.
+        let wide = ServiceConfig {
+            workers: 16,
+            ..cfg()
+        };
+        assert!(matches!(
+            FoldingService::resume(wide, two_tenants(), rec),
+            Err(ServiceError::RecoveryMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_before_the_run_requeues_everything_and_matches_uninterrupted() {
+        let dir = wal_dir("requeue");
+        let cfg = || ServiceConfig {
+            dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let submit_all = |svc: &FoldingService| {
+            svc.submit("alice", "c0", 0.0, campaign(6, 10.0)).unwrap();
+            svc.submit("bob", "c1", 5.0, campaign(3, 20.0)).unwrap();
+        };
+        // Uninterrupted control (no WAL).
+        let rec_c = Arc::new(Recorder::virtual_time());
+        let control =
+            FoldingService::new(ServiceConfig::default(), two_tenants(), Arc::clone(&rec_c))
+                .unwrap();
+        submit_all(&control);
+        control.run(&VirtualExecutor::new(0.0)).unwrap();
+        // Admit the same script, then "crash" before serving.
+        let rec_a = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(cfg(), two_tenants(), rec_a).unwrap();
+        submit_all(&svc);
+        drop(svc);
+        let rec_b = Arc::new(Recorder::virtual_time());
+        let (resumed, report) =
+            FoldingService::resume(cfg(), two_tenants(), Arc::clone(&rec_b)).unwrap();
+        assert_eq!(report.replayed_campaigns, 2);
+        assert_eq!(report.requeued_tasks, 9);
+        assert_eq!(report.replayed_settlements, 0);
+        assert_eq!(report.wal_corrupt_lines, 0);
+        assert!(!report.wal_torn_tail);
+        resumed.run(&VirtualExecutor::new(0.0)).unwrap();
+        assert_eq!(resumed.settlement_trace(), control.settlement_trace());
+        for name in ["alice", "bob"] {
+            let a = resumed.tenant_status(name).unwrap();
+            let c = control.tenant_status(name).unwrap();
+            assert_eq!(a.completed_tasks, c.completed_tasks);
+            assert_eq!(a.campaigns, c.campaigns);
+            assert_eq!(
+                a.admitted_node_hours.to_bits(),
+                c.admitted_node_hours.to_bits()
+            );
+            assert_eq!(
+                a.charged_node_hours.to_bits(),
+                c.charged_node_hours.to_bits()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_the_run_replays_every_settlement_once() {
+        let dir = wal_dir("replay");
+        let cfg = || ServiceConfig {
+            dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let rec_a = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(cfg(), two_tenants(), Arc::clone(&rec_a)).unwrap();
+        svc.submit("alice", "c0", 0.0, campaign(4, 10.0)).unwrap();
+        svc.run(&VirtualExecutor::new(0.0)).unwrap();
+        let trace = svc.settlement_trace();
+        drop(svc);
+        let rec_b = Arc::new(Recorder::virtual_time());
+        let (resumed, report) =
+            FoldingService::resume(cfg(), two_tenants(), Arc::clone(&rec_b)).unwrap();
+        assert_eq!(report.replayed_settlements, 4);
+        assert_eq!(report.requeued_tasks, 0);
+        assert_eq!(resumed.settlement_trace(), trace);
+        let st = resumed.tenant_status("alice").unwrap();
+        assert_eq!(st.completed_tasks, 4);
+        assert!((st.charged_node_hours - 40.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(st.snapshot.tasks_done, 4);
+        let totals = summitfold_obs::Trace::from_events(rec_b.events()).counter_totals();
+        assert_eq!(totals["service/settled_tasks"], 4.0);
+        assert_eq!(totals["recovery/replayed_settlements"], 4.0);
+        // Replay is idempotent: nothing left to run, nothing re-charged.
+        resumed.run(&VirtualExecutor::new(0.0)).unwrap();
+        assert_eq!(resumed.tenant_status("alice").unwrap().completed_tasks, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped_flagged_and_truncated() {
+        let dir = wal_dir("torn");
+        let cfg = || ServiceConfig {
+            dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(cfg(), two_tenants(), Arc::clone(&rec)).unwrap();
+        svc.submit("alice", "c0", 0.0, campaign(2, 10.0)).unwrap();
+        drop(svc);
+        let path = dir.join("service.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"event\":\"task\",\"task\":\"t9\",\"co");
+        std::fs::write(&path, &text).unwrap();
+        let (resumed, report) =
+            FoldingService::resume(cfg(), two_tenants(), Arc::clone(&rec)).unwrap();
+        assert!(report.wal_torn_tail);
+        assert_eq!(report.wal_corrupt_lines, 0);
+        assert_eq!(report.requeued_tasks, 2);
+        // The tail was truncated on disk: post-resume appends start on
+        // a clean boundary and a second recovery parses everything.
+        resumed.submit("bob", "c1", 0.0, campaign(1, 5.0)).unwrap();
+        drop(resumed);
+        let (_again, second) = FoldingService::resume(cfg(), two_tenants(), rec).unwrap();
+        assert!(!second.wal_torn_tail);
+        assert_eq!(second.wal_corrupt_lines, 0);
+        assert_eq!(second.replayed_campaigns, 2);
+        assert_eq!(second.requeued_tasks, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_wal_lines_are_skipped_and_counted() {
+        let dir = wal_dir("corrupt");
+        let cfg = || ServiceConfig {
+            dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let rec = Arc::new(Recorder::virtual_time());
+        let svc = FoldingService::new(cfg(), two_tenants(), Arc::clone(&rec)).unwrap();
+        svc.submit("alice", "c0", 0.0, campaign(2, 10.0)).unwrap();
+        svc.submit("bob", "c1", 0.0, campaign(1, 5.0)).unwrap();
+        drop(svc);
+        let path = dir.join("service.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip one byte inside a task line of alice's block: the line
+        // fails its seal AND the block's task count no longer matches,
+        // so the whole admission is dropped rather than half-replayed.
+        let flipped: String = text
+            .lines()
+            .map(|l| {
+                if l.contains("\"task\":\"t0\"") && l.contains("\"cost\":10") {
+                    l.replace("\"t0\"", "\"tX\"")
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        std::fs::write(&path, &flipped).unwrap();
+        let (_resumed, report) = FoldingService::resume(cfg(), two_tenants(), rec).unwrap();
+        // One corrupt task line + one short admit block.
+        assert_eq!(report.wal_corrupt_lines, 2);
+        assert_eq!(report.replayed_campaigns, 1);
+        assert_eq!(report.requeued_tasks, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,6 +23,12 @@
 //! neighborhoods at a recorded quality discount, and misses are computed
 //! then written back. With no store attached the stages behave — and
 //! trace — exactly as before.
+//!
+//! Corruption is handled below this layer: a stored entry whose seal no
+//! longer verifies at lookup is quarantined by the store (`cache/corrupt`,
+//! moved to `corrupt/`) and surfaces here as an ordinary miss, so the
+//! stage recomputes and refiles it with quality numbers bit-identical to
+//! a clean run (pinned in `tests/store.rs`).
 
 use crate::artifacts;
 use summitfold_dataflow::exec::BatchOutcome;

@@ -20,6 +20,23 @@
 //!   are torn-write tolerant the way the dataflow checkpoint journal is:
 //!   a kill mid-append costs at most the final line, which simply reads
 //!   as a miss and is recomputed.
+//! * **Corruption resilience**: every journal line and blob header is
+//!   *sealed* with an FNV-1a-64 checksum ([`ObjectWriter::finish_sealed`]
+//!   in `summitfold-obs`), and blob headers carry a `psum` checksum over
+//!   the payload lines. Reads verify before serving: a flipped bit
+//!   anywhere quarantines the entry (moved to `corrupt/`, de-indexed,
+//!   `cache/corrupt` counted once) and the lookup degrades to a miss, so
+//!   a poisoned artifact is recomputed instead of fanning out across
+//!   every warm campaign. [`Store::scrub`] runs the same verification as
+//!   an offline repair pass — and additionally *adopts* valid orphan
+//!   blobs left by a process killed between the blob rename and the
+//!   journal append. Version-1 stores (pre-checksum) still open; their
+//!   unsealed records are simply accepted unverified.
+//! * **Fault injection**: [`Store::open_with_faults`] threads a
+//!   [`summitfold_dataflow::chaos::IoFaults`] handle through the write
+//!   paths (`store/blob`, `store/journal` operations), so crash tests
+//!   can tear, corrupt, fail, or kill any chosen write deterministically
+//!   on either executor.
 //! * **Near-duplicate reuse** ([`Store::near_lookup`]): a miss for a
 //!   sequence that is ≥ `near_identity` identical to a stored neighbor
 //!   (checked with the same k-mer prefilter + banded Smith–Waterman the
@@ -49,9 +66,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use summitfold_dataflow::chaos::{IoFaults, WriteOutcome};
 use summitfold_msa::cluster::neighborhood_identity;
 use summitfold_msa::kmer::KmerIndex;
-use summitfold_obs::json::{self, ObjectWriter};
+use summitfold_obs::json::{self, check_seal, fnv64, ObjectWriter, Seal};
 use summitfold_obs::Recorder;
 use summitfold_protein::seq::Sequence;
 
@@ -60,8 +78,9 @@ mod key;
 pub use key::StoreKey;
 
 /// On-disk format version written into every blob header; readers reject
-/// (miss) anything newer.
-pub const FORMAT_VERSION: u64 = 1;
+/// (miss) anything newer. Version 2 added sealed journal lines and blob
+/// checksums; version-1 records are still read, unverified.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Configuration for a [`Store`].
 #[derive(Debug, Clone, Copy)]
@@ -94,14 +113,12 @@ pub enum StoreError {
         /// Underlying error.
         source: std::io::Error,
     },
-    /// A fully-written (newline-terminated) journal line is malformed —
-    /// unlike a torn tail, this means the store root holds something
-    /// that was never a summitfold store journal.
-    Journal {
-        /// 1-based line number.
-        line: usize,
-        /// What was wrong.
-        message: String,
+    /// An injected fault (torn write, failed op, or kill) from the
+    /// armed [`IoFaults`] schedule stopped the operation. Production
+    /// stores (no faults armed) never see this.
+    Injected {
+        /// The faulted operation, e.g. `store/blob`.
+        op: String,
     },
 }
 
@@ -111,8 +128,8 @@ impl fmt::Display for StoreError {
             Self::Io { path, source } => {
                 write!(f, "store io error at {}: {source}", path.display())
             }
-            Self::Journal { line, message } => {
-                write!(f, "store journal line {line}: {message}")
+            Self::Injected { op } => {
+                write!(f, "injected fault stopped operation {op}")
             }
         }
     }
@@ -122,7 +139,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io { source, .. } => Some(source),
-            Self::Journal { .. } => None,
+            Self::Injected { .. } => None,
         }
     }
 }
@@ -221,6 +238,21 @@ impl CacheSummary {
     }
 }
 
+/// Outcome of reading and verifying one blob file.
+#[derive(Debug)]
+enum BlobRead {
+    /// Verified intact.
+    Ok(Artifact),
+    /// No blob file (evicted under us, or the journal lied).
+    Missing,
+    /// Truncated mid-write (a kill, not corruption): read as a miss.
+    Torn,
+    /// Fully written but fails parsing or a checksum: quarantine it.
+    Corrupt,
+    /// Written by a newer format version: leave it alone, read as miss.
+    Newer,
+}
+
 #[derive(Debug, Clone)]
 struct Meta {
     stage: String,
@@ -236,6 +268,10 @@ struct State {
     /// near-duplicate candidate order included — is deterministic.
     entries: BTreeMap<String, Meta>,
     next_seq: u64,
+    /// Fully-written journal lines that failed to parse or verify at
+    /// open and were skipped (a bit flipped in the journal costs that
+    /// line's event, never the whole store).
+    skipped_lines: usize,
 }
 
 /// A content-addressed, on-disk artifact store. See the [module
@@ -244,6 +280,7 @@ struct State {
 pub struct Store {
     root: PathBuf,
     cfg: StoreConfig,
+    faults: IoFaults,
     state: Mutex<State>,
 }
 
@@ -252,9 +289,10 @@ impl Store {
     /// configuration.
     ///
     /// # Errors
-    /// [`StoreError::Io`] if the root cannot be created or read;
-    /// [`StoreError::Journal`] if the journal holds a fully-written
-    /// malformed line (a torn final line is tolerated and dropped).
+    /// [`StoreError::Io`] if the root cannot be created or read. A
+    /// damaged journal never fails the open: a torn final line is
+    /// dropped and fully-written corrupt lines are skipped (see
+    /// [`skipped_journal_lines`](Self::skipped_journal_lines)).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
         Self::open_with(root, StoreConfig::default())
     }
@@ -264,6 +302,21 @@ impl Store {
     /// # Errors
     /// As [`open`](Self::open).
     pub fn open_with(root: impl Into<PathBuf>, cfg: StoreConfig) -> Result<Self, StoreError> {
+        Self::open_with_faults(root, cfg, IoFaults::none())
+    }
+
+    /// [`open_with`](Self::open_with) plus an armed fault-injection
+    /// handle gating the store's writes (operations `store/blob` and
+    /// `store/journal`). Production stores use [`IoFaults::none`] —
+    /// the handle is free when unarmed.
+    ///
+    /// # Errors
+    /// As [`open`](Self::open).
+    pub fn open_with_faults(
+        root: impl Into<PathBuf>,
+        cfg: StoreConfig,
+        faults: IoFaults,
+    ) -> Result<Self, StoreError> {
         let root = root.into();
         let objects = root.join("objects");
         fs::create_dir_all(&objects).map_err(|source| StoreError::Io {
@@ -281,10 +334,28 @@ impl Store {
                 })
             }
         };
-        let state = Self::replay(&text)?;
+        // Repair a torn tail durably *before* anything appends again:
+        // otherwise the next append would merge with the torn bytes
+        // into one garbage line and lose its event.
+        if !text.is_empty() && !text.ends_with('\n') {
+            let keep = text.rfind('\n').map_or(0, |i| i + 1);
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(&journal_path)
+                .map_err(|source| StoreError::Io {
+                    path: journal_path.clone(),
+                    source,
+                })?;
+            f.set_len(keep as u64).map_err(|source| StoreError::Io {
+                path: journal_path.clone(),
+                source,
+            })?;
+        }
+        let state = Self::replay(&text);
         Ok(Self {
             root,
             cfg,
+            faults,
             state: Mutex::new(state),
         })
     }
@@ -292,10 +363,13 @@ impl Store {
     /// Rebuild the in-memory index from journal text. A torn final line
     /// (no trailing newline) is dropped: the put it recorded reads as a
     /// miss and is recomputed — the same recovery contract as the
-    /// dataflow checkpoint journal.
-    fn replay(text: &str) -> Result<State, StoreError> {
+    /// dataflow checkpoint journal. A fully-written line that fails to
+    /// parse or fails its seal is *skipped* (and tallied): corruption
+    /// costs one event, not the store.
+    fn replay(text: &str) -> State {
         let mut entries = BTreeMap::new();
         let mut next_seq = 0u64;
+        let mut skipped_lines = 0usize;
         let ends_nl = text.ends_with('\n');
         let lines: Vec<&str> = text.lines().collect();
         for (i, raw) in lines.iter().enumerate() {
@@ -307,15 +381,14 @@ impl Store {
             match Self::replay_line(line, &mut entries, &mut next_seq) {
                 Ok(()) => {}
                 Err(_) if last && !ends_nl => {} // torn tail: drop it
-                Err(message) => {
-                    return Err(StoreError::Journal {
-                        line: i + 1,
-                        message,
-                    })
-                }
+                Err(_) => skipped_lines += 1,
             }
         }
-        Ok(State { entries, next_seq })
+        State {
+            entries,
+            next_seq,
+            skipped_lines,
+        }
     }
 
     fn replay_line(
@@ -324,6 +397,18 @@ impl Store {
         next_seq: &mut u64,
     ) -> Result<(), String> {
         let obj = json::parse_object(line).map_err(|e| e.to_string())?;
+        // Seal policy: a valid seal is trusted; a broken or malformed
+        // seal means the line was corrupted after writing; no seal at
+        // all is a version-1 line, accepted unverified.
+        match check_seal(line) {
+            Seal::Valid => {}
+            Seal::Mismatch => return Err("journal line failed its seal".to_string()),
+            Seal::Absent => {
+                if obj.contains_key("sum") {
+                    return Err("journal line has an unverifiable seal".to_string());
+                }
+            }
+        }
         let str_of = |key: &str| {
             obj.get(key)
                 .and_then(json::Value::as_str)
@@ -349,7 +434,9 @@ impl Store {
                 );
                 Ok(())
             }
-            "evict" => {
+            // A quarantined entry leaves the index exactly like an
+            // evicted one; only the blob's destination differs.
+            "evict" | "quarantine" => {
                 entries.remove(&str_of("key")?);
                 Ok(())
             }
@@ -388,50 +475,157 @@ impl Store {
         self.lock().entries.contains_key(&key.to_hex())
     }
 
+    /// Fully-written journal lines skipped at open because they failed
+    /// to parse or verify (each cost one event, never the store).
+    #[must_use]
+    pub fn skipped_journal_lines(&self) -> usize {
+        self.lock().skipped_lines
+    }
+
     fn blob_path(&self, hex: &str) -> PathBuf {
         self.root.join("objects").join(format!("{hex}.jsonl"))
     }
 
-    /// Read and validate a blob without touching counters. Any torn or
-    /// inconsistent blob reads as absent.
-    fn read_blob(&self, hex: &str) -> Option<Artifact> {
-        let text = fs::read_to_string(self.blob_path(hex)).ok()?;
+    fn corrupt_path(&self, hex: &str) -> PathBuf {
+        self.root.join("corrupt").join(format!("{hex}.jsonl"))
+    }
+
+    /// FNV checksum over payload lines exactly as they sit in the blob
+    /// (each line newline-terminated).
+    fn payload_sum(payload: &[String]) -> u64 {
+        let mut text = String::new();
+        for line in payload {
+            text.push_str(line);
+            text.push('\n');
+        }
+        fnv64(&text)
+    }
+
+    /// Read and classify a blob without touching counters or the index.
+    fn read_blob(&self, hex: &str) -> BlobRead {
+        let text = match fs::read_to_string(self.blob_path(hex)) {
+            Ok(text) => text,
+            Err(_) => return BlobRead::Missing,
+        };
         if !text.ends_with('\n') {
-            return None; // torn final line: the put was killed mid-write
+            return BlobRead::Torn; // killed mid-write: recompute, don't quarantine
         }
         let mut lines = text.lines();
-        let header = json::parse_object(lines.next()?).ok()?;
+        let Some(header_line) = lines.next() else {
+            return BlobRead::Torn;
+        };
+        let Ok(header) = json::parse_object(header_line) else {
+            return BlobRead::Corrupt;
+        };
+        let version = header
+            .get("version")
+            .and_then(json::Value::as_num)
+            .map(|v| v as u64);
+        // Seal before version: a flipped bit in the version digits must
+        // read as corruption, not as a mysteriously newer format.
+        let sealed = version.is_none_or(|v| v >= 2);
+        match check_seal(header_line) {
+            Seal::Valid => {}
+            Seal::Mismatch => return BlobRead::Corrupt,
+            // Only a version-1 header (the pre-checksum format) may lack
+            // a seal; anything else without a verifiable one is corrupt.
+            Seal::Absent if sealed || header.contains_key("sum") => return BlobRead::Corrupt,
+            Seal::Absent => {}
+        }
+        if version.is_some_and(|v| v > FORMAT_VERSION) {
+            return BlobRead::Newer;
+        }
+        let sealed = version.is_some_and(|v| v >= 2);
         let sfield = |key: &str| header.get(key).and_then(json::Value::as_str);
-        if sfield("store") != Some("summitfold") {
-            return None;
+        if sfield("store") != Some("summitfold") || version.is_none() || sfield("key") != Some(hex)
+        {
+            return BlobRead::Corrupt;
         }
-        let version = header.get("version").and_then(json::Value::as_num)?;
-        if version as u64 > FORMAT_VERSION {
-            return None;
-        }
-        if sfield("key") != Some(hex) {
-            return None;
-        }
-        let expected = header.get("lines").and_then(json::Value::as_num)? as usize;
+        let Some(expected) = header.get("lines").and_then(json::Value::as_num) else {
+            return BlobRead::Corrupt;
+        };
         let payload: Vec<String> = lines.map(ToOwned::to_owned).collect();
-        if payload.len() != expected {
-            return None; // truncated mid-payload
+        if payload.len() < expected as usize {
+            return BlobRead::Torn; // truncated mid-payload
         }
-        Some(Artifact {
-            stage: sfield("stage")?.to_owned(),
-            preset: sfield("preset")?.to_owned(),
-            content: sfield("content")?.to_owned(),
+        if payload.len() > expected as usize {
+            return BlobRead::Corrupt; // trailing garbage after the payload
+        }
+        if sealed {
+            let want = format!("{:016x}", Self::payload_sum(&payload));
+            if sfield("psum") != Some(want.as_str()) {
+                return BlobRead::Corrupt;
+            }
+        }
+        let (Some(stage), Some(preset), Some(content)) =
+            (sfield("stage"), sfield("preset"), sfield("content"))
+        else {
+            return BlobRead::Corrupt;
+        };
+        BlobRead::Ok(Artifact {
+            stage: stage.to_owned(),
+            preset: preset.to_owned(),
+            content: content.to_owned(),
             payload,
         })
     }
 
+    /// De-index `hex` and move its blob aside to `corrupt/`, durably
+    /// (a sealed `quarantine` journal event). Counts `cache/corrupt`
+    /// exactly once per entry: a second caller finds it already gone.
+    fn quarantine(&self, hex: &str, rec: &Recorder) {
+        let removed = {
+            let mut state = self.lock();
+            if state.entries.remove(hex).is_none() {
+                false
+            } else {
+                let _ = fs::create_dir_all(self.root.join("corrupt"));
+                let _ = fs::rename(self.blob_path(hex), self.corrupt_path(hex));
+                let mut w = ObjectWriter::new();
+                w.str_field("event", "quarantine");
+                w.str_field("key", hex);
+                let mut line = w.finish_sealed();
+                line.push('\n');
+                // Best-effort durability: if the append fails the entry
+                // is still gone from memory; a reopen re-discovers the
+                // missing blob as a miss.
+                let journal_path = self.root.join("store.jsonl");
+                if let Ok(mut file) = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&journal_path)
+                {
+                    let _ = file.write_all(line.as_bytes());
+                }
+                true
+            }
+        };
+        if removed {
+            rec.add("cache/corrupt", 1.0);
+        }
+    }
+
     /// Counted exact lookup: `cache/hit` on success, `cache/miss`
-    /// otherwise (including torn blobs, which recover by recomputing).
+    /// otherwise. A torn blob (killed mid-put) is just a miss; a blob
+    /// that fails verification is quarantined (`cache/corrupt`, moved to
+    /// `corrupt/`, de-indexed) and *also* reads as a miss, so callers
+    /// transparently recompute and re-file.
     #[must_use]
     pub fn get(&self, key: StoreKey, rec: &Recorder) -> Option<Artifact> {
         let hex = key.to_hex();
         let indexed = self.lock().entries.contains_key(&hex);
-        let artifact = if indexed { self.read_blob(&hex) } else { None };
+        let artifact = if indexed {
+            match self.read_blob(&hex) {
+                BlobRead::Ok(a) => Some(a),
+                BlobRead::Corrupt => {
+                    self.quarantine(&hex, rec);
+                    None
+                }
+                BlobRead::Missing | BlobRead::Torn | BlobRead::Newer => None,
+            }
+        } else {
+            None
+        };
         if artifact.is_some() {
             rec.add("cache/hit", 1.0);
         } else {
@@ -497,7 +691,14 @@ impl Store {
             }
         }
         let (identity, hex) = best?;
-        let artifact = self.read_blob(hex)?;
+        let artifact = match self.read_blob(hex) {
+            BlobRead::Ok(a) => a,
+            BlobRead::Corrupt => {
+                self.quarantine(hex, rec);
+                return None;
+            }
+            BlobRead::Missing | BlobRead::Torn | BlobRead::Newer => return None,
+        };
         let near = NearHit {
             key: StoreKey::from_hex(hex)?,
             identity,
@@ -512,12 +713,19 @@ impl Store {
     /// Records `cache/put`, plus `cache/evicted` per victim when the
     /// capacity cap is exceeded (oldest insertion first).
     ///
-    /// The blob is written to a temporary file and renamed into place, so
-    /// a kill mid-put never corrupts an existing artifact; the journal
-    /// append after it is line-atomic.
+    /// Crash consistency is *enforced*, not just documented: the blob is
+    /// written to a temporary file and renamed into place **before** the
+    /// journal append that keys it, and the in-memory index mutates only
+    /// after both writes land. A kill before the rename leaves an orphan
+    /// `.tmp` ([`scrub`](Self::scrub) removes it); a kill between the
+    /// rename and the journal append leaves a valid unkeyed blob
+    /// (`scrub` adopts it); a kill mid-append leaves a torn journal tail
+    /// (dropped at reopen). No ordering leaves a keyed-but-unreadable
+    /// artifact.
     ///
     /// # Errors
-    /// [`StoreError::Io`] if the blob or journal cannot be written.
+    /// [`StoreError::Io`] if the blob or journal cannot be written;
+    /// [`StoreError::Injected`] when an armed fault fires.
     pub fn put(&self, artifact: &Artifact, rec: &Recorder) -> Result<StoreKey, StoreError> {
         let key = artifact.key();
         let hex = key.to_hex();
@@ -531,7 +739,11 @@ impl Store {
         header.str_field("preset", &artifact.preset);
         header.str_field("content", &artifact.content);
         header.int_field("lines", artifact.payload.len() as u64);
-        let mut blob = header.finish();
+        header.str_field(
+            "psum",
+            &format!("{:016x}", Self::payload_sum(&artifact.payload)),
+        );
+        let mut blob = header.finish_sealed();
         blob.push('\n');
         for line in &artifact.payload {
             blob.push_str(line);
@@ -539,15 +751,100 @@ impl Store {
         }
 
         let mut state = self.lock();
-        let tmp = self.blob_path(&format!("{hex}.tmp"));
         let io = |path: &Path, source: std::io::Error| StoreError::Io {
             path: path.to_path_buf(),
             source,
         };
-        fs::write(&tmp, &blob).map_err(|e| io(&tmp, e))?;
-        let dest = self.blob_path(&hex);
-        fs::rename(&tmp, &dest).map_err(|e| io(&dest, e))?;
+        let injected = |op: &str| StoreError::Injected { op: op.to_string() };
 
+        // Plan eviction victims (oldest insertions beyond the cap)
+        // without touching the index yet: memory mutates only after the
+        // disk writes succeed.
+        let will_insert = !state.entries.contains_key(&hex);
+        let mut victims: Vec<String> = Vec::new();
+        if let Some(cap) = self.cfg.max_entries {
+            let mut size = state.entries.len() + usize::from(will_insert);
+            let mut pool: Vec<(u64, String)> = state
+                .entries
+                .iter()
+                .filter(|(h, _)| h.as_str() != hex)
+                .map(|(h, m)| (m.seq, h.clone()))
+                .collect();
+            pool.sort();
+            let mut oldest = pool.into_iter();
+            while size > cap.max(1) {
+                let Some((_, victim)) = oldest.next() else {
+                    break;
+                };
+                victims.push(victim);
+                size -= 1;
+            }
+        }
+
+        let mut journal_lines = {
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "put");
+            w.str_field("key", &hex);
+            w.str_field("stage", &artifact.stage);
+            w.str_field("preset", &artifact.preset);
+            w.str_field("content", &artifact.content);
+            let mut line = w.finish_sealed();
+            line.push('\n');
+            line
+        };
+        for victim in &victims {
+            let mut w = ObjectWriter::new();
+            w.str_field("event", "evict");
+            w.str_field("key", victim);
+            journal_lines.push_str(&w.finish_sealed());
+            journal_lines.push('\n');
+        }
+
+        // Blob first: tmp write + rename, gated by the fault plane.
+        let tmp = self.blob_path(&format!("{hex}.tmp"));
+        let dest = self.blob_path(&hex);
+        let mut blob_bytes = blob.into_bytes();
+        match self.faults.on_write("store/blob", &mut blob_bytes, rec) {
+            WriteOutcome::Full => {
+                fs::write(&tmp, &blob_bytes).map_err(|e| io(&tmp, e))?;
+                fs::rename(&tmp, &dest).map_err(|e| io(&dest, e))?;
+            }
+            WriteOutcome::Torn(k) => {
+                // Killed mid-tmp-write: the orphan .tmp is all that
+                // lands — never a keyed artifact.
+                let _ = fs::write(&tmp, &blob_bytes[..k]);
+                return Err(injected("store/blob"));
+            }
+            WriteOutcome::Fail => return Err(injected("store/blob")),
+        }
+
+        // Journal second: the append is what keys the blob.
+        let mut journal_bytes = journal_lines.into_bytes();
+        let journal_path = self.root.join("store.jsonl");
+        let append = |bytes: &[u8]| -> Result<(), StoreError> {
+            let mut file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&journal_path)
+                .map_err(|e| io(&journal_path, e))?;
+            file.write_all(bytes).map_err(|e| io(&journal_path, e))
+        };
+        match self
+            .faults
+            .on_write("store/journal", &mut journal_bytes, rec)
+        {
+            WriteOutcome::Full => append(&journal_bytes)?,
+            WriteOutcome::Torn(k) => {
+                // Killed mid-append: the torn tail is dropped at reopen
+                // and the already-renamed blob becomes an orphan that
+                // scrub adopts.
+                let _ = append(&journal_bytes[..k]);
+                return Err(injected("store/journal"));
+            }
+            WriteOutcome::Fail => return Err(injected("store/journal")),
+        }
+
+        // Both writes landed: apply to memory.
         let seq = state.next_seq;
         state.next_seq += 1;
         state.entries.insert(
@@ -559,49 +856,11 @@ impl Store {
                 seq,
             },
         );
-        let mut journal_lines = {
-            let mut w = ObjectWriter::new();
-            w.str_field("event", "put");
-            w.str_field("key", &hex);
-            w.str_field("stage", &artifact.stage);
-            w.str_field("preset", &artifact.preset);
-            w.str_field("content", &artifact.content);
-            let mut line = w.finish();
-            line.push('\n');
-            line
-        };
-
-        // Capacity: evict oldest insertions until back under the cap.
-        let mut evicted = 0usize;
-        if let Some(cap) = self.cfg.max_entries {
-            while state.entries.len() > cap.max(1) {
-                let Some(victim) = state
-                    .entries
-                    .iter()
-                    .min_by_key(|(h, m)| (m.seq, (*h).clone()))
-                    .map(|(h, _)| h.clone())
-                else {
-                    break;
-                };
-                state.entries.remove(&victim);
-                let _ = fs::remove_file(self.blob_path(&victim));
-                let mut w = ObjectWriter::new();
-                w.str_field("event", "evict");
-                w.str_field("key", &victim);
-                journal_lines.push_str(&w.finish());
-                journal_lines.push('\n');
-                evicted += 1;
-            }
+        let evicted = victims.len();
+        for victim in &victims {
+            state.entries.remove(victim);
+            let _ = fs::remove_file(self.blob_path(victim));
         }
-
-        let journal_path = self.root.join("store.jsonl");
-        let mut file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&journal_path)
-            .map_err(|e| io(&journal_path, e))?;
-        file.write_all(journal_lines.as_bytes())
-            .map_err(|e| io(&journal_path, e))?;
         drop(state);
 
         rec.add("cache/put", 1.0);
@@ -610,6 +869,146 @@ impl Store {
         }
         Ok(key)
     }
+
+    /// Offline verification and repair pass over the whole store.
+    ///
+    /// * verifies every indexed blob, quarantining corrupt ones
+    ///   (`cache/corrupt`, same path as a failed [`get`](Self::get)) and
+    ///   de-indexing torn or missing ones;
+    /// * removes orphan `.tmp` files from puts killed before the rename;
+    /// * *adopts* valid orphan blobs whose journal append was lost (a
+    ///   kill between the blob rename and the append): they are keyed
+    ///   back into the index with a fresh sealed `put` line, so the
+    ///   completed work is not recomputed.
+    ///
+    /// Idempotent: a second scrub of an undisturbed store reports all
+    /// zeros (except `checked`).
+    pub fn scrub(&self, rec: &Recorder) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut corrupt_keys: Vec<String> = Vec::new();
+        {
+            let mut state = self.lock();
+
+            // Pass 1: verify every indexed entry.
+            let keys: Vec<String> = state.entries.keys().cloned().collect();
+            let mut journal_lines = String::new();
+            for hex in keys {
+                report.checked += 1;
+                match self.read_blob(&hex) {
+                    BlobRead::Ok(_) | BlobRead::Newer => {}
+                    BlobRead::Corrupt => {
+                        state.entries.remove(&hex);
+                        let _ = fs::create_dir_all(self.root.join("corrupt"));
+                        let _ = fs::rename(self.blob_path(&hex), self.corrupt_path(&hex));
+                        let mut w = ObjectWriter::new();
+                        w.str_field("event", "quarantine");
+                        w.str_field("key", &hex);
+                        journal_lines.push_str(&w.finish_sealed());
+                        journal_lines.push('\n');
+                        report.quarantined += 1;
+                        corrupt_keys.push(hex);
+                    }
+                    BlobRead::Missing | BlobRead::Torn => {
+                        state.entries.remove(&hex);
+                        let _ = fs::remove_file(self.blob_path(&hex));
+                        let mut w = ObjectWriter::new();
+                        w.str_field("event", "evict");
+                        w.str_field("key", &hex);
+                        journal_lines.push_str(&w.finish_sealed());
+                        journal_lines.push('\n');
+                        report.torn_dropped += 1;
+                    }
+                }
+            }
+
+            // Pass 2: sweep the objects directory for tmp leftovers and
+            // unkeyed blobs (deterministic order).
+            let mut names: Vec<String> = fs::read_dir(self.root.join("objects"))
+                .ok()
+                .into_iter()
+                .flatten()
+                .filter_map(|e| e.ok()?.file_name().into_string().ok())
+                .collect();
+            names.sort();
+            for name in names {
+                if name.ends_with(".tmp.jsonl") {
+                    let _ = fs::remove_file(self.root.join("objects").join(&name));
+                    report.tmp_removed += 1;
+                    continue;
+                }
+                let Some(hex) = name.strip_suffix(".jsonl") else {
+                    continue;
+                };
+                if StoreKey::from_hex(hex).is_none() || state.entries.contains_key(hex) {
+                    continue;
+                }
+                match self.read_blob(hex) {
+                    BlobRead::Ok(artifact) if artifact.key().to_hex() == hex => {
+                        let seq = state.next_seq;
+                        state.next_seq += 1;
+                        state.entries.insert(
+                            hex.to_string(),
+                            Meta {
+                                stage: artifact.stage.clone(),
+                                preset: artifact.preset.clone(),
+                                content: artifact.content.clone(),
+                                seq,
+                            },
+                        );
+                        let mut w = ObjectWriter::new();
+                        w.str_field("event", "put");
+                        w.str_field("key", hex);
+                        w.str_field("stage", &artifact.stage);
+                        w.str_field("preset", &artifact.preset);
+                        w.str_field("content", &artifact.content);
+                        journal_lines.push_str(&w.finish_sealed());
+                        journal_lines.push('\n');
+                        report.adopted += 1;
+                    }
+                    BlobRead::Newer => {}
+                    // An orphan that fails verification was never keyed
+                    // and never served: move it aside uncounted.
+                    _ => {
+                        let _ = fs::create_dir_all(self.root.join("corrupt"));
+                        let _ = fs::rename(self.blob_path(hex), self.corrupt_path(hex));
+                    }
+                }
+            }
+
+            if !journal_lines.is_empty() {
+                let journal_path = self.root.join("store.jsonl");
+                if let Ok(mut file) = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&journal_path)
+                {
+                    let _ = file.write_all(journal_lines.as_bytes());
+                }
+            }
+        }
+        // Counters after the guard drops, one per quarantined entry —
+        // the same cadence as the read path.
+        for _ in &corrupt_keys {
+            rec.add("cache/corrupt", 1.0);
+        }
+        report
+    }
+}
+
+/// What [`Store::scrub`] found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Indexed entries verified.
+    pub checked: usize,
+    /// Indexed entries quarantined (failed verification).
+    pub quarantined: usize,
+    /// Indexed entries dropped because the blob was torn or missing.
+    pub torn_dropped: usize,
+    /// Orphan `.tmp` files removed (puts killed before the rename).
+    pub tmp_removed: usize,
+    /// Valid orphan blobs adopted back into the index (puts killed
+    /// between the blob rename and the journal append).
+    pub adopted: usize,
 }
 
 #[cfg(test)]
@@ -720,14 +1119,193 @@ mod tests {
     }
 
     #[test]
-    fn fully_written_garbage_journal_is_a_typed_error() {
+    fn fully_written_garbage_journal_lines_are_skipped_not_fatal() {
         let root = scratch_root("garbage");
+        let rec = Recorder::virtual_time();
+        let a = art("feature_gen", "ACDEF");
+        {
+            let store = Store::open(&root).unwrap();
+            store.put(&a, &rec).unwrap();
+        }
+        // Corrupt the journal: prepend a garbage line and append a
+        // fully-written (newline-terminated) bit-flipped copy of a line.
+        let journal = root.join("store.jsonl");
+        let text = fs::read_to_string(&journal).unwrap();
+        let mut flipped = text.trim_end().to_string().into_bytes();
+        flipped[10] ^= 0x08;
+        let mut rebuilt = String::from("not json\n");
+        rebuilt.push_str(&text);
+        rebuilt.push_str(&String::from_utf8(flipped).unwrap());
+        rebuilt.push('\n');
+        fs::write(&journal, rebuilt).unwrap();
+
+        let store = Store::open(&root).expect("damaged journal still opens");
+        assert_eq!(store.skipped_journal_lines(), 2, "garbage + flipped line");
+        assert_eq!(store.len(), 1, "the intact put survived");
+        assert_eq!(store.get(a.key(), &rec).as_ref(), Some(&a));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unsealed_v1_journal_lines_are_accepted() {
+        let root = scratch_root("v1-journal");
         fs::create_dir_all(root.join("objects")).unwrap();
-        fs::write(root.join("store.jsonl"), "not json\n").unwrap();
-        match Store::open(&root) {
-            Err(StoreError::Journal { line, .. }) => assert_eq!(line, 1),
+        // A version-1 journal: no `sum` field on the line.
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "put");
+        w.str_field(
+            "key",
+            &StoreKey::derive("feature_gen", "p", "ACDEF").to_hex(),
+        );
+        w.str_field("stage", "feature_gen");
+        w.str_field("preset", "p");
+        w.str_field("content", "ACDEF");
+        let mut line = w.finish();
+        line.push('\n');
+        fs::write(root.join("store.jsonl"), line).unwrap();
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.skipped_journal_lines(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_blob_is_quarantined_once_and_reads_as_miss() {
+        let root = scratch_root("quarantine");
+        let rec = Recorder::virtual_time();
+        let a = art("inference", "MKVLY");
+        let store = Store::open(&root).unwrap();
+        store.put(&a, &rec).unwrap();
+        // Flip one bit inside the payload.
+        let hex = a.key().to_hex();
+        let blob = root.join("objects").join(format!("{hex}.jsonl"));
+        let mut bytes = fs::read(&blob).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0x10;
+        fs::write(&blob, &bytes).unwrap();
+
+        assert!(store.get(a.key(), &rec).is_none(), "corrupt reads as miss");
+        assert_eq!(counter(&rec, "cache/corrupt"), 1.0);
+        assert!(!store.contains(a.key()), "quarantine de-indexes");
+        assert!(
+            root.join("corrupt").join(format!("{hex}.jsonl")).exists(),
+            "blob moved aside, not destroyed"
+        );
+        // Second lookup: plain miss, no double count.
+        assert!(store.get(a.key(), &rec).is_none());
+        assert_eq!(counter(&rec, "cache/corrupt"), 1.0);
+        // Quarantine is durable across reopen.
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        assert!(!store.contains(a.key()));
+        // Recompute-and-refile heals the entry.
+        store.put(&a, &rec).unwrap();
+        assert_eq!(store.get(a.key(), &rec).as_ref(), Some(&a));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_blob_tear_leaves_no_keyed_artifact() {
+        use summitfold_dataflow::chaos::{FaultPlan, IoFault};
+        let root = scratch_root("fault-blob");
+        let rec = Recorder::virtual_time();
+        let faults = FaultPlan::new()
+            .io(IoFault::torn("store/blob", 0, 12))
+            .arm();
+        let store = Store::open_with_faults(&root, StoreConfig::default(), faults.clone()).unwrap();
+        let a = art("feature_gen", "ACDEF");
+        match store.put(&a, &rec) {
+            Err(StoreError::Injected { op }) => assert_eq!(op, "store/blob"),
             other => panic!("unexpected {other:?}"),
         }
+        assert!(faults.is_killed());
+        assert!(!store.contains(a.key()));
+        // Reopen as the next process would: only an orphan .tmp exists;
+        // scrub removes it and adopts nothing.
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(store.get(a.key(), &rec).is_none(), "never keyed");
+        let report = store.scrub(&rec);
+        assert_eq!(report.tmp_removed, 1);
+        assert_eq!(report.adopted, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn kill_between_blob_and_journal_is_adopted_by_scrub() {
+        use summitfold_dataflow::chaos::{FaultPlan, IoFault};
+        let root = scratch_root("fault-journal");
+        let rec = Recorder::virtual_time();
+        let faults = FaultPlan::new()
+            .io(IoFault::torn("store/journal", 1, 7))
+            .arm();
+        let store = Store::open_with_faults(&root, StoreConfig::default(), faults).unwrap();
+        let a = art("feature_gen", "ACDEF");
+        let b = art("feature_gen", "MKVLY");
+        store.put(&a, &rec).unwrap();
+        match store.put(&b, &rec) {
+            Err(StoreError::Injected { op }) => assert_eq!(op, "store/journal"),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(store);
+
+        // Next process: the torn journal tail is dropped, so b's blob is
+        // a valid orphan. It reads as a miss until scrub adopts it.
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.get(b.key(), &rec).is_none());
+        let report = store.scrub(&rec);
+        assert_eq!(report.adopted, 1, "completed blob re-keyed");
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(store.get(b.key(), &rec).as_ref(), Some(&b));
+        // Adoption is durable and scrub is idempotent.
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.get(b.key(), &rec).as_ref(), Some(&b));
+        let again = store.scrub(&rec);
+        assert_eq!(
+            again,
+            ScrubReport {
+                checked: 2,
+                ..ScrubReport::default()
+            }
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scrub_quarantines_corrupt_and_drops_torn_entries() {
+        let root = scratch_root("scrub");
+        let rec = Recorder::virtual_time();
+        let store = Store::open(&root).unwrap();
+        let good = art("feature_gen", "AAAA");
+        let bad = art("feature_gen", "CCCC");
+        let torn = art("feature_gen", "DDDD");
+        for a in [&good, &bad, &torn] {
+            store.put(a, &rec).unwrap();
+        }
+        // Corrupt `bad` (flip a payload bit) and tear `torn`.
+        let flip = root
+            .join("objects")
+            .join(format!("{}.jsonl", bad.key().to_hex()));
+        let mut bytes = fs::read(&flip).unwrap();
+        let at = bytes.len() - 4;
+        bytes[at] ^= 0x01;
+        fs::write(&flip, bytes).unwrap();
+        let tear = root
+            .join("objects")
+            .join(format!("{}.jsonl", torn.key().to_hex()));
+        let text = fs::read_to_string(&tear).unwrap();
+        fs::write(&tear, &text[..text.len() - 3]).unwrap();
+
+        let report = store.scrub(&rec);
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.torn_dropped, 1);
+        assert_eq!(counter(&rec, "cache/corrupt"), 1.0);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(good.key(), &rec).as_ref(), Some(&good));
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -17,11 +17,14 @@ fi
 echo "==> cargo test (workspace, warnings are errors)"
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --workspace -q
 
-echo "==> chaos suite (deadlines, speculation, composed faults)"
+echo "==> chaos suite (deadlines, speculation, composed faults, kill-resume)"
 # The chaos harness is the cross-executor robustness gate: deadline-kill
-# plus follow-on resume must reproduce the uninterrupted record set, and
-# both executors must pick the identical speculation set. Run it by name
-# so a filtered or partial test invocation can never skip it silently.
+# plus follow-on resume must reproduce the uninterrupted record set, both
+# executors must pick the identical speculation set, and a FoldingService
+# killed by injected I/O faults (mid-admission, mid-settlement,
+# mid-store-put) must resume from its WAL byte-identical to an
+# uninterrupted run. Run it by name so a filtered or partial test
+# invocation can never skip it silently.
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test -q --test chaos
 
 echo "==> telemetry suite (trace schema, streaming sinks, health monitor)"
@@ -142,6 +145,39 @@ if [ -n "$rogue" ]; then
     exit 1
 fi
 
+echo "==> fault counter single-source (chaos plane records fault/*, nothing else does)"
+# The fault/injected_* counters are the audit trail of the deterministic
+# fault injector: every fired fault is recorded exactly once, inside the
+# chaos plane. Same belt-and-braces shape as the cache/* gate above.
+rogue=$(grep -rn \
+    -e '\.add("fault/' -e '\.gauge("fault/' \
+    -e '\.gauge_at("fault/' -e '\.observe("fault/' \
+    crates/*/src src --include='*.rs' 2>/dev/null \
+    | grep -v '^crates/dataflow/src/chaos.rs:' \
+    | grep -v '^crates/analysis/src/' \
+    || true)
+if [ -n "$rogue" ]; then
+    echo "fault/* counters recorded outside crates/dataflow/src/chaos.rs:" >&2
+    echo "$rogue" >&2
+    exit 1
+fi
+
+echo "==> recovery counter single-source (service WAL replay records recovery/*)"
+# The recovery/* counters summarize one WAL replay and nothing else; a
+# second recording site would double-count a resume in the trace.
+rogue=$(grep -rn \
+    -e '\.add("recovery/' -e '\.gauge("recovery/' \
+    -e '\.gauge_at("recovery/' -e '\.observe("recovery/' \
+    crates/*/src src --include='*.rs' 2>/dev/null \
+    | grep -v '^crates/hpc/src/service.rs:' \
+    | grep -v '^crates/analysis/src/' \
+    || true)
+if [ -n "$rogue" ]; then
+    echo "recovery/* counters recorded outside crates/hpc/src/service.rs:" >&2
+    echo "$rogue" >&2
+    exit 1
+fi
+
 echo "==> service health snapshot (archive next to bench-gate artifacts)"
 # The folding-service example runs the three-tenant session on the
 # virtual clock and emits per-tenant closing health snapshots; keep the
@@ -183,6 +219,26 @@ fi
 if ! cmp -s target/bench-gate/BENCH_store.json BENCH_store.json; then
     echo "BENCH_store.json is stale; regenerate with:" >&2
     echo "  cargo run --release -p summitfold-bench --bin repro -- store --quick --emit-bench" >&2
+    exit 1
+fi
+
+echo "==> recovery regression gate (kill-resume vs committed baseline)"
+# The recovery experiment kills a two-tenant service mid-settlement with
+# an injected fault and resumes it from the WAL: the resumed settlement
+# trace must stay byte-identical to the uninterrupted run's
+# (traces_match stays 1), and the distilled BENCH_recovery.json must
+# match the committed copy byte-for-byte (all numbers are virtual-clock,
+# so quick mode is byte-stable).
+cargo run -q --release -p summitfold-bench --bin repro -- \
+    recovery --quick --emit-bench --out target/bench-gate >/dev/null
+if ! grep -q '"traces_match":1' target/bench-gate/BENCH_recovery.json; then
+    echo "kill-resume no longer converges to the uninterrupted settlement trace:" >&2
+    cat target/bench-gate/BENCH_recovery.json >&2
+    exit 1
+fi
+if ! cmp -s target/bench-gate/BENCH_recovery.json BENCH_recovery.json; then
+    echo "BENCH_recovery.json is stale; regenerate with:" >&2
+    echo "  cargo run --release -p summitfold-bench --bin repro -- recovery --quick --emit-bench" >&2
     exit 1
 fi
 

@@ -9,8 +9,11 @@
 //! byte, and attempt/speculation accounting matches across the virtual
 //! and thread executors.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
+use summitfold::dataflow::chaos::{FaultPlan as IoFaultPlan, IoFault, IoFaults};
 use summitfold::dataflow::deadline::{speculation_flags, DEFAULT_SPECULATION_FACTOR};
 use summitfold::dataflow::fault::WorkerFault;
 use summitfold::dataflow::real::ThreadExecutor;
@@ -20,8 +23,10 @@ use summitfold::dataflow::stats::to_csv;
 use summitfold::dataflow::{
     Batch, BatchOutcome, BatchStatus, Journal, OrderingPolicy, RetryPolicy, TaskFault, TaskSpec,
 };
+use summitfold::hpc::service::{FoldingService, ServiceConfig, ServiceError, TenantSpec};
 use summitfold::obs::{Recorder, Trace};
 use summitfold::protein::rng::Xoshiro256;
+use summitfold::store::{Artifact, Store, StoreConfig};
 
 /// Seeded workload with stragglers: every sixth task's modeled duration
 /// runs 3× its expected duration (`cost_hint`), so speculation triggers
@@ -380,4 +385,360 @@ fn thread_deaths_quarantine_and_resume_compose() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Service-level kill/resume: a multi-tenant FoldingService killed by an
+// injected fault at admission, settlement, or mid-store-put, then
+// resumed from its WAL, finishes byte-identical to an uninterrupted
+// virtual run — no task settles twice, no tenant is charged twice.
+// ---------------------------------------------------------------------
+
+/// Index of the scripted submission that must be rejected over quota.
+const REJECT_STEP: usize = 2;
+
+/// Live (non-rejected) tasks the script admits in total.
+const SCRIPT_TASKS: usize = 18;
+
+fn svc_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sf-chaos-svc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn svc_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("alice", 2.0, 100.0).cached(),
+        TenantSpec::new("bob", 1.0, 0.01),
+        TenantSpec::new("carol", 1.5, 100.0).priority(1),
+    ]
+}
+
+fn svc_campaign(prefix: &str, n: usize, cost: f64) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| TaskSpec::new(format!("{prefix}{i}"), cost))
+        .collect()
+}
+
+/// The submission script: task ids are distinct across campaigns so the
+/// result-store hit set is empty in every leg and cannot mask a
+/// recovery divergence. Step `REJECT_STEP` overruns bob's 0.01
+/// node-hour quota (36 node-seconds, 20 already admitted).
+fn svc_script() -> Vec<(&'static str, &'static str, f64, Vec<TaskSpec>)> {
+    vec![
+        ("alice", "c0", 0.0, svc_campaign("a", 6, 10.0)),
+        ("bob", "b0", 0.5, svc_campaign("b", 4, 5.0)),
+        ("bob", "big", 0.75, svc_campaign("x", 3, 10.0)),
+        ("carol", "c0", 1.0, svc_campaign("p", 5, 4.0)),
+        ("alice", "c1", 1.5, svc_campaign("d", 3, 8.0)),
+    ]
+}
+
+/// Play the script from step `from`. Returns the step index and error
+/// of the first unexpected failure (an injected kill), if any.
+fn svc_play(svc: &FoldingService, from: usize) -> Result<(), (usize, ServiceError)> {
+    for (i, (tenant, campaign, arrival, specs)) in svc_script().into_iter().enumerate().skip(from) {
+        match svc.submit(tenant, campaign, arrival, specs) {
+            Ok(_) => assert_ne!(i, REJECT_STEP, "step {i} must be rejected"),
+            Err(ServiceError::QuotaExceeded { .. }) if i == REJECT_STEP => {}
+            Err(e) => return Err((i, e)),
+        }
+    }
+    Ok(())
+}
+
+fn svc_cfg(dir: &Path, store: &Arc<Store>, faults: IoFaults) -> ServiceConfig {
+    ServiceConfig {
+        store: Some(Arc::clone(store)),
+        dir: Some(dir.join("svc")),
+        faults,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Quota/charge fingerprint per tenant, f64s compared bit-exact. The
+/// health snapshot is excluded: it folds wall timings, which a
+/// partially rerun schedule legitimately redistributes.
+fn svc_fingerprint(svc: &FoldingService) -> Vec<(String, u64, u64, u64, usize, usize, usize)> {
+    ["alice", "bob", "carol"]
+        .iter()
+        .map(|t| {
+            let s = svc.tenant_status(t).expect("registered tenant");
+            (
+                s.name,
+                s.quota_node_hours.to_bits(),
+                s.admitted_node_hours.to_bits(),
+                s.charged_node_hours.to_bits(),
+                s.completed_tasks,
+                s.cached_tasks,
+                s.campaigns,
+            )
+        })
+        .collect()
+}
+
+/// Admission/settlement counter totals. The `service/live_*` dispatch
+/// counters are excluded: a resumed leg only dispatches the remainder,
+/// so its live-wait pattern legitimately differs while every admission
+/// and settlement total must still match the uninterrupted run.
+fn svc_totals(rec: &Recorder) -> BTreeMap<String, f64> {
+    Trace::from_events(rec.events())
+        .counter_totals()
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("service/") && !k.starts_with("service/live_"))
+        .collect()
+}
+
+struct Uninterrupted {
+    settlement: String,
+    fingerprint: Vec<(String, u64, u64, u64, usize, usize, usize)>,
+    totals: BTreeMap<String, f64>,
+    trace: String,
+}
+
+/// The reference run: full script, no faults, virtual executor.
+fn svc_uninterrupted(dir: &Path) -> Uninterrupted {
+    let rec = Arc::new(Recorder::virtual_time());
+    let store = Arc::new(Store::open(dir.join("store")).expect("store opens"));
+    let svc = FoldingService::new(
+        svc_cfg(dir, &store, IoFaults::none()),
+        svc_tenants(),
+        Arc::clone(&rec),
+    )
+    .expect("valid tenants");
+    svc_play(&svc, 0).expect("the clean script admits");
+    svc.run(&VirtualExecutor::new(0.25)).expect("drains clean");
+    Uninterrupted {
+        settlement: svc.settlement_trace(),
+        fingerprint: svc_fingerprint(&svc),
+        totals: svc_totals(&rec),
+        trace: Trace::from_events(rec.events()).to_jsonl(),
+    }
+}
+
+/// Resume the killed service at `dir` (fresh store handle, no faults)
+/// and return it with its recovery report and recorder.
+fn svc_resume(
+    dir: &Path,
+) -> (
+    FoldingService,
+    summitfold::hpc::service::RecoveryReport,
+    Arc<Recorder>,
+) {
+    let rec = Arc::new(Recorder::virtual_time());
+    let store = Arc::new(Store::open(dir.join("store")).expect("store reopens"));
+    let (svc, report) = FoldingService::resume(
+        svc_cfg(dir, &store, IoFaults::none()),
+        svc_tenants(),
+        Arc::clone(&rec),
+    )
+    .expect("WAL replays");
+    (svc, report, rec)
+}
+
+/// Kill point 1 — mid-admission, after two campaigns and one rejection
+/// are on the WAL. Resume replays them, the script finishes, and the
+/// run is indistinguishable from the uninterrupted one.
+#[test]
+fn service_killed_mid_admission_resumes_byte_identical() {
+    let base_dir = svc_scratch("admit-base");
+    let base = svc_uninterrupted(&base_dir);
+    let dir = svc_scratch("admit");
+
+    // Occurrence 3 of service/admit: steps 0,1 admit, step 2 rejects,
+    // step 3 dies before anything durable or visible happens.
+    let faults = IoFaultPlan::new()
+        .io(IoFault::kill("service/admit", 3))
+        .arm();
+    let rec1 = Arc::new(Recorder::virtual_time());
+    let store = Arc::new(
+        Store::open_with_faults(dir.join("store"), StoreConfig::default(), faults.clone())
+            .expect("store opens"),
+    );
+    let svc1 = FoldingService::new(svc_cfg(&dir, &store, faults), svc_tenants(), rec1)
+        .expect("valid tenants");
+    let (at, err) = svc_play(&svc1, 0).expect_err("the kill bites");
+    assert_eq!(at, 3);
+    assert_eq!(
+        err,
+        ServiceError::Killed {
+            point: "service/admit".to_owned()
+        }
+    );
+    drop(svc1);
+
+    let (svc2, report, rec2) = svc_resume(&dir);
+    assert_eq!(report.replayed_campaigns, 2);
+    assert_eq!(report.replayed_rejections, 1);
+    assert_eq!(report.requeued_tasks, 10);
+    assert_eq!(report.replayed_settlements, 0);
+    assert_eq!(report.wal_corrupt_lines, 0);
+    assert!(!report.wal_torn_tail);
+    svc_play(&svc2, 3).expect("the rest of the script admits");
+    svc2.run(&VirtualExecutor::new(0.25)).expect("drains clean");
+
+    assert_eq!(svc2.settlement_trace(), base.settlement);
+    assert_eq!(svc_fingerprint(&svc2), base.fingerprint);
+    assert_eq!(svc_totals(&rec2), base.totals);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill point 1b — killed on the very first admission (empty WAL):
+/// after resume the rerun's full telemetry trace is byte-identical to
+/// the uninterrupted run's once the `recovery/` replay counters are
+/// filtered out.
+#[test]
+fn service_killed_before_first_admission_replays_the_raw_trace() {
+    let base_dir = svc_scratch("first-base");
+    let base = svc_uninterrupted(&base_dir);
+    let dir = svc_scratch("first");
+
+    let faults = IoFaultPlan::new()
+        .io(IoFault::kill("service/admit", 0))
+        .arm();
+    let rec1 = Arc::new(Recorder::virtual_time());
+    let store = Arc::new(
+        Store::open_with_faults(dir.join("store"), StoreConfig::default(), faults.clone())
+            .expect("store opens"),
+    );
+    let svc1 = FoldingService::new(svc_cfg(&dir, &store, faults), svc_tenants(), rec1)
+        .expect("valid tenants");
+    let (at, _) = svc_play(&svc1, 0).expect_err("the kill bites");
+    assert_eq!(at, 0);
+    drop(svc1);
+
+    let (svc2, report, rec2) = svc_resume(&dir);
+    assert_eq!(report.replayed_campaigns, 0);
+    assert_eq!(report.requeued_tasks, 0);
+    svc_play(&svc2, 0).expect("the full script admits");
+    svc2.run(&VirtualExecutor::new(0.25)).expect("drains clean");
+
+    let resumed_trace: String = Trace::from_events(rec2.events())
+        .to_jsonl()
+        .lines()
+        .filter(|l| !l.contains("recovery/"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(resumed_trace, base.trace);
+    assert_eq!(svc2.settlement_trace(), base.settlement);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill point 2 — mid-settlement: five tasks settle, the sixth kills
+/// the process. Resume replays exactly those five (never twice),
+/// requeues the rest, and converges to the uninterrupted settlement.
+#[test]
+fn service_killed_mid_settlement_settles_each_task_exactly_once() {
+    let base_dir = svc_scratch("settle-base");
+    let base = svc_uninterrupted(&base_dir);
+    let dir = svc_scratch("settle");
+
+    let faults = IoFaultPlan::new()
+        .io(IoFault::kill("service/settle", 5))
+        .arm();
+    let rec1 = Arc::new(Recorder::virtual_time());
+    let store = Arc::new(
+        Store::open_with_faults(dir.join("store"), StoreConfig::default(), faults.clone())
+            .expect("store opens"),
+    );
+    let svc1 = FoldingService::new(svc_cfg(&dir, &store, faults), svc_tenants(), rec1)
+        .expect("valid tenants");
+    svc_play(&svc1, 0).expect("the script admits");
+    let err = svc1.run(&VirtualExecutor::new(0.25)).expect_err("killed");
+    assert_eq!(
+        err,
+        ServiceError::Killed {
+            point: "service/settle".to_owned()
+        }
+    );
+    drop(svc1);
+
+    let (svc2, report, rec2) = svc_resume(&dir);
+    assert_eq!(report.replayed_campaigns, 4);
+    assert_eq!(report.replayed_rejections, 1);
+    assert_eq!(report.replayed_settlements, 5);
+    assert_eq!(report.requeued_tasks, SCRIPT_TASKS - 5);
+    assert_eq!(report.wal_corrupt_lines, 0);
+    svc2.run(&VirtualExecutor::new(0.25)).expect("drains clean");
+
+    assert_eq!(svc2.settlement_trace(), base.settlement);
+    assert_eq!(svc_fingerprint(&svc2), base.fingerprint);
+    assert_eq!(svc_totals(&rec2), base.totals);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill point 3 — mid-store-put: one fault handle shared by the store
+/// and the service tears a blob write during settlement, killing the
+/// process between a task's WAL settle line and its artifact landing.
+/// Resume refiles the artifact, charges once, and converges.
+#[test]
+fn service_killed_mid_store_put_refiles_and_converges() {
+    let base_dir = svc_scratch("put-base");
+    let base = svc_uninterrupted(&base_dir);
+    let dir = svc_scratch("put");
+
+    // The third blob write (only cached-tenant settlements write blobs)
+    // tears after 7 bytes; the shared handle then reports the process
+    // dead to the service layer.
+    let faults = IoFaultPlan::new()
+        .io(IoFault::torn("store/blob", 2, 7))
+        .arm();
+    let rec1 = Arc::new(Recorder::virtual_time());
+    let store = Arc::new(
+        Store::open_with_faults(dir.join("store"), StoreConfig::default(), faults.clone())
+            .expect("store opens"),
+    );
+    let svc1 = FoldingService::new(svc_cfg(&dir, &store, faults), svc_tenants(), rec1)
+        .expect("valid tenants");
+    svc_play(&svc1, 0).expect("the script admits");
+    let err = svc1.run(&VirtualExecutor::new(0.25)).expect_err("killed");
+    assert_eq!(
+        err,
+        ServiceError::Killed {
+            point: "store-put".to_owned()
+        }
+    );
+    drop(svc1);
+    drop(store);
+
+    let (svc2, report, rec2) = svc_resume(&dir);
+    assert_eq!(report.replayed_campaigns, 4);
+    assert!(
+        report.replayed_settlements >= 1,
+        "the torn put's settle line is on the WAL: {report:?}"
+    );
+    assert_eq!(
+        report.replayed_settlements + report.requeued_tasks,
+        SCRIPT_TASKS
+    );
+    svc2.run(&VirtualExecutor::new(0.25)).expect("drains clean");
+
+    assert_eq!(svc2.settlement_trace(), base.settlement);
+    assert_eq!(svc_fingerprint(&svc2), base.fingerprint);
+    assert_eq!(svc_totals(&rec2), base.totals);
+
+    // Every cached-tenant artifact — including the one whose original
+    // put tore — is retrievable from the recovered store.
+    let rec = Recorder::virtual_time();
+    let store = Store::open(dir.join("store")).expect("store reopens clean");
+    for (task, cost) in (0..6)
+        .map(|i| (format!("a{i}"), 10.0))
+        .chain((0..3).map(|i| (format!("d{i}"), 8.0)))
+    {
+        let a = Artifact::new(
+            "fold",
+            "service",
+            &format!("alice|{task}|{cost}"),
+            vec![format!("{cost}")],
+        );
+        assert!(
+            store.get(a.key(), &rec).is_some(),
+            "alice:{task} must be refiled after the torn put"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&dir);
 }

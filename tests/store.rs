@@ -208,6 +208,148 @@ fn torn_journal_tail_is_recovered_on_reopen() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Corruption sweep property: flip one byte at every offset of every
+/// store file (journal and blobs) in turn. On each reopen, every entry
+/// is either served with its exact original bytes or deterministically
+/// dropped/quarantined — never a panic, never wrong bytes.
+#[test]
+fn single_byte_flip_at_every_offset_never_serves_wrong_bytes() {
+    let dir = scratch("flip-sweep");
+    let rec = Recorder::virtual_time();
+    let artifacts: Vec<Artifact> = (0..3)
+        .map(|i| {
+            Artifact::new(
+                "fold",
+                "v1",
+                &format!("flip-target-{i}"),
+                vec![format!("payload-{i}"), "shared-line".to_owned()],
+            )
+        })
+        .collect();
+    {
+        let store = Store::open(&dir).expect("writable scratch dir");
+        for a in &artifacts {
+            store.put(a, &rec).expect("put succeeds");
+        }
+    }
+    // Snapshot every file the store wrote, as (relative path, bytes).
+    let mut files: Vec<(std::path::PathBuf, Vec<u8>)> = vec![(
+        "store.jsonl".into(),
+        std::fs::read(dir.join("store.jsonl")).expect("journal exists"),
+    )];
+    for entry in std::fs::read_dir(dir.join("objects")).expect("objects dir") {
+        let entry = entry.expect("readable dir entry");
+        files.push((
+            std::path::Path::new("objects").join(entry.file_name()),
+            std::fs::read(entry.path()).expect("blob readable"),
+        ));
+    }
+    assert_eq!(files.len(), 1 + artifacts.len());
+
+    let restore = |flip: Option<(&std::path::Path, usize)>| {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("objects")).expect("recreate store layout");
+        for (rel, bytes) in &files {
+            let mut bytes = bytes.clone();
+            if let Some((target, off)) = flip {
+                if rel == target {
+                    // XOR 0x01 keeps ASCII JSON valid UTF-8, so the
+                    // sweep probes corruption detection, not codec
+                    // errors (those get their own test below).
+                    bytes[off] ^= 0x01;
+                }
+            }
+            std::fs::write(dir.join(rel), bytes).expect("restore store file");
+        }
+    };
+
+    let mut dropped = 0usize;
+    for (rel, bytes) in &files {
+        for off in 0..bytes.len() {
+            restore(Some((rel, off)));
+            let store = Store::open(&dir).expect("a flipped byte never fails the open");
+            for a in &artifacts {
+                match store.get(a.key(), &rec) {
+                    Some(got) => {
+                        assert_eq!(
+                            (&got.stage, &got.preset, &got.content, &got.payload),
+                            (&a.stage, &a.preset, &a.content, &a.payload),
+                            "{}+{off}: served bytes must be the original bytes",
+                            rel.display()
+                        );
+                    }
+                    None => dropped += 1,
+                }
+            }
+        }
+    }
+    assert!(dropped > 0, "the sweep must hit detectable corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A flip that produces invalid UTF-8 in the journal surfaces as a
+/// typed I/O error from `open`, never a panic.
+#[test]
+fn non_utf8_journal_is_a_typed_open_error() {
+    let dir = scratch("flip-utf8");
+    let rec = Recorder::virtual_time();
+    {
+        let store = Store::open(&dir).expect("writable scratch dir");
+        let a = Artifact::new("fold", "v1", "utf8-target", vec![]);
+        store.put(&a, &rec).expect("put succeeds");
+    }
+    let journal = dir.join("store.jsonl");
+    let mut bytes = std::fs::read(&journal).expect("journal exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] |= 0x80;
+    std::fs::write(&journal, &bytes).expect("journal writable");
+    assert!(Store::open(&dir).is_err(), "invalid UTF-8 is a typed error");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A blob corrupted between campaign runs is quarantined transparently:
+/// the warm rerun recomputes the lost entry and reproduces the cold
+/// quality numbers bit-for-bit.
+#[test]
+fn corrupt_blob_degrades_to_recompute_with_identical_quality() {
+    let dir = scratch("corrupt-campaign");
+    let store = Store::open(&dir).expect("writable scratch dir");
+    let cfg = CampaignConfig::paper_default(0.01);
+    let cold = run_proteome_campaign_with_store(Species::PMercurii, &cfg, Some(&store));
+    assert!(cold.cache.misses > 0);
+
+    // Corrupt one stored blob in place (one flipped byte mid-line).
+    let blob = std::fs::read_dir(dir.join("objects"))
+        .expect("objects dir")
+        .next()
+        .expect("store holds blobs")
+        .expect("readable dir entry")
+        .path();
+    let mut bytes = std::fs::read(&blob).expect("blob readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&blob, &bytes).expect("blob writable");
+
+    let warm = run_proteome_campaign_with_store(Species::PMercurii, &cfg, Some(&store));
+    assert!(
+        !warm.cache.all_hit(),
+        "the corrupt entry must degrade to a miss: {:?}",
+        warm.cache
+    );
+    assert!(warm.cache.hits > 0, "intact entries still hit");
+    assert_eq!(warm.cache.lookups(), cold.cache.lookups());
+    assert_eq!(warm.frac_plddt_gt70, cold.frac_plddt_gt70);
+    assert_eq!(warm.frac_ptms_gt06, cold.frac_ptms_gt06);
+    assert_eq!(warm.mean_top_recycles, cold.mean_top_recycles);
+    assert!(
+        std::fs::read_dir(dir.join("corrupt"))
+            .map(|mut d| d.next().is_some())
+            .unwrap_or(false),
+        "the corrupt blob is preserved for post-mortem in corrupt/"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Capacity eviction drops the oldest entries, records them, and the
 /// bound survives reopen.
 #[test]
