@@ -167,6 +167,13 @@ impl Config {
                     "recovery/".to_string(),
                     "crates/hpc/src/service.rs".to_string(),
                 ),
+                // Lineage breadcrumbs form a closed causal grammar; the
+                // literals live solely in the obs emit helpers so every
+                // producer spells each phase identically.
+                (
+                    "lineage/".to_string(),
+                    "crates/obs/src/lineage.rs".to_string(),
+                ),
             ],
         }
     }
@@ -324,6 +331,10 @@ mod tests {
                 (
                     "recovery/".to_string(),
                     "crates/hpc/src/service.rs".to_string()
+                ),
+                (
+                    "lineage/".to_string(),
+                    "crates/obs/src/lineage.rs".to_string()
                 ),
             ]
         );

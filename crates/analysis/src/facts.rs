@@ -155,7 +155,7 @@ pub struct FileFacts {
 const GUARD_PRESERVING: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
 
 /// Recorder methods whose first literal argument is a metric path.
-const RECORDING_CALLS: [&str; 4] = ["add", "gauge", "gauge_at", "observe"];
+const RECORDING_CALLS: [&str; 5] = ["add", "gauge", "gauge_at", "observe", "lineage"];
 
 /// One live guard during the token walk.
 struct Guard {

@@ -450,7 +450,7 @@ pub fn metric_name(check: &FileCheck<'_>, regions: &[(u32, u32)], findings: &mut
     if check.kind != FileKind::Lib {
         return;
     }
-    const RECORDING_CALLS: [&str; 4] = ["add", "gauge", "gauge_at", "observe"];
+    const RECORDING_CALLS: [&str; 5] = ["add", "gauge", "gauge_at", "observe", "lineage"];
     let toks = &check.scan.tokens;
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident

@@ -15,7 +15,9 @@
 //!   utilization, throughput), after the `store` experiment distill
 //!   warm-vs-cold makespans into `BENCH_store.json`, and after the
 //!   `recovery` experiment distill kill-resume convergence into
-//!   `BENCH_recovery.json`. Written next to the other artifacts when
+//!   `BENCH_recovery.json`, and after the `profile` experiment distill
+//!   critical-path and load-imbalance attribution into
+//!   `BENCH_profile.json`. Written next to the other artifacts when
 //!   `--out` is given, else at the workspace root; `scripts/check.sh`
 //!   compares fresh quick-mode copies against the committed ones.
 //!
@@ -28,7 +30,7 @@ use summitfold_bench::harness::{self, Ctx};
 use summitfold_bench::report::{results_dir, Report};
 use summitfold_obs::json::ObjectWriter;
 
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 20] = [
     "headline",
     "table1",
     "fig2",
@@ -39,6 +41,7 @@ const EXPERIMENTS: [&str; 19] = [
     "sdivinum",
     "store",
     "recovery",
+    "profile",
     "violations",
     "relaxscale",
     "annotate",
@@ -122,6 +125,13 @@ fn run_one(name: &str, ctx: &Ctx, opts: &Opts) -> Option<Report> {
             let (outcome, report) = harness::recovery::run(ctx);
             if opts.emit_bench {
                 write_recovery_bench(&outcome, ctx.quick, opts);
+            }
+            report
+        }
+        "profile" => {
+            let (outcome, report) = harness::profile::run(ctx);
+            if opts.emit_bench {
+                write_profile_bench(&outcome, ctx.quick, opts);
             }
             report
         }
@@ -216,6 +226,39 @@ fn write_recovery_bench(outcome: &harness::recovery::Outcome, quick: bool, opts:
         None => workspace_root(),
     };
     let path = dir.join("BENCH_recovery.json");
+    std::fs::create_dir_all(&dir).expect("writable bench dir");
+    std::fs::write(&path, line).expect("writable bench file");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Distill the profile outcome into `BENCH_profile.json`.
+///
+/// Same contract as [`write_bench`]: the attribution is a pure function
+/// of a virtual-clock trace, so the quick-mode copy is byte-stable and
+/// doubles as the critical-path/imbalance regression baseline
+/// (`identity_holds` must stay 1).
+fn write_profile_bench(outcome: &harness::profile::Outcome, quick: bool, opts: &Opts) {
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "profile");
+    w.str_field("experiment", "fig2_attribution");
+    w.int_field("quick", u64::from(quick));
+    w.int_field("tasks", outcome.tasks as u64);
+    w.int_field("workers", outcome.workers as u64);
+    w.num_field("makespan_s", outcome.makespan_s);
+    w.num_field("critical_path_s", outcome.critical_path_s);
+    w.int_field("chain_len", outcome.chain_len as u64);
+    w.num_field("queue_wait_share", outcome.queue_wait_share);
+    w.num_field("gini", outcome.gini);
+    w.num_field("cov", outcome.cov);
+    w.num_field("utilization", outcome.utilization);
+    w.int_field("identity_holds", u64::from(outcome.identity_holds));
+    let mut line = w.finish();
+    line.push('\n');
+    let dir = match &opts.out {
+        Some(dir) => dir.clone(),
+        None => workspace_root(),
+    };
+    let path = dir.join("BENCH_profile.json");
     std::fs::create_dir_all(&dir).expect("writable bench dir");
     std::fs::write(&path, line).expect("writable bench file");
     eprintln!("wrote {}", path.display());

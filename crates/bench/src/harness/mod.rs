@@ -9,6 +9,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod headline;
+pub mod profile;
 pub mod recovery;
 pub mod recycles;
 pub mod relaxscale;

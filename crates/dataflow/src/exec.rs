@@ -830,6 +830,17 @@ pub fn close_batch_span<O>(plan: &Plan<'_>, span: SpanId, t0: f64, outcome: &Bat
             r.attempts,
         );
     }
+    // Lineage breadcrumbs for retried tasks: the retry-policy backoff
+    // each paid before its successful attempt. The value is a pure
+    // function of the attempt count and the plan's policy, and the
+    // emission order is task-id order, so the breadcrumb subsequence is
+    // identical across executors regardless of wall-clock noise.
+    let mut retried: Vec<&TaskRecord> = outcome.records.iter().filter(|r| r.attempts > 1).collect();
+    retried.sort_by(|a, b| a.task_id.cmp(&b.task_id));
+    for r in retried {
+        let backoff = plan.retry.backoff_before_success(r.attempts - 1);
+        summitfold_obs::lineage::retry_backoff(rec, &r.task_id, backoff);
+    }
     if let Some(every) = plan.progress {
         emit_progress(plan, t0, outcome, every);
     }

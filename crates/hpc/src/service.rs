@@ -78,7 +78,7 @@ use summitfold_dataflow::{
     SubmitError, TaskSpec,
 };
 use summitfold_obs::json::{self, ObjectWriter, Seal, Value};
-use summitfold_obs::{Event, HealthSnapshot, Monitor, MonitorConfig, Recorder, Sink as _};
+use summitfold_obs::{lineage, Event, HealthSnapshot, Monitor, MonitorConfig, Recorder, Sink as _};
 use summitfold_store::{Artifact, Store};
 
 /// Stage label every service charge is booked under.
@@ -668,12 +668,19 @@ impl FoldingService {
         let t = &state.tenants[class];
         let store = self.cfg.store.as_deref().filter(|_| t.spec.cached);
         let mut live: Vec<&TaskSpec> = Vec::with_capacity(specs.len());
+        let mut hit_flags: Vec<bool> = Vec::with_capacity(specs.len());
         let mut cached_hits = 0usize;
         for s in &specs {
+            // The task-scoped lookup stamps the journey breadcrumb
+            // (`lineage/cache_hit`/`cache_miss`) alongside the counted
+            // outcome; like the counters it records the lookup that
+            // happened even if the campaign is later rejected.
             let hit = store.is_some_and(|st| {
                 let key = Self::service_artifact(tenant, &s.id, s.cost_hint.max(0.0)).key();
-                st.get(key, &self.recorder).is_some()
+                let ns = format!("{tenant}:{campaign}:{}", s.id);
+                st.get_for_task(key, &ns, &self.recorder).is_some()
             });
+            hit_flags.push(hit);
             if hit {
                 cached_hits += 1;
             } else {
@@ -738,6 +745,20 @@ impl FoldingService {
             state
                 .attribution
                 .insert(s.id.clone(), (class, s.cost_hint.max(0.0)));
+        }
+        // Lineage breadcrumbs only after the WAL append and queue
+        // submit both succeeded: a rejected campaign must leave no
+        // admission trail (the cache-lookup breadcrumbs above record a
+        // lookup that factually happened either way). Hits settle at
+        // admission time, so their journey closes at `arrival`.
+        let arrival_t = if arrival.is_finite() { arrival } else { 0.0 };
+        for (s, &hit) in specs.iter().zip(&hit_flags) {
+            let ns = format!("{tenant}:{campaign}:{}", s.id);
+            lineage::admitted(&self.recorder, &ns, arrival_t);
+            lineage::wal(&self.recorder, &ns, self.recorder.now());
+            if hit {
+                lineage::settled(&self.recorder, &ns, arrival_t);
+            }
         }
         let t = &mut state.tenants[class];
         t.admitted_node_seconds += requested_node_seconds;
@@ -823,6 +844,11 @@ impl FoldingService {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut settled = 0usize;
+        // `close_batch_span` advanced the clock to `t0 + makespan`
+        // before settlement runs, so the batch origin in absolute
+        // recorder time is recoverable and each record's span-relative
+        // `end` maps to an absolute settlement instant.
+        let t0 = self.recorder.now() - outcome.makespan;
         for r in records {
             let Some(&(class, cost)) = state.attribution.get(&r.task_id) else {
                 continue;
@@ -844,6 +870,9 @@ impl FoldingService {
             w.num_field("end", r.end);
             w.int_field("attempts", u64::from(r.attempts));
             self.wal_append(&[w.finish_sealed()])?;
+            // Settlement is durable once the WAL line landed; the
+            // breadcrumb's instant is the record's absolute end.
+            lineage::settled(&self.recorder, &r.task_id, t0 + r.end);
             let cached = state.tenants[class].spec.cached;
             if let Some(store) = self.cfg.store.as_deref().filter(|_| cached) {
                 // Strip the campaign from `{tenant}:{campaign}:{task}`
@@ -1160,6 +1189,7 @@ impl FoldingService {
         let mut live = 0usize;
         let mut hits = 0usize;
         let mut requeue: Vec<TaskSpec> = Vec::new();
+        let mut breadcrumbs: Vec<(String, bool)> = Vec::new();
         for (task, cost) in block {
             let full = format!("{tenant}:{campaign}:{task}");
             if settled_ids.contains(&full) {
@@ -1168,13 +1198,15 @@ impl FoldingService {
                 // land when its settle line replays.
                 requested_node_seconds += cost.max(0.0);
                 live += 1;
+                breadcrumbs.push((full.clone(), false));
                 state.attribution.insert(full, (class, cost.max(0.0)));
                 continue;
             }
             let hit = store.is_some_and(|st| {
                 let key = Self::service_artifact(tenant, &task, cost.max(0.0)).key();
-                st.get(key, &self.recorder).is_some()
+                st.get_for_task(key, &full, &self.recorder).is_some()
             });
+            breadcrumbs.push((full.clone(), hit));
             if hit {
                 hits += 1;
             } else {
@@ -1190,6 +1222,18 @@ impl FoldingService {
             .queue
             .submit(class, arrival, requeue.iter().cloned())
             .map_err(ServiceError::Submit)?;
+        // Mirror the live admission's breadcrumb trail so a resumed
+        // trace attributes the same journeys: arrival from the WAL,
+        // durability at replay time, re-derived hits settled at
+        // admission.
+        let arrival_t = if arrival.is_finite() { arrival } else { 0.0 };
+        for (full, hit) in &breadcrumbs {
+            lineage::admitted(&self.recorder, full, arrival_t);
+            lineage::wal(&self.recorder, full, self.recorder.now());
+            if *hit {
+                lineage::settled(&self.recorder, full, arrival_t);
+            }
+        }
         let t = &mut state.tenants[class];
         t.admitted_node_seconds += requested_node_seconds;
         t.campaigns += 1;
@@ -1250,6 +1294,11 @@ impl FoldingService {
             end,
             attempts: attempts as u32,
         });
+        // The original absolute settlement instant is unrecoverable
+        // after a restart (the batch span died with the process); the
+        // WAL's span-relative `end` is the bit-exact stand-in, matching
+        // the monitor feed above.
+        lineage::settled(&self.recorder, task, end);
         state.settled.insert(task.to_owned(), (class, cost));
         report.replayed_settlements += 1;
     }

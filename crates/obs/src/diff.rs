@@ -155,6 +155,48 @@ impl TraceDiff {
         );
         out
     }
+
+    /// Machine-readable rendering: one JSON object with the threshold,
+    /// the regression verdict, and every compared entry (`lens --diff
+    /// --json`). Byte-stable for a fixed pair of traces.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use crate::json::ObjectWriter;
+        let mut w = ObjectWriter::new();
+        w.num_field("threshold", self.threshold);
+        w.int_field("metrics", self.entries.len() as u64);
+        w.int_field("regressions", self.regressions().len() as u64);
+        w.int_field("has_regressions", u64::from(self.has_regressions()));
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut ew = ObjectWriter::new();
+                ew.str_field("metric", &e.metric);
+                match e.baseline {
+                    Some(b) => ew.num_field("baseline", b),
+                    None => ew.null_field("baseline"),
+                }
+                match e.current {
+                    Some(c) => ew.num_field("current", c),
+                    None => ew.null_field("current"),
+                }
+                ew.str_field(
+                    "class",
+                    match e.class {
+                        DiffClass::Unchanged => "unchanged",
+                        DiffClass::Improved => "improved",
+                        DiffClass::Regressed => "regressed",
+                        DiffClass::Added => "added",
+                        DiffClass::Removed => "removed",
+                    },
+                );
+                ew.finish()
+            })
+            .collect();
+        w.raw_field("entries", &format!("[{}]", entries.join(",")));
+        w.finish()
+    }
 }
 
 /// True for metrics where smaller is better and growth is the failure
@@ -292,6 +334,21 @@ mod tests {
         let mk = d.entries.iter().find(|e| e.metric == "makespan").unwrap();
         assert_eq!(mk.class, DiffClass::Improved);
         assert!(!d.has_regressions(), "improvements are not failures");
+    }
+
+    #[test]
+    fn to_json_carries_verdict_and_entries() {
+        let base = trace(30.0, 2.0);
+        let slow = trace(45.0, 2.0);
+        let d = slow.diff(&base);
+        let json = d.to_json();
+        assert_eq!(json, slow.diff(&base).to_json(), "byte-stable");
+        assert!(json.contains("\"has_regressions\":1"), "{json}");
+        assert!(json.contains("\"metric\":\"makespan\""), "{json}");
+        assert!(json.contains("\"class\":\"regressed\""), "{json}");
+        let clean = base.diff(&base).to_json();
+        assert!(clean.contains("\"has_regressions\":0"), "{clean}");
+        assert!(clean.contains("\"regressions\":0"), "{clean}");
     }
 
     #[test]

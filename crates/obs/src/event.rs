@@ -15,6 +15,7 @@
 //! | `counter`    | `name`, `delta`, `total`, `t`                         |
 //! | `gauge`      | `name`, `value`, `t`                                  |
 //! | `observe`    | `name`, `value`, `t`                                  |
+//! | `lineage`    | `name`, `task`, `t`                                   |
 //!
 //! Span timestamps (`t`) are seconds on the recorder's [`crate::clock::Clock`].
 //! Task `start`/`end` are seconds *relative to the enclosing batch span's
@@ -25,6 +26,14 @@
 //! push it higher). Numbers are written with Rust's shortest-round-trip
 //! `f64` formatting via [`crate::json::ObjectWriter`], so parsing a trace
 //! recovers every value exactly.
+//!
+//! `lineage` events are the causal breadcrumbs of one task's journey
+//! through the system (admission, WAL append, cache lookup outcome,
+//! retry backoff, settlement). Their `name` follows the `lineage/<phase>`
+//! grammar and is emitted only by the helpers in [`crate::lineage`], so
+//! both executors produce identical lineage streams by construction.
+//! Like `task` events they carry attribution, not clock progress:
+//! analysis views exclude them from makespan and diff metrics.
 
 use crate::json::ObjectWriter;
 
@@ -97,6 +106,15 @@ pub enum Event {
         /// Clock seconds.
         t: f64,
     },
+    /// One causal breadcrumb in a task's journey (`lineage/<phase>`).
+    Lineage {
+        /// Phase name following the `lineage/<phase>` grammar.
+        name: String,
+        /// Task the breadcrumb belongs to.
+        task: String,
+        /// Clock seconds the phase occurred at.
+        t: f64,
+    },
 }
 
 impl Event {
@@ -162,6 +180,12 @@ impl Event {
                 w.num_field("value", *value);
                 w.num_field("t", *t);
             }
+            Self::Lineage { name, task, t } => {
+                w.str_field("event", "lineage");
+                w.str_field("name", name);
+                w.str_field("task", task);
+                w.num_field("t", *t);
+            }
         }
         w.finish()
     }
@@ -194,6 +218,15 @@ mod tests {
         assert_eq!(
             e.to_json_line(),
             "{\"event\":\"task\",\"span\":1,\"task\":\"DVU_00042/model_3\",\"worker\":5,\"start\":0.5,\"end\":30.25,\"attempts\":2}"
+        );
+        let e = Event::Lineage {
+            name: "lineage/admitted".into(),
+            task: "acme:c1:DVU_00042/model_3".into(),
+            t: 12.5,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"lineage\",\"name\":\"lineage/admitted\",\"task\":\"acme:c1:DVU_00042/model_3\",\"t\":12.5}"
         );
     }
 

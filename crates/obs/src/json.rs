@@ -108,6 +108,18 @@ impl ObjectWriter {
         self.buf.push_str("null");
     }
 
+    /// Append a field whose value is pre-serialized JSON.
+    ///
+    /// The escape hatch for report objects that embed arrays or nested
+    /// objects (`lens --json`, `BENCH_profile.json`): the caller is
+    /// responsible for `raw` being valid JSON. Lines containing raw
+    /// fields are no longer flat, so [`parse_object`] will reject them —
+    /// use only for artifacts that are not trace lines.
+    pub fn raw_field(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.buf.push_str(raw);
+    }
+
     /// Append an integer-or-`null` field.
     pub fn opt_int_field(&mut self, key: &str, value: Option<u64>) {
         self.key(key);
@@ -469,6 +481,11 @@ mod tests {
                 name: "recycles".into(),
                 value: 3.0,
                 t: 2.0,
+            },
+            Event::Lineage {
+                name: "lineage/settled".into(),
+                task: "acme:c1:t0".into(),
+                t: 2.5,
             },
         ];
         for e in &events {

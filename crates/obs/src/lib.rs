@@ -29,11 +29,17 @@
 //!   stragglers, budget burn, ETA).
 //! * [`TraceDiff`] — relative-threshold comparison of two traces
 //!   ([`Trace::diff`]), the regression gate behind `lens --diff`.
+//! * [`lineage`] — causal task attribution over a trace: per-task
+//!   [`Journey`]s, critical-path extraction ([`CriticalPath`]) and the
+//!   load-imbalance report ([`ImbalanceReport`]) behind
+//!   `lens journey|critical-path|imbalance`, plus the `lineage/*`
+//!   breadcrumb emit helpers.
 
 pub mod clock;
 pub mod diff;
 pub mod event;
 pub mod json;
+pub mod lineage;
 pub mod monitor;
 pub mod recorder;
 pub mod sink;
@@ -43,6 +49,7 @@ pub mod wall;
 pub use clock::{Clock, VirtualClock};
 pub use diff::{DiffClass, DiffEntry, TraceDiff};
 pub use event::{Event, SpanId};
+pub use lineage::{CriticalPath, ImbalanceReport, Journey, Truncation};
 pub use monitor::{HealthSnapshot, Monitor, MonitorConfig};
 pub use recorder::Recorder;
 pub use sink::{JsonlSink, RingSink, Sink, TeeSink};

@@ -307,6 +307,10 @@ impl Sink for Monitor {
                 *state.busy.entry(*worker).or_insert(0.0) += duration;
                 state.window_ends.push_back(abs_end);
             }
+            // Lineage breadcrumbs restate journey facts the task rows
+            // already carry; counting them (or advancing `now` to their
+            // timestamps) would double-book health statistics.
+            Event::Lineage { .. } => {}
         }
     }
 }

@@ -277,6 +277,26 @@ impl Recorder {
         });
     }
 
+    /// Record a causal lineage breadcrumb for one task at an explicit
+    /// timestamp.
+    ///
+    /// Like [`Recorder::gauge_at`], the clock is never touched: lineage
+    /// phases are reconstructed facts about a task's journey (admission,
+    /// WAL append, settlement), stamped at the instant the phase
+    /// occurred, and must not perturb any other timing in the trace.
+    /// `name` must follow the `lineage/<phase>` grammar; the only
+    /// callers are the emit helpers in [`crate::lineage`].
+    pub fn lineage(&self, name: &str, task: &str, t: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().emit(Event::Lineage {
+            name: name.to_string(),
+            task: task.to_string(),
+            t,
+        });
+    }
+
     /// Record one histogram observation.
     pub fn observe(&self, name: &str, value: f64) {
         if !self.enabled {

@@ -31,6 +31,12 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// Gauge name a [`RingSink`] uses to annotate a truncated capture with
+/// its drop count ([`RingSink::drop_marker`]). Read back by
+/// [`crate::lineage::truncation_of`] so attribution reports computed
+/// from a bounded capture carry an explicit truncation verdict.
+pub const DROPPED_EVENTS_GAUGE: &str = "obs/dropped_events";
+
 /// A consumer of the live event stream.
 ///
 /// `event` takes `&self` because sinks are shared across the recorder's
@@ -120,6 +126,54 @@ impl RingSink {
         let mut out = String::with_capacity(state.buf.len() * 96);
         for e in &state.buf {
             out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The explicit truncation marker for this capture: a
+    /// [`DROPPED_EVENTS_GAUGE`] gauge carrying the drop count, stamped
+    /// at the newest retained event's timestamp. `None` while nothing
+    /// has been dropped. The event is constructed here (not recorded
+    /// through a recorder) so writing a capture never mutates the
+    /// stream it observed.
+    #[must_use]
+    pub fn drop_marker(&self) -> Option<Event> {
+        let state = self.lock();
+        if state.dropped == 0 {
+            return None;
+        }
+        let t = state
+            .buf
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::SpanStart { t, .. }
+                | Event::SpanEnd { t, .. }
+                | Event::Counter { t, .. }
+                | Event::Gauge { t, .. }
+                | Event::Observe { t, .. }
+                | Event::Lineage { t, .. } => Some(*t),
+                Event::Task { .. } => None,
+            })
+            .unwrap_or(0.0);
+        Some(Event::Gauge {
+            name: DROPPED_EVENTS_GAUGE.to_string(),
+            value: state.dropped as f64,
+            t,
+        })
+    }
+
+    /// [`RingSink::to_jsonl`] plus the [`RingSink::drop_marker`] line
+    /// when events were dropped — the form to persist when the capture
+    /// will feed attribution tools, so they can flag the truncation
+    /// instead of silently under-reporting. With no drops the output is
+    /// byte-identical to [`RingSink::to_jsonl`].
+    #[must_use]
+    pub fn to_jsonl_annotated(&self) -> String {
+        let mut out = self.to_jsonl();
+        if let Some(marker) = self.drop_marker() {
+            out.push_str(&marker.to_json_line());
             out.push('\n');
         }
         out
@@ -300,6 +354,32 @@ mod tests {
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 2);
         assert_eq!(ring.to_jsonl(), "");
+    }
+
+    #[test]
+    fn drop_marker_annotates_truncated_captures_only() {
+        let ring = RingSink::new(3);
+        ring.event(&gauge(0));
+        assert_eq!(ring.drop_marker(), None);
+        assert_eq!(ring.to_jsonl_annotated(), ring.to_jsonl());
+        for i in 1..6 {
+            ring.event(&gauge(i));
+        }
+        let marker = ring.drop_marker().expect("dropped events");
+        match &marker {
+            Event::Gauge { name, value, t } => {
+                assert_eq!(name, DROPPED_EVENTS_GAUGE);
+                assert_eq!(*value, 3.0);
+                assert_eq!(*t, 5.0, "stamped at the newest retained timestamp");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let annotated = ring.to_jsonl_annotated();
+        assert!(
+            annotated.starts_with(&ring.to_jsonl()),
+            "suffix is appended"
+        );
+        assert!(annotated.contains(DROPPED_EVENTS_GAUGE), "{annotated}");
     }
 
     #[test]

@@ -213,6 +213,11 @@ impl Trace {
                     value: need_num(&obj, "value", line_no)?,
                     t: need_num(&obj, "t", line_no)?,
                 },
+                "lineage" => Event::Lineage {
+                    name: need_str(&obj, "name", line_no)?,
+                    task: need_str(&obj, "task", line_no)?,
+                    t: need_num(&obj, "t", line_no)?,
+                },
                 other => {
                     return Err(TraceError {
                         line: line_no,
@@ -301,7 +306,10 @@ pub(crate) fn last_timestamp_of(events: &[Event]) -> f64 {
             | Event::Counter { t, .. }
             | Event::Gauge { t, .. }
             | Event::Observe { t, .. } => Some(*t),
-            Event::Task { .. } => None,
+            // Task rows and lineage breadcrumbs carry attribution, not
+            // clock progress: a lineage/settled stamped at a task's end
+            // must not extend the makespan a diff or summary reports.
+            Event::Task { .. } | Event::Lineage { .. } => None,
         })
         .fold(0.0, f64::max)
 }

@@ -70,7 +70,7 @@ use summitfold_dataflow::chaos::{IoFaults, WriteOutcome};
 use summitfold_msa::cluster::neighborhood_identity;
 use summitfold_msa::kmer::KmerIndex;
 use summitfold_obs::json::{self, check_seal, fnv64, ObjectWriter, Seal};
-use summitfold_obs::Recorder;
+use summitfold_obs::{lineage, Recorder};
 use summitfold_protein::seq::Sequence;
 
 mod key;
@@ -634,6 +634,27 @@ impl Store {
         artifact
     }
 
+    /// [`get`](Self::get), additionally stamping `task`'s journey with
+    /// the lookup outcome (`lineage/cache_hit` or `lineage/cache_miss`)
+    /// at the recorder's current clock reading.
+    ///
+    /// The counted lookup stays the single `cache/*` recording site;
+    /// this wrapper only adds the causal breadcrumb that ties the
+    /// outcome to a task id, which the aggregate counters cannot carry.
+    /// Used by callers that know which task the key belongs to — the
+    /// folding service's admission loop, task-labelled pipeline stages.
+    #[must_use]
+    pub fn get_for_task(&self, key: StoreKey, task: &str, rec: &Recorder) -> Option<Artifact> {
+        let artifact = self.get(key, rec);
+        let t = rec.now();
+        if artifact.is_some() {
+            lineage::cache_hit(rec, task, t);
+        } else {
+            lineage::cache_miss(rec, task, t);
+        }
+        artifact
+    }
+
     /// Near-duplicate lookup after a miss: find the stored artifact of
     /// the same `(stage, preset)` whose sequence is most similar to
     /// `query` at ≥ the configured identity, using the k-mer prefilter +
@@ -707,6 +728,26 @@ impl Store {
         rec.add("cache/near_hit", 1.0);
         rec.observe("cache/near_hit_discount", near.discount);
         Some((near, artifact))
+    }
+
+    /// [`near_lookup`](Self::near_lookup), additionally stamping
+    /// `task`'s journey with `lineage/cache_near_hit` when a neighbor
+    /// is found (nothing on failure — the preceding exact lookup
+    /// already stamped the miss).
+    #[must_use]
+    pub fn near_lookup_for_task(
+        &self,
+        stage: &str,
+        preset: &str,
+        query: &Sequence,
+        task: &str,
+        rec: &Recorder,
+    ) -> Option<(NearHit, Artifact)> {
+        let found = self.near_lookup(stage, preset, query, rec);
+        if found.is_some() {
+            lineage::cache_near_hit(rec, task, rec.now());
+        }
+        found
     }
 
     /// Insert (or overwrite) an artifact under its content-derived key.

@@ -178,6 +178,27 @@ if [ -n "$rogue" ]; then
     exit 1
 fi
 
+echo "==> lineage breadcrumb single-source (obs emit helpers own lineage/*)"
+# The lineage/* causal grammar is closed: the phase literals live only
+# in the emit helpers of crates/obs/src/lineage.rs, so every producer
+# (both executors, the store, the folding service) spells each phase
+# identically and `lens journey` can never meet an unknown phase.
+# sfcheck's metric-ownership extension polices this lexically; this grep
+# is the belt-and-braces gate that also fails if the config's owner list
+# is edited. Test modules may assert on the literals.
+rogue=$(grep -rn \
+    -e '\.lineage("lineage/' -e '\.add("lineage/' -e '\.gauge("lineage/' \
+    -e '\.gauge_at("lineage/' -e '\.observe("lineage/' \
+    crates/*/src src --include='*.rs' 2>/dev/null \
+    | grep -v '^crates/obs/src/lineage.rs:' \
+    | grep -v '^crates/analysis/src/' \
+    || true)
+if [ -n "$rogue" ]; then
+    echo "lineage/* breadcrumbs recorded outside crates/obs/src/lineage.rs:" >&2
+    echo "$rogue" >&2
+    exit 1
+fi
+
 echo "==> service health snapshot (archive next to bench-gate artifacts)"
 # The folding-service example runs the three-tenant session on the
 # virtual clock and emits per-tenant closing health snapshots; keep the
@@ -202,6 +223,25 @@ if ! cmp -s target/bench-gate/BENCH_dataflow.json BENCH_dataflow.json; then
     echo "  cargo run --release -p summitfold-bench --bin repro -- fig2 --quick --emit-bench" >&2
     exit 1
 fi
+
+echo "==> attribution gate (critical path + imbalance on the golden fig2 trace)"
+# The critical-path fold must satisfy its accounting identity
+# (critical_path ≤ makespan ≤ critical_path + Σ idle, "identity":1 in
+# the report) on the committed golden trace, and both attribution
+# reports are pure functions of the trace — archive them with the other
+# gate artifacts so a scheduling regression has a baseline to diff.
+cargo run -q --release -p summitfold-bench --bin lens -- \
+    critical-path tests/golden/fig2_quick_trace.jsonl --json \
+    > target/bench-gate/fig2_critical_path.json
+if ! grep -q '"identity":1' target/bench-gate/fig2_critical_path.json; then
+    echo "critical-path accounting identity violated on the golden fig2 trace:" >&2
+    cat target/bench-gate/fig2_critical_path.json >&2
+    exit 1
+fi
+cargo run -q --release -p summitfold-bench --bin lens -- \
+    imbalance tests/golden/fig2_quick_trace.jsonl --json \
+    > target/bench-gate/fig2_imbalance.json
+test -s target/bench-gate/fig2_imbalance.json
 
 echo "==> store regression gate (warm rerun vs committed baseline)"
 # The store experiment resubmits an identical campaign through the
@@ -239,6 +279,25 @@ fi
 if ! cmp -s target/bench-gate/BENCH_recovery.json BENCH_recovery.json; then
     echo "BENCH_recovery.json is stale; regenerate with:" >&2
     echo "  cargo run --release -p summitfold-bench --bin repro -- recovery --quick --emit-bench" >&2
+    exit 1
+fi
+
+echo "==> profile regression gate (attribution vs committed baseline)"
+# The profile experiment re-runs the fig2 campaign and attributes its
+# makespan: the accounting identity must hold (identity_holds stays 1)
+# and the distilled BENCH_profile.json must match the committed copy
+# byte-for-byte (the attribution is a pure function of a virtual-clock
+# trace, so quick mode is byte-stable).
+cargo run -q --release -p summitfold-bench --bin repro -- \
+    profile --quick --emit-bench --out target/bench-gate >/dev/null
+if ! grep -q '"identity_holds":1' target/bench-gate/BENCH_profile.json; then
+    echo "critical-path accounting identity violated in the profile run:" >&2
+    cat target/bench-gate/BENCH_profile.json >&2
+    exit 1
+fi
+if ! cmp -s target/bench-gate/BENCH_profile.json BENCH_profile.json; then
+    echo "BENCH_profile.json is stale; regenerate with:" >&2
+    echo "  cargo run --release -p summitfold-bench --bin repro -- profile --quick --emit-bench" >&2
     exit 1
 fi
 

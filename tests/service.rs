@@ -256,3 +256,64 @@ fn service_deadline_carries_over() {
     let a = svc.tenant_status("alice").expect("alice");
     assert!((a.charged_node_hours - 40.0 / 3600.0).abs() < 1e-9);
 }
+
+/// The tenant-facing journey contract: a service campaign's tasks carry
+/// admission, WAL-durability, and settlement breadcrumbs in the trace,
+/// and a warm resubmission's journey shows the cache hit settled at
+/// admission with no execution at all.
+#[test]
+fn lineage_breadcrumbs_trace_tenant_journeys() {
+    use summitfold::obs::lineage;
+    use summitfold::store::Store;
+
+    let dir = std::env::temp_dir().join(format!("sf-svc-lineage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = Arc::new(Store::open(&dir).expect("writable scratch dir"));
+    let mk = |rec: &Arc<Recorder>| {
+        FoldingService::new(
+            ServiceConfig {
+                workers: 2,
+                store: Some(Arc::clone(&store)),
+                ..ServiceConfig::default()
+            },
+            vec![TenantSpec::new("alice", 1.0, 100.0).cached()],
+            Arc::clone(rec),
+        )
+        .expect("valid tenants")
+    };
+
+    // Cold pass: everything executes and settles.
+    let cold_rec = Arc::new(Recorder::virtual_time());
+    let cold = mk(&cold_rec);
+    cold.submit("alice", "c0", 5.0, campaign("t", 6, 10.0))
+        .expect("admitted");
+    cold.run(&VirtualExecutor::new(0.0)).expect("drains clean");
+    let cold_trace = Trace::parse_jsonl(&cold_rec.to_jsonl()).unwrap();
+    let j = lineage::journey_of(&cold_trace, "alice:c0:t0").expect("journey present");
+    assert_eq!(j.admitted_t, Some(5.0), "queue arrival instant");
+    assert!(j.wal_t.is_some(), "WAL admit must be durable");
+    assert!(!j.executions.is_empty(), "cold task executes");
+    let settled = j.settled_t.expect("settlement breadcrumb");
+    let last_end = j.last_end().expect("executed");
+    assert!(
+        (settled - last_end).abs() < 1e-9,
+        "settled at {settled}, execution ended {last_end}"
+    );
+    assert!(matches!(j.cache, Some((lineage::CacheOutcome::Miss, _))));
+
+    // Warm pass: the same campaign resubmitted hits at admission.
+    let warm_rec = Arc::new(Recorder::virtual_time());
+    let warm = mk(&warm_rec);
+    warm.submit("alice", "again", 3.0, campaign("t", 6, 10.0))
+        .expect("admitted");
+    warm.run(&VirtualExecutor::new(0.0)).expect("drains clean");
+    let warm_trace = Trace::parse_jsonl(&warm_rec.to_jsonl()).unwrap();
+    let j = lineage::journey_of(&warm_trace, "alice:again:t0").expect("journey present");
+    assert!(matches!(j.cache, Some((lineage::CacheOutcome::Hit, _))));
+    assert!(j.executions.is_empty(), "a hit never executes");
+    assert_eq!(j.admitted_t, Some(3.0));
+    assert_eq!(j.settled_t, Some(3.0), "hits settle at admission");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

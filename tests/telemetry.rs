@@ -9,9 +9,9 @@ use std::sync::Arc;
 use summitfold::dataflow::real::ThreadExecutor;
 use summitfold::dataflow::sim::VirtualExecutor;
 use summitfold::dataflow::stats::{ascii_gantt, records_from_trace, to_csv};
-use summitfold::dataflow::{Batch, OrderingPolicy, TaskSpec};
+use summitfold::dataflow::{Batch, Journal, OrderingPolicy, TaskSpec};
 use summitfold::obs::json::parse_object;
-use summitfold::obs::{Monitor, MonitorConfig, Recorder, RingSink, Sink as _, Trace};
+use summitfold::obs::{lineage, Monitor, MonitorConfig, Recorder, RingSink, Sink as _, Trace};
 
 fn specs(n: usize) -> Vec<TaskSpec> {
     (0..n)
@@ -142,6 +142,9 @@ fn golden_trace() -> String {
     rec.add("demo/completed", 3.0);
     rec.gauge("demo/load", 0.5);
     rec.observe("demo/latency", 4.25);
+    // A lineage breadcrumb: pins the causal-attribution event shape
+    // (`lineage/*` names, absolute instants, no clock advancement).
+    lineage::admitted(&rec, "alpha", 0.0);
     rec.span_end(stage);
     rec.to_jsonl()
 }
@@ -284,6 +287,200 @@ fn trace_self_diff_reports_no_regressions() {
     let diff = trace.diff(&trace);
     assert!(!diff.has_regressions(), "{}", diff.render());
     assert!(diff.render().contains("0 regression"), "{}", diff.render());
+}
+
+/// Satellite contract: the monitor's ETA and deadline-burn stay honest
+/// across a carryover campaign (deadline cut + follow-on resume), and a
+/// resumed trace counts every task exactly once — journaled replays
+/// must not double-book completions.
+#[test]
+fn monitor_attributes_carryover_campaigns_without_double_counting() {
+    let n = 12;
+    let specs: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(format!("t{i}"), 1.0))
+        .collect();
+    let durations = vec![10.0; n];
+    let journal = Journal::new();
+
+    // Leg 1: the deadline bites at 25 s — 2 workers × 10 s tasks give
+    // exactly 4 completions (the third wave would end at 30 > 25).
+    let cut_rec = Recorder::virtual_time();
+    let cut = Batch::new(&specs)
+        .workers(2)
+        .durations(&durations)
+        .recorder(&cut_rec)
+        .journal(&journal)
+        .deadline(25.0)
+        .run(&VirtualExecutor::new(0.0))
+        .unwrap();
+    let carried = cut.status.carried_over().len();
+    assert_eq!(carried, 8, "the horizon must cut the third wave");
+
+    let cut_monitor = Monitor::new(MonitorConfig {
+        total_tasks: Some(n),
+        workers: Some(2),
+        deadline_s: Some(25.0),
+        ..MonitorConfig::default()
+    });
+    for e in cut_rec.events() {
+        cut_monitor.event(&e);
+    }
+    let s = cut_monitor.snapshot();
+    assert_eq!(s.tasks_done, n - carried);
+    let burn = s.budget_burn.expect("deadline configured");
+    assert!((burn - 20.0 / 25.0).abs() < 1e-9, "burn {burn}");
+    assert!(s.eta_s > 0.0, "work remains, eta {}", s.eta_s);
+
+    // Leg 2: the follow-on resumes from the journal under a later
+    // horizon. The virtual backend re-derives the full schedule, so the
+    // resumed trace is the canonical whole-campaign view.
+    let resumed_rec = Recorder::virtual_time();
+    let resumed = Batch::new(&specs)
+        .workers(2)
+        .durations(&durations)
+        .recorder(&resumed_rec)
+        .deadline(90.0)
+        .resume(&VirtualExecutor::new(0.0), &journal)
+        .unwrap();
+    assert_eq!(resumed.records.len(), n);
+
+    // Each task appears exactly once in the resumed trace: journaled
+    // replays are not re-emitted as extra completions.
+    let trace = Trace::parse_jsonl(&resumed_rec.to_jsonl()).unwrap();
+    let mut ids: Vec<String> = trace.tasks().into_iter().map(|t| t.task).collect();
+    ids.sort();
+    let mut expected: Vec<String> = specs.iter().map(|s| s.id.clone()).collect();
+    expected.sort();
+    assert_eq!(ids, expected, "duplicate or missing completions");
+
+    let resumed_monitor = Monitor::new(MonitorConfig {
+        total_tasks: Some(n),
+        workers: Some(2),
+        deadline_s: Some(90.0),
+        ..MonitorConfig::default()
+    });
+    for e in resumed_rec.events() {
+        resumed_monitor.event(&e);
+    }
+    let s = resumed_monitor.snapshot();
+    assert_eq!(s.tasks_done, n, "journaled replays double-counted");
+    assert!(
+        s.eta_s.abs() < 1e-9,
+        "campaign complete but eta {}",
+        s.eta_s
+    );
+    let burn = s.budget_burn.expect("deadline configured");
+    assert!((burn - 60.0 / 90.0).abs() < 1e-9, "burn {burn}");
+}
+
+/// The causal journeys folded from a campaign's trace are
+/// executor-invariant in everything that is not a wall-clock reading:
+/// same task set, same attempt counts, same execution counts. The
+/// virtual backend's reports are additionally byte-stable run-to-run —
+/// a thread campaign's canonical attribution basis is its deterministic
+/// virtual replay (see `obs::lineage` module docs).
+#[test]
+fn lineage_attribution_agrees_across_executors() {
+    let n = 30;
+    let specs = specs(n);
+
+    let run_virtual = || {
+        let rec = Recorder::virtual_time();
+        Batch::new(&specs)
+            .workers(4)
+            .policy(OrderingPolicy::LongestFirst)
+            .recorder(&rec)
+            .run(&VirtualExecutor::new(0.5))
+            .unwrap();
+        rec.to_jsonl()
+    };
+    let vt = Trace::parse_jsonl(&run_virtual()).unwrap();
+
+    let wrec = Recorder::wall();
+    Batch::new(&specs)
+        .workers(4)
+        .policy(OrderingPolicy::LongestFirst)
+        .recorder(&wrec)
+        .run(&ThreadExecutor)
+        .unwrap();
+    let wt = Trace::parse_jsonl(&wrec.to_jsonl()).unwrap();
+
+    let vj = lineage::journeys_of(&vt);
+    let wj = lineage::journeys_of(&wt);
+    let vids: Vec<&String> = vj.keys().collect();
+    let wids: Vec<&String> = wj.keys().collect();
+    assert_eq!(vids, wids, "journey task sets diverged");
+    for (task, v) in &vj {
+        let w = &wj[task];
+        assert_eq!(v.max_attempts(), w.max_attempts(), "task {task}");
+        assert_eq!(v.executions.len(), w.executions.len(), "task {task}");
+        assert_eq!(v.retry_backoff_s, w.retry_backoff_s, "task {task}");
+    }
+
+    // Both traces support the full reports, and the accounting identity
+    // holds on each regardless of the clock behind the timestamps.
+    let vcp = lineage::critical_path_of(&vt).expect("virtual trace has executions");
+    let wcp = lineage::critical_path_of(&wt).expect("thread trace has executions");
+    assert!(vcp.identity_holds());
+    assert!(wcp.identity_holds());
+
+    // The virtual attribution is byte-stable across independent runs.
+    let vt2 = Trace::parse_jsonl(&run_virtual()).unwrap();
+    let trunc = lineage::truncation_of(&vt);
+    let trunc2 = lineage::truncation_of(&vt2);
+    assert_eq!(
+        lineage::critical_path_of(&vt2).unwrap().to_json(&trunc2),
+        vcp.to_json(&trunc),
+        "virtual critical-path report must replay byte-identically"
+    );
+    assert_eq!(
+        lineage::imbalance_of(&vt2, 5).unwrap().to_json(&trunc2),
+        lineage::imbalance_of(&vt, 5).unwrap().to_json(&trunc),
+        "virtual imbalance report must replay byte-identically"
+    );
+}
+
+/// The committed golden fig2 trace pins the attribution reports: the
+/// accounting identity holds, the chain telescopes to the makespan, and
+/// the folds are pure functions of the trace bytes.
+#[test]
+fn golden_fig2_attribution_is_pinned() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig2_quick_trace.jsonl"
+    );
+    let jsonl = std::fs::read_to_string(path).expect("golden fig2 trace present");
+    let trace = Trace::parse_jsonl(&jsonl).unwrap();
+    let cp = lineage::critical_path_of(&trace).expect("fig2 trace has executions");
+    assert!(cp.identity_holds(), "accounting identity violated");
+    assert!(!cp.chain.is_empty());
+    assert!(cp.critical_path_s() > 0.0 && cp.critical_path_s() <= cp.makespan_s);
+    // The chain's busy time plus its waits telescopes to the makespan.
+    let chain_total: f64 = cp.chain.iter().map(|l| l.duration() + l.wait_s).sum();
+    assert!(
+        (chain_total - cp.makespan_s).abs() < 1e-6 * cp.makespan_s.max(1.0),
+        "chain {chain_total} vs makespan {}",
+        cp.makespan_s
+    );
+    let im = lineage::imbalance_of(&trace, 5).expect("fig2 trace has executions");
+    assert!(im.workers.len() > 1);
+    assert!((0.0..=1.0).contains(&im.gini));
+    assert!(im.utilization > 0.0);
+    // The rescue lane retried tasks: their journeys show the extra
+    // attempts, and the trace carries the causal retry-backoff
+    // breadcrumbs for them (value 0 — the rescue policy has no
+    // backoff, but the causal link itself must be present).
+    let journeys = lineage::journeys_of(&trace);
+    assert!(
+        journeys
+            .values()
+            .any(|j| j.max_attempts() > 1 && j.retry_s() > 0.0),
+        "fig2 quick campaign lost its retries"
+    );
+    assert!(
+        jsonl.contains(r#""name":"lineage/retry_backoff""#),
+        "fig2 quick campaign lost its retry lineage breadcrumbs"
+    );
 }
 
 #[test]
